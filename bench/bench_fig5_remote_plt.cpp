@@ -1,0 +1,80 @@
+// Reproduces Figure 5: Page Load Time for pages hosted in a *distant*
+// location (different ISD), single-origin vs multi-origin, loaded over
+// SCION (extension + SKIP proxy + reverse proxies) vs plain IPv4/6.
+//
+// Expected shape (paper): for the single-origin page SCION improves PLT
+// significantly — path awareness picks a lower-latency path than the BGP
+// route. Multi-origin dilutes but preserves the win.
+#include "bench_util.hpp"
+#include "core/scenarios.hpp"
+
+using namespace pan;
+
+namespace {
+constexpr int kTrials = 30;
+constexpr int kResources = 6;
+constexpr std::size_t kResourceBytes = 30'000;
+}  // namespace
+
+int main() {
+  browser::WorldConfig config;
+  config.seed = 5;
+  config.link_jitter = 0.08;
+  auto world = browser::make_remote_world(config);
+  auto& www = *world->site("www.far.example");
+  auto& cdn = *world->site("static.far.example");
+
+  // Single-origin page: everything on www.far.example.
+  {
+    std::vector<std::string> urls;
+    for (int i = 0; i < kResources; ++i) {
+      const std::string path = "/s" + std::to_string(i) + ".bin";
+      www.add_blob(path, kResourceBytes);
+      urls.push_back(path);
+    }
+    www.add_text("/single", browser::render_document(urls));
+  }
+  // Multi-origin page: resources split between www and the static host.
+  {
+    std::vector<std::string> urls;
+    for (int i = 0; i < kResources; ++i) {
+      const std::string path = "/m" + std::to_string(i) + ".bin";
+      if (i % 2 == 0) {
+        www.add_blob(path, kResourceBytes);
+        urls.push_back(path);
+      } else {
+        cdn.add_blob(path, kResourceBytes);
+        urls.push_back("http://static.far.example" + path);
+      }
+    }
+    www.add_text("/multi", browser::render_document(urls));
+  }
+
+  std::vector<bench::Series> series;
+  series.push_back({"single origin, SCION", bench::run_trials(kTrials, [&] {
+                      browser::ClientSession session(*world);
+                      return session.load("http://www.far.example/single").plt.millis();
+                    })});
+  series.push_back({"single origin, IPv4/6", bench::run_trials(kTrials, [&] {
+                      browser::DirectSession session(*world);
+                      return session.load("http://www.far.example/single").plt.millis();
+                    })});
+  series.push_back({"multiple origins, SCION", bench::run_trials(kTrials, [&] {
+                      browser::ClientSession session(*world);
+                      return session.load("http://www.far.example/multi").plt.millis();
+                    })});
+  series.push_back({"multiple origins, IPv4/6", bench::run_trials(kTrials, [&] {
+                      browser::DirectSession session(*world);
+                      return session.load("http://www.far.example/multi").plt.millis();
+                    })});
+
+  bench::print_box_table(
+      "Figure 5 — Page Load Time (ms), remote pages over SCION vs IPv4/6 (" +
+          std::to_string(kTrials) + " trials)",
+      series);
+
+  std::printf("\nPaper's qualitative result: the distant page loads significantly faster over\n"
+              "SCION because path awareness picks the low-latency route (here ~30 ms one-way)\n"
+              "instead of the BGP route (~84 ms one-way).\n");
+  return 0;
+}

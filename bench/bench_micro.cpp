@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: crypto primitives,
+// hop-field MACs, segment verification, SCION header codec, PPL parsing and
+// evaluation, sequence matching, and legacy route computation.
+#include <benchmark/benchmark.h>
+
+#include "core/layer_model.hpp"
+#include "crypto/signature.hpp"
+#include "net/graph.hpp"
+#include "ppl/parser.hpp"
+#include "scion/header.hpp"
+#include "scion/segment.hpp"
+#include "util/stats.hpp"
+
+using namespace pan;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HopFieldMac(benchmark::State& state) {
+  const scion::ForwardingKey key(16, 0x42);
+  scion::HopField hf;
+  hf.isd_as = scion::IsdAsn{1, 0x110};
+  hf.in_if = 3;
+  hf.out_if = 7;
+  hf.expiry_s = 3600;
+  for (auto _ : state) {
+    scion::seal_hop_field(hf, 1000, key);
+    benchmark::DoNotOptimize(hf.mac);
+  }
+}
+BENCHMARK(BM_HopFieldMac);
+
+void BM_LamportSign(benchmark::State& state) {
+  Rng rng(1);
+  const auto kp = crypto::generate_keypair(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sign(kp.private_key, "beacon entry"));
+  }
+}
+BENCHMARK(BM_LamportSign);
+
+void BM_LamportVerify(benchmark::State& state) {
+  Rng rng(1);
+  const auto kp = crypto::generate_keypair(rng);
+  const auto sig = crypto::sign(kp.private_key, "beacon entry");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(kp.public_key, "beacon entry", sig));
+  }
+}
+BENCHMARK(BM_LamportVerify);
+
+scion::DataplanePath make_path(std::size_t hops) {
+  scion::DataplaneSegment seg;
+  seg.origin_ts = 1000;
+  for (std::size_t i = 0; i < hops; ++i) {
+    scion::HopField hf;
+    hf.isd_as = scion::IsdAsn{1, 0x100 + i};
+    hf.in_if = static_cast<scion::IfaceId>(i);
+    hf.out_if = static_cast<scion::IfaceId>(i + 1);
+    seg.hops.push_back(hf);
+  }
+  scion::DataplanePath path;
+  path.segments.push_back(std::move(seg));
+  return path;
+}
+
+void BM_ScionHeaderSerialize(benchmark::State& state) {
+  scion::ScionHeader header;
+  header.path = make_path(static_cast<std::size_t>(state.range(0)));
+  const Bytes payload(1200, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scion::serialize_scion_packet(header, payload));
+  }
+}
+BENCHMARK(BM_ScionHeaderSerialize)->Arg(3)->Arg(8);
+
+void BM_ScionHeaderParse(benchmark::State& state) {
+  scion::ScionHeader header;
+  header.path = make_path(static_cast<std::size_t>(state.range(0)));
+  const Bytes wire = scion::serialize_scion_packet(header, Bytes(1200, 0x11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scion::parse_scion_packet(wire));
+  }
+}
+BENCHMARK(BM_ScionHeaderParse)->Arg(3)->Arg(8);
+
+void BM_PplParse(benchmark::State& state) {
+  static constexpr std::string_view kPolicy = R"(
+    policy "bench" {
+      acl { deny 3-*; deny 4-ff00:0:9; allow *; }
+      sequence "1-* * 2-*";
+      require mtu >= 1400;
+      require latency <= 80ms;
+      order latency asc, co2 asc;
+    }
+  )";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ppl::parse_policy(kPolicy));
+  }
+}
+BENCHMARK(BM_PplParse);
+
+void BM_PplApply(benchmark::State& state) {
+  Rng rng(7);
+  const auto paths =
+      browser::sample_candidate_paths(rng, static_cast<std::size_t>(state.range(0)));
+  const auto policy = ppl::parse_policy(
+      "policy { acl { deny 3-*; allow *; } require mtu >= 1280; order latency asc; }");
+  for (auto _ : state) {
+    auto copy = paths;
+    benchmark::DoNotOptimize(policy.value().apply(std::move(copy)));
+  }
+}
+BENCHMARK(BM_PplApply)->Arg(10)->Arg(100);
+
+void BM_SequenceMatch(benchmark::State& state) {
+  Rng rng(9);
+  const auto paths = browser::sample_candidate_paths(rng, 50);
+  const auto seq = ppl::Sequence::parse("1-* * 2-* 3-*?");
+  for (auto _ : state) {
+    std::size_t matched = 0;
+    for (const auto& p : paths) {
+      matched += seq.value().matches(p) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+}
+BENCHMARK(BM_SequenceMatch);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  net::Adjacency adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (int e = 0; e < 4; ++e) {
+      const auto j = static_cast<std::uint32_t>(rng.next_below(n));
+      if (j != i) adj[i].push_back(net::GraphEdge{j, 1 + rng.next_double() * 9, static_cast<std::uint32_t>(e)});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::dijkstra(adj, 0));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(64)->Arg(512);
+
+void BM_BoxStats(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.next_normal(100, 15));
+  for (auto _ : state) {
+    auto copy = samples;
+    benchmark::DoNotOptimize(box_stats(std::move(copy)));
+  }
+}
+BENCHMARK(BM_BoxStats);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction benches: trial runners and
+// paper-style box-plot tables.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pan::bench {
+
+struct Series {
+  std::string label;
+  std::vector<double> samples_ms;
+};
+
+inline void print_box_table(const std::string& title, const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-28s %5s %8s %8s %8s %8s %8s %8s\n", "experiment", "n", "min", "q1", "median",
+              "q3", "max", "mean");
+  double axis_min = 1e300;
+  double axis_max = -1e300;
+  std::vector<BoxStats> stats;
+  for (const Series& s : series) {
+    const BoxStats box = box_stats(s.samples_ms);
+    stats.push_back(box);
+    std::printf("%-28s %5zu %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n", s.label.c_str(), box.count,
+                box.min, box.q1, box.median, box.q3, box.max, box.mean);
+    axis_min = std::min(axis_min, box.min);
+    axis_max = std::max(axis_max, box.max);
+  }
+  if (axis_max <= axis_min) axis_max = axis_min + 1;
+  // Pad the axis slightly so whiskers do not touch the frame.
+  const double pad = (axis_max - axis_min) * 0.05;
+  axis_min -= pad;
+  axis_max += pad;
+  std::printf("\n  box plot, axis %.2f .. %.2f ms\n", axis_min, axis_max);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::printf("  %-26s |%s|\n", series[i].label.c_str(),
+                ascii_box_row(stats[i], axis_min, axis_max, 60).c_str());
+  }
+}
+
+/// Runs `trial` n times collecting milliseconds.
+inline std::vector<double> run_trials(std::size_t n, const std::function<double()>& trial) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(trial());
+  return out;
+}
+
+}  // namespace pan::bench

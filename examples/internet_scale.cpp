@@ -1,0 +1,99 @@
+// Internet-scale control plane: a randomly generated 3-ISD world with core
+// rings, dual-homed leaves, and cross-ISD peering links. Shows the paper's
+// "dozens of potential paths" claim concretely: per-pair path diversity,
+// what peering shortcuts buy, and how the control plane scales.
+#include <algorithm>
+#include <cstdio>
+
+#include "scion/topo_gen.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+using namespace pan;
+using namespace pan::scion;
+
+namespace {
+
+bool is_peering_path(const Path& path) {
+  const auto& segments = path.dataplane().segments;
+  if (segments.size() != 2) return false;
+  const DataplaneSegment& first = segments.front();
+  return first.traversal_egress(first.length() - 1) != kNoIface;
+}
+
+}  // namespace
+
+int main() {
+  Logger::set_level(LogLevel::kWarn);
+  sim::Simulator sim;
+  TopoGenParams params;
+  params.seed = 2022;
+  params.isds = 3;
+  params.cores_per_isd = 4;
+  params.leaves_per_core = 2;
+  params.core_chords = 2;
+  params.inter_isd_links = 2;
+  params.peering_links = 6;
+  params.beacons_per_origin = 8;
+  GeneratedTopology world = generate_topology(sim, params);
+  Topology& topo = *world.topo;
+
+  std::printf("world: %zu ASes (%zu core, %zu leaf), %zu path segments registered\n",
+              topo.as_count(), world.core_ases.size(), world.leaf_ases.size(),
+              topo.path_infra().segment_count());
+
+  std::vector<double> diversity;
+  std::size_t pairs_with_peering_best = 0;
+  std::size_t pairs = 0;
+  double peering_gain_ms_total = 0;
+  std::size_t peering_gain_count = 0;
+
+  for (const IsdAsn src : world.leaf_ases) {
+    Daemon& daemon = topo.daemon(src);
+    for (const IsdAsn dst : world.leaf_ases) {
+      if (src == dst) continue;
+      const auto paths = daemon.query_now(dst);
+      ++pairs;
+      diversity.push_back(static_cast<double>(paths.size()));
+      if (paths.empty()) continue;
+      if (is_peering_path(paths.front())) {
+        ++pairs_with_peering_best;
+        // Gain vs the best non-peering path.
+        for (const Path& p : paths) {
+          if (!is_peering_path(p)) {
+            peering_gain_ms_total += (p.meta().latency - paths.front().meta().latency).millis();
+            ++peering_gain_count;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const BoxStats stats = box_stats(diversity);
+  std::printf("\npath diversity across %zu leaf pairs:\n", pairs);
+  std::printf("  candidates per pair: min %.0f / median %.0f / q3 %.0f / max %.0f\n",
+              stats.min, stats.median, stats.q3, stats.max);
+  std::printf("  pairs where a peering shortcut is the best path: %zu (%.0f%%)\n",
+              pairs_with_peering_best,
+              100.0 * static_cast<double>(pairs_with_peering_best) /
+                  static_cast<double>(pairs));
+  if (peering_gain_count > 0) {
+    std::printf("  average latency saved by those shortcuts: %.1f ms\n",
+                peering_gain_ms_total / static_cast<double>(peering_gain_count));
+  }
+
+  // Show one pair's choices in full.
+  const IsdAsn src = world.leaf_ases.front();
+  const IsdAsn dst = world.leaf_ases.back();
+  auto paths = topo.daemon(src).query_now(dst);
+  std::printf("\nall %zu candidate paths %s -> %s:\n", paths.size(), src.to_string().c_str(),
+              dst.to_string().c_str());
+  for (std::size_t i = 0; i < paths.size() && i < 12; ++i) {
+    std::printf("  %7.1f ms %5.1f g/GB %s%s\n", paths[i].meta().latency.millis(),
+                paths[i].meta().co2_g_per_gb, is_peering_path(paths[i]) ? "[peering] " : "",
+                paths[i].to_string().c_str());
+  }
+  if (paths.size() > 12) std::printf("  ... and %zu more\n", paths.size() - 12);
+  return 0;
+}

@@ -1,0 +1,377 @@
+#include "core/browser.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pan::browser {
+
+namespace {
+constexpr std::string_view kLog = "browser";
+}
+
+struct Browser::DirectOrigin {
+  struct Entry {
+    std::unique_ptr<http::LegacyHttpConnection> conn;
+    std::size_t outstanding = 0;
+  };
+  std::vector<Entry> conns;
+  std::deque<std::pair<http::HttpRequest, http::HttpClientStream::ResponseFn>> waiting;
+};
+
+struct Browser::PageLoad {
+  std::string url_text;
+  http::Url url;
+  LoadFn on_loaded;
+  TimePoint started;
+  PageLoadResult result;
+  // Work queue of resource indices not yet started (index into
+  // result.resources; 0 is the main document, handled separately).
+  std::deque<std::size_t> queue;
+  std::size_t in_flight = 0;
+  std::size_t remaining = 0;  // resources not yet finished (incl. main doc)
+  bool settled = false;
+  /// Strict mode for the whole page (site toggle / Strict-SCION pin on the
+  /// main document's host): every sub-resource request inherits it.
+  bool page_strict = false;
+  sim::EventId timeout_event = sim::kInvalidEventId;
+};
+
+Browser::Browser(sim::Simulator& sim, BrowserExtension& extension, BrowserConfig config)
+    : sim_(sim), config_(config), extension_(&extension) {}
+
+Browser::Browser(sim::Simulator& sim, net::Host& host, dns::Resolver& resolver,
+                 BrowserConfig config)
+    : sim_(sim), config_(config), host_(&host), resolver_(&resolver) {}
+
+Browser::~Browser() = default;
+
+void Browser::load_page(const std::string& url, LoadFn on_loaded) {
+  auto page = std::make_shared<PageLoad>();
+  page->url_text = url;
+  page->on_loaded = std::move(on_loaded);
+  page->started = sim_.now();
+  const auto parsed = http::parse_url(url);
+  if (!parsed.ok()) {
+    page->result.url = url;
+    page->result.ok = false;
+    page->on_loaded(std::move(page->result));
+    return;
+  }
+  page->url = parsed.value();
+  page->page_strict = extension_ != nullptr && extension_->strict_for(page->url.host);
+  page->result.url = url;
+  ResourceOutcome main_doc;
+  main_doc.url = url;
+  page->result.resources.push_back(std::move(main_doc));
+  page->remaining = 1;
+
+  page->timeout_event = sim_.schedule_after(config_.page_timeout, [this, page] {
+    if (!page->settled) {
+      PAN_WARN(kLog) << "page load timeout for " << page->url_text;
+      settle(page);
+    }
+  });
+
+  fetch_resource(page, 0);
+}
+
+void Browser::fetch_resource(const std::shared_ptr<PageLoad>& page, std::size_t index) {
+  ResourceOutcome& outcome = page->result.resources[index];
+  const auto url = index == 0 ? Result<http::Url>(page->url)
+                              : resolve_resource_url(page->url, outcome.url);
+  if (!url.ok()) {
+    outcome.ok = false;
+    outcome.status = 0;
+    resource_done(page, index);
+    return;
+  }
+  if (extension_ != nullptr) {
+    fetch_via_extension(page, index, url.value());
+  } else {
+    fetch_direct(page, index, url.value());
+  }
+}
+
+void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::size_t index,
+                                  const http::Url& url) {
+  http::HttpRequest request;
+  request.method = "GET";
+  request.target = url.to_string();  // absolute form toward the proxy
+  request.headers.set("Host", url.authority());
+  request.headers.set("User-Agent", "pan-browser/1.0");
+  add_conditional_headers(url.to_string(), request);
+
+  proxy::ProxyRequestOptions options;
+  options.strict = page->page_strict || extension_->strict_for(url.host);
+
+  const TimePoint begun = sim_.now();
+  extension_->proxy().fetch(
+      std::move(request), options,
+      [this, page, index, url, begun](proxy::ProxyResult result) {
+        if (page->settled) return;
+        extension_->observe_response(url.host, result.response);
+        if (maybe_follow_redirect(page, index, url, result.response.status,
+                                  result.response.headers.get("Location"))) {
+          return;
+        }
+        ResourceOutcome& outcome = page->result.resources[index];
+        bool from_cache = false;
+        const Bytes* effective_body =
+            apply_cache(url.to_string(), result.response.status, result.response, &from_cache);
+        outcome.from_cache = from_cache;
+        outcome.elapsed = sim_.now() - begun;
+        outcome.status = result.response.status;
+        outcome.transport = result.transport;
+        outcome.policy_compliant = result.policy_compliant;
+        outcome.path_fingerprint = result.path_fingerprint;
+        outcome.bytes = effective_body->size();
+        outcome.blocked = result.transport == proxy::TransportUsed::kBlocked;
+        outcome.ok = (result.response.ok() || from_cache) &&
+                     result.transport != proxy::TransportUsed::kBlocked &&
+                     result.transport != proxy::TransportUsed::kError;
+        if (index == 0 && outcome.ok) {
+          // Discover sub-resources.
+          const std::string body(reinterpret_cast<const char*>(effective_body->data()),
+                                 effective_body->size());
+          for (const std::string& res : parse_document(body)) {
+            ResourceOutcome sub;
+            sub.url = res;
+            page->result.resources.push_back(std::move(sub));
+            ++page->remaining;
+            page->queue.push_back(page->result.resources.size() - 1);
+          }
+          sim_.schedule_after(config_.parse_delay, [this, page] { pump_queue(page); });
+        }
+        resource_done(page, index);
+      });
+}
+
+void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t index,
+                           const http::Url& url) {
+  const TimePoint begun = sim_.now();
+  resolver_->resolve(url.host, [this, page, index, url,
+                                begun](Result<dns::RecordSet> records) {
+    if (page->settled) return;
+    ResourceOutcome& outcome = page->result.resources[index];
+    if (!records.ok() || records.value().a.empty()) {
+      outcome.ok = false;
+      outcome.status = 0;
+      outcome.elapsed = sim_.now() - begun;
+      resource_done(page, index);
+      return;
+    }
+    const net::IpAddr ip = records.value().a.front();
+
+    http::HttpRequest request;
+    request.method = "GET";
+    request.target = url.path;
+    request.headers.set("Host", url.authority());
+    request.headers.set("User-Agent", "pan-browser/1.0");
+    add_conditional_headers(url.to_string(), request);
+
+    const std::string origin_key = url.authority();
+    DirectOrigin& origin = *direct_pool_.try_emplace(origin_key,
+                                                     std::make_unique<DirectOrigin>())
+                                .first->second;
+    origin.waiting.emplace_back(
+        std::move(request),
+        [this, page, index, url, begun](Result<http::HttpResponse> result) {
+          if (page->settled) return;
+          ResourceOutcome& res_outcome = page->result.resources[index];
+          res_outcome.elapsed = sim_.now() - begun;
+          if (!result.ok()) {
+            res_outcome.ok = false;
+            resource_done(page, index);
+            return;
+          }
+          if (maybe_follow_redirect(page, index, url, result.value().status,
+                                    result.value().headers.get("Location"))) {
+            return;
+          }
+          const http::HttpResponse& response = result.value();
+          bool from_cache = false;
+          const Bytes* effective_body =
+              apply_cache(url.to_string(), response.status, response, &from_cache);
+          res_outcome.from_cache = from_cache;
+          res_outcome.ok = response.ok() || from_cache;
+          res_outcome.status = response.status;
+          res_outcome.transport = proxy::TransportUsed::kIp;
+          res_outcome.bytes = effective_body->size();
+          if (index == 0 && res_outcome.ok) {
+            const std::string body(reinterpret_cast<const char*>(effective_body->data()),
+                                   effective_body->size());
+            for (const std::string& res : parse_document(body)) {
+              ResourceOutcome sub;
+            sub.url = res;
+            page->result.resources.push_back(std::move(sub));
+              ++page->remaining;
+              page->queue.push_back(page->result.resources.size() - 1);
+            }
+            sim_.schedule_after(config_.parse_delay, [this, page] { pump_queue(page); });
+          }
+          resource_done(page, index);
+        });
+    dispatch_direct(origin_key, ip, url.port);
+  });
+}
+
+void Browser::dispatch_direct(const std::string& origin_key, net::IpAddr ip,
+                              std::uint16_t port) {
+  DirectOrigin& origin = *direct_pool_[origin_key];
+  std::erase_if(origin.conns, [](const DirectOrigin::Entry& e) {
+    return e.conn->transport().state() == transport::Connection::State::kClosed &&
+           e.outstanding == 0;
+  });
+  while (!origin.waiting.empty()) {
+    DirectOrigin::Entry* chosen = nullptr;
+    for (DirectOrigin::Entry& entry : origin.conns) {
+      if (entry.outstanding == 0 &&
+          entry.conn->transport().state() != transport::Connection::State::kClosed) {
+        chosen = &entry;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      if (origin.conns.size() >= config_.max_conns_per_origin) return;
+      origin.conns.push_back(DirectOrigin::Entry{
+          std::make_unique<http::LegacyHttpConnection>(*host_, net::Endpoint{ip, port}), 0});
+      chosen = &origin.conns.back();
+    }
+    auto [request, cb] = std::move(origin.waiting.front());
+    origin.waiting.pop_front();
+    ++chosen->outstanding;
+    http::LegacyHttpConnection* conn = chosen->conn.get();
+    conn->fetch(request, [this, origin_key, ip, port, conn,
+                          cb = std::move(cb)](Result<http::HttpResponse> result) {
+      DirectOrigin& o = *direct_pool_[origin_key];
+      for (DirectOrigin::Entry& entry : o.conns) {
+        if (entry.conn.get() == conn && entry.outstanding > 0) {
+          --entry.outstanding;
+          break;
+        }
+      }
+      cb(std::move(result));
+      dispatch_direct(origin_key, ip, port);
+    });
+  }
+}
+
+void Browser::add_conditional_headers(const std::string& url_text,
+                                      http::HttpRequest& request) const {
+  if (!config_.enable_cache) return;
+  const auto it = cache_.find(url_text);
+  if (it != cache_.end()) {
+    request.headers.set("If-None-Match", "\"" + it->second.etag + "\"");
+  }
+}
+
+const Bytes* Browser::apply_cache(const std::string& url_text, int status,
+                                  const http::HttpResponse& response, bool* from_cache) {
+  *from_cache = false;
+  if (!config_.enable_cache) return &response.body;
+  if (status == 304) {
+    const auto it = cache_.find(url_text);
+    if (it != cache_.end()) {
+      *from_cache = true;
+      return &it->second.body;
+    }
+    return &response.body;  // 304 without a cache entry: treat as empty
+  }
+  if (status == 200) {
+    if (const auto etag = response.headers.get("ETag")) {
+      std::string value = *etag;
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      cache_[url_text] = CacheEntry{std::move(value), response.body};
+    }
+  }
+  return &response.body;
+}
+
+bool Browser::maybe_follow_redirect(const std::shared_ptr<PageLoad>& page, std::size_t index,
+                                    const http::Url& current_url, int status,
+                                    const std::optional<std::string>& location) {
+  const bool is_redirect =
+      status == 301 || status == 302 || status == 303 || status == 307 || status == 308;
+  if (!is_redirect || !location.has_value()) return false;
+  ResourceOutcome& outcome = page->result.resources[index];
+  if (outcome.redirects >= kMaxRedirects) {
+    PAN_WARN(kLog) << "redirect limit reached for " << outcome.url;
+    return false;
+  }
+  const auto target = resolve_resource_url(current_url, *location);
+  if (!target.ok()) {
+    PAN_DEBUG(kLog) << "unresolvable Location '" << *location << "': " << target.error();
+    return false;
+  }
+  ++outcome.redirects;
+  outcome.url = target.value().to_string();
+  if (index == 0) {
+    // The main document moved: relative resources resolve against the new
+    // location, and page-level strictness follows the new host.
+    page->url = target.value();
+    page->page_strict =
+        extension_ != nullptr && extension_->strict_for(target.value().host);
+  }
+  fetch_resource(page, index);
+  return true;
+}
+
+void Browser::pump_queue(const std::shared_ptr<PageLoad>& page) {
+  if (page->settled) return;
+  while (page->in_flight < config_.max_concurrent_fetches && !page->queue.empty()) {
+    const std::size_t index = page->queue.front();
+    page->queue.pop_front();
+    ++page->in_flight;
+    fetch_resource(page, index);
+  }
+}
+
+void Browser::resource_done(const std::shared_ptr<PageLoad>& page, std::size_t index) {
+  if (page->settled) return;
+  if (index != 0 && page->in_flight > 0) --page->in_flight;
+  if (page->remaining > 0) --page->remaining;
+
+  if (index == 0 && !page->result.resources[0].ok &&
+      page->result.resources[0].blocked == false) {
+    // Main document failed outright: settle immediately.
+    settle(page);
+    return;
+  }
+  if (page->remaining == 0) {
+    settle(page);
+    return;
+  }
+  pump_queue(page);
+}
+
+void Browser::settle(const std::shared_ptr<PageLoad>& page) {
+  if (page->settled) return;
+  page->settled = true;
+  sim_.cancel(page->timeout_event);
+
+  PageLoadResult& result = page->result;
+  result.plt = sim_.now() - page->started;
+  result.fully_policy_compliant = true;
+  for (const ResourceOutcome& outcome : result.resources) {
+    if (outcome.blocked) {
+      ++result.blocked;
+    } else if (!outcome.ok) {
+      ++result.failed;
+    } else if (outcome.transport == proxy::TransportUsed::kScion) {
+      ++result.over_scion;
+      if (!outcome.policy_compliant) result.fully_policy_compliant = false;
+    } else {
+      ++result.over_ip;
+      result.fully_policy_compliant = false;  // IP has no path guarantees
+    }
+  }
+  result.ok = result.resources[0].ok && result.failed == 0;
+  result.complete = result.ok && result.blocked == 0;
+  result.indicator =
+      BrowserExtension::indicator(result.over_scion, result.resources.size());
+  page->on_loaded(std::move(result));
+}
+
+}  // namespace pan::browser

@@ -1,0 +1,69 @@
+#include "core/extension.hpp"
+
+#include "http/strict_scion.hpp"
+
+namespace pan::browser {
+
+const char* to_string(OperationMode m) {
+  switch (m) {
+    case OperationMode::kOpportunistic: return "opportunistic";
+    case OperationMode::kStrict: return "strict";
+  }
+  return "?";
+}
+
+const char* to_string(IndicatorState s) {
+  switch (s) {
+    case IndicatorState::kAllScion: return "all-scion";
+    case IndicatorState::kSomeScion: return "some-scion";
+    case IndicatorState::kNoScion: return "no-scion";
+  }
+  return "?";
+}
+
+BrowserExtension::BrowserExtension(sim::Simulator& sim, proxy::SkipProxy& proxy)
+    : sim_(sim), proxy_(proxy) {}
+
+void BrowserExtension::set_site_strict(const std::string& host, bool strict) {
+  site_strict_[host] = strict;
+}
+
+void BrowserExtension::set_geofence(std::optional<ppl::Geofence> geofence) {
+  proxy_.set_geofence(std::move(geofence));
+}
+
+void BrowserExtension::set_policies(ppl::PolicySet policies) {
+  proxy_.set_policies(std::move(policies));
+}
+
+bool BrowserExtension::strict_for(const std::string& host) const {
+  if (mode_ == OperationMode::kStrict) return true;
+  if (const auto site = site_strict_.find(host); site != site_strict_.end()) {
+    return site->second;
+  }
+  return has_pin(host);
+}
+
+void BrowserExtension::observe_response(const std::string& host,
+                                        const http::HttpResponse& response) {
+  const auto directive = http::strict_scion_of(response);
+  if (!directive.has_value()) return;
+  if (directive->max_age <= Duration::zero()) {
+    pins_.erase(host);  // max-age=0 clears the pin, HSTS-style
+    return;
+  }
+  pins_[host] = sim_.now() + directive->max_age;
+}
+
+bool BrowserExtension::has_pin(const std::string& host) const {
+  const auto it = pins_.find(host);
+  return it != pins_.end() && it->second > sim_.now();
+}
+
+IndicatorState BrowserExtension::indicator(std::size_t scion_count, std::size_t total_count) {
+  if (total_count == 0 || scion_count == 0) return IndicatorState::kNoScion;
+  if (scion_count == total_count) return IndicatorState::kAllScion;
+  return IndicatorState::kSomeScion;
+}
+
+}  // namespace pan::browser

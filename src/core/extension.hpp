@@ -1,0 +1,72 @@
+// The browser extension (Section 5.1).
+//
+// Two roles, straight from the paper:
+//   1. "it presents the options and settings in the browser's user interface
+//      and configures the proxy component according to the user's
+//      preferences" — set_geofence / set_policies / set_mode forward to the
+//      SKIP proxy's control API;
+//   2. "it takes care of implementing the strict mode; as the proxy is a
+//      regular HTTP proxy it does not have the necessary context" — the
+//      extension decides per request whether strict mode applies (global
+//      toggle or a Strict-SCION pin learned from response headers) and tags
+//      the proxied request accordingly.
+//
+// It also maintains the per-page UI indicator state ("an icon in the
+// browser's UI indicates whether all, some, or no parts of the website were
+// fetched over SCION").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "proxy/skip_proxy.hpp"
+
+namespace pan::browser {
+
+enum class OperationMode : std::uint8_t {
+  kOpportunistic,  // SCION whenever available; IP fallback (default)
+  kStrict,         // all resources must load over policy-compliant SCION
+};
+
+enum class IndicatorState : std::uint8_t { kAllScion, kSomeScion, kNoScion };
+
+[[nodiscard]] const char* to_string(OperationMode m);
+[[nodiscard]] const char* to_string(IndicatorState s);
+
+class BrowserExtension {
+ public:
+  BrowserExtension(sim::Simulator& sim, proxy::SkipProxy& proxy);
+
+  [[nodiscard]] proxy::SkipProxy& proxy() { return proxy_; }
+
+  // --- user-facing settings (the extension UI) ---
+  void set_mode(OperationMode mode) { mode_ = mode; }
+  [[nodiscard]] OperationMode mode() const { return mode_; }
+  /// Strict mode for one specific site only.
+  void set_site_strict(const std::string& host, bool strict);
+  void set_geofence(std::optional<ppl::Geofence> geofence);
+  void set_policies(ppl::PolicySet policies);
+
+  // --- request pipeline hooks (called by the Browser) ---
+  /// Whether this request must be performed in strict mode.
+  [[nodiscard]] bool strict_for(const std::string& host) const;
+  /// Observes a response: learns Strict-SCION pins (HSTS-like semantics).
+  void observe_response(const std::string& host, const http::HttpResponse& response);
+  [[nodiscard]] bool has_pin(const std::string& host) const;
+  [[nodiscard]] std::size_t pin_count() const { return pins_.size(); }
+
+  // --- indicator ---
+  [[nodiscard]] static IndicatorState indicator(std::size_t scion_count,
+                                                std::size_t total_count);
+
+ private:
+  sim::Simulator& sim_;
+  proxy::SkipProxy& proxy_;
+  OperationMode mode_ = OperationMode::kOpportunistic;
+  std::unordered_map<std::string, bool> site_strict_;
+  /// Host -> pin expiry (from Strict-SCION max-age).
+  std::unordered_map<std::string, TimePoint> pins_;
+};
+
+}  // namespace pan::browser

@@ -1,0 +1,405 @@
+#include "core/layer_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pan::browser {
+
+const char* to_string(Layer l) {
+  switch (l) {
+    case Layer::kOs: return "OS";
+    case Layer::kApp: return "App";
+    case Layer::kUser: return "User";
+  }
+  return "?";
+}
+
+const char* to_string(PanProperty p) {
+  switch (p) {
+    case PanProperty::kLowLatency: return "Low latency";
+    case PanProperty::kLossRate: return "Loss rate";
+    case PanProperty::kPathMtu: return "Path MTU information";
+    case PanProperty::kBandwidth: return "Bandwidth";
+    case PanProperty::kQos: return "QoS";
+    case PanProperty::kJitterOptimization: return "Jitter optimization";
+    case PanProperty::kGeofencing: return "Geofencing (Alibi routing)";
+    case PanProperty::kOnionRouting: return "Onion routing";
+    case PanProperty::kCarbonFootprint: return "Carbon footprint reduction";
+    case PanProperty::kEthicalRouting: return "Ethical routing";
+    case PanProperty::kAlliedRouting: return "Allied AS routing";
+    case PanProperty::kPriceOptimization: return "Price optimization";
+  }
+  return "?";
+}
+
+std::vector<PanProperty> all_properties() {
+  return {PanProperty::kLowLatency,       PanProperty::kLossRate,
+          PanProperty::kPathMtu,          PanProperty::kBandwidth,
+          PanProperty::kQos,              PanProperty::kJitterOptimization,
+          PanProperty::kGeofencing,       PanProperty::kOnionRouting,
+          PanProperty::kCarbonFootprint,  PanProperty::kEthicalRouting,
+          PanProperty::kAlliedRouting,    PanProperty::kPriceOptimization};
+}
+
+char CellScore::glyph() const {
+  if (mean_achievement >= 0.85) return '@';
+  if (mean_achievement >= 0.45) return 'o';
+  return '.';
+}
+
+namespace {
+
+// --------------------------------------------------------------- helpers --
+
+double latency_of(const scion::Path& p) { return static_cast<double>(p.meta().latency.nanos()); }
+
+/// What the user sees in the extension UI: latency rounded to 10 ms buckets.
+double coarse_latency(const scion::Path& p) {
+  return std::floor(latency_of(p) / 10e6);
+}
+double coarse_bandwidth(const scion::Path& p) {
+  // The UI shows bandwidth in 1 Gbps buckets ("~3 Gbps"), so fine-grained
+  // differences are invisible to the user.
+  return std::floor(p.meta().bandwidth_bps / 1e9);
+}
+
+bool avoids(const scion::Path& p, const std::vector<scion::Isd>& isds) {
+  return std::none_of(isds.begin(), isds.end(),
+                      [&](scion::Isd isd) { return p.contains_isd(isd); });
+}
+
+template <typename Score>
+std::size_t argbest(const std::vector<scion::Path>& paths, Score score) {
+  std::size_t best = 0;
+  double best_score = score(paths[0]);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    const double s = score(paths[i]);
+    if (s < best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- selection --
+
+std::size_t pick_min_latency(const std::vector<scion::Path>& paths) {
+  return argbest(paths, latency_of);
+}
+
+std::size_t pick(Layer layer, PanProperty property, const std::vector<scion::Path>& paths,
+                 const TaskContext& ctx) {
+  switch (layer) {
+    case Layer::kOs:
+      switch (property) {
+        case PanProperty::kLowLatency: return pick_min_latency(paths);
+        case PanProperty::kLossRate: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().loss_rate;
+          });
+        case PanProperty::kPathMtu: return argbest(paths, [](const scion::Path& p) {
+            return -static_cast<double>(p.meta().mtu);
+          });
+        case PanProperty::kBandwidth: return argbest(paths, [](const scion::Path& p) {
+            return -p.meta().bandwidth_bps;
+          });
+        case PanProperty::kQos: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().all_qos_capable ? latency_of(p) : 1e18 + latency_of(p);
+          });
+        case PanProperty::kJitterOptimization: return argbest(paths, [](const scion::Path& p) {
+            return static_cast<double>(p.meta().jitter.nanos());
+          });
+        // System-level provisioning: the OS knows the organization's allied
+        // bloc and the billing plan, so it can act on them.
+        case PanProperty::kAlliedRouting: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().all_allied ? latency_of(p) : 1e18 + latency_of(p);
+          });
+        case PanProperty::kPriceOptimization: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().cost_per_gb;
+          });
+        // No context for intent-driven properties: general-purpose default.
+        default: return pick_min_latency(paths);
+      }
+    case Layer::kApp:
+      switch (property) {
+        case PanProperty::kLowLatency: return pick_min_latency(paths);
+        case PanProperty::kLossRate: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().loss_rate;
+          });
+        case PanProperty::kPathMtu: {
+          // The app knows its datagram size and filters accordingly.
+          std::size_t best = paths.size();
+          double best_latency = 0;
+          for (std::size_t i = 0; i < paths.size(); ++i) {
+            if (ctx.required_mtu != 0 && paths[i].meta().mtu < ctx.required_mtu) continue;
+            if (best == paths.size() || latency_of(paths[i]) < best_latency) {
+              best = i;
+              best_latency = latency_of(paths[i]);
+            }
+          }
+          return best == paths.size() ? pick_min_latency(paths) : best;
+        }
+        case PanProperty::kBandwidth: return argbest(paths, [](const scion::Path& p) {
+            return -p.meta().bandwidth_bps;
+          });
+        case PanProperty::kQos: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().all_qos_capable ? latency_of(p) : 1e18 + latency_of(p);
+          });
+        case PanProperty::kJitterOptimization:
+          // Only optimized when the app knows the flow is realtime.
+          if (ctx.realtime_flow) {
+            return argbest(paths, [](const scion::Path& p) {
+              return static_cast<double>(p.meta().jitter.nanos());
+            });
+          }
+          return pick_min_latency(paths);
+        // Intent-driven: the app does not know the user's regions, CO2 /
+        // ethics / allied / price preferences.
+        default: return pick_min_latency(paths);
+      }
+    case Layer::kUser:
+      switch (property) {
+        case PanProperty::kGeofencing: {
+          std::size_t best = paths.size();
+          double best_coarse = 0;
+          for (std::size_t i = 0; i < paths.size(); ++i) {
+            if (ctx.wants_geofence && !avoids(paths[i], ctx.avoid_isds)) continue;
+            if (best == paths.size() || coarse_latency(paths[i]) < best_coarse) {
+              best = i;
+              best_coarse = coarse_latency(paths[i]);
+            }
+          }
+          return best == paths.size() ? 0 : best;
+        }
+        case PanProperty::kCarbonFootprint: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().co2_g_per_gb;
+          });
+        case PanProperty::kEthicalRouting: return argbest(paths, [](const scion::Path& p) {
+            return -p.meta().min_ethics_rating;
+          });
+        case PanProperty::kAlliedRouting: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().all_allied ? coarse_latency(p) : 1e18 + coarse_latency(p);
+          });
+        case PanProperty::kPriceOptimization: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().cost_per_gb;
+          });
+        case PanProperty::kQos: return argbest(paths, [](const scion::Path& p) {
+            return p.meta().all_qos_capable ? coarse_latency(p) : 1e18 + coarse_latency(p);
+          });
+        case PanProperty::kLowLatency: return argbest(paths, coarse_latency);
+        case PanProperty::kBandwidth: return argbest(paths, [](const scion::Path& p) {
+            return -coarse_bandwidth(p);
+          });
+        // Loss, MTU, jitter are abstracted away from the UI: the user falls
+        // back to coarse latency, which correlates only weakly.
+        default: return argbest(paths, coarse_latency);
+      }
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- scoring --
+
+double ratio_score(double best, double chosen) {
+  if (chosen <= 0 && best <= 0) return 1.0;
+  if (chosen <= 0) return 1.0;
+  const double r = (best + 1e-12) / (chosen + 1e-12);
+  return std::clamp(r, 0.0, 1.0);
+}
+
+double score(PanProperty property, const std::vector<scion::Path>& paths, std::size_t chosen,
+             const TaskContext& ctx) {
+  const scion::Path& path = paths[chosen];
+  switch (property) {
+    case PanProperty::kLowLatency: {
+      const double best = latency_of(paths[pick_min_latency(paths)]);
+      return ratio_score(best, latency_of(path));
+    }
+    case PanProperty::kLossRate: {
+      double best = 1.0;
+      for (const scion::Path& p : paths) best = std::min(best, p.meta().loss_rate);
+      return ratio_score(best, path.meta().loss_rate);
+    }
+    case PanProperty::kPathMtu: {
+      if (ctx.required_mtu == 0) return 1.0;
+      bool feasible = false;
+      for (const scion::Path& p : paths) feasible |= p.meta().mtu >= ctx.required_mtu;
+      if (!feasible) return 1.0;
+      return path.meta().mtu >= ctx.required_mtu ? 1.0 : 0.0;
+    }
+    case PanProperty::kBandwidth: {
+      double best = 0;
+      for (const scion::Path& p : paths) best = std::max(best, p.meta().bandwidth_bps);
+      return ratio_score(path.meta().bandwidth_bps, best) == 0
+                 ? 0
+                 : path.meta().bandwidth_bps / best;
+    }
+    case PanProperty::kQos: {
+      bool feasible = false;
+      for (const scion::Path& p : paths) feasible |= p.meta().all_qos_capable;
+      if (!feasible) return 1.0;
+      return path.meta().all_qos_capable ? 1.0 : 0.0;
+    }
+    case PanProperty::kJitterOptimization: {
+      double best = 1e18;
+      for (const scion::Path& p : paths) {
+        best = std::min(best, static_cast<double>(p.meta().jitter.nanos()));
+      }
+      return ratio_score(best, static_cast<double>(path.meta().jitter.nanos()));
+    }
+    case PanProperty::kGeofencing: {
+      if (!ctx.wants_geofence) return 1.0;
+      bool feasible = false;
+      for (const scion::Path& p : paths) feasible |= avoids(p, ctx.avoid_isds);
+      if (!feasible) return 1.0;
+      return avoids(path, ctx.avoid_isds) ? 1.0 : 0.0;
+    }
+    case PanProperty::kOnionRouting:
+      // Decision task, scored directly in select_and_score.
+      return 0.0;
+    case PanProperty::kCarbonFootprint: {
+      if (!ctx.wants_low_co2) return 1.0;
+      double best = 1e18;
+      for (const scion::Path& p : paths) best = std::min(best, p.meta().co2_g_per_gb);
+      return ratio_score(best, path.meta().co2_g_per_gb);
+    }
+    case PanProperty::kEthicalRouting: {
+      if (!ctx.wants_ethical) return 1.0;
+      double best = 0;
+      for (const scion::Path& p : paths) best = std::max(best, p.meta().min_ethics_rating);
+      if (best <= 0) return 1.0;
+      return path.meta().min_ethics_rating / best;
+    }
+    case PanProperty::kAlliedRouting: {
+      if (!ctx.wants_allied) return 1.0;
+      bool feasible = false;
+      for (const scion::Path& p : paths) feasible |= p.meta().all_allied;
+      if (!feasible) return 1.0;
+      return path.meta().all_allied ? 1.0 : 0.0;
+    }
+    case PanProperty::kPriceOptimization: {
+      if (!ctx.wants_cheap) return 1.0;
+      double best = 1e18;
+      for (const scion::Path& p : paths) best = std::min(best, p.meta().cost_per_gb);
+      return ratio_score(best, path.meta().cost_per_gb);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+SelectionOutcome select_and_score(Layer layer, PanProperty property,
+                                  const std::vector<scion::Path>& candidates,
+                                  const TaskContext& context, Rng& /*rng*/) {
+  SelectionOutcome out;
+  if (candidates.empty()) return out;
+
+  if (property == PanProperty::kOnionRouting) {
+    // Decision, not selection: should anonymity be enabled for this
+    // destination? OS: never knows. App: only if it classified the site.
+    // User: always knows their own sensitivity.
+    bool decision = false;
+    switch (layer) {
+      case Layer::kOs: decision = false; break;
+      case Layer::kApp: decision = context.app_knows_privacy && context.privacy_sensitive; break;
+      case Layer::kUser: decision = context.privacy_sensitive; break;
+    }
+    out.achievement = decision == context.privacy_sensitive ? 1.0 : 0.0;
+    return out;
+  }
+
+  out.chosen_index = pick(layer, property, candidates, context);
+  out.achievement = score(property, candidates, out.chosen_index, context);
+  return out;
+}
+
+std::vector<scion::Path> sample_candidate_paths(Rng& rng, std::size_t count) {
+  std::vector<scion::Path> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t hop_count = 2 + rng.next_below(5);
+    std::vector<scion::PathHop> hops;
+    bool all_qos = true;
+    bool all_allied = true;
+    double min_ethics = 100;
+    for (std::size_t h = 0; h < hop_count; ++h) {
+      scion::PathHop hop;
+      hop.isd_as = scion::IsdAsn{static_cast<scion::Isd>(1 + rng.next_below(5)),
+                                 0xff00'0000'0100ULL + rng.next_below(64)};
+      hop.as_meta.country = std::string(1, static_cast<char>('A' + rng.next_below(26))) + "X";
+      hop.as_meta.qos_capable = rng.chance(0.75);
+      hop.as_meta.allied = rng.chance(0.7);
+      hop.as_meta.ethics_rating = 20 + rng.next_double() * 75;
+      all_qos = all_qos && hop.as_meta.qos_capable;
+      all_allied = all_allied && hop.as_meta.allied;
+      min_ethics = std::min(min_ethics, hop.as_meta.ethics_rating);
+      hops.push_back(std::move(hop));
+    }
+    scion::PathMetadata meta;
+    meta.latency = microseconds(static_cast<std::int64_t>(
+        5'000 + rng.next_exponential(40'000)));
+    meta.bandwidth_bps = 100e6 * static_cast<double>(1 + rng.next_below(100));
+    static constexpr std::size_t kMtus[] = {1280, 1400, 1500, 9000};
+    meta.mtu = kMtus[rng.next_below(4)];
+    meta.loss_rate = rng.next_double() * 0.02;
+    meta.jitter = microseconds(static_cast<std::int64_t>(rng.next_double() * 5'000));
+    meta.co2_g_per_gb = 5 + rng.next_double() * 95;
+    meta.cost_per_gb = 1 + rng.next_double() * 49;
+    meta.min_ethics_rating = min_ethics;
+    meta.all_qos_capable = all_qos;
+    meta.all_allied = all_allied;
+    meta.expiry_s = UINT32_MAX;
+    out.emplace_back(hops.front().isd_as, hops.back().isd_as, std::move(hops), meta,
+                     scion::DataplanePath{});
+  }
+  return out;
+}
+
+TaskContext sample_context(PanProperty property, Rng& rng) {
+  TaskContext ctx;
+  switch (property) {
+    case PanProperty::kGeofencing:
+      ctx.wants_geofence = true;
+      ctx.avoid_isds.push_back(static_cast<scion::Isd>(1 + rng.next_below(5)));
+      break;
+    case PanProperty::kOnionRouting:
+      ctx.privacy_sensitive = true;
+      ctx.app_knows_privacy = rng.chance(0.6);  // medical site heuristics etc.
+      break;
+    case PanProperty::kCarbonFootprint: ctx.wants_low_co2 = true; break;
+    case PanProperty::kEthicalRouting: ctx.wants_ethical = true; break;
+    case PanProperty::kAlliedRouting: ctx.wants_allied = true; break;
+    case PanProperty::kPriceOptimization: ctx.wants_cheap = true; break;
+    case PanProperty::kJitterOptimization: ctx.realtime_flow = true; break;
+    case PanProperty::kPathMtu: ctx.required_mtu = rng.chance(0.5) ? 1400 : 1500; break;
+    default: break;
+  }
+  return ctx;
+}
+
+std::vector<Table1Row> compute_table1(std::size_t trials, std::uint64_t seed) {
+  std::vector<Table1Row> table;
+  Rng rng(seed);
+  for (const PanProperty property : all_properties()) {
+    Table1Row row;
+    row.property = property;
+    double sums[3] = {0, 0, 0};
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::vector<scion::Path> candidates =
+          sample_candidate_paths(rng, 8 + rng.next_below(12));
+      const TaskContext ctx = sample_context(property, rng);
+      const Layer layers[3] = {Layer::kOs, Layer::kApp, Layer::kUser};
+      for (int l = 0; l < 3; ++l) {
+        sums[l] += select_and_score(layers[l], property, candidates, ctx, rng).achievement;
+      }
+    }
+    row.os.mean_achievement = sums[0] / static_cast<double>(trials);
+    row.app.mean_achievement = sums[1] / static_cast<double>(trials);
+    row.user.mean_achievement = sums[2] / static_cast<double>(trials);
+    table.push_back(row);
+  }
+  return table;
+}
+
+}  // namespace pan::browser

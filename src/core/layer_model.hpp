@@ -1,0 +1,103 @@
+// The Table 1 model: at which layer (OS / application / user) can a PAN
+// property be meaningfully acted on?
+//
+// We make the paper's argument computable. Each layer is a path selector
+// with a different information set:
+//   - the OS sees transport metrics (latency, loss, MTU, bandwidth, jitter,
+//     QoS) but neither application context nor user intent;
+//   - the application additionally sees per-request context (realtime flow,
+//     required MTU, privacy-sensitive destination);
+//   - the user holds intent (geofence regions, CO2/ethics/allied/price
+//     preferences) and sees a coarse path UI (AS/country list, latency in
+//     10 ms buckets) but none of the metrics lower layers abstract away
+//     (loss, MTU, jitter).
+// For each property we run many randomized scenarios, let each layer pick a
+// path (or make the relevant decision) with only its own information, and
+// score the outcome against an oracle. Averaged achievement maps to the
+// paper's ●/◐/○ marks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scion/path.hpp"
+#include "util/rng.hpp"
+
+namespace pan::browser {
+
+enum class Layer : std::uint8_t { kOs, kApp, kUser };
+
+enum class PanProperty : std::uint8_t {
+  kLowLatency,
+  kLossRate,
+  kPathMtu,
+  kBandwidth,
+  kQos,
+  kJitterOptimization,
+  kGeofencing,
+  kOnionRouting,
+  kCarbonFootprint,
+  kEthicalRouting,
+  kAlliedRouting,
+  kPriceOptimization,
+};
+
+[[nodiscard]] const char* to_string(Layer l);
+[[nodiscard]] const char* to_string(PanProperty p);
+[[nodiscard]] std::vector<PanProperty> all_properties();
+
+/// Hidden ground truth of one scenario: what the user/application actually
+/// wants. Layers only see the slices their information set includes.
+struct TaskContext {
+  // User intent (visible to the user layer only).
+  bool wants_geofence = false;
+  std::vector<scion::Isd> avoid_isds;
+  bool wants_low_co2 = false;
+  bool wants_ethical = false;
+  bool wants_allied = false;
+  bool wants_cheap = false;
+  bool privacy_sensitive = false;  // destination deserves anonymity
+
+  // Application context (visible to app + user layers).
+  bool realtime_flow = false;      // e.g. conferencing voice channel
+  std::size_t required_mtu = 0;    // e.g. IoT datagram size
+  bool app_knows_privacy = false;  // app can classify the site (e.g. medical)
+};
+
+/// Outcome of one scenario for one layer.
+struct SelectionOutcome {
+  std::size_t chosen_index = 0;
+  /// 0..1 achievement of the property relative to the oracle.
+  double achievement = 0;
+};
+
+/// Runs the layer's selector on candidate paths for the given property.
+[[nodiscard]] SelectionOutcome select_and_score(Layer layer, PanProperty property,
+                                                const std::vector<scion::Path>& candidates,
+                                                const TaskContext& context, Rng& rng);
+
+/// Aggregate achievement over `trials` randomized scenarios on `candidates`
+/// drawn fresh per trial via `sampler`.
+struct CellScore {
+  double mean_achievement = 0;
+  [[nodiscard]] char glyph() const;  // '@' full, 'o' partial, '.' none
+};
+
+struct Table1Row {
+  PanProperty property;
+  CellScore os;
+  CellScore app;
+  CellScore user;
+};
+
+/// Generates a randomized candidate path set with diverse metadata (the
+/// sampler used by the Table 1 bench and tests).
+[[nodiscard]] std::vector<scion::Path> sample_candidate_paths(Rng& rng, std::size_t count);
+
+/// Generates a randomized task context for a property.
+[[nodiscard]] TaskContext sample_context(PanProperty property, Rng& rng);
+
+/// Full table: every property x every layer, `trials` scenarios each.
+[[nodiscard]] std::vector<Table1Row> compute_table1(std::size_t trials, std::uint64_t seed);
+
+}  // namespace pan::browser

@@ -1,0 +1,46 @@
+#include "core/page.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::browser {
+
+std::string render_document(const std::vector<std::string>& resource_urls) {
+  std::string out(kPageDoctype);
+  out += "\n";
+  for (const std::string& url : resource_urls) {
+    out += "res " + url + "\n";
+  }
+  return out;
+}
+
+bool is_page_document(std::string_view body) {
+  return strings::starts_with(strings::trim(body), kPageDoctype);
+}
+
+std::vector<std::string> parse_document(std::string_view body) {
+  std::vector<std::string> out;
+  if (!is_page_document(body)) return out;
+  for (std::string_view line : strings::split(body, '\n')) {
+    line = strings::trim(line);
+    if (strings::starts_with(line, "res ")) {
+      const std::string_view url = strings::trim(line.substr(4));
+      if (!url.empty()) out.emplace_back(url);
+    }
+  }
+  return out;
+}
+
+Result<http::Url> resolve_resource_url(const http::Url& document_url,
+                                       std::string_view resource) {
+  if (strings::starts_with(resource, "http://")) {
+    return http::parse_url(resource);
+  }
+  if (!strings::starts_with(resource, "/")) {
+    return Err("relative resource must start with '/': '" + std::string(resource) + "'");
+  }
+  http::Url url = document_url;
+  url.path = std::string(resource);
+  return url;
+}
+
+}  // namespace pan::browser

@@ -1,0 +1,37 @@
+// Web page model.
+//
+// A page is a main document plus sub-resources, possibly spread across
+// origins (the paper's single-origin vs multiple-origin experiments). The
+// document body is a tiny declarative format the browser parses:
+//
+//   <!doctype pan-page>
+//   res http://static.example.org/style.css
+//   res /hero.jpg
+//
+// Relative URLs resolve against the document's origin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/url.hpp"
+
+namespace pan::browser {
+
+inline constexpr std::string_view kPageDoctype = "<!doctype pan-page>";
+
+/// Renders the document body for a resource list.
+[[nodiscard]] std::string render_document(const std::vector<std::string>& resource_urls);
+
+/// True if the body looks like a pan-page document.
+[[nodiscard]] bool is_page_document(std::string_view body);
+
+/// Extracts resource URLs (unresolved) from a document body. Non-document
+/// bodies yield an empty list (a leaf resource).
+[[nodiscard]] std::vector<std::string> parse_document(std::string_view body);
+
+/// Resolves a possibly relative resource URL against the document URL.
+[[nodiscard]] Result<http::Url> resolve_resource_url(const http::Url& document_url,
+                                                     std::string_view resource);
+
+}  // namespace pan::browser

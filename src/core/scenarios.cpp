@@ -1,0 +1,200 @@
+#include "core/scenarios.hpp"
+
+namespace pan::browser {
+
+World::World(WorldConfig config) : config_(config) {
+  scion::TopologyConfig topo_config;
+  topo_config.seed = config_.seed;
+  topo_config.daemon.lookup_latency = config_.daemon_latency;
+  topo_ = std::make_unique<scion::Topology>(sim_, topo_config);
+  resolver_ = std::make_unique<dns::Resolver>(
+      sim_, zone_, dns::ResolverConfig{.lookup_latency = config_.dns_latency});
+}
+
+World::~World() = default;
+
+http::FileServer& World::add_site(scion::HostId host, const std::string& domain,
+                                  const SiteOptions& options) {
+  auto fs = std::make_unique<http::FileServer>(sim_);
+  http::FileServer& ref = *fs;
+  if (options.strict_scion_header) {
+    ref.enable_strict_scion(options.strict_scion_max_age);
+  }
+  ref.set_think_time(options.think_time);
+  file_servers_.push_back(std::move(fs));
+  sites_[domain] = &ref;
+
+  if (options.legacy) {
+    legacy_servers_.push_back(std::make_unique<http::LegacyHttpServer>(
+        topo_->host(host), options.port, ref.handler()));
+    zone_.add_a(domain, topo_->ip(host));
+  }
+  if (options.native_scion) {
+    scion_servers_.push_back(std::make_unique<http::ScionHttpServer>(
+        topo_->scion_stack(host), options.port, ref.handler()));
+    zone_.add_scion_txt(domain, topo_->scion_addr(host));
+  }
+  return ref;
+}
+
+proxy::ReverseProxy& World::add_reverse_proxy(scion::HostId proxy_host,
+                                              const std::string& backend_domain,
+                                              scion::HostId backend_host,
+                                              const proxy::ReverseProxyConfig& config) {
+  reverse_proxies_.push_back(std::make_unique<proxy::ReverseProxy>(
+      topo_->scion_stack(proxy_host), 80, net::Endpoint{topo_->ip(backend_host), 80},
+      config));
+  zone_.add_scion_txt(backend_domain, topo_->scion_addr(proxy_host));
+  return *reverse_proxies_.back();
+}
+
+http::FileServer* World::site(const std::string& domain) {
+  const auto it = sites_.find(domain);
+  return it == sites_.end() ? nullptr : it->second;
+}
+
+std::unique_ptr<World> make_local_world(const WorldConfig& config) {
+  auto world = std::make_unique<World>(config);
+  scion::Topology& topo = world->topology();
+
+  scion::AsSpec local;
+  local.name = "local";
+  local.ia = scion::IsdAsn{1, 0xff00'0000'0110ULL};
+  local.core = true;
+  local.meta.country = "CH";
+  topo.add_as(local);
+
+  // Everything on "one laptop": fast access links, tiny latency.
+  net::LinkParams access;
+  access.latency = microseconds(50);
+  access.bandwidth_bps = 10e9;
+  access.jitter_frac = config.link_jitter;
+  world->client = topo.add_host("local", "browser", access);
+  topo.add_host("local", "scion-fs", access);
+  topo.add_host("local", "tcpip-fs", access);
+  topo.finalize();
+
+  world->add_site(topo.host_by_name("scion-fs"), "scion-fs.local",
+                  SiteOptions{.legacy = false, .native_scion = true});
+  world->add_site(topo.host_by_name("tcpip-fs"), "tcpip-fs.local",
+                  SiteOptions{.legacy = true, .native_scion = false});
+  return world;
+}
+
+std::unique_ptr<World> make_remote_world(const WorldConfig& config) {
+  auto world = std::make_unique<World>(config);
+  scion::Topology& topo = world->topology();
+
+  const auto add_as = [&](const std::string& name, scion::Isd isd, scion::Asn asn,
+                          bool core, const std::string& country) {
+    scion::AsSpec spec;
+    spec.name = name;
+    spec.ia = scion::IsdAsn{isd, asn};
+    spec.core = core;
+    spec.meta.country = country;
+    topo.add_as(spec);
+  };
+  add_as("core-1", 1, 0xff00'0000'0110ULL, true, "CH");
+  add_as("client-as", 1, 0xff00'0000'0111ULL, false, "CH");
+  add_as("near-as", 1, 0xff00'0000'0112ULL, false, "CH");
+  add_as("core-2a", 2, 0xff00'0000'0210ULL, true, "US");
+  add_as("core-2b", 2, 0xff00'0000'0220ULL, true, "US");
+  add_as("server-as", 2, 0xff00'0000'0211ULL, false, "US");
+
+  const auto link = [&](const std::string& a, const std::string& b, scion::LinkType type,
+                        std::int64_t latency_ms, double co2, double cost) {
+    scion::AsLinkSpec spec;
+    spec.a = a;
+    spec.b = b;
+    spec.type = type;
+    spec.params.latency = milliseconds(latency_ms);
+    spec.params.bandwidth_bps = type == scion::LinkType::kCore ? config.core_bandwidth_bps
+                                                               : config.child_bandwidth_bps;
+    spec.params.jitter_frac = config.link_jitter;
+    spec.params.loss_rate = config.inter_as_loss;
+    spec.co2_g_per_gb = co2;
+    spec.cost_per_gb = cost;
+    topo.add_link(spec);
+  };
+  // The BGP trap: the direct inter-ISD core link is one AS hop but 80 ms;
+  // the detour over core-2b is two hops totalling 30 ms. Shortest-AS-path
+  // routing prefers the direct link; SCION's latency-sorted paths take the
+  // detour. The direct link is a modern long-haul fiber — slow but green
+  // and cheap — so latency, CO2, and cost orderings pick different paths.
+  link("core-1", "core-2a", scion::LinkType::kCore, 80, 8, 4);
+  link("core-1", "core-2b", scion::LinkType::kCore, 25, 40, 25);
+  link("core-2b", "core-2a", scion::LinkType::kCore, 5, 15, 10);
+  link("core-1", "client-as", scion::LinkType::kParentChild, 2, 5, 5);
+  link("core-1", "near-as", scion::LinkType::kParentChild, 3, 5, 5);
+  link("core-2a", "server-as", scion::LinkType::kParentChild, 2, 8, 8);
+  link("core-2b", "server-as", scion::LinkType::kParentChild, 3, 8, 8);
+
+  net::LinkParams access;
+  access.latency = microseconds(200);
+  access.bandwidth_bps = 1e9;
+  access.jitter_frac = config.link_jitter;
+  world->client = topo.add_host("client-as", "browser", access);
+  const scion::HostId far_www = topo.add_host("server-as", "far-www", access);
+  const scion::HostId far_static = topo.add_host("server-as", "far-static", access);
+  const scion::HostId far_rp1 = topo.add_host("server-as", "far-rp1", access);
+  const scion::HostId far_rp2 = topo.add_host("server-as", "far-rp2", access);
+  const scion::HostId near_www = topo.add_host("near-as", "near-www", access);
+  const scion::HostId near_rp = topo.add_host("near-as", "near-rp", access);
+  topo.finalize();
+
+  world->add_site(far_www, "www.far.example", SiteOptions{.legacy = true});
+  world->add_reverse_proxy(far_rp1, "www.far.example", far_www);
+  world->add_site(far_static, "static.far.example", SiteOptions{.legacy = true});
+  world->add_reverse_proxy(far_rp2, "static.far.example", far_static);
+  world->add_site(near_www, "www.near.example", SiteOptions{.legacy = true});
+  world->add_reverse_proxy(near_rp, "www.near.example", near_www);
+  return world;
+}
+
+ClientSession::ClientSession(World& world, proxy::ProxyConfig proxy_config,
+                             BrowserConfig browser_config)
+    : world_(world) {
+  scion::Topology& topo = world.topology();
+  resolver_ = std::make_unique<dns::Resolver>(
+      world.sim(), world.zone(),
+      dns::ResolverConfig{.lookup_latency = world.config().dns_latency});
+  proxy_ = std::make_unique<proxy::SkipProxy>(
+      world.sim(), topo.host(world.client), topo.scion_stack(world.client),
+      topo.daemon_for(world.client), *resolver_, proxy_config);
+  extension_ = std::make_unique<BrowserExtension>(world.sim(), *proxy_);
+  browser_ = std::make_unique<Browser>(world.sim(), *extension_, browser_config);
+}
+
+PageLoadResult ClientSession::load(const std::string& url) {
+  PageLoadResult result;
+  bool done = false;
+  browser_->load_page(url, [&](PageLoadResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  world_.sim().run_until_condition([&] { return done; },
+                                   world_.sim().now() + seconds(120));
+  return result;
+}
+
+DirectSession::DirectSession(World& world, BrowserConfig browser_config) : world_(world) {
+  resolver_ = std::make_unique<dns::Resolver>(
+      world.sim(), world.zone(),
+      dns::ResolverConfig{.lookup_latency = world.config().dns_latency});
+  browser_ = std::make_unique<Browser>(world.sim(), world.topology().host(world.client),
+                                       *resolver_, browser_config);
+}
+
+PageLoadResult DirectSession::load(const std::string& url) {
+  PageLoadResult result;
+  bool done = false;
+  browser_->load_page(url, [&](PageLoadResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  world_.sim().run_until_condition([&] { return done; },
+                                   world_.sim().now() + seconds(120));
+  return result;
+}
+
+}  // namespace pan::browser

@@ -1,0 +1,149 @@
+// Experiment worlds: the paper's local setup (Figure 2) and distributed
+// setup (Figure 4), plus a ClientSession helper bundling a per-trial browser
+// + extension + SKIP proxy on the client host.
+//
+// Local world (Figure 2): everything in one AS — the browser host, a
+// SCION-enabled file server, and a TCP/IP-only file server, connected
+// through the AS router with sub-millisecond access links.
+//
+// Remote world (Figure 4): two ISDs. The client's ISD 1 contains core-1 and
+// the client leaf AS (plus a "near" leaf AS used by Figure 6). ISD 2
+// contains two core ASes and the server leaf AS. The direct core-1<->core-2a
+// link is short in AS hops but long in latency; the detour over core-2b has
+// more hops but far lower latency. BGP (shortest AS path) therefore routes
+// via the slow direct link while SCION path selection finds the fast detour
+// — reproducing Figure 5's "SCION wins on distant single-origin pages".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/browser.hpp"
+#include "http/file_server.hpp"
+#include "proxy/reverse_proxy.hpp"
+#include "scion/topology.hpp"
+
+namespace pan::browser {
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  /// Latency jitter fraction on inter-AS links (gives PLT distributions).
+  double link_jitter = 0.05;
+  Duration dns_latency = milliseconds(4);
+  Duration daemon_latency = milliseconds(1);
+  /// Core-link bandwidth (lowered by the multipath bench to create a
+  /// bandwidth-bound regime where path aggregation pays off) and
+  /// parent-child link bandwidth (the shared access segment).
+  double core_bandwidth_bps = 10e9;
+  double child_bandwidth_bps = 10e9;
+  /// Random loss rate on every inter-AS link (loss-recovery stress).
+  double inter_as_loss = 0.0;
+};
+
+struct SiteOptions {
+  bool legacy = true;             // serve over TCP-lite/IP (A record)
+  bool native_scion = false;      // serve over QUIC-lite/SCION directly
+  bool strict_scion_header = false;
+  Duration strict_scion_max_age = seconds(3600);
+  Duration think_time = Duration::zero();
+  std::uint16_t port = 80;
+};
+
+/// Owns the entire simulated world. Construct, add sites, then create
+/// ClientSessions for trials.
+class World {
+ public:
+  explicit World(WorldConfig config = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] scion::Topology& topology() { return *topo_; }
+  [[nodiscard]] dns::Zone& zone() { return zone_; }
+  [[nodiscard]] dns::Resolver& resolver() { return *resolver_; }
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
+
+  /// The designated client (browser) host; set by the builders below.
+  scion::HostId client;
+
+  /// Hosts a site on `host` under `domain` per the options. Returns the file
+  /// server so callers can add pages/blobs.
+  http::FileServer& add_site(scion::HostId host, const std::string& domain,
+                             const SiteOptions& options = {});
+
+  /// Adds a SCION reverse proxy on `proxy_host` fronting `backend_domain`'s
+  /// legacy server on `backend_host`; updates DNS so SCION detection finds
+  /// the proxy (the paper's deployment for legacy servers).
+  proxy::ReverseProxy& add_reverse_proxy(scion::HostId proxy_host,
+                                         const std::string& backend_domain,
+                                         scion::HostId backend_host,
+                                         const proxy::ReverseProxyConfig& config = {});
+
+  [[nodiscard]] http::FileServer* site(const std::string& domain);
+
+ private:
+  WorldConfig config_;
+  sim::Simulator sim_;
+  dns::Zone zone_;
+  std::unique_ptr<scion::Topology> topo_;
+  std::unique_ptr<dns::Resolver> resolver_;
+  std::vector<std::unique_ptr<http::FileServer>> file_servers_;
+  std::unordered_map<std::string, http::FileServer*> sites_;
+  std::vector<std::unique_ptr<http::LegacyHttpServer>> legacy_servers_;
+  std::vector<std::unique_ptr<http::ScionHttpServer>> scion_servers_;
+  std::vector<std::unique_ptr<proxy::ReverseProxy>> reverse_proxies_;
+};
+
+/// Figure 2's world. Hosts: "browser" (client), "scion-fs", "tcpip-fs".
+/// Domains: scion-fs.local (SCION-only), tcpip-fs.local (IP-only).
+/// (Returned by pointer: the World owns the simulator its members reference,
+/// so it must never move.)
+[[nodiscard]] std::unique_ptr<World> make_local_world(const WorldConfig& config = {});
+
+/// Figure 4's world. Client in 1-ff00:0:111. Far site www.far.example in
+/// 2-ff00:0:211 (legacy + SCION reverse proxy nearby), plus
+/// static.far.example on a second host there. Near site www.near.example in
+/// 1-ff00:0:112. BGP takes the slow direct core link; SCION can detour.
+[[nodiscard]] std::unique_ptr<World> make_remote_world(const WorldConfig& config = {});
+
+/// A per-trial client bundle: SKIP proxy + extension + browser on the
+/// world's client host. Fresh per trial so connection setup counts toward
+/// PLT, exactly like a cold browser visit.
+class ClientSession {
+ public:
+  explicit ClientSession(World& world, proxy::ProxyConfig proxy_config = {},
+                         BrowserConfig browser_config = {});
+
+  [[nodiscard]] proxy::SkipProxy& proxy() { return *proxy_; }
+  [[nodiscard]] BrowserExtension& extension() { return *extension_; }
+  [[nodiscard]] Browser& browser() { return *browser_; }
+
+  /// Loads a page and runs the simulator until it settles.
+  PageLoadResult load(const std::string& url);
+
+ private:
+  World& world_;
+  std::unique_ptr<dns::Resolver> resolver_;  // per-session resolver (cold cache)
+  std::unique_ptr<proxy::SkipProxy> proxy_;
+  std::unique_ptr<BrowserExtension> extension_;
+  std::unique_ptr<Browser> browser_;
+};
+
+/// The extension-disabled baseline browser ("BGP/IP-Only").
+class DirectSession {
+ public:
+  explicit DirectSession(World& world, BrowserConfig browser_config = {});
+
+  [[nodiscard]] Browser& browser() { return *browser_; }
+  PageLoadResult load(const std::string& url);
+
+ private:
+  World& world_;
+  std::unique_ptr<dns::Resolver> resolver_;
+  std::unique_ptr<Browser> browser_;
+};
+
+}  // namespace pan::browser

@@ -1,0 +1,58 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+
+namespace pan::crypto {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+}  // namespace
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, kBlockSize> block_key{};
+  if (key.size() > kBlockSize) {
+    const Digest hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad));
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad));
+  outer.update(std::span<const std::uint8_t>(inner_digest));
+  return outer.finalize();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::string_view message) {
+  return hmac_sha256(
+      key, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(message.data()),
+                                         message.size()));
+}
+
+ShortMac short_mac(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+  const Digest full = hmac_sha256(key, message);
+  ShortMac mac{};
+  std::copy_n(full.begin(), kShortMacSize, mac.begin());
+  return mac;
+}
+
+bool mac_equal(const ShortMac& a, const ShortMac& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kShortMacSize; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace pan::crypto

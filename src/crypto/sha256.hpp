@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for the SCION control-plane PKI substitute: beacon signatures, TRC
+// digests, and as the PRF underlying hop-field MACs (via HMAC). The
+// implementation is a straightforward streaming Merkle–Damgård compressor;
+// correctness is pinned by the FIPS test vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace pan::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Feed more input; may be called any number of times.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+
+  /// Finalizes and returns the digest. The object must not be reused after
+  /// finalize() without reset().
+  [[nodiscard]] Digest finalize();
+
+  void reset();
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot helpers.
+[[nodiscard]] Digest sha256(std::span<const std::uint8_t> data);
+[[nodiscard]] Digest sha256(std::string_view s);
+
+/// Digest as lowercase hex (for logs, TRC ids).
+[[nodiscard]] std::string hex_digest(const Digest& d);
+
+}  // namespace pan::crypto

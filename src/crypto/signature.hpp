@@ -1,0 +1,66 @@
+// Lamport one-time signatures over SHA-256.
+//
+// The SCION control plane authenticates beacons with its control-plane PKI.
+// To keep this repository dependency-free we implement Lamport signatures:
+// real, verifiable public-key signatures built only from a hash function.
+//
+// Caveat documented in DESIGN.md: Lamport keys are one-time keys; the
+// simulator reuses them across beacons. That is cryptographically unsound
+// for production but irrelevant for reproducing the paper's behaviour —
+// what matters is that tampered beacons fail verification, which they do.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace pan::crypto {
+
+inline constexpr std::size_t kSignatureBits = 256;
+
+/// 256 pairs of 32-byte hash preimages (the secret key) — 16 KiB.
+struct PrivateKey {
+  std::array<std::array<Digest, 2>, kSignatureBits> secrets;
+};
+
+/// Hashes of the preimages — 16 KiB. Identified compactly by fingerprint().
+struct PublicKey {
+  std::array<std::array<Digest, 2>, kSignatureBits> hashes;
+
+  /// 32-byte identifier: SHA-256 over the serialized key material.
+  [[nodiscard]] Digest fingerprint() const;
+
+  bool operator==(const PublicKey& other) const { return hashes == other.hashes; }
+};
+
+/// One revealed preimage per message-digest bit — 8 KiB.
+struct Signature {
+  std::array<Digest, kSignatureBits> revealed;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Result<Signature> deserialize(std::span<const std::uint8_t> data);
+};
+
+struct KeyPair {
+  PrivateKey private_key;
+  PublicKey public_key;
+};
+
+/// Deterministic key generation from an Rng (the simulation seeds per-AS
+/// generators, so topologies are reproducible end to end).
+[[nodiscard]] KeyPair generate_keypair(Rng& rng);
+
+[[nodiscard]] Signature sign(const PrivateKey& key, std::span<const std::uint8_t> message);
+[[nodiscard]] Signature sign(const PrivateKey& key, std::string_view message);
+
+[[nodiscard]] bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
+                          const Signature& sig);
+[[nodiscard]] bool verify(const PublicKey& key, std::string_view message, const Signature& sig);
+
+}  // namespace pan::crypto

@@ -1,0 +1,44 @@
+// HTTP client machinery over an abstract Bytestream.
+//
+// HttpClientStream drives one stream: requests go out (pipelined FIFO) and
+// responses come back in order. With close_after_request (the QUIC
+// one-stream-per-request mapping) the stream is FIN'd after the request.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "transport/bytestream.hpp"
+
+namespace pan::http {
+
+class HttpClientStream {
+ public:
+  using ResponseFn = std::function<void(Result<HttpResponse>)>;
+
+  HttpClientStream(transport::Bytestream& stream, bool close_after_request);
+  /// Detaches from the stream: the stream outlives this object (it is owned
+  /// by the transport connection), so the read callback must not dangle.
+  ~HttpClientStream();
+
+  HttpClientStream(const HttpClientStream&) = delete;
+  HttpClientStream& operator=(const HttpClientStream&) = delete;
+
+  void fetch(const HttpRequest& request, ResponseFn on_response);
+
+  [[nodiscard]] std::size_t outstanding() const { return waiting_.size(); }
+
+ private:
+  void fail_all(const std::string& reason);
+
+  transport::Bytestream& stream_;
+  bool close_after_request_;
+  HttpParser parser_{ParserMode::kResponse};
+  std::deque<ResponseFn> waiting_;
+  bool stream_done_ = false;
+};
+
+}  // namespace pan::http

@@ -1,0 +1,76 @@
+// Static file server: the content host of the paper's experiments ("two file
+// servers providing static content"). Resources are either explicit text
+// (page documents) or generated blobs of a given size; responses can carry
+// the Strict-SCION header and take a configurable server think time.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "http/server.hpp"
+#include "http/strict_scion.hpp"
+#include "sim/simulator.hpp"
+
+namespace pan::http {
+
+class FileServer {
+ public:
+  explicit FileServer(sim::Simulator& sim);
+
+  /// Explicit body (page documents, manifests).
+  void add_text(const std::string& path, std::string body,
+                std::string content_type = "text/html");
+  /// Deterministically generated blob of `size` bytes.
+  void add_blob(const std::string& path, std::size_t size,
+                std::string content_type = "application/octet-stream");
+  /// HTTP redirect (301/302/307/308) to `location` (absolute or path).
+  void add_redirect(const std::string& path, std::string location, int status = 302);
+  void remove(const std::string& path);
+  [[nodiscard]] bool has(const std::string& path) const { return resources_.contains(path); }
+
+  /// All responses gain "Strict-SCION: max-age=...".
+  void enable_strict_scion(Duration max_age);
+  /// Adds a fixed header to every response (e.g. "Path-Preference" for
+  /// server-side path negotiation).
+  void set_extra_header(std::string name, std::string value);
+  /// Server think time per request (default 0).
+  void set_think_time(Duration d) { think_time_ = d; }
+
+  /// The handler to plug into LegacyHttpServer / ScionHttpServer (both may
+  /// share one FileServer, like a dual-stack host).
+  [[nodiscard]] HttpServer::Handler handler();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  /// 304 Not Modified responses served (If-None-Match matches).
+  [[nodiscard]] std::uint64_t revalidations() const { return revalidations_; }
+
+ private:
+  struct Resource {
+    Bytes body;
+    std::string content_type;
+    std::string redirect_location;  // non-empty => redirect
+    int redirect_status = 0;
+  };
+
+  [[nodiscard]] HttpResponse respond_to(const HttpRequest& request);
+
+  sim::Simulator& sim_;
+  std::unordered_map<std::string, Resource> resources_;
+  std::optional<StrictScionDirective> strict_scion_;
+  std::vector<Headers::Field> extra_headers_;
+  Duration think_time_ = Duration::zero();
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t revalidations_ = 0;
+};
+
+/// The deterministic filler used for generated blobs (tests verify content
+/// integrity end to end with it).
+[[nodiscard]] Bytes generate_blob(std::size_t size, std::uint64_t seed_tag);
+
+/// The strong validator the file server uses (first 16 hex chars of the
+/// body's SHA-256); the browser cache compares against it.
+[[nodiscard]] std::string etag_of(std::span<const std::uint8_t> body);
+
+}  // namespace pan::http

@@ -1,0 +1,105 @@
+#include "http/message.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::http {
+
+void Headers::set(std::string name, std::string value) {
+  remove(name);
+  fields_.push_back(Field{std::move(name), std::move(value)});
+}
+
+void Headers::add(std::string name, std::string value) {
+  fields_.push_back(Field{std::move(name), std::move(value)});
+}
+
+void Headers::remove(std::string_view name) {
+  std::erase_if(fields_, [&](const Field& f) { return strings::iequals(f.name, name); });
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const Field& f : fields_) {
+    if (strings::iequals(f.name, name)) return f.value;
+  }
+  return std::nullopt;
+}
+
+bool Headers::contains(std::string_view name) const { return get(name).has_value(); }
+
+std::vector<std::string> Headers::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const Field& f : fields_) {
+    if (strings::iequals(f.name, name)) out.push_back(f.value);
+  }
+  return out;
+}
+
+namespace {
+
+void serialize_headers(std::string& out, const Headers& headers, std::size_t body_size) {
+  bool has_content_length = false;
+  for (const Headers::Field& f : headers.fields()) {
+    if (strings::iequals(f.name, "Content-Length")) has_content_length = true;
+    out += f.name;
+    out += ": ";
+    out += f.value;
+    out += "\r\n";
+  }
+  if (!has_content_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+Bytes HttpRequest::serialize() const {
+  std::string head = method + " " + target + " " + version + "\r\n";
+  serialize_headers(head, headers, body.size());
+  Bytes out = from_string(head);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::string HttpRequest::host() const { return headers.get("Host").value_or(""); }
+
+Bytes HttpResponse::serialize() const {
+  std::string head = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  serialize_headers(head, headers, body.size());
+  Bytes out = from_string(head);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::string status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 421: return "Misdirected Request";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+HttpResponse make_response(int status, Bytes body, std::string content_type) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = status_reason(status);
+  response.headers.set("Content-Type", std::move(content_type));
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse make_text_response(int status, std::string_view text) {
+  return make_response(status, from_string(text));
+}
+
+}  // namespace pan::http

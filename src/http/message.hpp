@@ -1,0 +1,66 @@
+// HTTP/1.1 message model: requests, responses, and case-insensitive headers.
+//
+// Bodies are always delimited by Content-Length (the serializer sets it);
+// chunked transfer encoding is not implemented — every component in this
+// repository knows body sizes up front. Documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace pan::http {
+
+/// Ordered, case-insensitive multimap of header fields.
+class Headers {
+ public:
+  void set(std::string name, std::string value);   // replaces existing
+  void add(std::string name, std::string value);   // appends
+  void remove(std::string_view name);
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> get_all(std::string_view name) const;
+
+  struct Field {
+    std::string name;
+    std::string value;
+  };
+  [[nodiscard]] const std::vector<Field>& fields() const { return fields_; }
+  [[nodiscard]] std::size_t size() const { return fields_.size(); }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Bytes body;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] std::string host() const;  // Host header (empty if absent)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Bytes body;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] bool ok() const { return status >= 200 && status < 300; }
+};
+
+[[nodiscard]] std::string status_reason(int status);
+
+[[nodiscard]] HttpResponse make_response(int status, Bytes body = {},
+                                         std::string content_type = "text/plain");
+[[nodiscard]] HttpResponse make_text_response(int status, std::string_view text);
+
+}  // namespace pan::http

@@ -1,0 +1,132 @@
+#include "http/multipath.hpp"
+
+#include "util/log.hpp"
+
+namespace pan::http {
+
+namespace {
+constexpr std::string_view kLog = "multipath";
+}
+
+const char* to_string(MultipathConfig::Schedule s) {
+  switch (s) {
+    case MultipathConfig::Schedule::kRoundRobin: return "round-robin";
+    case MultipathConfig::Schedule::kLeastOutstanding: return "least-outstanding";
+    case MultipathConfig::Schedule::kWeightedLatency: return "weighted-latency";
+  }
+  return "?";
+}
+
+MultipathScionConnection::MultipathScionConnection(scion::ScionStack& stack,
+                                                   scion::ScionEndpoint server,
+                                                   std::vector<scion::Path> paths,
+                                                   MultipathConfig config)
+    : stack_(stack), server_(server), config_(std::move(config)) {
+  channels_.reserve(paths.size());
+  for (scion::Path& path : paths) {
+    Channel channel;
+    channel.conn = std::make_unique<ScionHttpConnection>(stack_, server_, path.dataplane(),
+                                                         config_.quic);
+    channel.stats.fingerprint = path.fingerprint();
+    channel.path = std::move(path);
+    channels_.push_back(std::move(channel));
+  }
+}
+
+bool MultipathScionConnection::channel_usable(const Channel& channel) const {
+  return channel.conn != nullptr &&
+         channel.conn->transport().state() != transport::Connection::State::kClosed;
+}
+
+std::size_t MultipathScionConnection::pick_channel() {
+  const std::size_t n = channels_.size();
+  std::size_t best = n;
+  switch (config_.schedule) {
+    case MultipathConfig::Schedule::kRoundRobin: {
+      for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t candidate = (rr_cursor_ + step) % n;
+        if (channel_usable(channels_[candidate])) {
+          best = candidate;
+          rr_cursor_ = candidate + 1;
+          break;
+        }
+      }
+      break;
+    }
+    case MultipathConfig::Schedule::kLeastOutstanding: {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!channel_usable(channels_[i])) continue;
+        if (best == n || channels_[i].outstanding < channels_[best].outstanding) {
+          best = i;
+        }
+      }
+      break;
+    }
+    case MultipathConfig::Schedule::kWeightedLatency: {
+      double best_score = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!channel_usable(channels_[i])) continue;
+        const double score = static_cast<double>(channels_[i].outstanding + 1) *
+                             static_cast<double>(channels_[i].path.meta().latency.nanos());
+        if (best == n || score < best_score) {
+          best = i;
+          best_score = score;
+        }
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+void MultipathScionConnection::fetch(const HttpRequest& request,
+                                     HttpClientStream::ResponseFn on_response) {
+  attempt(request, std::move(on_response), config_.max_retries);
+}
+
+void MultipathScionConnection::attempt(const HttpRequest& request,
+                                       HttpClientStream::ResponseFn on_response,
+                                       std::size_t retries_left) {
+  const std::size_t index = pick_channel();
+  if (index >= channels_.size()) {
+    on_response(Err("multipath: no usable channel"));
+    return;
+  }
+  Channel& channel = channels_[index];
+  ++channel.outstanding;
+  ++channel.stats.requests;
+  channel.conn->fetch(request, [this, index, request, retries_left,
+                                cb = std::move(on_response)](Result<HttpResponse> result) mutable {
+    Channel& done_channel = channels_[index];
+    if (done_channel.outstanding > 0) --done_channel.outstanding;
+    if (!result.ok()) {
+      ++done_channel.stats.errors;
+      if (retries_left > 0) {
+        PAN_DEBUG(kLog) << "channel " << done_channel.stats.fingerprint << " failed ("
+                        << result.error() << "); failing over";
+        attempt(request, std::move(cb), retries_left - 1);
+        return;
+      }
+      cb(std::move(result));
+      return;
+    }
+    done_channel.stats.bytes += result.value().body.size();
+    cb(std::move(result));
+  });
+}
+
+std::vector<MultipathScionConnection::ChannelStats>
+MultipathScionConnection::channel_stats() const {
+  std::vector<ChannelStats> out;
+  out.reserve(channels_.size());
+  for (const Channel& channel : channels_) out.push_back(channel.stats);
+  return out;
+}
+
+void MultipathScionConnection::close() {
+  for (Channel& channel : channels_) {
+    if (channel.conn != nullptr) channel.conn->close();
+  }
+}
+
+}  // namespace pan::http

@@ -1,0 +1,82 @@
+// HTTP-level multipath over SCION.
+//
+// PAN architectures "simultaneously also provid[e] native inter-domain
+// multipath" (paper, Section 1): an end host can use several paths to the
+// same destination at once. This client holds one QUIC-lite connection per
+// selected path ("channel") and schedules each HTTP exchange onto a channel,
+// aggregating bandwidth across paths and failing over when a channel's
+// connection dies. Request-level striping (rather than packet-level) keeps
+// each transport connection's congestion state on a single path, the same
+// trade-off HTTP-level multipath CDN clients make.
+#pragma once
+
+#include "http/endpoints.hpp"
+#include "scion/path.hpp"
+
+namespace pan::http {
+
+struct MultipathConfig {
+  enum class Schedule {
+    kRoundRobin,        // rotate channels per request
+    kLeastOutstanding,  // least in-flight exchanges first
+    kWeightedLatency,   // minimize (outstanding+1) * path latency
+  };
+  Schedule schedule = Schedule::kLeastOutstanding;
+  /// Failover attempts on other channels when a fetch errors.
+  std::size_t max_retries = 2;
+  transport::TransportConfig quic = default_quic_config();
+};
+
+[[nodiscard]] const char* to_string(MultipathConfig::Schedule s);
+
+class MultipathScionConnection {
+ public:
+  /// One channel per path; `paths` must all lead to `server`'s AS.
+  MultipathScionConnection(scion::ScionStack& stack, scion::ScionEndpoint server,
+                           std::vector<scion::Path> paths, MultipathConfig config = {});
+
+  MultipathScionConnection(const MultipathScionConnection&) = delete;
+  MultipathScionConnection& operator=(const MultipathScionConnection&) = delete;
+
+  void fetch(const HttpRequest& request, HttpClientStream::ResponseFn on_response);
+
+  [[nodiscard]] std::size_t path_count() const { return channels_.size(); }
+
+  struct ChannelStats {
+    std::string fingerprint;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] std::vector<ChannelStats> channel_stats() const;
+
+  /// Closes every channel.
+  void close();
+
+  /// Test/diagnostic access to a channel's transport connection.
+  [[nodiscard]] transport::Connection& channel_transport(std::size_t index) {
+    return channels_[index].conn->transport();
+  }
+
+ private:
+  struct Channel {
+    std::unique_ptr<ScionHttpConnection> conn;
+    scion::Path path;
+    std::size_t outstanding = 0;
+    ChannelStats stats;
+  };
+
+  /// Index of the channel to use, or channels_.size() if none is usable.
+  [[nodiscard]] std::size_t pick_channel();
+  void attempt(const HttpRequest& request, HttpClientStream::ResponseFn on_response,
+               std::size_t retries_left);
+  [[nodiscard]] bool channel_usable(const Channel& channel) const;
+
+  scion::ScionStack& stack_;
+  scion::ScionEndpoint server_;
+  MultipathConfig config_;
+  std::vector<Channel> channels_;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace pan::http

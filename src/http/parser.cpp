@@ -1,0 +1,149 @@
+#include "http/parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::http {
+
+HttpParser::HttpParser(ParserMode mode) : mode_(mode) {}
+
+void HttpParser::feed(std::span<const std::uint8_t> data) {
+  if (failed_) return;
+  buffer_.append(reinterpret_cast<const char*>(data.data()), data.size());
+  process();
+}
+
+void HttpParser::finish() {
+  if (failed_) return;
+  if (state_ == State::kBody && body_until_eof_) {
+    response_.body = from_string(buffer_);
+    buffer_.clear();
+    emit();
+    return;
+  }
+  if (state_ == State::kBody || !buffer_.empty()) {
+    fail("stream ended mid-message");
+  }
+}
+
+void HttpParser::process() {
+  for (;;) {
+    if (failed_) return;
+    if (state_ == State::kHead) {
+      const std::size_t end = buffer_.find("\r\n\r\n");
+      if (end == std::string::npos) {
+        if (buffer_.size() > 64 * 1024) fail("header section too large");
+        return;
+      }
+      const std::string head = buffer_.substr(0, end);
+      buffer_.erase(0, end + 4);
+      if (!parse_head(head)) return;
+      state_ = State::kBody;
+    }
+    if (state_ == State::kBody) {
+      if (body_until_eof_) return;  // wait for finish()
+      if (buffer_.size() < body_expected_) return;
+      Bytes body = from_string(std::string_view(buffer_).substr(0, body_expected_));
+      buffer_.erase(0, body_expected_);
+      if (mode_ == ParserMode::kRequest) {
+        request_.body = std::move(body);
+      } else {
+        response_.body = std::move(body);
+      }
+      emit();
+      if (failed_) return;
+      state_ = State::kHead;
+    }
+  }
+}
+
+bool HttpParser::parse_head(std::string_view head) {
+  const auto lines = strings::split(head, '\n');
+  if (lines.empty()) {
+    fail("empty head");
+    return false;
+  }
+  std::string_view start_line = strings::trim(lines[0]);
+
+  Headers headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = strings::trim(lines[i]);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      fail("malformed header line: '" + std::string(line) + "'");
+      return false;
+    }
+    headers.add(std::string(strings::trim(line.substr(0, colon))),
+                std::string(strings::trim(line.substr(colon + 1))));
+  }
+
+  body_expected_ = 0;
+  body_until_eof_ = false;
+  if (const auto content_length = headers.get("Content-Length")) {
+    const auto parsed = strings::parse_u64(*content_length);
+    if (!parsed.ok()) {
+      fail("bad Content-Length: " + parsed.error());
+      return false;
+    }
+    body_expected_ = parsed.value();
+  } else if (mode_ == ParserMode::kResponse) {
+    body_until_eof_ = true;
+  }
+
+  if (mode_ == ParserMode::kRequest) {
+    // "METHOD SP target SP version"
+    const auto parts = strings::split(start_line, ' ');
+    if (parts.size() != 3) {
+      fail("malformed request line: '" + std::string(start_line) + "'");
+      return false;
+    }
+    request_ = HttpRequest{};
+    request_.method = std::string(parts[0]);
+    request_.target = std::string(parts[1]);
+    request_.version = std::string(parts[2]);
+    request_.headers = std::move(headers);
+  } else {
+    // "version SP status SP reason..."
+    const auto sp1 = start_line.find(' ');
+    const auto sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                   : start_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos) {
+      fail("malformed status line: '" + std::string(start_line) + "'");
+      return false;
+    }
+    response_ = HttpResponse{};
+    response_.version = std::string(start_line.substr(0, sp1));
+    const std::string_view status_str =
+        sp2 == std::string_view::npos ? start_line.substr(sp1 + 1)
+                                      : start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const auto status = strings::parse_u64(strings::trim(status_str));
+    if (!status.ok() || status.value() < 100 || status.value() > 599) {
+      fail("bad status code: '" + std::string(status_str) + "'");
+      return false;
+    }
+    response_.status = static_cast<int>(status.value());
+    response_.reason = sp2 == std::string_view::npos
+                           ? std::string()
+                           : std::string(strings::trim(start_line.substr(sp2 + 1)));
+    response_.headers = std::move(headers);
+  }
+  return true;
+}
+
+void HttpParser::emit() {
+  ++parsed_;
+  if (mode_ == ParserMode::kRequest) {
+    if (on_request) on_request(std::move(request_));
+    request_ = HttpRequest{};
+  } else {
+    if (on_response) on_response(std::move(response_));
+    response_ = HttpResponse{};
+  }
+}
+
+void HttpParser::fail(const std::string& reason) {
+  failed_ = true;
+  if (on_error) on_error(reason);
+}
+
+}  // namespace pan::http

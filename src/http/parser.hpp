@@ -1,0 +1,56 @@
+// Incremental HTTP/1.1 parser.
+//
+// Feed raw bytes as they arrive off a stream; complete messages pop out via
+// callbacks. One parser instance handles a sequence of messages on a
+// keep-alive stream. Bodies are Content-Length delimited; a response with no
+// Content-Length is taken to end at stream FIN (signalled via finish()).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "http/message.hpp"
+#include "util/result.hpp"
+
+namespace pan::http {
+
+enum class ParserMode { kRequest, kResponse };
+
+class HttpParser {
+ public:
+  explicit HttpParser(ParserMode mode);
+
+  /// Called for each complete request (request mode).
+  std::function<void(HttpRequest)> on_request;
+  /// Called for each complete response (response mode).
+  std::function<void(HttpResponse)> on_response;
+  /// Called on an unrecoverable parse error; the stream should be dropped.
+  std::function<void(const std::string&)> on_error;
+
+  void feed(std::span<const std::uint8_t> data);
+  /// Signals end of stream (delimits a response without Content-Length).
+  void finish();
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] std::size_t messages_parsed() const { return parsed_; }
+
+ private:
+  enum class State { kHead, kBody };
+
+  void process();
+  bool parse_head(std::string_view head);
+  void emit();
+  void fail(const std::string& reason);
+
+  ParserMode mode_;
+  State state_ = State::kHead;
+  std::string buffer_;
+  HttpRequest request_;
+  HttpResponse response_;
+  std::size_t body_expected_ = 0;
+  bool body_until_eof_ = false;
+  bool failed_ = false;
+  std::size_t parsed_ = 0;
+};
+
+}  // namespace pan::http

@@ -1,0 +1,38 @@
+// HTTP server core: parses requests off streams, invokes an (async-capable)
+// handler, and writes responses back in request order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "transport/bytestream.hpp"
+
+namespace pan::http {
+
+class HttpServer {
+ public:
+  using Respond = std::function<void(HttpResponse)>;
+  /// The handler may respond synchronously or hold Respond for later.
+  using Handler = std::function<void(const HttpRequest&, Respond)>;
+
+  explicit HttpServer(Handler handler);
+
+  /// Attaches to an incoming stream for its lifetime. Responses are written
+  /// in request order even when handlers complete out of order; the server
+  /// half-closes after answering everything once the client has FIN'd.
+  void serve(transport::Bytestream& stream);
+
+  [[nodiscard]] std::uint64_t requests_handled() const { return requests_; }
+
+ private:
+  struct StreamContext;
+
+  Handler handler_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace pan::http

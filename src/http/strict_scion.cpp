@@ -1,0 +1,34 @@
+#include "http/strict_scion.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::http {
+
+std::string StrictScionDirective::serialize() const {
+  return "max-age=" + std::to_string(static_cast<long long>(max_age.seconds()));
+}
+
+std::optional<StrictScionDirective> parse_strict_scion(std::string_view value) {
+  for (const std::string_view part : strings::split_trimmed(value, ';')) {
+    const auto eq = part.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = strings::trim(part.substr(0, eq));
+    if (!strings::iequals(key, "max-age")) continue;
+    const auto secs = strings::parse_u64(strings::trim(part.substr(eq + 1)));
+    if (!secs.ok()) return std::nullopt;
+    return StrictScionDirective{seconds(static_cast<std::int64_t>(secs.value()))};
+  }
+  return std::nullopt;
+}
+
+std::optional<StrictScionDirective> strict_scion_of(const HttpResponse& response) {
+  const auto value = response.headers.get(kStrictScionHeader);
+  if (!value.has_value()) return std::nullopt;
+  return parse_strict_scion(*value);
+}
+
+void set_strict_scion(HttpResponse& response, const StrictScionDirective& directive) {
+  response.headers.set(std::string(kStrictScionHeader), directive.serialize());
+}
+
+}  // namespace pan::http

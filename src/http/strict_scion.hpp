@@ -1,0 +1,38 @@
+// The Strict-SCION response header (Section 4.2 of the paper).
+//
+// Modeled on HTTP Strict Transport Security: a server that is fully
+// reachable over SCION (including its third-party resources) sends
+// "Strict-SCION: max-age=<seconds>"; the browser then enforces strict mode
+// for that host until the expiry. The header also doubles as a SCION
+// availability advertisement (Section 4.3), like Onion-Location for Tor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "http/message.hpp"
+#include "util/types.hpp"
+
+namespace pan::http {
+
+inline constexpr std::string_view kStrictScionHeader = "Strict-SCION";
+
+struct StrictScionDirective {
+  /// Lifetime of the strict-mode pin.
+  Duration max_age = seconds(3600);
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Parses "max-age=<seconds>" (whitespace-tolerant). Returns nullopt on a
+/// malformed value — callers must ignore bad headers, not fail the response.
+[[nodiscard]] std::optional<StrictScionDirective> parse_strict_scion(std::string_view value);
+
+/// Reads the directive off a response, if present and well-formed.
+[[nodiscard]] std::optional<StrictScionDirective> strict_scion_of(const HttpResponse& response);
+
+/// Stamps the directive onto a response.
+void set_strict_scion(HttpResponse& response, const StrictScionDirective& directive);
+
+}  // namespace pan::http

@@ -1,0 +1,49 @@
+#include "http/url.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::http {
+
+std::string Url::authority() const {
+  if (port == 80) return host;
+  return host + ":" + std::to_string(port);
+}
+
+std::string Url::origin() const { return scheme + "://" + authority(); }
+
+std::string Url::to_string() const { return origin() + path; }
+
+Result<Url> parse_url(std::string_view input) {
+  Url url;
+  std::string_view rest = input;
+  const auto scheme_end = rest.find("://");
+  if (scheme_end != std::string_view::npos) {
+    url.scheme = std::string(rest.substr(0, scheme_end));
+    rest = rest.substr(scheme_end + 3);
+  }
+  if (url.scheme != "http") {
+    return Err("unsupported scheme: '" + url.scheme + "'");
+  }
+  const auto path_start = rest.find('/');
+  std::string_view authority = rest;
+  if (path_start != std::string_view::npos) {
+    authority = rest.substr(0, path_start);
+    url.path = std::string(rest.substr(path_start));
+  }
+  if (authority.empty()) return Err("URL missing host: '" + std::string(input) + "'");
+  const auto colon = authority.find(':');
+  if (colon != std::string_view::npos) {
+    url.host = std::string(authority.substr(0, colon));
+    const auto port = strings::parse_u64(authority.substr(colon + 1));
+    if (!port.ok() || port.value() == 0 || port.value() > 65535) {
+      return Err("bad port in URL: '" + std::string(input) + "'");
+    }
+    url.port = static_cast<std::uint16_t>(port.value());
+  } else {
+    url.host = std::string(authority);
+  }
+  if (url.host.empty()) return Err("URL missing host: '" + std::string(input) + "'");
+  return url;
+}
+
+}  // namespace pan::http

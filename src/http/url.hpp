@@ -1,0 +1,26 @@
+// Tiny URL parser for the simulator's "http://host[:port]/path" world.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace pan::http {
+
+struct Url {
+  std::string scheme = "http";
+  std::string host;
+  std::uint16_t port = 80;
+  std::string path = "/";
+
+  [[nodiscard]] std::string to_string() const;
+  /// "host" or "host:port" when the port is non-default.
+  [[nodiscard]] std::string authority() const;
+  /// Scheme + authority: the origin for same-origin accounting.
+  [[nodiscard]] std::string origin() const;
+};
+
+[[nodiscard]] Result<Url> parse_url(std::string_view input);
+
+}  // namespace pan::http

@@ -1,0 +1,29 @@
+#include "net/addr.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::net {
+
+std::string IpAddr::to_string() const {
+  return strings::format("%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                         (value_ >> 8) & 0xff, value_ & 0xff);
+}
+
+Result<IpAddr> IpAddr::parse(std::string_view s) {
+  const auto parts = strings::split(s, '.');
+  if (parts.size() != 4) return Err("IP address must have 4 octets: '" + std::string(s) + "'");
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    const auto octet = strings::parse_u64(part);
+    if (!octet.ok()) return Err("bad IP octet: " + octet.error());
+    if (octet.value() > 255) return Err("IP octet out of range: '" + std::string(s) + "'");
+    value = (value << 8) | static_cast<std::uint32_t>(octet.value());
+  }
+  return IpAddr{value};
+}
+
+std::string Endpoint::to_string() const {
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace pan::net

@@ -1,0 +1,63 @@
+// Legacy (IPv4-style) addressing.
+//
+// The simulator assigns every host a 32-bit address of the form
+// (AS index + 1) << 16 | (host index + 1); the upper 16 bits act as the AS's
+// address prefix, which keeps legacy forwarding tables small and readable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace pan::net {
+
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+  /// The 16-bit AS prefix of this address.
+  [[nodiscard]] constexpr std::uint16_t prefix() const {
+    return static_cast<std::uint16_t>(value_ >> 16);
+  }
+
+  constexpr auto operator<=>(const IpAddr&) const = default;
+
+  /// Dotted-quad rendering, e.g. "10.1.0.5" — the simulator maps the 32-bit
+  /// value straight onto four octets.
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static Result<IpAddr> parse(std::string_view s);
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A (host, UDP port) endpoint.
+struct Endpoint {
+  IpAddr addr;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pan::net
+
+template <>
+struct std::hash<pan::net::IpAddr> {
+  std::size_t operator()(const pan::net::IpAddr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<pan::net::Endpoint> {
+  std::size_t operator()(const pan::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(e.addr.value()) << 16) | e.port);
+  }
+};

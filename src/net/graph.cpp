@@ -1,0 +1,63 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pan::net {
+
+std::vector<std::uint32_t> ShortestPaths::path_to(std::uint32_t dst) const {
+  if (!reachable(dst)) return {};
+  std::vector<std::uint32_t> path;
+  std::uint32_t cur = dst;
+  while (cur != UINT32_MAX) {
+    path.push_back(cur);
+    cur = parent[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths dijkstra(const Adjacency& adj, std::uint32_t src) {
+  const std::size_t n = adj.size();
+  ShortestPaths out;
+  out.distance.assign(n, ShortestPaths::kUnreachable);
+  out.parent.assign(n, UINT32_MAX);
+  out.parent_edge_tag.assign(n, UINT32_MAX);
+
+  using Entry = std::pair<double, std::uint32_t>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  out.distance[src] = 0;
+  heap.emplace(0.0, src);
+
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > out.distance[node]) continue;  // stale entry
+    for (const GraphEdge& edge : adj[node]) {
+      const double candidate = dist + edge.weight;
+      // Deterministic tie-break: strictly better distance, or equal distance
+      // with a lower-index predecessor.
+      const bool better = candidate < out.distance[edge.to] ||
+                          (candidate == out.distance[edge.to] && node < out.parent[edge.to]);
+      if (better) {
+        out.distance[edge.to] = candidate;
+        out.parent[edge.to] = node;
+        out.parent_edge_tag[edge.to] = edge.tag;
+        heap.emplace(candidate, edge.to);
+      }
+    }
+  }
+  return out;
+}
+
+std::uint32_t first_hop_tag(const ShortestPaths& paths, std::uint32_t src, std::uint32_t dst) {
+  if (dst == src || !paths.reachable(dst)) return UINT32_MAX;
+  std::uint32_t cur = dst;
+  while (paths.parent[cur] != src) {
+    cur = paths.parent[cur];
+    if (cur == UINT32_MAX) return UINT32_MAX;
+  }
+  return paths.parent_edge_tag[cur];
+}
+
+}  // namespace pan::net

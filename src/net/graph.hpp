@@ -1,0 +1,44 @@
+// Shortest-path computation used to populate legacy (BGP-like) forwarding
+// tables. Deliberately simple: Dijkstra over a weighted digraph with a
+// deterministic tie-break (lower node index wins), which emulates BGP's
+// stable-but-not-latency-optimal route choice when weights are hop counts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pan::net {
+
+struct GraphEdge {
+  std::uint32_t to = 0;
+  double weight = 1.0;
+  /// Caller-defined payload (we store the egress interface id).
+  std::uint32_t tag = 0;
+};
+
+using Adjacency = std::vector<std::vector<GraphEdge>>;
+
+struct ShortestPaths {
+  static constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+  std::vector<double> distance;
+  /// Predecessor node on the best path (UINT32_MAX for src/unreachable).
+  std::vector<std::uint32_t> parent;
+  /// Tag of the edge entering each node along its best path.
+  std::vector<std::uint32_t> parent_edge_tag;
+
+  [[nodiscard]] bool reachable(std::uint32_t node) const {
+    return distance[node] != kUnreachable;
+  }
+  /// Reconstructs src -> dst as a node sequence (empty if unreachable).
+  [[nodiscard]] std::vector<std::uint32_t> path_to(std::uint32_t dst) const;
+};
+
+[[nodiscard]] ShortestPaths dijkstra(const Adjacency& adj, std::uint32_t src);
+
+/// For routing tables: the tag of the *first* edge on the best src->dst path
+/// (i.e. which interface src should send out of), or UINT32_MAX.
+[[nodiscard]] std::uint32_t first_hop_tag(const ShortestPaths& paths, std::uint32_t src,
+                                          std::uint32_t dst);
+
+}  // namespace pan::net

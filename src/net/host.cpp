@@ -1,0 +1,95 @@
+#include "net/host.hpp"
+
+#include "util/log.hpp"
+
+namespace pan::net {
+
+namespace {
+constexpr std::string_view kLog = "host";
+}
+
+Host::Host(Network& network, NodeId node, IpAddr addr)
+    : network_(network), node_(node), addr_(addr) {
+  network_.set_handler(node_, [this](Packet&& p, IfId in_if) { handle(std::move(p), in_if); });
+}
+
+std::unique_ptr<UdpSocket> Host::udp_bind(std::uint16_t port, ReceiveFn on_receive) {
+  if (port == 0) {
+    port = allocate_ephemeral_port();
+    if (port == 0) return nullptr;
+  } else if (udp_sockets_.contains(port)) {
+    return nullptr;
+  }
+  auto socket = std::make_unique<UdpSocket>(*this, port, std::move(on_receive));
+  udp_sockets_[port] = socket.get();
+  return socket;
+}
+
+std::uint16_t Host::allocate_ephemeral_port() {
+  // Linear probe from the ephemeral base; ~25k ports is plenty per host.
+  for (std::uint32_t attempt = 0; attempt < 25000; ++attempt) {
+    const std::uint16_t candidate =
+        static_cast<std::uint16_t>(40000 + (next_ephemeral_ - 40000 + attempt) % 25000);
+    if (!udp_sockets_.contains(candidate)) {
+      next_ephemeral_ = static_cast<std::uint16_t>(candidate + 1);
+      if (next_ephemeral_ >= 65000) next_ephemeral_ = 40000;
+      return candidate;
+    }
+  }
+  return 0;
+}
+
+void Host::send_packet(Packet packet) {
+  if (network_.interface_count(node_) == 0) {
+    PAN_WARN(kLog) << network_.node_name(node_) << ": no access link";
+    return;
+  }
+  network_.send(node_, 0, std::move(packet));
+}
+
+void Host::set_scion_handler(Network::Handler handler) { scion_handler_ = std::move(handler); }
+
+void Host::handle(Packet&& packet, IfId in_if) {
+  if (packet.proto == Protocol::kScion) {
+    if (scion_handler_) {
+      scion_handler_(std::move(packet), in_if);
+    } else {
+      PAN_DEBUG(kLog) << network_.node_name(node_) << ": SCION packet but no SCION stack";
+    }
+    return;
+  }
+  if (packet.dst != addr_) {
+    PAN_DEBUG(kLog) << network_.node_name(node_) << ": misdelivered " << packet.describe();
+    return;
+  }
+  const auto it = udp_sockets_.find(packet.dst_port);
+  if (it == udp_sockets_.end()) {
+    PAN_DEBUG(kLog) << network_.node_name(node_) << ": no socket on port " << packet.dst_port;
+    return;
+  }
+  it->second->deliver(Endpoint{packet.src, packet.src_port}, std::move(packet.payload));
+}
+
+void Host::unbind(std::uint16_t port) { udp_sockets_.erase(port); }
+
+UdpSocket::UdpSocket(Host& host, std::uint16_t port, Host::ReceiveFn on_receive)
+    : host_(host), port_(port), on_receive_(std::move(on_receive)) {}
+
+UdpSocket::~UdpSocket() { host_.unbind(port_); }
+
+void UdpSocket::send_to(const Endpoint& dst, Bytes payload) {
+  Packet packet;
+  packet.proto = Protocol::kUdp;
+  packet.src = host_.address();
+  packet.src_port = port_;
+  packet.dst = dst.addr;
+  packet.dst_port = dst.port;
+  packet.payload = std::move(payload);
+  host_.send_packet(std::move(packet));
+}
+
+void UdpSocket::deliver(const Endpoint& from, Bytes payload) {
+  if (on_receive_) on_receive_(from, std::move(payload));
+}
+
+}  // namespace pan::net

@@ -1,0 +1,80 @@
+// End hosts: own an IP address, attach to their AS router through interface
+// 0, and demultiplex incoming traffic to UDP sockets (legacy) or the SCION
+// host stack (installed by the SCION module).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace pan::net {
+
+class UdpSocket;
+
+class Host {
+ public:
+  Host(Network& network, NodeId node, IpAddr addr);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] IpAddr address() const { return addr_; }
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
+
+  /// Binds a UDP socket. port == 0 picks an ephemeral port. Returns null if
+  /// the port is taken. The socket unbinds itself on destruction.
+  using ReceiveFn = std::function<void(const Endpoint& from, Bytes payload)>;
+  [[nodiscard]] std::unique_ptr<UdpSocket> udp_bind(std::uint16_t port, ReceiveFn on_receive);
+
+  /// Raw send of a prepared packet out of the access interface.
+  void send_packet(Packet packet);
+
+  /// Handler for kScion packets reaching this host (the SCION host stack).
+  void set_scion_handler(Network::Handler handler);
+
+ private:
+  friend class UdpSocket;
+  void handle(Packet&& packet, IfId in_if);
+  void unbind(std::uint16_t port);
+  std::uint16_t allocate_ephemeral_port();
+
+  Network& network_;
+  NodeId node_;
+  IpAddr addr_;
+  std::unordered_map<std::uint16_t, UdpSocket*> udp_sockets_;
+  Network::Handler scion_handler_;
+  std::uint16_t next_ephemeral_ = 40000;
+};
+
+/// A bound UDP socket. send_to() builds a kUdp packet and pushes it out the
+/// host's access link; received datagrams arrive via the bound callback.
+class UdpSocket {
+ public:
+  UdpSocket(Host& host, std::uint16_t port, Host::ReceiveFn on_receive);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  [[nodiscard]] std::uint16_t local_port() const { return port_; }
+  [[nodiscard]] Endpoint local_endpoint() const { return Endpoint{host_.address(), port_}; }
+  [[nodiscard]] Host& host() { return host_; }
+
+  void send_to(const Endpoint& dst, Bytes payload);
+
+ private:
+  friend class Host;
+  void deliver(const Endpoint& from, Bytes payload);
+
+  Host& host_;
+  std::uint16_t port_;
+  Host::ReceiveFn on_receive_;
+};
+
+}  // namespace pan::net

@@ -1,0 +1,69 @@
+// Point-to-point links with serialization delay, propagation latency,
+// bounded queueing, random loss, and MTU enforcement.
+//
+// Queueing model: each link direction tracks when its transmitter becomes
+// free (`busy_until`). A packet departs at max(now, busy_until) and the
+// backlog (depart - now) is capped by max_queue_delay — beyond that the
+// packet is tail-dropped, which produces loss under sustained overload just
+// like a bounded FIFO in a real NIC.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace pan::net {
+
+using NodeId = std::uint32_t;
+using IfId = std::uint16_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+inline constexpr IfId kInvalidIfId = static_cast<IfId>(-1);
+
+struct LinkParams {
+  Duration latency = milliseconds(1);
+  /// Bits per second.
+  double bandwidth_bps = 1e9;
+  /// Independent per-packet loss probability.
+  double loss_rate = 0.0;
+  std::size_t mtu = 1500;
+  /// Maximum tolerated transmit backlog before tail drop.
+  Duration max_queue_delay = milliseconds(50);
+  /// Uniform latency jitter as a fraction of `latency` (0 = deterministic).
+  double jitter_frac = 0.0;
+
+  [[nodiscard]] Duration transmit_time(std::size_t wire_bytes) const {
+    const double secs = static_cast<double>(wire_bytes) * 8.0 / bandwidth_bps;
+    return Duration{static_cast<std::int64_t>(secs * 1e9)};
+  }
+};
+
+/// Per-direction transmit state and counters.
+struct LinkDirection {
+  TimePoint busy_until = TimePoint::origin();
+  /// Links are FIFO: jitter varies delay but never reorders packets.
+  TimePoint last_arrival = TimePoint::origin();
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t drops_loss = 0;
+  std::uint64_t drops_queue = 0;
+  std::uint64_t drops_mtu = 0;
+  std::uint64_t drops_down = 0;
+};
+
+struct Link {
+  NodeId node_a = kInvalidNodeId;
+  NodeId node_b = kInvalidNodeId;
+  IfId if_a = kInvalidIfId;
+  IfId if_b = kInvalidIfId;
+  LinkParams params;
+  LinkDirection a_to_b;
+  LinkDirection b_to_a;
+  /// Administratively/physically down: everything sent on it is dropped
+  /// (failure injection for revocation and failover testing).
+  bool down = false;
+};
+
+}  // namespace pan::net

@@ -1,0 +1,92 @@
+// The Network ties nodes and links to the simulator: it owns topology
+// structure, moves packets between node handlers with realistic timing, and
+// keeps per-link statistics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace pan::net {
+
+class Network {
+ public:
+  /// Handler invoked when a packet arrives at a node on interface `in_if`.
+  using Handler = std::function<void(Packet&&, IfId in_if)>;
+
+  Network(sim::Simulator& sim, std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  NodeId add_node(std::string name);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  void set_handler(NodeId id, Handler handler);
+
+  /// Creates a bidirectional link; returns the interface ids assigned on
+  /// each side (interface ids are per-node and dense from 0).
+  std::pair<IfId, IfId> connect(NodeId a, NodeId b, const LinkParams& params);
+
+  /// Sends a packet out of `out_if` of `from`. The packet may be dropped
+  /// (loss, queue overflow, MTU); delivery happens via the peer's handler
+  /// after serialization + propagation delay.
+  void send(NodeId from, IfId out_if, Packet packet);
+
+  /// The node on the other end of (node, ifid).
+  [[nodiscard]] NodeId neighbor(NodeId node, IfId ifid) const;
+  /// The peer's interface id for the link at (node, ifid).
+  [[nodiscard]] IfId neighbor_ifid(NodeId node, IfId ifid) const;
+  [[nodiscard]] std::size_t interface_count(NodeId node) const;
+  [[nodiscard]] const LinkParams& link_params(NodeId node, IfId ifid) const;
+  [[nodiscard]] const Link& link_at(NodeId node, IfId ifid) const;
+
+  /// Takes a link administratively up/down (failure injection).
+  void set_link_up(NodeId node, IfId ifid, bool up);
+  [[nodiscard]] bool link_up(NodeId node, IfId ifid) const;
+
+  /// Installs a packet tracer (nullptr detaches). See net/trace.hpp.
+  void set_tracer(TraceFn tracer) { tracer_ = std::move(tracer); }
+
+  /// Aggregate drop counters across all links (telemetry for tests/benches).
+  struct DropTotals {
+    std::uint64_t loss = 0;
+    std::uint64_t queue = 0;
+    std::uint64_t mtu = 0;
+    std::uint64_t down = 0;
+  };
+  [[nodiscard]] DropTotals drop_totals() const;
+  [[nodiscard]] std::uint64_t total_bytes_sent() const;
+
+ private:
+  struct NodeState {
+    std::string name;
+    Handler handler;
+    // Interface i of this node maps to links_[interfaces[i]].
+    std::vector<LinkId> interfaces;
+  };
+
+  [[nodiscard]] const NodeState& node(NodeId id) const;
+  [[nodiscard]] NodeState& node(NodeId id);
+  [[nodiscard]] LinkId link_id_at(NodeId node, IfId ifid) const;
+
+  void trace(TraceEvent::Kind kind, TimePoint time, NodeId from, NodeId to,
+             const Packet& packet) const;
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::vector<NodeState> nodes_;
+  std::vector<Link> links_;
+  TraceFn tracer_;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace pan::net

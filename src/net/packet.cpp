@@ -1,0 +1,23 @@
+#include "net/packet.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::net {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp: return "udp";
+    case Protocol::kScion: return "scion";
+  }
+  return "?";
+}
+
+std::size_t Packet::wire_size() const { return payload.size() + kFramingOverhead; }
+
+std::string Packet::describe() const {
+  return strings::format("%s pkt#%llu %s:%u -> %s:%u (%zu B)", to_string(proto),
+                         static_cast<unsigned long long>(id), src.to_string().c_str(), src_port,
+                         dst.to_string().c_str(), dst_port, wire_size());
+}
+
+}  // namespace pan::net

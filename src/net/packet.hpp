@@ -1,0 +1,48 @@
+// The unit of transmission in the simulated network.
+//
+// A Packet carries either a legacy UDP datagram (proto kUdp: src/dst address
+// and ports are authoritative, payload is the transport frame) or a SCION
+// packet (proto kScion: the payload is the fully serialized SCION header +
+// payload and border routers parse it hop by hop; the legacy fields are
+// ignored in transit and only used for intra-AS delivery bookkeeping).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace pan::net {
+
+enum class Protocol : std::uint8_t { kUdp, kScion };
+
+[[nodiscard]] const char* to_string(Protocol p);
+
+struct Packet {
+  Protocol proto = Protocol::kUdp;
+  IpAddr src;
+  IpAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Bytes payload;
+  /// Unique id for tracing; assigned by the sender.
+  std::uint64_t id = 0;
+  /// Priority (reserved-bandwidth) traffic: exempt from best-effort queue
+  /// admission (never tail-dropped), set by border routers for packets
+  /// covered by an admitted reservation. Aggregate priority load is bounded
+  /// by the reservation admission control, not by the queue.
+  bool priority = false;
+
+  /// Bytes on the wire: payload plus link/IP/UDP framing overhead. SCION
+  /// packets carry their (variable-size) header inside `payload`, so the
+  /// same fixed framing overhead applies.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Ethernet + IP + UDP framing overhead applied to every simulated packet.
+inline constexpr std::size_t kFramingOverhead = 42;
+
+}  // namespace pan::net

@@ -1,0 +1,64 @@
+#include "net/router.hpp"
+
+#include "util/log.hpp"
+
+namespace pan::net {
+
+namespace {
+constexpr std::string_view kLog = "router";
+}
+
+Router::Router(Network& network, NodeId node) : network_(network), node_(node) {
+  network_.set_handler(node_, [this](Packet&& p, IfId in_if) { handle(std::move(p), in_if); });
+}
+
+void Router::set_prefix_route(std::uint16_t prefix, IfId out_if) {
+  prefix_routes_[prefix] = out_if;
+}
+
+void Router::set_host_route(IpAddr host, IfId out_if) { host_routes_[host] = out_if; }
+
+void Router::clear_routes() {
+  prefix_routes_.clear();
+  host_routes_.clear();
+}
+
+void Router::set_scion_handler(Network::Handler handler) {
+  scion_handler_ = std::move(handler);
+}
+
+std::optional<IfId> Router::host_route(IpAddr host) const {
+  const auto it = host_routes_.find(host);
+  if (it == host_routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Router::handle(Packet&& packet, IfId in_if) {
+  if (packet.proto == Protocol::kScion) {
+    if (scion_handler_) {
+      scion_handler_(std::move(packet), in_if);
+    } else {
+      PAN_WARN(kLog) << network_.node_name(node_) << ": SCION packet but no SCION stack";
+    }
+    return;
+  }
+  forward(std::move(packet));
+}
+
+void Router::forward(Packet&& packet) {
+  if (const auto host_it = host_routes_.find(packet.dst); host_it != host_routes_.end()) {
+    ++forwarded_;
+    network_.send(node_, host_it->second, std::move(packet));
+    return;
+  }
+  if (const auto prefix_it = prefix_routes_.find(packet.dst.prefix());
+      prefix_it != prefix_routes_.end()) {
+    ++forwarded_;
+    network_.send(node_, prefix_it->second, std::move(packet));
+    return;
+  }
+  ++no_route_;
+  PAN_DEBUG(kLog) << network_.node_name(node_) << ": no route for " << packet.describe();
+}
+
+}  // namespace pan::net

@@ -1,0 +1,59 @@
+// Legacy (BGP/IP-style) packet forwarding.
+//
+// A Router forwards kUdp packets by destination address: an exact host route
+// (hosts inside its own AS) takes precedence over a 16-bit prefix route
+// (remote ASes). SCION packets are handed to a pluggable handler installed
+// by the SCION border-router logic, mirroring how a production border router
+// runs both stacks side by side.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/network.hpp"
+
+namespace pan::net {
+
+class Router {
+ public:
+  Router(Network& network, NodeId node);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] Network& network() { return network_; }
+
+  /// Route for a remote AS prefix (upper 16 address bits).
+  void set_prefix_route(std::uint16_t prefix, IfId out_if);
+  /// Route for a directly attached host.
+  void set_host_route(IpAddr host, IfId out_if);
+  void clear_routes();
+
+  /// Installed by the SCION border router; receives all kScion packets.
+  void set_scion_handler(Network::Handler handler);
+
+  /// Access interface for a directly attached host (nullopt if unknown).
+  [[nodiscard]] std::optional<IfId> host_route(IpAddr host) const;
+
+  /// Sends a packet from this router (used by forwarding and by locally
+  /// originated control traffic).
+  void forward(Packet&& packet);
+
+  [[nodiscard]] std::uint64_t forwarded_packets() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped_no_route() const { return no_route_; }
+
+ private:
+  void handle(Packet&& packet, IfId in_if);
+
+  Network& network_;
+  NodeId node_;
+  std::unordered_map<std::uint16_t, IfId> prefix_routes_;
+  std::unordered_map<IpAddr, IfId> host_routes_;
+  Network::Handler scion_handler_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t no_route_ = 0;
+};
+
+}  // namespace pan::net

@@ -1,0 +1,59 @@
+#include "net/trace.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::net {
+
+const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kSend: return "send";
+    case TraceEvent::Kind::kDeliver: return "deliver";
+    case TraceEvent::Kind::kDropLoss: return "drop-loss";
+    case TraceEvent::Kind::kDropQueue: return "drop-queue";
+    case TraceEvent::Kind::kDropMtu: return "drop-mtu";
+    case TraceEvent::Kind::kDropLinkDown: return "drop-down";
+  }
+  return "?";
+}
+
+TraceFn TraceRecorder::callback() {
+  return [this](const TraceEvent& event) { events_.push_back(event); };
+}
+
+std::size_t TraceRecorder::count(TraceEvent::Kind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::uint64_t TraceRecorder::bytes(TraceEvent::Kind kind) const {
+  std::uint64_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) n += e.wire_bytes;
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::count_between(NodeId from, NodeId to) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.from == from && e.to == to) ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::render(std::size_t limit) const {
+  std::string out;
+  const std::size_t start = events_.size() > limit ? events_.size() - limit : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out += strings::format("%10.3fms %-10s %u->%u %-5s %5zu B pkt#%llu\n", e.time.millis(),
+                           to_string(e.kind), e.from, e.to, net::to_string(e.proto),
+                           e.wire_bytes, static_cast<unsigned long long>(e.packet_id));
+  }
+  return out;
+}
+
+}  // namespace pan::net

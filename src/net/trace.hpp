@@ -1,0 +1,63 @@
+// Packet tracing: a tcpdump-style observation hook on the simulated network.
+//
+// Install a tracer on the Network to receive one event per packet decision
+// (transmission start, delivery, each drop cause). TraceRecorder is a
+// ready-made sink that stores events and renders summaries — used by tests
+// to assert on wire behaviour and by anyone debugging a scenario.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace pan::net {
+
+using NodeId = std::uint32_t;
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,       // packet left the sender's interface (after queueing)
+    kDeliver,    // packet handed to the receiving node
+    kDropLoss,
+    kDropQueue,
+    kDropMtu,
+    kDropLinkDown,
+  };
+
+  TimePoint time;
+  Kind kind = Kind::kSend;
+  NodeId from = 0;
+  NodeId to = 0;
+  Protocol proto = Protocol::kUdp;
+  std::size_t wire_bytes = 0;
+  std::uint64_t packet_id = 0;
+};
+
+[[nodiscard]] const char* to_string(TraceEvent::Kind k);
+
+using TraceFn = std::function<void(const TraceEvent&)>;
+
+/// Stores events; answers count/byte queries; renders text.
+class TraceRecorder {
+ public:
+  /// The callback to hand to Network::set_tracer. The recorder must outlive
+  /// the network (or be detached by set_tracer(nullptr)).
+  [[nodiscard]] TraceFn callback();
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(TraceEvent::Kind kind) const;
+  [[nodiscard]] std::uint64_t bytes(TraceEvent::Kind kind) const;
+  [[nodiscard]] std::size_t count_between(NodeId from, NodeId to) const;
+  void clear() { events_.clear(); }
+
+  /// "time kind from->to proto bytes id" lines, most recent `limit` events.
+  [[nodiscard]] std::string render(std::size_t limit = 50) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pan::net

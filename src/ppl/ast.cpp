@@ -1,0 +1,340 @@
+#include "ppl/ast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace pan::ppl {
+
+// ------------------------------------------------------------ predicates --
+
+bool HopPredicate::matches_as(scion::IsdAsn ia) const {
+  if (isd.has_value() && *isd != ia.isd()) return false;
+  if (asn.has_value() && *asn != ia.asn()) return false;
+  return true;
+}
+
+bool HopPredicate::matches(const scion::PathHop& hop) const {
+  if (!matches_as(hop.isd_as)) return false;
+  if (in_if != 0 && in_if != hop.ingress) return false;
+  if (out_if != 0 && out_if != hop.egress) return false;
+  return true;
+}
+
+std::string HopPredicate::to_string() const {
+  std::string out;
+  out += isd.has_value() ? std::to_string(*isd) : "*";
+  out += "-";
+  out += asn.has_value() ? scion::format_asn(*asn) : "*";
+  if (in_if != 0 || out_if != 0) {
+    out += "#" + std::to_string(in_if) + "." + std::to_string(out_if);
+  }
+  return out;
+}
+
+Result<HopPredicate> HopPredicate::parse(std::string_view s) {
+  HopPredicate pred;
+  // Optional "#in.out" (or "#in,out") interface qualifier.
+  const auto hash = s.find('#');
+  if (hash != std::string_view::npos) {
+    const std::string_view ifs = s.substr(hash + 1);
+    auto comma = ifs.find(',');
+    if (comma == std::string_view::npos) comma = ifs.find('.');
+    const std::string_view in_str = comma == std::string_view::npos ? ifs : ifs.substr(0, comma);
+    const auto in_val = strings::parse_u64(strings::trim(in_str));
+    if (!in_val.ok() || in_val.value() > 0xffff) {
+      return Err("bad interface in hop predicate: '" + std::string(s) + "'");
+    }
+    pred.in_if = static_cast<scion::IfaceId>(in_val.value());
+    if (comma != std::string_view::npos) {
+      const auto out_val = strings::parse_u64(strings::trim(ifs.substr(comma + 1)));
+      if (!out_val.ok() || out_val.value() > 0xffff) {
+        return Err("bad interface in hop predicate: '" + std::string(s) + "'");
+      }
+      pred.out_if = static_cast<scion::IfaceId>(out_val.value());
+    }
+    s = s.substr(0, hash);
+  }
+  s = strings::trim(s);
+  if (s.empty()) return Err("empty hop predicate");
+  if (s == "*" || s == "0" || s == "0-0") return pred;  // fully wildcard
+
+  const auto dash = s.find('-');
+  const std::string_view isd_str = dash == std::string_view::npos ? s : s.substr(0, dash);
+  if (isd_str != "*" && isd_str != "0") {
+    const auto isd_val = strings::parse_u64(isd_str);
+    if (!isd_val.ok() || isd_val.value() > 0xffff) {
+      return Err("bad ISD in hop predicate: '" + std::string(s) + "'");
+    }
+    pred.isd = static_cast<scion::Isd>(isd_val.value());
+  }
+  if (dash != std::string_view::npos) {
+    const std::string_view asn_str = s.substr(dash + 1);
+    if (asn_str != "*" && asn_str != "0") {
+      const auto asn_val = scion::parse_asn(asn_str);
+      if (!asn_val.ok()) return Err(asn_val.error());
+      pred.asn = asn_val.value();
+    }
+  }
+  return pred;
+}
+
+// ------------------------------------------------------------------- ACL --
+
+bool Acl::permits_hop(const scion::PathHop& hop) const {
+  for (const AclEntry& entry : entries) {
+    if (entry.predicate.matches(hop)) return entry.allow;
+  }
+  return false;  // default deny, like SCION PPL
+}
+
+bool Acl::permits(const scion::Path& path) const {
+  return std::all_of(path.hops().begin(), path.hops().end(),
+                     [&](const scion::PathHop& hop) { return permits_hop(hop); });
+}
+
+// -------------------------------------------------------------- sequence --
+
+bool Sequence::matches(const scion::Path& path) const {
+  const auto& hops = path.hops();
+  const std::size_t n = hops.size();
+  const std::size_t m = elems.size();
+  // dp[j] = pattern prefix j can match the hop prefix consumed so far.
+  std::vector<char> dp(m + 1, 0);
+  dp[0] = 1;
+  for (std::size_t j = 1; j <= m; ++j) {
+    const Quantifier q = elems[j - 1].quantifier;
+    dp[j] = (dp[j - 1] != 0 && (q == Quantifier::kOptional || q == Quantifier::kStar)) ? 1 : 0;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::vector<char> next(m + 1, 0);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const SequenceElem& elem = elems[j - 1];
+      const bool hit = elem.predicate.matches(hops[i - 1]);
+      switch (elem.quantifier) {
+        case Quantifier::kOne:
+        case Quantifier::kOptional:
+          next[j] = (hit && dp[j - 1] != 0) ? 1 : 0;
+          break;
+        case Quantifier::kStar:
+        case Quantifier::kPlus:
+          next[j] = (hit && (dp[j - 1] != 0 || dp[j] != 0)) ? 1 : 0;
+          break;
+      }
+    }
+    // Epsilon closure: optional/star elements can be skipped.
+    for (std::size_t j = 1; j <= m; ++j) {
+      const Quantifier q = elems[j - 1].quantifier;
+      if (next[j] == 0 && next[j - 1] != 0 &&
+          (q == Quantifier::kOptional || q == Quantifier::kStar)) {
+        next[j] = 1;
+      }
+    }
+    dp = std::move(next);
+  }
+  return dp[m] != 0;
+}
+
+Result<Sequence> Sequence::parse(std::string_view pattern) {
+  Sequence seq;
+  for (std::string_view token : strings::split_trimmed(pattern, ' ')) {
+    SequenceElem elem;
+    // Quantifier suffix — but a bare "*" means the any-hop star.
+    if (token == "*") {
+      elem.quantifier = Quantifier::kStar;
+      seq.elems.push_back(elem);
+      continue;
+    }
+    if (token.size() > 1) {
+      const char last = token.back();
+      const char before = token[token.size() - 2];
+      if (last == '?') {
+        elem.quantifier = Quantifier::kOptional;
+        token.remove_suffix(1);
+      } else if (last == '+') {
+        elem.quantifier = Quantifier::kPlus;
+        token.remove_suffix(1);
+      } else if (last == '*' && before != '-') {
+        // A '*' straight after '-' is the ASN wildcard ("1-*"), not a
+        // quantifier; "2-**" is the wildcard plus a star quantifier.
+        elem.quantifier = Quantifier::kStar;
+        token.remove_suffix(1);
+      }
+    }
+    auto pred = HopPredicate::parse(token);
+    if (!pred.ok()) return Err("in sequence: " + pred.error());
+    elem.predicate = pred.value();
+    seq.elems.push_back(elem);
+  }
+  if (seq.elems.empty()) return Err("empty sequence pattern");
+  return seq;
+}
+
+// --------------------------------------------------------------- metrics --
+
+const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::kLatency: return "latency";
+    case Metric::kBandwidth: return "bandwidth";
+    case Metric::kHops: return "hops";
+    case Metric::kCo2: return "co2";
+    case Metric::kCost: return "cost";
+    case Metric::kLoss: return "loss";
+    case Metric::kJitter: return "jitter";
+    case Metric::kMtu: return "mtu";
+    case Metric::kEthics: return "ethics";
+    case Metric::kQos: return "qos";
+    case Metric::kAllied: return "allied";
+  }
+  return "?";
+}
+
+Result<Metric> parse_metric(std::string_view s) {
+  static constexpr std::pair<std::string_view, Metric> kTable[] = {
+      {"latency", Metric::kLatency}, {"bandwidth", Metric::kBandwidth},
+      {"hops", Metric::kHops},       {"co2", Metric::kCo2},
+      {"cost", Metric::kCost},       {"loss", Metric::kLoss},
+      {"jitter", Metric::kJitter},   {"mtu", Metric::kMtu},
+      {"ethics", Metric::kEthics},   {"qos", Metric::kQos},
+      {"allied", Metric::kAllied},
+  };
+  for (const auto& [name, metric] : kTable) {
+    if (name == s) return metric;
+  }
+  return Err("unknown metric: '" + std::string(s) + "'");
+}
+
+double metric_value(const scion::Path& path, Metric m) {
+  const scion::PathMetadata& meta = path.meta();
+  switch (m) {
+    case Metric::kLatency: return static_cast<double>(meta.latency.nanos());
+    case Metric::kBandwidth: return meta.bandwidth_bps;
+    case Metric::kHops: return static_cast<double>(path.link_count());
+    case Metric::kCo2: return meta.co2_g_per_gb;
+    case Metric::kCost: return meta.cost_per_gb;
+    case Metric::kLoss: return meta.loss_rate;
+    case Metric::kJitter: return static_cast<double>(meta.jitter.nanos());
+    case Metric::kMtu: return static_cast<double>(meta.mtu);
+    case Metric::kEthics: return meta.min_ethics_rating;
+    case Metric::kQos: return meta.all_qos_capable ? 1.0 : 0.0;
+    case Metric::kAllied: return meta.all_allied ? 1.0 : 0.0;
+  }
+  return 0;
+}
+
+bool Requirement::satisfied_by(const scion::Path& path) const {
+  const double v = metric_value(path, metric);
+  switch (cmp) {
+    case Cmp::kLe: return v <= value;
+    case Cmp::kGe: return v >= value;
+    case Cmp::kLt: return v < value;
+    case Cmp::kGt: return v > value;
+    case Cmp::kEq: return v == value;
+    case Cmp::kNe: return v != value;
+  }
+  return false;
+}
+
+std::string Requirement::to_string() const {
+  const char* op = "?";
+  switch (cmp) {
+    case Cmp::kLe: op = "<="; break;
+    case Cmp::kGe: op = ">="; break;
+    case Cmp::kLt: op = "<"; break;
+    case Cmp::kGt: op = ">"; break;
+    case Cmp::kEq: op = "=="; break;
+    case Cmp::kNe: op = "!="; break;
+  }
+  return strings::format("require %s %s %g", ppl::to_string(metric), op, value);
+}
+
+// ---------------------------------------------------------------- policy --
+
+bool Policy::permits(const scion::Path& path) const {
+  if (acl.has_value() && !acl->permits(path)) return false;
+  if (sequence.has_value() && !sequence->matches(path)) return false;
+  for (const Requirement& req : requirements) {
+    if (!req.satisfied_by(path)) return false;
+  }
+  return true;
+}
+
+void order_paths(std::vector<scion::Path>& paths, std::span<const OrderKey> ordering) {
+  if (ordering.empty()) return;
+  std::sort(paths.begin(), paths.end(), [&](const scion::Path& a, const scion::Path& b) {
+    for (const OrderKey& key : ordering) {
+      const double va = metric_value(a, key.metric);
+      const double vb = metric_value(b, key.metric);
+      if (va != vb) return key.ascending ? va < vb : va > vb;
+    }
+    return a.fingerprint() < b.fingerprint();
+  });
+}
+
+std::vector<scion::Path> Policy::apply(std::vector<scion::Path> paths) const {
+  std::erase_if(paths, [&](const scion::Path& p) { return !permits(p); });
+  order_paths(paths, ordering);
+  return paths;
+}
+
+std::string Policy::to_string() const {
+  std::string out = "policy \"" + name + "\" {\n";
+  if (acl.has_value()) {
+    out += "  acl {\n";
+    for (const AclEntry& entry : acl->entries) {
+      out += std::string("    ") + (entry.allow ? "allow " : "deny ") +
+             entry.predicate.to_string() + ";\n";
+    }
+    out += "  }\n";
+  }
+  if (sequence.has_value()) {
+    out += "  sequence \"";
+    for (std::size_t i = 0; i < sequence->elems.size(); ++i) {
+      if (i > 0) out += " ";
+      out += sequence->elems[i].predicate.to_string();
+      switch (sequence->elems[i].quantifier) {
+        case Quantifier::kOne: break;
+        case Quantifier::kOptional: out += "?"; break;
+        case Quantifier::kStar: out += "*"; break;
+        case Quantifier::kPlus: out += "+"; break;
+      }
+    }
+    out += "\";\n";
+  }
+  for (const Requirement& req : requirements) {
+    out += "  " + req.to_string() + ";\n";
+  }
+  if (!ordering.empty()) {
+    out += "  order ";
+    for (std::size_t i = 0; i < ordering.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ppl::to_string(ordering[i].metric);
+      out += ordering[i].ascending ? " asc" : " desc";
+    }
+    out += ";\n";
+  }
+  out += "}";
+  return out;
+}
+
+bool PolicySet::permits(const scion::Path& path) const {
+  return std::all_of(policies_.begin(), policies_.end(),
+                     [&](const Policy& p) { return p.permits(path); });
+}
+
+std::vector<OrderKey> PolicySet::combined_ordering() const {
+  std::vector<OrderKey> ordering;
+  for (const Policy& p : policies_) {
+    ordering.insert(ordering.end(), p.ordering.begin(), p.ordering.end());
+  }
+  return ordering;
+}
+
+std::vector<scion::Path> PolicySet::apply(std::vector<scion::Path> paths) const {
+  std::erase_if(paths, [&](const scion::Path& p) { return !permits(p); });
+  order_paths(paths, combined_ordering());
+  return paths;
+}
+
+}  // namespace pan::ppl

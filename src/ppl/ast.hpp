@@ -1,0 +1,163 @@
+// Path Policy Language (PPL) — abstract syntax and evaluation.
+//
+// Modeled on the Path Policy Language the paper cites (Anapaya/SCION PPL):
+// a policy filters candidate paths through an ACL (ordered allow/deny hop
+// predicates, first match wins, default deny), an optional sequence (a
+// regex-like pattern over the AS-level hop list), and metric requirements;
+// surviving paths are sorted by an ordering over path metadata.
+//
+// Example concrete syntax (see parser.hpp):
+//
+//   policy "geofenced-low-latency" {
+//     acl {
+//       deny 3-*;          # never cross ISD 3
+//       allow *;
+//     }
+//     sequence "1-ff00:0:110 * 2-*";
+//     require mtu >= 1400;
+//     require latency <= 80ms;
+//     order latency asc, co2 asc;
+//   }
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scion/path.hpp"
+#include "util/result.hpp"
+
+namespace pan::ppl {
+
+/// Matches one AS-level hop. Wildcards: missing ISD/ASN match anything; a
+/// zero interface matches any interface (SCION PPL convention).
+struct HopPredicate {
+  std::optional<scion::Isd> isd;
+  std::optional<scion::Asn> asn;
+  scion::IfaceId in_if = 0;   // 0 = any
+  scion::IfaceId out_if = 0;  // 0 = any
+
+  [[nodiscard]] bool matches(const scion::PathHop& hop) const;
+  [[nodiscard]] bool matches_as(scion::IsdAsn ia) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "*", "1", "1-*", "1-ff00:0:110", optionally "#in,out" suffix.
+  [[nodiscard]] static Result<HopPredicate> parse(std::string_view s);
+};
+
+struct AclEntry {
+  bool allow = true;
+  HopPredicate predicate;
+};
+
+/// First matching entry decides per hop; a hop matching no entry is denied.
+/// A path is permitted iff every hop is allowed.
+struct Acl {
+  std::vector<AclEntry> entries;
+
+  [[nodiscard]] bool permits(const scion::Path& path) const;
+  [[nodiscard]] bool permits_hop(const scion::PathHop& hop) const;
+};
+
+enum class Quantifier : std::uint8_t {
+  kOne,       // exactly one hop
+  kOptional,  // ? — zero or one
+  kStar,      // * — zero or more
+  kPlus,      // + — one or more
+};
+
+struct SequenceElem {
+  HopPredicate predicate;
+  Quantifier quantifier = Quantifier::kOne;
+};
+
+/// Regex-style match over the full hop list.
+struct Sequence {
+  std::vector<SequenceElem> elems;
+
+  [[nodiscard]] bool matches(const scion::Path& path) const;
+
+  /// Parses a space-separated pattern, e.g. "1-ff00:0:110 *? 2-*+".
+  /// A bare "*" element is shorthand for the any-hop star ("0*" in SCION
+  /// PPL); quantifiers attach as a suffix character.
+  [[nodiscard]] static Result<Sequence> parse(std::string_view pattern);
+};
+
+enum class Metric : std::uint8_t {
+  kLatency,    // ns
+  kBandwidth,  // bps
+  kHops,       // link count
+  kCo2,        // g/GB
+  kCost,       // micro-$/GB
+  kLoss,       // probability
+  kJitter,     // ns
+  kMtu,        // bytes
+  kEthics,     // min rating on path
+  kQos,        // boolean: all hops QoS capable
+  kAllied,     // boolean: all hops allied
+};
+
+[[nodiscard]] const char* to_string(Metric m);
+[[nodiscard]] Result<Metric> parse_metric(std::string_view s);
+[[nodiscard]] double metric_value(const scion::Path& path, Metric m);
+
+enum class Cmp : std::uint8_t { kLe, kGe, kLt, kGt, kEq, kNe };
+
+struct Requirement {
+  Metric metric = Metric::kLatency;
+  Cmp cmp = Cmp::kLe;
+  double value = 0;
+
+  [[nodiscard]] bool satisfied_by(const scion::Path& path) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct OrderKey {
+  Metric metric = Metric::kLatency;
+  bool ascending = true;
+};
+
+/// Stable lexicographic sort by ordering keys (fingerprint tie-break keeps
+/// results deterministic). Shared by Policy, PolicySet, and the proxy's
+/// negotiated server preferences.
+void order_paths(std::vector<scion::Path>& paths, std::span<const OrderKey> ordering);
+
+struct Policy {
+  std::string name;
+  std::optional<Acl> acl;
+  std::optional<Sequence> sequence;
+  std::vector<Requirement> requirements;
+  std::vector<OrderKey> ordering;
+
+  /// ACL + sequence + requirements.
+  [[nodiscard]] bool permits(const scion::Path& path) const;
+  /// Filters then sorts (stable; fingerprint tie-break keeps determinism).
+  [[nodiscard]] std::vector<scion::Path> apply(std::vector<scion::Path> paths) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Combination of policies (the paper: "multiple policies can be combined
+/// for fine-grained configuration, e.g., optimizing the CO2 footprint while
+/// excluding particular regions"): a path must satisfy every member; the
+/// concatenated orderings sort lexicographically.
+class PolicySet {
+ public:
+  PolicySet() = default;
+  explicit PolicySet(std::vector<Policy> policies) : policies_(std::move(policies)) {}
+
+  void add(Policy policy) { policies_.push_back(std::move(policy)); }
+  [[nodiscard]] const std::vector<Policy>& policies() const { return policies_; }
+  [[nodiscard]] bool empty() const { return policies_.empty(); }
+
+  [[nodiscard]] bool permits(const scion::Path& path) const;
+  [[nodiscard]] std::vector<scion::Path> apply(std::vector<scion::Path> paths) const;
+  /// All member orderings concatenated in policy order.
+  [[nodiscard]] std::vector<OrderKey> combined_ordering() const;
+
+ private:
+  std::vector<Policy> policies_;
+};
+
+}  // namespace pan::ppl

@@ -1,0 +1,44 @@
+#include "ppl/geofence.hpp"
+
+namespace pan::ppl {
+
+bool Geofence::permits(const scion::Path& path) const {
+  for (const scion::PathHop& hop : path.hops()) {
+    const bool listed = isds.contains(hop.isd_as.isd());
+    if (mode == GeofenceMode::kAllowlist && !listed) return false;
+    if (mode == GeofenceMode::kBlocklist && listed) return false;
+  }
+  return true;
+}
+
+Policy Geofence::compile(std::string name) const {
+  Policy policy;
+  policy.name = std::move(name);
+  Acl acl;
+  for (const scion::Isd isd : isds) {
+    AclEntry entry;
+    entry.allow = mode == GeofenceMode::kAllowlist;
+    entry.predicate.isd = isd;
+    acl.entries.push_back(entry);
+  }
+  // Catch-all with the opposite action.
+  AclEntry rest;
+  rest.allow = mode == GeofenceMode::kBlocklist;
+  acl.entries.push_back(rest);
+  policy.acl = std::move(acl);
+  return policy;
+}
+
+std::string Geofence::to_string() const {
+  std::string out = mode == GeofenceMode::kAllowlist ? "allow-only ISDs {" : "block ISDs {";
+  bool first = true;
+  for (const scion::Isd isd : isds) {
+    if (!first) out += ", ";
+    out += std::to_string(isd);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pan::ppl

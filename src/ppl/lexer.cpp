@@ -1,0 +1,107 @@
+#include "ppl/lexer.hpp"
+
+#include <cctype>
+
+namespace pan::ppl {
+
+namespace {
+
+bool is_atom_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == ':' || c == '-' ||
+         c == '*' || c == '.' || c == '_' || c == '#' || c == '?' || c == '+' || c == '/';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (source[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      // Comment — but '#' can also appear inside a hop predicate atom; a
+      // comment '#' only starts at a token boundary, which is where we are.
+      // However hop predicates like "1-2#3,4" are lexed as one atom below,
+      // so a standalone '#' here is always a comment.
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+    if (c == '{') {
+      token.type = TokenType::kLBrace;
+      token.text = "{";
+      advance(1);
+    } else if (c == '}') {
+      token.type = TokenType::kRBrace;
+      token.text = "}";
+      advance(1);
+    } else if (c == ';') {
+      token.type = TokenType::kSemi;
+      token.text = ";";
+      advance(1);
+    } else if (c == ',') {
+      token.type = TokenType::kComma;
+      token.text = ",";
+      advance(1);
+    } else if (c == '"') {
+      token.type = TokenType::kString;
+      advance(1);
+      const std::size_t start = i;
+      while (i < source.size() && source[i] != '"' && source[i] != '\n') advance(1);
+      if (i >= source.size() || source[i] != '"') {
+        return Err("unterminated string at " + token.location());
+      }
+      token.text = std::string(source.substr(start, i - start));
+      advance(1);
+    } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+      token.type = TokenType::kCompare;
+      if (i + 1 < source.size() && source[i + 1] == '=') {
+        token.text = std::string(source.substr(i, 2));
+        advance(2);
+      } else if (c == '<' || c == '>') {
+        token.text = std::string(1, c);
+        advance(1);
+      } else {
+        return Err(std::string("unexpected character '") + c + "' at " + token.location());
+      }
+    } else if (is_atom_char(c)) {
+      const std::size_t start = i;
+      while (i < source.size() && is_atom_char(source[i])) advance(1);
+      token.type = TokenType::kAtom;
+      token.text = std::string(source.substr(start, i - start));
+    } else {
+      return Err(std::string("unexpected character '") + c + "' at line " +
+                 std::to_string(line) + ":" + std::to_string(column));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace pan::ppl

@@ -1,0 +1,36 @@
+// PPL lexer: turns policy source text into a token stream with positions
+// for error reporting. Comments run from '#' to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pan::ppl {
+
+enum class TokenType : std::uint8_t {
+  kAtom,     // identifiers, hop predicates, numbers with units
+  kString,   // "..." (no escapes)
+  kLBrace,
+  kRBrace,
+  kSemi,
+  kComma,
+  kCompare,  // <= >= < > == !=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  [[nodiscard]] std::string location() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+[[nodiscard]] Result<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace pan::ppl

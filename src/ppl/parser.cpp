@@ -1,0 +1,250 @@
+#include "ppl/parser.hpp"
+
+#include <cmath>
+
+#include "ppl/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace pan::ppl {
+namespace {
+
+/// Parses "50ms", "1gbps", "1400", ... into the metric's canonical unit.
+Result<double> parse_value(std::string_view text) {
+  std::size_t split = text.size();
+  while (split > 0 && (std::isalpha(static_cast<unsigned char>(text[split - 1])) != 0)) {
+    --split;
+  }
+  const std::string_view number = text.substr(0, split);
+  const std::string unit = strings::to_lower(text.substr(split));
+  if (number.empty()) return Err("missing number in value: '" + std::string(text) + "'");
+
+  double base = 0;
+  // Manual parse: integer or decimal.
+  const auto dot = number.find('.');
+  if (dot == std::string_view::npos) {
+    const auto v = strings::parse_u64(number);
+    if (!v.ok()) return Err("bad number: " + v.error());
+    base = static_cast<double>(v.value());
+  } else {
+    const auto whole = strings::parse_u64(number.substr(0, dot));
+    const auto frac = strings::parse_u64(number.substr(dot + 1));
+    if (!whole.ok() || !frac.ok()) return Err("bad decimal: '" + std::string(number) + "'");
+    base = static_cast<double>(whole.value()) +
+           static_cast<double>(frac.value()) /
+               std::pow(10.0, static_cast<double>(number.size() - dot - 1));
+  }
+
+  if (unit.empty() || unit == "b") return base;
+  if (unit == "ns") return base;
+  if (unit == "us") return base * 1e3;
+  if (unit == "ms") return base * 1e6;
+  if (unit == "s") return base * 1e9;
+  if (unit == "bps") return base;
+  if (unit == "kbps") return base * 1e3;
+  if (unit == "mbps") return base * 1e6;
+  if (unit == "gbps") return base * 1e9;
+  if (unit == "g") return base;
+  if (unit == "kb") return base * 1e3;
+  if (unit == "mb") return base * 1e6;
+  return Err("unknown unit: '" + std::string(text) + "'");
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Policy> parse_one() {
+    auto policy = parse_block();
+    if (!policy.ok()) return policy;
+    if (!at(TokenType::kEnd)) {
+      return Err("trailing input after policy at " + peek().location());
+    }
+    return policy;
+  }
+
+  Result<std::vector<Policy>> parse_all() {
+    std::vector<Policy> out;
+    while (!at(TokenType::kEnd)) {
+      auto policy = parse_block();
+      if (!policy.ok()) return Err(policy.error());
+      out.push_back(std::move(policy).take());
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenType t) const { return peek().type == t; }
+  const Token& next() { return tokens_[pos_++]; }
+
+  [[nodiscard]] bool accept_atom(std::string_view text) {
+    if (at(TokenType::kAtom) && peek().text == text) {
+      next();
+      return true;
+    }
+    return false;
+  }
+
+  Status expect(TokenType t, const char* what) {
+    if (!at(t)) {
+      return Err(std::string("expected ") + what + " at " + peek().location() + ", got '" +
+                 peek().text + "'");
+    }
+    next();
+    return {};
+  }
+
+  Result<Policy> parse_block() {
+    Policy policy;
+    if (!accept_atom("policy")) {
+      return Err("expected 'policy' at " + peek().location());
+    }
+    if (at(TokenType::kString)) {
+      policy.name = next().text;
+    }
+    if (auto s = expect(TokenType::kLBrace, "'{'"); !s.ok()) return Err(s.error());
+
+    while (!at(TokenType::kRBrace)) {
+      if (at(TokenType::kEnd)) return Err("unterminated policy block");
+      if (accept_atom("acl")) {
+        auto acl = parse_acl();
+        if (!acl.ok()) return Err(acl.error());
+        policy.acl = std::move(acl).take();
+      } else if (accept_atom("sequence")) {
+        if (!at(TokenType::kString)) {
+          return Err("sequence expects a quoted pattern at " + peek().location());
+        }
+        auto seq = Sequence::parse(next().text);
+        if (!seq.ok()) return Err(seq.error());
+        policy.sequence = std::move(seq).take();
+        if (auto s = expect(TokenType::kSemi, "';'"); !s.ok()) return Err(s.error());
+      } else if (accept_atom("order")) {
+        auto ordering = parse_ordering();
+        if (!ordering.ok()) return Err(ordering.error());
+        policy.ordering = std::move(ordering).take();
+      } else if (accept_atom("require")) {
+        auto req = parse_requirement();
+        if (!req.ok()) return Err(req.error());
+        policy.requirements.push_back(std::move(req).take());
+      } else {
+        return Err("unexpected token '" + peek().text + "' at " + peek().location());
+      }
+    }
+    next();  // consume '}'
+    return policy;
+  }
+
+  Result<Acl> parse_acl() {
+    Acl acl;
+    if (auto s = expect(TokenType::kLBrace, "'{' after acl"); !s.ok()) return Err(s.error());
+    while (!at(TokenType::kRBrace)) {
+      if (at(TokenType::kEnd)) return Err("unterminated acl block");
+      AclEntry entry;
+      if (accept_atom("allow")) {
+        entry.allow = true;
+      } else if (accept_atom("deny")) {
+        entry.allow = false;
+      } else {
+        return Err("expected allow/deny at " + peek().location());
+      }
+      if (!at(TokenType::kAtom)) {
+        return Err("expected hop predicate at " + peek().location());
+      }
+      auto pred = HopPredicate::parse(next().text);
+      if (!pred.ok()) return Err(pred.error());
+      entry.predicate = pred.value();
+      acl.entries.push_back(entry);
+      if (auto s = expect(TokenType::kSemi, "';'"); !s.ok()) return Err(s.error());
+    }
+    next();  // '}'
+    if (acl.entries.empty()) return Err("acl block is empty");
+    return acl;
+  }
+
+  Result<std::vector<OrderKey>> parse_ordering() {
+    std::vector<OrderKey> out;
+    for (;;) {
+      if (!at(TokenType::kAtom)) {
+        return Err("expected metric name at " + peek().location());
+      }
+      auto metric = parse_metric(next().text);
+      if (!metric.ok()) return Err(metric.error());
+      OrderKey key;
+      key.metric = metric.value();
+      if (accept_atom("asc")) {
+        key.ascending = true;
+      } else if (accept_atom("desc")) {
+        key.ascending = false;
+      }
+      out.push_back(key);
+      if (at(TokenType::kComma)) {
+        next();
+        continue;
+      }
+      break;
+    }
+    if (auto s = expect(TokenType::kSemi, "';'"); !s.ok()) return Err(s.error());
+    return out;
+  }
+
+  Result<Requirement> parse_requirement() {
+    if (!at(TokenType::kAtom)) {
+      return Err("expected metric name at " + peek().location());
+    }
+    auto metric = parse_metric(next().text);
+    if (!metric.ok()) return Err(metric.error());
+    Requirement req;
+    req.metric = metric.value();
+
+    if (req.metric == Metric::kQos || req.metric == Metric::kAllied) {
+      // "require qos;" — boolean shorthand.
+      req.cmp = Cmp::kEq;
+      req.value = 1.0;
+      if (at(TokenType::kSemi)) {
+        next();
+        return req;
+      }
+    }
+    if (!at(TokenType::kCompare)) {
+      return Err("expected comparison at " + peek().location());
+    }
+    const std::string op = next().text;
+    if (op == "<=") req.cmp = Cmp::kLe;
+    else if (op == ">=") req.cmp = Cmp::kGe;
+    else if (op == "<") req.cmp = Cmp::kLt;
+    else if (op == ">") req.cmp = Cmp::kGt;
+    else if (op == "==") req.cmp = Cmp::kEq;
+    else if (op == "!=") req.cmp = Cmp::kNe;
+    else return Err("bad comparison '" + op + "'");
+
+    if (!at(TokenType::kAtom)) {
+      return Err("expected value at " + peek().location());
+    }
+    auto value = parse_value(next().text);
+    if (!value.ok()) return Err(value.error());
+    req.value = value.value();
+    if (auto s = expect(TokenType::kSemi, "';'"); !s.ok()) return Err(s.error());
+    return req;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Policy> parse_policy(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.ok()) return Err(tokens.error());
+  Parser parser(std::move(tokens).take());
+  return parser.parse_one();
+}
+
+Result<std::vector<Policy>> parse_policies(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.ok()) return Err(tokens.error());
+  Parser parser(std::move(tokens).take());
+  return parser.parse_all();
+}
+
+}  // namespace pan::ppl

@@ -1,0 +1,19 @@
+// PPL parser: source text -> Policy. See ast.hpp for the grammar by example.
+//
+// Values in `require` clauses take unit suffixes:
+//   latency/jitter: ns, us, ms, s        bandwidth: bps, kbps, mbps, gbps
+//   mtu: bytes (B optional)              co2: g (per GB)   cost: plain number
+//   loss/ethics: plain numbers           qos/allied: no value ("require qos;")
+#pragma once
+
+#include "ppl/ast.hpp"
+
+namespace pan::ppl {
+
+/// Parses exactly one policy block. Errors carry line:column positions.
+[[nodiscard]] Result<Policy> parse_policy(std::string_view source);
+
+/// Parses a file of several policy blocks.
+[[nodiscard]] Result<std::vector<Policy>> parse_policies(std::string_view source);
+
+}  // namespace pan::ppl

@@ -1,0 +1,57 @@
+#include "proxy/detector.hpp"
+
+namespace pan::proxy {
+
+const char* to_string(ScionSource s) {
+  switch (s) {
+    case ScionSource::kNone: return "none";
+    case ScionSource::kCurated: return "curated";
+    case ScionSource::kLearned: return "learned";
+    case ScionSource::kDnsTxt: return "dns-txt";
+  }
+  return "?";
+}
+
+ScionDetector::ScionDetector(sim::Simulator& sim, dns::Resolver& resolver)
+    : sim_(sim), resolver_(resolver) {}
+
+void ScionDetector::add_curated(const std::string& domain, const scion::ScionAddr& addr) {
+  curated_[domain] = addr;
+}
+
+void ScionDetector::learn(const std::string& domain, const scion::ScionAddr& addr,
+                          Duration max_age) {
+  learned_[domain] = LearnedEntry{addr, sim_.now() + max_age};
+}
+
+void ScionDetector::resolve(const std::string& domain,
+                            std::function<void(ResolvedHost)> callback) {
+  ResolvedHost base;
+  if (const auto curated = curated_.find(domain); curated != curated_.end()) {
+    base.scion = curated->second;
+    base.scion_source = ScionSource::kCurated;
+  } else if (const auto learned = learned_.find(domain); learned != learned_.end()) {
+    if (learned->second.expires > sim_.now()) {
+      base.scion = learned->second.addr;
+      base.scion_source = ScionSource::kLearned;
+    } else {
+      learned_.erase(learned);
+    }
+  }
+
+  resolver_.resolve(domain, [base, cb = std::move(callback)](Result<dns::RecordSet> records) {
+    ResolvedHost host = base;
+    if (records.ok()) {
+      if (!records.value().a.empty()) host.ip = records.value().a.front();
+      if (!host.scion.has_value()) {
+        if (const auto txt = dns::scion_addr_from_txt(records.value())) {
+          host.scion = *txt;
+          host.scion_source = ScionSource::kDnsTxt;
+        }
+      }
+    }
+    cb(host);
+  });
+}
+
+}  // namespace pan::proxy

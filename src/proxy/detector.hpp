@@ -1,0 +1,59 @@
+// SCION detection for domains (Section 4.3 of the paper).
+//
+// Three sources, in precedence order:
+//   1. a curated list shipped with the proxy (fast but does not scale),
+//   2. a learned cache fed by Strict-SCION response headers,
+//   3. DNS TXT records ("scion=<isd>-<as>,<ip>") resolved on demand.
+// Resolution always also returns the legacy A record so the caller can fall
+// back to IPv4/6.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dns/dns.hpp"
+
+namespace pan::proxy {
+
+enum class ScionSource : std::uint8_t { kNone, kCurated, kLearned, kDnsTxt };
+
+[[nodiscard]] const char* to_string(ScionSource s);
+
+struct ResolvedHost {
+  std::optional<net::IpAddr> ip;
+  std::optional<scion::ScionAddr> scion;
+  ScionSource scion_source = ScionSource::kNone;
+};
+
+class ScionDetector {
+ public:
+  ScionDetector(sim::Simulator& sim, dns::Resolver& resolver);
+
+  /// Curated availability list (the "reasonable starting point").
+  void add_curated(const std::string& domain, const scion::ScionAddr& addr);
+
+  /// Records availability learned from a Strict-SCION header (address from
+  /// the connection we fetched over).
+  void learn(const std::string& domain, const scion::ScionAddr& addr, Duration max_age);
+
+  /// Full resolution: legacy + SCION addressing for `domain`.
+  void resolve(const std::string& domain, std::function<void(ResolvedHost)> callback);
+
+  [[nodiscard]] std::size_t curated_size() const { return curated_.size(); }
+  [[nodiscard]] std::size_t learned_size() const { return learned_.size(); }
+
+ private:
+  struct LearnedEntry {
+    scion::ScionAddr addr;
+    TimePoint expires;
+  };
+
+  sim::Simulator& sim_;
+  dns::Resolver& resolver_;
+  std::unordered_map<std::string, scion::ScionAddr> curated_;
+  std::unordered_map<std::string, LearnedEntry> learned_;
+};
+
+}  // namespace pan::proxy

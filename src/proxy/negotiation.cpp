@@ -1,0 +1,43 @@
+#include "proxy/negotiation.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::proxy {
+
+Result<std::vector<ppl::OrderKey>> parse_path_preference(std::string_view value) {
+  std::vector<ppl::OrderKey> keys;
+  for (const std::string_view entry : strings::split_trimmed(value, ',')) {
+    const auto parts = strings::split_trimmed(entry, ' ');
+    if (parts.empty() || parts.size() > 2) {
+      return Err("malformed path preference entry: '" + std::string(entry) + "'");
+    }
+    const auto metric = ppl::parse_metric(parts[0]);
+    if (!metric.ok()) return Err(metric.error());
+    ppl::OrderKey key;
+    key.metric = metric.value();
+    if (parts.size() == 2) {
+      if (parts[1] == "asc") {
+        key.ascending = true;
+      } else if (parts[1] == "desc") {
+        key.ascending = false;
+      } else {
+        return Err("bad direction in path preference: '" + std::string(parts[1]) + "'");
+      }
+    }
+    keys.push_back(key);
+  }
+  if (keys.empty()) return Err("empty path preference");
+  return keys;
+}
+
+std::string serialize_path_preference(const std::vector<ppl::OrderKey>& keys) {
+  std::string out;
+  for (const ppl::OrderKey& key : keys) {
+    if (!out.empty()) out += ", ";
+    out += ppl::to_string(key.metric);
+    out += key.ascending ? " asc" : " desc";
+  }
+  return out;
+}
+
+}  // namespace pan::proxy

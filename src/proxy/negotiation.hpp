@@ -1,0 +1,32 @@
+// Server <-> browser path negotiation (the paper's "interesting future
+// direction ... enabling another dimension of achievable properties").
+//
+// A SCION-capable server (or its reverse proxy) advertises how it would
+// like clients to reach it via a response header:
+//
+//   Path-Preference: co2 asc, latency asc
+//
+// The SKIP proxy remembers the preference per origin and applies it as a
+// tie-breaking ordering AFTER the user's own policies — the user always
+// wins, but where the user expresses no opinion the server's preference
+// steers path selection (e.g. an operator steering bulk traffic onto its
+// green transit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppl/ast.hpp"
+
+namespace pan::proxy {
+
+inline constexpr std::string_view kPathPreferenceHeader = "Path-Preference";
+
+/// Parses "metric [asc|desc], ..." into ordering keys. Unknown metrics or
+/// malformed entries fail the whole header (servers must not get partial
+/// application of a preference they never expressed).
+[[nodiscard]] Result<std::vector<ppl::OrderKey>> parse_path_preference(std::string_view value);
+
+[[nodiscard]] std::string serialize_path_preference(const std::vector<ppl::OrderKey>& keys);
+
+}  // namespace pan::proxy

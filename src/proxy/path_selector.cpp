@@ -1,0 +1,103 @@
+#include "proxy/path_selector.hpp"
+
+namespace pan::proxy {
+
+PathSelector::PathSelector(scion::Daemon& daemon) : daemon_(daemon) {}
+
+void PathSelector::set_geofence(std::optional<ppl::Geofence> geofence) {
+  geofence_ = std::move(geofence);
+}
+
+bool PathSelector::permits(const scion::Path& path) const {
+  if (geofence_.has_value() && !geofence_->permits(path)) return false;
+  return policies_.permits(path);
+}
+
+void PathSelector::revoke(scion::IsdAsn ia, scion::IfaceId iface, Duration ttl) {
+  const TimePoint expires = daemon_.simulator().now() + ttl;
+  // Refresh an existing revocation of the same interface if present.
+  for (Revocation& rev : revocations_) {
+    if (rev.ia == ia && rev.iface == iface) {
+      if (expires > rev.expires) rev.expires = expires;
+      return;
+    }
+  }
+  revocations_.push_back(Revocation{ia, iface, expires});
+}
+
+bool PathSelector::is_revoked(const scion::Path& path) const {
+  const TimePoint now = daemon_.simulator().now();
+  for (const Revocation& rev : revocations_) {
+    if (rev.expires <= now) continue;
+    if (path.uses_interface(rev.ia, rev.iface)) return true;
+  }
+  return false;
+}
+
+std::size_t PathSelector::active_revocations() const {
+  const TimePoint now = daemon_.simulator().now();
+  std::size_t count = 0;
+  for (const Revocation& rev : revocations_) {
+    if (rev.expires > now) ++count;
+  }
+  return count;
+}
+
+void PathSelector::choose(scion::IsdAsn dst, std::function<void(PathChoice)> callback) {
+  choose(dst, {}, std::move(callback), std::nullopt);
+}
+
+void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_preference,
+                          std::function<void(PathChoice)> callback,
+                          std::optional<ppl::PolicySet> override_policies) {
+  daemon_.query(dst, [this, pref = std::move(server_preference),
+                      override = std::move(override_policies),
+                      cb = std::move(callback)](std::vector<scion::Path> paths) {
+    const ppl::PolicySet& policies = override.has_value() ? *override : policies_;
+    PathChoice choice;
+    choice.candidates = paths.size();
+    // Known-broken paths (SCMP revocations) are unusable at any compliance
+    // level.
+    std::erase_if(paths, [&](const scion::Path& p) { return is_revoked(p); });
+    if (!paths.empty()) {
+      // `any` falls back to the daemon's latency-first order.
+      choice.any = paths.front();
+      std::vector<scion::Path> filtered;
+      filtered.reserve(paths.size());
+      for (const scion::Path& p : paths) {
+        if (geofence_.has_value() && !geofence_->permits(p)) continue;
+        if (!policies.permits(p)) continue;
+        filtered.push_back(p);
+      }
+      // Ordering precedence: user policies first, then the negotiated
+      // server preference as a tie-breaker.
+      std::vector<ppl::OrderKey> ordering = policies.combined_ordering();
+      ordering.insert(ordering.end(), pref.begin(), pref.end());
+      ppl::order_paths(filtered, ordering);
+      if (!filtered.empty()) choice.compliant = filtered.front();
+    }
+    cb(std::move(choice));
+  });
+}
+
+void PathSelector::record_rtt(const scion::Path& path, Duration rtt) {
+  if (rtt <= Duration::zero()) return;
+  PathUsage& usage = usage_[path.fingerprint()];
+  if (usage.description.empty()) usage.description = path.to_string();
+  if (usage.observed_rtt == Duration::zero()) {
+    usage.observed_rtt = rtt;
+  } else {
+    usage.observed_rtt = Duration{(7 * usage.observed_rtt.nanos() + rtt.nanos()) / 8};
+  }
+}
+
+void PathSelector::record_use(const scion::Path& path, std::uint64_t bytes, TimePoint now) {
+  PathUsage& usage = usage_[path.fingerprint()];
+  if (usage.description.empty()) usage.description = path.to_string();
+  ++usage.requests;
+  usage.bytes += bytes;
+  usage.total_latency_estimate += path.meta().latency;
+  if (now > usage.last_used) usage.last_used = now;
+}
+
+}  // namespace pan::proxy

@@ -1,0 +1,91 @@
+// Policy-driven path selection with per-path usage statistics.
+//
+// The selector asks the local daemon for candidate paths, applies the user's
+// policy set (PPL policies + compiled geofence), and reports both the best
+// compliant path and the best unrestricted path — the split the proxy needs
+// to implement opportunistic vs. strict semantics (Section 4.2): in
+// opportunistic mode a non-compliant path still loads the page (flagged in
+// the UI); strict mode requires compliance.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "ppl/geofence.hpp"
+#include "scion/daemon.hpp"
+
+namespace pan::proxy {
+
+struct PathChoice {
+  std::optional<scion::Path> compliant;  // best policy-compliant path
+  std::optional<scion::Path> any;        // best path ignoring the policy
+  std::size_t candidates = 0;            // daemon candidates considered
+
+  [[nodiscard]] bool reachable() const { return any.has_value(); }
+};
+
+/// Per-path usage counters surfaced to the user ("statistics on path usage
+/// and performance of particular paths are provided as feedback").
+struct PathUsage {
+  std::string description;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  Duration total_latency_estimate = Duration::zero();
+  /// Transport-observed smoothed RTT, exponentially averaged over requests
+  /// (zero until the first measurement) — the "performance of particular
+  /// paths" feedback channel.
+  Duration observed_rtt = Duration::zero();
+  TimePoint last_used;
+};
+
+class PathSelector {
+ public:
+  explicit PathSelector(scion::Daemon& daemon);
+
+  void set_policies(ppl::PolicySet policies) { policies_ = std::move(policies); }
+  [[nodiscard]] const ppl::PolicySet& policies() const { return policies_; }
+  void set_geofence(std::optional<ppl::Geofence> geofence);
+  [[nodiscard]] const std::optional<ppl::Geofence>& geofence() const { return geofence_; }
+
+  void choose(scion::IsdAsn dst, std::function<void(PathChoice)> callback);
+  /// As choose(), with a negotiated server preference applied as a
+  /// tie-breaking ordering after the user's policies, and an optional
+  /// per-destination policy set overriding the selector's default (the
+  /// proxy's PolicyRouter resolves it per request).
+  void choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_preference,
+              std::function<void(PathChoice)> callback,
+              std::optional<ppl::PolicySet> override_policies = std::nullopt);
+
+  /// Records a request carried over `path`.
+  void record_use(const scion::Path& path, std::uint64_t bytes,
+                  TimePoint now = TimePoint::origin());
+  /// Folds a transport RTT measurement into the path's feedback stats.
+  void record_rtt(const scion::Path& path, Duration rtt);
+
+  /// SCMP-driven revocation: paths crossing `iface` of `ia` are excluded
+  /// from selection until the revocation expires.
+  void revoke(scion::IsdAsn ia, scion::IfaceId iface, Duration ttl);
+  [[nodiscard]] bool is_revoked(const scion::Path& path) const;
+  [[nodiscard]] std::size_t active_revocations() const;
+  [[nodiscard]] const std::unordered_map<std::string, PathUsage>& usage() const {
+    return usage_;
+  }
+
+ private:
+  struct Revocation {
+    scion::IsdAsn ia;
+    scion::IfaceId iface = scion::kNoIface;
+    TimePoint expires;
+  };
+
+  [[nodiscard]] bool permits(const scion::Path& path) const;
+
+  scion::Daemon& daemon_;
+  ppl::PolicySet policies_;
+  std::optional<ppl::Geofence> geofence_;
+  std::unordered_map<std::string, PathUsage> usage_;
+  std::vector<Revocation> revocations_;
+};
+
+}  // namespace pan::proxy

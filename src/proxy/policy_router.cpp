@@ -1,0 +1,27 @@
+#include "proxy/policy_router.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::proxy {
+
+bool PolicyRouter::host_matches(const std::string& pattern, const std::string& host) {
+  if (pattern == "*") return true;
+  if (strings::starts_with(pattern, "*.")) {
+    const std::string_view suffix = std::string_view(pattern).substr(1);  // ".x.org"
+    return host.size() > suffix.size() && strings::ends_with(host, suffix);
+  }
+  return strings::iequals(pattern, host);
+}
+
+void PolicyRouter::add_rule(std::string host_pattern, ppl::PolicySet policies) {
+  rules_.push_back(Rule{std::move(host_pattern), std::move(policies)});
+}
+
+const ppl::PolicySet& PolicyRouter::match(const std::string& host) const {
+  for (const Rule& rule : rules_) {
+    if (host_matches(rule.pattern, host)) return rule.policies;
+  }
+  return default_;
+}
+
+}  // namespace pan::proxy

@@ -1,0 +1,44 @@
+// Per-destination policy routing: the extension UI lets users attach
+// different path policies to different sites ("optimize CO2 for video
+// sites, geofence my bank"), so the proxy resolves which PolicySet governs
+// each request by hostname.
+//
+// Rules are (host pattern, PolicySet) pairs checked in insertion order;
+// patterns are exact hostnames or "*.suffix" wildcards ("*" alone matches
+// everything). The first match wins; a default set applies otherwise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppl/ast.hpp"
+
+namespace pan::proxy {
+
+class PolicyRouter {
+ public:
+  /// True if `pattern` covers `host` ("www.x.org" matches "*.x.org" and
+  /// "www.x.org" but not "x.org"; "*" matches anything).
+  [[nodiscard]] static bool host_matches(const std::string& pattern, const std::string& host);
+
+  void add_rule(std::string host_pattern, ppl::PolicySet policies);
+  void set_default(ppl::PolicySet policies) { default_ = std::move(policies); }
+  void clear_rules() { rules_.clear(); }
+
+  /// The governing policy set for `host` (never null; falls back to the
+  /// default set, which may be empty/permissive).
+  [[nodiscard]] const ppl::PolicySet& match(const std::string& host) const;
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    std::string pattern;
+    ppl::PolicySet policies;
+  };
+
+  std::vector<Rule> rules_;
+  ppl::PolicySet default_;
+};
+
+}  // namespace pan::proxy

@@ -1,0 +1,57 @@
+// Server-side reverse proxy ("we have implemented a simple reverse proxy to
+// add SCION support to web servers", Section 5.1).
+//
+// Accepts QUIC-lite/SCION connections and relays each request to a legacy
+// HTTP backend over TCP-lite/IP, returning the backend's response. It can
+// inject the Strict-SCION header on behalf of operators whose sites are
+// fully SCION-capable (Section 4.2).
+#pragma once
+
+#include <memory>
+
+#include "http/endpoints.hpp"
+#include "http/strict_scion.hpp"
+
+namespace pan::proxy {
+
+struct ReverseProxyConfig {
+  /// Inject "Strict-SCION: max-age=..." into all responses.
+  std::optional<http::StrictScionDirective> inject_strict_scion;
+  /// Inject a "Path-Preference: ..." header (server-side path negotiation)
+  /// on behalf of the backend operator.
+  std::optional<std::string> inject_path_preference;
+  /// Per-request processing overhead of the reverse proxy.
+  Duration processing_overhead = microseconds(150);
+  transport::TransportConfig quic = http::default_quic_config();
+  transport::TransportConfig tcp = http::default_tcp_config();
+  std::size_t max_backend_conns = 8;
+};
+
+class ReverseProxy {
+ public:
+  /// `stack` is the proxy host's SCION stack (the listening side); the
+  /// legacy backend is reached from the same host.
+  ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
+               net::Endpoint backend, ReverseProxyConfig config = {});
+
+  [[nodiscard]] std::uint64_t requests_relayed() const { return relayed_; }
+  [[nodiscard]] std::uint64_t backend_errors() const { return backend_errors_; }
+
+ private:
+  void relay(const http::HttpRequest& request, http::HttpServer::Respond respond);
+  http::LegacyHttpConnection* idle_backend_conn();
+
+  scion::ScionStack& stack_;
+  net::Endpoint backend_;
+  ReverseProxyConfig config_;
+  struct BackendEntry {
+    std::unique_ptr<http::LegacyHttpConnection> conn;
+    std::size_t outstanding = 0;
+  };
+  std::vector<BackendEntry> backend_conns_;
+  std::unique_ptr<http::ScionHttpServer> server_;
+  std::uint64_t relayed_ = 0;
+  std::uint64_t backend_errors_ = 0;
+};
+
+}  // namespace pan::proxy

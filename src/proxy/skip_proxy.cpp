@@ -1,0 +1,384 @@
+#include "proxy/skip_proxy.hpp"
+
+#include "http/strict_scion.hpp"
+#include "proxy/negotiation.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pan::proxy {
+
+namespace {
+constexpr std::string_view kLog = "skip";
+
+http::HttpResponse synthetic_error(int status, const std::string& message) {
+  http::HttpResponse response = http::make_text_response(status, message);
+  response.headers.set("X-Skip-Error", message);
+  return response;
+}
+
+}  // namespace
+
+const char* to_string(TransportUsed t) {
+  switch (t) {
+    case TransportUsed::kScion: return "scion";
+    case TransportUsed::kIp: return "ip";
+    case TransportUsed::kBlocked: return "blocked";
+    case TransportUsed::kError: return "error";
+  }
+  return "?";
+}
+
+SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& stack,
+                     scion::Daemon& daemon, dns::Resolver& resolver, ProxyConfig config)
+    : sim_(sim),
+      host_(host),
+      stack_(stack),
+      resolver_(resolver),
+      config_(config),
+      detector_(sim, resolver),
+      selector_(daemon) {
+  scmp_subscription_ = stack_.subscribe_scmp(
+      [this](const scion::ScmpMessage& message) { on_scmp(message); });
+}
+
+SkipProxy::~SkipProxy() { stack_.unsubscribe_scmp(scmp_subscription_); }
+
+void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
+  ++stats_.scmp_reports;
+  selector_.revoke(message.origin_as, message.interface, config_.revocation_ttl);
+  PAN_DEBUG(kLog) << "revoking after " << message.to_string();
+  // Migrate every pooled connection whose current path crosses the broken
+  // interface: re-select and switch the QUIC connection's conduit; loss
+  // recovery redelivers in-flight data over the new path.
+  for (auto& [key, origin] : scion_pool_) {
+    if (origin.conn == nullptr ||
+        origin.conn->transport().state() == transport::Connection::State::kClosed) {
+      continue;
+    }
+    if (!origin.path.uses_interface(message.origin_as, message.interface)) continue;
+    const std::string origin_key = key;
+    std::optional<ppl::PolicySet> per_site_policies;
+    if (policy_router_.rule_count() > 0) {
+      const std::string host = origin_key.substr(0, origin_key.find(':'));
+      per_site_policies = policy_router_.match(host);
+    }
+    selector_.choose(origin.addr.ia, {}, [this, origin_key](PathChoice choice) {
+      const auto it = scion_pool_.find(origin_key);
+      if (it == scion_pool_.end() || it->second.conn == nullptr) return;
+      const scion::Path* replacement = nullptr;
+      if (choice.compliant.has_value()) {
+        replacement = &*choice.compliant;
+      } else if (choice.any.has_value()) {
+        replacement = &*choice.any;
+      }
+      if (replacement == nullptr ||
+          replacement->fingerprint() == it->second.path.fingerprint()) {
+        return;  // nothing better available
+      }
+      ++stats_.scmp_reroutes;
+      PAN_DEBUG(kLog) << origin_key << ": migrating to " << replacement->to_string();
+      it->second.conn->set_path(replacement->dataplane());
+      it->second.path = *replacement;
+    },
+                     std::move(per_site_policies));
+  }
+}
+
+http::HttpRequest SkipProxy::to_origin_form(const http::Url& url, http::HttpRequest request) {
+  request.target = url.path;
+  request.headers.set("Host", url.authority());
+  return request;
+}
+
+void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
+                      FetchFn on_result) {
+  ++stats_.requests;
+  auto shared_cb = std::make_shared<FetchFn>(std::move(on_result));
+  auto done = std::make_shared<bool>(false);
+
+  // Per-request timeout.
+  sim_.schedule_after(config_.request_timeout, [this, shared_cb, done] {
+    if (*done) return;
+    ++stats_.timeouts;
+    ProxyResult result;
+    result.transport = TransportUsed::kError;
+    result.response = synthetic_error(504, "proxy request timeout");
+    finish(shared_cb, done, std::move(result));
+  });
+
+  // Browser -> proxy IPC crossing plus proxy processing.
+  sim_.schedule_after(config_.ipc_overhead + config_.processing_overhead,
+                      [this, request = std::move(request), options, shared_cb, done]() mutable {
+                        process(std::move(request), options, shared_cb, done);
+                      });
+}
+
+void SkipProxy::finish(std::shared_ptr<FetchFn> on_result, std::shared_ptr<bool> done,
+                       ProxyResult result) {
+  if (*done) return;
+  *done = true;
+  switch (result.transport) {
+    case TransportUsed::kScion: ++stats_.over_scion; break;
+    case TransportUsed::kIp: ++stats_.over_ip; break;
+    case TransportUsed::kBlocked: ++stats_.blocked; break;
+    case TransportUsed::kError: ++stats_.errors; break;
+  }
+  // Proxy -> browser IPC crossing.
+  sim_.schedule_after(config_.ipc_overhead,
+                      [on_result, result = std::move(result)]() mutable {
+                        (*on_result)(std::move(result));
+                      });
+}
+
+void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
+                        std::shared_ptr<FetchFn> on_result, std::shared_ptr<bool> done) {
+  // Determine the URL: absolute-form target (proxy convention) or Host header.
+  std::string url_text = request.target;
+  if (!strings::starts_with(url_text, "http://")) {
+    url_text = "http://" + request.host() + request.target;
+  }
+  const auto url = http::parse_url(url_text);
+  if (!url.ok()) {
+    ProxyResult result;
+    result.response = synthetic_error(400, "bad proxy request URL: " + url.error());
+    finish(on_result, done, std::move(result));
+    return;
+  }
+
+  detector_.resolve(url.value().host, [this, url = url.value(), request = std::move(request),
+                                       options, on_result, done](ResolvedHost host) mutable {
+    const bool scion_possible = host.scion.has_value() && config_.prefer_scion;
+    if (!scion_possible) {
+      if (options.strict) {
+        ProxyResult result;
+        result.transport = TransportUsed::kBlocked;
+        result.response =
+            synthetic_error(502, "strict mode: " + url.host + " is not reachable over SCION");
+        finish(on_result, done, std::move(result));
+        return;
+      }
+      if (!host.ip.has_value()) {
+        ProxyResult result;
+        result.response = synthetic_error(502, "cannot resolve " + url.host);
+        finish(on_result, done, std::move(result));
+        return;
+      }
+      fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/false, on_result, done);
+      return;
+    }
+
+    // Apply any negotiated server preference for this origin (user policies
+    // still rank first inside the selector).
+    std::vector<ppl::OrderKey> server_pref;
+    if (const auto pref = origin_preferences_.find(url.authority());
+        pref != origin_preferences_.end()) {
+      server_pref = pref->second;
+    }
+    std::optional<ppl::PolicySet> per_site_policies;
+    if (policy_router_.rule_count() > 0) {
+      per_site_policies = policy_router_.match(url.host);
+    }
+    selector_.choose(host.scion->ia, std::move(server_pref),
+                     [this, url, request = std::move(request), options, host,
+                      on_result, done](PathChoice choice) mutable {
+      const bool local_dst = stack_.local_as() == host.scion->ia;
+      if (local_dst) {
+        // Intra-AS destination: the empty path is trivially compliant.
+        fetch_over_scion(url, std::move(request), *host.scion,
+                         scion::Path::local(stack_.local_as()), /*compliant=*/true,
+                         host.ip, on_result, done);
+        return;
+      }
+      if (options.strict) {
+        if (!choice.compliant.has_value()) {
+          ProxyResult result;
+          result.transport = TransportUsed::kBlocked;
+          result.response = synthetic_error(
+              502, "strict mode: no policy-compliant SCION path to " + url.host);
+          finish(on_result, done, std::move(result));
+          return;
+        }
+        fetch_over_scion(url, std::move(request), *host.scion, *choice.compliant,
+                         /*compliant=*/true, std::nullopt, on_result, done);
+        return;
+      }
+      // Opportunistic: compliant if possible, else any path (flagged), else IP.
+      if (choice.compliant.has_value()) {
+        fetch_over_scion(url, std::move(request), *host.scion, *choice.compliant,
+                         /*compliant=*/true, host.ip, on_result, done);
+      } else if (choice.any.has_value()) {
+        PAN_DEBUG(kLog) << url.host << ": no policy-compliant path, using non-compliant";
+        fetch_over_scion(url, std::move(request), *host.scion, *choice.any,
+                         /*compliant=*/false, host.ip, on_result, done);
+      } else if (host.ip.has_value()) {
+        fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/true, on_result, done);
+      } else {
+        ProxyResult result;
+        result.response = synthetic_error(502, "no SCION path and no legacy address for " +
+                                                   url.host);
+        finish(on_result, done, std::move(result));
+      }
+    },
+                     std::move(per_site_policies));
+  });
+}
+
+void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request,
+                                 const scion::ScionAddr& addr, const scion::Path& path,
+                                 bool compliant, std::optional<net::IpAddr> fallback_ip,
+                                 std::shared_ptr<FetchFn> on_result,
+                                 std::shared_ptr<bool> done) {
+  const std::string key = url.authority();
+  ScionOrigin& origin = scion_pool_[key];
+  if (origin.conn == nullptr ||
+      origin.conn->transport().state() == transport::Connection::State::kClosed) {
+    // 0-RTT resumption: origins we have spoken SCION to before accept early
+    // data, saving a handshake round trip on reconnects.
+    transport::TransportConfig quic = config_.quic;
+    quic.zero_rtt = resumption_tickets_.contains(key);
+    origin.conn = std::make_unique<http::ScionHttpConnection>(
+        stack_, scion::ScionEndpoint{addr, url.port}, path.dataplane(), quic);
+    origin.path = path;
+    origin.addr = addr;
+  } else if (origin.path.fingerprint() != path.fingerprint()) {
+    origin.conn->set_path(path.dataplane());
+    origin.path = path;
+  }
+
+  http::HttpRequest origin_request = to_origin_form(url, std::move(request));
+  origin.conn->fetch(origin_request, [this, url, origin_request, addr, path, compliant,
+                                      fallback_ip, on_result,
+                                      done](Result<http::HttpResponse> result) {
+    if (*done) return;
+    if (!result.ok()) {
+      if (fallback_ip.has_value()) {
+        ++stats_.fallbacks;
+        PAN_DEBUG(kLog) << url.host << ": SCION fetch failed (" << result.error()
+                        << "), falling back to IP";
+        fetch_over_ip(url, origin_request, *fallback_ip, /*fell_back=*/true, on_result, done);
+        return;
+      }
+      ProxyResult out;
+      out.response = synthetic_error(502, "SCION fetch failed: " + result.error());
+      finish(on_result, done, std::move(out));
+      return;
+    }
+    http::HttpResponse response = std::move(result).take();
+    // Learn availability advertised via Strict-SCION.
+    if (const auto directive = http::strict_scion_of(response)) {
+      detector_.learn(url.host, addr, directive->max_age);
+    }
+    // Path negotiation: remember the server's advertised preference.
+    if (const auto pref_header = response.headers.get(std::string(kPathPreferenceHeader))) {
+      if (auto parsed_pref = parse_path_preference(*pref_header); parsed_pref.ok()) {
+        origin_preferences_[url.authority()] = std::move(parsed_pref).take();
+      } else {
+        PAN_DEBUG(kLog) << url.host << ": ignoring bad Path-Preference: "
+                        << parsed_pref.error();
+      }
+    }
+    // Report the path the connection *ended up on* — an SCMP-driven
+    // migration may have moved it off the path chosen at selection time.
+    const scion::Path* final_path = &path;
+    if (const auto pool_it = scion_pool_.find(url.authority());
+        pool_it != scion_pool_.end() && pool_it->second.conn != nullptr) {
+      if (!pool_it->second.path.fingerprint().empty()) {
+        final_path = &pool_it->second.path;
+      }
+      selector_.record_rtt(*final_path, pool_it->second.conn->transport().smoothed_rtt());
+    }
+    selector_.record_use(*final_path, response.body.size(), sim_.now());
+    resumption_tickets_.insert(url.authority());
+    stats_.bytes_scion += response.body.size();
+
+    response.headers.set("X-Skip-Transport", "scion");
+    response.headers.set("X-Skip-Path", final_path->fingerprint());
+    response.headers.set("X-Skip-Compliant", compliant ? "yes" : "no");
+
+    ProxyResult out;
+    out.transport = TransportUsed::kScion;
+    out.policy_compliant = compliant;
+    out.path_fingerprint = final_path->fingerprint();
+    out.response = std::move(response);
+    finish(on_result, done, std::move(out));
+  });
+}
+
+void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
+                              bool fell_back, std::shared_ptr<FetchFn> on_result,
+                              std::shared_ptr<bool> done) {
+  const std::string key = url.authority();
+  http::HttpRequest origin_request = to_origin_form(url, std::move(request));
+  LegacyOrigin& origin = legacy_pool_[key];
+  origin.waiting.emplace_back(
+      std::move(origin_request),
+      [this, fell_back, on_result, done](Result<http::HttpResponse> result) {
+        if (*done) return;
+        if (!result.ok()) {
+          ProxyResult out;
+          out.response = synthetic_error(502, "legacy fetch failed: " + result.error());
+          out.fell_back = fell_back;
+          finish(on_result, done, std::move(out));
+          return;
+        }
+        http::HttpResponse response = std::move(result).take();
+        stats_.bytes_ip += response.body.size();
+        response.headers.set("X-Skip-Transport", "ip");
+        ProxyResult out;
+        out.transport = TransportUsed::kIp;
+        out.fell_back = fell_back;
+        out.response = std::move(response);
+        finish(on_result, done, std::move(out));
+      });
+  dispatch_legacy(key, ip, url.port);
+}
+
+void SkipProxy::dispatch_legacy(const std::string& origin_key, net::IpAddr ip,
+                                std::uint16_t port) {
+  LegacyOrigin& origin = legacy_pool_[origin_key];
+  // Drop dead connections.
+  std::erase_if(origin.conns, [](const LegacyPoolEntry& e) {
+    return e.conn->transport().state() == transport::Connection::State::kClosed &&
+           e.outstanding == 0;
+  });
+  while (!origin.waiting.empty()) {
+    // Find an idle connection (browser-style: no pipelining on one conn).
+    LegacyPoolEntry* chosen = nullptr;
+    for (LegacyPoolEntry& entry : origin.conns) {
+      if (entry.outstanding == 0 &&
+          entry.conn->transport().state() != transport::Connection::State::kClosed) {
+        chosen = &entry;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      if (origin.conns.size() >= config_.max_legacy_conns_per_origin) return;  // queue
+      origin.conns.push_back(LegacyPoolEntry{
+          std::make_unique<http::LegacyHttpConnection>(host_, net::Endpoint{ip, port},
+                                                       config_.tcp),
+          0});
+      chosen = &origin.conns.back();
+    }
+
+    auto [request, cb] = std::move(origin.waiting.front());
+    origin.waiting.pop_front();
+    ++chosen->outstanding;
+    // Index-stable capture: connections vector may grow; capture the conn
+    // pointer and a weak count reference via origin_key lookup on completion.
+    http::LegacyHttpConnection* conn = chosen->conn.get();
+    conn->fetch(request, [this, origin_key, ip, port, conn,
+                          cb = std::move(cb)](Result<http::HttpResponse> result) {
+      LegacyOrigin& o = legacy_pool_[origin_key];
+      for (LegacyPoolEntry& entry : o.conns) {
+        if (entry.conn.get() == conn && entry.outstanding > 0) {
+          --entry.outstanding;
+          break;
+        }
+      }
+      cb(std::move(result));
+      dispatch_legacy(origin_key, ip, port);
+    });
+  }
+}
+
+}  // namespace pan::proxy

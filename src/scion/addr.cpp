@@ -1,0 +1,71 @@
+#include "scion/addr.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::scion {
+
+std::string format_asn(Asn asn) {
+  if (asn < (1ULL << 32)) {
+    return std::to_string(asn);
+  }
+  return strings::format("%llx:%llx:%llx",
+                         static_cast<unsigned long long>((asn >> 32) & 0xffff),
+                         static_cast<unsigned long long>((asn >> 16) & 0xffff),
+                         static_cast<unsigned long long>(asn & 0xffff));
+}
+
+Result<Asn> parse_asn(std::string_view s) {
+  if (s.find(':') == std::string_view::npos) {
+    const auto v = strings::parse_u64(s);
+    if (!v.ok()) return Err("bad AS number: " + v.error());
+    if (v.value() >= (1ULL << 32)) return Err("decimal AS number out of range");
+    return v.value();
+  }
+  const auto groups = strings::split(s, ':');
+  if (groups.size() != 3) return Err("hex AS number must have 3 groups: '" + std::string(s) + "'");
+  Asn asn = 0;
+  for (const auto& group : groups) {
+    const auto v = strings::parse_hex_u64(group);
+    if (!v.ok()) return Err("bad AS number group: " + v.error());
+    if (v.value() > 0xffff) return Err("AS number group out of range");
+    asn = (asn << 16) | v.value();
+  }
+  return asn;
+}
+
+std::string IsdAsn::to_string() const {
+  return std::to_string(isd_) + "-" + format_asn(asn_);
+}
+
+Result<IsdAsn> IsdAsn::parse(std::string_view s) {
+  const auto dash = s.find('-');
+  if (dash == std::string_view::npos) return Err("ISD-AS must contain '-': '" + std::string(s) + "'");
+  const auto isd = strings::parse_u64(s.substr(0, dash));
+  if (!isd.ok()) return Err("bad ISD: " + isd.error());
+  if (isd.value() > 0xffff) return Err("ISD out of range");
+  const auto asn = parse_asn(s.substr(dash + 1));
+  if (!asn.ok()) return Err(asn.error());
+  return IsdAsn{static_cast<Isd>(isd.value()), asn.value()};
+}
+
+std::string ScionAddr::to_string() const {
+  return ia.to_string() + "," + host.to_string();
+}
+
+Result<ScionAddr> ScionAddr::parse(std::string_view s) {
+  const auto comma = s.find(',');
+  if (comma == std::string_view::npos) {
+    return Err("SCION address must contain ',': '" + std::string(s) + "'");
+  }
+  const auto ia = IsdAsn::parse(s.substr(0, comma));
+  if (!ia.ok()) return Err(ia.error());
+  const auto host = net::IpAddr::parse(s.substr(comma + 1));
+  if (!host.ok()) return Err(host.error());
+  return ScionAddr{ia.value(), host.value()};
+}
+
+std::string ScionEndpoint::to_string() const {
+  return "[" + addr.to_string() + "]:" + std::to_string(port);
+}
+
+}  // namespace pan::scion

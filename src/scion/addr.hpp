@@ -1,0 +1,87 @@
+// SCION addressing: ISD (isolation domain) numbers, AS numbers, the
+// combined ISD-AS identifier, and full SCION host addresses.
+//
+// Formatting follows SCION conventions: AS numbers render in the BGP-style
+// decimal form for small values and the colon-grouped hex form
+// ("ff00:0:110") otherwise; a full address renders as
+// "1-ff00:0:110,10.0.0.1".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/addr.hpp"
+#include "util/result.hpp"
+
+namespace pan::scion {
+
+using Isd = std::uint16_t;
+using Asn = std::uint64_t;  // 48-bit in real SCION; we keep 64 for simplicity
+
+/// Combined ISD-AS identifier, e.g. "1-ff00:0:110".
+class IsdAsn {
+ public:
+  constexpr IsdAsn() = default;
+  constexpr IsdAsn(Isd isd, Asn asn) : isd_(isd), asn_(asn) {}
+
+  [[nodiscard]] constexpr Isd isd() const { return isd_; }
+  [[nodiscard]] constexpr Asn asn() const { return asn_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return isd_ == 0 && asn_ == 0; }
+  /// Packed form for hashing and wire encoding.
+  [[nodiscard]] constexpr std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(isd_) << 48) | (asn_ & 0xffff'ffff'ffffULL);
+  }
+  [[nodiscard]] static constexpr IsdAsn from_packed(std::uint64_t v) {
+    return IsdAsn{static_cast<Isd>(v >> 48), v & 0xffff'ffff'ffffULL};
+  }
+
+  constexpr auto operator<=>(const IsdAsn&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Parses "isd-asn" where asn is decimal or colon-grouped hex.
+  [[nodiscard]] static Result<IsdAsn> parse(std::string_view s);
+
+ private:
+  Isd isd_ = 0;
+  Asn asn_ = 0;
+};
+
+[[nodiscard]] std::string format_asn(Asn asn);
+[[nodiscard]] Result<Asn> parse_asn(std::string_view s);
+
+/// Full SCION host address: (ISD-AS, host address). Rendered
+/// "1-ff00:0:110,10.0.0.1".
+struct ScionAddr {
+  IsdAsn ia;
+  net::IpAddr host;
+
+  auto operator<=>(const ScionAddr&) const = default;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static Result<ScionAddr> parse(std::string_view s);
+};
+
+/// A UDP endpoint over SCION.
+struct ScionEndpoint {
+  ScionAddr addr;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const ScionEndpoint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pan::scion
+
+template <>
+struct std::hash<pan::scion::IsdAsn> {
+  std::size_t operator()(const pan::scion::IsdAsn& ia) const noexcept {
+    return std::hash<std::uint64_t>{}(ia.packed());
+  }
+};
+
+template <>
+struct std::hash<pan::scion::ScionAddr> {
+  std::size_t operator()(const pan::scion::ScionAddr& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.ia.packed() * 31 + a.host.value());
+  }
+};

@@ -1,0 +1,223 @@
+#include "scion/border_router.hpp"
+
+#include "util/log.hpp"
+
+namespace pan::scion {
+
+namespace {
+constexpr std::string_view kLog = "br";
+}
+
+BorderRouter::BorderRouter(net::Router& router, IsdAsn local, ForwardingKey key,
+                           BorderRouterConfig config)
+    : router_(router), local_(local), key_(std::move(key)), config_(config) {
+  router_.set_scion_handler(
+      [this](net::Packet&& p, net::IfId in_if) { handle(std::move(p), in_if); });
+}
+
+void BorderRouter::handle(net::Packet&& packet, net::IfId /*in_if*/) {
+  if (config_.processing_delay > Duration::zero()) {
+    auto& sim = router_.network().simulator();
+    sim.schedule_after(config_.processing_delay,
+                       [this, p = std::move(packet)]() mutable { process(std::move(p)); });
+  } else {
+    process(std::move(packet));
+  }
+}
+
+BorderRouter::HopCheck BorderRouter::check_hop(const DataplaneSegment& seg,
+                                               std::size_t hop_index, bool is_scmp) {
+  const HopField& hf = seg.hop_at(hop_index);
+  if (hf.isd_as != local_) {
+    ++stats_.drop_wrong_as;
+    PAN_DEBUG(kLog) << local_.to_string() << ": hop field for " << hf.isd_as.to_string();
+    return HopCheck::kWrongAs;
+  }
+  if (config_.verify_macs && !verify_hop_field(hf, seg.origin_ts, key_)) {
+    ++stats_.drop_mac;
+    PAN_DEBUG(kLog) << local_.to_string() << ": hop-field MAC verification failed";
+    return HopCheck::kBadMac;
+  }
+  // SCMP error reports get an expiry grace: they travel the reversed prefix
+  // of the very path whose hops just expired, and the source must still
+  // learn about it. MAC validity (path authorization) is never waived.
+  if (!is_scmp && config_.current_unix_time != 0 &&
+      seg.origin_ts + hf.expiry_s < config_.current_unix_time) {
+    ++stats_.drop_expired;
+    return HopCheck::kExpired;
+  }
+  return HopCheck::kOk;
+}
+
+void BorderRouter::send_scmp(const ScionHeader& original, std::size_t cur_seg,
+                             std::size_t cur_hop, ScmpType type, IfaceId interface) {
+  if (original.next_proto == kProtoScmp) return;  // never report on reports
+  if (original.src.ia.is_unspecified()) return;
+
+  ScmpMessage message;
+  message.type = type;
+  message.origin_as = local_;
+  message.interface = interface;
+  message.original_dst = original.dst;
+  message.original_dst_port = original.dst_port;
+
+  ScionHeader header;
+  header.src = ScionAddr{local_, net::IpAddr{0}};
+  header.dst = original.src;
+  header.next_proto = kProtoScmp;
+  header.path = original.path.reversed_prefix(cur_seg, cur_hop);
+  header.cur_seg = 0;
+  header.cur_hop = 0;
+
+  net::Packet packet;
+  packet.proto = net::Protocol::kScion;
+  packet.dst = original.src.host;
+  packet.payload = serialize_scion_packet(header, message.serialize());
+  ++stats_.scmp_sent;
+  PAN_DEBUG(kLog) << local_.to_string() << ": originating " << message.to_string();
+  // The report enters this router's own forwarding path: the first hop of
+  // the reversed prefix is our hop field.
+  process(std::move(packet));
+}
+
+void BorderRouter::process(net::Packet&& packet) {
+  auto parsed = parse_scion_packet(packet.payload);
+  if (!parsed.ok()) {
+    ++stats_.drop_parse;
+    PAN_DEBUG(kLog) << local_.to_string() << ": " << parsed.error();
+    return;
+  }
+  const ScionHeader& header = parsed.value().header;
+
+  // Reservation validation and policing (Colibri-lite): conforming packets
+  // ride priority; unknown/expired/over-rate reservations are dropped so a
+  // forged or abusive id cannot claim priority capacity.
+  if (header.reservation_id != 0 && config_.reservations != nullptr) {
+    const PoliceResult verdict =
+        config_.reservations->police(header.reservation_id, local_,
+                                     router_.network().simulator().now(), packet.wire_size());
+    if (verdict != PoliceResult::kAllow) {
+      ++stats_.drop_reservation;
+      PAN_DEBUG(kLog) << local_.to_string() << ": reservation drop ("
+                      << static_cast<int>(verdict) << ") id " << header.reservation_id;
+      return;
+    }
+    packet.priority = true;
+  }
+
+  // Intra-AS packet: empty path, deliver directly.
+  if (header.path.segments.empty()) {
+    deliver_local(header, std::move(packet));
+    return;
+  }
+
+  const std::size_t seg_idx = header.cur_seg;
+  const std::size_t hop_idx = header.cur_hop;
+  if (seg_idx >= header.path.segments.size() ||
+      hop_idx >= header.path.segments[seg_idx].length()) {
+    ++stats_.drop_malformed_path;
+    return;
+  }
+  const DataplaneSegment& seg = header.path.segments[seg_idx];
+  const bool is_scmp = header.next_proto == kProtoScmp;
+  switch (check_hop(seg, hop_idx, is_scmp)) {
+    case HopCheck::kOk:
+      break;
+    case HopCheck::kExpired:
+      send_scmp(header, seg_idx, hop_idx, ScmpType::kExpiredHop, kNoIface);
+      return;
+    default:
+      return;
+  }
+
+  const IfaceId egress = seg.traversal_egress(hop_idx);
+  if (egress != kNoIface) {
+    // A nonzero egress at the segment's last hop is a peering crossing: the
+    // next AS's hop field lives at the start of the next segment.
+    std::uint8_t next_seg = static_cast<std::uint8_t>(seg_idx);
+    std::uint8_t next_hop = static_cast<std::uint8_t>(hop_idx + 1);
+    if (hop_idx + 1 == seg.length()) {
+      if (seg_idx + 1 >= header.path.segments.size()) {
+        ++stats_.drop_malformed_path;
+        return;
+      }
+      next_seg = static_cast<std::uint8_t>(seg_idx + 1);
+      next_hop = 0;
+    }
+    send_out(header, egress, next_seg, next_hop, std::move(packet));
+    return;
+  }
+
+  // Segment end at this AS.
+  const bool last_segment = seg_idx + 1 == header.path.segments.size();
+  if (last_segment) {
+    deliver_local(header, std::move(packet));
+    return;
+  }
+
+  // Crossover: the next segment must start here with no ingress interface.
+  const DataplaneSegment& next_seg = header.path.segments[seg_idx + 1];
+  if (next_seg.length() == 0 || next_seg.traversal_ingress(0) != kNoIface) {
+    ++stats_.drop_malformed_path;
+    return;
+  }
+  switch (check_hop(next_seg, 0, is_scmp)) {
+    case HopCheck::kOk:
+      break;
+    case HopCheck::kExpired:
+      // Report with the cursor still on our completed hop so the reversed
+      // prefix ends at this AS.
+      send_scmp(header, seg_idx, hop_idx, ScmpType::kExpiredHop, kNoIface);
+      return;
+    default:
+      return;
+  }
+  const IfaceId next_egress = next_seg.traversal_egress(0);
+  if (next_egress == kNoIface) {
+    if (seg_idx + 2 == header.path.segments.size()) {
+      // A one-hop final segment ending right here.
+      deliver_local(header, std::move(packet));
+    } else {
+      ++stats_.drop_malformed_path;
+    }
+    return;
+  }
+  send_out(header, next_egress, static_cast<std::uint8_t>(seg_idx + 1), 1, std::move(packet));
+}
+
+void BorderRouter::deliver_local(const ScionHeader& header, net::Packet&& packet) {
+  if (header.dst.ia != local_) {
+    ++stats_.drop_wrong_as;
+    return;
+  }
+  const auto access_if = router_.host_route(header.dst.host);
+  if (!access_if.has_value()) {
+    ++stats_.drop_no_host;
+    PAN_DEBUG(kLog) << local_.to_string() << ": no host " << header.dst.host.to_string();
+    return;
+  }
+  ++stats_.delivered;
+  packet.dst = header.dst.host;
+  router_.network().send(router_.node(), *access_if, std::move(packet));
+}
+
+void BorderRouter::send_out(const ScionHeader& header, IfaceId egress, std::uint8_t cur_seg,
+                            std::uint8_t cur_hop, net::Packet&& packet) {
+  const net::IfId out_if = to_net_if(egress);
+  if (out_if >= router_.network().interface_count(router_.node())) {
+    ++stats_.drop_malformed_path;
+    return;
+  }
+  if (!router_.network().link_up(router_.node(), out_if)) {
+    ++stats_.drop_link_down;
+    // The failure happened while processing the hop *before* the advanced
+    // cursor; report from there.
+    send_scmp(header, header.cur_seg, header.cur_hop, ScmpType::kLinkDown, egress);
+    return;
+  }
+  patch_cursor(packet.payload, cur_seg, cur_hop);
+  ++stats_.forwarded;
+  router_.network().send(router_.node(), out_if, std::move(packet));
+}
+
+}  // namespace pan::scion

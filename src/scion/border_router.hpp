@@ -1,0 +1,101 @@
+// SCION border router: the data plane.
+//
+// Installed as the SCION handler of an AS's legacy router node. For every
+// packet it parses the SCION header, checks the current hop field belongs to
+// this AS, verifies the hop-field MAC against the AS forwarding key (path
+// authorization), handles segment crossovers, and either forwards out the
+// authorized egress interface or delivers to the destination host.
+//
+// SCION interface ids are the router's link interface ids offset by one
+// (SCION reserves 0 for "no interface").
+#pragma once
+
+#include "net/router.hpp"
+#include "scion/colibri.hpp"
+#include "scion/header.hpp"
+#include "scion/hopfield.hpp"
+#include "scion/scmp.hpp"
+
+namespace pan::scion {
+
+struct BorderRouterConfig {
+  bool verify_macs = true;
+  /// Per-packet header processing time.
+  Duration processing_delay = microseconds(5);
+  /// When nonzero, hop fields whose expiry precedes this "current unix time"
+  /// are rejected. (The simulator's beacon timestamps are synthetic, so the
+  /// check is opt-in.)
+  std::uint32_t current_unix_time = 0;
+  /// Colibri reservation validation/policing (null = reservation ids are
+  /// ignored and packets stay best-effort).
+  ReservationManager* reservations = nullptr;
+};
+
+struct BorderRouterStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t drop_parse = 0;
+  std::uint64_t drop_mac = 0;
+  std::uint64_t drop_wrong_as = 0;
+  std::uint64_t drop_malformed_path = 0;
+  std::uint64_t drop_no_host = 0;
+  std::uint64_t drop_expired = 0;
+  std::uint64_t drop_link_down = 0;
+  /// Packets with an invalid/over-rate reservation id.
+  std::uint64_t drop_reservation = 0;
+  /// SCMP error reports originated by this router.
+  std::uint64_t scmp_sent = 0;
+
+  [[nodiscard]] std::uint64_t total_drops() const {
+    return drop_parse + drop_mac + drop_wrong_as + drop_malformed_path + drop_no_host +
+           drop_expired + drop_link_down + drop_reservation;
+  }
+};
+
+class BorderRouter {
+ public:
+  BorderRouter(net::Router& router, IsdAsn local, ForwardingKey key,
+               BorderRouterConfig config = {});
+
+  BorderRouter(const BorderRouter&) = delete;
+  BorderRouter& operator=(const BorderRouter&) = delete;
+
+  [[nodiscard]] IsdAsn local_as() const { return local_; }
+  [[nodiscard]] const BorderRouterStats& stats() const { return stats_; }
+
+  /// Updates the "current unix time" used for hop-field expiry checks
+  /// (0 disables the check).
+  void set_current_time(std::uint32_t unix_time) { config_.current_unix_time = unix_time; }
+
+  /// Converts SCION interface id <-> router link interface id.
+  [[nodiscard]] static net::IfId to_net_if(IfaceId scion_if) {
+    return static_cast<net::IfId>(scion_if - 1);
+  }
+  [[nodiscard]] static IfaceId to_scion_if(net::IfId net_if) {
+    return static_cast<IfaceId>(net_if + 1);
+  }
+
+ private:
+  enum class HopCheck : std::uint8_t { kOk, kWrongAs, kBadMac, kExpired };
+
+  void handle(net::Packet&& packet, net::IfId in_if);
+  void process(net::Packet&& packet);
+  void deliver_local(const ScionHeader& header, net::Packet&& packet);
+  void send_out(const ScionHeader& header, IfaceId egress, std::uint8_t cur_seg,
+                std::uint8_t cur_hop, net::Packet&& packet);
+  [[nodiscard]] HopCheck check_hop(const DataplaneSegment& seg, std::size_t hop_index,
+                                   bool is_scmp);
+  /// Sends an SCMP failure report back toward the source over the reversed
+  /// traversed prefix ending at (cur_seg, cur_hop). No-op for SCMP packets
+  /// themselves (no error loops) and for unspecified sources.
+  void send_scmp(const ScionHeader& original, std::size_t cur_seg, std::size_t cur_hop,
+                 ScmpType type, IfaceId interface);
+
+  net::Router& router_;
+  IsdAsn local_;
+  ForwardingKey key_;
+  BorderRouterConfig config_;
+  BorderRouterStats stats_;
+};
+
+}  // namespace pan::scion

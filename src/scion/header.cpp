@@ -1,0 +1,80 @@
+#include "scion/header.hpp"
+
+namespace pan::scion {
+
+Bytes serialize_scion_packet(const ScionHeader& header, std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u8(kScionMagic);
+  w.u8(header.cur_seg);
+  w.u8(header.cur_hop);
+  w.u8(header.next_proto);
+  w.u64(header.src.ia.packed());
+  w.u32(header.src.host.value());
+  w.u64(header.dst.ia.packed());
+  w.u32(header.dst.host.value());
+  w.u16(header.src_port);
+  w.u16(header.dst_port);
+  w.u32(header.reservation_id);
+  w.u8(static_cast<std::uint8_t>(header.path.segments.size()));
+  for (const DataplaneSegment& seg : header.path.segments) {
+    w.u8(seg.reversed ? 1 : 0);
+    w.u32(seg.origin_ts);
+    w.u8(static_cast<std::uint8_t>(seg.hops.size()));
+    for (const HopField& hf : seg.hops) {
+      serialize_hop_field(w, hf);
+    }
+  }
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Result<ParsedScionPacket> parse_scion_packet(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u8() != kScionMagic) return Err("bad SCION magic");
+  ParsedScionPacket out;
+  ScionHeader& h = out.header;
+  h.cur_seg = r.u8();
+  h.cur_hop = r.u8();
+  h.next_proto = r.u8();
+  h.src.ia = IsdAsn::from_packed(r.u64());
+  h.src.host = net::IpAddr{r.u32()};
+  h.dst.ia = IsdAsn::from_packed(r.u64());
+  h.dst.host = net::IpAddr{r.u32()};
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.reservation_id = r.u32();
+  const std::uint8_t seg_count = r.u8();
+  h.path.segments.reserve(seg_count);
+  for (std::uint8_t s = 0; s < seg_count; ++s) {
+    DataplaneSegment seg;
+    seg.reversed = (r.u8() & 1) != 0;
+    seg.origin_ts = r.u32();
+    const std::uint8_t hop_count = r.u8();
+    seg.hops.reserve(hop_count);
+    for (std::uint8_t i = 0; i < hop_count; ++i) {
+      seg.hops.push_back(parse_hop_field(r));
+    }
+    h.path.segments.push_back(std::move(seg));
+  }
+  if (r.failed()) return Err("truncated SCION header");
+  out.payload = r.raw(r.remaining());
+  return out;
+}
+
+void patch_cursor(Bytes& packet, std::uint8_t cur_seg, std::uint8_t cur_hop) {
+  if (packet.size() <= ParsedScionPacket::kCurHopOffset) return;
+  packet[ParsedScionPacket::kCurSegOffset] = cur_seg;
+  packet[ParsedScionPacket::kCurHopOffset] = cur_hop;
+}
+
+std::size_t scion_header_size(const DataplanePath& path) {
+  // Fixed part: 4 + 12 + 12 + 4 + 4 (reservation) + 1 bytes.
+  std::size_t size = 37;
+  for (const DataplaneSegment& seg : path.segments) {
+    size += 6;  // flags + ts + hop count
+    size += seg.hops.size() * (8 + 2 + 2 + 4 + crypto::kShortMacSize);
+  }
+  return size;
+}
+
+}  // namespace pan::scion

@@ -1,0 +1,67 @@
+// SCION packet header wire format.
+//
+// Every SCION packet in the simulator is a real byte string parsed at every
+// border router, so header size (which grows with path length) feeds the
+// bandwidth/serialization model for free.
+//
+// Layout (big endian):
+//   u8  magic (0x5C)
+//   u8  current segment index
+//   u8  current hop index (within current segment, traversal order)
+//   u8  next protocol (17 = UDP)
+//   u64 src ISD-AS   u32 src host
+//   u64 dst ISD-AS   u32 dst host
+//   u16 src port     u16 dst port
+//   u8  segment count
+//   per segment: u8 flags (bit0 = reversed), u32 origin_ts, u8 hop count,
+//                hop fields (see hopfield.cpp)
+//   payload (rest of packet)
+#pragma once
+
+#include "scion/addr.hpp"
+#include "scion/path.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace pan::scion {
+
+inline constexpr std::uint8_t kScionMagic = 0x5C;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+struct ScionHeader {
+  ScionAddr src;
+  ScionAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t next_proto = kProtoUdp;
+  /// Colibri-style bandwidth reservation id (0 = best effort). Border
+  /// routers validate and police it.
+  std::uint32_t reservation_id = 0;
+  DataplanePath path;
+  /// Cursor: which segment / which traversal hop the next router processes.
+  std::uint8_t cur_seg = 0;
+  std::uint8_t cur_hop = 0;
+};
+
+/// Serializes header + payload into one buffer.
+[[nodiscard]] Bytes serialize_scion_packet(const ScionHeader& header,
+                                           std::span<const std::uint8_t> payload);
+
+struct ParsedScionPacket {
+  ScionHeader header;
+  Bytes payload;
+  /// Byte offsets of the cursor fields, so routers can advance the cursor
+  /// in place without reserializing the whole packet.
+  static constexpr std::size_t kCurSegOffset = 1;
+  static constexpr std::size_t kCurHopOffset = 2;
+};
+
+[[nodiscard]] Result<ParsedScionPacket> parse_scion_packet(std::span<const std::uint8_t> data);
+
+/// Patches the cursor bytes of a serialized SCION packet in place.
+void patch_cursor(Bytes& packet, std::uint8_t cur_seg, std::uint8_t cur_hop);
+
+/// Serialized header size for a path (for MTU math in tests).
+[[nodiscard]] std::size_t scion_header_size(const DataplanePath& path);
+
+}  // namespace pan::scion

@@ -1,0 +1,47 @@
+#include "scion/hopfield.hpp"
+
+#include <algorithm>
+
+namespace pan::scion {
+
+Bytes hop_mac_input(const HopField& hf, std::uint32_t origin_ts) {
+  ByteWriter w;
+  w.u32(origin_ts);
+  w.u64(hf.isd_as.packed());
+  w.u16(std::min(hf.in_if, hf.out_if));
+  w.u16(std::max(hf.in_if, hf.out_if));
+  w.u32(hf.expiry_s);
+  return std::move(w).take();
+}
+
+void seal_hop_field(HopField& hf, std::uint32_t origin_ts, const ForwardingKey& key) {
+  hf.mac = crypto::short_mac(key, hop_mac_input(hf, origin_ts));
+}
+
+bool verify_hop_field(const HopField& hf, std::uint32_t origin_ts, const ForwardingKey& key) {
+  const crypto::ShortMac expected = crypto::short_mac(key, hop_mac_input(hf, origin_ts));
+  return crypto::mac_equal(expected, hf.mac);
+}
+
+void serialize_hop_field(ByteWriter& w, const HopField& hf) {
+  w.u64(hf.isd_as.packed());
+  w.u16(hf.in_if);
+  w.u16(hf.out_if);
+  w.u32(hf.expiry_s);
+  w.raw(std::span<const std::uint8_t>(hf.mac));
+}
+
+HopField parse_hop_field(ByteReader& r) {
+  HopField hf;
+  hf.isd_as = IsdAsn::from_packed(r.u64());
+  hf.in_if = r.u16();
+  hf.out_if = r.u16();
+  hf.expiry_s = r.u32();
+  const Bytes mac = r.raw(crypto::kShortMacSize);
+  if (mac.size() == crypto::kShortMacSize) {
+    std::copy(mac.begin(), mac.end(), hf.mac.begin());
+  }
+  return hf;
+}
+
+}  // namespace pan::scion

@@ -1,0 +1,52 @@
+// Hop fields: the per-AS forwarding authorizations inside SCION paths.
+//
+// Each AS MACs its hop field with a local secret forwarding key during
+// beaconing; border routers re-verify on every data packet, so end hosts can
+// only use paths the control plane actually constructed (path authorization).
+//
+// Simplification vs. production SCION (documented in DESIGN.md): the MAC is
+// computed over the direction-normalized interface pair (min, max) rather
+// than a per-segment chained input. This keeps hop fields valid when a
+// segment is traversed in reverse (up-segment use) without per-direction
+// flags in the MAC input, while preserving the property tests care about:
+// any tampering with ISD-AS, interfaces, or timestamp invalidates the MAC.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hmac.hpp"
+#include "scion/types.hpp"
+#include "util/bytes.hpp"
+
+namespace pan::scion {
+
+/// Secret forwarding key held by each AS's border routers.
+using ForwardingKey = crypto::Key;
+
+struct HopField {
+  IsdAsn isd_as;
+  /// Interface toward the beacon origin (0 at the origin AS).
+  IfaceId in_if = kNoIface;
+  /// Interface away from the beacon origin (0 at the segment's last AS).
+  IfaceId out_if = kNoIface;
+  /// Expiry of the authorization, seconds since the epoch of the beacon
+  /// origination timestamp.
+  std::uint32_t expiry_s = 0;
+  crypto::ShortMac mac{};
+
+  bool operator==(const HopField&) const = default;
+};
+
+/// The MAC input bytes for a hop field under origination timestamp `ts`.
+[[nodiscard]] Bytes hop_mac_input(const HopField& hf, std::uint32_t origin_ts);
+
+/// Computes (and installs) the MAC for `hf` using the AS forwarding key.
+void seal_hop_field(HopField& hf, std::uint32_t origin_ts, const ForwardingKey& key);
+
+[[nodiscard]] bool verify_hop_field(const HopField& hf, std::uint32_t origin_ts,
+                                    const ForwardingKey& key);
+
+void serialize_hop_field(ByteWriter& w, const HopField& hf);
+[[nodiscard]] HopField parse_hop_field(ByteReader& r);
+
+}  // namespace pan::scion

@@ -1,0 +1,358 @@
+#include "scion/path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+#include "util/strings.hpp"
+
+namespace pan::scion {
+
+const HopField& DataplaneSegment::hop_at(std::size_t traversal_index) const {
+  return reversed ? hops[hops.size() - 1 - traversal_index] : hops[traversal_index];
+}
+
+IfaceId DataplaneSegment::traversal_ingress(std::size_t traversal_index) const {
+  const HopField& hf = hop_at(traversal_index);
+  return reversed ? hf.out_if : hf.in_if;
+}
+
+IfaceId DataplaneSegment::traversal_egress(std::size_t traversal_index) const {
+  const HopField& hf = hop_at(traversal_index);
+  return reversed ? hf.in_if : hf.out_if;
+}
+
+std::size_t DataplanePath::total_hops() const {
+  std::size_t n = 0;
+  for (const DataplaneSegment& seg : segments) n += seg.hops.size();
+  return n;
+}
+
+DataplanePath DataplanePath::reversed_prefix(std::size_t cur_seg, std::size_t cur_hop) const {
+  DataplanePath prefix;
+  for (std::size_t s = 0; s <= cur_seg && s < segments.size(); ++s) {
+    DataplaneSegment seg = segments[s];
+    if (s == cur_seg && cur_hop + 1 < seg.hops.size()) {
+      // Keep traversal hops [0..cur_hop]: a prefix of the beacon-order list
+      // for forward segments, a suffix for reversed ones.
+      if (seg.reversed) {
+        seg.hops.erase(seg.hops.begin(),
+                       seg.hops.end() - static_cast<std::ptrdiff_t>(cur_hop + 1));
+      } else {
+        seg.hops.resize(cur_hop + 1);
+      }
+    }
+    prefix.segments.push_back(std::move(seg));
+  }
+  return prefix.reversed();
+}
+
+DataplanePath DataplanePath::reversed() const {
+  DataplanePath out;
+  out.segments.reserve(segments.size());
+  for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+    DataplaneSegment seg = *it;
+    seg.reversed = !seg.reversed;
+    out.segments.push_back(std::move(seg));
+  }
+  return out;
+}
+
+Path::Path(IsdAsn src, IsdAsn dst, std::vector<PathHop> hops, PathMetadata meta,
+           DataplanePath dataplane)
+    : src_(src), dst_(dst), hops_(std::move(hops)), meta_(meta),
+      dataplane_(std::move(dataplane)) {
+  ByteWriter w;
+  for (const PathHop& hop : hops_) {
+    w.u64(hop.isd_as.packed());
+    w.u16(hop.ingress);
+    w.u16(hop.egress);
+  }
+  if (hops_.empty()) {
+    fingerprint_ = "local-" + src_.to_string();
+  } else {
+    fingerprint_ =
+        crypto::hex_digest(crypto::sha256(std::span<const std::uint8_t>(w.bytes()))).substr(0, 12);
+  }
+}
+
+Path Path::local(IsdAsn ia) {
+  PathMetadata meta;
+  meta.mtu = 1500;
+  meta.bandwidth_bps = std::numeric_limits<double>::infinity();
+  meta.all_qos_capable = true;
+  meta.all_allied = true;
+  meta.expiry_s = std::numeric_limits<std::uint32_t>::max();
+  return Path{ia, ia, {}, meta, DataplanePath{}};
+}
+
+bool Path::contains_as(IsdAsn ia) const {
+  return std::any_of(hops_.begin(), hops_.end(),
+                     [&](const PathHop& h) { return h.isd_as == ia; });
+}
+
+bool Path::uses_interface(IsdAsn ia, IfaceId iface) const {
+  if (iface == kNoIface) return contains_as(ia);
+  return std::any_of(hops_.begin(), hops_.end(), [&](const PathHop& h) {
+    return h.isd_as == ia && (h.ingress == iface || h.egress == iface);
+  });
+}
+
+bool Path::contains_isd(Isd isd) const {
+  return std::any_of(hops_.begin(), hops_.end(),
+                     [&](const PathHop& h) { return h.isd_as.isd() == isd; });
+}
+
+std::vector<std::string> Path::countries() const {
+  std::vector<std::string> out;
+  for (const PathHop& hop : hops_) {
+    if (out.empty() || out.back() != hop.as_meta.country) {
+      out.push_back(hop.as_meta.country);
+    }
+  }
+  return out;
+}
+
+std::string Path::to_string() const {
+  if (hops_.empty()) return "local(" + src_.to_string() + ")";
+  // "A 1>3 B 2>1 C": egress interface of the previous AS, '>', ingress
+  // interface of the next.
+  std::string out = hops_.front().isd_as.to_string();
+  for (std::size_t i = 1; i < hops_.size(); ++i) {
+    out += " " + std::to_string(hops_[i - 1].egress) + ">" +
+           std::to_string(hops_[i].ingress) + " " + hops_[i].isd_as.to_string();
+  }
+  return out;
+}
+
+namespace {
+
+/// One segment in traversal orientation plus its source PathSegment.
+struct OrientedSegment {
+  const PathSegment* segment;
+  bool reversed;
+
+  [[nodiscard]] std::size_t length() const { return segment->entries.size(); }
+  [[nodiscard]] const AsEntry& entry_at(std::size_t traversal_index) const {
+    return reversed ? segment->entries[length() - 1 - traversal_index]
+                    : segment->entries[traversal_index];
+  }
+  [[nodiscard]] IfaceId ingress_at(std::size_t i) const {
+    const HopField& hf = entry_at(i).hop;
+    return reversed ? hf.out_if : hf.in_if;
+  }
+  [[nodiscard]] IfaceId egress_at(std::size_t i) const {
+    const HopField& hf = entry_at(i).hop;
+    return reversed ? hf.in_if : hf.out_if;
+  }
+  [[nodiscard]] IsdAsn first_as() const { return entry_at(0).hop.isd_as; }
+  [[nodiscard]] IsdAsn last_as() const { return entry_at(length() - 1).hop.isd_as; }
+};
+
+void accumulate_link(PathMetadata& meta, const LinkMeta& link) {
+  meta.latency += link.latency;
+  meta.bandwidth_bps = std::min(meta.bandwidth_bps, link.bandwidth_bps);
+  meta.mtu = std::min(meta.mtu, link.mtu);
+  meta.loss_rate = 1.0 - (1.0 - meta.loss_rate) * (1.0 - link.loss_rate);
+  meta.jitter += link.jitter;
+  meta.co2_g_per_gb += link.co2_g_per_gb;
+  meta.cost_per_gb += link.cost_per_gb;
+}
+
+void accumulate_as(PathMetadata& meta, const AsMeta& as_meta, std::uint32_t hop_expiry,
+                   std::uint32_t origin_ts) {
+  meta.min_ethics_rating = std::min(meta.min_ethics_rating, as_meta.ethics_rating);
+  meta.all_qos_capable = meta.all_qos_capable && as_meta.qos_capable;
+  meta.all_allied = meta.all_allied && as_meta.allied;
+  meta.co2_g_per_gb += as_meta.internal_co2_g_per_gb;
+  const std::uint32_t abs_expiry = origin_ts + hop_expiry;
+  meta.expiry_s = std::min(meta.expiry_s, abs_expiry);
+}
+
+}  // namespace
+
+Result<Path> assemble_path(const PathSegment* up, const PathSegment* core,
+                           const PathSegment* down, IsdAsn src, IsdAsn dst) {
+  std::vector<OrientedSegment> parts;
+  if (up != nullptr) parts.push_back({up, /*reversed=*/true});
+  if (core != nullptr) parts.push_back({core, /*reversed=*/true});
+  if (down != nullptr) parts.push_back({down, /*reversed=*/false});
+
+  if (parts.empty()) {
+    if (src != dst) return Err("no segments but src != dst");
+    return Path::local(src);
+  }
+
+  // Endpoint checks.
+  if (parts.front().first_as() != src) {
+    return Err("path does not start at src: starts at " + parts.front().first_as().to_string());
+  }
+  if (parts.back().last_as() != dst) {
+    return Err("path does not end at dst: ends at " + parts.back().last_as().to_string());
+  }
+  for (std::size_t p = 0; p + 1 < parts.size(); ++p) {
+    if (parts[p].last_as() != parts[p + 1].first_as()) {
+      return Err("segment junction mismatch: " + parts[p].last_as().to_string() + " vs " +
+                 parts[p + 1].first_as().to_string());
+    }
+  }
+
+  // Build the merged AS-level hop list and aggregate metadata.
+  std::vector<PathHop> hops;
+  PathMetadata meta;
+  meta.bandwidth_bps = std::numeric_limits<double>::infinity();
+  meta.mtu = std::numeric_limits<std::size_t>::max();
+  meta.all_qos_capable = true;
+  meta.all_allied = true;
+  meta.expiry_s = std::numeric_limits<std::uint32_t>::max();
+
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const OrientedSegment& part = parts[p];
+    const std::uint32_t ts = part.segment->origin_ts;
+    for (std::size_t i = 0; i < part.length(); ++i) {
+      const AsEntry& entry = part.entry_at(i);
+      // Each traversal step i>0 crosses a link; the link metadata lives on
+      // the beacon-direction "downstream" entry of that link.
+      if (i > 0) {
+        const AsEntry& link_holder =
+            part.reversed ? part.entry_at(i - 1) : part.entry_at(i);
+        accumulate_link(meta, link_holder.ingress_link);
+      }
+      const bool is_junction_duplicate = p > 0 && i == 0;
+      if (is_junction_duplicate) {
+        // Merge with the previous part's last hop: keep its ingress, adopt
+        // this part's egress.
+        hops.back().egress = part.egress_at(0);
+      } else {
+        PathHop hop;
+        hop.isd_as = entry.hop.isd_as;
+        hop.ingress = part.ingress_at(i);
+        hop.egress = part.egress_at(i);
+        hop.as_meta = entry.as_meta;
+        hops.push_back(std::move(hop));
+      }
+      accumulate_as(meta, entry.as_meta, entry.hop.expiry_s, ts);
+    }
+  }
+
+  // Loop rejection.
+  std::unordered_set<std::uint64_t> seen;
+  for (const PathHop& hop : hops) {
+    if (!seen.insert(hop.isd_as.packed()).second) {
+      return Err("AS-level loop through " + hop.isd_as.to_string());
+    }
+  }
+
+  // Dataplane representation mirrors the oriented segments.
+  DataplanePath dataplane;
+  for (const OrientedSegment& part : parts) {
+    DataplaneSegment seg;
+    seg.reversed = part.reversed;
+    seg.origin_ts = part.segment->origin_ts;
+    seg.hops.reserve(part.segment->entries.size());
+    for (const AsEntry& entry : part.segment->entries) {
+      seg.hops.push_back(entry.hop);
+    }
+    dataplane.segments.push_back(std::move(seg));
+  }
+
+  return Path{src, dst, std::move(hops), meta, std::move(dataplane)};
+}
+
+Result<Path> assemble_peering_path(const PathSegment& up, std::size_t up_pos,
+                                   std::size_t up_peer, const PathSegment& down,
+                                   std::size_t down_pos, std::size_t down_peer, IsdAsn src,
+                                   IsdAsn dst) {
+  if (up_pos >= up.entries.size() || down_pos >= down.entries.size()) {
+    return Err("peering position out of range");
+  }
+  const AsEntry& x_entry = up.entries[up_pos];
+  const AsEntry& y_entry = down.entries[down_pos];
+  if (up_peer >= x_entry.peers.size() || down_peer >= y_entry.peers.size()) {
+    return Err("peer entry index out of range");
+  }
+  const PeerEntry& x_peer = x_entry.peers[up_peer];
+  const PeerEntry& y_peer = y_entry.peers[down_peer];
+  // The two peer entries must describe the same link.
+  if (x_peer.peer_as != y_entry.hop.isd_as || y_peer.peer_as != x_entry.hop.isd_as ||
+      x_peer.peer_if != y_peer.hop.in_if || y_peer.peer_if != x_peer.hop.in_if) {
+    return Err("peer entries do not describe a common peering link");
+  }
+  if (up.entries.back().hop.isd_as != src) {
+    return Err("up segment does not end at src");
+  }
+  if (down.entries.back().hop.isd_as != dst) {
+    return Err("down segment does not end at dst");
+  }
+
+  // Dataplane: beacon-order suffixes with the main hop at the peering
+  // position replaced by the peer hop field.
+  DataplaneSegment seg_up;
+  seg_up.reversed = true;
+  seg_up.origin_ts = up.origin_ts;
+  for (std::size_t i = up_pos; i < up.entries.size(); ++i) {
+    seg_up.hops.push_back(i == up_pos ? x_peer.hop : up.entries[i].hop);
+  }
+  DataplaneSegment seg_down;
+  seg_down.reversed = false;
+  seg_down.origin_ts = down.origin_ts;
+  for (std::size_t j = down_pos; j < down.entries.size(); ++j) {
+    seg_down.hops.push_back(j == down_pos ? y_peer.hop : down.entries[j].hop);
+  }
+  DataplanePath dataplane;
+  dataplane.segments.push_back(std::move(seg_up));
+  dataplane.segments.push_back(std::move(seg_down));
+
+  // AS-level hops and metadata.
+  std::vector<PathHop> hops;
+  PathMetadata meta;
+  meta.bandwidth_bps = std::numeric_limits<double>::infinity();
+  meta.mtu = std::numeric_limits<std::size_t>::max();
+  meta.all_qos_capable = true;
+  meta.all_allied = true;
+  meta.expiry_s = std::numeric_limits<std::uint32_t>::max();
+
+  // Up part, traversal order src .. X (beacon positions end .. up_pos).
+  for (std::size_t t = 0; t < dataplane.segments[0].hops.size(); ++t) {
+    const std::size_t i = up.entries.size() - 1 - t;  // beacon position
+    const AsEntry& entry = up.entries[i];
+    PathHop hop;
+    hop.isd_as = entry.hop.isd_as;
+    hop.ingress = i == up.entries.size() - 1 ? kNoIface : entry.hop.out_if;
+    hop.egress = i == up_pos ? x_peer.hop.in_if : entry.hop.in_if;
+    hop.as_meta = entry.as_meta;
+    hops.push_back(std::move(hop));
+    accumulate_as(meta, entry.as_meta, entry.hop.expiry_s, up.origin_ts);
+    if (i + 1 < up.entries.size()) {
+      // Link between beacon positions i and i+1 (metadata on entry i+1).
+      accumulate_link(meta, up.entries[i + 1].ingress_link);
+    }
+  }
+  // The peering link itself.
+  accumulate_link(meta, x_peer.peer_link);
+  // Down part, traversal order Y .. dst (beacon positions down_pos .. end).
+  for (std::size_t j = down_pos; j < down.entries.size(); ++j) {
+    const AsEntry& entry = down.entries[j];
+    PathHop hop;
+    hop.isd_as = entry.hop.isd_as;
+    hop.ingress = j == down_pos ? y_peer.hop.in_if : entry.hop.in_if;
+    hop.egress = j + 1 < down.entries.size() ? entry.hop.out_if : kNoIface;
+    hop.as_meta = entry.as_meta;
+    hops.push_back(std::move(hop));
+    accumulate_as(meta, entry.as_meta, entry.hop.expiry_s, down.origin_ts);
+    if (j > down_pos) {
+      accumulate_link(meta, entry.ingress_link);
+    }
+  }
+
+  std::unordered_set<std::uint64_t> seen;
+  for (const PathHop& hop : hops) {
+    if (!seen.insert(hop.isd_as.packed()).second) {
+      return Err("AS-level loop through " + hop.isd_as.to_string());
+    }
+  }
+  return Path{src, dst, std::move(hops), meta, std::move(dataplane)};
+}
+
+}  // namespace pan::scion

@@ -1,0 +1,139 @@
+// End-to-end SCION paths.
+//
+// A Path is what applications and the Path Policy Language reason about: an
+// ordered list of AS-level hops plus aggregated metadata (latency, minimum
+// bandwidth, MTU, loss, jitter, CO2, cost, countries, ...). It also carries
+// the DataplanePath — the exact segment/hop-field structure the border
+// routers will verify — so selecting a Path fully determines forwarding.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scion/segment.hpp"
+#include "util/result.hpp"
+
+namespace pan::scion {
+
+/// One segment as placed in a packet header. `reversed` means the segment is
+/// traversed against its beaconing direction (up-segment usage).
+struct DataplaneSegment {
+  bool reversed = false;
+  std::uint32_t origin_ts = 0;
+  std::vector<HopField> hops;
+
+  bool operator==(const DataplaneSegment&) const = default;
+
+  /// Ingress/egress of hop `i` in traversal order.
+  [[nodiscard]] const HopField& hop_at(std::size_t traversal_index) const;
+  [[nodiscard]] std::size_t length() const { return hops.size(); }
+  [[nodiscard]] IfaceId traversal_ingress(std::size_t traversal_index) const;
+  [[nodiscard]] IfaceId traversal_egress(std::size_t traversal_index) const;
+};
+
+struct DataplanePath {
+  std::vector<DataplaneSegment> segments;
+
+  bool operator==(const DataplanePath&) const = default;
+
+  [[nodiscard]] bool empty() const { return segments.empty(); }
+  [[nodiscard]] std::size_t total_hops() const;
+  /// The reply path: segments in reverse order, each flipped.
+  [[nodiscard]] DataplanePath reversed() const;
+  /// The reversed *traversed prefix* up to and including traversal position
+  /// (cur_seg, cur_hop): the return route a router mid-path uses to send an
+  /// SCMP error back toward the source. Hop-field MACs stay valid because
+  /// they are direction-normalized.
+  [[nodiscard]] DataplanePath reversed_prefix(std::size_t cur_seg, std::size_t cur_hop) const;
+};
+
+/// AS-level hop in traversal order (junction ASes merged into one hop).
+struct PathHop {
+  IsdAsn isd_as;
+  IfaceId ingress = kNoIface;
+  IfaceId egress = kNoIface;
+  AsMeta as_meta;
+};
+
+struct PathMetadata {
+  Duration latency = Duration::zero();
+  double bandwidth_bps = 0;
+  std::size_t mtu = 0;
+  double loss_rate = 0;
+  Duration jitter = Duration::zero();
+  double co2_g_per_gb = 0;
+  double cost_per_gb = 0;
+  double min_ethics_rating = 100.0;
+  bool all_qos_capable = false;
+  bool all_allied = false;
+  /// Expiry: minimum hop-field expiry across the path (absolute seconds).
+  std::uint32_t expiry_s = 0;
+};
+
+class Path {
+ public:
+  Path() = default;
+  Path(IsdAsn src, IsdAsn dst, std::vector<PathHop> hops, PathMetadata meta,
+       DataplanePath dataplane);
+
+  /// The trivial intra-AS path (no inter-AS hops, empty dataplane).
+  [[nodiscard]] static Path local(IsdAsn ia);
+
+  [[nodiscard]] IsdAsn src() const { return src_; }
+  [[nodiscard]] IsdAsn dst() const { return dst_; }
+  [[nodiscard]] const std::vector<PathHop>& hops() const { return hops_; }
+  [[nodiscard]] const PathMetadata& meta() const { return meta_; }
+  [[nodiscard]] const DataplanePath& dataplane() const { return dataplane_; }
+  [[nodiscard]] bool is_local() const { return hops_.size() <= 1 && dataplane_.empty(); }
+
+  [[nodiscard]] bool contains_as(IsdAsn ia) const;
+  [[nodiscard]] bool contains_isd(Isd isd) const;
+  /// True if the path crosses the given interface of the given AS (the
+  /// granularity of SCMP revocations).
+  [[nodiscard]] bool uses_interface(IsdAsn ia, IfaceId iface) const;
+  /// Inter-AS hop count (number of links crossed).
+  [[nodiscard]] std::size_t link_count() const {
+    return hops_.empty() ? 0 : hops_.size() - 1;
+  }
+  /// Countries traversed, in order, consecutive duplicates removed.
+  [[nodiscard]] std::vector<std::string> countries() const;
+
+  /// Stable short identifier for statistics keys and logs.
+  [[nodiscard]] const std::string& fingerprint() const { return fingerprint_; }
+  /// Human-readable rendering: "1-110 0>2 ... 2-210".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  IsdAsn src_;
+  IsdAsn dst_;
+  std::vector<PathHop> hops_;
+  PathMetadata meta_;
+  DataplanePath dataplane_;
+  std::string fingerprint_;
+};
+
+/// Assembles an end-to-end path from up to three segments:
+///  - `up`:   a down-type segment from a core AS to `src`, traversed reversed
+///            (nullptr when `src` is itself the source-side core);
+///  - `core`: a core segment originated at the destination-side core and
+///            ending at the source-side core, traversed reversed (nullptr
+///            when both sides share the core AS);
+///  - `down`: a down-type segment from the destination-side core to `dst`
+///            (nullptr when `dst` is the destination-side core).
+/// Fails on junction mismatches or AS-level loops.
+[[nodiscard]] Result<Path> assemble_path(const PathSegment* up, const PathSegment* core,
+                                         const PathSegment* down, IsdAsn src, IsdAsn dst);
+
+/// Assembles a peering shortcut: the up segment is traversed from `src` up
+/// to its entry at `up_pos` (whose main hop field is replaced by
+/// `up.entries[up_pos].peers[up_peer]`), then the peering link is crossed,
+/// then the down segment runs from its entry at `down_pos` (hop field
+/// replaced by its matching peer entry) to `dst`. The peer entries must
+/// reference each other's AS and interfaces.
+[[nodiscard]] Result<Path> assemble_peering_path(const PathSegment& up, std::size_t up_pos,
+                                                 std::size_t up_peer, const PathSegment& down,
+                                                 std::size_t down_pos, std::size_t down_peer,
+                                                 IsdAsn src, IsdAsn dst);
+
+}  // namespace pan::scion

@@ -1,0 +1,57 @@
+#include "scion/path_server.hpp"
+
+namespace pan::scion {
+
+namespace {
+const std::vector<PathSegment> kNoSegments;
+}
+
+void PathServerInfra::register_segment(PathSegment segment) {
+  if (segment.entries.empty()) return;
+  ++segment_count_;
+  if (segment.type == SegmentType::kCore) {
+    core_by_origin_end_[segment.origin][segment.last_as()].push_back(std::move(segment));
+  } else {
+    down_by_leaf_[segment.last_as()].push_back(std::move(segment));
+  }
+}
+
+void PathServerInfra::register_core_as(IsdAsn ia) { core_ases_.insert(ia); }
+
+void PathServerInfra::clear_segments() {
+  down_by_leaf_.clear();
+  core_by_origin_end_.clear();
+  segment_count_ = 0;
+}
+
+const std::vector<PathSegment>& PathServerInfra::down_segments(IsdAsn leaf) const {
+  const auto it = down_by_leaf_.find(leaf);
+  return it == down_by_leaf_.end() ? kNoSegments : it->second;
+}
+
+std::vector<const PathSegment*> PathServerInfra::core_segments(IsdAsn origin, IsdAsn end) const {
+  std::vector<const PathSegment*> out;
+  const auto origin_it = core_by_origin_end_.find(origin);
+  if (origin_it == core_by_origin_end_.end()) return out;
+  const auto end_it = origin_it->second.find(end);
+  if (end_it == origin_it->second.end()) return out;
+  out.reserve(end_it->second.size());
+  for (const PathSegment& seg : end_it->second) out.push_back(&seg);
+  return out;
+}
+
+std::size_t PathServerInfra::down_segment_count() const {
+  std::size_t n = 0;
+  for (const auto& [leaf, segs] : down_by_leaf_) n += segs.size();
+  return n;
+}
+
+std::size_t PathServerInfra::core_segment_count() const {
+  std::size_t n = 0;
+  for (const auto& [origin, by_end] : core_by_origin_end_) {
+    for (const auto& [end, segs] : by_end) n += segs.size();
+  }
+  return n;
+}
+
+}  // namespace pan::scion

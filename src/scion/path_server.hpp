@@ -1,0 +1,51 @@
+// The path-server infrastructure: where beaconing registers segments and
+// where daemons look them up.
+//
+// Simplification vs. production SCION (documented in DESIGN.md): a single
+// logical segment store stands in for the distributed core/local path-server
+// hierarchy. Lookup latency — the part that affects page load time — is
+// modeled in the Daemon, not here.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "scion/segment.hpp"
+
+namespace pan::scion {
+
+class PathServerInfra {
+ public:
+  /// Registers a segment produced by beaconing. Core segments are indexed by
+  /// (origin, end); down segments by their leaf (last) AS.
+  void register_segment(PathSegment segment);
+
+  /// Drops all stored segments (re-beaconing replaces the whole store; core
+  /// AS registrations survive).
+  void clear_segments();
+
+  void register_core_as(IsdAsn ia);
+  [[nodiscard]] bool is_core(IsdAsn ia) const { return core_ases_.contains(ia); }
+  [[nodiscard]] const std::unordered_set<IsdAsn>& core_ases() const { return core_ases_; }
+
+  /// Down segments whose leaf AS is `leaf` (origins are core ASes).
+  [[nodiscard]] const std::vector<PathSegment>& down_segments(IsdAsn leaf) const;
+
+  /// Core segments originated at `origin` and ending at `end`.
+  [[nodiscard]] std::vector<const PathSegment*> core_segments(IsdAsn origin, IsdAsn end) const;
+
+  [[nodiscard]] std::size_t segment_count() const { return segment_count_; }
+  [[nodiscard]] std::size_t down_segment_count() const;
+  [[nodiscard]] std::size_t core_segment_count() const;
+
+ private:
+  std::unordered_map<IsdAsn, std::vector<PathSegment>> down_by_leaf_;
+  // Key: origin.packed() hashed with end — use nested maps for clarity.
+  std::unordered_map<IsdAsn, std::unordered_map<IsdAsn, std::vector<PathSegment>>>
+      core_by_origin_end_;
+  std::unordered_set<IsdAsn> core_ases_;
+  std::size_t segment_count_ = 0;
+};
+
+}  // namespace pan::scion

@@ -1,0 +1,57 @@
+#include "scion/pki.hpp"
+
+namespace pan::scion {
+
+Bytes AsCertificate::signed_body() const {
+  ByteWriter w;
+  w.u64(subject.packed());
+  w.u64(issuer.packed());
+  const crypto::Digest fp = subject_key.fingerprint();
+  w.raw(std::span<const std::uint8_t>(fp));
+  return std::move(w).take();
+}
+
+void TrustStore::add_trc(Trc trc) { trcs_[trc.isd] = std::move(trc); }
+
+void TrustStore::add_certificate(AsCertificate cert) {
+  certs_[cert.subject] = std::move(cert);
+}
+
+const Trc* TrustStore::trc(Isd isd) const {
+  const auto it = trcs_.find(isd);
+  return it == trcs_.end() ? nullptr : &it->second;
+}
+
+const AsCertificate* TrustStore::certificate(IsdAsn ia) const {
+  const auto it = certs_.find(ia);
+  return it == certs_.end() ? nullptr : &it->second;
+}
+
+bool TrustStore::validate_certificate(const AsCertificate& cert) const {
+  const Trc* t = trc(cert.subject.isd());
+  if (t == nullptr) return false;
+  const auto issuer_it = t->core_keys.find(cert.issuer);
+  if (issuer_it == t->core_keys.end()) return false;
+  const Bytes body = cert.signed_body();
+  return crypto::verify(issuer_it->second, std::span<const std::uint8_t>(body),
+                        cert.issuer_signature);
+}
+
+const crypto::PublicKey* TrustStore::verified_key(IsdAsn ia) const {
+  const AsCertificate* cert = certificate(ia);
+  if (cert == nullptr || !validate_certificate(*cert)) return nullptr;
+  return &cert->subject_key;
+}
+
+AsCertificate issue_certificate(IsdAsn subject, const crypto::PublicKey& subject_key,
+                                IsdAsn issuer, const crypto::PrivateKey& issuer_key) {
+  AsCertificate cert;
+  cert.subject = subject;
+  cert.subject_key = subject_key;
+  cert.issuer = issuer;
+  const Bytes body = cert.signed_body();
+  cert.issuer_signature = crypto::sign(issuer_key, std::span<const std::uint8_t>(body));
+  return cert;
+}
+
+}  // namespace pan::scion

@@ -1,0 +1,69 @@
+// The control-plane PKI substitute: TRCs and AS certificates.
+//
+// Each ISD has a Trust Root Configuration (TRC) listing its core ASes'
+// public keys. Every AS holds a certificate binding its ISD-AS to its public
+// key, signed by a core AS of its ISD. Beacon AS-entries are signed with the
+// AS key and verified against this chain — exactly the trust layering SCION
+// uses, instantiated with the Lamport scheme from src/crypto.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "scion/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace pan::scion {
+
+/// Trust Root Configuration for one ISD.
+struct Trc {
+  Isd isd = 0;
+  std::uint32_t version = 1;
+  /// Core ASes and their public keys (the trust roots of the ISD).
+  std::unordered_map<IsdAsn, crypto::PublicKey> core_keys;
+
+  [[nodiscard]] bool is_core(IsdAsn ia) const { return core_keys.contains(ia); }
+};
+
+/// A certificate binding an AS to its public key, issued by a core AS.
+struct AsCertificate {
+  IsdAsn subject;
+  crypto::PublicKey subject_key;
+  IsdAsn issuer;  // a core AS of subject's ISD (core ASes self-issue)
+  crypto::Signature issuer_signature;
+
+  /// The bytes the issuer signs.
+  [[nodiscard]] Bytes signed_body() const;
+};
+
+/// Holds TRCs and certificates and answers chain-validation queries.
+class TrustStore {
+ public:
+  void add_trc(Trc trc);
+  void add_certificate(AsCertificate cert);
+
+  [[nodiscard]] const Trc* trc(Isd isd) const;
+  [[nodiscard]] const AsCertificate* certificate(IsdAsn ia) const;
+
+  /// Validates the chain: the issuer must be a core AS of the subject's ISD
+  /// per the TRC, and the issuer's TRC key must verify the signature.
+  [[nodiscard]] bool validate_certificate(const AsCertificate& cert) const;
+
+  /// Returns the verified public key for `ia` (nullptr if the cert is
+  /// missing or fails chain validation).
+  [[nodiscard]] const crypto::PublicKey* verified_key(IsdAsn ia) const;
+
+ private:
+  std::unordered_map<Isd, Trc> trcs_;
+  std::unordered_map<IsdAsn, AsCertificate> certs_;
+};
+
+/// Issues a certificate for `subject_key` signed by the core AS private key.
+[[nodiscard]] AsCertificate issue_certificate(IsdAsn subject,
+                                              const crypto::PublicKey& subject_key,
+                                              IsdAsn issuer,
+                                              const crypto::PrivateKey& issuer_key);
+
+}  // namespace pan::scion

@@ -1,0 +1,50 @@
+#include "scion/scmp.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::scion {
+
+const char* to_string(ScmpType t) {
+  switch (t) {
+    case ScmpType::kLinkDown: return "link-down";
+    case ScmpType::kExpiredHop: return "expired-hop";
+  }
+  return "?";
+}
+
+Bytes ScmpMessage::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(origin_as.packed());
+  w.u16(interface);
+  w.u64(original_dst.ia.packed());
+  w.u32(original_dst.host.value());
+  w.u16(original_dst_port);
+  return std::move(w).take();
+}
+
+Result<ScmpMessage> ScmpMessage::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ScmpMessage msg;
+  const std::uint8_t type = r.u8();
+  if (type != static_cast<std::uint8_t>(ScmpType::kLinkDown) &&
+      type != static_cast<std::uint8_t>(ScmpType::kExpiredHop)) {
+    return Err("unknown SCMP type " + std::to_string(type));
+  }
+  msg.type = static_cast<ScmpType>(type);
+  msg.origin_as = IsdAsn::from_packed(r.u64());
+  msg.interface = r.u16();
+  msg.original_dst.ia = IsdAsn::from_packed(r.u64());
+  msg.original_dst.host = net::IpAddr{r.u32()};
+  msg.original_dst_port = r.u16();
+  if (!r.complete()) return Err("malformed SCMP message");
+  return msg;
+}
+
+std::string ScmpMessage::to_string() const {
+  return strings::format("SCMP %s at %s#%u (dst %s)", scion::to_string(type),
+                         origin_as.to_string().c_str(), interface,
+                         original_dst.to_string().c_str());
+}
+
+}  // namespace pan::scion

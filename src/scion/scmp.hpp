@@ -1,0 +1,42 @@
+// SCMP-style control messages (SCION's ICMP analog), the mechanism behind
+// fast path revocation: when a border router cannot forward a packet — the
+// egress link is down or the hop field has expired — it reports the failure
+// back to the source over the reversed traversed path prefix. End hosts
+// subscribe to these messages and steer around the broken interface (see
+// PathSelector::revoke / SkipProxy failover).
+#pragma once
+
+#include "scion/addr.hpp"
+#include "scion/types.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace pan::scion {
+
+/// Next-protocol value for SCMP payloads in the SCION header.
+inline constexpr std::uint8_t kProtoScmp = 202;
+
+enum class ScmpType : std::uint8_t {
+  kLinkDown = 1,     // egress link unusable
+  kExpiredHop = 2,   // hop-field authorization expired
+};
+
+[[nodiscard]] const char* to_string(ScmpType t);
+
+struct ScmpMessage {
+  ScmpType type = ScmpType::kLinkDown;
+  /// The AS reporting the failure.
+  IsdAsn origin_as;
+  /// The interface that could not be used (0 for expiry reports).
+  IfaceId interface = kNoIface;
+  /// Original packet's destination, so receivers can map the failure onto
+  /// the connection/origin it affects.
+  ScionAddr original_dst;
+  std::uint16_t original_dst_port = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Result<ScmpMessage> parse(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pan::scion

@@ -1,0 +1,98 @@
+#include "scion/segment.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/strings.hpp"
+
+namespace pan::scion {
+namespace {
+
+void write_link_meta(ByteWriter& w, const LinkMeta& m) {
+  w.u64(static_cast<std::uint64_t>(m.latency.nanos()));
+  w.u64(static_cast<std::uint64_t>(m.bandwidth_bps));
+  w.u32(static_cast<std::uint32_t>(m.mtu));
+  w.u32(static_cast<std::uint32_t>(m.loss_rate * 1e9));
+  w.u64(static_cast<std::uint64_t>(m.jitter.nanos()));
+  w.u64(static_cast<std::uint64_t>(m.co2_g_per_gb * 1e3));
+  w.u64(static_cast<std::uint64_t>(m.cost_per_gb * 1e3));
+}
+
+void write_as_meta(ByteWriter& w, const AsMeta& m) {
+  w.lp_str(m.country);
+  w.u32(static_cast<std::uint32_t>(m.ethics_rating * 1e3));
+  w.u8(m.qos_capable ? 1 : 0);
+  w.u8(m.allied ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(m.internal_co2_g_per_gb * 1e3));
+}
+
+void write_entry(ByteWriter& w, const AsEntry& entry, bool include_signature) {
+  serialize_hop_field(w, entry.hop);
+  write_link_meta(w, entry.ingress_link);
+  write_as_meta(w, entry.as_meta);
+  w.u16(static_cast<std::uint16_t>(entry.peers.size()));
+  for (const PeerEntry& peer : entry.peers) {
+    serialize_hop_field(w, peer.hop);
+    w.u64(peer.peer_as.packed());
+    w.u16(peer.peer_if);
+    write_link_meta(w, peer.peer_link);
+  }
+  if (include_signature) {
+    const Bytes sig = entry.signature.serialize();
+    w.lp_bytes(sig);
+  }
+}
+
+}  // namespace
+
+const char* to_string(SegmentType t) {
+  switch (t) {
+    case SegmentType::kCore: return "core";
+    case SegmentType::kDown: return "down";
+  }
+  return "?";
+}
+
+std::string PathSegment::id() const {
+  crypto::Sha256 h;
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(origin.packed());
+  w.u32(origin_ts);
+  for (const AsEntry& entry : entries) {
+    w.u64(entry.hop.isd_as.packed());
+    w.u16(entry.hop.in_if);
+    w.u16(entry.hop.out_if);
+  }
+  h.update(std::span<const std::uint8_t>(w.bytes()));
+  return crypto::hex_digest(h.finalize()).substr(0, 16);
+}
+
+Bytes PathSegment::signing_input(std::size_t index) const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(origin.packed());
+  w.u32(origin_ts);
+  for (std::size_t i = 0; i < index && i < entries.size(); ++i) {
+    write_entry(w, entries[i], /*include_signature=*/true);
+  }
+  if (index < entries.size()) {
+    write_entry(w, entries[index], /*include_signature=*/false);
+  }
+  return std::move(w).take();
+}
+
+bool verify_segment(const PathSegment& segment, const TrustStore& trust) {
+  if (segment.entries.empty()) return false;
+  if (segment.origin != segment.entries.front().hop.isd_as) return false;
+  for (std::size_t i = 0; i < segment.entries.size(); ++i) {
+    const AsEntry& entry = segment.entries[i];
+    const crypto::PublicKey* key = trust.verified_key(entry.hop.isd_as);
+    if (key == nullptr) return false;
+    const Bytes input = segment.signing_input(i);
+    if (!crypto::verify(*key, std::span<const std::uint8_t>(input), entry.signature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pan::scion

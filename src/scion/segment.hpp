@@ -1,0 +1,78 @@
+// Path segments: the product of beaconing.
+//
+// A PathSegment is an authenticated record of one beacon's journey: segment
+// info (origin AS, origination timestamp) plus one AsEntry per AS traversed.
+// Each AsEntry carries the hop field (data-plane authorization), the
+// metadata decorations of the link the beacon crossed to reach that AS, a
+// snapshot of per-AS metadata, and a signature chaining over everything that
+// precedes it — so a downstream AS cannot rewrite upstream history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "scion/hopfield.hpp"
+#include "scion/pki.hpp"
+#include "scion/types.hpp"
+
+namespace pan::scion {
+
+enum class SegmentType : std::uint8_t { kCore, kDown };
+
+[[nodiscard]] const char* to_string(SegmentType t);
+
+/// A peering shortcut offered by an AS: a second, alternatively-sealed hop
+/// field whose ingress is the peering interface instead of the parent link.
+/// Replacing the main hop field with it authorizes traffic to leave (or
+/// enter) the segment sideways across the peering link — SCION's peering
+/// path construction.
+struct PeerEntry {
+  /// in_if = local peering interface, out_if = the entry's beacon-direction
+  /// egress (toward the leaf; 0 at the segment end). Sealed by this AS.
+  HopField hop;
+  IsdAsn peer_as;
+  /// The peer's interface id on the peering link.
+  IfaceId peer_if = kNoIface;
+  LinkMeta peer_link;
+};
+
+struct AsEntry {
+  HopField hop;
+  /// Decorations of the link crossed from the previous AS in beacon
+  /// direction (zeroed for the origin AS, which has no ingress link).
+  LinkMeta ingress_link;
+  AsMeta as_meta;
+  /// Peering shortcuts this AS offers at this position in the segment.
+  std::vector<PeerEntry> peers;
+  crypto::Signature signature;
+};
+
+struct PathSegment {
+  SegmentType type = SegmentType::kDown;
+  IsdAsn origin;
+  /// Origination timestamp, seconds (also the hop-field MAC epoch).
+  std::uint32_t origin_ts = 0;
+
+  std::vector<AsEntry> entries;
+
+  [[nodiscard]] IsdAsn first_as() const { return entries.front().hop.isd_as; }
+  [[nodiscard]] IsdAsn last_as() const { return entries.back().hop.isd_as; }
+  [[nodiscard]] std::size_t length() const { return entries.size(); }
+
+  /// Stable identifier: hash over the AS/interface sequence.
+  [[nodiscard]] std::string id() const;
+
+  /// Bytes signed by entry `index`: segment info, all previous entries
+  /// (including their signatures, forming the chain), and entry `index`
+  /// itself without its signature.
+  [[nodiscard]] Bytes signing_input(std::size_t index) const;
+};
+
+/// Verifies every entry's signature against chain-validated AS certificates
+/// from `trust`. Returns false if any key is missing/invalid or any
+/// signature fails.
+[[nodiscard]] bool verify_segment(const PathSegment& segment, const TrustStore& trust);
+
+}  // namespace pan::scion

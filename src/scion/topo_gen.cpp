@@ -1,0 +1,168 @@
+#include <unordered_set>
+
+#include "scion/topo_gen.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::scion {
+
+GeneratedTopology generate_topology(sim::Simulator& sim, const TopoGenParams& params) {
+  Rng rng(params.seed);
+  GeneratedTopology out;
+  TopologyConfig config;
+  config.seed = params.seed ^ 0x746f706fULL;
+  config.sign_beacons = params.sign_beacons;
+  config.verify_beacons = params.sign_beacons;
+  config.beacons_per_origin = params.beacons_per_origin;
+  out.topo = std::make_unique<Topology>(sim, config);
+  Topology& topo = *out.topo;
+
+  static constexpr const char* kCountries[] = {"CH", "DE", "US", "JP", "BR", "KE", "IN"};
+
+  const auto random_as_meta = [&](Isd isd) {
+    AsMeta meta;
+    meta.country = kCountries[(isd + rng.next_below(3)) % std::size(kCountries)];
+    meta.ethics_rating = 20 + rng.next_double() * 75;
+    meta.qos_capable = rng.chance(0.5);
+    meta.allied = rng.chance(0.5);
+    meta.internal_co2_g_per_gb = rng.next_double() * 5;
+    return meta;
+  };
+  const auto random_link = [&](std::int64_t min_ms, std::int64_t max_ms) {
+    AsLinkSpec spec;
+    spec.params.latency = milliseconds(rng.next_in(min_ms, max_ms));
+    spec.params.bandwidth_bps = 1e9 * static_cast<double>(1 + rng.next_below(10));
+    spec.params.mtu = rng.chance(0.2) ? 1400 : 1500;
+    spec.params.loss_rate = rng.chance(0.15) ? rng.next_double() * 0.005 : 0.0;
+    spec.co2_g_per_gb = 2 + rng.next_double() * 60;
+    spec.cost_per_gb = 1 + rng.next_double() * 40;
+    return spec;
+  };
+
+  // ASes.
+  std::vector<std::vector<std::string>> cores(params.isds);
+  for (std::size_t isd = 1; isd <= params.isds; ++isd) {
+    for (std::size_t c = 0; c < params.cores_per_isd; ++c) {
+      AsSpec spec;
+      spec.name = strings::format("core-%zu-%zu", isd, c);
+      spec.ia = IsdAsn{static_cast<Isd>(isd), 0x100 + c};
+      spec.core = true;
+      spec.meta = random_as_meta(static_cast<Isd>(isd));
+      topo.add_as(spec);
+      cores[isd - 1].push_back(spec.name);
+      out.core_ases.push_back(spec.ia);
+
+      for (std::size_t leaf = 0; leaf < params.leaves_per_core; ++leaf) {
+        AsSpec leaf_spec;
+        leaf_spec.name = strings::format("leaf-%zu-%zu-%zu", isd, c, leaf);
+        leaf_spec.ia = IsdAsn{static_cast<Isd>(isd), 0x1000 + c * 16 + leaf};
+        leaf_spec.core = false;
+        leaf_spec.meta = random_as_meta(static_cast<Isd>(isd));
+        topo.add_as(leaf_spec);
+        out.leaf_ases.push_back(leaf_spec.ia);
+      }
+    }
+  }
+
+  // Intra-ISD core ring + chords.
+  for (std::size_t isd = 0; isd < params.isds; ++isd) {
+    const auto& ring = cores[isd];
+    if (ring.size() >= 2) {
+      for (std::size_t c = 0; c < ring.size(); ++c) {
+        if (ring.size() == 2 && c == 1) break;  // avoid a duplicate pair
+        AsLinkSpec spec = random_link(1, 20);
+        spec.a = ring[c];
+        spec.b = ring[(c + 1) % ring.size()];
+        spec.type = LinkType::kCore;
+        topo.add_link(spec);
+      }
+    }
+    for (std::size_t chord = 0; chord < params.core_chords && ring.size() > 3; ++chord) {
+      const std::size_t a = rng.next_below(ring.size());
+      const std::size_t b = (a + 2 + rng.next_below(ring.size() - 3)) % ring.size();
+      AsLinkSpec spec = random_link(1, 20);
+      spec.a = ring[a];
+      spec.b = ring[b];
+      spec.type = LinkType::kCore;
+      topo.add_link(spec);
+    }
+  }
+
+  // Inter-ISD core links.
+  for (std::size_t i = 0; i < params.isds; ++i) {
+    for (std::size_t j = i + 1; j < params.isds; ++j) {
+      for (std::size_t k = 0; k < params.inter_isd_links; ++k) {
+        AsLinkSpec spec = random_link(20, 120);
+        spec.a = cores[i][rng.next_below(cores[i].size())];
+        spec.b = cores[j][rng.next_below(cores[j].size())];
+        spec.type = LinkType::kCore;
+        topo.add_link(spec);
+      }
+    }
+  }
+
+  // Parent-child links (+ optional dual-homing to another core of the ISD).
+  for (std::size_t isd = 1; isd <= params.isds; ++isd) {
+    for (std::size_t c = 0; c < params.cores_per_isd; ++c) {
+      for (std::size_t leaf = 0; leaf < params.leaves_per_core; ++leaf) {
+        const std::string leaf_name = strings::format("leaf-%zu-%zu-%zu", isd, c, leaf);
+        AsLinkSpec spec = random_link(1, 10);
+        spec.a = strings::format("core-%zu-%zu", isd, c);
+        spec.b = leaf_name;
+        spec.type = LinkType::kParentChild;
+        topo.add_link(spec);
+        if (params.cores_per_isd > 1 && rng.chance(params.dual_home_fraction)) {
+          std::size_t other = rng.next_below(params.cores_per_isd);
+          if (other == c) other = (other + 1) % params.cores_per_isd;
+          AsLinkSpec second = random_link(1, 10);
+          second.a = strings::format("core-%zu-%zu", isd, other);
+          second.b = leaf_name;
+          second.type = LinkType::kParentChild;
+          topo.add_link(second);
+        }
+      }
+    }
+  }
+
+  // Random leaf-to-leaf peering links (distinct pairs; possibly cross-ISD).
+  std::unordered_set<std::uint64_t> peered;
+  std::size_t placed = 0;
+  for (std::size_t attempt = 0; attempt < params.peering_links * 8 &&
+                                placed < params.peering_links && out.leaf_ases.size() >= 2;
+       ++attempt) {
+    const std::size_t a = rng.next_below(out.leaf_ases.size());
+    const std::size_t b = rng.next_below(out.leaf_ases.size());
+    if (a == b) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+                              static_cast<std::uint64_t>(std::max(a, b));
+    if (!peered.insert(key).second) continue;
+    const auto leaf_name = [&](std::size_t index) {
+      const IsdAsn ia = out.leaf_ases[index];
+      return strings::format("leaf-%zu-%zu-%zu", static_cast<std::size_t>(ia.isd()),
+                             (ia.asn() - 0x1000) / 16, (ia.asn() - 0x1000) % 16);
+    };
+    AsLinkSpec spec = random_link(2, 15);
+    spec.a = leaf_name(a);
+    spec.b = leaf_name(b);
+    spec.type = LinkType::kPeering;
+    topo.add_link(spec);
+    ++placed;
+  }
+
+  // One host per leaf AS.
+  std::size_t host_index = 0;
+  for (const IsdAsn leaf : out.leaf_ases) {
+    std::string as_name;
+    // Recover the leaf name deterministically.
+    const std::size_t isd = leaf.isd();
+    const std::size_t c = (leaf.asn() - 0x1000) / 16;
+    const std::size_t l = (leaf.asn() - 0x1000) % 16;
+    as_name = strings::format("leaf-%zu-%zu-%zu", isd, c, l);
+    out.hosts.push_back(topo.add_host(as_name, "host-" + std::to_string(host_index++)));
+  }
+
+  topo.finalize();
+  return out;
+}
+
+}  // namespace pan::scion

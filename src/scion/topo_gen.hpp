@@ -1,0 +1,44 @@
+// Parameterized random topology generation: internet-like worlds for
+// property tests and scale benches.
+//
+// Shape: `isds` isolation domains, each with `cores_per_isd` core ASes in a
+// ring (plus chords when the ring is large) and `leaves_per_core` child
+// ASes per core; inter-ISD core links connect a subset of core pairs. Link
+// latencies/bandwidths and all metadata decorations are drawn from the rng,
+// so every seed yields a distinct world with full metadata coverage.
+#pragma once
+
+#include "scion/topology.hpp"
+
+namespace pan::scion {
+
+struct TopoGenParams {
+  std::uint64_t seed = 1;
+  std::size_t isds = 2;
+  std::size_t cores_per_isd = 3;
+  std::size_t leaves_per_core = 2;
+  /// Extra intra-ISD core chords beyond the ring (diversity).
+  std::size_t core_chords = 1;
+  /// Inter-ISD core link pairs per ISD pair.
+  std::size_t inter_isd_links = 2;
+  /// Fraction of leaves that are dual-homed to a second core.
+  double dual_home_fraction = 0.4;
+  /// Number of random leaf-to-leaf peering links (0 = none).
+  std::size_t peering_links = 2;
+  bool sign_beacons = false;  // signing is expensive; tests opt in
+  std::size_t beacons_per_origin = 6;
+};
+
+struct GeneratedTopology {
+  std::unique_ptr<Topology> topo;
+  std::vector<IsdAsn> core_ases;
+  std::vector<IsdAsn> leaf_ases;
+  /// One host per leaf AS, in leaf_ases order.
+  std::vector<HostId> hosts;
+};
+
+/// Builds and finalizes a random world on `sim`.
+[[nodiscard]] GeneratedTopology generate_topology(sim::Simulator& sim,
+                                                  const TopoGenParams& params);
+
+}  // namespace pan::scion

@@ -1,0 +1,14 @@
+#include "scion/types.hpp"
+
+namespace pan::scion {
+
+const char* to_string(LinkType t) {
+  switch (t) {
+    case LinkType::kCore: return "core";
+    case LinkType::kParentChild: return "parent-child";
+    case LinkType::kPeering: return "peering";
+  }
+  return "?";
+}
+
+}  // namespace pan::scion

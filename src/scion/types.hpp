@@ -1,0 +1,54 @@
+// Shared SCION value types: link classification and the metadata that
+// beacons accumulate hop by hop (the "path decorations" the paper builds
+// its property taxonomy on — latency, bandwidth, MTU, loss, jitter, carbon
+// footprint, transit cost, geography, QoS capability, ethics rating).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scion/addr.hpp"
+#include "util/types.hpp"
+
+namespace pan::scion {
+
+/// SCION interface id within an AS (0 means "none", e.g. at a segment end).
+using IfaceId = std::uint16_t;
+inline constexpr IfaceId kNoIface = 0;
+
+enum class LinkType : std::uint8_t {
+  kCore,        // core AS <-> core AS
+  kParentChild, // provider -> customer within an ISD
+  kPeering,     // non-core peering (kept for future work; unused by combiner)
+};
+
+[[nodiscard]] const char* to_string(LinkType t);
+
+/// Static decorations of one inter-AS link, disseminated in beacons.
+struct LinkMeta {
+  Duration latency = milliseconds(1);
+  double bandwidth_bps = 1e9;
+  std::size_t mtu = 1500;
+  double loss_rate = 0.0;
+  Duration jitter = Duration::zero();
+  /// Grams of CO2 emitted per gigabyte carried across this link.
+  double co2_g_per_gb = 0.0;
+  /// Transit price in micro-dollars per gigabyte.
+  double cost_per_gb = 0.0;
+};
+
+/// Static per-AS decorations, also disseminated in beacons.
+struct AsMeta {
+  /// ISO country code of the AS's primary jurisdiction, e.g. "CH".
+  std::string country;
+  /// 0..100 score from an (external, simulated) ESG rating provider.
+  double ethics_rating = 50.0;
+  /// Whether the AS offers QoS (bandwidth reservation) service.
+  bool qos_capable = false;
+  /// Whether the AS belongs to the user's "allied" economic bloc.
+  bool allied = false;
+  /// Carbon intensity of the AS's internal infrastructure (gCO2/GB).
+  double internal_co2_g_per_gb = 0.0;
+};
+
+}  // namespace pan::scion

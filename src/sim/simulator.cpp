@@ -1,0 +1,81 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace pan::sim {
+
+namespace {
+TimePoint clock_hook(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now();
+}
+}  // namespace
+
+Simulator::Simulator() {
+  // Make log records carry simulated timestamps. The last-constructed
+  // simulator wins, which matches the one-simulator-per-process usage.
+  Logger::set_clock(&clock_hook, this);
+}
+
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return false;
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted) ++cancelled_live_;
+  return inserted;
+}
+
+bool Simulator::step(TimePoint deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_live_;
+      continue;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step(TimePoint::max())) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (step(deadline)) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t Simulator::run_for(Duration span) { return run_until(now_ + span); }
+
+bool Simulator::run_until_condition(const std::function<bool()>& pred, TimePoint deadline) {
+  if (pred()) return true;
+  while (step(deadline)) {
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace pan::sim

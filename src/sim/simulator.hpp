@@ -1,0 +1,91 @@
+// Deterministic discrete-event simulation engine.
+//
+// The whole system — links, transports, proxies, the browser model — runs on
+// one Simulator. Events are (time, sequence, closure) triples ordered by time
+// with the sequence number breaking ties FIFO, which makes runs bit-for-bit
+// reproducible. Everything is single-threaded by design: handlers run to
+// completion and schedule follow-up events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pan::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at the absolute time `when` (>= now, else clamped
+  /// to now). Returns an id usable with cancel().
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after now (negative delays clamp to 0).
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op. Returns true iff the event was pending.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains. Returns the number of events run.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; the clock is left at the deadline
+  /// (or at the last event if the queue drained first... no: always advanced
+  /// to the deadline so repeated calls are monotonic). Returns events run.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Runs for `span` of simulated time from now.
+  std::size_t run_for(Duration span);
+
+  /// Runs events until `pred()` becomes true (checked after each event) or
+  /// the queue drains or `deadline` passes. Returns true iff pred held.
+  bool run_until_condition(const std::function<bool()>& pred, TimePoint deadline);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_live_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the next event; returns false if the queue is empty or the
+  /// next event is beyond `deadline` (clock untouched in that case).
+  bool step(TimePoint deadline);
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Cancelled ids are tombstoned and skipped on pop; cancelled_live_ counts
+  // tombstones still in the queue so pending_events() stays accurate.
+  std::unordered_set<EventId> cancelled_;
+  std::size_t cancelled_live_ = 0;
+};
+
+}  // namespace pan::sim

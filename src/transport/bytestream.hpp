@@ -1,0 +1,36 @@
+// The byte-stream interface HTTP runs on.
+//
+// Both a TCP-lite connection (its single stream) and a QUIC-lite stream
+// implement this, which is what lets the proxy map an HTTP/1 TCP stream
+// onto a single bidirectional QUIC stream — the exact trick the paper's
+// prototype uses ("we map the TCP data stream into a single bidirectional
+// QUIC stream").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace pan::transport {
+
+class Bytestream {
+ public:
+  virtual ~Bytestream() = default;
+
+  /// Queues bytes for ordered, reliable delivery.
+  virtual void write(std::span<const std::uint8_t> data) = 0;
+  /// Half-closes the sending direction (FIN).
+  virtual void finish() = 0;
+
+  /// Registers the reader. `fin` is true exactly once, with the final chunk
+  /// (possibly empty).
+  using DataFn = std::function<void(std::span<const std::uint8_t> data, bool fin)>;
+  virtual void set_on_data(DataFn on_data) = 0;
+
+  /// True once the peer's FIN (or a connection close) has been seen.
+  [[nodiscard]] virtual bool remote_finished() const = 0;
+  /// True if the stream can no longer deliver or accept data (reset/closed).
+  [[nodiscard]] virtual bool broken() const = 0;
+};
+
+}  // namespace pan::transport

@@ -1,0 +1,263 @@
+// The reliable transport engine shared by QUIC-lite and TCP-lite.
+//
+// One Connection speaks the frame format in frames.hpp over a datagram
+// Conduit (plain UDP or UDP-over-SCION). It provides:
+//   - a 1-RTT handshake (HELLO / HELLO_REPLY), with configurable extra
+//     rounds to emulate e.g. TLS-over-TCP setup costs;
+//   - ordered reliable byte streams with FIN semantics (Bytestream);
+//   - ACK-based loss detection (packet-threshold reordering) plus a probe
+//     timeout (PTO) with exponential backoff;
+//   - NewReno congestion control (slow start, AIMD, collapse on PTO);
+//   - delayed ACKs (every second ack-eliciting packet or max_ack_delay).
+//
+// TCP-lite is the same engine restricted to a single stream with its own
+// wire magic: the paper maps HTTP/1 TCP bytestreams onto one bidirectional
+// QUIC stream, so modeling both kinds over one engine mirrors the prototype
+// while keeping the handshake/recovery dynamics that affect page load time.
+//
+// Flow control windows are not modeled (simulated endpoints have ample
+// memory); congestion control alone limits data in flight. Documented in
+// DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/timer.hpp"
+#include "transport/bytestream.hpp"
+#include "transport/frames.hpp"
+
+namespace pan::transport {
+
+/// Where datagrams go. `send` must deliver (or drop) asynchronously via the
+/// simulator; `max_payload` bounds serialized packet size.
+struct Conduit {
+  std::function<void(Bytes)> send;
+  std::size_t max_payload = 1200;
+};
+
+struct TransportConfig {
+  TransportKind kind = TransportKind::kQuicLite;
+  std::string alpn = "http/1.1";
+  std::size_t initial_cwnd_packets = 10;
+  std::size_t min_cwnd_packets = 2;
+  Duration initial_rtt = milliseconds(100);
+  Duration max_ack_delay = milliseconds(25);
+  std::uint64_t reorder_threshold = 3;
+  Duration idle_timeout = seconds(30);
+  /// Additional handshake round trips before the connection is established
+  /// (0 = QUIC-style 1-RTT; 1 emulates TLS-1.3-over-TCP's extra RTT).
+  std::uint8_t extra_handshake_rtts = 0;
+  /// Client-side 0-RTT (session resumption): the connection counts as
+  /// established immediately at start(), so early data rides right behind
+  /// the INITIAL packet and the response arrives one round trip sooner.
+  /// Only valid with extra_handshake_rtts == 0 and when the application has
+  /// a resumption ticket for the server (it has connected before).
+  bool zero_rtt = false;
+  /// When nonzero, the connection sends PING probes at this interval while
+  /// any local stream awaits a response (request FIN sent, peer FIN not yet
+  /// received). A pure receiver otherwise goes silent and would never learn
+  /// that its path died (no ACKs to lose); the probes keep path failure
+  /// detection (PTO, SCMP) alive. Probing stops once nothing is awaited.
+  Duration keep_alive = Duration::zero();
+};
+
+class Connection;
+
+class Stream final : public Bytestream {
+ public:
+  Stream(Connection& conn, std::uint32_t id);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  void write(std::span<const std::uint8_t> data) override;
+  void finish() override;
+  void set_on_data(DataFn on_data) override;
+  [[nodiscard]] bool remote_finished() const override { return fin_delivered_; }
+  [[nodiscard]] bool broken() const override;
+
+  /// Bytes received and delivered so far.
+  [[nodiscard]] std::uint64_t bytes_received() const { return next_recv_offset_; }
+
+ private:
+  friend class Connection;
+
+  struct Chunk {
+    std::uint64_t offset = 0;
+    Bytes data;
+    bool fin = false;
+  };
+
+  void on_stream_frame(const StreamFrame& frame);
+  void flush_reassembly();
+  void mark_broken();
+
+  Connection& conn_;
+  std::uint32_t id_;
+
+  // Send side.
+  std::deque<Chunk> pending_;  // not yet (re)transmitted
+  std::uint64_t next_send_offset_ = 0;
+  bool fin_queued_ = false;
+
+  // Receive side.
+  std::map<std::uint64_t, Bytes> reassembly_;
+  std::uint64_t next_recv_offset_ = 0;
+  std::uint64_t fin_offset_ = UINT64_MAX;
+  bool fin_delivered_ = false;
+  bool broken_ = false;
+  DataFn on_data_;
+};
+
+class Connection {
+ public:
+  enum class Role { kClient, kServer };
+  enum class State { kIdle, kConnecting, kEstablished, kClosed };
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_received = 0;
+    std::uint64_t packets_lost = 0;
+    std::uint64_t packets_acked = 0;
+    std::uint64_t pto_fired = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+
+  Connection(sim::Simulator& sim, Conduit conduit, Role role, std::uint64_t conn_id,
+             TransportConfig config);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::uint64_t conn_id() const { return conn_id_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Duration smoothed_rtt() const { return srtt_; }
+  [[nodiscard]] std::size_t cwnd_bytes() const { return cwnd_; }
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+
+  /// Client: begins the handshake. Server connections establish on demand.
+  void start();
+
+  /// Feeds an incoming datagram (from the socket/demux layer).
+  void on_datagram(std::span<const std::uint8_t> data);
+
+  /// Opens a locally initiated bidirectional stream. TCP-lite connections
+  /// allow exactly one. Streams are owned by the connection.
+  Stream& open_stream();
+  [[nodiscard]] Stream* stream(std::uint32_t id);
+
+  void set_on_established(std::function<void()> fn) { on_established_ = std::move(fn); }
+  /// Fires when the peer opens a stream.
+  void set_on_stream(std::function<void(Stream&)> fn) { on_stream_ = std::move(fn); }
+  void set_on_closed(std::function<void(const std::string&)> fn) {
+    on_closed_ = std::move(fn);
+  }
+
+  void close(const std::string& reason);
+
+  /// Swaps the conduit (SCION path migration); in-flight data redelivers via
+  /// normal loss recovery, jump-started by on_path_migrated().
+  void set_conduit(Conduit conduit);
+
+  /// Signals that the underlying path changed (client conduit swap, or a
+  /// server observing a new reply path): resets the PTO backoff — which may
+  /// have grown exponentially while the old path was black-holing — and
+  /// retransmits outstanding data immediately on the new path.
+  void on_path_migrated();
+
+ private:
+  friend class Stream;
+
+  struct SentChunkRef {
+    std::uint32_t stream_id = 0;
+    std::uint64_t offset = 0;
+    Bytes data;
+    bool fin = false;
+  };
+  struct SentPacket {
+    TimePoint sent_at;
+    std::size_t size = 0;
+    std::vector<SentChunkRef> chunks;
+    bool hello = false;
+    std::uint8_t hello_round = 0;
+    bool ack_eliciting = false;
+  };
+
+  void pump();
+  void send_hello(std::uint8_t round);
+  void establish();
+  void note_awaiting_response();
+  [[nodiscard]] bool awaiting_response() const;
+  void on_keep_alive();
+  void process_frame(const Frame& frame, bool* ack_eliciting);
+  void process_ack(const AckFrame& ack);
+  void declare_lost(std::uint64_t pn, SentPacket&& packet);
+  void on_pto();
+  /// Go-back-n: re-queues every outstanding chunk and pumps.
+  void retransmit_all_outstanding();
+  void record_received(std::uint64_t pn, bool ack_eliciting);
+  [[nodiscard]] AckFrame build_ack() const;
+  void maybe_send_pure_ack();
+  void send_packet(TransportPacket packet, SentPacket record);
+  [[nodiscard]] Duration pto_interval() const;
+  void arm_pto();
+  [[nodiscard]] std::size_t bytes_in_flight() const { return bytes_in_flight_; }
+  void on_loss_event(std::uint64_t pn);
+  [[nodiscard]] std::size_t mss() const;
+
+  sim::Simulator& sim_;
+  Conduit conduit_;
+  Role role_;
+  std::uint64_t conn_id_;
+  TransportConfig config_;
+  State state_ = State::kIdle;
+
+  // Streams.
+  std::unordered_map<std::uint32_t, std::unique_ptr<Stream>> streams_;
+  std::vector<std::uint32_t> send_order_;  // round-robin cursor source
+  std::size_t rr_cursor_ = 0;
+  std::uint32_t next_local_stream_;
+
+  // Packet number spaces (single space for simplicity).
+  std::uint64_t next_pn_ = 1;
+  std::map<std::uint64_t, SentPacket> in_flight_;
+  std::size_t bytes_in_flight_ = 0;
+
+  // ACK state (receiving side).
+  std::vector<AckRange> recv_ranges_;  // descending, merged
+  bool ack_pending_ = false;
+  std::uint32_t ack_eliciting_since_ack_ = 0;
+
+  // RTT / congestion.
+  Duration srtt_;
+  Duration rttvar_;
+  bool have_rtt_sample_ = false;
+  std::size_t cwnd_;
+  std::size_t ssthresh_;
+  std::uint64_t loss_recovery_end_pn_ = 0;
+  std::uint32_t pto_count_ = 0;
+
+  // Handshake.
+  std::uint8_t hello_rounds_done_ = 0;
+
+  sim::Timer ack_timer_;
+  sim::Timer pto_timer_;
+  sim::Timer idle_timer_;
+  sim::Timer keep_alive_timer_;
+
+  std::function<void()> on_established_;
+  std::function<void(Stream&)> on_stream_;
+  std::function<void(const std::string&)> on_closed_;
+  Stats stats_;
+};
+
+}  // namespace pan::transport

@@ -1,0 +1,137 @@
+#include "transport/frames.hpp"
+
+namespace pan::transport {
+namespace {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kStream = 3,
+  kAck = 4,
+  kClose = 5,
+  kPing = 6,
+};
+
+void write_frame(ByteWriter& w, const Frame& frame) {
+  if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kHello));
+    w.u8(hello->reply ? 1 : 0);
+    w.u8(hello->round);
+    w.lp_str(hello->alpn);
+  } else if (const auto* stream = std::get_if<StreamFrame>(&frame)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kStream));
+    w.u32(stream->stream_id);
+    w.u64(stream->offset);
+    w.u8(stream->fin ? 1 : 0);
+    w.lp_bytes(stream->data);
+  } else if (const auto* ack = std::get_if<AckFrame>(&frame)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kAck));
+    w.u8(static_cast<std::uint8_t>(ack->ranges.size()));
+    for (const AckRange& range : ack->ranges) {
+      w.u64(range.first);
+      w.u64(range.last);
+    }
+  } else if (const auto* close = std::get_if<CloseFrame>(&frame)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kClose));
+    w.lp_str(close->reason);
+  } else if (std::get_if<PingFrame>(&frame) != nullptr) {
+    w.u8(static_cast<std::uint8_t>(FrameType::kPing));
+  }
+}
+
+Result<Frame> read_frame(ByteReader& r) {
+  const auto type = static_cast<FrameType>(r.u8());
+  switch (type) {
+    case FrameType::kHello: {
+      HelloFrame f;
+      f.reply = r.u8() != 0;
+      f.round = r.u8();
+      f.alpn = r.lp_str();
+      return Frame{f};
+    }
+    case FrameType::kStream: {
+      StreamFrame f;
+      f.stream_id = r.u32();
+      f.offset = r.u64();
+      f.fin = r.u8() != 0;
+      f.data = r.lp_bytes();
+      return Frame{std::move(f)};
+    }
+    case FrameType::kAck: {
+      AckFrame f;
+      const std::uint8_t n = r.u8();
+      if (n > kMaxAckRanges) return Err("too many ack ranges");
+      f.ranges.reserve(n);
+      for (std::uint8_t i = 0; i < n; ++i) {
+        AckRange range;
+        range.first = r.u64();
+        range.last = r.u64();
+        f.ranges.push_back(range);
+      }
+      return Frame{std::move(f)};
+    }
+    case FrameType::kClose: {
+      CloseFrame f;
+      f.reason = r.lp_str();
+      return Frame{std::move(f)};
+    }
+    case FrameType::kPing:
+      return Frame{PingFrame{}};
+  }
+  return Err("unknown frame type " + std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace
+
+const char* to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::kQuicLite: return "quic-lite";
+    case TransportKind::kTcpLite: return "tcp-lite";
+  }
+  return "?";
+}
+
+bool AckFrame::contains(std::uint64_t pn) const {
+  for (const AckRange& range : ranges) {
+    if (pn >= range.first && pn <= range.last) return true;
+  }
+  return false;
+}
+
+Bytes serialize_packet(const TransportPacket& packet) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(packet.kind));
+  w.u8(static_cast<std::uint8_t>(packet.type));
+  w.u64(packet.conn_id);
+  w.u64(packet.packet_number);
+  for (const Frame& frame : packet.frames) {
+    write_frame(w, frame);
+  }
+  return std::move(w).take();
+}
+
+Result<TransportPacket> parse_packet(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  TransportPacket packet;
+  const std::uint8_t kind = r.u8();
+  if (kind != static_cast<std::uint8_t>(TransportKind::kQuicLite) &&
+      kind != static_cast<std::uint8_t>(TransportKind::kTcpLite)) {
+    return Err("bad transport magic");
+  }
+  packet.kind = static_cast<TransportKind>(kind);
+  packet.type = static_cast<PacketType>(r.u8());
+  packet.conn_id = r.u64();
+  packet.packet_number = r.u64();
+  while (!r.failed() && r.remaining() > 0) {
+    auto frame = read_frame(r);
+    if (!frame.ok()) return Err(frame.error());
+    packet.frames.push_back(std::move(frame).take());
+  }
+  if (r.failed()) return Err("truncated transport packet");
+  return packet;
+}
+
+std::size_t stream_frame_overhead() { return 1 + 4 + 8 + 1 + 2; }
+
+std::size_t packet_header_size() { return 1 + 1 + 8 + 8; }
+
+}  // namespace pan::transport

@@ -1,0 +1,81 @@
+// Wire format of the transport (QUIC-lite / TCP-lite) packets.
+//
+// Layout: u8 kind magic, u8 packet type, u64 connection id, u64 packet
+// number, then a sequence of frames until the end of the datagram.
+// Frames: HELLO / HELLO_REPLY (handshake, carry the ALPN), STREAM
+// (stream id, offset, fin, data), ACK (ranges of received packet numbers),
+// CLOSE, PING.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace pan::transport {
+
+enum class TransportKind : std::uint8_t { kQuicLite = 0xA1, kTcpLite = 0xB2 };
+
+[[nodiscard]] const char* to_string(TransportKind k);
+
+enum class PacketType : std::uint8_t { kInitial = 0, kHandshake = 1, kData = 2 };
+
+struct HelloFrame {
+  bool reply = false;
+  /// Handshake round (0-based); used to emulate extra handshake RTTs.
+  std::uint8_t round = 0;
+  std::string alpn;
+};
+
+struct StreamFrame {
+  std::uint32_t stream_id = 0;
+  std::uint64_t offset = 0;
+  bool fin = false;
+  Bytes data;
+};
+
+struct AckRange {
+  std::uint64_t first = 0;  // inclusive
+  std::uint64_t last = 0;   // inclusive
+};
+
+struct AckFrame {
+  /// Ranges in descending order of packet number, at most kMaxAckRanges.
+  std::vector<AckRange> ranges;
+
+  [[nodiscard]] std::uint64_t largest() const {
+    return ranges.empty() ? 0 : ranges.front().last;
+  }
+  [[nodiscard]] bool contains(std::uint64_t pn) const;
+};
+
+inline constexpr std::size_t kMaxAckRanges = 16;
+
+struct CloseFrame {
+  std::string reason;
+};
+
+struct PingFrame {};
+
+using Frame = std::variant<HelloFrame, StreamFrame, AckFrame, CloseFrame, PingFrame>;
+
+struct TransportPacket {
+  TransportKind kind = TransportKind::kQuicLite;
+  PacketType type = PacketType::kData;
+  std::uint64_t conn_id = 0;
+  std::uint64_t packet_number = 0;
+  std::vector<Frame> frames;
+};
+
+[[nodiscard]] Bytes serialize_packet(const TransportPacket& packet);
+[[nodiscard]] Result<TransportPacket> parse_packet(std::span<const std::uint8_t> data);
+
+/// Size in bytes a STREAM frame with `data_len` payload will occupy.
+[[nodiscard]] std::size_t stream_frame_overhead();
+/// Fixed per-packet header size.
+[[nodiscard]] std::size_t packet_header_size();
+
+}  // namespace pan::transport

@@ -1,0 +1,103 @@
+#include "transport/scion_host.hpp"
+
+#include "scion/header.hpp"
+#include "transport/udp_host.hpp"
+#include "util/log.hpp"
+
+namespace pan::transport {
+
+namespace {
+constexpr std::string_view kLog = "scion-host";
+constexpr std::size_t kDefaultDatagram = 1200;
+}  // namespace
+
+std::size_t scion_max_payload(const scion::DataplanePath& path, std::size_t mtu) {
+  const std::size_t header = scion::scion_header_size(path);
+  if (mtu <= header + 64) return 576;  // degenerate, keep a usable floor
+  return std::min(kDefaultDatagram, mtu - header);
+}
+
+ScionTransportClient::ScionTransportClient(scion::ScionStack& stack,
+                                           scion::ScionEndpoint server,
+                                           scion::DataplanePath path, TransportConfig config)
+    : server_(server), path_(std::move(path)) {
+  socket_ = stack.bind(0, [this](const scion::ScionEndpoint& /*from*/,
+                                 const scion::DataplanePath& /*reply*/, Bytes payload) {
+    conn_->on_datagram(payload);
+  });
+  conn_ = std::make_unique<Connection>(stack.host().simulator(), make_conduit(),
+                                       Connection::Role::kClient, next_conn_id(), config);
+}
+
+Conduit ScionTransportClient::make_conduit() {
+  Conduit conduit;
+  conduit.max_payload = scion_max_payload(path_, 1500);
+  conduit.send = [this](Bytes datagram) {
+    socket_->send_to(server_, path_, std::move(datagram));
+  };
+  return conduit;
+}
+
+void ScionTransportClient::set_path(scion::DataplanePath path) {
+  path_ = std::move(path);
+  conn_->set_conduit(make_conduit());
+}
+
+ScionTransportServer::ScionTransportServer(scion::ScionStack& stack, std::uint16_t port,
+                                           TransportConfig config, AcceptFn on_accept)
+    : stack_(stack), config_(std::move(config)), on_accept_(std::move(on_accept)) {
+  socket_ = stack.bind(port, [this](const scion::ScionEndpoint& from,
+                                    const scion::DataplanePath& reply_path, Bytes payload) {
+    on_datagram(from, reply_path, std::move(payload));
+  });
+}
+
+void ScionTransportServer::on_datagram(const scion::ScionEndpoint& from,
+                                       const scion::DataplanePath& reply_path, Bytes payload) {
+  auto parsed = parse_packet(payload);
+  if (!parsed.ok()) {
+    PAN_DEBUG(kLog) << "undecodable SCION datagram from " << from.to_string();
+    return;
+  }
+  const std::uint64_t conn_id = parsed.value().conn_id;
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    if (parsed.value().type != PacketType::kInitial) return;
+    reap_closed();
+    PeerState state;
+    state.from = from;
+    state.reply_path = reply_path;
+    Conduit conduit;
+    conduit.max_payload = scion_max_payload(reply_path, 1500);
+    conduit.send = [this, conn_id](Bytes datagram) {
+      const auto peer = conns_.find(conn_id);
+      if (peer == conns_.end()) return;
+      socket_->send_to(peer->second.from, peer->second.reply_path, std::move(datagram));
+    };
+    state.conn = std::make_unique<Connection>(stack_.host().simulator(), std::move(conduit),
+                                              Connection::Role::kServer, conn_id, config_);
+    it = conns_.emplace(conn_id, std::move(state)).first;
+    if (on_accept_) on_accept_(*it->second.conn);
+  } else {
+    // Follow client path migration. When the reply path actually changed,
+    // jump-start retransmission: our outstanding data was black-holing on
+    // the old path and the PTO backoff may have grown large.
+    const bool migrated = !(it->second.reply_path == reply_path);
+    it->second.from = from;
+    it->second.reply_path = reply_path;
+    if (migrated) it->second.conn->on_path_migrated();
+  }
+  it->second.conn->on_datagram(payload);
+}
+
+void ScionTransportServer::reap_closed() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second.conn->state() == Connection::State::kClosed) {
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace pan::transport

@@ -1,0 +1,106 @@
+#include "util/bytes.hpp"
+
+namespace pan {
+
+void ByteWriter::lp_str(std::string_view s) {
+  u16(static_cast<std::uint16_t>(s.size()));
+  str(s);
+}
+
+void ByteWriter::lp_bytes(std::span<const std::uint8_t> data) {
+  u16(static_cast<std::uint16_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) return;
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!need(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!need(2)) return 0;
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!need(4)) return 0;
+  const std::uint32_t hi = u16();
+  const std::uint32_t lo = u16();
+  return (hi << 16) | lo;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!need(8)) return 0;
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  if (!need(n)) return {};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str(std::size_t n) {
+  if (!need(n)) return {};
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::lp_str() {
+  const std::uint16_t n = u16();
+  return str(n);
+}
+
+Bytes ByteReader::lp_bytes() {
+  const std::uint16_t n = u16();
+  return raw(n);
+}
+
+void ByteReader::skip(std::size_t n) {
+  if (!need(n)) return;
+  pos_ += n;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes from_string(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  return Bytes(p, p + s.size());
+}
+
+std::string to_string_view_copy(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace pan

@@ -1,0 +1,76 @@
+// A minimal expected/Result type (std::expected is C++23; we target C++20).
+//
+// Result<T> either holds a value of type T or an error string. It is used
+// for fallible parsing and lookup operations throughout the code base where
+// exceptions would obscure control flow.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pan {
+
+/// Tag type carrying an error message, so `Err("...")` can construct any
+/// Result<T> without spelling out T.
+struct Err {
+  std::string message;
+  explicit Err(std::string msg) : message(std::move(msg)) {}
+};
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` / `return Err{...};`.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Err err) : error_(std::move(err.message)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result specialization-like helper for operations with no payload.
+class Status {
+ public:
+  Status() = default;                                      // success
+  Status(Err err) : error_(std::move(err.message)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<std::string> error_;
+};
+
+}  // namespace pan

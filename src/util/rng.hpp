@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (link jitter, loss, trial
+// variation) draws from an Rng seeded explicitly, so experiment runs are
+// exactly reproducible. The generator is xoshiro256++ seeded via SplitMix64,
+// which is fast, has a 256-bit state and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+#include "util/types.hpp"
+
+namespace pan {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Normally distributed (Box–Muller; consumes two uniforms per pair).
+  double next_normal(double mean, double stddev);
+
+  /// Pareto distributed with scale xm and shape alpha (heavy-tailed object
+  /// sizes, flow interarrivals).
+  double next_pareto(double xm, double alpha);
+
+  /// A duration jittered uniformly in [base*(1-frac), base*(1+frac)].
+  Duration jittered(Duration base, double frac);
+
+  /// Derive an independent child generator (stable for a given label).
+  Rng fork(std::uint64_t label);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace pan

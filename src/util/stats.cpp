@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pan {
+namespace {
+
+double interp_sorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+BoxStats box_stats(std::vector<double> samples) {
+  BoxStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.q1 = interp_sorted(samples, 25);
+  s.median = interp_sorted(samples, 50);
+  s.q3 = interp_sorted(samples, 75);
+  double sum = 0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0;
+  for (double x : samples) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return interp_sorted(samples, pct);
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string ascii_box_row(const BoxStats& stats, double axis_min, double axis_max,
+                          std::size_t width) {
+  if (width < 10 || axis_max <= axis_min || stats.count == 0) {
+    return std::string(width, ' ');
+  }
+  std::string row(width, ' ');
+  const auto col = [&](double v) -> std::size_t {
+    double frac = (v - axis_min) / (axis_max - axis_min);
+    frac = std::clamp(frac, 0.0, 1.0);
+    return static_cast<std::size_t>(frac * static_cast<double>(width - 1));
+  };
+  const std::size_t cmin = col(stats.min);
+  const std::size_t cq1 = col(stats.q1);
+  const std::size_t cmed = col(stats.median);
+  const std::size_t cq3 = col(stats.q3);
+  const std::size_t cmax = col(stats.max);
+  for (std::size_t i = cmin; i <= cmax && i < width; ++i) row[i] = '-';
+  for (std::size_t i = cq1; i <= cq3 && i < width; ++i) row[i] = '=';
+  row[cmin] = '|';
+  row[cmax] = '|';
+  if (cq1 < width) row[cq1] = '[';
+  if (cq3 < width) row[cq3] = ']';
+  if (cmed < width) row[cmed] = '#';
+  return row;
+}
+
+}  // namespace pan

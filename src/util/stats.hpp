@@ -1,0 +1,60 @@
+// Sample statistics used by the experiment harness, in particular the
+// five-number summaries the paper's box plots (Figures 3, 5, 6) report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pan {
+
+/// Five-number summary plus mean, matching a standard box plot.
+struct BoxStats {
+  std::size_t count = 0;
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+
+  /// Interquartile range.
+  [[nodiscard]] double iqr() const { return q3 - q1; }
+};
+
+/// Computes the summary; quartiles use linear interpolation (type-7, the
+/// numpy/R default). An empty sample yields an all-zero summary.
+[[nodiscard]] BoxStats box_stats(std::vector<double> samples);
+
+/// Percentile in [0,100] with linear interpolation over a sorted copy.
+[[nodiscard]] double percentile(std::vector<double> samples, double pct);
+
+/// Accumulates a stream of values without storing them (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Renders a horizontal ASCII box plot row (min |--[ Q1 | median | Q3 ]--| max)
+/// scaled to [axis_min, axis_max] over `width` characters. Used by the figure
+/// benches to reproduce the paper's plots in terminal form.
+[[nodiscard]] std::string ascii_box_row(const BoxStats& stats, double axis_min, double axis_max,
+                                        std::size_t width);
+
+}  // namespace pan

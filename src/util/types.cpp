@@ -1,0 +1,20 @@
+#include "util/types.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan {
+
+std::string to_string(Duration d) {
+  const std::int64_t n = d.nanos();
+  const std::int64_t mag = n < 0 ? -n : n;
+  if (mag < 1'000) return strings::format("%ldns", static_cast<long>(n));
+  if (mag < 1'000'000) return strings::format("%.2fus", d.micros());
+  if (mag < 1'000'000'000) return strings::format("%.3fms", d.millis());
+  return strings::format("%.3fs", d.seconds());
+}
+
+std::string to_string(TimePoint t) {
+  return strings::format("t=%.3fms", t.millis());
+}
+
+}  // namespace pan

@@ -1,0 +1,88 @@
+// Fundamental time types used across the simulator.
+//
+// All simulated time is kept as integral nanoseconds to guarantee
+// determinism (no floating point drift between platforms). Duration and
+// TimePoint are thin strong types over int64_t with the arithmetic one
+// expects from <chrono>, plus convenient factory functions (ns/us/ms/s)
+// and formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace pan {
+
+/// A span of simulated time, in nanoseconds. May be negative (e.g. when
+/// subtracting time points), although most APIs expect non-negative values.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t nanos) : nanos_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const { return Duration{nanos_ + other.nanos_}; }
+  constexpr Duration operator-(Duration other) const { return Duration{nanos_ - other.nanos_}; }
+  constexpr Duration operator-() const { return Duration{-nanos_}; }
+  constexpr Duration& operator+=(Duration other) { nanos_ += other.nanos_; return *this; }
+  constexpr Duration& operator-=(Duration other) { nanos_ -= other.nanos_; return *this; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{nanos_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{nanos_ / k}; }
+
+  /// Scale by a double (used for jitter and backoff factors). Rounds toward zero.
+  [[nodiscard]] constexpr Duration scaled(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(nanos_) * f)};
+  }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+[[nodiscard]] constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+
+/// An absolute instant on the simulated clock (nanoseconds since t=0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t nanos) : nanos_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{nanos_ + d.nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{nanos_ - d.nanos()}; }
+  constexpr Duration operator-(TimePoint other) const { return Duration{nanos_ - other.nanos_}; }
+
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// Renders a duration with an adaptive unit, e.g. "1.25ms" or "370ns".
+[[nodiscard]] std::string to_string(Duration d);
+/// Renders a time point in milliseconds, e.g. "t=12.500ms".
+[[nodiscard]] std::string to_string(TimePoint t);
+
+}  // namespace pan

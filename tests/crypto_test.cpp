@@ -1,0 +1,193 @@
+// Unit tests for src/crypto: SHA-256 against FIPS 180-4 vectors, HMAC-SHA256
+// against RFC 4231 vectors, truncated MACs, and Lamport signatures.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+
+namespace pan::crypto {
+namespace {
+
+std::string hex_of(std::string_view s) { return hex_digest(sha256(s)); }
+
+// ------------------------------------------------------------- sha256 ---
+
+TEST(Sha256Test, FipsVectors) {
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_digest(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes = exactly one block; padding must spill into a second block.
+  const std::string block(64, 'x');
+  EXPECT_EQ(hex_of(block), hex_digest(sha256(block)));
+  const std::string block55(55, 'y');  // largest single-block message
+  const std::string block56(56, 'y');  // forces a second block
+  EXPECT_NE(hex_of(block55), hex_of(block56));
+}
+
+/// Streaming in arbitrary chunk sizes must match the one-shot digest.
+class Sha256Streaming : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Streaming, ChunkedEqualsOneShot) {
+  const std::size_t chunk_size = GetParam();
+  std::string message;
+  for (int i = 0; i < 500; ++i) message += static_cast<char>('A' + i % 26);
+  const Digest oneshot = sha256(message);
+
+  Sha256 h;
+  for (std::size_t pos = 0; pos < message.size(); pos += chunk_size) {
+    h.update(std::string_view(message).substr(pos, chunk_size));
+  }
+  EXPECT_EQ(h.finalize(), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Sha256Streaming,
+                         ::testing::Values(1, 3, 7, 63, 64, 65, 128, 499, 500));
+
+TEST(Sha256Test, ResetReuses) {
+  Sha256 h;
+  h.update("garbage");
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(hex_digest(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// --------------------------------------------------------------- hmac ---
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest mac = hmac_sha256(key, "Hi There");
+  EXPECT_EQ(hex_digest(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Bytes key = from_string("Jefe");
+  const Digest mac = hmac_sha256(key, "what do ya want for nothing?");
+  EXPECT_EQ(hex_digest(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes message(50, 0xdd);
+  const Digest mac = hmac_sha256(key, message);
+  EXPECT_EQ(hex_digest(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Digest mac = hmac_sha256(key, "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(hex_digest(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDiffer) {
+  const Bytes k1(16, 0x01);
+  const Bytes k2(16, 0x02);
+  EXPECT_NE(hmac_sha256(k1, "msg"), hmac_sha256(k2, "msg"));
+}
+
+TEST(ShortMacTest, TruncatesHmac) {
+  const Bytes key(16, 0x42);
+  const Bytes message = from_string("payload");
+  const Digest full = hmac_sha256(key, message);
+  const ShortMac mac = short_mac(key, message);
+  for (std::size_t i = 0; i < kShortMacSize; ++i) {
+    EXPECT_EQ(mac[i], full[i]);
+  }
+}
+
+TEST(ShortMacTest, MacEqual) {
+  const Bytes key(16, 0x42);
+  const ShortMac a = short_mac(key, from_string("x"));
+  ShortMac b = a;
+  EXPECT_TRUE(mac_equal(a, b));
+  b[5] ^= 1;
+  EXPECT_FALSE(mac_equal(a, b));
+}
+
+// ----------------------------------------------------------- signature --
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  Rng rng(1);
+  const KeyPair kp = generate_keypair(rng);
+  const Signature sig = sign(kp.private_key, "a signed beacon entry");
+  EXPECT_TRUE(verify(kp.public_key, "a signed beacon entry", sig));
+}
+
+TEST(SignatureTest, TamperedMessageFails) {
+  Rng rng(2);
+  const KeyPair kp = generate_keypair(rng);
+  const Signature sig = sign(kp.private_key, "original");
+  EXPECT_FALSE(verify(kp.public_key, "orig1nal", sig));
+}
+
+TEST(SignatureTest, TamperedSignatureFails) {
+  Rng rng(3);
+  const KeyPair kp = generate_keypair(rng);
+  Signature sig = sign(kp.private_key, "message");
+  sig.revealed[10][0] ^= 0x80;
+  EXPECT_FALSE(verify(kp.public_key, "message", sig));
+}
+
+TEST(SignatureTest, WrongKeyFails) {
+  Rng rng(4);
+  const KeyPair kp1 = generate_keypair(rng);
+  const KeyPair kp2 = generate_keypair(rng);
+  const Signature sig = sign(kp1.private_key, "message");
+  EXPECT_FALSE(verify(kp2.public_key, "message", sig));
+}
+
+TEST(SignatureTest, SerializeRoundTrip) {
+  Rng rng(5);
+  const KeyPair kp = generate_keypair(rng);
+  const Signature sig = sign(kp.private_key, "wire");
+  const Bytes wire = sig.serialize();
+  EXPECT_EQ(wire.size(), kSignatureBits * kSha256DigestSize);
+  const auto parsed = Signature::deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(verify(kp.public_key, "wire", parsed.value()));
+}
+
+TEST(SignatureTest, DeserializeRejectsBadLength) {
+  EXPECT_FALSE(Signature::deserialize(Bytes(100)).ok());
+  EXPECT_FALSE(Signature::deserialize(Bytes{}).ok());
+}
+
+TEST(SignatureTest, FingerprintStable) {
+  Rng rng(6);
+  const KeyPair kp = generate_keypair(rng);
+  EXPECT_EQ(kp.public_key.fingerprint(), kp.public_key.fingerprint());
+  Rng rng2(7);
+  const KeyPair other = generate_keypair(rng2);
+  EXPECT_NE(kp.public_key.fingerprint(), other.public_key.fingerprint());
+}
+
+TEST(SignatureTest, DeterministicKeygen) {
+  Rng a(99);
+  Rng b(99);
+  const KeyPair ka = generate_keypair(a);
+  const KeyPair kb = generate_keypair(b);
+  EXPECT_TRUE(ka.public_key == kb.public_key);
+}
+
+}  // namespace
+}  // namespace pan::crypto

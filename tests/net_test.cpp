@@ -1,0 +1,421 @@
+// Unit tests for src/net: addressing, links (timing, loss, queueing, MTU,
+// FIFO), routers, hosts/UDP, and shortest paths.
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+#include "net/trace.hpp"
+#include "net/host.hpp"
+#include "net/router.hpp"
+
+namespace pan::net {
+namespace {
+
+TEST(IpAddrTest, FormatAndParse) {
+  const IpAddr a{0x0a010005};
+  EXPECT_EQ(a.to_string(), "10.1.0.5");
+  const auto parsed = IpAddr::parse("10.1.0.5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), a);
+  EXPECT_EQ(a.prefix(), 0x0a01);
+}
+
+TEST(IpAddrTest, ParseErrors) {
+  EXPECT_FALSE(IpAddr::parse("10.1.0").ok());
+  EXPECT_FALSE(IpAddr::parse("10.1.0.256").ok());
+  EXPECT_FALSE(IpAddr::parse("a.b.c.d").ok());
+  EXPECT_FALSE(IpAddr::parse("").ok());
+}
+
+TEST(EndpointTest, FormatsHostPort) {
+  EXPECT_EQ((Endpoint{IpAddr{0x01000001}, 80}).to_string(), "1.0.0.1:80");
+}
+
+TEST(PacketTest, WireSizeIncludesFraming) {
+  Packet p;
+  p.payload = Bytes(100);
+  EXPECT_EQ(p.wire_size(), 100 + kFramingOverhead);
+}
+
+TEST(LinkParamsTest, TransmitTime) {
+  LinkParams params;
+  params.bandwidth_bps = 8e6;  // 1 MB/s
+  EXPECT_EQ(params.transmit_time(1000).nanos(), 1'000'000);  // 1 ms
+}
+
+// ----------------------------------------------------------- fixtures ---
+
+struct TwoNodes {
+  sim::Simulator sim;
+  Network net{sim, 1};
+  NodeId a;
+  NodeId b;
+  IfId a_if;
+  IfId b_if;
+  std::vector<Packet> received_at_b;
+
+  explicit TwoNodes(const LinkParams& params = {}) {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    std::tie(a_if, b_if) = net.connect(a, b, params);
+    net.set_handler(b, [this](Packet&& p, IfId) { received_at_b.push_back(std::move(p)); });
+  }
+
+  void send(std::size_t payload_size) {
+    Packet p;
+    p.payload = Bytes(payload_size);
+    net.send(a, a_if, std::move(p));
+  }
+};
+
+TEST(NetworkTest, DeliversWithLatencyAndSerialization) {
+  LinkParams params;
+  params.latency = milliseconds(10);
+  params.bandwidth_bps = 8e6;  // 1000 bytes/ms
+  TwoNodes world(params);
+  world.send(958);  // + 42 framing = 1000 bytes -> 1 ms serialization
+  world.sim.run();
+  ASSERT_EQ(world.received_at_b.size(), 1u);
+  EXPECT_EQ(world.sim.now().nanos(), milliseconds(11).nanos());
+}
+
+TEST(NetworkTest, SerializationQueuesBackToBack) {
+  LinkParams params;
+  params.latency = milliseconds(1);
+  params.bandwidth_bps = 8e6;
+  TwoNodes world(params);
+  world.send(958);
+  world.send(958);  // must wait for first transmission
+  world.sim.run();
+  ASSERT_EQ(world.received_at_b.size(), 2u);
+  EXPECT_EQ(world.sim.now().nanos(), milliseconds(3).nanos());  // 2ms tx + 1ms prop
+}
+
+TEST(NetworkTest, QueueOverflowDrops) {
+  LinkParams params;
+  params.latency = milliseconds(1);
+  params.bandwidth_bps = 8e6;
+  params.max_queue_delay = milliseconds(2);
+  TwoNodes world(params);
+  for (int i = 0; i < 10; ++i) world.send(958);  // 1ms each; >2ms backlog drops
+  world.sim.run();
+  EXPECT_LT(world.received_at_b.size(), 10u);
+  EXPECT_GT(world.net.drop_totals().queue, 0u);
+}
+
+TEST(NetworkTest, MtuViolationDrops) {
+  LinkParams params;
+  params.mtu = 1500;
+  TwoNodes world(params);
+  world.send(1501);  // payload above MTU
+  world.send(1500);  // exactly MTU: allowed
+  world.sim.run();
+  EXPECT_EQ(world.received_at_b.size(), 1u);
+  EXPECT_EQ(world.net.drop_totals().mtu, 1u);
+}
+
+TEST(NetworkTest, RandomLossMatchesRate) {
+  LinkParams params;
+  params.loss_rate = 0.3;
+  params.max_queue_delay = seconds(10);
+  TwoNodes world(params);
+  constexpr int kPackets = 3000;
+  for (int i = 0; i < kPackets; ++i) world.send(100);
+  world.sim.run();
+  const double delivered = static_cast<double>(world.received_at_b.size()) / kPackets;
+  EXPECT_NEAR(delivered, 0.7, 0.05);
+  EXPECT_GT(world.net.drop_totals().loss, 0u);
+}
+
+TEST(NetworkTest, JitterNeverReorders) {
+  LinkParams params;
+  params.latency = milliseconds(5);
+  params.jitter_frac = 0.5;
+  params.bandwidth_bps = 1e9;
+  params.max_queue_delay = seconds(1);
+  TwoNodes world(params);
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    Packet p;
+    p.payload = Bytes(100);
+    p.id = i;
+    world.net.send(world.a, world.a_if, std::move(p));
+  }
+  world.sim.run();
+  ASSERT_EQ(world.received_at_b.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(world.received_at_b[i].id, i + 1);
+  }
+}
+
+TEST(NetworkTest, NeighborQueries) {
+  TwoNodes world;
+  EXPECT_EQ(world.net.neighbor(world.a, world.a_if), world.b);
+  EXPECT_EQ(world.net.neighbor(world.b, world.b_if), world.a);
+  EXPECT_EQ(world.net.neighbor_ifid(world.a, world.a_if), world.b_if);
+  EXPECT_EQ(world.net.interface_count(world.a), 1u);
+}
+
+TEST(NetworkTest, BidirectionalIndependentQueues) {
+  LinkParams params;
+  params.latency = milliseconds(1);
+  TwoNodes world(params);
+  std::vector<Packet> received_at_a;
+  world.net.set_handler(world.a,
+                        [&](Packet&& p, IfId) { received_at_a.push_back(std::move(p)); });
+  world.send(100);
+  Packet back;
+  back.payload = Bytes(100);
+  world.net.send(world.b, world.b_if, std::move(back));
+  world.sim.run();
+  EXPECT_EQ(world.received_at_b.size(), 1u);
+  EXPECT_EQ(received_at_a.size(), 1u);
+}
+
+// ---------------------------------------------------------------- trace --
+
+TEST(TraceTest, RecordsSendsAndDeliveries) {
+  TwoNodes world;
+  TraceRecorder recorder;
+  world.net.set_tracer(recorder.callback());
+  world.send(100);
+  world.send(200);
+  world.sim.run();
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::kSend), 2u);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::kDeliver), 2u);
+  EXPECT_EQ(recorder.count_between(world.a, world.b), 4u);
+  EXPECT_EQ(recorder.bytes(TraceEvent::Kind::kDeliver),
+            2 * kFramingOverhead + 100 + 200);
+  EXPECT_FALSE(recorder.render().empty());
+}
+
+TEST(TraceTest, RecordsDropCauses) {
+  LinkParams params;
+  params.mtu = 150;
+  TwoNodes world(params);
+  TraceRecorder recorder;
+  world.net.set_tracer(recorder.callback());
+  world.send(1000);  // over MTU
+  world.net.set_link_up(world.a, world.a_if, false);
+  world.send(50);  // link down
+  world.sim.run();
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::kDropMtu), 1u);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::kDropLinkDown), 1u);
+  EXPECT_EQ(recorder.count(TraceEvent::Kind::kDeliver), 0u);
+  EXPECT_EQ(world.net.drop_totals().down, 1u);
+}
+
+TEST(TraceTest, DetachStopsRecording) {
+  TwoNodes world;
+  TraceRecorder recorder;
+  world.net.set_tracer(recorder.callback());
+  world.send(10);
+  world.sim.run();
+  const std::size_t before = recorder.events().size();
+  world.net.set_tracer(nullptr);
+  world.send(10);
+  world.sim.run();
+  EXPECT_EQ(recorder.events().size(), before);
+}
+
+TEST(TraceTest, LinkBackUpRestoresDelivery) {
+  TwoNodes world;
+  world.net.set_link_up(world.a, world.a_if, false);
+  world.send(10);
+  world.sim.run();
+  EXPECT_EQ(world.received_at_b.size(), 0u);
+  world.net.set_link_up(world.a, world.a_if, true);
+  world.send(10);
+  world.sim.run();
+  EXPECT_EQ(world.received_at_b.size(), 1u);
+}
+
+// --------------------------------------------------------------- router --
+
+TEST(RouterTest, PrefixAndHostRoutes) {
+  sim::Simulator sim;
+  Network net(sim, 1);
+  const NodeId r = net.add_node("router");
+  const NodeId h1 = net.add_node("h1");
+  const NodeId h2 = net.add_node("h2");
+  Router router(net, r);
+  const auto [r_h1, h1_r] = net.connect(r, h1, {});
+  const auto [r_h2, h2_r] = net.connect(r, h2, {});
+  (void)h1_r;
+  (void)h2_r;
+
+  const IpAddr addr1{(1u << 16) | 1};
+  const IpAddr addr2{(2u << 16) | 1};
+  router.set_host_route(addr1, r_h1);
+  router.set_prefix_route(2, r_h2);
+
+  std::vector<IpAddr> at_h1;
+  std::vector<IpAddr> at_h2;
+  net.set_handler(h1, [&](Packet&& p, IfId) { at_h1.push_back(p.dst); });
+  net.set_handler(h2, [&](Packet&& p, IfId) { at_h2.push_back(p.dst); });
+
+  Packet p1;
+  p1.dst = addr1;
+  router.forward(std::move(p1));
+  Packet p2;
+  p2.dst = addr2;
+  router.forward(std::move(p2));
+  Packet p3;
+  p3.dst = IpAddr{(9u << 16) | 1};  // no route
+  router.forward(std::move(p3));
+  sim.run();
+
+  EXPECT_EQ(at_h1.size(), 1u);
+  EXPECT_EQ(at_h2.size(), 1u);
+  EXPECT_EQ(router.forwarded_packets(), 2u);
+  EXPECT_EQ(router.dropped_no_route(), 1u);
+  EXPECT_EQ(router.host_route(addr1), r_h1);
+  EXPECT_EQ(router.host_route(addr2), std::nullopt);
+}
+
+// ------------------------------------------------------------ host/udp --
+
+struct HostPair {
+  sim::Simulator sim;
+  Network net{sim, 2};
+  NodeId router_node;
+  std::unique_ptr<Router> router;
+  std::unique_ptr<Host> h1;
+  std::unique_ptr<Host> h2;
+
+  HostPair() {
+    router_node = net.add_node("r");
+    router = std::make_unique<Router>(net, router_node);
+    const NodeId n1 = net.add_node("h1");
+    const NodeId n2 = net.add_node("h2");
+    // Host side first so host interface 0 faces the router.
+    const auto [h1_if, r_h1] = net.connect(n1, router_node, {});
+    const auto [h2_if, r_h2] = net.connect(n2, router_node, {});
+    (void)h1_if;
+    (void)h2_if;
+    h1 = std::make_unique<Host>(net, n1, IpAddr{(1u << 16) | 1});
+    h2 = std::make_unique<Host>(net, n2, IpAddr{(1u << 16) | 2});
+    router->set_host_route(h1->address(), r_h1);
+    router->set_host_route(h2->address(), r_h2);
+  }
+};
+
+TEST(UdpTest, RoundTrip) {
+  HostPair world;
+  std::string received;
+  auto server = world.h2->udp_bind(7000, [&](const Endpoint& from, Bytes payload) {
+    received = to_string_view_copy(payload);
+    EXPECT_EQ(from.addr, world.h1->address());
+  });
+  ASSERT_NE(server, nullptr);
+  auto client = world.h1->udp_bind(0, nullptr);
+  ASSERT_NE(client, nullptr);
+  client->send_to(Endpoint{world.h2->address(), 7000}, from_string("ping"));
+  world.sim.run();
+  EXPECT_EQ(received, "ping");
+}
+
+TEST(UdpTest, ReplyReachesEphemeralPort) {
+  HostPair world;
+  std::string reply;
+  auto server = world.h2->udp_bind(7000, [&](const Endpoint& from, Bytes) {
+    auto responder = world.h2->udp_bind(0, nullptr);
+    responder->send_to(from, from_string("pong"));
+    // responder unbinds at scope exit; the datagram is already in flight.
+  });
+  auto client = world.h1->udp_bind(0, [&](const Endpoint&, Bytes payload) {
+    reply = to_string_view_copy(payload);
+  });
+  client->send_to(Endpoint{world.h2->address(), 7000}, from_string("ping"));
+  world.sim.run();
+  EXPECT_EQ(reply, "pong");
+}
+
+TEST(UdpTest, PortCollisionRejected) {
+  HostPair world;
+  auto s1 = world.h1->udp_bind(5000, nullptr);
+  EXPECT_NE(s1, nullptr);
+  auto s2 = world.h1->udp_bind(5000, nullptr);
+  EXPECT_EQ(s2, nullptr);
+  s1.reset();
+  auto s3 = world.h1->udp_bind(5000, nullptr);  // freed after unbind
+  EXPECT_NE(s3, nullptr);
+}
+
+TEST(UdpTest, EphemeralPortsDistinct) {
+  HostPair world;
+  auto s1 = world.h1->udp_bind(0, nullptr);
+  auto s2 = world.h1->udp_bind(0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  EXPECT_NE(s1->local_port(), s2->local_port());
+}
+
+TEST(UdpTest, UnknownPortDropped) {
+  HostPair world;
+  auto client = world.h1->udp_bind(0, nullptr);
+  client->send_to(Endpoint{world.h2->address(), 9}, from_string("void"));
+  world.sim.run();  // must not crash
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------- graph --
+
+TEST(GraphTest, ShortestPathOnChain) {
+  // 0 - 1 - 2 - 3
+  Adjacency adj(4);
+  const auto edge = [&](std::uint32_t u, std::uint32_t v, double w, std::uint32_t tag) {
+    adj[u].push_back(GraphEdge{v, w, tag});
+    adj[v].push_back(GraphEdge{u, w, tag + 100});
+  };
+  edge(0, 1, 1, 1);
+  edge(1, 2, 1, 2);
+  edge(2, 3, 1, 3);
+  const ShortestPaths paths = dijkstra(adj, 0);
+  EXPECT_DOUBLE_EQ(paths.distance[3], 3);
+  EXPECT_EQ(paths.path_to(3), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(first_hop_tag(paths, 0, 3), 1u);
+}
+
+TEST(GraphTest, PrefersLowerWeight) {
+  // 0 -> 1 -> 3 costs 2; 0 -> 2 -> 3 costs 10.
+  Adjacency adj(4);
+  adj[0] = {{1, 1, 10}, {2, 5, 20}};
+  adj[1] = {{3, 1, 11}};
+  adj[2] = {{3, 5, 21}};
+  const ShortestPaths paths = dijkstra(adj, 0);
+  EXPECT_DOUBLE_EQ(paths.distance[3], 2);
+  EXPECT_EQ(first_hop_tag(paths, 0, 3), 10u);
+}
+
+TEST(GraphTest, UnreachableIsInfinite) {
+  Adjacency adj(3);
+  adj[0] = {{1, 1, 0}};
+  const ShortestPaths paths = dijkstra(adj, 0);
+  EXPECT_FALSE(paths.reachable(2));
+  EXPECT_TRUE(paths.path_to(2).empty());
+  EXPECT_EQ(first_hop_tag(paths, 0, 2), UINT32_MAX);
+}
+
+TEST(GraphTest, DeterministicTieBreak) {
+  // Two equal-cost routes 0->1->3 and 0->2->3: the parent with the lower
+  // node index (1) must win, deterministically.
+  Adjacency adj(4);
+  adj[0] = {{1, 1, 10}, {2, 1, 20}};
+  adj[1] = {{3, 1, 11}};
+  adj[2] = {{3, 1, 21}};
+  for (int rep = 0; rep < 5; ++rep) {
+    const ShortestPaths paths = dijkstra(adj, 0);
+    EXPECT_EQ(paths.parent[3], 1u);
+    EXPECT_EQ(first_hop_tag(paths, 0, 3), 10u);
+  }
+}
+
+TEST(GraphTest, SelfDistanceZero) {
+  Adjacency adj(2);
+  adj[0] = {{1, 1, 0}};
+  const ShortestPaths paths = dijkstra(adj, 0);
+  EXPECT_DOUBLE_EQ(paths.distance[0], 0);
+  EXPECT_EQ(first_hop_tag(paths, 0, 0), UINT32_MAX);
+}
+
+}  // namespace
+}  // namespace pan::net

@@ -1,0 +1,459 @@
+// Tests for the Path Policy Language: lexer, hop predicates, ACLs,
+// sequences, requirements, parser, ordering, policy sets, and geofencing.
+#include <gtest/gtest.h>
+
+#include "ppl/geofence.hpp"
+#include "util/rng.hpp"
+#include "ppl/lexer.hpp"
+#include "ppl/parser.hpp"
+
+namespace pan::ppl {
+namespace {
+
+// Builds a synthetic path through the given (isd, asn) hops.
+scion::Path make_path(const std::vector<std::pair<scion::Isd, scion::Asn>>& ases,
+                      scion::PathMetadata meta = {}) {
+  std::vector<scion::PathHop> hops;
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    scion::PathHop hop;
+    hop.isd_as = scion::IsdAsn{ases[i].first, ases[i].second};
+    hop.ingress = i == 0 ? 0 : static_cast<scion::IfaceId>(i);
+    hop.egress = i + 1 == ases.size() ? 0 : static_cast<scion::IfaceId>(i + 1);
+    hops.push_back(hop);
+  }
+  if (meta.mtu == 0) meta.mtu = 1500;
+  if (meta.bandwidth_bps == 0) meta.bandwidth_bps = 1e9;
+  return scion::Path{hops.front().isd_as, hops.back().isd_as, std::move(hops), meta,
+                     scion::DataplanePath{}};
+}
+
+// ----------------------------------------------------------------- lexer --
+
+TEST(LexerTest, TokenizesPolicyText) {
+  const auto tokens = tokenize("policy \"x\" { order latency asc; }");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  ASSERT_EQ(t.size(), 9u);  // policy, "x", {, order, latency, asc, ;, }, EOF
+  EXPECT_EQ(t[0].type, TokenType::kAtom);
+  EXPECT_EQ(t[1].type, TokenType::kString);
+  EXPECT_EQ(t[1].text, "x");
+  EXPECT_EQ(t[2].type, TokenType::kLBrace);
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, CommentsAndPositions) {
+  const auto tokens = tokenize("# comment line\npolicy {\n}");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "policy");
+  EXPECT_EQ(tokens.value()[0].line, 2u);
+}
+
+TEST(LexerTest, CompareOperators) {
+  const auto tokens = tokenize("<= >= < > == !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value().size(), 7u);
+  for (std::size_t i = 0; i + 1 < tokens.value().size(); ++i) {
+    EXPECT_EQ(tokens.value()[i].type, TokenType::kCompare);
+  }
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(tokenize("\"unterminated").ok());
+  EXPECT_FALSE(tokenize("!x").ok());
+  EXPECT_FALSE(tokenize("policy @ {}").ok());
+}
+
+// ------------------------------------------------------------ predicates --
+
+TEST(HopPredicateTest, ParseForms) {
+  EXPECT_TRUE(HopPredicate::parse("*").ok());
+  EXPECT_TRUE(HopPredicate::parse("0").ok());
+  const auto isd_only = HopPredicate::parse("1");
+  ASSERT_TRUE(isd_only.ok());
+  EXPECT_EQ(isd_only.value().isd, 1);
+  EXPECT_FALSE(isd_only.value().asn.has_value());
+
+  const auto full = HopPredicate::parse("1-ff00:0:110");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().asn, 0xff00'0000'0110ULL);
+
+  const auto with_ifs = HopPredicate::parse("1-64512#3.4");
+  ASSERT_TRUE(with_ifs.ok());
+  EXPECT_EQ(with_ifs.value().in_if, 3);
+  EXPECT_EQ(with_ifs.value().out_if, 4);
+
+  const auto wildcard_asn = HopPredicate::parse("2-*");
+  ASSERT_TRUE(wildcard_asn.ok());
+  EXPECT_EQ(wildcard_asn.value().isd, 2);
+  EXPECT_FALSE(wildcard_asn.value().asn.has_value());
+}
+
+TEST(HopPredicateTest, ParseErrors) {
+  EXPECT_FALSE(HopPredicate::parse("").ok());
+  EXPECT_FALSE(HopPredicate::parse("abc-def").ok());
+  EXPECT_FALSE(HopPredicate::parse("1-2#x").ok());
+  EXPECT_FALSE(HopPredicate::parse("70000-1").ok());
+}
+
+TEST(HopPredicateTest, Matching) {
+  scion::PathHop hop;
+  hop.isd_as = scion::IsdAsn{1, 0x110};
+  hop.ingress = 3;
+  hop.egress = 4;
+  EXPECT_TRUE(HopPredicate::parse("*").value().matches(hop));
+  EXPECT_TRUE(HopPredicate::parse("1").value().matches(hop));
+  EXPECT_TRUE(HopPredicate::parse("1-272").value().matches(hop));  // 0x110 = 272
+  EXPECT_FALSE(HopPredicate::parse("2").value().matches(hop));
+  EXPECT_FALSE(HopPredicate::parse("1-999").value().matches(hop));
+  EXPECT_TRUE(HopPredicate::parse("1-272#3.4").value().matches(hop));
+  EXPECT_FALSE(HopPredicate::parse("1-272#5.4").value().matches(hop));
+  EXPECT_TRUE(HopPredicate::parse("1-272#0.4").value().matches(hop));  // 0 = any
+}
+
+TEST(HopPredicateTest, ToStringRoundTrip) {
+  for (const char* text : {"*-*", "1-*", "1-64512", "2-ff00:0:110#3.4"}) {
+    const auto pred = HopPredicate::parse(text);
+    ASSERT_TRUE(pred.ok()) << text;
+    const auto reparsed = HopPredicate::parse(pred.value().to_string());
+    ASSERT_TRUE(reparsed.ok()) << pred.value().to_string();
+    EXPECT_EQ(reparsed.value().to_string(), pred.value().to_string());
+  }
+}
+
+// ------------------------------------------------------------------- acl --
+
+TEST(AclTest, FirstMatchWinsDefaultDeny) {
+  Acl acl;
+  acl.entries.push_back({false, HopPredicate::parse("2").value()});
+  acl.entries.push_back({true, HopPredicate::parse("*").value()});
+  const auto good = make_path({{1, 1}, {1, 2}, {3, 3}});
+  const auto bad = make_path({{1, 1}, {2, 9}, {3, 3}});
+  EXPECT_TRUE(acl.permits(good));
+  EXPECT_FALSE(acl.permits(bad));
+
+  Acl no_catchall;
+  no_catchall.entries.push_back({true, HopPredicate::parse("1").value()});
+  EXPECT_FALSE(no_catchall.permits(good));  // hop in ISD 3 matches nothing
+}
+
+// -------------------------------------------------------------- sequence --
+
+TEST(SequenceTest, ExactMatch) {
+  const auto seq = Sequence::parse("1-1 1-2 2-3");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_TRUE(seq.value().matches(make_path({{1, 1}, {1, 2}, {2, 3}})));
+  EXPECT_FALSE(seq.value().matches(make_path({{1, 1}, {2, 3}})));
+  EXPECT_FALSE(seq.value().matches(make_path({{1, 1}, {1, 2}, {2, 3}, {2, 4}})));
+}
+
+TEST(SequenceTest, StarMatchesAnyMiddle) {
+  const auto seq = Sequence::parse("1-1 * 2-3");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_TRUE(seq.value().matches(make_path({{1, 1}, {2, 3}})));
+  EXPECT_TRUE(seq.value().matches(make_path({{1, 1}, {9, 9}, {2, 3}})));
+  EXPECT_TRUE(seq.value().matches(make_path({{1, 1}, {8, 8}, {9, 9}, {2, 3}})));
+  EXPECT_FALSE(seq.value().matches(make_path({{2, 3}, {1, 1}})));
+}
+
+TEST(SequenceTest, Quantifiers) {
+  const auto plus = Sequence::parse("1-1 2-*+ 3-1");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_FALSE(plus.value().matches(make_path({{1, 1}, {3, 1}})));
+  EXPECT_TRUE(plus.value().matches(make_path({{1, 1}, {2, 5}, {3, 1}})));
+  EXPECT_TRUE(plus.value().matches(make_path({{1, 1}, {2, 5}, {2, 6}, {3, 1}})));
+
+  const auto optional = Sequence::parse("1-1 2-*? 3-1");
+  ASSERT_TRUE(optional.ok());
+  EXPECT_TRUE(optional.value().matches(make_path({{1, 1}, {3, 1}})));
+  EXPECT_TRUE(optional.value().matches(make_path({{1, 1}, {2, 5}, {3, 1}})));
+  EXPECT_FALSE(optional.value().matches(make_path({{1, 1}, {2, 5}, {2, 6}, {3, 1}})));
+
+  const auto star = Sequence::parse("1-1 2-** 3-1");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(star.value().matches(make_path({{1, 1}, {3, 1}})));
+  EXPECT_TRUE(star.value().matches(make_path({{1, 1}, {2, 5}, {2, 6}, {3, 1}})));
+}
+
+TEST(SequenceTest, EmptyPatternRejected) {
+  EXPECT_FALSE(Sequence::parse("").ok());
+  EXPECT_FALSE(Sequence::parse("   ").ok());
+}
+
+// ---------------------------------------------------------- requirements --
+
+TEST(RequirementTest, MetricsAndComparisons) {
+  scion::PathMetadata meta;
+  meta.latency = milliseconds(50);
+  meta.co2_g_per_gb = 30;
+  meta.mtu = 1400;
+  const auto path = make_path({{1, 1}, {2, 2}}, meta);
+
+  Requirement req;
+  req.metric = Metric::kLatency;
+  req.cmp = Cmp::kLe;
+  req.value = static_cast<double>(milliseconds(50).nanos());
+  EXPECT_TRUE(req.satisfied_by(path));
+  req.cmp = Cmp::kLt;
+  EXPECT_FALSE(req.satisfied_by(path));
+
+  req.metric = Metric::kCo2;
+  req.cmp = Cmp::kLe;
+  req.value = 25;
+  EXPECT_FALSE(req.satisfied_by(path));
+
+  req.metric = Metric::kHops;
+  req.cmp = Cmp::kEq;
+  req.value = 1;  // one link between two hops
+  EXPECT_TRUE(req.satisfied_by(path));
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(ParserTest, FullPolicy) {
+  const auto policy = parse_policy(R"(
+    policy "geofenced-low-latency" {
+      acl {
+        deny 3-*;          # never cross ISD 3
+        allow *;
+      }
+      sequence "1-* * 2-*";
+      require mtu >= 1400;
+      require latency <= 80ms;
+      order latency asc, co2 asc;
+    }
+  )");
+  ASSERT_TRUE(policy.ok()) << policy.error();
+  const Policy& p = policy.value();
+  EXPECT_EQ(p.name, "geofenced-low-latency");
+  ASSERT_TRUE(p.acl.has_value());
+  EXPECT_EQ(p.acl->entries.size(), 2u);
+  ASSERT_TRUE(p.sequence.has_value());
+  EXPECT_EQ(p.sequence->elems.size(), 3u);
+  ASSERT_EQ(p.requirements.size(), 2u);
+  EXPECT_EQ(p.requirements[1].value, 80e6);  // 80 ms in ns
+  ASSERT_EQ(p.ordering.size(), 2u);
+  EXPECT_EQ(p.ordering[0].metric, Metric::kLatency);
+  EXPECT_TRUE(p.ordering[1].ascending);
+}
+
+TEST(ParserTest, BooleanRequirementShorthand) {
+  const auto policy = parse_policy("policy { require qos; require allied; }");
+  ASSERT_TRUE(policy.ok()) << policy.error();
+  EXPECT_EQ(policy.value().requirements.size(), 2u);
+  EXPECT_EQ(policy.value().requirements[0].metric, Metric::kQos);
+  EXPECT_EQ(policy.value().requirements[0].value, 1.0);
+}
+
+TEST(ParserTest, UnitParsing) {
+  const auto policy = parse_policy(
+      "policy { require bandwidth >= 1gbps; require jitter <= 2.5ms; require cost < 100; }");
+  ASSERT_TRUE(policy.ok()) << policy.error();
+  EXPECT_DOUBLE_EQ(policy.value().requirements[0].value, 1e9);
+  EXPECT_DOUBLE_EQ(policy.value().requirements[1].value, 2.5e6);
+  EXPECT_DOUBLE_EQ(policy.value().requirements[2].value, 100);
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  const auto missing_semi = parse_policy("policy {\n  order latency asc\n}");
+  ASSERT_FALSE(missing_semi.ok());
+  EXPECT_NE(missing_semi.error().find("3:"), std::string::npos);
+
+  EXPECT_FALSE(parse_policy("policy { acl { } }").ok());            // empty acl
+  EXPECT_FALSE(parse_policy("policy { require warp >= 1; }").ok()); // unknown metric
+  EXPECT_FALSE(parse_policy("policy { sequence 1-1; }").ok());      // unquoted
+  EXPECT_FALSE(parse_policy("policy {").ok());                      // unterminated
+  EXPECT_FALSE(parse_policy("nonsense").ok());
+}
+
+TEST(ParserTest, MultiplePolicies) {
+  const auto policies = parse_policies(R"(
+    policy "a" { order latency asc; }
+    policy "b" { order co2 asc; }
+  )");
+  ASSERT_TRUE(policies.ok()) << policies.error();
+  ASSERT_EQ(policies.value().size(), 2u);
+  EXPECT_EQ(policies.value()[0].name, "a");
+  EXPECT_EQ(policies.value()[1].name, "b");
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const auto policy = parse_policy(R"(
+    policy "rt" {
+      acl { deny 3-*; allow *; }
+      sequence "1-* * 2-*";
+      require mtu >= 1400;
+      order latency asc;
+    }
+  )");
+  ASSERT_TRUE(policy.ok());
+  const std::string printed = policy.value().to_string();
+  const auto reparsed = parse_policy(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed << "\n" << reparsed.error();
+  EXPECT_EQ(reparsed.value().to_string(), printed);
+}
+
+// ------------------------------------------------------------ evaluation --
+
+TEST(PolicyTest, ApplyFiltersAndSorts) {
+  scion::PathMetadata fast;
+  fast.latency = milliseconds(10);
+  fast.co2_g_per_gb = 90;
+  scion::PathMetadata slow_green;
+  slow_green.latency = milliseconds(40);
+  slow_green.co2_g_per_gb = 10;
+  scion::PathMetadata banned;
+  banned.latency = milliseconds(5);
+  banned.co2_g_per_gb = 5;
+
+  std::vector<scion::Path> paths;
+  paths.push_back(make_path({{1, 1}, {2, 2}}, fast));
+  paths.push_back(make_path({{1, 1}, {1, 5}, {2, 2}}, slow_green));
+  paths.push_back(make_path({{1, 1}, {3, 9}, {2, 2}}, banned));
+
+  const auto latency_policy = parse_policy(
+      "policy { acl { deny 3-*; allow *; } order latency asc; }");
+  ASSERT_TRUE(latency_policy.ok());
+  auto by_latency = latency_policy.value().apply(paths);
+  ASSERT_EQ(by_latency.size(), 2u);
+  EXPECT_EQ(by_latency[0].meta().latency.nanos(), milliseconds(10).nanos());
+
+  const auto green_policy = parse_policy(
+      "policy { acl { deny 3-*; allow *; } order co2 asc; }");
+  ASSERT_TRUE(green_policy.ok());
+  auto by_co2 = green_policy.value().apply(paths);
+  ASSERT_EQ(by_co2.size(), 2u);
+  EXPECT_EQ(by_co2[0].meta().co2_g_per_gb, 10);
+}
+
+TEST(PolicySetTest, ConjunctionAndCombinedOrdering) {
+  scion::PathMetadata green_far;
+  green_far.latency = milliseconds(60);
+  green_far.co2_g_per_gb = 10;
+  scion::PathMetadata green_near;
+  green_near.latency = milliseconds(20);
+  green_near.co2_g_per_gb = 10;
+  scion::PathMetadata dirty;
+  dirty.latency = milliseconds(5);
+  dirty.co2_g_per_gb = 80;
+
+  std::vector<scion::Path> paths;
+  paths.push_back(make_path({{1, 1}, {2, 2}}, green_far));
+  paths.push_back(make_path({{1, 1}, {2, 7}}, green_near));
+  paths.push_back(make_path({{1, 1}, {3, 3}, {2, 2}}, dirty));
+
+  PolicySet set;
+  set.add(parse_policy("policy { acl { deny 3-*; allow *; } order co2 asc; }").value());
+  set.add(parse_policy("policy { order latency asc; }").value());
+
+  const auto result = set.apply(paths);
+  ASSERT_EQ(result.size(), 2u);
+  // co2 ties between the two green paths; latency breaks the tie.
+  EXPECT_EQ(result[0].meta().latency.nanos(), milliseconds(20).nanos());
+}
+
+// ------------------------------------------------------- round-trip fuzz --
+
+/// Generates a random valid policy AST, prints it, reparses it, and checks
+/// the fixed point: to_string(parse(to_string(p))) == to_string(p).
+class PolicyRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyRoundTrip, PrintParsePrintIsStable) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Policy policy;
+    policy.name = "rt" + std::to_string(trial);
+    if (rng.chance(0.7)) {
+      Acl acl;
+      const std::size_t entries = 1 + rng.next_below(4);
+      for (std::size_t i = 0; i < entries; ++i) {
+        AclEntry entry;
+        entry.allow = rng.chance(0.5);
+        if (rng.chance(0.5)) entry.predicate.isd = static_cast<scion::Isd>(1 + rng.next_below(9));
+        if (rng.chance(0.5)) entry.predicate.asn = 1 + rng.next_below(100000);
+        if (rng.chance(0.2)) entry.predicate.in_if = static_cast<scion::IfaceId>(rng.next_below(64));
+        acl.entries.push_back(entry);
+      }
+      acl.entries.push_back(AclEntry{true, HopPredicate{}});  // catch-all
+      policy.acl = std::move(acl);
+    }
+    if (rng.chance(0.5)) {
+      Sequence seq;
+      const std::size_t elems = 1 + rng.next_below(4);
+      for (std::size_t i = 0; i < elems; ++i) {
+        SequenceElem elem;
+        if (rng.chance(0.6)) elem.predicate.isd = static_cast<scion::Isd>(1 + rng.next_below(9));
+        if (rng.chance(0.4)) elem.predicate.asn = 1 + rng.next_below(100000);
+        elem.quantifier = static_cast<Quantifier>(rng.next_below(4));
+        seq.elems.push_back(elem);
+      }
+      policy.sequence = std::move(seq);
+    }
+    const std::size_t reqs = rng.next_below(3);
+    for (std::size_t i = 0; i < reqs; ++i) {
+      Requirement req;
+      req.metric = static_cast<Metric>(rng.next_below(9));  // numeric metrics only
+      req.cmp = static_cast<Cmp>(rng.next_below(6));
+      req.value = static_cast<double>(rng.next_below(1'000'000));
+      policy.requirements.push_back(req);
+    }
+    const std::size_t orders = rng.next_below(3);
+    for (std::size_t i = 0; i < orders; ++i) {
+      OrderKey key;
+      key.metric = static_cast<Metric>(rng.next_below(9));
+      key.ascending = rng.chance(0.5);
+      policy.ordering.push_back(key);
+    }
+
+    const std::string printed = policy.to_string();
+    const auto reparsed = parse_policy(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << "\n" << reparsed.error();
+    EXPECT_EQ(reparsed.value().to_string(), printed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyRoundTrip, ::testing::Range<std::uint64_t>(1, 7));
+
+// -------------------------------------------------------------- geofence --
+
+TEST(GeofenceTest, BlocklistAndAllowlist) {
+  Geofence block;
+  block.mode = GeofenceMode::kBlocklist;
+  block.isds = {3};
+  EXPECT_TRUE(block.permits(make_path({{1, 1}, {2, 2}})));
+  EXPECT_FALSE(block.permits(make_path({{1, 1}, {3, 5}, {2, 2}})));
+
+  Geofence allow;
+  allow.mode = GeofenceMode::kAllowlist;
+  allow.isds = {1, 2};
+  EXPECT_TRUE(allow.permits(make_path({{1, 1}, {2, 2}})));
+  EXPECT_FALSE(allow.permits(make_path({{1, 1}, {4, 4}, {2, 2}})));
+}
+
+TEST(GeofenceTest, CompiledPolicyAgreesWithDirectEvaluation) {
+  Rng rng(3);
+  for (int mode = 0; mode < 2; ++mode) {
+    Geofence fence;
+    fence.mode = mode == 0 ? GeofenceMode::kBlocklist : GeofenceMode::kAllowlist;
+    fence.isds = {2, 4};
+    const Policy compiled = fence.compile("fence");
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::pair<scion::Isd, scion::Asn>> ases;
+      const std::size_t n = 2 + rng.next_below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        ases.emplace_back(static_cast<scion::Isd>(1 + rng.next_below(5)), 100 + i);
+      }
+      const auto path = make_path(ases);
+      EXPECT_EQ(fence.permits(path), compiled.permits(path))
+          << fence.to_string() << " vs compiled, path " << path.to_string();
+    }
+  }
+}
+
+TEST(GeofenceTest, ToStringMentionsIsds) {
+  Geofence fence;
+  fence.isds = {1, 3};
+  EXPECT_EQ(fence.to_string(), "block ISDs {1, 3}");
+}
+
+}  // namespace
+}  // namespace pan::ppl

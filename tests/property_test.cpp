@@ -1,0 +1,287 @@
+// Property tests over randomly generated topologies: control-plane and
+// data-plane invariants that must hold for every seed.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ppl/geofence.hpp"
+#include "ppl/parser.hpp"
+#include "scion/topo_gen.hpp"
+
+namespace pan::scion {
+namespace {
+
+class RandomTopology : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void build(TopoGenParams params = {}) {
+    params.seed = GetParam();
+    world_ = generate_topology(sim_, params);
+  }
+
+  sim::Simulator sim_;
+  GeneratedTopology world_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST_P(RandomTopology, AllPairsHavePaths) {
+  build();
+  Topology& topo = *world_.topo;
+  for (const IsdAsn src : world_.leaf_ases) {
+    for (const IsdAsn dst : world_.leaf_ases) {
+      const auto paths = topo.daemon(src).query_now(dst);
+      EXPECT_FALSE(paths.empty()) << src.to_string() << " -> " << dst.to_string();
+    }
+  }
+}
+
+TEST_P(RandomTopology, PathInvariants) {
+  build();
+  Topology& topo = *world_.topo;
+  for (const IsdAsn src : world_.leaf_ases) {
+    for (const IsdAsn dst : world_.leaf_ases) {
+      if (src == dst) continue;
+      std::unordered_set<std::string> fingerprints;
+      for (const Path& path : topo.daemon(src).query_now(dst)) {
+        // Endpoints.
+        EXPECT_EQ(path.src(), src);
+        EXPECT_EQ(path.dst(), dst);
+        EXPECT_EQ(path.hops().front().isd_as, src);
+        EXPECT_EQ(path.hops().back().isd_as, dst);
+        // Loop-free.
+        std::unordered_set<std::uint64_t> seen;
+        for (const PathHop& hop : path.hops()) {
+          EXPECT_TRUE(seen.insert(hop.isd_as.packed()).second) << path.to_string();
+        }
+        // Fingerprints unique.
+        EXPECT_TRUE(fingerprints.insert(path.fingerprint()).second);
+        // Metadata sanity.
+        EXPECT_GT(path.meta().latency.nanos(), 0);
+        EXPECT_GT(path.meta().bandwidth_bps, 0);
+        EXPECT_GE(path.meta().mtu, 1400u);
+        EXPECT_GE(path.meta().loss_rate, 0.0);
+        EXPECT_LT(path.meta().loss_rate, 0.1);
+        EXPECT_GT(path.meta().co2_g_per_gb, 0);
+        // Dataplane structure matches hop count: the flattened AS-level hop
+        // list merges junction ASes, so total dataplane hops >= AS hops.
+        EXPECT_GE(path.dataplane().total_hops(), path.hops().size());
+      }
+    }
+  }
+}
+
+TEST_P(RandomTopology, BestPathForwardsEndToEnd) {
+  build();
+  Topology& topo = *world_.topo;
+  // Ping between the first and last leaf over the best path.
+  const HostId src_host = world_.hosts.front();
+  const HostId dst_host = world_.hosts.back();
+  const auto paths = topo.daemon_for(src_host).query_now(topo.as_of(dst_host));
+  ASSERT_FALSE(paths.empty());
+
+  std::string got;
+  DataplanePath reply_path;
+  auto server = topo.scion_stack(dst_host).bind(
+      7777, [&](const ScionEndpoint&, const DataplanePath& reply, Bytes payload) {
+        got = to_string_view_copy(payload);
+        reply_path = reply;
+      });
+  auto client = topo.scion_stack(src_host).bind(0, nullptr);
+  client->send_to(ScionEndpoint{topo.scion_addr(dst_host), 7777}, paths.front().dataplane(),
+                  from_string("prop"));
+  sim_.run();
+  if (paths.front().meta().loss_rate == 0.0) {
+    EXPECT_EQ(got, "prop") << paths.front().to_string();
+  }
+  // No MAC or malformed-path drops anywhere — the control plane only hands
+  // out forwardable paths.
+  for (const IsdAsn ia : topo.all_ases()) {
+    const BorderRouterStats& stats = topo.border_router_stats(ia);
+    EXPECT_EQ(stats.drop_mac, 0u) << ia.to_string();
+    EXPECT_EQ(stats.drop_malformed_path, 0u) << ia.to_string();
+    EXPECT_EQ(stats.drop_wrong_as, 0u) << ia.to_string();
+  }
+}
+
+TEST_P(RandomTopology, EveryPathOfOnePairForwards) {
+  TopoGenParams params;
+  params.leaves_per_core = 1;  // keep the pair set small
+  build(params);
+  Topology& topo = *world_.topo;
+  const HostId src_host = world_.hosts.front();
+  const HostId dst_host = world_.hosts.back();
+  const auto paths = topo.daemon_for(src_host).query_now(topo.as_of(dst_host));
+  ASSERT_FALSE(paths.empty());
+
+  int received = 0;
+  auto server = topo.scion_stack(dst_host).bind(
+      7777,
+      [&](const ScionEndpoint&, const DataplanePath&, Bytes) { ++received; });
+  auto client = topo.scion_stack(src_host).bind(0, nullptr);
+  int sent_lossless = 0;
+  bool any_lossy = false;
+  for (const Path& path : paths) {
+    if (path.meta().loss_rate == 0.0) {
+      ++sent_lossless;
+      client->send_to(ScionEndpoint{topo.scion_addr(dst_host), 7777}, path.dataplane(),
+                      from_string("x"));
+    } else {
+      any_lossy = true;
+    }
+  }
+  sim_.run();
+  EXPECT_EQ(received, sent_lossless);
+  (void)any_lossy;
+}
+
+TEST_P(RandomTopology, GeofenceConsistentWithPathContents) {
+  build();
+  Topology& topo = *world_.topo;
+  ppl::Geofence fence;
+  fence.mode = ppl::GeofenceMode::kBlocklist;
+  fence.isds = {2};
+  const ppl::Policy compiled = fence.compile("no-isd2");
+  for (const IsdAsn src : world_.leaf_ases) {
+    for (const Path& path : topo.daemon(src).query_now(world_.leaf_ases.back())) {
+      EXPECT_EQ(fence.permits(path), !path.contains_isd(2));
+      EXPECT_EQ(compiled.permits(path), fence.permits(path));
+    }
+  }
+}
+
+TEST_P(RandomTopology, OrderingsAreTotalAndStable) {
+  build();
+  Topology& topo = *world_.topo;
+  auto paths = topo.daemon(world_.leaf_ases.front()).query_now(world_.leaf_ases.back());
+  if (paths.size() < 2) return;
+  for (const char* text :
+       {"policy { order latency asc; }", "policy { order co2 asc, latency desc; }",
+        "policy { order hops asc, cost asc; }"}) {
+    const auto policy = ppl::parse_policy(text);
+    ASSERT_TRUE(policy.ok());
+    auto sorted = policy.value().apply(paths);
+    // Applying twice yields the same order (determinism).
+    auto sorted_again = policy.value().apply(sorted);
+    ASSERT_EQ(sorted.size(), sorted_again.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_EQ(sorted[i].fingerprint(), sorted_again[i].fingerprint());
+    }
+    // The primary key is actually non-decreasing / non-increasing.
+    const ppl::OrderKey primary = policy.value().ordering.front();
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      const double prev = ppl::metric_value(sorted[i - 1], primary.metric);
+      const double cur = ppl::metric_value(sorted[i], primary.metric);
+      if (primary.ascending) {
+        EXPECT_LE(prev, cur);
+      } else {
+        EXPECT_GE(prev, cur);
+      }
+    }
+  }
+}
+
+TEST_P(RandomTopology, SignedTopologyVerifiesEverySegment) {
+  TopoGenParams params;
+  params.cores_per_isd = 2;
+  params.leaves_per_core = 1;
+  params.sign_beacons = true;
+  params.beacons_per_origin = 3;
+  build(params);
+  Topology& topo = *world_.topo;
+  std::size_t checked = 0;
+  for (const IsdAsn leaf : world_.leaf_ases) {
+    for (const PathSegment& seg : topo.path_infra().down_segments(leaf)) {
+      EXPECT_TRUE(verify_segment(seg, topo.trust_store())) << seg.id();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(RandomTopology, ReservationsAdmitAndPoliceOnRandomPaths) {
+  build();
+  Topology& topo = *world_.topo;
+  ReservationManager& manager = topo.reservations();
+  const IsdAsn src = world_.leaf_ases.front();
+  const IsdAsn dst = world_.leaf_ases.back();
+  const auto paths = topo.daemon(src).query_now(dst);
+  ASSERT_FALSE(paths.empty());
+  const Path& path = paths.front();
+
+  // A tiny reservation always fits (links are >= 1 Gbps).
+  const auto id = manager.reserve(path, 1e6, sim_.now(), seconds(60));
+  ASSERT_TRUE(id.ok()) << id.error();
+  // Every on-path AS accepts conforming traffic.
+  for (const PathHop& hop : path.hops()) {
+    EXPECT_EQ(manager.police(id.value(), hop.isd_as, sim_.now(), 100),
+              PoliceResult::kAllow)
+        << hop.isd_as.to_string();
+  }
+  // Off-path ASes reject it.
+  for (const IsdAsn ia : topo.all_ases()) {
+    if (path.contains_as(ia)) continue;
+    EXPECT_EQ(manager.police(id.value(), ia, sim_.now(), 100), PoliceResult::kWrongAs);
+    break;
+  }
+  // A reservation beyond any link's budget is refused with an explanation.
+  const auto huge = manager.reserve(path, 1e18, sim_.now());
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.error().find("admission denied"), std::string::npos);
+}
+
+TEST_P(RandomTopology, ReservedProbeTraversesRandomWorld) {
+  build();
+  Topology& topo = *world_.topo;
+  const HostId src_host = world_.hosts.front();
+  const HostId dst_host = world_.hosts.back();
+  const auto paths = topo.daemon_for(src_host).query_now(topo.as_of(dst_host));
+  ASSERT_FALSE(paths.empty());
+  const Path* lossless = nullptr;
+  for (const Path& p : paths) {
+    if (p.meta().loss_rate == 0.0) {
+      lossless = &p;
+      break;
+    }
+  }
+  if (lossless == nullptr) return;  // all candidate paths lossy in this world
+
+  const auto id = topo.reservations().reserve(*lossless, 1e6, sim_.now(), seconds(60));
+  ASSERT_TRUE(id.ok()) << id.error();
+  std::string got;
+  auto server = topo.scion_stack(dst_host).bind(
+      8800, [&](const ScionEndpoint&, const DataplanePath&, Bytes payload) {
+        got = to_string_view_copy(payload);
+      });
+  auto client = topo.scion_stack(src_host).bind(0, nullptr);
+  client->send_to(ScionEndpoint{topo.scion_addr(dst_host), 8800}, lossless->dataplane(),
+                  from_string("reserved"), id.value());
+  sim_.run();
+  EXPECT_EQ(got, "reserved");
+}
+
+TEST_P(RandomTopology, LegacyAndScionBothReachable) {
+  build();
+  Topology& topo = *world_.topo;
+  const HostId a = world_.hosts.front();
+  const HostId b = world_.hosts.back();
+  // Legacy UDP ping.
+  bool legacy_ok = false;
+  auto server = topo.host(b).udp_bind(5000, [&](const net::Endpoint&, Bytes) {
+    legacy_ok = true;
+  });
+  auto client = topo.host(a).udp_bind(0, nullptr);
+  client->send_to(net::Endpoint{topo.ip(b), 5000}, from_string("x"));
+  // Allow a long window: random topologies may have lossy links; retry a few
+  // times for robustness.
+  for (int attempt = 0; attempt < 5 && !legacy_ok; ++attempt) {
+    sim_.run();
+    if (!legacy_ok) {
+      client->send_to(net::Endpoint{topo.ip(b), 5000}, from_string("x"));
+    }
+  }
+  sim_.run();
+  EXPECT_TRUE(legacy_ok);
+}
+
+}  // namespace
+}  // namespace pan::scion

@@ -1,0 +1,407 @@
+// Tests for the proxy layer: SCION detection, path selection, the SKIP
+// proxy's transport decisions (opportunistic / strict / fallback), and the
+// reverse proxy.
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "ppl/parser.hpp"
+
+namespace pan::proxy {
+namespace {
+
+using browser::make_local_world;
+using browser::make_remote_world;
+using browser::World;
+
+// -------------------------------------------------------------- detector --
+
+struct DetectorFixture {
+  sim::Simulator sim;
+  dns::Zone zone;
+  dns::Resolver resolver{sim, zone, {}};
+  ScionDetector detector{sim, resolver};
+  scion::ScionAddr addr{scion::IsdAsn{1, 0x110}, net::IpAddr{0x0a000001}};
+
+  ResolvedHost resolve(const std::string& domain) {
+    ResolvedHost out;
+    bool done = false;
+    detector.resolve(domain, [&](ResolvedHost host) {
+      out = host;
+      done = true;
+    });
+    sim.run();
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+TEST(DetectorTest, DnsTxtDiscovery) {
+  DetectorFixture fx;
+  fx.zone.add_a("site.example", net::IpAddr{9});
+  fx.zone.add_scion_txt("site.example", fx.addr);
+  const ResolvedHost host = fx.resolve("site.example");
+  ASSERT_TRUE(host.ip.has_value());
+  ASSERT_TRUE(host.scion.has_value());
+  EXPECT_EQ(*host.scion, fx.addr);
+  EXPECT_EQ(host.scion_source, ScionSource::kDnsTxt);
+}
+
+TEST(DetectorTest, CuratedTakesPrecedence) {
+  DetectorFixture fx;
+  fx.zone.add_a("site.example", net::IpAddr{9});
+  fx.zone.add_scion_txt("site.example",
+                        scion::ScionAddr{scion::IsdAsn{2, 0x999}, net::IpAddr{1}});
+  fx.detector.add_curated("site.example", fx.addr);
+  const ResolvedHost host = fx.resolve("site.example");
+  ASSERT_TRUE(host.scion.has_value());
+  EXPECT_EQ(*host.scion, fx.addr);
+  EXPECT_EQ(host.scion_source, ScionSource::kCurated);
+}
+
+TEST(DetectorTest, LearnedEntriesExpire) {
+  DetectorFixture fx;
+  fx.zone.add_a("site.example", net::IpAddr{9});
+  fx.detector.learn("site.example", fx.addr, seconds(10));
+  EXPECT_EQ(fx.resolve("site.example").scion_source, ScionSource::kLearned);
+  fx.sim.run_until(fx.sim.now() + seconds(11));
+  EXPECT_EQ(fx.resolve("site.example").scion_source, ScionSource::kNone);
+}
+
+TEST(DetectorTest, NoRecordsAtAll) {
+  DetectorFixture fx;
+  const ResolvedHost host = fx.resolve("ghost.example");
+  EXPECT_FALSE(host.ip.has_value());
+  EXPECT_FALSE(host.scion.has_value());
+}
+
+// --------------------------------------------------------- path selector --
+
+TEST(PathSelectorTest, SplitsCompliantAndAny) {
+  auto world = make_remote_world();
+  auto& topo = world->topology();
+  PathSelector selector(topo.daemon_for(world->client));
+  // Geofence away ISD 2's core c2b (the fast detour).
+  ppl::Policy no_c2b =
+      ppl::parse_policy("policy { acl { deny 2-ff00:0:220; allow *; } }").value();
+  selector.set_policies(ppl::PolicySet{{no_c2b}});
+
+  PathChoice choice;
+  bool done = false;
+  selector.choose(topo.as_by_name("server-as"), [&](PathChoice c) {
+    choice = std::move(c);
+    done = true;
+  });
+  world->sim().run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(choice.any.has_value());
+  ASSERT_TRUE(choice.compliant.has_value());
+  // The unrestricted best path uses c2b; the compliant one must not.
+  EXPECT_TRUE(choice.any->contains_as(topo.as_by_name("core-2b")));
+  EXPECT_FALSE(choice.compliant->contains_as(topo.as_by_name("core-2b")));
+  EXPECT_GT(choice.compliant->meta().latency, choice.any->meta().latency);
+}
+
+TEST(PathSelectorTest, GeofenceExcludesEverything) {
+  auto world = make_remote_world();
+  auto& topo = world->topology();
+  PathSelector selector(topo.daemon_for(world->client));
+  ppl::Geofence fence;
+  fence.mode = ppl::GeofenceMode::kBlocklist;
+  fence.isds = {2};  // destination ISD blocked: nothing is compliant
+  selector.set_geofence(fence);
+  PathChoice choice;
+  bool done = false;
+  selector.choose(topo.as_by_name("server-as"), [&](PathChoice c) {
+    choice = std::move(c);
+    done = true;
+  });
+  world->sim().run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(choice.any.has_value());
+  EXPECT_FALSE(choice.compliant.has_value());
+}
+
+TEST(PathSelectorTest, UsageAccounting) {
+  auto world = make_remote_world();
+  auto& topo = world->topology();
+  PathSelector selector(topo.daemon_for(world->client));
+  const auto paths = topo.daemon_for(world->client).query_now(topo.as_by_name("server-as"));
+  ASSERT_FALSE(paths.empty());
+  selector.record_use(paths.front(), 1000);
+  selector.record_use(paths.front(), 500);
+  const auto& usage = selector.usage();
+  ASSERT_EQ(usage.size(), 1u);
+  const PathUsage& u = usage.begin()->second;
+  EXPECT_EQ(u.requests, 2u);
+  EXPECT_EQ(u.bytes, 1500u);
+  EXPECT_FALSE(u.description.empty());
+}
+
+// ------------------------------------------------------------ skip proxy --
+
+struct ProxyFixture {
+  std::unique_ptr<World> world;
+  std::unique_ptr<dns::Resolver> resolver;
+  std::unique_ptr<SkipProxy> proxy;
+
+  explicit ProxyFixture(bool remote = false, ProxyConfig config = {}) {
+    world = remote ? make_remote_world() : make_local_world();
+    auto& topo = world->topology();
+    resolver = std::make_unique<dns::Resolver>(world->sim(), world->zone(), dns::ResolverConfig{});
+    proxy = std::make_unique<SkipProxy>(world->sim(), topo.host(world->client),
+                                        topo.scion_stack(world->client),
+                                        topo.daemon_for(world->client), *resolver, config);
+  }
+
+  ProxyResult fetch(const std::string& url, bool strict = false) {
+    http::HttpRequest request;
+    request.target = url;
+    ProxyResult out;
+    bool done = false;
+    proxy->fetch(request, ProxyRequestOptions{strict}, [&](ProxyResult r) {
+      out = std::move(r);
+      done = true;
+    });
+    world->sim().run_until_condition([&] { return done; },
+                                     world->sim().now() + seconds(60));
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+TEST(SkipProxyTest, FetchesScionOnlySiteOverScion) {
+  ProxyFixture fx;
+  fx.world->site("scion-fs.local")->add_text("/x", "scion content");
+  const ProxyResult result = fx.fetch("http://scion-fs.local/x");
+  EXPECT_EQ(result.transport, TransportUsed::kScion);
+  EXPECT_TRUE(result.policy_compliant);
+  EXPECT_EQ(to_string_view_copy(result.response.body), "scion content");
+  EXPECT_EQ(result.response.headers.get("X-Skip-Transport"), "scion");
+  EXPECT_EQ(fx.proxy->stats().over_scion, 1u);
+}
+
+TEST(SkipProxyTest, FallsBackToIpForLegacyOnlySite) {
+  ProxyFixture fx;
+  fx.world->site("tcpip-fs.local")->add_text("/x", "legacy content");
+  const ProxyResult result = fx.fetch("http://tcpip-fs.local/x");
+  EXPECT_EQ(result.transport, TransportUsed::kIp);
+  EXPECT_EQ(to_string_view_copy(result.response.body), "legacy content");
+  EXPECT_EQ(result.response.headers.get("X-Skip-Transport"), "ip");
+  EXPECT_EQ(fx.proxy->stats().over_ip, 1u);
+}
+
+TEST(SkipProxyTest, StrictModeBlocksLegacyOnlySite) {
+  ProxyFixture fx;
+  fx.world->site("tcpip-fs.local")->add_text("/x", "legacy content");
+  const ProxyResult result = fx.fetch("http://tcpip-fs.local/x", /*strict=*/true);
+  EXPECT_EQ(result.transport, TransportUsed::kBlocked);
+  EXPECT_EQ(result.response.status, 502);
+  EXPECT_EQ(fx.proxy->stats().blocked, 1u);
+}
+
+TEST(SkipProxyTest, StrictModeBlocksWhenNoCompliantPath) {
+  ProxyFixture fx(/*remote=*/true);
+  fx.world->site("www.far.example")->add_text("/x", "far content");
+  ppl::Geofence fence;
+  fence.mode = ppl::GeofenceMode::kBlocklist;
+  fence.isds = {2};
+  fx.proxy->set_geofence(fence);
+  const ProxyResult result = fx.fetch("http://www.far.example/x", /*strict=*/true);
+  EXPECT_EQ(result.transport, TransportUsed::kBlocked);
+}
+
+TEST(SkipProxyTest, OpportunisticUsesNonCompliantPathWithFlag) {
+  ProxyFixture fx(/*remote=*/true);
+  fx.world->site("www.far.example")->add_text("/x", "far content");
+  ppl::Geofence fence;
+  fence.mode = ppl::GeofenceMode::kBlocklist;
+  fence.isds = {2};
+  fx.proxy->set_geofence(fence);
+  const ProxyResult result = fx.fetch("http://www.far.example/x", /*strict=*/false);
+  EXPECT_EQ(result.transport, TransportUsed::kScion);
+  EXPECT_FALSE(result.policy_compliant);
+  EXPECT_EQ(result.response.headers.get("X-Skip-Compliant"), "no");
+  EXPECT_EQ(to_string_view_copy(result.response.body), "far content");
+}
+
+TEST(SkipProxyTest, PolicySteersPathSelection) {
+  ProxyFixture fx(/*remote=*/true);
+  fx.world->site("www.far.example")->add_text("/x", "far content");
+  auto& topo = fx.world->topology();
+  // Avoid the fast detour core: forces the 80ms direct core link.
+  fx.proxy->set_policies(ppl::PolicySet{
+      {ppl::parse_policy("policy { acl { deny 2-ff00:0:220; allow *; } }").value()}});
+  const ProxyResult result = fx.fetch("http://www.far.example/x");
+  EXPECT_EQ(result.transport, TransportUsed::kScion);
+  EXPECT_TRUE(result.policy_compliant);
+  const auto& usage = fx.proxy->selector().usage();
+  ASSERT_FALSE(usage.empty());
+  for (const auto& [fp, u] : usage) {
+    EXPECT_EQ(u.description.find(topo.as_by_name("core-2b").to_string()), std::string::npos)
+        << u.description;
+  }
+}
+
+TEST(SkipProxyTest, UnresolvableHostErrors) {
+  ProxyFixture fx;
+  const ProxyResult result = fx.fetch("http://ghost.invalid/");
+  EXPECT_EQ(result.transport, TransportUsed::kError);
+  EXPECT_EQ(result.response.status, 502);
+  EXPECT_EQ(fx.proxy->stats().errors, 1u);
+}
+
+TEST(SkipProxyTest, BadUrlRejected) {
+  ProxyFixture fx;
+  http::HttpRequest request;
+  request.target = "/relative-without-host";
+  ProxyResult out;
+  bool done = false;
+  fx.proxy->fetch(request, {}, [&](ProxyResult r) {
+    out = std::move(r);
+    done = true;
+  });
+  fx.world->sim().run_until_condition([&] { return done; },
+                                      fx.world->sim().now() + seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(out.response.status, 400);
+}
+
+TEST(SkipProxyTest, IpcOverheadAppliesBothWays) {
+  ProxyConfig config;
+  config.ipc_overhead = milliseconds(10);
+  config.processing_overhead = Duration::zero();
+  ProxyFixture fx(false, config);
+  fx.world->site("tcpip-fs.local")->add_text("/x", "y");
+  const TimePoint t0 = fx.world->sim().now();
+  fx.fetch("http://tcpip-fs.local/x");
+  // >= 2 crossings of 10ms plus actual network time.
+  EXPECT_GE((fx.world->sim().now() - t0).nanos(), milliseconds(20).nanos());
+}
+
+TEST(SkipProxyTest, ConnectionReuseAcrossRequests) {
+  ProxyFixture fx;
+  fx.world->site("scion-fs.local")->add_text("/a", "1");
+  fx.world->site("scion-fs.local")->add_text("/b", "2");
+  fx.fetch("http://scion-fs.local/a");
+  fx.fetch("http://scion-fs.local/b");
+  EXPECT_EQ(fx.proxy->stats().over_scion, 2u);
+  // One QUIC connection on the server side: the scion server host's stack
+  // saw exactly one connection worth of handshakes (hard to observe
+  // directly; at least verify both requests succeeded over SCION).
+}
+
+// ---------------------------------------------------------- policy router --
+
+TEST(PolicyRouterTest, HostPatternMatching) {
+  EXPECT_TRUE(PolicyRouter::host_matches("*", "anything.example"));
+  EXPECT_TRUE(PolicyRouter::host_matches("www.x.org", "www.x.org"));
+  EXPECT_TRUE(PolicyRouter::host_matches("WWW.X.ORG", "www.x.org"));
+  EXPECT_TRUE(PolicyRouter::host_matches("*.x.org", "www.x.org"));
+  EXPECT_TRUE(PolicyRouter::host_matches("*.x.org", "a.b.x.org"));
+  EXPECT_FALSE(PolicyRouter::host_matches("*.x.org", "x.org"));
+  EXPECT_FALSE(PolicyRouter::host_matches("*.x.org", "notx.org"));
+  EXPECT_FALSE(PolicyRouter::host_matches("www.x.org", "x.org"));
+}
+
+TEST(PolicyRouterTest, FirstMatchWinsWithDefaultFallback) {
+  PolicyRouter router;
+  ppl::Policy latency = ppl::parse_policy("policy \"lat\" { order latency asc; }").value();
+  ppl::Policy green = ppl::parse_policy("policy \"green\" { order co2 asc; }").value();
+  router.add_rule("*.video.example", ppl::PolicySet{{green}});
+  router.add_rule("*", ppl::PolicySet{{latency}});
+  EXPECT_EQ(router.match("cdn.video.example").policies().front().name, "green");
+  EXPECT_EQ(router.match("bank.example").policies().front().name, "lat");
+  PolicyRouter empty;
+  EXPECT_TRUE(empty.match("anything").empty());
+}
+
+TEST(PolicyRouterTest, PerSitePoliciesSteerTheProxy) {
+  ProxyFixture fx(/*remote=*/true);
+  fx.world->site("www.far.example")->add_text("/x", "far");
+  auto& topo = fx.world->topology();
+  // Global default: latency-first. For *.far.example: avoid core-2b.
+  fx.proxy->set_policies(
+      ppl::PolicySet{{ppl::parse_policy("policy { order latency asc; }").value()}});
+  fx.proxy->policy_router().add_rule(
+      "*.far.example",
+      ppl::PolicySet{{ppl::parse_policy(
+          "policy { acl { deny 2-ff00:0:220; allow *; } }").value()}});
+
+  const ProxyResult result = fx.fetch("http://www.far.example/x");
+  EXPECT_EQ(result.transport, TransportUsed::kScion);
+  EXPECT_TRUE(result.policy_compliant);
+  // The per-site rule forced the path off core-2b.
+  const auto paths = topo.daemon_for(fx.world->client)
+                         .query_now(topo.as_by_name("server-as"));
+  for (const auto& p : paths) {
+    if (p.fingerprint() == result.path_fingerprint) {
+      EXPECT_FALSE(p.contains_as(topo.as_by_name("core-2b")));
+    }
+  }
+}
+
+// ---------------------------------------------------------- reverse proxy --
+
+TEST(ReverseProxyTest, RelaysAndInjectsStrictScion) {
+  // The fixture's world already fronts www.far.example with reverse proxies.
+  ProxyFixture fx(/*remote=*/true);
+  // Replace: use the prepared world from the fixture instead (it already has
+  // reverse proxies); this test drives the fixture's world.
+  fx.world->site("www.far.example")->add_text("/page", "backend says hi");
+  const ProxyResult result = fx.fetch("http://www.far.example/page");
+  EXPECT_EQ(result.transport, TransportUsed::kScion);
+  EXPECT_EQ(to_string_view_copy(result.response.body), "backend says hi");
+  EXPECT_EQ(result.response.headers.get("Via"), "pan-reverse-proxy");
+}
+
+TEST(ReverseProxyTest, StrictScionInjectionConfigurable) {
+  auto world = make_local_world();
+  auto& topo = world->topology();
+  // Put a reverse proxy with Strict-SCION injection in front of the legacy
+  // file server.
+  ReverseProxyConfig config;
+  config.inject_strict_scion = http::StrictScionDirective{seconds(300)};
+  const auto rp_host = topo.host_by_name("scion-fs");  // reuse as rp host
+  ReverseProxy rp(topo.scion_stack(rp_host), 8080,
+                  net::Endpoint{topo.ip(topo.host_by_name("tcpip-fs")), 80}, config);
+  world->site("tcpip-fs.local")->add_text("/x", "content");
+
+  http::ScionHttpConnection conn(topo.scion_stack(world->client),
+                                 scion::ScionEndpoint{topo.scion_addr(rp_host), 8080},
+                                 scion::DataplanePath{});
+  http::HttpRequest req;
+  req.target = "/x";
+  req.headers.set("Host", "tcpip-fs.local");
+  bool done = false;
+  http::HttpResponse got;
+  conn.fetch(req, [&](Result<http::HttpResponse> r) {
+    ASSERT_TRUE(r.ok()) << r.error();
+    got = std::move(r).take();
+    done = true;
+  });
+  world->sim().run_until_condition([&] { return done; }, world->sim().now() + seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(got.status, 200);
+  EXPECT_TRUE(http::strict_scion_of(got).has_value());
+  EXPECT_EQ(rp.requests_relayed(), 1u);
+}
+
+TEST(SkipProxyTest, LearnsStrictScionPinsIntoDetector) {
+  auto world = make_local_world();
+  world->site("scion-fs.local")->enable_strict_scion(seconds(600));
+  world->site("scion-fs.local")->add_text("/x", "pinned");
+  auto& topo = world->topology();
+  dns::Resolver resolver(world->sim(), world->zone(), {});
+  SkipProxy proxy(world->sim(), topo.host(world->client), topo.scion_stack(world->client),
+                  topo.daemon_for(world->client), resolver, {});
+  http::HttpRequest request;
+  request.target = "http://scion-fs.local/x";
+  bool done = false;
+  proxy.fetch(request, {}, [&](ProxyResult) { done = true; });
+  world->sim().run_until_condition([&] { return done; }, world->sim().now() + seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(proxy.detector().learned_size(), 1u);
+}
+
+}  // namespace
+}  // namespace pan::proxy

@@ -1,0 +1,92 @@
+// Unit tests for SCION addressing: ISD-AS numbers and SCION host addresses.
+#include <gtest/gtest.h>
+
+#include "scion/addr.hpp"
+
+namespace pan::scion {
+namespace {
+
+TEST(AsnTest, DecimalFormat) {
+  EXPECT_EQ(format_asn(64512), "64512");
+  EXPECT_EQ(parse_asn("64512").value(), 64512u);
+}
+
+TEST(AsnTest, HexGroupFormat) {
+  const Asn asn = 0xff00'0000'0110ULL;
+  EXPECT_EQ(format_asn(asn), "ff00:0:110");
+  EXPECT_EQ(parse_asn("ff00:0:110").value(), asn);
+}
+
+TEST(AsnTest, RoundTripBoundary) {
+  // Largest decimal-rendered ASN and smallest hex-rendered one.
+  EXPECT_EQ(parse_asn(format_asn((1ULL << 32) - 1)).value(), (1ULL << 32) - 1);
+  EXPECT_EQ(parse_asn(format_asn(1ULL << 32)).value(), 1ULL << 32);
+}
+
+TEST(AsnTest, ParseErrors) {
+  EXPECT_FALSE(parse_asn("").ok());
+  EXPECT_FALSE(parse_asn("1:2").ok());            // needs 3 groups
+  EXPECT_FALSE(parse_asn("1:2:3:4").ok());        // too many groups
+  EXPECT_FALSE(parse_asn("ffff0:0:0").ok());      // group > 16 bits
+  EXPECT_FALSE(parse_asn("zz:0:0").ok());
+  EXPECT_FALSE(parse_asn("4294967296").ok());     // decimal form too large
+}
+
+TEST(IsdAsnTest, FormatAndParse) {
+  const IsdAsn ia{1, 0xff00'0000'0110ULL};
+  EXPECT_EQ(ia.to_string(), "1-ff00:0:110");
+  const auto parsed = IsdAsn::parse("1-ff00:0:110");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), ia);
+}
+
+TEST(IsdAsnTest, PackedRoundTrip) {
+  const IsdAsn ia{65535, 0xffff'ffff'ffffULL};
+  EXPECT_EQ(IsdAsn::from_packed(ia.packed()), ia);
+  const IsdAsn zero{};
+  EXPECT_TRUE(zero.is_unspecified());
+  EXPECT_EQ(IsdAsn::from_packed(0), zero);
+}
+
+TEST(IsdAsnTest, ParseErrors) {
+  EXPECT_FALSE(IsdAsn::parse("no-dash-here-?").ok());
+  EXPECT_FALSE(IsdAsn::parse("1").ok());
+  EXPECT_FALSE(IsdAsn::parse("99999-1").ok());  // ISD > 16 bits
+  EXPECT_FALSE(IsdAsn::parse("x-1").ok());
+}
+
+TEST(IsdAsnTest, Ordering) {
+  EXPECT_LT((IsdAsn{1, 5}), (IsdAsn{2, 1}));
+  EXPECT_LT((IsdAsn{1, 5}), (IsdAsn{1, 6}));
+}
+
+TEST(ScionAddrTest, FormatAndParse) {
+  const ScionAddr addr{IsdAsn{2, 0xff00'0000'0210ULL}, net::IpAddr{0x0a000001}};
+  EXPECT_EQ(addr.to_string(), "2-ff00:0:210,10.0.0.1");
+  const auto parsed = ScionAddr::parse("2-ff00:0:210,10.0.0.1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), addr);
+}
+
+TEST(ScionAddrTest, ParseErrors) {
+  EXPECT_FALSE(ScionAddr::parse("2-ff00:0:210").ok());       // missing host
+  EXPECT_FALSE(ScionAddr::parse("2-ff00:0:210,999.0.0.1").ok());
+  EXPECT_FALSE(ScionAddr::parse(",10.0.0.1").ok());
+}
+
+TEST(ScionEndpointTest, Format) {
+  const ScionEndpoint ep{ScionAddr{IsdAsn{1, 64512}, net::IpAddr{0x0a000001}}, 443};
+  EXPECT_EQ(ep.to_string(), "[1-64512,10.0.0.1]:443");
+}
+
+TEST(ScionAddrTest, HashUsableInMaps) {
+  std::unordered_map<IsdAsn, int> by_ia;
+  by_ia[IsdAsn{1, 2}] = 7;
+  EXPECT_EQ(by_ia.at((IsdAsn{1, 2})), 7);
+  std::unordered_map<ScionAddr, int> by_addr;
+  by_addr[ScionAddr{IsdAsn{1, 2}, net::IpAddr{3}}] = 9;
+  EXPECT_EQ(by_addr.at((ScionAddr{IsdAsn{1, 2}, net::IpAddr{3}})), 9);
+}
+
+}  // namespace
+}  // namespace pan::scion

@@ -1,0 +1,246 @@
+// Unit tests for the discrete-event simulator and timers.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace pan::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(milliseconds(3), [&] { order.push_back(3); });
+  sim.schedule_after(milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule_after(milliseconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule_after(milliseconds(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.nanos(), milliseconds(7).nanos());
+  EXPECT_EQ(sim.now().nanos(), milliseconds(7).nanos());
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(milliseconds(1), [&] {
+    sim.schedule_after(milliseconds(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().nanos(), milliseconds(2).nanos());
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(milliseconds(-5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().nanos(), 0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsSafe) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.cancel(9999));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(milliseconds(1), [&] { ++fired; });
+  sim.schedule_after(milliseconds(10), [&] { ++fired; });
+  sim.run_until(TimePoint{milliseconds(5).nanos()});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().nanos(), milliseconds(5).nanos());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.schedule_after(milliseconds(1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.now().nanos(), milliseconds(1).nanos());
+  sim.run_for(milliseconds(4));
+  EXPECT_EQ(sim.now().nanos(), milliseconds(5).nanos());
+}
+
+TEST(SimulatorTest, RunUntilConditionStopsEarly) {
+  Simulator sim;
+  int counter = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(milliseconds(i + 1), [&] { ++counter; });
+  }
+  const bool met = sim.run_until_condition([&] { return counter == 3; },
+                                           TimePoint{seconds(1).nanos()});
+  EXPECT_TRUE(met);
+  EXPECT_EQ(counter, 3);
+}
+
+TEST(SimulatorTest, RunUntilConditionFailsOnDrain) {
+  Simulator sim;
+  const bool met = sim.run_until_condition([] { return false; },
+                                           TimePoint{seconds(1).nanos()});
+  EXPECT_FALSE(met);
+}
+
+TEST(SimulatorTest, PendingEventsAccountsForCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule_after(milliseconds(1), [] {});
+  sim.schedule_after(milliseconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_after(milliseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+// ---------------------------------------------------------------- timer --
+
+TEST(TimerTest, FiresOnce) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.arm(milliseconds(5));
+  EXPECT_TRUE(timer.pending());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.pending());
+}
+
+TEST(TimerTest, RearmReplacesDeadline) {
+  Simulator sim;
+  TimePoint fired_at;
+  Timer timer(sim, [&] { fired_at = sim.now(); });
+  timer.arm(milliseconds(5));
+  timer.arm(milliseconds(20));
+  sim.run();
+  EXPECT_EQ(fired_at.nanos(), milliseconds(20).nanos());
+}
+
+TEST(TimerTest, ArmIfIdleDoesNotReplace) {
+  Simulator sim;
+  TimePoint fired_at;
+  Timer timer(sim, [&] { fired_at = sim.now(); });
+  timer.arm(milliseconds(5));
+  timer.arm_if_idle(milliseconds(20));
+  sim.run();
+  EXPECT_EQ(fired_at.nanos(), milliseconds(5).nanos());
+}
+
+TEST(TimerTest, CancelStopsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.arm(milliseconds(5));
+  timer.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, DestructionCancelsSafely) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer timer(sim, [&] { ++fired; });
+    timer.arm(milliseconds(5));
+  }
+  sim.run();  // must not crash or fire
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, RearmFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] {
+    if (++fired < 3) timer.arm(milliseconds(1));
+  });
+  timer.arm(milliseconds(1));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  PeriodicTimer timer(sim, [&] { times.push_back(sim.now().nanos()); });
+  timer.start(milliseconds(1), milliseconds(2));
+  sim.run_until(TimePoint{milliseconds(8).nanos()});
+  timer.stop();
+  ASSERT_GE(times.size(), 4u);
+  EXPECT_EQ(times[0], milliseconds(1).nanos());
+  EXPECT_EQ(times[1], milliseconds(3).nanos());
+  EXPECT_EQ(times[2], milliseconds(5).nanos());
+}
+
+TEST(PeriodicTimerTest, StopHalts) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(sim, [&] { ++fired; });
+  timer.start(milliseconds(1), milliseconds(1));
+  sim.run_until(TimePoint{milliseconds(3).nanos() + 500});
+  timer.stop();
+  sim.run_until(TimePoint{milliseconds(10).nanos()});
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimerTest, DestructionSafe) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTimer timer(sim, [&] { ++fired; });
+    timer.start(milliseconds(1), milliseconds(1));
+    sim.run_until(TimePoint{milliseconds(1).nanos()});
+  }
+  sim.run_until(TimePoint{milliseconds(10).nanos()});
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PeriodicTimerTest, StopFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(sim, [&] {
+    if (++fired == 2) timer.stop();
+  });
+  timer.start(milliseconds(1), milliseconds(1));
+  sim.run_until(TimePoint{milliseconds(10).nanos()});
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace pan::sim

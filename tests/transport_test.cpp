@@ -1,0 +1,521 @@
+// Tests for the transport engine: frames, handshake, reliable delivery,
+// multiplexing, loss recovery, congestion behaviour, timeouts.
+#include <gtest/gtest.h>
+
+#include "http/file_server.hpp"  // generate_blob for payload integrity
+#include "net/host.hpp"
+#include "net/router.hpp"
+#include "transport/udp_host.hpp"
+
+namespace pan::transport {
+namespace {
+
+// ---------------------------------------------------------------- frames --
+
+TEST(FramesTest, PacketRoundTrip) {
+  TransportPacket packet;
+  packet.kind = TransportKind::kQuicLite;
+  packet.type = PacketType::kData;
+  packet.conn_id = 0xABCDEF;
+  packet.packet_number = 42;
+  packet.frames.emplace_back(HelloFrame{true, 2, "h3-lite"});
+  packet.frames.emplace_back(StreamFrame{4, 1000, true, from_string("data")});
+  packet.frames.emplace_back(AckFrame{{{5, 9}, {1, 3}}});
+  packet.frames.emplace_back(CloseFrame{"bye"});
+  packet.frames.emplace_back(PingFrame{});
+
+  const Bytes wire = serialize_packet(packet);
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.ok());
+  const TransportPacket& out = parsed.value();
+  EXPECT_EQ(out.conn_id, packet.conn_id);
+  EXPECT_EQ(out.packet_number, 42u);
+  ASSERT_EQ(out.frames.size(), 5u);
+  EXPECT_EQ(std::get<HelloFrame>(out.frames[0]).round, 2);
+  EXPECT_EQ(std::get<StreamFrame>(out.frames[1]).offset, 1000u);
+  EXPECT_TRUE(std::get<StreamFrame>(out.frames[1]).fin);
+  EXPECT_EQ(std::get<AckFrame>(out.frames[2]).largest(), 9u);
+  EXPECT_EQ(std::get<CloseFrame>(out.frames[3]).reason, "bye");
+}
+
+TEST(FramesTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_packet(Bytes{0x00}).ok());
+  EXPECT_FALSE(parse_packet(Bytes{}).ok());
+  Bytes truncated = serialize_packet(TransportPacket{});
+  truncated.pop_back();
+  EXPECT_FALSE(parse_packet(truncated).ok());
+}
+
+TEST(FramesTest, AckContains) {
+  AckFrame ack{{{10, 12}, {5, 7}}};
+  EXPECT_TRUE(ack.contains(5));
+  EXPECT_TRUE(ack.contains(11));
+  EXPECT_FALSE(ack.contains(8));
+  EXPECT_FALSE(ack.contains(13));
+  EXPECT_EQ(ack.largest(), 12u);
+}
+
+// --------------------------------------------------------- world fixture --
+
+/// Two hosts joined through a router; client dials the server over UDP.
+struct TransportWorld {
+  sim::Simulator sim;
+  net::Network net{sim, 3};
+  std::unique_ptr<net::Router> router;
+  std::unique_ptr<net::Host> client_host;
+  std::unique_ptr<net::Host> server_host;
+
+  explicit TransportWorld(const net::LinkParams& link = make_default_link()) {
+    const net::NodeId r = net.add_node("r");
+    router = std::make_unique<net::Router>(net, r);
+    const net::NodeId c = net.add_node("client");
+    const net::NodeId s = net.add_node("server");
+    const auto [c_if, r_c] = net.connect(c, r, link);
+    const auto [s_if, r_s] = net.connect(s, r, link);
+    (void)c_if;
+    (void)s_if;
+    client_host = std::make_unique<net::Host>(net, c, net::IpAddr{(1u << 16) | 1});
+    server_host = std::make_unique<net::Host>(net, s, net::IpAddr{(1u << 16) | 2});
+    router->set_host_route(client_host->address(), r_c);
+    router->set_host_route(server_host->address(), r_s);
+  }
+
+  static net::LinkParams make_default_link() {
+    net::LinkParams link;
+    link.latency = milliseconds(10);
+    link.bandwidth_bps = 100e6;
+    link.max_queue_delay = milliseconds(200);
+    return link;
+  }
+
+  [[nodiscard]] net::Endpoint server_endpoint(std::uint16_t port) const {
+    return net::Endpoint{server_host->address(), port};
+  }
+};
+
+TransportConfig quic_config() {
+  TransportConfig config;
+  config.kind = TransportKind::kQuicLite;
+  return config;
+}
+
+TEST(ConnectionTest, HandshakeTakesOneRtt) {
+  TransportWorld world;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(), nullptr);
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  TimePoint established_at;
+  client.connection().set_on_established([&] { established_at = world.sim.now(); });
+  client.connection().start();
+  world.sim.run_until(TimePoint{seconds(1).nanos()});
+  ASSERT_EQ(client.connection().state(), Connection::State::kEstablished);
+  // RTT = 4 * 10ms link latency (client->router->server and back).
+  EXPECT_GE(established_at.nanos(), milliseconds(40).nanos());
+  EXPECT_LE(established_at.nanos(), milliseconds(42).nanos());
+}
+
+TEST(ConnectionTest, ExtraHandshakeRttsDelayEstablishment) {
+  TransportWorld world;
+  TransportConfig config = quic_config();
+  config.extra_handshake_rtts = 1;
+  UdpTransportServer server(*world.server_host, 4433, config, nullptr);
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), config);
+  TimePoint established_at;
+  client.connection().set_on_established([&] { established_at = world.sim.now(); });
+  client.connection().start();
+  world.sim.run_until(TimePoint{seconds(1).nanos()});
+  ASSERT_EQ(client.connection().state(), Connection::State::kEstablished);
+  EXPECT_GE(established_at.nanos(), milliseconds(80).nanos());
+}
+
+TEST(ConnectionTest, EchoIntegrity) {
+  TransportWorld world;
+  const Bytes blob = http::generate_blob(50'000, 7);
+  Bytes server_received;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(),
+                            [&](Connection& conn) {
+    conn.set_on_stream([&](Stream& stream) {
+      stream.set_on_data([&, s = &stream](std::span<const std::uint8_t> data, bool fin) {
+        server_received.insert(server_received.end(), data.begin(), data.end());
+        if (fin) {
+          s->write(server_received);
+          s->finish();
+        }
+      });
+    });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  Bytes echoed;
+  bool done = false;
+  client.connection().set_on_established([&] {
+    Stream& stream = client.connection().open_stream();
+    stream.set_on_data([&](std::span<const std::uint8_t> data, bool fin) {
+      echoed.insert(echoed.end(), data.begin(), data.end());
+      if (fin) done = true;
+    });
+    stream.write(blob);
+    stream.finish();
+  });
+  client.connection().start();
+  world.sim.run_until_condition([&] { return done; }, TimePoint{seconds(30).nanos()});
+  ASSERT_TRUE(done);
+  EXPECT_EQ(server_received, blob);
+  EXPECT_EQ(echoed, blob);
+}
+
+/// Reliable delivery under parameterized loss rates.
+class LossRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRecovery, TransfersDespiteLoss) {
+  net::LinkParams link = TransportWorld::make_default_link();
+  link.loss_rate = GetParam();
+  TransportWorld world(link);
+  const Bytes blob = http::generate_blob(40'000, 11);
+  Bytes received;
+  bool done = false;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(),
+                            [&](Connection& conn) {
+    conn.set_on_stream([&](Stream& stream) {
+      stream.set_on_data([&, s = &stream](std::span<const std::uint8_t>, bool fin) {
+        if (fin) {
+          s->write(blob);
+          s->finish();
+        }
+      });
+    });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  client.connection().set_on_established([&] {
+    Stream& stream = client.connection().open_stream();
+    stream.set_on_data([&](std::span<const std::uint8_t> data, bool fin) {
+      received.insert(received.end(), data.begin(), data.end());
+      if (fin) done = true;
+    });
+    stream.write(from_string("gimme"));
+    stream.finish();
+  });
+  client.connection().start();
+  world.sim.run_until_condition([&] { return done; }, TimePoint{seconds(120).nanos()});
+  ASSERT_TRUE(done) << "loss rate " << GetParam();
+  EXPECT_EQ(received, blob);
+  if (GetParam() > 0) {
+    EXPECT_GT(world.net.drop_totals().loss, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossRecovery,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.15));
+
+TEST(ConnectionTest, ManyConcurrentStreams) {
+  TransportWorld world;
+  constexpr int kStreams = 20;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(),
+                            [&](Connection& conn) {
+    conn.set_on_stream([&](Stream& stream) {
+      stream.set_on_data([s = &stream](std::span<const std::uint8_t> data, bool fin) {
+        static_cast<void>(data);
+        if (fin) {
+          // Echo the stream id as payload so the client can verify demux.
+          const std::string tag = "stream-" + std::to_string(s->id());
+          s->write(from_string(tag));
+          s->finish();
+        }
+      });
+    });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  int done = 0;
+  bool mismatch = false;
+  std::unordered_map<std::uint32_t, std::string> accumulated;
+  client.connection().set_on_established([&] {
+    for (int i = 0; i < kStreams; ++i) {
+      Stream& stream = client.connection().open_stream();
+      stream.set_on_data([&, id = stream.id()](std::span<const std::uint8_t> data, bool fin) {
+        accumulated[id].append(reinterpret_cast<const char*>(data.data()), data.size());
+        if (fin) {
+          const std::string expected = "stream-" + std::to_string(id);
+          if (accumulated[id] != expected) mismatch = true;
+          ++done;
+        }
+      });
+      stream.write(from_string("x"));
+      stream.finish();
+    }
+  });
+  client.connection().start();
+  world.sim.run_until_condition([&] { return done == kStreams; },
+                                TimePoint{seconds(30).nanos()});
+  EXPECT_EQ(done, kStreams);
+  EXPECT_FALSE(mismatch);
+}
+
+TEST(ConnectionTest, TcpLiteSingleStreamExchange) {
+  TransportWorld world;
+  TransportConfig tcp;
+  tcp.kind = TransportKind::kTcpLite;
+  UdpTransportServer server(*world.server_host, 8080, tcp, [&](Connection& conn) {
+    conn.set_on_stream([&](Stream& stream) {
+      stream.set_on_data([s = &stream](std::span<const std::uint8_t>, bool fin) {
+        if (fin) {
+          s->write(from_string("response"));
+          s->finish();
+        }
+      });
+    });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(8080), tcp);
+  Stream& stream = client.connection().open_stream();  // queued pre-handshake
+  std::string got;
+  bool done = false;
+  stream.set_on_data([&](std::span<const std::uint8_t> data, bool fin) {
+    got.append(reinterpret_cast<const char*>(data.data()), data.size());
+    if (fin) done = true;
+  });
+  stream.write(from_string("request"));
+  stream.finish();
+  client.connection().start();
+  world.sim.run_until_condition([&] { return done; }, TimePoint{seconds(10).nanos()});
+  EXPECT_EQ(got, "response");
+}
+
+TEST(ConnectionTest, CloseNotifiesPeerAndBreaksStreams) {
+  TransportWorld world;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(), nullptr);
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  std::string close_reason;
+  client.connection().set_on_closed([&](const std::string& reason) { close_reason = reason; });
+  client.connection().start();
+  world.sim.run_until_condition(
+      [&] { return client.connection().state() == Connection::State::kEstablished; },
+      TimePoint{seconds(2).nanos()});
+  Stream& stream = client.connection().open_stream();
+  client.connection().close("test over");
+  EXPECT_EQ(client.connection().state(), Connection::State::kClosed);
+  EXPECT_EQ(close_reason, "test over");
+  EXPECT_TRUE(stream.broken());
+}
+
+TEST(ConnectionTest, IdleTimeoutCloses) {
+  TransportWorld world;
+  TransportConfig config = quic_config();
+  config.idle_timeout = milliseconds(500);
+  UdpTransportServer server(*world.server_host, 4433, config, nullptr);
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), config);
+  std::string reason;
+  client.connection().set_on_closed([&](const std::string& r) { reason = r; });
+  client.connection().start();
+  world.sim.run_until(TimePoint{seconds(5).nanos()});
+  EXPECT_EQ(client.connection().state(), Connection::State::kClosed);
+  EXPECT_EQ(reason, "idle timeout");
+}
+
+TEST(ConnectionTest, CongestionWindowGrowsDuringTransfer) {
+  TransportWorld world;
+  Connection* server_conn = nullptr;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(),
+                            [&](Connection& conn) {
+    server_conn = &conn;
+    conn.set_on_stream([&](Stream& stream) {
+      stream.set_on_data([s = &stream](std::span<const std::uint8_t>, bool fin) {
+        if (fin) {
+          s->write(Bytes(200'000, 0x55));
+          s->finish();
+        }
+      });
+    });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  bool done = false;
+  client.connection().set_on_established([&] {
+    Stream& stream = client.connection().open_stream();
+    stream.set_on_data([&](std::span<const std::uint8_t>, bool fin) {
+      if (fin) done = true;
+    });
+    stream.write(from_string("go"));
+    stream.finish();
+  });
+  client.connection().start();
+  world.sim.run_until_condition([&] { return done; }, TimePoint{seconds(60).nanos()});
+  ASSERT_TRUE(done);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_GT(server_conn->cwnd_bytes(), 12'000u);  // grew beyond initial
+  EXPECT_EQ(server_conn->stats().packets_lost, 0u);
+  // RTT estimate near the real 40ms.
+  EXPECT_NEAR(server_conn->smoothed_rtt().millis(), 40.0, 15.0);
+}
+
+TEST(ConnectionTest, KindMismatchIgnored) {
+  TransportWorld world;
+  // A QUIC server; a TCP-lite client dials it. The INITIAL carries the
+  // wrong magic for the server's config, so no connection forms.
+  UdpTransportServer server(*world.server_host, 4433, quic_config(), nullptr);
+  TransportConfig tcp;
+  tcp.kind = TransportKind::kTcpLite;
+  tcp.idle_timeout = milliseconds(500);
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), tcp);
+  client.connection().start();
+  world.sim.run_until(TimePoint{seconds(2).nanos()});
+  EXPECT_EQ(server.connection_count(), 1u);  // demuxed by conn id...
+  // ...but the server connection never establishes: its kind filter drops
+  // every packet, and the client gives up via idle timeout.
+  EXPECT_EQ(client.connection().state(), Connection::State::kClosed);
+}
+
+TEST(ConnectionTest, ServerRejectsNonInitialForUnknownConn) {
+  TransportWorld world;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(), nullptr);
+  // Hand-craft a data packet for an unknown connection.
+  TransportPacket packet;
+  packet.kind = TransportKind::kQuicLite;
+  packet.type = PacketType::kData;
+  packet.conn_id = 0xDEAD;
+  packet.packet_number = 1;
+  packet.frames.emplace_back(PingFrame{});
+  auto socket = world.client_host->udp_bind(0, nullptr);
+  socket->send_to(world.server_endpoint(4433), serialize_packet(packet));
+  world.sim.run();
+  EXPECT_EQ(server.connection_count(), 0u);
+}
+
+TEST(ConnectionTest, ZeroRttSavesOneRoundTrip) {
+  const auto time_to_response = [](bool zero_rtt) {
+    TransportWorld world;
+    TransportConfig config = quic_config();
+    UdpTransportServer server(*world.server_host, 4433, config, [](Connection& conn) {
+      conn.set_on_stream([](Stream& stream) {
+        stream.set_on_data([s = &stream](std::span<const std::uint8_t>, bool fin) {
+          if (fin) {
+            s->write(from_string("resp"));
+            s->finish();
+          }
+        });
+      });
+    });
+    TransportConfig client_config = config;
+    client_config.zero_rtt = zero_rtt;
+    UdpTransportClient client(*world.client_host, world.server_endpoint(4433),
+                              client_config);
+    TimePoint responded;
+    bool done = false;
+    client.connection().set_on_established([&] {
+      if (done || client.connection().stream(0) != nullptr) return;
+      Stream& stream = client.connection().open_stream();
+      stream.set_on_data([&](std::span<const std::uint8_t>, bool fin) {
+        if (fin) {
+          responded = world.sim.now();
+          done = true;
+        }
+      });
+      stream.write(from_string("req"));
+      stream.finish();
+    });
+    client.connection().start();
+    world.sim.run_until_condition([&] { return done; }, TimePoint{seconds(5).nanos()});
+    EXPECT_TRUE(done);
+    return responded;
+  };
+  const TimePoint regular = time_to_response(false);
+  const TimePoint zero_rtt = time_to_response(true);
+  // One round trip = 40 ms in this world; 0-RTT saves exactly that.
+  EXPECT_NEAR(regular.millis() - zero_rtt.millis(), 40.0, 2.0);
+}
+
+TEST(ConnectionTest, KeepAliveProbesWhileAwaitingResponse) {
+  TransportWorld world;
+  TransportConfig config = quic_config();
+  config.keep_alive = milliseconds(50);
+  config.idle_timeout = seconds(60);
+  // A server that never answers.
+  UdpTransportServer server(*world.server_host, 4433, config, [](Connection& conn) {
+    conn.set_on_stream([](Stream& stream) { stream.set_on_data(nullptr); });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), config);
+  client.connection().set_on_established([&] {
+    Stream& stream = client.connection().open_stream();
+    stream.write(from_string("request"));
+    stream.finish();
+  });
+  client.connection().start();
+  world.sim.run_until(TimePoint{seconds(1).nanos()});
+  // Handshake + request are a handful of packets; the rest are probes.
+  EXPECT_GT(client.connection().stats().packets_sent, 10u);
+}
+
+TEST(ConnectionTest, KeepAliveStopsAfterResponse) {
+  TransportWorld world;
+  TransportConfig config = quic_config();
+  config.keep_alive = milliseconds(50);
+  config.idle_timeout = seconds(600);
+  UdpTransportServer server(*world.server_host, 4433, config, [](Connection& conn) {
+    conn.set_on_stream([](Stream& stream) {
+      stream.set_on_data([s = &stream](std::span<const std::uint8_t>, bool fin) {
+        if (fin) {
+          s->write(from_string("done"));
+          s->finish();
+        }
+      });
+    });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), config);
+  bool finished = false;
+  client.connection().set_on_established([&] {
+    Stream& stream = client.connection().open_stream();
+    stream.set_on_data([&](std::span<const std::uint8_t>, bool fin) { finished = fin; });
+    stream.write(from_string("request"));
+    stream.finish();
+  });
+  client.connection().start();
+  world.sim.run_until_condition([&] { return finished; }, TimePoint{seconds(5).nanos()});
+  ASSERT_TRUE(finished);
+  const std::uint64_t sent_at_finish = client.connection().stats().packets_sent;
+  world.sim.run_until(world.sim.now() + seconds(2));
+  // At most one trailing probe/ack after completion; probing must stop.
+  EXPECT_LE(client.connection().stats().packets_sent, sent_at_finish + 2);
+}
+
+TEST(ConnectionTest, PathMigrationResetsCongestionState) {
+  TransportWorld world;
+  Connection* server_conn = nullptr;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(),
+                            [&](Connection& conn) {
+    server_conn = &conn;
+    conn.set_on_stream([&](Stream& stream) {
+      stream.set_on_data([s = &stream](std::span<const std::uint8_t>, bool fin) {
+        if (fin) {
+          s->write(Bytes(150'000, 0x42));
+          s->finish();
+        }
+      });
+    });
+  });
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  bool done = false;
+  client.connection().set_on_established([&] {
+    Stream& stream = client.connection().open_stream();
+    stream.set_on_data([&](std::span<const std::uint8_t>, bool fin) {
+      if (fin) done = true;
+    });
+    stream.write(from_string("go"));
+    stream.finish();
+  });
+  client.connection().start();
+  world.sim.run_until_condition([&] { return done; }, TimePoint{seconds(30).nanos()});
+  ASSERT_TRUE(done);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_GT(server_conn->cwnd_bytes(), 12'000u);  // grew during the transfer
+  server_conn->on_path_migrated();
+  EXPECT_EQ(server_conn->cwnd_bytes(), 12'000u);  // reset to initial
+}
+
+TEST(ConnectionTest, StatsCountersAdvance) {
+  TransportWorld world;
+  UdpTransportServer server(*world.server_host, 4433, quic_config(), nullptr);
+  UdpTransportClient client(*world.client_host, world.server_endpoint(4433), quic_config());
+  client.connection().start();
+  world.sim.run_until(TimePoint{seconds(1).nanos()});
+  EXPECT_GT(client.connection().stats().packets_sent, 0u);
+  EXPECT_GT(client.connection().stats().packets_received, 0u);
+  EXPECT_GT(client.connection().stats().bytes_sent, 0u);
+}
+
+}  // namespace
+}  // namespace pan::transport
