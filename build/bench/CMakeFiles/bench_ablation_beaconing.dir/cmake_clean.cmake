@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_beaconing.dir/bench_ablation_beaconing.cpp.o"
+  "CMakeFiles/bench_ablation_beaconing.dir/bench_ablation_beaconing.cpp.o.d"
+  "bench_ablation_beaconing"
+  "bench_ablation_beaconing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_beaconing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

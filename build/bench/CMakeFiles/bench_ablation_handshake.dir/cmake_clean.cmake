@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_handshake.dir/bench_ablation_handshake.cpp.o"
+  "CMakeFiles/bench_ablation_handshake.dir/bench_ablation_handshake.cpp.o.d"
+  "bench_ablation_handshake"
+  "bench_ablation_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

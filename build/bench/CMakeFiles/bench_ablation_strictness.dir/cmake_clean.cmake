@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strictness.dir/bench_ablation_strictness.cpp.o"
+  "CMakeFiles/bench_ablation_strictness.dir/bench_ablation_strictness.cpp.o.d"
+  "bench_ablation_strictness"
+  "bench_ablation_strictness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strictness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

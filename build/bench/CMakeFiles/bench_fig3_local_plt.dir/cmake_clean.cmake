@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_local_plt.dir/bench_fig3_local_plt.cpp.o"
+  "CMakeFiles/bench_fig3_local_plt.dir/bench_fig3_local_plt.cpp.o.d"
+  "bench_fig3_local_plt"
+  "bench_fig3_local_plt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_local_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_local_as_plt.dir/bench_fig6_local_as_plt.cpp.o"
+  "CMakeFiles/bench_fig6_local_as_plt.dir/bench_fig6_local_as_plt.cpp.o.d"
+  "bench_fig6_local_as_plt"
+  "bench_fig6_local_as_plt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_local_as_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co2_routing.dir/co2_routing.cpp.o"
+  "CMakeFiles/co2_routing.dir/co2_routing.cpp.o.d"
+  "co2_routing"
+  "co2_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co2_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geofenced_browsing.dir/geofenced_browsing.cpp.o"
+  "CMakeFiles/geofenced_browsing.dir/geofenced_browsing.cpp.o.d"
+  "geofenced_browsing"
+  "geofenced_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geofenced_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_dashboard.dir/multipath_dashboard.cpp.o"
+  "CMakeFiles/multipath_dashboard.dir/multipath_dashboard.cpp.o.d"
+  "multipath_dashboard"
+  "multipath_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strict_mode_audit.dir/strict_mode_audit.cpp.o"
+  "CMakeFiles/strict_mode_audit.dir/strict_mode_audit.cpp.o.d"
+  "strict_mode_audit"
+  "strict_mode_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strict_mode_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for strict_mode_audit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_core.dir/browser.cpp.o"
+  "CMakeFiles/pan_core.dir/browser.cpp.o.d"
+  "CMakeFiles/pan_core.dir/extension.cpp.o"
+  "CMakeFiles/pan_core.dir/extension.cpp.o.d"
+  "CMakeFiles/pan_core.dir/layer_model.cpp.o"
+  "CMakeFiles/pan_core.dir/layer_model.cpp.o.d"
+  "CMakeFiles/pan_core.dir/page.cpp.o"
+  "CMakeFiles/pan_core.dir/page.cpp.o.d"
+  "CMakeFiles/pan_core.dir/scenarios.cpp.o"
+  "CMakeFiles/pan_core.dir/scenarios.cpp.o.d"
+  "libpan_core.a"
+  "libpan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

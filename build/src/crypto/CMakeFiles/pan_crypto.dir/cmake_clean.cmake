@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/pan_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/pan_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/pan_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/pan_crypto.dir/signature.cpp.o"
+  "CMakeFiles/pan_crypto.dir/signature.cpp.o.d"
+  "libpan_crypto.a"
+  "libpan_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_dns.dir/dns.cpp.o"
+  "CMakeFiles/pan_dns.dir/dns.cpp.o.d"
+  "libpan_dns.a"
+  "libpan_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

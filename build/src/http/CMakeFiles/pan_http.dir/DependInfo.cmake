@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/client.cpp" "src/http/CMakeFiles/pan_http.dir/client.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/client.cpp.o.d"
+  "/root/repo/src/http/endpoints.cpp" "src/http/CMakeFiles/pan_http.dir/endpoints.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/endpoints.cpp.o.d"
+  "/root/repo/src/http/file_server.cpp" "src/http/CMakeFiles/pan_http.dir/file_server.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/file_server.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/pan_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/multipath.cpp" "src/http/CMakeFiles/pan_http.dir/multipath.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/multipath.cpp.o.d"
+  "/root/repo/src/http/parser.cpp" "src/http/CMakeFiles/pan_http.dir/parser.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/parser.cpp.o.d"
+  "/root/repo/src/http/server.cpp" "src/http/CMakeFiles/pan_http.dir/server.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/server.cpp.o.d"
+  "/root/repo/src/http/strict_scion.cpp" "src/http/CMakeFiles/pan_http.dir/strict_scion.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/strict_scion.cpp.o.d"
+  "/root/repo/src/http/url.cpp" "src/http/CMakeFiles/pan_http.dir/url.cpp.o" "gcc" "src/http/CMakeFiles/pan_http.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/scion/CMakeFiles/pan_scion.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pan_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pan_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_http.dir/client.cpp.o"
+  "CMakeFiles/pan_http.dir/client.cpp.o.d"
+  "CMakeFiles/pan_http.dir/endpoints.cpp.o"
+  "CMakeFiles/pan_http.dir/endpoints.cpp.o.d"
+  "CMakeFiles/pan_http.dir/file_server.cpp.o"
+  "CMakeFiles/pan_http.dir/file_server.cpp.o.d"
+  "CMakeFiles/pan_http.dir/message.cpp.o"
+  "CMakeFiles/pan_http.dir/message.cpp.o.d"
+  "CMakeFiles/pan_http.dir/multipath.cpp.o"
+  "CMakeFiles/pan_http.dir/multipath.cpp.o.d"
+  "CMakeFiles/pan_http.dir/parser.cpp.o"
+  "CMakeFiles/pan_http.dir/parser.cpp.o.d"
+  "CMakeFiles/pan_http.dir/server.cpp.o"
+  "CMakeFiles/pan_http.dir/server.cpp.o.d"
+  "CMakeFiles/pan_http.dir/strict_scion.cpp.o"
+  "CMakeFiles/pan_http.dir/strict_scion.cpp.o.d"
+  "CMakeFiles/pan_http.dir/url.cpp.o"
+  "CMakeFiles/pan_http.dir/url.cpp.o.d"
+  "libpan_http.a"
+  "libpan_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

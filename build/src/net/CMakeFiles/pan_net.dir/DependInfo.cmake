@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/pan_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/pan_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/pan_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/pan_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/pan_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/pan_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/pan_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/pan_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/pan_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/pan_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/pan_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/pan_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/pan_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/pan_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_net.dir/addr.cpp.o"
+  "CMakeFiles/pan_net.dir/addr.cpp.o.d"
+  "CMakeFiles/pan_net.dir/graph.cpp.o"
+  "CMakeFiles/pan_net.dir/graph.cpp.o.d"
+  "CMakeFiles/pan_net.dir/host.cpp.o"
+  "CMakeFiles/pan_net.dir/host.cpp.o.d"
+  "CMakeFiles/pan_net.dir/network.cpp.o"
+  "CMakeFiles/pan_net.dir/network.cpp.o.d"
+  "CMakeFiles/pan_net.dir/packet.cpp.o"
+  "CMakeFiles/pan_net.dir/packet.cpp.o.d"
+  "CMakeFiles/pan_net.dir/router.cpp.o"
+  "CMakeFiles/pan_net.dir/router.cpp.o.d"
+  "CMakeFiles/pan_net.dir/trace.cpp.o"
+  "CMakeFiles/pan_net.dir/trace.cpp.o.d"
+  "libpan_net.a"
+  "libpan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

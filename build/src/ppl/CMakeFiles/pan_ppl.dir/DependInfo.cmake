@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppl/ast.cpp" "src/ppl/CMakeFiles/pan_ppl.dir/ast.cpp.o" "gcc" "src/ppl/CMakeFiles/pan_ppl.dir/ast.cpp.o.d"
+  "/root/repo/src/ppl/geofence.cpp" "src/ppl/CMakeFiles/pan_ppl.dir/geofence.cpp.o" "gcc" "src/ppl/CMakeFiles/pan_ppl.dir/geofence.cpp.o.d"
+  "/root/repo/src/ppl/lexer.cpp" "src/ppl/CMakeFiles/pan_ppl.dir/lexer.cpp.o" "gcc" "src/ppl/CMakeFiles/pan_ppl.dir/lexer.cpp.o.d"
+  "/root/repo/src/ppl/parser.cpp" "src/ppl/CMakeFiles/pan_ppl.dir/parser.cpp.o" "gcc" "src/ppl/CMakeFiles/pan_ppl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/scion/CMakeFiles/pan_scion.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_ppl.dir/ast.cpp.o"
+  "CMakeFiles/pan_ppl.dir/ast.cpp.o.d"
+  "CMakeFiles/pan_ppl.dir/geofence.cpp.o"
+  "CMakeFiles/pan_ppl.dir/geofence.cpp.o.d"
+  "CMakeFiles/pan_ppl.dir/lexer.cpp.o"
+  "CMakeFiles/pan_ppl.dir/lexer.cpp.o.d"
+  "CMakeFiles/pan_ppl.dir/parser.cpp.o"
+  "CMakeFiles/pan_ppl.dir/parser.cpp.o.d"
+  "libpan_ppl.a"
+  "libpan_ppl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_ppl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_proxy.dir/detector.cpp.o"
+  "CMakeFiles/pan_proxy.dir/detector.cpp.o.d"
+  "CMakeFiles/pan_proxy.dir/negotiation.cpp.o"
+  "CMakeFiles/pan_proxy.dir/negotiation.cpp.o.d"
+  "CMakeFiles/pan_proxy.dir/path_selector.cpp.o"
+  "CMakeFiles/pan_proxy.dir/path_selector.cpp.o.d"
+  "CMakeFiles/pan_proxy.dir/policy_router.cpp.o"
+  "CMakeFiles/pan_proxy.dir/policy_router.cpp.o.d"
+  "CMakeFiles/pan_proxy.dir/reverse_proxy.cpp.o"
+  "CMakeFiles/pan_proxy.dir/reverse_proxy.cpp.o.d"
+  "CMakeFiles/pan_proxy.dir/skip_proxy.cpp.o"
+  "CMakeFiles/pan_proxy.dir/skip_proxy.cpp.o.d"
+  "libpan_proxy.a"
+  "libpan_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

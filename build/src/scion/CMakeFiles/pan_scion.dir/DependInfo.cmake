@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scion/addr.cpp" "src/scion/CMakeFiles/pan_scion.dir/addr.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/addr.cpp.o.d"
+  "/root/repo/src/scion/beaconing.cpp" "src/scion/CMakeFiles/pan_scion.dir/beaconing.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/beaconing.cpp.o.d"
+  "/root/repo/src/scion/border_router.cpp" "src/scion/CMakeFiles/pan_scion.dir/border_router.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/border_router.cpp.o.d"
+  "/root/repo/src/scion/colibri.cpp" "src/scion/CMakeFiles/pan_scion.dir/colibri.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/colibri.cpp.o.d"
+  "/root/repo/src/scion/daemon.cpp" "src/scion/CMakeFiles/pan_scion.dir/daemon.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/daemon.cpp.o.d"
+  "/root/repo/src/scion/header.cpp" "src/scion/CMakeFiles/pan_scion.dir/header.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/header.cpp.o.d"
+  "/root/repo/src/scion/hopfield.cpp" "src/scion/CMakeFiles/pan_scion.dir/hopfield.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/hopfield.cpp.o.d"
+  "/root/repo/src/scion/path.cpp" "src/scion/CMakeFiles/pan_scion.dir/path.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/path.cpp.o.d"
+  "/root/repo/src/scion/path_server.cpp" "src/scion/CMakeFiles/pan_scion.dir/path_server.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/path_server.cpp.o.d"
+  "/root/repo/src/scion/pki.cpp" "src/scion/CMakeFiles/pan_scion.dir/pki.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/pki.cpp.o.d"
+  "/root/repo/src/scion/scmp.cpp" "src/scion/CMakeFiles/pan_scion.dir/scmp.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/scmp.cpp.o.d"
+  "/root/repo/src/scion/segment.cpp" "src/scion/CMakeFiles/pan_scion.dir/segment.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/segment.cpp.o.d"
+  "/root/repo/src/scion/stack.cpp" "src/scion/CMakeFiles/pan_scion.dir/stack.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/stack.cpp.o.d"
+  "/root/repo/src/scion/topo_gen.cpp" "src/scion/CMakeFiles/pan_scion.dir/topo_gen.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/topo_gen.cpp.o.d"
+  "/root/repo/src/scion/topology.cpp" "src/scion/CMakeFiles/pan_scion.dir/topology.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/topology.cpp.o.d"
+  "/root/repo/src/scion/types.cpp" "src/scion/CMakeFiles/pan_scion.dir/types.cpp.o" "gcc" "src/scion/CMakeFiles/pan_scion.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pan_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

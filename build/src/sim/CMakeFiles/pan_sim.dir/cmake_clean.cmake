@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pan_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pan_sim.dir/timer.cpp.o"
+  "CMakeFiles/pan_sim.dir/timer.cpp.o.d"
+  "libpan_sim.a"
+  "libpan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

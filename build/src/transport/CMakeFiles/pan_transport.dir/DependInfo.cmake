@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/connection.cpp" "src/transport/CMakeFiles/pan_transport.dir/connection.cpp.o" "gcc" "src/transport/CMakeFiles/pan_transport.dir/connection.cpp.o.d"
+  "/root/repo/src/transport/frames.cpp" "src/transport/CMakeFiles/pan_transport.dir/frames.cpp.o" "gcc" "src/transport/CMakeFiles/pan_transport.dir/frames.cpp.o.d"
+  "/root/repo/src/transport/scion_host.cpp" "src/transport/CMakeFiles/pan_transport.dir/scion_host.cpp.o" "gcc" "src/transport/CMakeFiles/pan_transport.dir/scion_host.cpp.o.d"
+  "/root/repo/src/transport/udp_host.cpp" "src/transport/CMakeFiles/pan_transport.dir/udp_host.cpp.o" "gcc" "src/transport/CMakeFiles/pan_transport.dir/udp_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/scion/CMakeFiles/pan_scion.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pan_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_transport.dir/connection.cpp.o"
+  "CMakeFiles/pan_transport.dir/connection.cpp.o.d"
+  "CMakeFiles/pan_transport.dir/frames.cpp.o"
+  "CMakeFiles/pan_transport.dir/frames.cpp.o.d"
+  "CMakeFiles/pan_transport.dir/scion_host.cpp.o"
+  "CMakeFiles/pan_transport.dir/scion_host.cpp.o.d"
+  "CMakeFiles/pan_transport.dir/udp_host.cpp.o"
+  "CMakeFiles/pan_transport.dir/udp_host.cpp.o.d"
+  "libpan_transport.a"
+  "libpan_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

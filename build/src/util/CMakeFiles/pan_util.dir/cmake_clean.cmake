@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_util.dir/bytes.cpp.o"
+  "CMakeFiles/pan_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/pan_util.dir/log.cpp.o"
+  "CMakeFiles/pan_util.dir/log.cpp.o.d"
+  "CMakeFiles/pan_util.dir/rng.cpp.o"
+  "CMakeFiles/pan_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pan_util.dir/stats.cpp.o"
+  "CMakeFiles/pan_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pan_util.dir/strings.cpp.o"
+  "CMakeFiles/pan_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pan_util.dir/types.cpp.o"
+  "CMakeFiles/pan_util.dir/types.cpp.o.d"
+  "libpan_util.a"
+  "libpan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colibri_test.dir/colibri_test.cpp.o"
+  "CMakeFiles/colibri_test.dir/colibri_test.cpp.o.d"
+  "colibri_test"
+  "colibri_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colibri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

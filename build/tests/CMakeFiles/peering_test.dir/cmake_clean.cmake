@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_test.dir/peering_test.cpp.o"
+  "CMakeFiles/peering_test.dir/peering_test.cpp.o.d"
+  "peering_test"
+  "peering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppl_test.dir/ppl_test.cpp.o"
+  "CMakeFiles/ppl_test.dir/ppl_test.cpp.o.d"
+  "ppl_test"
+  "ppl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

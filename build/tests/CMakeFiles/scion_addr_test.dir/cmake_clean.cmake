@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scion_addr_test.dir/scion_addr_test.cpp.o"
+  "CMakeFiles/scion_addr_test.dir/scion_addr_test.cpp.o.d"
+  "scion_addr_test"
+  "scion_addr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scion_addr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

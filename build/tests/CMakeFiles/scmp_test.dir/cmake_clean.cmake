@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_test.dir/scmp_test.cpp.o"
+  "CMakeFiles/scmp_test.dir/scmp_test.cpp.o.d"
+  "scmp_test"
+  "scmp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
