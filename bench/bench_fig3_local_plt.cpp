@@ -72,17 +72,23 @@ int main() {
     tcpip_fs.add_text("/", browser::render_document(urls));
   }
 
+  // One registry shared across all proxied trials: per-request phase spans
+  // accumulate into proxy.phase.* histograms for the breakdown table below.
+  obs::MetricsRegistry registry;
+  proxy::ProxyConfig proxy_config;
+  proxy_config.metrics = &registry;
+
   std::vector<bench::Series> series;
   series.push_back({"SCION-only", bench::run_trials(kTrials, [&] {
-                      browser::ClientSession session(*world);
+                      browser::ClientSession session(*world, proxy_config);
                       return session.load("http://scion-fs.local/scion-only").plt.millis();
                     })});
   series.push_back({"mixed SCION-IP", bench::run_trials(kTrials, [&] {
-                      browser::ClientSession session(*world);
+                      browser::ClientSession session(*world, proxy_config);
                       return session.load("http://scion-fs.local/mixed").plt.millis();
                     })});
   series.push_back({"strict-SCION", bench::run_trials(kTrials, [&] {
-                      browser::ClientSession session(*world);
+                      browser::ClientSession session(*world, proxy_config);
                       session.extension().set_mode(browser::OperationMode::kStrict);
                       return session.load("http://scion-fs.local/mixed").plt.millis();
                     })});
@@ -96,6 +102,11 @@ int main() {
           " trials, " + std::to_string(kResources) + " x " +
           std::to_string(kResourceBytes / 1000) + " kB resources)",
       series);
+
+  bench::print_phase_table(
+      "Per-request phase latency across all proxied trials (from the proxy's\n"
+      "metrics registry; the ipc rows are the paper's ~100 ms overhead source)",
+      registry);
 
   std::printf("\nPaper's qualitative result: SCION-only and mixed pay a proxying overhead over\n"
               "BGP/IP-only; strict-SCION is fastest because blocked resources are never fetched.\n");

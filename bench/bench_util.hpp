@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace pan::bench {
@@ -40,6 +41,32 @@ inline void print_box_table(const std::string& title, const std::vector<Series>&
   for (std::size_t i = 0; i < series.size(); ++i) {
     std::printf("  %-26s |%s|\n", series[i].label.c_str(),
                 ascii_box_row(stats[i], axis_min, axis_max, 60).c_str());
+  }
+}
+
+/// Prints a per-phase latency percentile table from the request-trace
+/// histograms a shared metrics registry accumulated across trials (the
+/// proxy flushes each request's spans as `proxy.phase.<name>`).
+inline void print_phase_table(const std::string& title, const obs::MetricsRegistry& registry,
+                              const std::vector<std::string>& phases = {
+                                  "ipc", "detect", "select", "handshake", "fetch",
+                                  "fallback"}) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-12s %8s %9s %9s %9s %9s\n", "phase", "n", "p50", "p95", "p99", "mean");
+  for (const std::string& phase : phases) {
+    const obs::Histogram* hist = registry.find_histogram("proxy.phase." + phase);
+    if (hist == nullptr || hist->count() == 0) continue;
+    const obs::HistogramSnapshot snap = hist->snapshot();
+    std::printf("%-12s %8llu %8.3f %8.3f %8.3f %8.3f  (ms)\n", phase.c_str(),
+                static_cast<unsigned long long>(snap.count), snap.p50.millis(),
+                snap.p95.millis(), snap.p99.millis(), snap.mean().millis());
+  }
+  if (const obs::Histogram* total = registry.find_histogram("proxy.request_total");
+      total != nullptr && total->count() > 0) {
+    const obs::HistogramSnapshot snap = total->snapshot();
+    std::printf("%-12s %8llu %8.3f %8.3f %8.3f %8.3f  (ms)\n", "total",
+                static_cast<unsigned long long>(snap.count), snap.p50.millis(),
+                snap.p95.millis(), snap.p99.millis(), snap.mean().millis());
   }
 }
 

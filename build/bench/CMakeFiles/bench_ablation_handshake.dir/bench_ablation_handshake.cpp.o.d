@@ -136,7 +136,11 @@ bench/CMakeFiles/bench_ablation_handshake.dir/bench_ablation_handshake.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/types.hpp \
+ /usr/include/c++/12/limits /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/core/scenarios.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -227,8 +231,7 @@ bench/CMakeFiles/bench_ablation_handshake.dir/bench_ablation_handshake.cpp.o: \
  /root/repo/src/transport/scion_host.hpp /root/repo/src/scion/stack.hpp \
  /root/repo/src/net/host.hpp /root/repo/src/net/network.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/net/addr.hpp /root/repo/src/util/types.hpp \
- /usr/include/c++/12/limits /root/repo/src/net/trace.hpp \
+ /root/repo/src/net/addr.hpp /root/repo/src/net/trace.hpp \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/rng.hpp \
  /root/repo/src/scion/colibri.hpp /root/repo/src/scion/path.hpp \
@@ -237,17 +240,15 @@ bench/CMakeFiles/bench_ablation_handshake.dir/bench_ablation_handshake.cpp.o: \
  /root/repo/src/crypto/hmac.hpp /root/repo/src/scion/types.hpp \
  /root/repo/src/scion/addr.hpp /root/repo/src/scion/pki.hpp \
  /root/repo/src/scion/header.hpp /root/repo/src/scion/scmp.hpp \
- /root/repo/src/transport/connection.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/timer.hpp \
+ /root/repo/src/transport/connection.hpp /root/repo/src/sim/timer.hpp \
  /root/repo/src/transport/frames.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/transport/udp_host.hpp \
  /root/repo/src/http/file_server.hpp /root/repo/src/http/strict_scion.hpp \
- /root/repo/src/http/url.hpp /root/repo/src/proxy/detector.hpp \
- /root/repo/src/dns/dns.hpp /root/repo/src/proxy/path_selector.hpp \
- /root/repo/src/ppl/geofence.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/http/url.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/proxy/detector.hpp /root/repo/src/dns/dns.hpp \
+ /root/repo/src/proxy/path_selector.hpp /root/repo/src/ppl/geofence.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/ppl/ast.hpp \
  /root/repo/src/scion/daemon.hpp /root/repo/src/scion/path_server.hpp \
  /root/repo/src/proxy/policy_router.hpp /root/repo/src/core/page.hpp \

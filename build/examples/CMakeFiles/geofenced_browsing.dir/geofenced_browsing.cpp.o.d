@@ -243,7 +243,8 @@ examples/CMakeFiles/geofenced_browsing.dir/geofenced_browsing.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/transport/udp_host.hpp \
  /root/repo/src/http/file_server.hpp /root/repo/src/http/strict_scion.hpp \
- /root/repo/src/http/url.hpp /root/repo/src/proxy/detector.hpp \
+ /root/repo/src/http/url.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/proxy/detector.hpp \
  /root/repo/src/dns/dns.hpp /root/repo/src/proxy/path_selector.hpp \
  /root/repo/src/ppl/geofence.hpp /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("util")
 subdirs("sim")
+subdirs("obs")
 subdirs("crypto")
 subdirs("net")
 subdirs("scion")

@@ -27,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ppl/CMakeFiles/pan_ppl.dir/DependInfo.cmake"
   "/root/repo/build/src/proxy/CMakeFiles/pan_proxy.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/pan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/pan_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pan_obs.dir/metrics.cpp.o"
+  "CMakeFiles/pan_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/pan_obs.dir/trace.cpp.o"
+  "CMakeFiles/pan_obs.dir/trace.cpp.o.d"
+  "libpan_obs.a"
+  "libpan_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pan_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpan_obs.a"
+)

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/pan_util.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/pan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/pan_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/pan_net.dir/DependInfo.cmake"
   "/root/repo/build/src/scion/CMakeFiles/pan_scion.dir/DependInfo.cmake"
   "/root/repo/build/src/transport/CMakeFiles/pan_transport.dir/DependInfo.cmake"

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/pan_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/pan_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pan_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/pan_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppl/CMakeFiles/pan_ppl.dir/DependInfo.cmake"
+  "/root/repo/build/src/scion/CMakeFiles/pan_scion.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pan_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/pan_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

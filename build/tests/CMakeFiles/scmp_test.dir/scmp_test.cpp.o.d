@@ -319,7 +319,8 @@ tests/CMakeFiles/scmp_test.dir/scmp_test.cpp.o: \
  /root/repo/src/sim/timer.hpp /root/repo/src/transport/frames.hpp \
  /root/repo/src/transport/udp_host.hpp \
  /root/repo/src/http/file_server.hpp /root/repo/src/http/strict_scion.hpp \
- /root/repo/src/http/url.hpp /root/repo/src/proxy/detector.hpp \
+ /root/repo/src/http/url.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/proxy/detector.hpp \
  /root/repo/src/dns/dns.hpp /root/repo/src/proxy/path_selector.hpp \
  /root/repo/src/ppl/geofence.hpp /root/repo/src/ppl/ast.hpp \
  /root/repo/src/scion/daemon.hpp /root/repo/src/scion/path_server.hpp \

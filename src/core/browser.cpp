@@ -101,12 +101,9 @@ void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::si
   request.headers.set("User-Agent", "pan-browser/1.0");
   add_conditional_headers(url.to_string(), request);
 
-  proxy::ProxyRequestOptions options;
-  options.strict = page->page_strict || extension_->strict_for(url.host);
-
   const TimePoint begun = sim_.now();
-  extension_->proxy().fetch(
-      std::move(request), options,
+  extension_->fetch(
+      std::move(request), url.host, page->page_strict, extension_->make_trace(),
       [this, page, index, url, begun](proxy::ProxyResult result) {
         if (page->settled) return;
         extension_->observe_response(url.host, result.response);
@@ -124,6 +121,7 @@ void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::si
         outcome.transport = result.transport;
         outcome.policy_compliant = result.policy_compliant;
         outcome.path_fingerprint = result.path_fingerprint;
+        outcome.spans = std::move(result.spans);
         outcome.bytes = effective_body->size();
         outcome.blocked = result.transport == proxy::TransportUsed::kBlocked;
         outcome.ok = (result.response.ok() || from_cache) &&

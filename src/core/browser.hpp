@@ -49,6 +49,8 @@ struct ResourceOutcome {
   std::string path_fingerprint;
   std::size_t bytes = 0;
   Duration elapsed = Duration::zero();
+  /// Per-phase span breakdown from the proxy (empty in direct mode).
+  std::vector<obs::SpanRecord> spans;
 };
 
 struct PageLoadResult {

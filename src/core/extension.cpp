@@ -36,6 +36,15 @@ void BrowserExtension::set_policies(ppl::PolicySet policies) {
   proxy_.set_policies(std::move(policies));
 }
 
+void BrowserExtension::fetch(http::HttpRequest request, const std::string& host,
+                             bool page_strict, obs::TracePtr trace,
+                             proxy::SkipProxy::FetchFn on_result) {
+  proxy::ProxyRequestOptions options;
+  options.strict = page_strict || strict_for(host);
+  options.trace = std::move(trace);
+  proxy_.fetch(std::move(request), options, std::move(on_result));
+}
+
 bool BrowserExtension::strict_for(const std::string& host) const {
   if (mode_ == OperationMode::kStrict) return true;
   if (const auto site = site_strict_.find(host); site != site_strict_.end()) {

@@ -40,6 +40,16 @@ class BrowserExtension {
 
   [[nodiscard]] proxy::SkipProxy& proxy() { return proxy_; }
 
+  /// Forwards a browser request to the proxy, deciding strict mode from the
+  /// global toggle, per-site settings, and learned pins (`page_strict` ORs in
+  /// the page-level strict decision made at navigation time). The trace is
+  /// the request-scoped span context started by the browser; pass null to
+  /// have the proxy open one.
+  void fetch(http::HttpRequest request, const std::string& host, bool page_strict,
+             obs::TracePtr trace, proxy::SkipProxy::FetchFn on_result);
+  /// Opens a request trace in the proxy's id space.
+  [[nodiscard]] obs::TracePtr make_trace() { return proxy_.make_trace(); }
+
   // --- user-facing settings (the extension UI) ---
   void set_mode(OperationMode mode) { mode_ = mode; }
   [[nodiscard]] OperationMode mode() const { return mode_; }

@@ -1,5 +1,7 @@
 #include "http/strict_scion.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 
 namespace pan::http {
@@ -16,7 +18,12 @@ std::optional<StrictScionDirective> parse_strict_scion(std::string_view value) {
     if (!strings::iequals(key, "max-age")) continue;
     const auto secs = strings::parse_u64(strings::trim(part.substr(eq + 1)));
     if (!secs.ok()) return std::nullopt;
-    return StrictScionDirective{seconds(static_cast<std::int64_t>(secs.value()))};
+    // Clamp before the signed conversion: a value above INT64_MAX (or merely
+    // large enough to overflow when scaled to nanoseconds) must not wrap into
+    // a negative duration that expires the directive in the past.
+    const std::uint64_t clamped =
+        std::min(secs.value(), static_cast<std::uint64_t>(kStrictScionMaxAgeSeconds));
+    return StrictScionDirective{seconds(static_cast<std::int64_t>(clamped))};
   }
   return std::nullopt;
 }

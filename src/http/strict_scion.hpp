@@ -18,6 +18,12 @@ namespace pan::http {
 
 inline constexpr std::string_view kStrictScionHeader = "Strict-SCION";
 
+/// Upper bound applied to parsed max-age values (two years, as is customary
+/// for HSTS deployments). Without the clamp a huge advertised max-age would
+/// overflow the nanosecond Duration and wrap negative, expiring the pin in
+/// the past and silently disabling Strict-SCION for the origin.
+inline constexpr std::int64_t kStrictScionMaxAgeSeconds = 2LL * 365 * 24 * 3600;
+
 struct StrictScionDirective {
   /// Lifetime of the strict-mode pin.
   Duration max_age = seconds(3600);

@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace pan::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strings::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_ms(std::string& out, Duration d) { out += strings::format("%.6f", d.millis()); }
+
+}  // namespace
+
+Histogram::Histogram(std::vector<Duration> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<Duration> Histogram::default_latency_buckets() {
+  std::vector<Duration> bounds;
+  // 1-2-5 decades from 10 us up to 60 s.
+  for (const std::int64_t decade :
+       {10'000LL, 100'000LL, 1'000'000LL, 10'000'000LL, 100'000'000LL, 1'000'000'000LL,
+        10'000'000'000LL}) {
+    bounds.push_back(Duration{decade});
+    bounds.push_back(Duration{decade * 2});
+    bounds.push_back(Duration{decade * 5});
+  }
+  bounds.push_back(Duration{60'000'000'000LL});
+  return bounds;
+}
+
+void Histogram::record(Duration value) {
+  if (value < Duration::zero()) value = Duration::zero();
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+Duration Histogram::percentile(double pct) const {
+  if (count_ == 0) return Duration::zero();
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double target = pct / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate within [lower, upper] of bucket i; the overflow bucket has
+    // no upper bound, so report the observed max for it.
+    if (i == bounds_.size()) return max_;
+    const Duration lower = i == 0 ? Duration::zero() : bounds_[i - 1];
+    const Duration upper = bounds_[i];
+    const double frac =
+        (target - static_cast<double>(before)) / static_cast<double>(counts_[i]);
+    Duration estimate = lower + (upper - lower).scaled(std::clamp(frac, 0.0, 1.0));
+    // The true extremes are known exactly; keep estimates inside them.
+    estimate = std::clamp(estimate, min_, max_);
+    return estimate;
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.p50 = percentile(50);
+  snap.p95 = percentile(95);
+  snap.p99 = percentile(99);
+  return snap;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* counter = find_counter(name);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(counter.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += strings::format("%.6f", gauge.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    const HistogramSnapshot snap = histogram.snapshot();
+    out += ":{\"count\":" + std::to_string(snap.count);
+    out += ",\"sum_ms\":";
+    append_ms(out, snap.sum);
+    out += ",\"min_ms\":";
+    append_ms(out, snap.min);
+    out += ",\"max_ms\":";
+    append_ms(out, snap.max);
+    out += ",\"p50_ms\":";
+    append_ms(out, snap.p50);
+    out += ",\"p95_ms\":";
+    append_ms(out, snap.p95);
+    out += ",\"p99_ms\":";
+    append_ms(out, snap.p99);
+    out += ",\"buckets\":[";
+    const auto& bounds = histogram.bounds();
+    const auto& counts = histogram.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "{\"le_ms\":";
+      if (i == bounds.size()) {
+        out += "\"+Inf\"";
+      } else {
+        append_ms(out, bounds[i]);
+      }
+      out += ",\"count\":" + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace pan::obs

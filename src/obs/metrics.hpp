@@ -1,0 +1,128 @@
+// Observability: the metrics registry.
+//
+// A MetricsRegistry is the measurement substrate for the reproduction's
+// performance work: every subsystem that wants attribution registers named
+// instruments here — monotonic counters, gauges, and fixed-bucket latency
+// histograms with percentile snapshots. The registry is deliberately simple
+// and deterministic (instruments live in ordered maps, so a JSON dump of the
+// same run is byte-identical), single-threaded like the simulator itself,
+// and allocation-light on the hot path (instrument lookup returns a stable
+// reference that callers cache).
+//
+// The SKIP proxy owns a registry (or shares one injected through
+// ProxyConfig::metrics, which is how the figure benches aggregate across
+// per-trial proxies) and serves a dump at the /skip/metrics endpoint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pan::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A value that can go up and down (pool sizes, active revocations, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Point-in-time view of a histogram, with the percentiles the paper's
+/// latency analysis needs. Percentiles are estimated by linear interpolation
+/// inside the containing bucket and clamped to the observed min/max.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  Duration sum = Duration::zero();
+  Duration min = Duration::zero();
+  Duration max = Duration::zero();
+  Duration p50 = Duration::zero();
+  Duration p95 = Duration::zero();
+  Duration p99 = Duration::zero();
+
+  [[nodiscard]] Duration mean() const {
+    return count == 0 ? Duration::zero() : sum / static_cast<std::int64_t>(count);
+  }
+};
+
+/// Fixed-bucket latency histogram. Bucket bounds are upper-inclusive and
+/// ascending; an implicit overflow bucket catches everything above the last
+/// bound. Recording is O(log buckets); snapshots are O(buckets).
+class Histogram {
+ public:
+  Histogram() : Histogram(default_latency_buckets()) {}
+  explicit Histogram(std::vector<Duration> bounds);
+
+  void record(Duration value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  /// Percentile in [0, 100], estimated from the buckets.
+  [[nodiscard]] Duration percentile(double pct) const;
+
+  [[nodiscard]] const std::vector<Duration>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// 10 us .. 60 s in a 1-2-5 progression: spans IPC crossings through
+  /// request timeouts.
+  [[nodiscard]] static std::vector<Duration> default_latency_buckets();
+
+ private:
+  std::vector<Duration> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  Duration sum_ = Duration::zero();
+  Duration min_ = Duration::zero();
+  Duration max_ = Duration::zero();
+};
+
+/// Named instruments. References returned by counter()/gauge()/histogram()
+/// remain valid for the registry's lifetime (node-stable maps).
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) { return counters_[name]; }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  [[nodiscard]] Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Counter value, or 0 when the counter was never touched.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Durations are reported in milliseconds; the overflow bucket's bound is
+  /// the string "+Inf". Deterministic (name-ordered) output.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace pan::obs

@@ -1,0 +1,64 @@
+#include "obs/trace.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::obs {
+
+void RequestTrace::begin(std::string_view phase) {
+  open_.push_back(OpenSpan{std::string(phase), sim_.now()});
+}
+
+void RequestTrace::end(std::string_view phase) {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->name != phase) continue;
+    finished_.push_back(SpanRecord{std::move(it->name), it->start, sim_.now() - it->start});
+    open_.erase(std::next(it).base());
+    return;
+  }
+}
+
+void RequestTrace::end_all() {
+  const TimePoint now = sim_.now();
+  // Close inner (most recent) spans first so records keep start order.
+  while (!open_.empty()) {
+    OpenSpan& span = open_.back();
+    finished_.push_back(SpanRecord{std::move(span.name), span.start, now - span.start});
+    open_.pop_back();
+  }
+}
+
+void RequestTrace::add(std::string_view phase, TimePoint start, Duration duration) {
+  finished_.push_back(SpanRecord{std::string(phase), start, duration});
+}
+
+Duration RequestTrace::total(std::string_view phase) const {
+  Duration sum = Duration::zero();
+  for (const SpanRecord& span : finished_) {
+    if (span.name == phase) sum += span.duration;
+  }
+  return sum;
+}
+
+bool RequestTrace::open(std::string_view phase) const {
+  for (const OpenSpan& span : open_) {
+    if (span.name == phase) return true;
+  }
+  return false;
+}
+
+void RequestTrace::flush_to(MetricsRegistry& registry, std::string_view prefix) const {
+  for (const SpanRecord& span : finished_) {
+    registry.histogram(std::string(prefix) + span.name).record(span.duration);
+  }
+}
+
+std::string RequestTrace::to_string() const {
+  std::string out;
+  for (const SpanRecord& span : finished_) {
+    if (!out.empty()) out += ' ';
+    out += span.name + "=" + strings::format("%.2fms", span.duration.millis());
+  }
+  return out;
+}
+
+}  // namespace pan::obs

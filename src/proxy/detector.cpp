@@ -21,6 +21,12 @@ void ScionDetector::add_curated(const std::string& domain, const scion::ScionAdd
 
 void ScionDetector::learn(const std::string& domain, const scion::ScionAddr& addr,
                           Duration max_age) {
+  // HSTS semantics: max-age=0 (or a bogus negative value) is an explicit
+  // withdrawal of the advertisement, not a dead map entry that lingers.
+  if (max_age <= Duration::zero()) {
+    learned_.erase(domain);
+    return;
+  }
   learned_[domain] = LearnedEntry{addr, sim_.now() + max_age};
 }
 

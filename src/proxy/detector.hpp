@@ -35,7 +35,8 @@ class ScionDetector {
   void add_curated(const std::string& domain, const scion::ScionAddr& addr);
 
   /// Records availability learned from a Strict-SCION header (address from
-  /// the connection we fetched over).
+  /// the connection we fetched over). A max_age <= 0 removes any learned
+  /// entry for the domain (HSTS-style explicit withdrawal).
   void learn(const std::string& domain, const scion::ScionAddr& addr, Duration max_age);
 
   /// Full resolution: legacy + SCION addressing for `domain`.

@@ -1,8 +1,24 @@
 #include "proxy/path_selector.hpp"
 
+#include <algorithm>
+
 namespace pan::proxy {
 
-PathSelector::PathSelector(scion::Daemon& daemon) : daemon_(daemon) {}
+namespace {
+// Instrument names. Per-path counters are labeled with the fingerprint so
+// the /skip/metrics dump carries the per-path breakdown.
+std::string path_counter_name(std::string_view fingerprint, std::string_view what) {
+  return "selector.path." + std::string(what) + "{path=" + std::string(fingerprint) + "}";
+}
+}  // namespace
+
+PathSelector::PathSelector(scion::Daemon& daemon, obs::MetricsRegistry* metrics)
+    : daemon_(daemon), metrics_(metrics) {
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+}
 
 void PathSelector::set_geofence(std::optional<ppl::Geofence> geofence) {
   geofence_ = std::move(geofence);
@@ -13,8 +29,17 @@ bool PathSelector::permits(const scion::Path& path) const {
   return policies_.permits(path);
 }
 
+void PathSelector::prune_expired_revocations(TimePoint now) {
+  std::erase_if(revocations_, [now](const Revocation& rev) { return rev.expires <= now; });
+  metrics_->gauge("selector.revocations_active")
+      .set(static_cast<double>(revocations_.size()));
+}
+
 void PathSelector::revoke(scion::IsdAsn ia, scion::IfaceId iface, Duration ttl) {
-  const TimePoint expires = daemon_.simulator().now() + ttl;
+  const TimePoint now = daemon_.simulator().now();
+  prune_expired_revocations(now);
+  metrics_->counter("selector.revocations").inc();
+  const TimePoint expires = now + ttl;
   // Refresh an existing revocation of the same interface if present.
   for (Revocation& rev : revocations_) {
     if (rev.ia == ia && rev.iface == iface) {
@@ -23,12 +48,14 @@ void PathSelector::revoke(scion::IsdAsn ia, scion::IfaceId iface, Duration ttl) 
     }
   }
   revocations_.push_back(Revocation{ia, iface, expires});
+  metrics_->gauge("selector.revocations_active")
+      .set(static_cast<double>(revocations_.size()));
 }
 
-bool PathSelector::is_revoked(const scion::Path& path) const {
+bool PathSelector::is_revoked(const scion::Path& path) {
   const TimePoint now = daemon_.simulator().now();
+  prune_expired_revocations(now);
   for (const Revocation& rev : revocations_) {
-    if (rev.expires <= now) continue;
     if (path.uses_interface(rev.ia, rev.iface)) return true;
   }
   return false;
@@ -50,6 +77,7 @@ void PathSelector::choose(scion::IsdAsn dst, std::function<void(PathChoice)> cal
 void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_preference,
                           std::function<void(PathChoice)> callback,
                           std::optional<ppl::PolicySet> override_policies) {
+  metrics_->counter("selector.choices").inc();
   daemon_.query(dst, [this, pref = std::move(server_preference),
                       override = std::move(override_policies),
                       cb = std::move(callback)](std::vector<scion::Path> paths) {
@@ -76,28 +104,58 @@ void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_p
       ppl::order_paths(filtered, ordering);
       if (!filtered.empty()) choice.compliant = filtered.front();
     }
+    if (!choice.reachable()) metrics_->counter("selector.no_path").inc();
+    if (!choice.compliant.has_value()) metrics_->counter("selector.no_compliant_path").inc();
     cb(std::move(choice));
   });
 }
 
+PathSelector::PathInstruments& PathSelector::instruments_for(const scion::Path& path) {
+  const std::string fingerprint = path.fingerprint();
+  PathInstruments& inst = paths_[fingerprint];
+  if (inst.requests == nullptr) {
+    inst.description = path.to_string();
+    inst.requests = &metrics_->counter(path_counter_name(fingerprint, "requests"));
+    inst.bytes = &metrics_->counter(path_counter_name(fingerprint, "bytes"));
+  }
+  return inst;
+}
+
 void PathSelector::record_rtt(const scion::Path& path, Duration rtt) {
   if (rtt <= Duration::zero()) return;
-  PathUsage& usage = usage_[path.fingerprint()];
-  if (usage.description.empty()) usage.description = path.to_string();
-  if (usage.observed_rtt == Duration::zero()) {
-    usage.observed_rtt = rtt;
+  PathInstruments& inst = instruments_for(path);
+  if (inst.observed_rtt == Duration::zero()) {
+    inst.observed_rtt = rtt;
   } else {
-    usage.observed_rtt = Duration{(7 * usage.observed_rtt.nanos() + rtt.nanos()) / 8};
+    inst.observed_rtt = Duration{(7 * inst.observed_rtt.nanos() + rtt.nanos()) / 8};
   }
+  metrics_->histogram("selector.observed_rtt").record(rtt);
 }
 
 void PathSelector::record_use(const scion::Path& path, std::uint64_t bytes, TimePoint now) {
-  PathUsage& usage = usage_[path.fingerprint()];
-  if (usage.description.empty()) usage.description = path.to_string();
-  ++usage.requests;
-  usage.bytes += bytes;
-  usage.total_latency_estimate += path.meta().latency;
-  if (now > usage.last_used) usage.last_used = now;
+  PathInstruments& inst = instruments_for(path);
+  inst.requests->inc();
+  inst.bytes->inc(bytes);
+  inst.total_latency_estimate += path.meta().latency;
+  if (now > inst.last_used) inst.last_used = now;
+  metrics_->counter("selector.requests").inc();
+  metrics_->counter("selector.bytes").inc(bytes);
+}
+
+std::unordered_map<std::string, PathUsage> PathSelector::usage() const {
+  std::unordered_map<std::string, PathUsage> out;
+  out.reserve(paths_.size());
+  for (const auto& [fingerprint, inst] : paths_) {
+    PathUsage u;
+    u.description = inst.description;
+    u.requests = inst.requests->value();
+    u.bytes = inst.bytes->value();
+    u.total_latency_estimate = inst.total_latency_estimate;
+    u.observed_rtt = inst.observed_rtt;
+    u.last_used = inst.last_used;
+    out.emplace(fingerprint, std::move(u));
+  }
+  return out;
 }
 
 }  // namespace pan::proxy

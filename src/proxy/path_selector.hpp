@@ -6,12 +6,19 @@
 // to implement opportunistic vs. strict semantics (Section 4.2): in
 // opportunistic mode a non-compliant path still loads the page (flagged in
 // the UI); strict mode requires compliance.
+//
+// Per-path usage feedback ("statistics on path usage and performance of
+// particular paths") is kept as registry-backed instruments: the counters
+// live in an obs::MetricsRegistry (the proxy's, when attached, so they show
+// up in /skip/metrics) and usage() renders a point-in-time snapshot.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "ppl/geofence.hpp"
 #include "scion/daemon.hpp"
 
@@ -25,8 +32,8 @@ struct PathChoice {
   [[nodiscard]] bool reachable() const { return any.has_value(); }
 };
 
-/// Per-path usage counters surfaced to the user ("statistics on path usage
-/// and performance of particular paths are provided as feedback").
+/// Point-in-time view of one path's usage feedback. Counter values are read
+/// from the backing metrics registry at snapshot time.
 struct PathUsage {
   std::string description;
   std::uint64_t requests = 0;
@@ -41,7 +48,10 @@ struct PathUsage {
 
 class PathSelector {
  public:
-  explicit PathSelector(scion::Daemon& daemon);
+  /// When `metrics` is null the selector owns a private registry, so usage
+  /// accounting is always registry-backed; the proxy passes its own registry
+  /// so path counters appear in the /skip/metrics dump.
+  explicit PathSelector(scion::Daemon& daemon, obs::MetricsRegistry* metrics = nullptr);
 
   void set_policies(ppl::PolicySet policies) { policies_ = std::move(policies); }
   [[nodiscard]] const ppl::PolicySet& policies() const { return policies_; }
@@ -64,13 +74,19 @@ class PathSelector {
   void record_rtt(const scion::Path& path, Duration rtt);
 
   /// SCMP-driven revocation: paths crossing `iface` of `ia` are excluded
-  /// from selection until the revocation expires.
+  /// from selection until the revocation expires. Expired entries are pruned
+  /// on insert and on lookup so the table stays bounded.
   void revoke(scion::IsdAsn ia, scion::IfaceId iface, Duration ttl);
-  [[nodiscard]] bool is_revoked(const scion::Path& path) const;
+  [[nodiscard]] bool is_revoked(const scion::Path& path);
   [[nodiscard]] std::size_t active_revocations() const;
-  [[nodiscard]] const std::unordered_map<std::string, PathUsage>& usage() const {
-    return usage_;
-  }
+  /// Entries physically stored in the revocation table (== active after any
+  /// prune; the regression target for the unbounded-growth bug).
+  [[nodiscard]] std::size_t revocation_entries() const { return revocations_.size(); }
+
+  /// Usage snapshot keyed by path fingerprint, built from the registry.
+  [[nodiscard]] std::unordered_map<std::string, PathUsage> usage() const;
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
 
  private:
   struct Revocation {
@@ -78,13 +94,27 @@ class PathSelector {
     scion::IfaceId iface = scion::kNoIface;
     TimePoint expires;
   };
+  /// Per-path instruments: counters live in the registry; the smoothed RTT
+  /// and last-use mark are scalar state mirrored into gauges.
+  struct PathInstruments {
+    std::string description;
+    obs::Counter* requests = nullptr;
+    obs::Counter* bytes = nullptr;
+    Duration total_latency_estimate = Duration::zero();
+    Duration observed_rtt = Duration::zero();
+    TimePoint last_used;
+  };
 
   [[nodiscard]] bool permits(const scion::Path& path) const;
+  PathInstruments& instruments_for(const scion::Path& path);
+  void prune_expired_revocations(TimePoint now);
 
   scion::Daemon& daemon_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   ppl::PolicySet policies_;
   std::optional<ppl::Geofence> geofence_;
-  std::unordered_map<std::string, PathUsage> usage_;
+  std::unordered_map<std::string, PathInstruments> paths_;
   std::vector<Revocation> revocations_;
 };
 

@@ -9,6 +9,7 @@ namespace pan::proxy {
 
 namespace {
 constexpr std::string_view kLog = "skip";
+constexpr std::string_view kInternalPrefix = "/skip/";
 
 http::HttpResponse synthetic_error(int status, const std::string& message) {
   http::HttpResponse response = http::make_text_response(status, message);
@@ -24,8 +25,17 @@ const char* to_string(TransportUsed t) {
     case TransportUsed::kIp: return "ip";
     case TransportUsed::kBlocked: return "blocked";
     case TransportUsed::kError: return "error";
+    case TransportUsed::kInternal: return "internal";
   }
   return "?";
+}
+
+Duration ProxyResult::phase_total(std::string_view phase) const {
+  Duration sum = Duration::zero();
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == phase) sum += span.duration;
+  }
+  return sum;
 }
 
 SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& stack,
@@ -35,16 +45,50 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
       stack_(stack),
       resolver_(resolver),
       config_(config),
+      owned_metrics_(config.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                               : nullptr),
+      metrics_(config.metrics != nullptr ? config.metrics : owned_metrics_.get()),
       detector_(sim, resolver),
-      selector_(daemon) {
+      selector_(daemon, metrics_) {
   scmp_subscription_ = stack_.subscribe_scmp(
       [this](const scion::ScmpMessage& message) { on_scmp(message); });
 }
 
 SkipProxy::~SkipProxy() { stack_.unsubscribe_scmp(scmp_subscription_); }
 
+obs::TracePtr SkipProxy::make_trace() {
+  return std::make_shared<obs::RequestTrace>(sim_, next_trace_id_++);
+}
+
+ProxyStats SkipProxy::stats() const {
+  ProxyStats stats;
+  stats.requests = metrics_->counter_value("proxy.requests");
+  stats.over_scion = metrics_->counter_value("proxy.over_scion");
+  stats.over_ip = metrics_->counter_value("proxy.over_ip");
+  stats.blocked = metrics_->counter_value("proxy.blocked");
+  stats.errors = metrics_->counter_value("proxy.errors");
+  stats.internal = metrics_->counter_value("proxy.internal");
+  stats.fallbacks = metrics_->counter_value("proxy.fallbacks");
+  stats.timeouts = metrics_->counter_value("proxy.timeouts");
+  stats.bytes_scion = metrics_->counter_value("proxy.bytes_scion");
+  stats.bytes_ip = metrics_->counter_value("proxy.bytes_ip");
+  stats.scmp_reports = metrics_->counter_value("proxy.scmp_reports");
+  stats.scmp_reroutes = metrics_->counter_value("proxy.scmp_reroutes");
+  return stats;
+}
+
+std::vector<SkipProxy::PooledScionOrigin> SkipProxy::scion_pool_snapshot() const {
+  std::vector<PooledScionOrigin> out;
+  out.reserve(scion_pool_.size());
+  for (const auto& [key, origin] : scion_pool_) {
+    out.push_back(PooledScionOrigin{key, origin.host, origin.port,
+                                    origin.path.fingerprint()});
+  }
+  return out;
+}
+
 void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
-  ++stats_.scmp_reports;
+  metrics_->counter("proxy.scmp_reports").inc();
   selector_.revoke(message.origin_as, message.interface, config_.revocation_ttl);
   PAN_DEBUG(kLog) << "revoking after " << message.to_string();
   // Migrate every pooled connection whose current path crosses the broken
@@ -59,8 +103,9 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
     const std::string origin_key = key;
     std::optional<ppl::PolicySet> per_site_policies;
     if (policy_router_.rule_count() > 0) {
-      const std::string host = origin_key.substr(0, origin_key.find(':'));
-      per_site_policies = policy_router_.match(host);
+      // The host was parsed once at pool-insert time; splitting the key at
+      // its first ':' would mis-handle any host containing a colon.
+      per_site_policies = policy_router_.match(origin.host);
     }
     selector_.choose(origin.addr.ia, {}, [this, origin_key](PathChoice choice) {
       const auto it = scion_pool_.find(origin_key);
@@ -75,7 +120,7 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
           replacement->fingerprint() == it->second.path.fingerprint()) {
         return;  // nothing better available
       }
-      ++stats_.scmp_reroutes;
+      metrics_->counter("proxy.scmp_reroutes").inc();
       PAN_DEBUG(kLog) << origin_key << ": migrating to " << replacement->to_string();
       it->second.conn->set_path(replacement->dataplane());
       it->second.path = *replacement;
@@ -92,61 +137,113 @@ http::HttpRequest SkipProxy::to_origin_form(const http::Url& url, http::HttpRequ
 
 void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
                       FetchFn on_result) {
-  ++stats_.requests;
-  auto shared_cb = std::make_shared<FetchFn>(std::move(on_result));
-  auto done = std::make_shared<bool>(false);
+  metrics_->counter("proxy.requests").inc();
+  auto req = std::make_shared<RequestState>();
+  req->on_result = std::move(on_result);
+  req->trace = options.trace != nullptr ? options.trace : make_trace();
+  req->trace->begin("ipc");
 
   // Per-request timeout.
-  sim_.schedule_after(config_.request_timeout, [this, shared_cb, done] {
-    if (*done) return;
-    ++stats_.timeouts;
+  sim_.schedule_after(config_.request_timeout, [this, req] {
+    if (req->done) return;
+    metrics_->counter("proxy.timeouts").inc();
     ProxyResult result;
     result.transport = TransportUsed::kError;
     result.response = synthetic_error(504, "proxy request timeout");
-    finish(shared_cb, done, std::move(result));
+    finish(req, std::move(result));
   });
 
   // Browser -> proxy IPC crossing plus proxy processing.
   sim_.schedule_after(config_.ipc_overhead + config_.processing_overhead,
-                      [this, request = std::move(request), options, shared_cb, done]() mutable {
-                        process(std::move(request), options, shared_cb, done);
+                      [this, request = std::move(request), options, req]() mutable {
+                        req->trace->end("ipc");
+                        process(std::move(request), options, req);
                       });
 }
 
-void SkipProxy::finish(std::shared_ptr<FetchFn> on_result, std::shared_ptr<bool> done,
-                       ProxyResult result) {
-  if (*done) return;
-  *done = true;
+void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
+  if (req->done) return;
+  req->done = true;
   switch (result.transport) {
-    case TransportUsed::kScion: ++stats_.over_scion; break;
-    case TransportUsed::kIp: ++stats_.over_ip; break;
-    case TransportUsed::kBlocked: ++stats_.blocked; break;
-    case TransportUsed::kError: ++stats_.errors; break;
+    case TransportUsed::kScion: metrics_->counter("proxy.over_scion").inc(); break;
+    case TransportUsed::kIp: metrics_->counter("proxy.over_ip").inc(); break;
+    case TransportUsed::kBlocked: metrics_->counter("proxy.blocked").inc(); break;
+    case TransportUsed::kError: metrics_->counter("proxy.errors").inc(); break;
+    case TransportUsed::kInternal: metrics_->counter("proxy.internal").inc(); break;
   }
+  // Truncate phases still open (timeout / early error), then time the
+  // response-side crossing as one more ipc span.
+  req->trace->end_all();
+  req->trace->begin("ipc");
   // Proxy -> browser IPC crossing.
-  sim_.schedule_after(config_.ipc_overhead,
-                      [on_result, result = std::move(result)]() mutable {
-                        (*on_result)(std::move(result));
-                      });
+  sim_.schedule_after(config_.ipc_overhead, [this, req,
+                                             result = std::move(result)]() mutable {
+    req->trace->end("ipc");
+    req->trace->flush_to(*metrics_, "proxy.phase.");
+    metrics_->histogram("proxy.request_total").record(sim_.now() - req->trace->created_at());
+    result.trace_id = req->trace->id();
+    result.spans = req->trace->spans();
+    req->on_result(std::move(result));
+  });
+}
+
+void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPtr& req) {
+  ProxyResult result;
+  result.transport = TransportUsed::kInternal;
+  if (request.target == "/skip/metrics") {
+    metrics_->gauge("proxy.scion_pool_size").set(static_cast<double>(scion_pool_.size()));
+    metrics_->gauge("proxy.legacy_pool_size").set(static_cast<double>(legacy_pool_.size()));
+    http::HttpResponse response =
+        http::make_response(200, from_string(metrics_->to_json()), "application/json");
+    result.response = std::move(response);
+  } else {
+    result.response = synthetic_error(404, "unknown proxy endpoint: " + request.target);
+  }
+  finish(req, std::move(result));
 }
 
 void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
-                        std::shared_ptr<FetchFn> on_result, std::shared_ptr<bool> done) {
-  // Determine the URL: absolute-form target (proxy convention) or Host header.
+                        RequestPtr req) {
+  // Proxy-internal control endpoints (origin-form, reserved /skip/ space).
+  if (strings::starts_with(request.target, kInternalPrefix)) {
+    serve_internal(request, req);
+    return;
+  }
+
+  // Determine the URL: absolute-form target (proxy convention) or Host
+  // header. Parse the scheme properly — an absolute-form target with any
+  // scheme other than http (e.g. https) is rejected with a 400 rather than
+  // being glued onto the Host header and mangled.
   std::string url_text = request.target;
-  if (!strings::starts_with(url_text, "http://")) {
+  const auto scheme_end = url_text.find("://");
+  if (scheme_end != std::string::npos) {
+    const std::string scheme = url_text.substr(0, scheme_end);
+    if (scheme != "http") {
+      metrics_->counter("proxy.bad_requests").inc();
+      ProxyResult result;
+      result.response =
+          synthetic_error(400, "unsupported scheme in proxy request: '" + scheme + "'");
+      finish(req, std::move(result));
+      return;
+    }
+  } else {
     url_text = "http://" + request.host() + request.target;
   }
   const auto url = http::parse_url(url_text);
   if (!url.ok()) {
+    metrics_->counter("proxy.bad_requests").inc();
     ProxyResult result;
     result.response = synthetic_error(400, "bad proxy request URL: " + url.error());
-    finish(on_result, done, std::move(result));
+    finish(req, std::move(result));
     return;
   }
 
-  detector_.resolve(url.value().host, [this, url = url.value(), request = std::move(request),
-                                       options, on_result, done](ResolvedHost host) mutable {
+  req->trace->begin("detect");
+  detector_.resolve(url.value().host, [this, url = url.value(),
+                                       request = std::move(request), options,
+                                       req](ResolvedHost host) mutable {
+    if (req->done) return;
+    req->trace->end("detect");
     const bool scion_possible = host.scion.has_value() && config_.prefer_scion;
     if (!scion_possible) {
       if (options.strict) {
@@ -154,16 +251,16 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
         result.transport = TransportUsed::kBlocked;
         result.response =
             synthetic_error(502, "strict mode: " + url.host + " is not reachable over SCION");
-        finish(on_result, done, std::move(result));
+        finish(req, std::move(result));
         return;
       }
       if (!host.ip.has_value()) {
         ProxyResult result;
         result.response = synthetic_error(502, "cannot resolve " + url.host);
-        finish(on_result, done, std::move(result));
+        finish(req, std::move(result));
         return;
       }
-      fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/false, on_result, done);
+      fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/false, req);
       return;
     }
 
@@ -178,15 +275,18 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
     if (policy_router_.rule_count() > 0) {
       per_site_policies = policy_router_.match(url.host);
     }
+    req->trace->begin("select");
     selector_.choose(host.scion->ia, std::move(server_pref),
                      [this, url, request = std::move(request), options, host,
-                      on_result, done](PathChoice choice) mutable {
+                      req](PathChoice choice) mutable {
+      if (req->done) return;
+      req->trace->end("select");
       const bool local_dst = stack_.local_as() == host.scion->ia;
       if (local_dst) {
         // Intra-AS destination: the empty path is trivially compliant.
         fetch_over_scion(url, std::move(request), *host.scion,
                          scion::Path::local(stack_.local_as()), /*compliant=*/true,
-                         host.ip, on_result, done);
+                         host.ip, req);
         return;
       }
       if (options.strict) {
@@ -195,28 +295,30 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
           result.transport = TransportUsed::kBlocked;
           result.response = synthetic_error(
               502, "strict mode: no policy-compliant SCION path to " + url.host);
-          finish(on_result, done, std::move(result));
+          finish(req, std::move(result));
           return;
         }
         fetch_over_scion(url, std::move(request), *host.scion, *choice.compliant,
-                         /*compliant=*/true, std::nullopt, on_result, done);
+                         /*compliant=*/true, std::nullopt, req);
         return;
       }
       // Opportunistic: compliant if possible, else any path (flagged), else IP.
       if (choice.compliant.has_value()) {
         fetch_over_scion(url, std::move(request), *host.scion, *choice.compliant,
-                         /*compliant=*/true, host.ip, on_result, done);
+                         /*compliant=*/true, host.ip, req);
       } else if (choice.any.has_value()) {
         PAN_DEBUG(kLog) << url.host << ": no policy-compliant path, using non-compliant";
         fetch_over_scion(url, std::move(request), *host.scion, *choice.any,
-                         /*compliant=*/false, host.ip, on_result, done);
+                         /*compliant=*/false, host.ip, req);
       } else if (host.ip.has_value()) {
-        fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/true, on_result, done);
+        metrics_->counter("proxy.fallbacks").inc();
+        req->trace->begin("fallback");
+        fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/true, req);
       } else {
         ProxyResult result;
         result.response = synthetic_error(502, "no SCION path and no legacy address for " +
                                                    url.host);
-        finish(on_result, done, std::move(result));
+        finish(req, std::move(result));
       }
     },
                      std::move(per_site_policies));
@@ -226,8 +328,7 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
 void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request,
                                  const scion::ScionAddr& addr, const scion::Path& path,
                                  bool compliant, std::optional<net::IpAddr> fallback_ip,
-                                 std::shared_ptr<FetchFn> on_result,
-                                 std::shared_ptr<bool> done) {
+                                 RequestPtr req) {
   const std::string key = url.authority();
   ScionOrigin& origin = scion_pool_[key];
   if (origin.conn == nullptr ||
@@ -236,31 +337,48 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
     // data, saving a handshake round trip on reconnects.
     transport::TransportConfig quic = config_.quic;
     quic.zero_rtt = resumption_tickets_.contains(key);
+    req->trace->begin("handshake");
     origin.conn = std::make_unique<http::ScionHttpConnection>(
         stack_, scion::ScionEndpoint{addr, url.port}, path.dataplane(), quic);
     origin.path = path;
     origin.addr = addr;
+    origin.host = url.host;
+    origin.port = url.port;
+    transport::Connection& conn = origin.conn->transport();
+    if (conn.state() == transport::Connection::State::kEstablished) {
+      // 0-RTT: established synchronously inside start().
+      req->trace->end("handshake");
+      metrics_->histogram("transport.handshake").record(conn.handshake_time());
+    } else {
+      conn.set_on_established([this, trace = req->trace, &conn] {
+        trace->end("handshake");
+        metrics_->histogram("transport.handshake").record(conn.handshake_time());
+      });
+    }
   } else if (origin.path.fingerprint() != path.fingerprint()) {
     origin.conn->set_path(path.dataplane());
     origin.path = path;
   }
 
   http::HttpRequest origin_request = to_origin_form(url, std::move(request));
+  req->trace->begin("fetch");
   origin.conn->fetch(origin_request, [this, url, origin_request, addr, path, compliant,
-                                      fallback_ip, on_result,
-                                      done](Result<http::HttpResponse> result) {
-    if (*done) return;
+                                      fallback_ip, req](Result<http::HttpResponse> result) {
+    if (req->done) return;
+    req->trace->end("fetch");
     if (!result.ok()) {
       if (fallback_ip.has_value()) {
-        ++stats_.fallbacks;
+        metrics_->counter("proxy.fallbacks").inc();
         PAN_DEBUG(kLog) << url.host << ": SCION fetch failed (" << result.error()
                         << "), falling back to IP";
-        fetch_over_ip(url, origin_request, *fallback_ip, /*fell_back=*/true, on_result, done);
+        req->trace->end("handshake");  // may still be open if the dial failed
+        req->trace->begin("fallback");
+        fetch_over_ip(url, origin_request, *fallback_ip, /*fell_back=*/true, req);
         return;
       }
       ProxyResult out;
       out.response = synthetic_error(502, "SCION fetch failed: " + result.error());
-      finish(on_result, done, std::move(out));
+      finish(req, std::move(out));
       return;
     }
     http::HttpResponse response = std::move(result).take();
@@ -289,7 +407,7 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
     }
     selector_.record_use(*final_path, response.body.size(), sim_.now());
     resumption_tickets_.insert(url.authority());
-    stats_.bytes_scion += response.body.size();
+    metrics_->counter("proxy.bytes_scion").inc(response.body.size());
 
     response.headers.set("X-Skip-Transport", "scion");
     response.headers.set("X-Skip-Path", final_path->fingerprint());
@@ -300,35 +418,37 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
     out.policy_compliant = compliant;
     out.path_fingerprint = final_path->fingerprint();
     out.response = std::move(response);
-    finish(on_result, done, std::move(out));
+    finish(req, std::move(out));
   });
 }
 
 void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
-                              bool fell_back, std::shared_ptr<FetchFn> on_result,
-                              std::shared_ptr<bool> done) {
+                              bool fell_back, RequestPtr req) {
   const std::string key = url.authority();
   http::HttpRequest origin_request = to_origin_form(url, std::move(request));
   LegacyOrigin& origin = legacy_pool_[key];
+  req->trace->begin("fetch");
   origin.waiting.emplace_back(
       std::move(origin_request),
-      [this, fell_back, on_result, done](Result<http::HttpResponse> result) {
-        if (*done) return;
+      [this, fell_back, req](Result<http::HttpResponse> result) {
+        if (req->done) return;
+        req->trace->end("fetch");
+        if (fell_back) req->trace->end("fallback");
         if (!result.ok()) {
           ProxyResult out;
           out.response = synthetic_error(502, "legacy fetch failed: " + result.error());
           out.fell_back = fell_back;
-          finish(on_result, done, std::move(out));
+          finish(req, std::move(out));
           return;
         }
         http::HttpResponse response = std::move(result).take();
-        stats_.bytes_ip += response.body.size();
+        metrics_->counter("proxy.bytes_ip").inc(response.body.size());
         response.headers.set("X-Skip-Transport", "ip");
         ProxyResult out;
         out.transport = TransportUsed::kIp;
         out.fell_back = fell_back;
         out.response = std::move(response);
-        finish(on_result, done, std::move(out));
+        finish(req, std::move(out));
       });
   dispatch_legacy(key, ip, url.port);
 }

@@ -15,6 +15,13 @@
 // Browser <-> proxy IPC costs a configurable per-crossing overhead, modeling
 // the localhost proxy hop the paper identifies as the source of its ~100 ms
 // page-load overhead.
+//
+// Observability: every request runs under an obs::RequestTrace with spans
+// for the ipc / detect / select / handshake / fetch / fallback phases; the
+// finished breakdown rides on the ProxyResult and is flushed into the
+// proxy's obs::MetricsRegistry as per-phase latency histograms. Requests
+// whose origin-form target starts with "/skip/" address the proxy itself:
+// GET /skip/metrics returns the registry as JSON.
 #pragma once
 
 #include <deque>
@@ -24,6 +31,7 @@
 #include "http/endpoints.hpp"
 #include "http/file_server.hpp"
 #include "http/url.hpp"
+#include "obs/trace.hpp"
 #include "proxy/detector.hpp"
 #include "proxy/path_selector.hpp"
 #include "proxy/policy_router.hpp"
@@ -42,17 +50,24 @@ struct ProxyConfig {
   std::size_t max_legacy_conns_per_origin = 6;
   /// How long an SCMP-revoked interface stays excluded from selection.
   Duration revocation_ttl = seconds(30);
+  /// Shared metrics registry. When null the proxy owns a private one; the
+  /// figure benches inject a long-lived registry here so per-phase latency
+  /// aggregates across per-trial proxies.
+  obs::MetricsRegistry* metrics = nullptr;
   transport::TransportConfig tcp = http::default_tcp_config();
   transport::TransportConfig quic = http::default_quic_config();
 };
 
-enum class TransportUsed : std::uint8_t { kScion, kIp, kBlocked, kError };
+enum class TransportUsed : std::uint8_t { kScion, kIp, kBlocked, kError, kInternal };
 
 [[nodiscard]] const char* to_string(TransportUsed t);
 
 struct ProxyRequestOptions {
   /// Strict-SCION mode for this request (decided by the extension).
   bool strict = false;
+  /// Request-scoped trace carried in from the browser/extension; the proxy
+  /// creates one when absent.
+  obs::TracePtr trace;
 };
 
 struct ProxyResult {
@@ -63,14 +78,24 @@ struct ProxyResult {
   std::string path_fingerprint;
   /// True when SCION was attempted and the request fell back to IP.
   bool fell_back = false;
+  /// Per-phase span breakdown of this request (ipc / detect / select /
+  /// handshake / fetch / fallback), in completion order.
+  std::vector<obs::SpanRecord> spans;
+  std::uint64_t trace_id = 0;
+
+  /// Sum of the finished spans named `phase` (zero when absent).
+  [[nodiscard]] Duration phase_total(std::string_view phase) const;
 };
 
+/// Snapshot of the proxy's top-level counters, read from the metrics
+/// registry (kept as a struct for ergonomic assertions and display).
 struct ProxyStats {
   std::uint64_t requests = 0;
   std::uint64_t over_scion = 0;
   std::uint64_t over_ip = 0;
   std::uint64_t blocked = 0;
   std::uint64_t errors = 0;
+  std::uint64_t internal = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t bytes_scion = 0;
@@ -91,8 +116,13 @@ class SkipProxy {
 
   using FetchFn = std::function<void(ProxyResult)>;
   /// The extension-facing API: request.target may be in absolute form
-  /// ("http://host/path") or origin form plus a Host header.
+  /// ("http://host/path") or origin form plus a Host header. Origin-form
+  /// targets under /skip/ are the proxy's own control endpoints.
   void fetch(http::HttpRequest request, ProxyRequestOptions options, FetchFn on_result);
+
+  /// Creates a request trace bound to this proxy's id space; callers up the
+  /// stack (browser/extension) open it before handing the request over.
+  [[nodiscard]] obs::TracePtr make_trace();
 
   /// Extension-facing configuration API (the "specific API calls to the
   /// HTTP proxy to apply path policies chosen by users").
@@ -109,7 +139,9 @@ class SkipProxy {
 
   [[nodiscard]] ScionDetector& detector() { return detector_; }
   [[nodiscard]] PathSelector& selector() { return selector_; }
-  [[nodiscard]] const ProxyStats& stats() const { return stats_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  [[nodiscard]] ProxyStats stats() const;
   [[nodiscard]] const ProxyConfig& config() const { return config_; }
   /// Negotiated per-origin server path preferences (from Path-Preference
   /// response headers).
@@ -117,6 +149,15 @@ class SkipProxy {
   origin_preferences() const {
     return origin_preferences_;
   }
+
+  /// Pooled-origin introspection for tests and the metrics endpoint.
+  struct PooledScionOrigin {
+    std::string key;
+    std::string host;
+    std::uint16_t port = 80;
+    std::string path_fingerprint;
+  };
+  [[nodiscard]] std::vector<PooledScionOrigin> scion_pool_snapshot() const;
 
  private:
   struct LegacyPoolEntry {
@@ -129,21 +170,32 @@ class SkipProxy {
   };
   struct ScionOrigin {
     std::unique_ptr<http::ScionHttpConnection> conn;
-    scion::Path path;         // the path the connection currently uses
-    scion::ScionAddr addr;    // SCION address of the origin endpoint
+    scion::Path path;        // the path the connection currently uses
+    scion::ScionAddr addr;   // SCION address of the origin endpoint
+    // Host and port as parsed at insert time — the SCMP reroute path and the
+    // policy router consume these instead of re-splitting the pool key
+    // (which breaks for authorities whose host contains a colon).
+    std::string host;
+    std::uint16_t port = 80;
   };
+  /// Per-request state threaded through the async pipeline.
+  struct RequestState {
+    FetchFn on_result;
+    bool done = false;
+    obs::TracePtr trace;
+  };
+  using RequestPtr = std::shared_ptr<RequestState>;
 
-  void process(http::HttpRequest request, ProxyRequestOptions options,
-               std::shared_ptr<FetchFn> on_result, std::shared_ptr<bool> done);
-  void finish(std::shared_ptr<FetchFn> on_result, std::shared_ptr<bool> done,
-              ProxyResult result);
+  void process(http::HttpRequest request, ProxyRequestOptions options, RequestPtr req);
+  /// Serves the proxy's own /skip/* control endpoints.
+  void serve_internal(const http::HttpRequest& request, const RequestPtr& req);
+  void finish(const RequestPtr& req, ProxyResult result);
   void fetch_over_scion(const http::Url& url, http::HttpRequest request,
                         const scion::ScionAddr& addr, const scion::Path& path,
                         bool compliant, std::optional<net::IpAddr> fallback_ip,
-                        std::shared_ptr<FetchFn> on_result, std::shared_ptr<bool> done);
+                        RequestPtr req);
   void fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
-                     bool fell_back, std::shared_ptr<FetchFn> on_result,
-                     std::shared_ptr<bool> done);
+                     bool fell_back, RequestPtr req);
   void dispatch_legacy(const std::string& origin_key, net::IpAddr ip, std::uint16_t port);
   [[nodiscard]] static http::HttpRequest to_origin_form(const http::Url& url,
                                                         http::HttpRequest request);
@@ -156,6 +208,8 @@ class SkipProxy {
   scion::ScionStack& stack_;
   dns::Resolver& resolver_;
   ProxyConfig config_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // set before detector_/selector_
   ScionDetector detector_;
   PathSelector selector_;
   PolicyRouter policy_router_;
@@ -165,7 +219,7 @@ class SkipProxy {
   /// Origins we have completed a SCION exchange with (0-RTT tickets).
   std::unordered_set<std::string> resumption_tickets_;
   std::uint64_t scmp_subscription_ = 0;
-  ProxyStats stats_;
+  std::uint64_t next_trace_id_ = 1;
 };
 
 }  // namespace pan::proxy

@@ -127,6 +127,7 @@ void Connection::start() {
   assert(role_ == Role::kClient);
   if (state_ != State::kIdle) return;
   state_ = State::kConnecting;
+  connect_started_at_ = sim_.now();
   idle_timer_.arm(config_.idle_timeout);
   send_hello(0);
   if (config_.zero_rtt && config_.extra_handshake_rtts == 0) {
@@ -158,6 +159,7 @@ void Connection::send_hello(std::uint8_t round) {
 void Connection::establish() {
   if (state_ != State::kConnecting) return;
   state_ = State::kEstablished;
+  established_at_ = sim_.now();
   PAN_DEBUG(kLog) << to_string(config_.kind) << " conn " << conn_id_ << " established ("
                   << (role_ == Role::kClient ? "client" : "server") << ")";
   if (on_established_) on_established_();

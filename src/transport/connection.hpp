@@ -141,6 +141,16 @@ class Connection {
   [[nodiscard]] std::uint64_t conn_id() const { return conn_id_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] Duration smoothed_rtt() const { return srtt_; }
+  /// When the client-side handshake started (start()) and completed
+  /// (establish()); origin for connections that never reached the state.
+  [[nodiscard]] TimePoint connect_started_at() const { return connect_started_at_; }
+  [[nodiscard]] TimePoint established_at() const { return established_at_; }
+  /// Client handshake wall time on the simulated clock (zero for 0-RTT
+  /// resumption and for connections not yet established).
+  [[nodiscard]] Duration handshake_time() const {
+    return established_at_ < connect_started_at_ ? Duration::zero()
+                                                 : established_at_ - connect_started_at_;
+  }
   [[nodiscard]] std::size_t cwnd_bytes() const { return cwnd_; }
   [[nodiscard]] const TransportConfig& config() const { return config_; }
 
@@ -248,6 +258,8 @@ class Connection {
 
   // Handshake.
   std::uint8_t hello_rounds_done_ = 0;
+  TimePoint connect_started_at_ = TimePoint::origin();
+  TimePoint established_at_ = TimePoint::origin();
 
   sim::Timer ack_timer_;
   sim::Timer pto_timer_;

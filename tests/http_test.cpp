@@ -231,6 +231,23 @@ TEST(StrictScionTest, ParseAndSerialize) {
   EXPECT_FALSE(parse_strict_scion("nonsense").has_value());
 }
 
+TEST(StrictScionTest, HugeMaxAgeClampedInsteadOfWrappingNegative) {
+  // UINT64_MAX seconds overflows the signed nanosecond Duration; unclamped
+  // it wrapped negative and expired the pin in the past.
+  const auto huge = parse_strict_scion("max-age=18446744073709551615");
+  ASSERT_TRUE(huge.has_value());
+  EXPECT_GT(huge->max_age, Duration::zero());
+  EXPECT_EQ(huge->max_age, seconds(kStrictScionMaxAgeSeconds));
+  // Values merely above the cap (but representable) clamp too.
+  const auto above = parse_strict_scion("max-age=99999999999");
+  ASSERT_TRUE(above.has_value());
+  EXPECT_EQ(above->max_age, seconds(kStrictScionMaxAgeSeconds));
+  // max-age=0 parses fine: it is an explicit withdrawal, applied upstream.
+  const auto zero = parse_strict_scion("max-age=0");
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->max_age, Duration::zero());
+}
+
 TEST(StrictScionTest, ResponseRoundTrip) {
   HttpResponse res = make_response(200);
   set_strict_scion(res, StrictScionDirective{seconds(120)});

@@ -1,0 +1,162 @@
+// Tests for the observability subsystem: metrics registry instruments,
+// histogram percentile estimation, JSON dumps, and request traces.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pan::obs {
+namespace {
+
+// ---------------------------------------------------------------- registry --
+
+TEST(MetricsRegistryTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  registry.counter("requests").inc();
+  registry.counter("requests").inc(4);
+  EXPECT_EQ(registry.counter_value("requests"), 5u);
+  EXPECT_EQ(registry.counter_value("never-touched"), 0u);
+  EXPECT_EQ(registry.find_counter("never-touched"), nullptr);
+
+  registry.gauge("pool").set(3);
+  registry.gauge("pool").add(-1);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("pool")->value(), 2.0);
+}
+
+TEST(MetricsRegistryTest, InstrumentReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("a");
+  // Insert many more instruments; `a` must stay valid (node-stable map).
+  for (int i = 0; i < 100; ++i) registry.counter("c" + std::to_string(i)).inc();
+  a.inc(7);
+  EXPECT_EQ(registry.counter_value("a"), 7u);
+}
+
+TEST(MetricsRegistryTest, JsonDumpIsDeterministicAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc(2);
+  registry.counter("alpha").inc();
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").record(milliseconds(10));
+  const std::string json = registry.to_json();
+  EXPECT_EQ(json, registry.to_json());  // byte-identical on repeat
+  // Name-ordered counters.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);  // overflow bucket bound
+}
+
+// --------------------------------------------------------------- histogram --
+
+TEST(HistogramTest, CountsSumMinMax) {
+  Histogram h;
+  h.record(milliseconds(1));
+  h.record(milliseconds(3));
+  h.record(milliseconds(2));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, milliseconds(6));
+  EXPECT_EQ(snap.min, milliseconds(1));
+  EXPECT_EQ(snap.max, milliseconds(3));
+  EXPECT_EQ(snap.mean(), milliseconds(2));
+}
+
+TEST(HistogramTest, PercentilesAreClampedToObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(milliseconds(7));
+  // All mass in one bucket: every percentile must resolve to the single
+  // observed value, not the bucket's upper bound.
+  EXPECT_EQ(h.percentile(50), milliseconds(7));
+  EXPECT_EQ(h.percentile(99), milliseconds(7));
+}
+
+TEST(HistogramTest, PercentileOrderingOnSpread) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(milliseconds(i));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_LT(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+  // p50 of a uniform 1..100 ms spread should land broadly mid-range.
+  EXPECT_GT(snap.p50, milliseconds(30));
+  EXPECT_LT(snap.p50, milliseconds(70));
+}
+
+TEST(HistogramTest, OverflowBucketCatchesLargeValues) {
+  Histogram h({milliseconds(1), milliseconds(10)});
+  h.record(seconds(100));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+  // The overflow percentile reports the observed max, not infinity.
+  EXPECT_EQ(h.percentile(99), seconds(100));
+}
+
+// ------------------------------------------------------------------- trace --
+
+struct TraceFixture {
+  sim::Simulator sim;
+
+  void advance(Duration d) {
+    sim.schedule_after(d, [] {});
+    sim.run();
+  }
+};
+
+TEST(RequestTraceTest, SpansMeasureSimTime) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 1);
+  trace.begin("fetch");
+  fx.advance(milliseconds(12));
+  trace.end("fetch");
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "fetch");
+  EXPECT_EQ(trace.spans()[0].duration, milliseconds(12));
+  EXPECT_EQ(trace.total("fetch"), milliseconds(12));
+}
+
+TEST(RequestTraceTest, RepeatedPhasesAccumulateAndEndIsNoOpWhenClosed) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 1);
+  trace.begin("ipc");
+  fx.advance(milliseconds(1));
+  trace.end("ipc");
+  trace.end("ipc");  // no open ipc span: harmless
+  trace.begin("ipc");
+  fx.advance(milliseconds(2));
+  trace.end("ipc");
+  EXPECT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.total("ipc"), milliseconds(3));
+}
+
+TEST(RequestTraceTest, EndAllTruncatesOpenSpans) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 1);
+  trace.begin("detect");
+  trace.begin("fetch");
+  fx.advance(milliseconds(5));
+  EXPECT_TRUE(trace.open("fetch"));
+  trace.end_all();
+  EXPECT_FALSE(trace.open("fetch"));
+  EXPECT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.total("detect"), milliseconds(5));
+  EXPECT_EQ(trace.total("fetch"), milliseconds(5));
+}
+
+TEST(RequestTraceTest, FlushRecordsPerPhaseHistograms) {
+  TraceFixture fx;
+  MetricsRegistry registry;
+  RequestTrace trace(fx.sim, 1);
+  trace.begin("fetch");
+  fx.advance(milliseconds(20));
+  trace.end("fetch");
+  trace.flush_to(registry, "proxy.phase.");
+  const Histogram* hist = registry.find_histogram("proxy.phase.fetch");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1u);
+  EXPECT_EQ(hist->snapshot().max, milliseconds(20));
+}
+
+}  // namespace
+}  // namespace pan::obs

@@ -67,6 +67,18 @@ TEST(DetectorTest, LearnedEntriesExpire) {
   EXPECT_EQ(fx.resolve("site.example").scion_source, ScionSource::kNone);
 }
 
+TEST(DetectorTest, MaxAgeZeroWithdrawsLearnedEntry) {
+  DetectorFixture fx;
+  fx.zone.add_a("site.example", net::IpAddr{9});
+  fx.detector.learn("site.example", fx.addr, seconds(600));
+  EXPECT_EQ(fx.detector.learned_size(), 1u);
+  // "Strict-SCION: max-age=0" is an explicit withdrawal (HSTS semantics):
+  // the learned entry must go away, not linger with a past expiry.
+  fx.detector.learn("site.example", fx.addr, Duration::zero());
+  EXPECT_EQ(fx.detector.learned_size(), 0u);
+  EXPECT_EQ(fx.resolve("site.example").scion_source, ScionSource::kNone);
+}
+
 TEST(DetectorTest, NoRecordsAtAll) {
   DetectorFixture fx;
   const ResolvedHost host = fx.resolve("ghost.example");
@@ -137,6 +149,30 @@ TEST(PathSelectorTest, UsageAccounting) {
   EXPECT_FALSE(u.description.empty());
 }
 
+TEST(PathSelectorTest, RevocationTableConvergesToActive) {
+  auto world = make_remote_world();
+  auto& topo = world->topology();
+  PathSelector selector(topo.daemon_for(world->client));
+  for (int i = 1; i <= 50; ++i) {
+    selector.revoke(topo.as_by_name("core-1"), static_cast<scion::IfaceId>(i), seconds(1));
+  }
+  EXPECT_EQ(selector.revocation_entries(), 50u);
+  EXPECT_EQ(selector.active_revocations(), 50u);
+  world->sim().run_until(world->sim().now() + seconds(2));
+  EXPECT_EQ(selector.active_revocations(), 0u);
+  // Inserting prunes the expired backlog instead of growing the table.
+  selector.revoke(topo.as_by_name("core-1"), static_cast<scion::IfaceId>(99), seconds(1));
+  EXPECT_EQ(selector.revocation_entries(), 1u);
+  EXPECT_EQ(selector.active_revocations(), 1u);
+  // Lookups prune too: container size and active count converge.
+  world->sim().run_until(world->sim().now() + seconds(2));
+  const auto paths = topo.daemon_for(world->client).query_now(topo.as_by_name("server-as"));
+  ASSERT_FALSE(paths.empty());
+  EXPECT_FALSE(selector.is_revoked(paths.front()));
+  EXPECT_EQ(selector.revocation_entries(), 0u);
+  EXPECT_EQ(selector.active_revocations(), 0u);
+}
+
 // ------------------------------------------------------------ skip proxy --
 
 struct ProxyFixture {
@@ -156,9 +192,11 @@ struct ProxyFixture {
   ProxyResult fetch(const std::string& url, bool strict = false) {
     http::HttpRequest request;
     request.target = url;
+    ProxyRequestOptions options;
+    options.strict = strict;
     ProxyResult out;
     bool done = false;
-    proxy->fetch(request, ProxyRequestOptions{strict}, [&](ProxyResult r) {
+    proxy->fetch(request, options, [&](ProxyResult r) {
       out = std::move(r);
       done = true;
     });
@@ -276,6 +314,128 @@ TEST(SkipProxyTest, IpcOverheadAppliesBothWays) {
   fx.fetch("http://tcpip-fs.local/x");
   // >= 2 crossings of 10ms plus actual network time.
   EXPECT_GE((fx.world->sim().now() - t0).nanos(), milliseconds(20).nanos());
+}
+
+TEST(SkipProxyTest, HttpsAbsoluteFormRejectedWith400) {
+  ProxyFixture fx;
+  fx.world->site("scion-fs.local")->add_text("/x", "content");
+  // An https absolute-form target must be rejected for its scheme, not be
+  // glued onto the Host header ("http://<host>https://...") and mangled.
+  const ProxyResult result = fx.fetch("https://scion-fs.local/x");
+  EXPECT_EQ(result.response.status, 400);
+  const auto err = result.response.headers.get("X-Skip-Error");
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unsupported scheme"), std::string::npos) << *err;
+  EXPECT_NE(err->find("https"), std::string::npos) << *err;
+  EXPECT_EQ(fx.proxy->stats().requests, 1u);
+  EXPECT_EQ(fx.proxy->stats().over_scion, 0u);
+}
+
+TEST(SkipProxyTest, ScionPoolStoresParsedHostAndPort) {
+  ProxyFixture fx;
+  auto& topo = fx.world->topology();
+  browser::SiteOptions alt;
+  alt.legacy = false;
+  alt.native_scion = true;
+  alt.port = 8080;
+  fx.world->add_site(topo.host_by_name("scion-fs"), "alt.local", alt);
+  fx.world->site("alt.local")->add_text("/x", "alt content");
+  const ProxyResult result = fx.fetch("http://alt.local:8080/x");
+  ASSERT_EQ(result.transport, TransportUsed::kScion);
+  const auto pool = fx.proxy->scion_pool_snapshot();
+  ASSERT_EQ(pool.size(), 1u);
+  // The origin keeps the host/port parsed at insert time; deriving the host
+  // by splitting the "alt.local:8080" key at the first ':' is exactly the
+  // bug this guards against.
+  EXPECT_EQ(pool[0].key, "alt.local:8080");
+  EXPECT_EQ(pool[0].host, "alt.local");
+  EXPECT_EQ(pool[0].port, 8080);
+}
+
+TEST(SkipProxyTest, FallbackAndTimeoutAccountingExact) {
+  ProxyConfig config;
+  config.request_timeout = seconds(1);
+  config.quic.idle_timeout = milliseconds(500);
+  ProxyFixture fx(false, config);
+  auto& topo = fx.world->topology();
+  // Scripted mix: one clean SCION success, one SCION dial that dies and
+  // falls back to IP, one request that times out and answers late.
+  fx.world->site("scion-fs.local")->add_text("/ok", "fine");
+  fx.world->site("tcpip-fs.local")->add_text("/fb", "legacy");
+  // Curated entry claims SCION availability for the legacy-only site;
+  // nothing listens on QUIC there, so the dial idles out.
+  fx.proxy->detector().add_curated("tcpip-fs.local",
+                                   topo.scion_addr(topo.host_by_name("tcpip-fs")));
+  browser::SiteOptions slow;
+  slow.legacy = false;
+  slow.native_scion = true;
+  slow.port = 8081;
+  slow.think_time = seconds(3);  // responds, but only after the 504
+  fx.world->add_site(topo.host_by_name("scion-fs"), "slow.local", slow);
+  fx.world->site("slow.local")->add_text("/x", "late");
+
+  EXPECT_EQ(fx.fetch("http://scion-fs.local/ok").transport, TransportUsed::kScion);
+  const ProxyResult fb = fx.fetch("http://tcpip-fs.local/fb");
+  EXPECT_EQ(fb.transport, TransportUsed::kIp);
+  EXPECT_TRUE(fb.fell_back);
+  EXPECT_GT(fb.phase_total("fallback"), Duration::zero());
+  const ProxyResult late = fx.fetch("http://slow.local:8081/x");
+  EXPECT_EQ(late.response.status, 504);
+  EXPECT_EQ(late.transport, TransportUsed::kError);
+
+  // Run well past the late SCION response; its arrival must not bump any
+  // counter (the request already finished as a timeout).
+  fx.world->sim().run_until(fx.world->sim().now() + seconds(10));
+  const ProxyStats stats = fx.proxy->stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.over_scion, 1u);
+  EXPECT_EQ(stats.over_ip, 1u);
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.blocked, 0u);
+}
+
+TEST(SkipProxyTest, RequestTraceBreaksDownPhases) {
+  ProxyConfig config;
+  config.ipc_overhead = milliseconds(10);
+  config.processing_overhead = Duration::zero();
+  ProxyFixture fx(false, config);
+  fx.world->site("scion-fs.local")->add_text("/x", "content");
+  const ProxyResult result = fx.fetch("http://scion-fs.local/x");
+  ASSERT_EQ(result.transport, TransportUsed::kScion);
+  EXPECT_NE(result.trace_id, 0u);
+  ASSERT_FALSE(result.spans.empty());
+  // Both IPC crossings are timed (request + response side).
+  EXPECT_EQ(result.phase_total("ipc"), milliseconds(20));
+  EXPECT_GT(result.phase_total("detect"), Duration::zero());
+  EXPECT_GT(result.phase_total("handshake"), Duration::zero());
+  EXPECT_GT(result.phase_total("fetch"), Duration::zero());
+  // The finished spans were flushed into per-phase histograms.
+  const obs::MetricsRegistry& registry = fx.proxy->metrics();
+  ASSERT_NE(registry.find_histogram("proxy.phase.fetch"), nullptr);
+  EXPECT_EQ(registry.find_histogram("proxy.phase.fetch")->count(), 1u);
+  ASSERT_NE(registry.find_histogram("proxy.request_total"), nullptr);
+  EXPECT_EQ(registry.find_histogram("proxy.request_total")->count(), 1u);
+}
+
+TEST(SkipProxyTest, MetricsEndpointReturnsRegistryJson) {
+  ProxyFixture fx;
+  fx.world->site("scion-fs.local")->add_text("/x", "content");
+  fx.fetch("http://scion-fs.local/x");
+  const ProxyResult result = fx.fetch("/skip/metrics");
+  EXPECT_EQ(result.transport, TransportUsed::kInternal);
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.headers.get("Content-Type"), "application/json");
+  const std::string body = to_string_view_copy(result.response.body);
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(body.find("\"proxy.requests\""), std::string::npos);
+  EXPECT_NE(body.find("\"proxy.phase.fetch\""), std::string::npos);
+  EXPECT_NE(body.find("\"transport.handshake\""), std::string::npos);
+  EXPECT_EQ(fx.proxy->stats().internal, 1u);
+
+  const ProxyResult unknown = fx.fetch("/skip/nope");
+  EXPECT_EQ(unknown.response.status, 404);
 }
 
 TEST(SkipProxyTest, ConnectionReuseAcrossRequests) {
