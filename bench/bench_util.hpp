@@ -61,6 +61,15 @@ inline void print_phase_table(const std::string& title, const obs::MetricsRegist
                 static_cast<unsigned long long>(snap.count), snap.p50.millis(),
                 snap.p95.millis(), snap.p99.millis(), snap.mean().millis());
   }
+  // Time requests spent parked in a connection pool before dispatch
+  // (recorded registry-wide by every http::OriginPool).
+  if (const obs::Histogram* queue = registry.find_histogram("pool.queue_wait");
+      queue != nullptr && queue->count() > 0) {
+    const obs::HistogramSnapshot snap = queue->snapshot();
+    std::printf("%-12s %8llu %8.3f %8.3f %8.3f %8.3f  (ms)\n", "queue_wait",
+                static_cast<unsigned long long>(snap.count), snap.p50.millis(),
+                snap.p95.millis(), snap.p99.millis(), snap.mean().millis());
+  }
   if (const obs::Histogram* total = registry.find_histogram("proxy.request_total");
       total != nullptr && total->count() > 0) {
     const obs::HistogramSnapshot snap = total->snapshot();

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: a plain build + ctest, followed by an ASan+UBSan
+# instrumented build + ctest. Run from the repo root:
+#
+#   scripts/check.sh            # both builds
+#   scripts/check.sh --fast     # plain build only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "==> tier-1: plain build + ctest"
+run_suite build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "==> sanitized: PAN_SANITIZE=ON build + ctest"
+  run_suite build-asan -DPAN_SANITIZE=ON
+fi
+
+echo "==> all checks passed"

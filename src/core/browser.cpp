@@ -9,15 +9,6 @@ namespace {
 constexpr std::string_view kLog = "browser";
 }
 
-struct Browser::DirectOrigin {
-  struct Entry {
-    std::unique_ptr<http::LegacyHttpConnection> conn;
-    std::size_t outstanding = 0;
-  };
-  std::vector<Entry> conns;
-  std::deque<std::pair<http::HttpRequest, http::HttpClientStream::ResponseFn>> waiting;
-};
-
 struct Browser::PageLoad {
   std::string url_text;
   http::Url url;
@@ -36,12 +27,34 @@ struct Browser::PageLoad {
   sim::EventId timeout_event = sim::kInvalidEventId;
 };
 
+http::OriginPoolConfig Browser::direct_pool_config(const BrowserConfig& config) {
+  http::OriginPoolConfig pool;
+  pool.name = "browser.direct";
+  pool.max_conns_per_origin = config.max_conns_per_origin;
+  pool.max_outstanding_per_conn = 1;  // browser-like: no pipelining
+  pool.idle_ttl = config.pool_idle_ttl;
+  return pool;
+}
+
 Browser::Browser(sim::Simulator& sim, BrowserExtension& extension, BrowserConfig config)
-    : sim_(sim), config_(config), extension_(&extension) {}
+    : sim_(sim),
+      config_(config),
+      extension_(&extension),
+      owned_metrics_(config.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                               : nullptr),
+      metrics_(config.metrics != nullptr ? config.metrics : owned_metrics_.get()),
+      direct_pool_(sim, *metrics_, direct_pool_config(config_)) {}
 
 Browser::Browser(sim::Simulator& sim, net::Host& host, dns::Resolver& resolver,
                  BrowserConfig config)
-    : sim_(sim), config_(config), host_(&host), resolver_(&resolver) {}
+    : sim_(sim),
+      config_(config),
+      host_(&host),
+      resolver_(&resolver),
+      owned_metrics_(config.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                               : nullptr),
+      metrics_(config.metrics != nullptr ? config.metrics : owned_metrics_.get()),
+      direct_pool_(sim, *metrics_, direct_pool_config(config_)) {}
 
 Browser::~Browser() = default;
 
@@ -168,11 +181,8 @@ void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t in
     add_conditional_headers(url.to_string(), request);
 
     const std::string origin_key = url.authority();
-    DirectOrigin& origin = *direct_pool_.try_emplace(origin_key,
-                                                     std::make_unique<DirectOrigin>())
-                                .first->second;
-    origin.waiting.emplace_back(
-        std::move(request),
+    direct_pool_.submit(
+        origin_key, std::move(request),
         [this, page, index, url, begun](Result<http::HttpResponse> result) {
           if (page->settled) return;
           ResourceOutcome& res_outcome = page->result.resources[index];
@@ -208,50 +218,12 @@ void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t in
             sim_.schedule_after(config_.parse_delay, [this, page] { pump_queue(page); });
           }
           resource_done(page, index);
+        },
+        [this, ip, port = url.port]() {
+          return std::make_unique<http::LegacyPooledConnection>(*host_,
+                                                                net::Endpoint{ip, port});
         });
-    dispatch_direct(origin_key, ip, url.port);
   });
-}
-
-void Browser::dispatch_direct(const std::string& origin_key, net::IpAddr ip,
-                              std::uint16_t port) {
-  DirectOrigin& origin = *direct_pool_[origin_key];
-  std::erase_if(origin.conns, [](const DirectOrigin::Entry& e) {
-    return e.conn->transport().state() == transport::Connection::State::kClosed &&
-           e.outstanding == 0;
-  });
-  while (!origin.waiting.empty()) {
-    DirectOrigin::Entry* chosen = nullptr;
-    for (DirectOrigin::Entry& entry : origin.conns) {
-      if (entry.outstanding == 0 &&
-          entry.conn->transport().state() != transport::Connection::State::kClosed) {
-        chosen = &entry;
-        break;
-      }
-    }
-    if (chosen == nullptr) {
-      if (origin.conns.size() >= config_.max_conns_per_origin) return;
-      origin.conns.push_back(DirectOrigin::Entry{
-          std::make_unique<http::LegacyHttpConnection>(*host_, net::Endpoint{ip, port}), 0});
-      chosen = &origin.conns.back();
-    }
-    auto [request, cb] = std::move(origin.waiting.front());
-    origin.waiting.pop_front();
-    ++chosen->outstanding;
-    http::LegacyHttpConnection* conn = chosen->conn.get();
-    conn->fetch(request, [this, origin_key, ip, port, conn,
-                          cb = std::move(cb)](Result<http::HttpResponse> result) {
-      DirectOrigin& o = *direct_pool_[origin_key];
-      for (DirectOrigin::Entry& entry : o.conns) {
-        if (entry.conn.get() == conn && entry.outstanding > 0) {
-          --entry.outstanding;
-          break;
-        }
-      }
-      cb(std::move(result));
-      dispatch_direct(origin_key, ip, port);
-    });
-  }
 }
 
 void Browser::add_conditional_headers(const std::string& url_text,
@@ -263,6 +235,30 @@ void Browser::add_conditional_headers(const std::string& url_text,
   }
 }
 
+void Browser::cache_touch(CacheEntry& entry) {
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, entry.lru_it);
+}
+
+void Browser::cache_store(const std::string& url_text, std::string etag, Bytes body) {
+  if (const auto it = cache_.find(url_text); it != cache_.end()) {
+    it->second.etag = std::move(etag);
+    it->second.body = std::move(body);
+    cache_touch(it->second);
+    return;
+  }
+  if (config_.cache_max_entries > 0 && cache_.size() >= config_.cache_max_entries) {
+    // Evict the least-recently-used entry to stay within the cap.
+    const std::string& victim = cache_lru_.back();
+    PAN_DEBUG(kLog) << "cache evicting " << victim;
+    cache_.erase(victim);
+    cache_lru_.pop_back();
+    metrics_->counter("browser.cache.evictions").inc();
+  }
+  cache_lru_.push_front(url_text);
+  cache_.emplace(url_text,
+                 CacheEntry{std::move(etag), std::move(body), cache_lru_.begin()});
+}
+
 const Bytes* Browser::apply_cache(const std::string& url_text, int status,
                                   const http::HttpResponse& response, bool* from_cache) {
   *from_cache = false;
@@ -271,6 +267,7 @@ const Bytes* Browser::apply_cache(const std::string& url_text, int status,
     const auto it = cache_.find(url_text);
     if (it != cache_.end()) {
       *from_cache = true;
+      cache_touch(it->second);
       return &it->second.body;
     }
     return &response.body;  // 304 without a cache entry: treat as empty
@@ -281,7 +278,7 @@ const Bytes* Browser::apply_cache(const std::string& url_text, int status,
       if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
         value = value.substr(1, value.size() - 2);
       }
-      cache_[url_text] = CacheEntry{std::move(value), response.body};
+      cache_store(url_text, std::move(value), response.body);
     }
   }
   return &response.body;

@@ -12,11 +12,13 @@
 #pragma once
 
 #include <deque>
+#include <list>
 #include <memory>
 
 #include "core/extension.hpp"
 #include "core/page.hpp"
 #include "dns/dns.hpp"
+#include "http/origin_pool.hpp"
 
 namespace pan::browser {
 
@@ -32,6 +34,16 @@ struct BrowserConfig {
   Duration parse_delay = microseconds(500);
   /// Direct mode: max parallel legacy connections per origin.
   std::size_t max_conns_per_origin = 6;
+  /// Direct mode: pooled connections idle longer than this are evicted
+  /// (zero = keep forever).
+  Duration pool_idle_ttl = seconds(60);
+  /// Cache entry cap; the least-recently-used entry is evicted beyond it
+  /// (`browser.cache.evictions` counts them).
+  std::size_t cache_max_entries = 512;
+  /// Shared metrics registry for the browser's own instruments
+  /// (`browser.cache.*`, `pool.browser.direct.*`). When null the browser
+  /// owns a private one.
+  obs::MetricsRegistry* metrics = nullptr;
   Duration page_timeout = seconds(30);
 };
 
@@ -86,9 +98,13 @@ class Browser {
 
   [[nodiscard]] bool extension_enabled() const { return extension_ != nullptr; }
 
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+  /// Direct-mode connection pool (introspection for tests).
+  [[nodiscard]] http::OriginPool& direct_pool() { return direct_pool_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
  private:
   struct PageLoad;
-  struct DirectOrigin;
 
   void fetch_resource(const std::shared_ptr<PageLoad>& page, std::size_t index);
   void fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::size_t index,
@@ -103,26 +119,34 @@ class Browser {
   void resource_done(const std::shared_ptr<PageLoad>& page, std::size_t index);
   void pump_queue(const std::shared_ptr<PageLoad>& page);
   void settle(const std::shared_ptr<PageLoad>& page);
-  void dispatch_direct(const std::string& origin_key, net::IpAddr ip, std::uint16_t port);
+  [[nodiscard]] static http::OriginPoolConfig direct_pool_config(const BrowserConfig& config);
 
   struct CacheEntry {
     std::string etag;
     Bytes body;
+    /// Position in cache_lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
   };
   /// Applies cache semantics to a completed response: resolves 304s from
-  /// the cache (returns the effective body) and stores fresh 200s.
+  /// the cache (returns the effective body) and stores fresh 200s. The
+  /// cache is LRU-bounded at config_.cache_max_entries.
   [[nodiscard]] const Bytes* apply_cache(const std::string& url_text, int status,
                                          const http::HttpResponse& response,
                                          bool* from_cache);
   void add_conditional_headers(const std::string& url_text, http::HttpRequest& request) const;
+  void cache_store(const std::string& url_text, std::string etag, Bytes body);
+  void cache_touch(CacheEntry& entry);
 
   sim::Simulator& sim_;
   BrowserConfig config_;
   BrowserExtension* extension_ = nullptr;  // null in direct mode
   net::Host* host_ = nullptr;              // direct mode
   dns::Resolver* resolver_ = nullptr;      // direct mode
-  std::unordered_map<std::string, std::unique_ptr<DirectOrigin>> direct_pool_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // set before direct_pool_
+  http::OriginPool direct_pool_;
   std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> cache_lru_;  // front = most recently used
 };
 
 }  // namespace pan::browser

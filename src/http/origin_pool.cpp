@@ -1,0 +1,344 @@
+#include "http/origin_pool.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pan::http {
+
+namespace {
+
+constexpr std::string_view kLog = "pool";
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strings::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool OriginPool::is_queue_timeout(const std::string& error) {
+  return strings::starts_with(error, kQueueTimeoutError);
+}
+
+bool OriginPool::is_fast_fail(const std::string& error) {
+  return strings::starts_with(error, kFastFailError);
+}
+
+OriginPool::OriginPool(sim::Simulator& sim, obs::MetricsRegistry& metrics,
+                       OriginPoolConfig config)
+    : sim_(sim),
+      metrics_(metrics),
+      config_(std::move(config)),
+      hits_(metrics.counter("pool." + config_.name + ".hits")),
+      misses_(metrics.counter("pool." + config_.name + ".misses")),
+      evictions_(metrics.counter("pool." + config_.name + ".evictions")),
+      pruned_(metrics.counter("pool." + config_.name + ".pruned")),
+      queue_timeouts_(metrics.counter("pool." + config_.name + ".queue_timeouts")),
+      fastfails_(metrics.counter("pool." + config_.name + ".fastfails")),
+      cooldowns_(metrics.counter("pool." + config_.name + ".cooldowns")),
+      conns_gauge_(metrics.gauge("pool." + config_.name + ".conns")),
+      queue_depth_(metrics.gauge("pool." + config_.name + ".queue_depth")),
+      queue_wait_(metrics.histogram("pool.queue_wait")) {}
+
+OriginPool::~OriginPool() { *alive_ = false; }
+
+bool OriginPool::cooling_down(const Origin& origin) const {
+  return config_.backoff_threshold > 0 && sim_.now() < origin.cooldown_until;
+}
+
+void OriginPool::set_conn_gauge() {
+  conns_gauge_.set(static_cast<double>(total_conns_));
+}
+
+void OriginPool::fail_waiter(Waiter waiter, std::string_view error) {
+  if (waiter.timeout_event != sim::kInvalidEventId) sim_.cancel(waiter.timeout_event);
+  waiter.on_response(Err(std::string(error)));
+}
+
+void OriginPool::submit(const std::string& key, HttpRequest request,
+                        HttpClientStream::ResponseFn on_response, ConnFactory factory) {
+  Origin& origin = origins_[key];
+  if (cooling_down(origin)) {
+    fastfails_.inc();
+    on_response(Err(std::string(kFastFailError) + ": " + key));
+    return;
+  }
+  Waiter waiter;
+  waiter.id = next_waiter_id_++;
+  waiter.request = std::move(request);
+  waiter.on_response = std::move(on_response);
+  waiter.factory = std::move(factory);
+  waiter.enqueued_at = sim_.now();
+  if (config_.queue_timeout > Duration::zero()) {
+    waiter.timeout_event = sim_.schedule_after(
+        config_.queue_timeout, [this, alive = alive_, key, id = waiter.id] {
+          if (!*alive) return;
+          const auto it = origins_.find(key);
+          if (it == origins_.end()) return;
+          auto& waiting = it->second.waiting;
+          const auto wit = std::find_if(waiting.begin(), waiting.end(),
+                                        [id](const Waiter& w) { return w.id == id; });
+          if (wit == waiting.end()) return;  // already dispatched
+          Waiter timed_out = std::move(*wit);
+          waiting.erase(wit);
+          --total_queued_;
+          queue_depth_.set(static_cast<double>(total_queued_));
+          queue_timeouts_.inc();
+          timed_out.timeout_event = sim::kInvalidEventId;  // this event; already fired
+          PAN_DEBUG(kLog) << config_.name << "/" << key << ": queue-wait timeout";
+          fail_waiter(std::move(timed_out), std::string(kQueueTimeoutError) + ": " + key);
+        });
+  }
+  origin.waiting.push_back(std::move(waiter));
+  ++total_queued_;
+  queue_depth_.set(static_cast<double>(total_queued_));
+  dispatch(key);
+}
+
+void OriginPool::release_deferred(std::unique_ptr<PooledConnection> conn) {
+  // A completion callback on this connection may still be on the call stack
+  // (fetch() can complete synchronously on a dead stream, and the transport
+  // touches itself again after invoking the callback), so destruction is
+  // deferred through the event loop.
+  std::shared_ptr<PooledConnection> dead(std::move(conn));
+  sim_.schedule_after(Duration::zero(), [dead] {});
+}
+
+void OriginPool::prune_closed(Origin& origin) {
+  std::size_t removed = 0;
+  for (auto it = origin.conns.begin(); it != origin.conns.end();) {
+    if (it->conn->transport().state() == transport::Connection::State::kClosed &&
+        it->outstanding == 0) {
+      release_deferred(std::move(it->conn));
+      it = origin.conns.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) {
+    pruned_.inc(removed);
+    total_conns_ -= removed;
+    set_conn_gauge();
+  }
+}
+
+void OriginPool::dispatch(const std::string& key) {
+  // Re-entrancy: fetch() can complete synchronously (dead stream), and the
+  // completion path runs user callbacks that may submit() again — which can
+  // rehash origins_ or grow this origin's connection vector. No reference
+  // into the map survives across a fetch; every iteration re-looks-up.
+  {
+    const auto it = origins_.find(key);
+    if (it == origins_.end()) return;
+    prune_closed(it->second);
+  }
+  while (true) {
+    auto it = origins_.find(key);
+    if (it == origins_.end() || it->second.waiting.empty()) return;
+    Origin& origin = it->second;
+    if (cooling_down(origin)) {
+      // The origin tripped its cool-down with requests still parked behind
+      // it; fail them now rather than dialing a known-dead origin.
+      Waiter waiter = std::move(origin.waiting.front());
+      origin.waiting.pop_front();
+      --total_queued_;
+      queue_depth_.set(static_cast<double>(total_queued_));
+      fastfails_.inc();
+      fail_waiter(std::move(waiter), std::string(kFastFailError) + ": " + key);
+      continue;
+    }
+
+    // Least-outstanding live connection.
+    std::size_t best = kNone;
+    for (std::size_t i = 0; i < origin.conns.size(); ++i) {
+      const Entry& entry = origin.conns[i];
+      if (entry.conn->transport().state() == transport::Connection::State::kClosed) continue;
+      if (best == kNone || entry.outstanding < origin.conns[best].outstanding) best = i;
+    }
+    std::size_t chosen = kNone;
+    if (best != kNone && origin.conns[best].outstanding == 0) {
+      chosen = best;  // idle connection: plain reuse
+      hits_.inc();
+    } else if (origin.conns.size() < config_.max_conns_per_origin) {
+      origin.conns.push_back(Entry{origin.waiting.front().factory(), 0, 0});
+      chosen = origin.conns.size() - 1;
+      ++total_conns_;
+      set_conn_gauge();
+      misses_.inc();
+    } else if (best != kNone && (config_.max_outstanding_per_conn == 0 ||
+                                 origin.conns[best].outstanding <
+                                     config_.max_outstanding_per_conn)) {
+      chosen = best;  // pool full: share the least-loaded live connection
+      hits_.inc();
+    } else {
+      return;  // at capacity; the waiter stays parked
+    }
+
+    Waiter waiter = std::move(origin.waiting.front());
+    origin.waiting.pop_front();
+    --total_queued_;
+    queue_depth_.set(static_cast<double>(total_queued_));
+    if (waiter.timeout_event != sim::kInvalidEventId) sim_.cancel(waiter.timeout_event);
+    queue_wait_.record(sim_.now() - waiter.enqueued_at);
+
+    Entry& entry = origin.conns[chosen];
+    ++entry.outstanding;
+    ++entry.idle_epoch;  // invalidates any pending idle-eviction check
+    PooledConnection* conn = entry.conn.get();
+    conn->fetch(waiter.request,
+                [this, alive = alive_, key, conn, cb = std::move(waiter.on_response)](
+                    Result<HttpResponse> result) mutable {
+                  if (!*alive) {
+                    cb(std::move(result));
+                    return;
+                  }
+                  on_fetch_done(key, conn, result.ok());
+                  cb(std::move(result));
+                  if (*alive) dispatch(key);
+                });
+  }
+}
+
+void OriginPool::on_fetch_done(const std::string& key, PooledConnection* conn, bool ok) {
+  const auto it = origins_.find(key);
+  if (it == origins_.end()) return;
+  Origin& origin = it->second;
+  for (Entry& entry : origin.conns) {
+    if (entry.conn.get() != conn || entry.outstanding == 0) continue;
+    --entry.outstanding;
+    if (entry.outstanding == 0) arm_idle_eviction(key, entry);
+    break;
+  }
+  if (ok) {
+    origin.consecutive_failures = 0;
+    return;
+  }
+  ++origin.consecutive_failures;
+  if (config_.backoff_threshold > 0 &&
+      origin.consecutive_failures >= config_.backoff_threshold &&
+      !cooling_down(origin)) {
+    origin.cooldown_until = sim_.now() + config_.backoff_cooldown;
+    cooldowns_.inc();
+    PAN_DEBUG(kLog) << config_.name << "/" << key << ": " << origin.consecutive_failures
+                    << " consecutive failures, cooling down";
+  }
+}
+
+void OriginPool::arm_idle_eviction(const std::string& key, Entry& entry) {
+  if (config_.idle_ttl <= Duration::zero()) return;
+  const std::uint64_t epoch = entry.idle_epoch;
+  PooledConnection* conn = entry.conn.get();
+  sim_.schedule_after(config_.idle_ttl, [this, alive = alive_, key, conn, epoch] {
+    if (!*alive) return;
+    const auto it = origins_.find(key);
+    if (it == origins_.end()) return;
+    auto& conns = it->second.conns;
+    const auto cit = std::find_if(conns.begin(), conns.end(),
+                                  [conn](const Entry& e) { return e.conn.get() == conn; });
+    if (cit == conns.end() || cit->outstanding != 0 || cit->idle_epoch != epoch) return;
+    cit->conn->shutdown();
+    release_deferred(std::move(cit->conn));
+    conns.erase(cit);
+    --total_conns_;
+    evictions_.inc();
+    ++it->second.evictions;
+    set_conn_gauge();
+  });
+}
+
+std::size_t OriginPool::migrate(const std::string& key, const scion::Path& path) {
+  const auto it = origins_.find(key);
+  if (it == origins_.end()) return 0;
+  std::size_t migrated = 0;
+  for (Entry& entry : it->second.conns) {
+    auto* scion_conn = dynamic_cast<ScionPooledConnection*>(entry.conn.get());
+    if (scion_conn == nullptr) continue;
+    if (scion_conn->transport().state() == transport::Connection::State::kClosed) continue;
+    if (scion_conn->path().fingerprint() == path.fingerprint()) continue;
+    scion_conn->set_path(path);
+    ++migrated;
+  }
+  return migrated;
+}
+
+OriginPool::PooledConnection* OriginPool::primary(const std::string& key) {
+  const auto it = origins_.find(key);
+  if (it == origins_.end()) return nullptr;
+  for (const Entry& entry : it->second.conns) {
+    if (entry.conn->transport().state() != transport::Connection::State::kClosed) {
+      return entry.conn.get();
+    }
+  }
+  return nullptr;
+}
+
+void OriginPool::for_each_connection(
+    const std::function<void(const std::string& key, PooledConnection& conn)>& fn) {
+  for (auto& [key, origin] : origins_) {
+    for (Entry& entry : origin.conns) fn(key, *entry.conn);
+  }
+}
+
+std::vector<OriginPool::OriginSnapshot> OriginPool::snapshot() const {
+  std::vector<OriginSnapshot> out;
+  out.reserve(origins_.size());
+  for (const auto& [key, origin] : origins_) {
+    OriginSnapshot snap;
+    snap.key = key;
+    snap.conns = origin.conns.size();
+    for (const Entry& entry : origin.conns) {
+      snap.outstanding += entry.outstanding;
+      snap.per_conn_outstanding.push_back(entry.outstanding);
+    }
+    snap.queued = origin.waiting.size();
+    snap.evictions = origin.evictions;
+    snap.consecutive_failures = origin.consecutive_failures;
+    snap.cooling_down = cooling_down(origin);
+    out.push_back(std::move(snap));
+  }
+  // Deterministic order for JSON dumps and tests.
+  std::sort(out.begin(), out.end(),
+            [](const OriginSnapshot& a, const OriginSnapshot& b) { return a.key < b.key; });
+  return out;
+}
+
+std::string OriginPool::snapshot_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const OriginSnapshot& snap : snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"origin\":";
+    append_json_string(out, snap.key);
+    out += strings::format(
+        ",\"conns\":%zu,\"outstanding\":%zu,\"queued\":%zu,\"evictions\":%llu,"
+        "\"consecutive_failures\":%zu,\"cooling_down\":%s",
+        snap.conns, snap.outstanding, snap.queued,
+        static_cast<unsigned long long>(snap.evictions), snap.consecutive_failures,
+        snap.cooling_down ? "true" : "false");
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pan::http

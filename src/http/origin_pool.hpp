@@ -1,0 +1,251 @@
+// Keyed per-origin HTTP connection pool — the one connection manager every
+// layer dispatches through (Socket-Intents-style centralization: reuse,
+// failover and measurement live behind one policy-aware API instead of being
+// re-implemented per caller).
+//
+// Users of the pool:
+//   - Browser direct mode ("BGP/IP-Only"): per-origin LegacyHttpConnection
+//     fan-out with browser-like no-pipelining dispatch;
+//   - SkipProxy legacy pool: same shape, per ProxyConfig caps;
+//   - SkipProxy SCION pool: one multiplexed ScionHttpConnection per origin
+//     (max_conns_per_origin = 1, unlimited outstanding), with live path
+//     migration (`migrate`) driven by SCMP;
+//   - ReverseProxy backend pool: capped fan-out that, once full, pipelines
+//     onto the *least-outstanding* live connection.
+//
+// The pool owns: the per-origin connection cap, the FIFO waiter queue,
+// closed-connection pruning, least-outstanding dispatch, idle-connection
+// eviction on a configurable TTL, a queue-wait timeout for parked waiters,
+// and per-origin failure backoff (consecutive errors trip a cool-down during
+// which submissions fast-fail instead of dialing a dead origin).
+//
+// Observability: every pool reports into an obs::MetricsRegistry —
+// `pool.<name>.{hits,misses,evictions,pruned,queue_timeouts,fastfails,
+// cooldowns}` counters, `pool.<name>.{conns,queue_depth}` gauges, and the
+// registry-wide `pool.queue_wait` latency histogram (time a request spends
+// parked before dispatch; surfaces in the fig3/fig5 bench phase tables).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "http/endpoints.hpp"
+#include "obs/metrics.hpp"
+#include "scion/path.hpp"
+#include "sim/simulator.hpp"
+
+namespace pan::http {
+
+struct OriginPoolConfig {
+  /// Metric namespace: instruments register as `pool.<name>.*`.
+  std::string name = "pool";
+  std::size_t max_conns_per_origin = 6;
+  /// Requests a single connection may carry at once. 1 = browser-style "no
+  /// pipelining"; 0 = unlimited (QUIC-style multiplexing, or HTTP/1
+  /// pipelining as the reverse proxy's overload valve).
+  std::size_t max_outstanding_per_conn = 1;
+  /// Evict a connection idle for this long (zero = keep forever).
+  Duration idle_ttl = Duration::zero();
+  /// Fail a waiter still parked in the queue after this long with
+  /// `kQueueTimeoutError` (zero = wait indefinitely).
+  Duration queue_timeout = Duration::zero();
+  /// Consecutive fetch failures against one origin that trip its cool-down
+  /// (zero = backoff disabled).
+  std::size_t backoff_threshold = 0;
+  /// While cooling down, submissions fast-fail with `kFastFailError`.
+  Duration backoff_cooldown = seconds(5);
+};
+
+class OriginPool {
+ public:
+  /// The erased connection kind the pool manages. Adapters below wrap the
+  /// concrete LegacyHttpConnection / ScionHttpConnection endpoints.
+  class PooledConnection {
+   public:
+    virtual ~PooledConnection() = default;
+    virtual void fetch(const HttpRequest& request,
+                       HttpClientStream::ResponseFn on_response) = 0;
+    [[nodiscard]] virtual transport::Connection& transport() = 0;
+    /// Closes the underlying transport (idle eviction, pool teardown).
+    virtual void shutdown() = 0;
+  };
+  /// Called when the pool decides a new connection is needed for the waiter
+  /// being dispatched (the waiter carries its own factory: endpoint details
+  /// are per-request knowledge of the caller).
+  using ConnFactory = std::function<std::unique_ptr<PooledConnection>()>;
+
+  /// Error strings surfaced through waiter callbacks. Callers map them to
+  /// protocol responses (the SKIP proxy answers 504 / 503).
+  static constexpr std::string_view kQueueTimeoutError = "pool queue-wait timeout";
+  static constexpr std::string_view kFastFailError = "pool origin cooling down";
+  [[nodiscard]] static bool is_queue_timeout(const std::string& error);
+  [[nodiscard]] static bool is_fast_fail(const std::string& error);
+
+  OriginPool(sim::Simulator& sim, obs::MetricsRegistry& metrics, OriginPoolConfig config);
+  ~OriginPool();
+
+  OriginPool(const OriginPool&) = delete;
+  OriginPool& operator=(const OriginPool&) = delete;
+
+  /// Queues `request` for `key` and dispatches as capacity allows. The
+  /// response callback fires exactly once: with the origin's response, a
+  /// transport error, `kQueueTimeoutError`, or `kFastFailError`.
+  void submit(const std::string& key, HttpRequest request,
+              HttpClientStream::ResponseFn on_response, ConnFactory factory);
+
+  /// Moves every live SCION connection for `key` onto `path` (no-op for
+  /// fingerprint-identical paths and non-SCION entries). Returns the number
+  /// of connections actually migrated. In-flight data redelivers over the
+  /// new path via normal loss recovery.
+  std::size_t migrate(const std::string& key, const scion::Path& path);
+
+  /// First live connection pooled for `key` (nullptr when none). The caller
+  /// knows what it pooled; downcast via `primary_as<T>`.
+  [[nodiscard]] PooledConnection* primary(const std::string& key);
+  template <typename T>
+  [[nodiscard]] T* primary_as(const std::string& key) {
+    return dynamic_cast<T*>(primary(key));
+  }
+
+  void for_each_connection(
+      const std::function<void(const std::string& key, PooledConnection& conn)>& fn);
+
+  struct OriginSnapshot {
+    std::string key;
+    std::size_t conns = 0;
+    std::size_t outstanding = 0;  // sum over connections
+    std::size_t queued = 0;
+    std::uint64_t evictions = 0;  // idle-TTL evictions on this origin
+    std::size_t consecutive_failures = 0;
+    bool cooling_down = false;
+    /// Per-connection outstanding counts (dispatch-balance introspection).
+    std::vector<std::size_t> per_conn_outstanding;
+  };
+  [[nodiscard]] std::vector<OriginSnapshot> snapshot() const;
+  /// Snapshot rendered as a JSON array (served by `GET /skip/pool`).
+  [[nodiscard]] std::string snapshot_json() const;
+
+  [[nodiscard]] std::size_t origin_count() const { return origins_.size(); }
+  [[nodiscard]] const OriginPoolConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<PooledConnection> conn;
+    std::size_t outstanding = 0;
+    /// Bumped on every dispatch; an idle-eviction event only fires if the
+    /// connection is still on the epoch it went idle with.
+    std::uint64_t idle_epoch = 0;
+  };
+  struct Waiter {
+    std::uint64_t id = 0;
+    HttpRequest request;
+    HttpClientStream::ResponseFn on_response;
+    ConnFactory factory;
+    TimePoint enqueued_at;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+  struct Origin {
+    std::vector<Entry> conns;
+    std::deque<Waiter> waiting;
+    std::size_t consecutive_failures = 0;
+    TimePoint cooldown_until = TimePoint::origin();
+    std::uint64_t evictions = 0;
+  };
+
+  void dispatch(const std::string& key);
+  void fail_waiter(Waiter waiter, std::string_view error);
+  [[nodiscard]] bool cooling_down(const Origin& origin) const;
+  void on_fetch_done(const std::string& key, PooledConnection* conn, bool ok);
+  void arm_idle_eviction(const std::string& key, Entry& entry);
+  void prune_closed(Origin& origin);
+  /// Destroys `conn` from the event loop, never synchronously: a completion
+  /// callback on it may still be on the call stack.
+  void release_deferred(std::unique_ptr<PooledConnection> conn);
+  void set_conn_gauge();
+
+  sim::Simulator& sim_;
+  obs::MetricsRegistry& metrics_;
+  OriginPoolConfig config_;
+  std::unordered_map<std::string, Origin> origins_;
+  std::uint64_t next_waiter_id_ = 1;
+  std::size_t total_conns_ = 0;
+  std::size_t total_queued_ = 0;
+  // Cached instruments (registry references are stable).
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Counter& pruned_;
+  obs::Counter& queue_timeouts_;
+  obs::Counter& fastfails_;
+  obs::Counter& cooldowns_;
+  obs::Gauge& conns_gauge_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& queue_wait_;
+  /// Guards simulator events (queue timeouts, idle eviction) and in-flight
+  /// fetch callbacks against pool teardown.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// LegacyHttpConnection (HTTP over TCP-lite/IP) pool adapter.
+class LegacyPooledConnection final : public OriginPool::PooledConnection {
+ public:
+  LegacyPooledConnection(net::Host& host, net::Endpoint server,
+                         transport::TransportConfig config = default_tcp_config())
+      : conn_(host, server, std::move(config)) {}
+
+  void fetch(const HttpRequest& request, HttpClientStream::ResponseFn on_response) override {
+    conn_.fetch(request, std::move(on_response));
+  }
+  [[nodiscard]] transport::Connection& transport() override { return conn_.transport(); }
+  void shutdown() override { conn_.close(); }
+
+ private:
+  LegacyHttpConnection conn_;
+};
+
+/// ScionHttpConnection (HTTP over QUIC-lite/SCION) pool adapter. Carries the
+/// origin metadata the proxy needs back out of the pool: the path the
+/// connection currently uses and the host/port as parsed at insert time (the
+/// SCMP reroute path and the policy router consume these instead of
+/// re-splitting the pool key, which breaks for hosts containing a colon).
+class ScionPooledConnection final : public OriginPool::PooledConnection {
+ public:
+  ScionPooledConnection(scion::ScionStack& stack, scion::ScionEndpoint server,
+                        scion::Path path, std::string host, std::uint16_t port,
+                        transport::TransportConfig config = default_quic_config())
+      : conn_(stack, server, path.dataplane(), std::move(config)),
+        path_(std::move(path)),
+        addr_(server.addr),
+        host_(std::move(host)),
+        port_(port) {}
+
+  void fetch(const HttpRequest& request, HttpClientStream::ResponseFn on_response) override {
+    conn_.fetch(request, std::move(on_response));
+  }
+  [[nodiscard]] transport::Connection& transport() override { return conn_.transport(); }
+  void shutdown() override { conn_.close(); }
+
+  /// Migrates the connection onto `path` (unconditionally; OriginPool::migrate
+  /// performs the fingerprint comparison).
+  void set_path(scion::Path path) {
+    conn_.set_path(path.dataplane());
+    path_ = std::move(path);
+  }
+  [[nodiscard]] const scion::Path& path() const { return path_; }
+  [[nodiscard]] const scion::ScionAddr& addr() const { return addr_; }
+  [[nodiscard]] const std::string& host() const { return host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  ScionHttpConnection conn_;
+  scion::Path path_;
+  scion::ScionAddr addr_;
+  std::string host_;
+  std::uint16_t port_;
+};
+
+}  // namespace pan::http

@@ -2,9 +2,32 @@
 
 namespace pan::proxy {
 
+namespace {
+/// The pool key for the single configured backend.
+constexpr const char* kBackendKey = "backend";
+}  // namespace
+
+http::OriginPoolConfig ReverseProxy::backend_pool_config(const ReverseProxyConfig& config) {
+  http::OriginPoolConfig pool;
+  pool.name = "revproxy.backend";
+  pool.max_conns_per_origin = config.max_backend_conns;
+  // Unlimited outstanding per connection: once the pool is full, requests
+  // pipeline onto the *least-outstanding* live connection instead of
+  // convoying behind the first one.
+  pool.max_outstanding_per_conn = 0;
+  pool.idle_ttl = config.pool_idle_ttl;
+  return pool;
+}
+
 ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
                            net::Endpoint backend, ReverseProxyConfig config)
-    : stack_(stack), backend_(backend), config_(std::move(config)) {
+    : stack_(stack),
+      backend_(backend),
+      config_(std::move(config)),
+      owned_metrics_(config_.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                                : nullptr),
+      metrics_(config_.metrics != nullptr ? config_.metrics : owned_metrics_.get()),
+      backend_pool_(stack.host().simulator(), *metrics_, backend_pool_config(config_)) {
   server_ = std::make_unique<http::ScionHttpServer>(
       stack_, listen_port,
       [this](const http::HttpRequest& request, http::HttpServer::Respond respond) {
@@ -13,65 +36,32 @@ ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
       config_.quic);
 }
 
-http::LegacyHttpConnection* ReverseProxy::idle_backend_conn() {
-  std::erase_if(backend_conns_, [](const BackendEntry& e) {
-    return e.conn->transport().state() == transport::Connection::State::kClosed &&
-           e.outstanding == 0;
-  });
-  for (BackendEntry& entry : backend_conns_) {
-    if (entry.outstanding == 0 &&
-        entry.conn->transport().state() != transport::Connection::State::kClosed) {
-      ++entry.outstanding;
-      return entry.conn.get();
-    }
-  }
-  if (backend_conns_.size() >= config_.max_backend_conns) {
-    // Pipeline on the first live connection rather than dropping.
-    for (BackendEntry& entry : backend_conns_) {
-      if (entry.conn->transport().state() != transport::Connection::State::kClosed) {
-        ++entry.outstanding;
-        return entry.conn.get();
-      }
-    }
-    return nullptr;
-  }
-  backend_conns_.push_back(BackendEntry{
-      std::make_unique<http::LegacyHttpConnection>(stack_.host(), backend_, config_.tcp), 1});
-  return backend_conns_.back().conn.get();
-}
-
 void ReverseProxy::relay(const http::HttpRequest& request,
                          http::HttpServer::Respond respond) {
   auto forward = [this, request, respond = std::move(respond)]() mutable {
-    http::LegacyHttpConnection* conn = idle_backend_conn();
-    if (conn == nullptr) {
-      respond(http::make_text_response(503, "reverse proxy: backend pool exhausted"));
-      return;
-    }
-    conn->fetch(request, [this, conn,
-                          respond = std::move(respond)](Result<http::HttpResponse> result) {
-      for (BackendEntry& entry : backend_conns_) {
-        if (entry.conn.get() == conn && entry.outstanding > 0) {
-          --entry.outstanding;
-          break;
-        }
-      }
-      ++relayed_;
-      if (!result.ok()) {
-        ++backend_errors_;
-        respond(http::make_text_response(502, "reverse proxy: " + result.error()));
-        return;
-      }
-      http::HttpResponse response = std::move(result).take();
-      if (config_.inject_strict_scion.has_value()) {
-        http::set_strict_scion(response, *config_.inject_strict_scion);
-      }
-      if (config_.inject_path_preference.has_value()) {
-        response.headers.set("Path-Preference", *config_.inject_path_preference);
-      }
-      response.headers.set("Via", "pan-reverse-proxy");
-      respond(std::move(response));
-    });
+    backend_pool_.submit(
+        kBackendKey, request,
+        [this, respond = std::move(respond)](Result<http::HttpResponse> result) {
+          ++relayed_;
+          if (!result.ok()) {
+            ++backend_errors_;
+            respond(http::make_text_response(502, "reverse proxy: " + result.error()));
+            return;
+          }
+          http::HttpResponse response = std::move(result).take();
+          if (config_.inject_strict_scion.has_value()) {
+            http::set_strict_scion(response, *config_.inject_strict_scion);
+          }
+          if (config_.inject_path_preference.has_value()) {
+            response.headers.set("Path-Preference", *config_.inject_path_preference);
+          }
+          response.headers.set("Via", "pan-reverse-proxy");
+          respond(std::move(response));
+        },
+        [this]() {
+          return std::make_unique<http::LegacyPooledConnection>(stack_.host(), backend_,
+                                                                config_.tcp);
+        });
   };
   if (config_.processing_overhead > Duration::zero()) {
     stack_.host().simulator().schedule_after(config_.processing_overhead, std::move(forward));

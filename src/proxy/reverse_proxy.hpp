@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "http/endpoints.hpp"
+#include "http/origin_pool.hpp"
 #include "http/strict_scion.hpp"
 
 namespace pan::proxy {
@@ -25,6 +26,11 @@ struct ReverseProxyConfig {
   transport::TransportConfig quic = http::default_quic_config();
   transport::TransportConfig tcp = http::default_tcp_config();
   std::size_t max_backend_conns = 8;
+  /// Backend connections idle longer than this are evicted (zero = never).
+  Duration pool_idle_ttl = seconds(60);
+  /// Shared metrics registry (`pool.revproxy.backend.*` instruments). When
+  /// null the proxy owns a private one.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ReverseProxy {
@@ -36,19 +42,22 @@ class ReverseProxy {
 
   [[nodiscard]] std::uint64_t requests_relayed() const { return relayed_; }
   [[nodiscard]] std::uint64_t backend_errors() const { return backend_errors_; }
+  /// The backend connection pool (introspection for tests). Once the pool
+  /// is at max_backend_conns, further requests pipeline onto the
+  /// least-outstanding live connection.
+  [[nodiscard]] http::OriginPool& backend_pool() { return backend_pool_; }
 
  private:
   void relay(const http::HttpRequest& request, http::HttpServer::Respond respond);
-  http::LegacyHttpConnection* idle_backend_conn();
+  [[nodiscard]] static http::OriginPoolConfig backend_pool_config(
+      const ReverseProxyConfig& config);
 
   scion::ScionStack& stack_;
   net::Endpoint backend_;
   ReverseProxyConfig config_;
-  struct BackendEntry {
-    std::unique_ptr<http::LegacyHttpConnection> conn;
-    std::size_t outstanding = 0;
-  };
-  std::vector<BackendEntry> backend_conns_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // set before backend_pool_
+  http::OriginPool backend_pool_;
   std::unique_ptr<http::ScionHttpServer> server_;
   std::uint64_t relayed_ = 0;
   std::uint64_t backend_errors_ = 0;

@@ -38,6 +38,30 @@ Duration ProxyResult::phase_total(std::string_view phase) const {
   return sum;
 }
 
+http::OriginPoolConfig SkipProxy::legacy_pool_config(const ProxyConfig& config) {
+  http::OriginPoolConfig pool;
+  pool.name = "legacy";
+  pool.max_conns_per_origin = config.max_legacy_conns_per_origin;
+  pool.max_outstanding_per_conn = 1;  // browser-like: no pipelining
+  pool.idle_ttl = config.pool_idle_ttl;
+  pool.queue_timeout = config.request_timeout;
+  pool.backoff_threshold = config.pool_backoff_threshold;
+  pool.backoff_cooldown = config.pool_backoff_cooldown;
+  return pool;
+}
+
+http::OriginPoolConfig SkipProxy::scion_pool_config(const ProxyConfig& config) {
+  http::OriginPoolConfig pool;
+  pool.name = "scion";
+  pool.max_conns_per_origin = 1;     // one QUIC connection per origin...
+  pool.max_outstanding_per_conn = 0;  // ...multiplexing all requests
+  pool.idle_ttl = config.pool_idle_ttl;
+  pool.queue_timeout = config.request_timeout;
+  pool.backoff_threshold = config.pool_backoff_threshold;
+  pool.backoff_cooldown = config.pool_backoff_cooldown;
+  return pool;
+}
+
 SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& stack,
                      scion::Daemon& daemon, dns::Resolver& resolver, ProxyConfig config)
     : sim_(sim),
@@ -49,7 +73,9 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
                                                : nullptr),
       metrics_(config.metrics != nullptr ? config.metrics : owned_metrics_.get()),
       detector_(sim, resolver),
-      selector_(daemon, metrics_) {
+      selector_(daemon, metrics_),
+      legacy_pool_(sim, *metrics_, legacy_pool_config(config_)),
+      scion_pool_(sim, *metrics_, scion_pool_config(config_)) {
   scmp_subscription_ = stack_.subscribe_scmp(
       [this](const scion::ScmpMessage& message) { on_scmp(message); });
 }
@@ -77,13 +103,15 @@ ProxyStats SkipProxy::stats() const {
   return stats;
 }
 
-std::vector<SkipProxy::PooledScionOrigin> SkipProxy::scion_pool_snapshot() const {
+std::vector<SkipProxy::PooledScionOrigin> SkipProxy::scion_pool_snapshot() {
   std::vector<PooledScionOrigin> out;
-  out.reserve(scion_pool_.size());
-  for (const auto& [key, origin] : scion_pool_) {
-    out.push_back(PooledScionOrigin{key, origin.host, origin.port,
-                                    origin.path.fingerprint()});
-  }
+  scion_pool_.for_each_connection(
+      [&out](const std::string& key, http::OriginPool::PooledConnection& conn) {
+        auto* scion_conn = dynamic_cast<http::ScionPooledConnection*>(&conn);
+        if (scion_conn == nullptr) return;
+        out.push_back(PooledScionOrigin{key, scion_conn->host(), scion_conn->port(),
+                                        scion_conn->path().fingerprint()});
+      });
   return out;
 }
 
@@ -92,38 +120,43 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
   selector_.revoke(message.origin_as, message.interface, config_.revocation_ttl);
   PAN_DEBUG(kLog) << "revoking after " << message.to_string();
   // Migrate every pooled connection whose current path crosses the broken
-  // interface: re-select and switch the QUIC connection's conduit; loss
-  // recovery redelivers in-flight data over the new path.
-  for (auto& [key, origin] : scion_pool_) {
-    if (origin.conn == nullptr ||
-        origin.conn->transport().state() == transport::Connection::State::kClosed) {
-      continue;
-    }
-    if (!origin.path.uses_interface(message.origin_as, message.interface)) continue;
-    const std::string origin_key = key;
+  // interface: re-select and switch the QUIC connection's conduit via the
+  // pool; loss recovery redelivers in-flight data over the new path.
+  struct Affected {
+    std::string key;
+    scion::IsdAsn ia;
+    std::string host;
+  };
+  std::vector<Affected> affected;
+  scion_pool_.for_each_connection(
+      [&](const std::string& key, http::OriginPool::PooledConnection& conn) {
+        auto* scion_conn = dynamic_cast<http::ScionPooledConnection*>(&conn);
+        if (scion_conn == nullptr ||
+            scion_conn->transport().state() == transport::Connection::State::kClosed) {
+          return;
+        }
+        if (!scion_conn->path().uses_interface(message.origin_as, message.interface)) return;
+        // The host was parsed once at pool-insert time; splitting the key at
+        // its first ':' would mis-handle any host containing a colon.
+        affected.push_back(Affected{key, scion_conn->addr().ia, scion_conn->host()});
+      });
+  for (const Affected& origin : affected) {
     std::optional<ppl::PolicySet> per_site_policies;
     if (policy_router_.rule_count() > 0) {
-      // The host was parsed once at pool-insert time; splitting the key at
-      // its first ':' would mis-handle any host containing a colon.
       per_site_policies = policy_router_.match(origin.host);
     }
-    selector_.choose(origin.addr.ia, {}, [this, origin_key](PathChoice choice) {
-      const auto it = scion_pool_.find(origin_key);
-      if (it == scion_pool_.end() || it->second.conn == nullptr) return;
+    selector_.choose(origin.ia, {}, [this, key = origin.key](PathChoice choice) {
       const scion::Path* replacement = nullptr;
       if (choice.compliant.has_value()) {
         replacement = &*choice.compliant;
       } else if (choice.any.has_value()) {
         replacement = &*choice.any;
       }
-      if (replacement == nullptr ||
-          replacement->fingerprint() == it->second.path.fingerprint()) {
-        return;  // nothing better available
-      }
-      metrics_->counter("proxy.scmp_reroutes").inc();
-      PAN_DEBUG(kLog) << origin_key << ": migrating to " << replacement->to_string();
-      it->second.conn->set_path(replacement->dataplane());
-      it->second.path = *replacement;
+      if (replacement == nullptr) return;  // nothing better available
+      const std::size_t migrated = scion_pool_.migrate(key, *replacement);
+      if (migrated == 0) return;  // already on (or equal to) this path
+      metrics_->counter("proxy.scmp_reroutes").inc(migrated);
+      PAN_DEBUG(kLog) << key << ": migrating to " << replacement->to_string();
     },
                      std::move(per_site_policies));
   }
@@ -191,11 +224,26 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
   ProxyResult result;
   result.transport = TransportUsed::kInternal;
   if (request.target == "/skip/metrics") {
-    metrics_->gauge("proxy.scion_pool_size").set(static_cast<double>(scion_pool_.size()));
-    metrics_->gauge("proxy.legacy_pool_size").set(static_cast<double>(legacy_pool_.size()));
+    metrics_->gauge("proxy.scion_pool_size")
+        .set(static_cast<double>(scion_pool_.origin_count()));
+    metrics_->gauge("proxy.legacy_pool_size")
+        .set(static_cast<double>(legacy_pool_.origin_count()));
     http::HttpResponse response =
         http::make_response(200, from_string(metrics_->to_json()), "application/json");
     result.response = std::move(response);
+  } else if (request.target == "/skip/pool") {
+    // Per-origin pool state; the scion side additionally reports the path
+    // each pooled connection currently rides.
+    std::string body = "{\"legacy\":" + legacy_pool_.snapshot_json() + ",\"scion\":" +
+                       scion_pool_.snapshot_json() + ",\"scion_paths\":{";
+    bool first = true;
+    for (const PooledScionOrigin& origin : scion_pool_snapshot()) {
+      if (!first) body += ",";
+      first = false;
+      body += "\"" + origin.key + "\":\"" + origin.path_fingerprint + "\"";
+    }
+    body += "}}";
+    result.response = http::make_response(200, from_string(body), "application/json");
   } else {
     result.response = synthetic_error(404, "unknown proxy endpoint: " + request.target);
   }
@@ -330,21 +378,21 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
                                  bool compliant, std::optional<net::IpAddr> fallback_ip,
                                  RequestPtr req) {
   const std::string key = url.authority();
-  ScionOrigin& origin = scion_pool_[key];
-  if (origin.conn == nullptr ||
-      origin.conn->transport().state() == transport::Connection::State::kClosed) {
+  // A live pooled connection follows the freshly selected path (the pool
+  // no-ops when the fingerprint is unchanged).
+  scion_pool_.migrate(key, path);
+
+  http::HttpRequest origin_request = to_origin_form(url, std::move(request));
+  req->trace->begin("fetch");
+  auto factory = [this, key, url, addr, path, req]() {
     // 0-RTT resumption: origins we have spoken SCION to before accept early
     // data, saving a handshake round trip on reconnects.
     transport::TransportConfig quic = config_.quic;
     quic.zero_rtt = resumption_tickets_.contains(key);
     req->trace->begin("handshake");
-    origin.conn = std::make_unique<http::ScionHttpConnection>(
-        stack_, scion::ScionEndpoint{addr, url.port}, path.dataplane(), quic);
-    origin.path = path;
-    origin.addr = addr;
-    origin.host = url.host;
-    origin.port = url.port;
-    transport::Connection& conn = origin.conn->transport();
+    auto pooled = std::make_unique<http::ScionPooledConnection>(
+        stack_, scion::ScionEndpoint{addr, url.port}, path, url.host, url.port, quic);
+    transport::Connection& conn = pooled->transport();
     if (conn.state() == transport::Connection::State::kEstablished) {
       // 0-RTT: established synchronously inside start().
       req->trace->end("handshake");
@@ -355,15 +403,10 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
         metrics_->histogram("transport.handshake").record(conn.handshake_time());
       });
     }
-  } else if (origin.path.fingerprint() != path.fingerprint()) {
-    origin.conn->set_path(path.dataplane());
-    origin.path = path;
-  }
-
-  http::HttpRequest origin_request = to_origin_form(url, std::move(request));
-  req->trace->begin("fetch");
-  origin.conn->fetch(origin_request, [this, url, origin_request, addr, path, compliant,
-                                      fallback_ip, req](Result<http::HttpResponse> result) {
+    return pooled;
+  };
+  auto on_response = [this, url, origin_request, addr, path, compliant, fallback_ip,
+                      req](Result<http::HttpResponse> result) {
     if (req->done) return;
     req->trace->end("fetch");
     if (!result.ok()) {
@@ -398,12 +441,12 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
     // Report the path the connection *ended up on* — an SCMP-driven
     // migration may have moved it off the path chosen at selection time.
     const scion::Path* final_path = &path;
-    if (const auto pool_it = scion_pool_.find(url.authority());
-        pool_it != scion_pool_.end() && pool_it->second.conn != nullptr) {
-      if (!pool_it->second.path.fingerprint().empty()) {
-        final_path = &pool_it->second.path;
+    if (auto* pooled =
+            scion_pool_.primary_as<http::ScionPooledConnection>(url.authority())) {
+      if (!pooled->path().fingerprint().empty()) {
+        final_path = &pooled->path();
       }
-      selector_.record_rtt(*final_path, pool_it->second.conn->transport().smoothed_rtt());
+      selector_.record_rtt(*final_path, pooled->transport().smoothed_rtt());
     }
     selector_.record_use(*final_path, response.body.size(), sim_.now());
     resumption_tickets_.insert(url.authority());
@@ -419,25 +462,32 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
     out.path_fingerprint = final_path->fingerprint();
     out.response = std::move(response);
     finish(req, std::move(out));
-  });
+  };
+  scion_pool_.submit(key, origin_request, std::move(on_response), std::move(factory));
 }
 
 void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
                               bool fell_back, RequestPtr req) {
   const std::string key = url.authority();
   http::HttpRequest origin_request = to_origin_form(url, std::move(request));
-  LegacyOrigin& origin = legacy_pool_[key];
   req->trace->begin("fetch");
-  origin.waiting.emplace_back(
-      std::move(origin_request),
+  legacy_pool_.submit(
+      key, std::move(origin_request),
       [this, fell_back, req](Result<http::HttpResponse> result) {
         if (req->done) return;
         req->trace->end("fetch");
         if (fell_back) req->trace->end("fallback");
         if (!result.ok()) {
           ProxyResult out;
-          out.response = synthetic_error(502, "legacy fetch failed: " + result.error());
           out.fell_back = fell_back;
+          if (http::OriginPool::is_queue_timeout(result.error())) {
+            metrics_->counter("proxy.timeouts").inc();
+            out.response = synthetic_error(504, "legacy fetch timed out: " + result.error());
+          } else if (http::OriginPool::is_fast_fail(result.error())) {
+            out.response = synthetic_error(503, "origin unavailable: " + result.error());
+          } else {
+            out.response = synthetic_error(502, "legacy fetch failed: " + result.error());
+          }
           finish(req, std::move(out));
           return;
         }
@@ -449,56 +499,11 @@ void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, n
         out.fell_back = fell_back;
         out.response = std::move(response);
         finish(req, std::move(out));
+      },
+      [this, ip, port = url.port]() {
+        return std::make_unique<http::LegacyPooledConnection>(host_, net::Endpoint{ip, port},
+                                                              config_.tcp);
       });
-  dispatch_legacy(key, ip, url.port);
-}
-
-void SkipProxy::dispatch_legacy(const std::string& origin_key, net::IpAddr ip,
-                                std::uint16_t port) {
-  LegacyOrigin& origin = legacy_pool_[origin_key];
-  // Drop dead connections.
-  std::erase_if(origin.conns, [](const LegacyPoolEntry& e) {
-    return e.conn->transport().state() == transport::Connection::State::kClosed &&
-           e.outstanding == 0;
-  });
-  while (!origin.waiting.empty()) {
-    // Find an idle connection (browser-style: no pipelining on one conn).
-    LegacyPoolEntry* chosen = nullptr;
-    for (LegacyPoolEntry& entry : origin.conns) {
-      if (entry.outstanding == 0 &&
-          entry.conn->transport().state() != transport::Connection::State::kClosed) {
-        chosen = &entry;
-        break;
-      }
-    }
-    if (chosen == nullptr) {
-      if (origin.conns.size() >= config_.max_legacy_conns_per_origin) return;  // queue
-      origin.conns.push_back(LegacyPoolEntry{
-          std::make_unique<http::LegacyHttpConnection>(host_, net::Endpoint{ip, port},
-                                                       config_.tcp),
-          0});
-      chosen = &origin.conns.back();
-    }
-
-    auto [request, cb] = std::move(origin.waiting.front());
-    origin.waiting.pop_front();
-    ++chosen->outstanding;
-    // Index-stable capture: connections vector may grow; capture the conn
-    // pointer and a weak count reference via origin_key lookup on completion.
-    http::LegacyHttpConnection* conn = chosen->conn.get();
-    conn->fetch(request, [this, origin_key, ip, port, conn,
-                          cb = std::move(cb)](Result<http::HttpResponse> result) {
-      LegacyOrigin& o = legacy_pool_[origin_key];
-      for (LegacyPoolEntry& entry : o.conns) {
-        if (entry.conn.get() == conn && entry.outstanding > 0) {
-          --entry.outstanding;
-          break;
-        }
-      }
-      cb(std::move(result));
-      dispatch_legacy(origin_key, ip, port);
-    });
-  }
 }
 
 }  // namespace pan::proxy

@@ -21,15 +21,21 @@
 // finished breakdown rides on the ProxyResult and is flushed into the
 // proxy's obs::MetricsRegistry as per-phase latency histograms. Requests
 // whose origin-form target starts with "/skip/" address the proxy itself:
-// GET /skip/metrics returns the registry as JSON.
+// GET /skip/metrics returns the registry as JSON, GET /skip/pool the
+// per-origin connection-pool state.
+//
+// Connection management lives in http::OriginPool: one pool of legacy
+// (TCP-lite/IP) connections with browser-like per-origin fan-out, and one
+// pool of multiplexed QUIC-lite/SCION connections (a single connection per
+// origin) whose live path the SCMP handler migrates via the pool.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <unordered_set>
 
 #include "http/endpoints.hpp"
 #include "http/file_server.hpp"
+#include "http/origin_pool.hpp"
 #include "http/url.hpp"
 #include "obs/trace.hpp"
 #include "proxy/detector.hpp"
@@ -48,6 +54,13 @@ struct ProxyConfig {
   bool prefer_scion = true;
   /// Max parallel legacy connections per origin (browser-like).
   std::size_t max_legacy_conns_per_origin = 6;
+  /// Idle pooled connections (legacy and SCION) are evicted after this long
+  /// (zero = keep forever).
+  Duration pool_idle_ttl = seconds(60);
+  /// Consecutive fetch failures against one origin before its pool trips a
+  /// cool-down during which requests fast-fail (zero disables backoff).
+  std::size_t pool_backoff_threshold = 3;
+  Duration pool_backoff_cooldown = seconds(5);
   /// How long an SCMP-revoked interface stays excluded from selection.
   Duration revocation_ttl = seconds(30);
   /// Shared metrics registry. When null the proxy owns a private one; the
@@ -157,27 +170,12 @@ class SkipProxy {
     std::uint16_t port = 80;
     std::string path_fingerprint;
   };
-  [[nodiscard]] std::vector<PooledScionOrigin> scion_pool_snapshot() const;
+  [[nodiscard]] std::vector<PooledScionOrigin> scion_pool_snapshot();
+  /// The underlying pools (tests and the /skip/pool endpoint).
+  [[nodiscard]] http::OriginPool& legacy_pool() { return legacy_pool_; }
+  [[nodiscard]] http::OriginPool& scion_pool() { return scion_pool_; }
 
  private:
-  struct LegacyPoolEntry {
-    std::unique_ptr<http::LegacyHttpConnection> conn;
-    std::size_t outstanding = 0;
-  };
-  struct LegacyOrigin {
-    std::vector<LegacyPoolEntry> conns;
-    std::deque<std::pair<http::HttpRequest, http::HttpClientStream::ResponseFn>> waiting;
-  };
-  struct ScionOrigin {
-    std::unique_ptr<http::ScionHttpConnection> conn;
-    scion::Path path;        // the path the connection currently uses
-    scion::ScionAddr addr;   // SCION address of the origin endpoint
-    // Host and port as parsed at insert time — the SCMP reroute path and the
-    // policy router consume these instead of re-splitting the pool key
-    // (which breaks for authorities whose host contains a colon).
-    std::string host;
-    std::uint16_t port = 80;
-  };
   /// Per-request state threaded through the async pipeline.
   struct RequestState {
     FetchFn on_result;
@@ -196,7 +194,8 @@ class SkipProxy {
                         RequestPtr req);
   void fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
                      bool fell_back, RequestPtr req);
-  void dispatch_legacy(const std::string& origin_key, net::IpAddr ip, std::uint16_t port);
+  [[nodiscard]] static http::OriginPoolConfig legacy_pool_config(const ProxyConfig& config);
+  [[nodiscard]] static http::OriginPoolConfig scion_pool_config(const ProxyConfig& config);
   [[nodiscard]] static http::HttpRequest to_origin_form(const http::Url& url,
                                                         http::HttpRequest request);
   /// SCMP handler: revokes the reported interface and migrates affected
@@ -213,8 +212,8 @@ class SkipProxy {
   ScionDetector detector_;
   PathSelector selector_;
   PolicyRouter policy_router_;
-  std::unordered_map<std::string, LegacyOrigin> legacy_pool_;
-  std::unordered_map<std::string, ScionOrigin> scion_pool_;
+  http::OriginPool legacy_pool_;
+  http::OriginPool scion_pool_;
   std::unordered_map<std::string, std::vector<ppl::OrderKey>> origin_preferences_;
   /// Origins we have completed a SCION exchange with (0-RTT tickets).
   std::unordered_set<std::string> resumption_tickets_;
