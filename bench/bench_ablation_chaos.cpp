@@ -1,0 +1,154 @@
+// Ablation: what the resilience layer buys under injected faults.
+//
+// A page (document + 6 x 60 kB subresources) loads while a scripted fault
+// hits the world at t=150 ms. For each fault class we compare the full
+// resilience stack (alternate-path retry + attempt timeouts + quarantine +
+// circuit breaker) against a proxy with all of it disabled
+// (max_scion_retries=0, attempt_timeout=0, breaker_threshold=0).
+//
+// Two measures per run:
+//   - PLT: time until the page settles (resources done/failed), and how the
+//     resources split across SCION / legacy IP / failed.
+//   - recovery: after the page, a 1-per-100 ms probe fetch hammers the
+//     origin; time-to-recovery is from fault onset until the first probe
+//     that completes over SCION again.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/page.hpp"
+#include "core/scenarios.hpp"
+
+using namespace pan;
+
+namespace {
+
+constexpr int kSubresources = 6;
+constexpr std::size_t kBlobBytes = 60'000;
+constexpr Duration kFaultOnset = milliseconds(150);
+
+struct Scenario {
+  const char* name;
+  const char* plan;
+};
+
+const Scenario kScenarios[] = {
+    {"no fault (baseline)", ""},
+    {"link-down core-1<->core-2b, 2 s", "at=150ms dur=2s link-down core-1 core-2b"},
+    {"link-degrade 30% loss, 2 s",
+     "at=150ms dur=2s link-degrade core-1 core-2b loss=0.3 latency-factor=2"},
+    {"dns-brownout (servfail), 2 s",
+     "at=150ms dur=2s dns-brownout www.far.example mode=servfail"},
+    {"origin-reset, 2 s", "at=150ms dur=2s origin-reset www.far.example"},
+    {"origin-slow-loris, 2 s", "at=150ms dur=2s origin-slow-loris www.far.example"},
+};
+
+struct Run {
+  double plt_ms = -1;
+  std::size_t over_scion = 0;
+  std::size_t over_ip = 0;
+  std::size_t failed = 0;
+  double recovery_ms = -1;
+};
+
+Run run_once(const Scenario& scenario, bool resilient) {
+  browser::WorldConfig world_config;
+  world_config.seed = 33;
+  auto world = browser::make_remote_world(world_config);
+
+  std::vector<std::string> resources;
+  for (int i = 0; i < kSubresources; ++i) {
+    const std::string path = "/asset" + std::to_string(i) + ".bin";
+    world->site("www.far.example")->add_blob(path, kBlobBytes);
+    resources.push_back(path);
+  }
+  world->site("www.far.example")->add_text("/", browser::render_document(resources));
+  world->site("www.far.example")->add_text("/probe", "up");
+
+  proxy::ProxyConfig config;
+  if (!resilient) {
+    config.max_scion_retries = 0;
+    config.attempt_timeout = Duration::zero();
+    config.breaker_threshold = 0;
+    config.quarantine_ttl = Duration::zero();
+  }
+  browser::ClientSession session(*world, config);
+  if (*scenario.plan != '\0' && !world->schedule_chaos(scenario.plan).ok()) {
+    std::fprintf(stderr, "bad plan: %s\n", scenario.plan);
+    return {};
+  }
+
+  Run run;
+  const TimePoint t0 = world->sim().now();
+  const browser::PageLoadResult page = session.load("http://www.far.example/");
+  run.plt_ms = (world->sim().now() - t0).millis();
+  run.over_scion = page.over_scion;
+  run.over_ip = page.over_ip;
+  run.failed = page.failed;
+
+  // Time-to-recovery: probe until a fetch completes over SCION again.
+  const TimePoint fault_at = t0 + kFaultOnset;
+  const TimePoint probe_deadline = fault_at + seconds(30);
+  while (world->sim().now() < probe_deadline) {
+    http::HttpRequest request;
+    request.target = "http://www.far.example/probe";
+    bool done = false;
+    proxy::ProxyResult result;
+    session.proxy().fetch(request, {}, [&](proxy::ProxyResult r) {
+      result = std::move(r);
+      done = true;
+    });
+    world->sim().run_until_condition([&] { return done; },
+                                     world->sim().now() + seconds(10));
+    if (done && result.response.status == 200 &&
+        result.transport == proxy::TransportUsed::kScion) {
+      run.recovery_ms = (world->sim().now() - fault_at).millis();
+      break;
+    }
+    world->sim().run_until(world->sim().now() + milliseconds(100));
+  }
+  return run;
+}
+
+void print_run(const char* label, const Run& run) {
+  char recovery[32];
+  if (run.recovery_ms < 0) {
+    std::snprintf(recovery, sizeof recovery, "%12s", "never");
+  } else {
+    std::snprintf(recovery, sizeof recovery, "%12.1f", run.recovery_ms);
+  }
+  std::printf("  %-14s %10.1f %6zu %4zu %6zu %s\n", label, run.plt_ms,
+              run.over_scion, run.over_ip, run.failed, recovery);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — chaos: page load (1 doc + %d x %zu kB) with a fault at t=150 ms.\n"
+      "resilience on  = retries + attempt timeout + quarantine + breaker (defaults)\n"
+      "resilience off = max_scion_retries=0, attempt_timeout=0, breaker_threshold=0\n"
+      "recovery       = fault onset -> first probe fetch completing over SCION\n\n",
+      kSubresources, kBlobBytes / 1000);
+  std::printf("  %-14s %10s %6s %4s %6s %12s\n", "resilience", "plt ms", "scion",
+              "ip", "failed", "recovery ms");
+
+  for (const Scenario& scenario : kScenarios) {
+    std::printf("%s\n", scenario.name);
+    print_run("on", run_once(scenario, /*resilient=*/true));
+    print_run("off", run_once(scenario, /*resilient=*/false));
+  }
+
+  std::printf(
+      "\nLink faults are absorbed below the retry layer (keep-alive probes +\n"
+      "SCMP revocation + live migration), so both configurations ride them\n"
+      "out; a DNS brownout that starts after first resolution hides behind\n"
+      "the resolver cache. The retry layer earns its keep on origin\n"
+      "misbehaviour: slow-loris attempts are cut by the attempt timer and\n"
+      "retried over SCION instead of dribbling for the full response (or\n"
+      "leaking onto legacy IP), and hard origin resets trip the per-origin\n"
+      "circuit breaker, trading a slower half-open re-probe for fast-failing\n"
+      "requests while the origin is sick.\n");
+  return 0;
+}

@@ -2,8 +2,9 @@
 # Tier-1 verification: a plain build + ctest, followed by an ASan+UBSan
 # instrumented build + ctest. Run from the repo root:
 #
-#   scripts/check.sh            # both builds
-#   scripts/check.sh --fast     # plain build only
+#   scripts/check.sh              # both builds
+#   scripts/check.sh --fast       # plain build only
+#   scripts/check.sh --sanitize   # sanitized build only (CI matrix leg)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,8 +17,10 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 }
 
-echo "==> tier-1: plain build + ctest"
-run_suite build
+if [[ "${1:-}" != "--sanitize" ]]; then
+  echo "==> tier-1: plain build + ctest"
+  run_suite build
+fi
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "==> sanitized: PAN_SANITIZE=ON build + ctest"

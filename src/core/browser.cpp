@@ -115,6 +115,10 @@ void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::si
   add_conditional_headers(url.to_string(), request);
 
   const TimePoint begun = sim_.now();
+  std::optional<TimePoint> deadline;
+  if (config_.request_deadline > Duration::zero()) {
+    deadline = begun + config_.request_deadline;
+  }
   extension_->fetch(
       std::move(request), url.host, page->page_strict, extension_->make_trace(),
       [this, page, index, url, begun](proxy::ProxyResult result) {
@@ -154,7 +158,8 @@ void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::si
           sim_.schedule_after(config_.parse_delay, [this, page] { pump_queue(page); });
         }
         resource_done(page, index);
-      });
+      },
+      deadline);
 }
 
 void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t index,

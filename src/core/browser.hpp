@@ -45,6 +45,10 @@ struct BrowserConfig {
   /// owns a private one.
   obs::MetricsRegistry* metrics = nullptr;
   Duration page_timeout = seconds(30);
+  /// Per-resource deadline handed to the SKIP proxy as the budget for all
+  /// retries and fallbacks on that request. Zero keeps the proxy's own
+  /// default request timeout.
+  Duration request_deadline = Duration::zero();
 };
 
 struct ResourceOutcome {

@@ -38,10 +38,12 @@ void BrowserExtension::set_policies(ppl::PolicySet policies) {
 
 void BrowserExtension::fetch(http::HttpRequest request, const std::string& host,
                              bool page_strict, obs::TracePtr trace,
-                             proxy::SkipProxy::FetchFn on_result) {
+                             proxy::SkipProxy::FetchFn on_result,
+                             std::optional<TimePoint> deadline) {
   proxy::ProxyRequestOptions options;
   options.strict = page_strict || strict_for(host);
   options.trace = std::move(trace);
+  options.deadline = deadline;
   proxy_.fetch(std::move(request), options, std::move(on_result));
 }
 

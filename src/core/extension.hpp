@@ -44,9 +44,12 @@ class BrowserExtension {
   /// global toggle, per-site settings, and learned pins (`page_strict` ORs in
   /// the page-level strict decision made at navigation time). The trace is
   /// the request-scoped span context started by the browser; pass null to
-  /// have the proxy open one.
+  /// have the proxy open one. `deadline`, when set, caps the proxy's whole
+  /// retry/fallback budget for this request (otherwise the proxy default
+  /// request timeout applies).
   void fetch(http::HttpRequest request, const std::string& host, bool page_strict,
-             obs::TracePtr trace, proxy::SkipProxy::FetchFn on_result);
+             obs::TracePtr trace, proxy::SkipProxy::FetchFn on_result,
+             std::optional<TimePoint> deadline = std::nullopt);
   /// Opens a request trace in the proxy's id space.
   [[nodiscard]] obs::TracePtr make_trace() { return proxy_.make_trace(); }
 

@@ -3,12 +3,15 @@
 namespace pan::browser {
 
 World::World(WorldConfig config) : config_(config) {
+  injector_ = std::make_unique<fault::FaultInjector>(sim_);
   scion::TopologyConfig topo_config;
   topo_config.seed = config_.seed;
   topo_config.daemon.lookup_latency = config_.daemon_latency;
   topo_ = std::make_unique<scion::Topology>(sim_, topo_config);
+  injector_->attach_topology(*topo_);
   resolver_ = std::make_unique<dns::Resolver>(
       sim_, zone_, dns::ResolverConfig{.lookup_latency = config_.dns_latency});
+  injector_->attach_resolver(*resolver_);
 }
 
 World::~World() = default;
@@ -51,6 +54,16 @@ proxy::ReverseProxy& World::add_reverse_proxy(scion::HostId proxy_host,
 http::FileServer* World::site(const std::string& domain) {
   const auto it = sites_.find(domain);
   return it == sites_.end() ? nullptr : it->second;
+}
+
+Status World::schedule_chaos(const std::string& plan_text) {
+  auto plan = fault::parse_fault_plan(plan_text);
+  if (!plan.ok()) return Err(plan.error());
+  for (const auto& [domain, server] : sites_) {
+    injector_->attach_origin(domain, *server);
+  }
+  injector_->schedule(plan.value());
+  return {};
 }
 
 std::unique_ptr<World> make_local_world(const WorldConfig& config) {
@@ -158,9 +171,13 @@ ClientSession::ClientSession(World& world, proxy::ProxyConfig proxy_config,
   resolver_ = std::make_unique<dns::Resolver>(
       world.sim(), world.zone(),
       dns::ResolverConfig{.lookup_latency = world.config().dns_latency});
+  world.injector().attach_resolver(*resolver_);
   proxy_ = std::make_unique<proxy::SkipProxy>(
       world.sim(), topo.host(world.client), topo.scion_stack(world.client),
       topo.daemon_for(world.client), *resolver_, proxy_config);
+  // Fault counters land next to proxy stats so /skip/metrics and
+  // /skip/health expose them.
+  world.injector().set_metrics(&proxy_->metrics());
   extension_ = std::make_unique<BrowserExtension>(world.sim(), *proxy_);
   browser_ = std::make_unique<Browser>(world.sim(), *extension_, browser_config);
 }
@@ -181,6 +198,7 @@ DirectSession::DirectSession(World& world, BrowserConfig browser_config) : world
   resolver_ = std::make_unique<dns::Resolver>(
       world.sim(), world.zone(),
       dns::ResolverConfig{.lookup_latency = world.config().dns_latency});
+  world.injector().attach_resolver(*resolver_);
   browser_ = std::make_unique<Browser>(world.sim(), world.topology().host(world.client),
                                        *resolver_, browser_config);
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/browser.hpp"
+#include "fault/injector.hpp"
 #include "http/file_server.hpp"
 #include "proxy/reverse_proxy.hpp"
 #include "scion/topology.hpp"
@@ -84,9 +85,22 @@ class World {
 
   [[nodiscard]] http::FileServer* site(const std::string& domain);
 
+  /// The world's chaos controller. Topology is attached at construction;
+  /// origins are attached lazily by schedule_chaos; session resolvers attach
+  /// themselves (ClientSession does this automatically).
+  [[nodiscard]] fault::FaultInjector& injector() { return *injector_; }
+
+  /// Parses a fault-plan script (see fault/fault.hpp for the line format),
+  /// attaches every known site as a fault target, and schedules the plan on
+  /// the sim clock. Returns an error on a malformed plan.
+  Status schedule_chaos(const std::string& plan_text);
+
  private:
   WorldConfig config_;
   sim::Simulator sim_;
+  // Declared before (so destroyed after) everything the injector's pull
+  // hooks may still reference through scheduled events.
+  std::unique_ptr<fault::FaultInjector> injector_;
   dns::Zone zone_;
   std::unique_ptr<scion::Topology> topo_;
   std::unique_ptr<dns::Resolver> resolver_;

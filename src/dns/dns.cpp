@@ -1,5 +1,7 @@
 #include "dns/dns.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 
 namespace pan::dns {
@@ -44,6 +46,21 @@ void Resolver::resolve(const std::string& domain,
     }
   }
   ++misses_;
+  if (fault_hook_) {
+    if (const auto fault = fault_hook_(domain); fault.has_value()) {
+      // A brownout is a transient upstream failure, not an answer: nothing
+      // is cached, so the very next lookup after the fault lifts succeeds.
+      const Duration wait = fault->servfail
+                                ? std::max(config_.lookup_latency, fault->delay)
+                                : std::max(config_.query_timeout, fault->delay);
+      const bool servfail = fault->servfail;
+      sim_.schedule_after(wait, [this, domain, servfail, cb = std::move(callback)] {
+        ++fault_errors_;
+        cb(Err((servfail ? "SERVFAIL: " : "DNS timeout: ") + domain));
+      });
+      return;
+    }
+  }
   sim_.schedule_after(config_.lookup_latency, [this, domain, cb = std::move(callback)] {
     const RecordSet* records = zone_.lookup(domain);
     CacheEntry entry;

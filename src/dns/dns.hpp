@@ -48,6 +48,18 @@ struct ResolverConfig {
   Duration cache_ttl = seconds(300);
   /// Cache negative answers too (NXDOMAIN), for this long.
   Duration negative_ttl = seconds(30);
+  /// Upper bound on a lookup before it surfaces as "DNS timeout" (used when
+  /// a brownout fault swallows the query instead of answering SERVFAIL).
+  Duration query_timeout = seconds(5);
+};
+
+/// An injected resolver failure (brownout): the lookup either times out or
+/// answers SERVFAIL after `delay`. Brownout errors are transient server
+/// failures, NOT negative answers — they are never cached, so recovery is
+/// immediate once the fault lifts.
+struct ResolverFault {
+  bool servfail = false;  // false = the query times out instead
+  Duration delay = Duration::zero();
 };
 
 class Resolver {
@@ -58,6 +70,13 @@ class Resolver {
   void resolve(const std::string& domain,
                std::function<void(Result<RecordSet>)> callback);
   [[nodiscard]] Result<RecordSet> resolve_now(const std::string& domain) const;
+
+  /// Fault injection: consulted on every cache miss; a returned fault fails
+  /// the lookup (fresh cache entries keep being served). nullptr detaches.
+  using FaultHook = std::function<std::optional<ResolverFault>(const std::string& domain)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  /// Lookups failed by an injected fault.
+  [[nodiscard]] std::uint64_t fault_errors() const { return fault_errors_; }
 
   [[nodiscard]] std::uint64_t cache_hits() const { return hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const { return misses_; }
@@ -72,9 +91,11 @@ class Resolver {
   sim::Simulator& sim_;
   const Zone& zone_;
   ResolverConfig config_;
+  FaultHook fault_hook_;
   std::unordered_map<std::string, CacheEntry> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t fault_errors_ = 0;
 };
 
 /// Extracts the SCION address advertised in TXT records ("scion=..."), if any.

@@ -1,0 +1,200 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace pan::fault {
+namespace {
+
+struct KindSpec {
+  std::string_view token;
+  FaultKind kind;
+  int positional;  // required positional args after the kind token
+};
+
+constexpr KindSpec kKinds[] = {
+    {"link-down", FaultKind::kLinkDown, 2},
+    {"link-degrade", FaultKind::kLinkDegrade, 2},
+    {"as-outage", FaultKind::kAsOutage, 1},
+    {"path-server-stale", FaultKind::kPathServerStale, 0},
+    {"dns-brownout", FaultKind::kDnsBrownout, 1},
+    {"origin-reset", FaultKind::kOriginReset, 1},
+    {"origin-slow-loris", FaultKind::kOriginSlowLoris, 1},
+    {"origin-bad-strict-scion", FaultKind::kOriginBadStrictScion, 1},
+};
+
+/// Strict decimal parse of the full string; rejects inf/nan/empty/garbage.
+Result<double> parse_double(std::string_view s) {
+  if (s.empty() || s.size() > 32) return Err("bad number: '" + std::string(s) + "'");
+  char buf[33];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + s.size() || !std::isfinite(v)) {
+    return Err("bad number: '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  for (const KindSpec& spec : kKinds) {
+    if (spec.kind == kind) return spec.token;
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::describe() const {
+  std::string out(to_string(kind));
+  if (!a.empty()) out += " " + a;
+  if (!b.empty()) out += " " + b;
+  return out;
+}
+
+Result<Duration> parse_duration(std::string_view text) {
+  const std::string_view s = strings::trim(text);
+  if (s == "0") return Duration::zero();
+  double scale = 0.0;
+  std::string_view digits;
+  if (strings::ends_with(s, "ns")) {
+    scale = 1.0;
+    digits = s.substr(0, s.size() - 2);
+  } else if (strings::ends_with(s, "us")) {
+    scale = 1e3;
+    digits = s.substr(0, s.size() - 2);
+  } else if (strings::ends_with(s, "ms")) {
+    scale = 1e6;
+    digits = s.substr(0, s.size() - 2);
+  } else if (strings::ends_with(s, "s")) {
+    scale = 1e9;
+    digits = s.substr(0, s.size() - 1);
+  } else {
+    return Err("duration needs a unit (ns/us/ms/s): '" + std::string(s) + "'");
+  }
+  const auto value = parse_double(digits);
+  if (!value.ok()) return Err("bad duration: '" + std::string(s) + "'");
+  const double nanos = value.value() * scale;
+  if (nanos < 0.0 || nanos > 9.0e18) {
+    return Err("duration out of range: '" + std::string(s) + "'");
+  }
+  return Duration{static_cast<std::int64_t>(nanos)};
+}
+
+Result<FaultPlan> parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  for (const std::string_view raw_line : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = strings::trim(line);
+    if (line.empty()) continue;
+
+    const auto err = [&](const std::string& what) {
+      return Err("fault plan line " + std::to_string(line_no) + ": " + what);
+    };
+
+    std::vector<std::string_view> tokens;
+    for (const std::string_view tok : strings::split(line, ' ')) {
+      if (!strings::trim(tok).empty()) tokens.push_back(strings::trim(tok));
+    }
+
+    FaultEvent event;
+    bool have_at = false;
+    bool have_kind = false;
+    int positional_needed = 0;
+    int positional_seen = 0;
+
+    for (const std::string_view tok : tokens) {
+      const auto eq = tok.find('=');
+      if (!have_kind && eq == std::string_view::npos) {
+        // The kind token.
+        bool known = false;
+        for (const KindSpec& spec : kKinds) {
+          if (tok == spec.token) {
+            event.kind = spec.kind;
+            positional_needed = spec.positional;
+            known = true;
+            break;
+          }
+        }
+        if (!known) return err("unknown fault kind '" + std::string(tok) + "'");
+        have_kind = true;
+        continue;
+      }
+      if (have_kind && eq == std::string_view::npos) {
+        // Positional argument (AS name or domain).
+        if (positional_seen == 0) {
+          event.a = std::string(tok);
+        } else if (positional_seen == 1) {
+          event.b = std::string(tok);
+        } else {
+          return err("too many arguments");
+        }
+        ++positional_seen;
+        continue;
+      }
+
+      const std::string_view key = tok.substr(0, eq);
+      const std::string_view value = tok.substr(eq + 1);
+      if (key == "at") {
+        const auto d = parse_duration(value);
+        if (!d.ok()) return err(d.error());
+        event.at = TimePoint::origin() + d.value();
+        have_at = true;
+      } else if (key == "dur") {
+        const auto d = parse_duration(value);
+        if (!d.ok()) return err(d.error());
+        event.duration = d.value();
+      } else if (key == "loss") {
+        const auto v = parse_double(value);
+        if (!v.ok() || v.value() < 0.0 || v.value() > 1.0) {
+          return err("loss must be in [0,1]");
+        }
+        event.loss = v.value();
+      } else if (key == "latency-factor") {
+        const auto v = parse_double(value);
+        if (!v.ok() || v.value() < 0.0 || v.value() > 1e6) {
+          return err("bad latency-factor");
+        }
+        event.latency_factor = v.value();
+      } else if (key == "extra-latency") {
+        const auto d = parse_duration(value);
+        if (!d.ok()) return err(d.error());
+        event.extra_latency = d.value();
+      } else if (key == "mode") {
+        if (value == "servfail") {
+          event.servfail = true;
+        } else if (value == "timeout") {
+          event.servfail = false;
+        } else {
+          return err("mode must be timeout|servfail");
+        }
+      } else if (key == "delay") {
+        const auto d = parse_duration(value);
+        if (!d.ok()) return err(d.error());
+        event.dns_delay = d.value();
+      } else {
+        return err("unknown option '" + std::string(key) + "'");
+      }
+    }
+
+    if (!have_kind) return err("missing fault kind");
+    if (!have_at) return err("missing at=<time>");
+    if (positional_seen != positional_needed) {
+      return err(std::string(to_string(event.kind)) + " takes " +
+                 std::to_string(positional_needed) + " argument(s)");
+    }
+    plan.events.push_back(std::move(event));
+  }
+  return plan;
+}
+
+}  // namespace pan::fault

@@ -1,0 +1,84 @@
+// Deterministic fault model: scheduled, scriptable failure events.
+//
+// A FaultPlan is an ordered list of FaultEvents, each applied at a sim-clock
+// instant and (optionally) reverted after a duration. Plans are written in a
+// tiny line-oriented text format so chaos scenarios are data, not code:
+//
+//   # active inter-ISD path dies for two seconds
+//   at=150ms dur=2s link-down core-1 core-2b
+//   at=0ms dur=3s link-degrade core-1 core-2b loss=0.25 latency-factor=4
+//   at=1s as-outage core-2b
+//   at=0ms dur=5s path-server-stale
+//   at=0ms dur=2s dns-brownout www.far.example mode=servfail delay=400ms
+//   at=0ms dur=2s origin-reset www.far.example
+//   at=0ms origin-slow-loris www.far.example
+//   at=0ms origin-bad-strict-scion www.far.example
+//
+// `at` is mandatory; `dur` is optional (absent or 0 means the fault holds
+// until the end of the run). Blank lines and `#` comments are ignored. The
+// parser is total (never throws/crashes on garbage) — it is a fuzz target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace pan::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,             // inter-AS link administratively down
+  kLinkDegrade,          // loss / latency burst on an inter-AS link
+  kAsOutage,             // all interfaces of an AS border router down
+  kPathServerStale,      // daemons serve stale cached paths, misses fail
+  kDnsBrownout,          // resolver lookups time out / SERVFAIL for a domain
+  kOriginReset,          // origin truncates responses mid-wire and closes
+  kOriginSlowLoris,      // origin accepts requests but responds glacially
+  kOriginBadStrictScion, // origin emits a malformed Strict-SCION header
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDown;
+  TimePoint at;
+  /// Zero = never reverted.
+  Duration duration = Duration::zero();
+
+  /// Link faults: the two AS names; AS outage: `a` only; DNS and origin
+  /// faults: `a` is the domain.
+  std::string a;
+  std::string b;
+
+  // --- kLinkDegrade knobs ---
+  double loss = 0.0;
+  double latency_factor = 1.0;
+  Duration extra_latency = Duration::zero();
+
+  // --- kDnsBrownout knobs ---
+  bool servfail = false;  // false = lookups time out instead
+  Duration dns_delay = Duration::zero();
+
+  /// One-line human-readable description (used as the active-fault key and
+  /// in trace annotations).
+  [[nodiscard]] std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t size() const { return events.size(); }
+};
+
+/// Parses "250ms", "1.5s", "40us", "900ns" (also a bare "0"). Rejects
+/// negatives, trailing garbage, and values that overflow the int64 nanos.
+[[nodiscard]] Result<Duration> parse_duration(std::string_view text);
+
+/// Parses a full plan; fails on the first malformed line with a message
+/// naming the line number.
+[[nodiscard]] Result<FaultPlan> parse_fault_plan(std::string_view text);
+
+}  // namespace pan::fault

@@ -10,7 +10,10 @@ HttpClientStream::HttpClientStream(transport::Bytestream& stream, bool close_aft
     waiting_.pop_front();
     cb(Result<HttpResponse>(std::move(response)));
   };
-  parser_.on_error = [this](const std::string& reason) { fail_all("parse error: " + reason); };
+  parser_.on_error = [this](const std::string& reason) {
+    parse_failed_ = true;
+    fail_all("parse error: " + reason);
+  };
   stream_.set_on_data([this](std::span<const std::uint8_t> data, bool fin) {
     if (stream_done_) return;
     parser_.feed(data);

@@ -30,6 +30,13 @@ class HttpClientStream {
   void fetch(const HttpRequest& request, ResponseFn on_response);
 
   [[nodiscard]] std::size_t outstanding() const { return waiting_.size(); }
+  /// The stream can never carry another exchange: it FIN'd, broke, or the
+  /// parser choked mid-response (e.g. an origin reset truncated the wire).
+  /// Pools use this to retire HTTP/1 connections whose transport is still
+  /// nominally open but whose single stream is dead.
+  [[nodiscard]] bool broken() const {
+    return stream_done_ || parse_failed_ || stream_.broken();
+  }
 
  private:
   void fail_all(const std::string& reason);
@@ -39,6 +46,7 @@ class HttpClientStream {
   HttpParser parser_{ParserMode::kResponse};
   std::deque<ResponseFn> waiting_;
   bool stream_done_ = false;
+  bool parse_failed_ = false;
 };
 
 }  // namespace pan::http

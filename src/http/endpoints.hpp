@@ -54,6 +54,10 @@ class LegacyHttpConnection {
 
   void fetch(const HttpRequest& request, HttpClientStream::ResponseFn on_response);
   [[nodiscard]] transport::Connection& transport() { return client_.connection(); }
+  /// An HTTP/1 connection rides a single stream: once that stream is dead
+  /// (FIN, break, or a parse error from a truncated response) the connection
+  /// can never serve again even while the transport stays open.
+  [[nodiscard]] bool usable() const { return !http_->broken(); }
   void close();
 
  private:

@@ -1,5 +1,7 @@
 #include "http/file_server.hpp"
 
+#include <algorithm>
+
 #include "crypto/sha256.hpp"
 
 namespace pan::http {
@@ -95,15 +97,42 @@ HttpResponse FileServer::respond_to(const HttpRequest& request) {
   return response;
 }
 
+OriginFaultMode FileServer::current_fault() {
+  if (fault_hook_) {
+    const OriginFaultMode hooked = fault_hook_();
+    if (hooked != OriginFaultMode::kNone) return hooked;
+  }
+  return fault_mode_;
+}
+
 HttpServer::Handler FileServer::handler() {
   return [this](const HttpRequest& request, HttpServer::Respond respond) {
-    if (think_time_ > Duration::zero()) {
-      sim_.schedule_after(think_time_,
-                          [this, request, respond = std::move(respond)]() mutable {
-                            respond(respond_to(request));
-                          });
+    // The fault mode is sampled when the request arrives (a fault reverted
+    // mid-think-time no longer corrupts the in-flight response, matching a
+    // real origin recovering between requests).
+    const OriginFaultMode fault = current_fault();
+    Duration delay = think_time_;
+    if (fault == OriginFaultMode::kSlowLoris) {
+      ++faulted_;
+      delay = std::max(delay, slow_loris_delay_);
+    }
+    auto finish = [this, request, fault,
+                   respond = std::move(respond)]() mutable {
+      HttpResponse response = respond_to(request);
+      if (fault == OriginFaultMode::kReset) {
+        ++faulted_;
+        // Cut the wire halfway through what would have been sent.
+        response.truncate_wire_at = response.serialize().size() / 2;
+      } else if (fault == OriginFaultMode::kBadStrictScion) {
+        ++faulted_;
+        response.headers.set(std::string(kStrictScionHeader), "max-age=; ]]garbage[[");
+      }
+      respond(std::move(response));
+    };
+    if (delay > Duration::zero()) {
+      sim_.schedule_after(delay, std::move(finish));
     } else {
-      respond(respond_to(request));
+      finish();
     }
   };
 }

@@ -4,6 +4,8 @@
 // the Strict-SCION header and take a configurable server think time.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -12,6 +14,20 @@
 #include "sim/simulator.hpp"
 
 namespace pan::http {
+
+/// Injected origin misbehavior, applied per response.
+enum class OriginFaultMode : std::uint8_t {
+  kNone,
+  /// Truncate the response mid-wire and close the stream (a reset while the
+  /// body is in flight; clients see a parse error / closed stream).
+  kReset,
+  /// Accept the request but respond only after a very long stall
+  /// (slow-loris); clients must enforce their own deadline.
+  kSlowLoris,
+  /// Serve normally but with a malformed Strict-SCION header value, which
+  /// compliant clients must ignore (no learned strictness).
+  kBadStrictScion,
+};
 
 class FileServer {
  public:
@@ -36,6 +52,18 @@ class FileServer {
   /// Server think time per request (default 0).
   void set_think_time(Duration d) { think_time_ = d; }
 
+  /// Fault injection: fixed misbehavior mode for every response.
+  void set_fault(OriginFaultMode mode) { fault_mode_ = mode; }
+  /// Fault injection, pull-based: consulted per request (overrides the fixed
+  /// mode when it returns non-kNone). nullptr detaches.
+  using FaultHook = std::function<OriginFaultMode()>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  /// Stall before responding in kSlowLoris mode (default 120s — far beyond
+  /// any sane client deadline).
+  void set_slow_loris_delay(Duration d) { slow_loris_delay_ = d; }
+  /// Responses deliberately corrupted/stalled by an active fault.
+  [[nodiscard]] std::uint64_t faulted_responses() const { return faulted_; }
+
   /// The handler to plug into LegacyHttpServer / ScionHttpServer (both may
   /// share one FileServer, like a dual-stack host).
   [[nodiscard]] HttpServer::Handler handler();
@@ -54,15 +82,20 @@ class FileServer {
   };
 
   [[nodiscard]] HttpResponse respond_to(const HttpRequest& request);
+  [[nodiscard]] OriginFaultMode current_fault();
 
   sim::Simulator& sim_;
   std::unordered_map<std::string, Resource> resources_;
   std::optional<StrictScionDirective> strict_scion_;
   std::vector<Headers::Field> extra_headers_;
   Duration think_time_ = Duration::zero();
+  OriginFaultMode fault_mode_ = OriginFaultMode::kNone;
+  FaultHook fault_hook_;
+  Duration slow_loris_delay_ = seconds(120);
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t revalidations_ = 0;
+  std::uint64_t faulted_ = 0;
 };
 
 /// The deterministic filler used for generated blobs (tests verify content

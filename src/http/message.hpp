@@ -53,6 +53,12 @@ struct HttpResponse {
   Headers headers;
   Bytes body;
 
+  /// Fault injection (simulation-only, never serialized): when below the
+  /// serialized size, the server writes only this many bytes and then closes
+  /// the stream — an origin resetting mid-response. Clients observe a parse
+  /// error or a stream closed with responses outstanding.
+  std::size_t truncate_wire_at = static_cast<std::size_t>(-1);
+
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] bool ok() const { return status >= 200 && status < 300; }
 };

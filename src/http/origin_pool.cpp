@@ -125,8 +125,12 @@ void OriginPool::release_deferred(std::unique_ptr<PooledConnection> conn) {
 void OriginPool::prune_closed(Origin& origin) {
   std::size_t removed = 0;
   for (auto it = origin.conns.begin(); it != origin.conns.end();) {
-    if (it->conn->transport().state() == transport::Connection::State::kClosed &&
-        it->outstanding == 0) {
+    if (!it->conn->usable() && it->outstanding == 0) {
+      // A wedged-but-open connection (dead HTTP/1 stream) still holds
+      // transport state; close it before letting go.
+      if (it->conn->transport().state() != transport::Connection::State::kClosed) {
+        it->conn->shutdown();
+      }
       release_deferred(std::move(it->conn));
       it = origin.conns.erase(it);
       ++removed;
@@ -170,8 +174,8 @@ void OriginPool::dispatch(const std::string& key) {
     // Least-outstanding live connection.
     std::size_t best = kNone;
     for (std::size_t i = 0; i < origin.conns.size(); ++i) {
-      const Entry& entry = origin.conns[i];
-      if (entry.conn->transport().state() == transport::Connection::State::kClosed) continue;
+      Entry& entry = origin.conns[i];
+      if (!entry.conn->usable()) continue;
       if (best == kNone || entry.outstanding < origin.conns[best].outstanding) best = i;
     }
     std::size_t chosen = kNone;

@@ -70,6 +70,14 @@ class OriginPool {
     virtual void fetch(const HttpRequest& request,
                        HttpClientStream::ResponseFn on_response) = 0;
     [[nodiscard]] virtual transport::Connection& transport() = 0;
+    /// Whether the pool may still dispatch onto this connection. Default:
+    /// the transport is not closed. HTTP/1 adapters also report unusable
+    /// when their single stream died (parse error, truncated response)
+    /// while the transport stayed open — otherwise the pool would keep
+    /// dispatching onto a permanently wedged connection.
+    [[nodiscard]] virtual bool usable() {
+      return transport().state() != transport::Connection::State::kClosed;
+    }
     /// Closes the underlying transport (idle eviction, pool teardown).
     virtual void shutdown() = 0;
   };
@@ -201,6 +209,9 @@ class LegacyPooledConnection final : public OriginPool::PooledConnection {
     conn_.fetch(request, std::move(on_response));
   }
   [[nodiscard]] transport::Connection& transport() override { return conn_.transport(); }
+  [[nodiscard]] bool usable() override {
+    return PooledConnection::usable() && conn_.usable();
+  }
   void shutdown() override { conn_.close(); }
 
  private:

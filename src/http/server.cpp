@@ -17,6 +17,18 @@ struct HttpServer::StreamContext : std::enable_shared_from_this<HttpServer::Stre
   void flush() {
     while (next_to_send < slots.size() && slots[next_to_send].has_value()) {
       const Bytes wire = slots[next_to_send]->serialize();
+      const std::size_t cut = slots[next_to_send]->truncate_wire_at;
+      if (cut < wire.size()) {
+        // Injected origin reset: emit a prefix of the wire bytes and slam
+        // the stream shut; everything queued behind this response dies with
+        // the connection.
+        stream->write(std::span<const std::uint8_t>(wire.data(), cut));
+        slots[next_to_send].reset();
+        ++next_to_send;
+        finished_our_side = true;
+        stream->finish();
+        return;
+      }
       stream->write(wire);
       slots[next_to_send].reset();
       ++next_to_send;

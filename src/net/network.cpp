@@ -31,6 +31,13 @@ Network::NodeState& Network::node(NodeId id) {
 
 const std::string& Network::node_name(NodeId id) const { return node(id).name; }
 
+NodeId Network::find_node(std::string_view name) const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].name == name) return id;
+  }
+  return kInvalidNodeId;
+}
+
 void Network::set_handler(NodeId id, Handler handler) {
   node(id).handler = std::move(handler);
 }
@@ -72,6 +79,10 @@ std::size_t Network::interface_count(NodeId node_id) const {
 
 const LinkParams& Network::link_params(NodeId node_id, IfId ifid) const {
   return link_at(node_id, ifid).params;
+}
+
+LinkParams& Network::mutable_link_params(NodeId node_id, IfId ifid) {
+  return links_[link_id_at(node_id, ifid)].params;
 }
 
 void Network::trace(TraceEvent::Kind kind, TimePoint time, NodeId from, NodeId to,

@@ -30,6 +30,9 @@ class Network {
   NodeId add_node(std::string name);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] const std::string& node_name(NodeId id) const;
+  /// Node lookup by name (linear scan — topology-sized, setup/fault-injection
+  /// use only). Returns kInvalidNodeId when absent.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
   void set_handler(NodeId id, Handler handler);
 
   /// Creates a bidirectional link; returns the interface ids assigned on
@@ -47,6 +50,10 @@ class Network {
   [[nodiscard]] IfId neighbor_ifid(NodeId node, IfId ifid) const;
   [[nodiscard]] std::size_t interface_count(NodeId node) const;
   [[nodiscard]] const LinkParams& link_params(NodeId node, IfId ifid) const;
+  /// Mutable link parameters (fault injection: loss/latency bursts). Changes
+  /// affect packets sent after the call; in-flight deliveries keep the
+  /// timing they were scheduled with.
+  [[nodiscard]] LinkParams& mutable_link_params(NodeId node, IfId ifid);
   [[nodiscard]] const Link& link_at(NodeId node, IfId ifid) const;
 
   /// Takes a link administratively up/down (failure injection).

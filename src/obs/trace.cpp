@@ -17,6 +17,14 @@ void RequestTrace::end(std::string_view phase) {
   }
 }
 
+void RequestTrace::cancel(std::string_view phase) {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->name != phase) continue;
+    open_.erase(std::next(it).base());
+    return;
+  }
+}
+
 void RequestTrace::end_all() {
   const TimePoint now = sim_.now();
   // Close inner (most recent) spans first so records keep start order.

@@ -45,8 +45,12 @@ class RequestTrace {
   /// request each contribute an "ipc" span) and may overlap.
   void begin(std::string_view phase);
   /// Closes the most recently opened span with this name; no-op when no such
-  /// span is open.
+  /// span is open (end() is idempotent: a double close records nothing).
   void end(std::string_view phase);
+  /// Discards the most recently opened span with this name without recording
+  /// it — for abandoned work (e.g. a handshake that failed) whose duration
+  /// would otherwise skew the phase histogram. No-op when not open.
+  void cancel(std::string_view phase);
   /// Closes every open span (request finalized early).
   void end_all();
   /// Appends an externally timed span.

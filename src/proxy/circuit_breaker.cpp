@@ -1,0 +1,100 @@
+#include "proxy/circuit_breaker.hpp"
+
+#include "util/strings.hpp"
+
+namespace pan::proxy {
+
+CircuitBreaker::CircuitBreaker(sim::Simulator& sim, CircuitBreakerConfig config,
+                               obs::MetricsRegistry* metrics)
+    : sim_(sim), config_(config), metrics_(metrics) {}
+
+bool CircuitBreaker::allow(const std::string& key) {
+  if (config_.failure_threshold == 0) return true;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return true;
+  Entry& entry = it->second;
+  switch (entry.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (sim_.now() - entry.opened_at < config_.open_ttl) return false;
+      entry.state = State::kHalfOpen;
+      entry.probe_in_flight = false;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (entry.probe_in_flight) return false;
+      entry.probe_in_flight = true;
+      count("breaker.probes");
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(const std::string& key) {
+  if (config_.failure_threshold == 0) return;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second.state != State::kClosed) count("breaker.closes");
+  entries_.erase(it);
+}
+
+void CircuitBreaker::record_failure(const std::string& key) {
+  if (config_.failure_threshold == 0) return;
+  Entry& entry = entries_[key];
+  ++entry.consecutive_failures;
+  if (entry.state == State::kHalfOpen ||
+      (entry.state == State::kClosed &&
+       entry.consecutive_failures >= config_.failure_threshold)) {
+    // A failed probe re-opens; enough consecutive failures trip a closed
+    // breaker.
+    entry.state = State::kOpen;
+    entry.opened_at = sim_.now();
+    entry.probe_in_flight = false;
+    count("breaker.trips");
+  }
+}
+
+bool CircuitBreaker::is_open(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() && it->second.state == State::kOpen;
+}
+
+std::size_t CircuitBreaker::open_count() const {
+  std::size_t count = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.state == State::kOpen) ++count;
+  }
+  return count;
+}
+
+std::string_view CircuitBreaker::state_name(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+std::string CircuitBreaker::snapshot_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":{\"state\":\"" + std::string(state_name(entry.state)) +
+           "\",\"consecutive_failures\":" + std::to_string(entry.consecutive_failures);
+    if (entry.state != State::kClosed) {
+      out += ",\"opened_at_ms\":" + strings::format("%.3f", entry.opened_at.millis());
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void CircuitBreaker::count(const std::string& name) {
+  if (metrics_ != nullptr) metrics_->counter(name).inc();
+}
+
+}  // namespace pan::proxy

@@ -61,6 +61,48 @@ bool PathSelector::is_revoked(const scion::Path& path) {
   return false;
 }
 
+void PathSelector::prune_expired_quarantines(TimePoint now) {
+  std::erase_if(quarantined_,
+                [now](const auto& entry) { return entry.second <= now; });
+  metrics_->gauge("selector.quarantines_active")
+      .set(static_cast<double>(quarantined_.size()));
+}
+
+void PathSelector::quarantine(const scion::Path& path, Duration ttl) {
+  if (ttl <= Duration::zero()) return;
+  const TimePoint now = daemon_.simulator().now();
+  prune_expired_quarantines(now);
+  metrics_->counter("selector.quarantines").inc();
+  TimePoint& expires = quarantined_[path.fingerprint()];
+  expires = std::max(expires, now + ttl);
+  metrics_->gauge("selector.quarantines_active")
+      .set(static_cast<double>(quarantined_.size()));
+}
+
+bool PathSelector::is_quarantined(const std::string& fingerprint) {
+  prune_expired_quarantines(daemon_.simulator().now());
+  return quarantined_.contains(fingerprint);
+}
+
+std::size_t PathSelector::active_quarantines() const {
+  const TimePoint now = daemon_.simulator().now();
+  std::size_t count = 0;
+  for (const auto& [fingerprint, expires] : quarantined_) {
+    if (expires > now) ++count;
+  }
+  return count;
+}
+
+std::vector<std::pair<std::string, TimePoint>> PathSelector::quarantine_snapshot() const {
+  const TimePoint now = daemon_.simulator().now();
+  std::vector<std::pair<std::string, TimePoint>> out;
+  for (const auto& [fingerprint, expires] : quarantined_) {
+    if (expires > now) out.emplace_back(fingerprint, expires);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::size_t PathSelector::active_revocations() const {
   const TimePoint now = daemon_.simulator().now();
   std::size_t count = 0;
@@ -87,22 +129,41 @@ void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_p
     // Known-broken paths (SCMP revocations) are unusable at any compliance
     // level.
     std::erase_if(paths, [&](const scion::Path& p) { return is_revoked(p); });
-    if (!paths.empty()) {
+    // Quarantined paths (recent fetch failures reported by the resilience
+    // layer) are demoted to last resort: selection runs over the fresh set
+    // and only falls back to quarantined candidates when it comes up empty.
+    std::vector<scion::Path> fresh;
+    std::vector<scion::Path> suspect;
+    fresh.reserve(paths.size());
+    for (scion::Path& p : paths) {
+      (is_quarantined(p.fingerprint()) ? suspect : fresh).push_back(std::move(p));
+    }
+    if (!suspect.empty() && !fresh.empty()) {
+      metrics_->counter("selector.quarantine_avoided").inc();
+    }
+    const auto pick = [&](std::vector<scion::Path> pool, PathChoice& out) {
+      if (pool.empty()) return;
       // `any` falls back to the daemon's latency-first order.
-      choice.any = paths.front();
+      if (!out.any.has_value()) out.any = pool.front();
       std::vector<scion::Path> filtered;
-      filtered.reserve(paths.size());
-      for (const scion::Path& p : paths) {
+      filtered.reserve(pool.size());
+      for (scion::Path& p : pool) {
         if (geofence_.has_value() && !geofence_->permits(p)) continue;
         if (!policies.permits(p)) continue;
-        filtered.push_back(p);
+        filtered.push_back(std::move(p));
       }
       // Ordering precedence: user policies first, then the negotiated
       // server preference as a tie-breaker.
       std::vector<ppl::OrderKey> ordering = policies.combined_ordering();
       ordering.insert(ordering.end(), pref.begin(), pref.end());
       ppl::order_paths(filtered, ordering);
-      if (!filtered.empty()) choice.compliant = filtered.front();
+      if (!out.compliant.has_value() && !filtered.empty()) {
+        out.compliant = filtered.front();
+      }
+    };
+    pick(std::move(fresh), choice);
+    if (!choice.any.has_value() || !choice.compliant.has_value()) {
+      pick(std::move(suspect), choice);
     }
     if (!choice.reachable()) metrics_->counter("selector.no_path").inc();
     if (!choice.compliant.has_value()) metrics_->counter("selector.no_compliant_path").inc();

@@ -83,6 +83,16 @@ class PathSelector {
   /// prune; the regression target for the unbounded-growth bug).
   [[nodiscard]] std::size_t revocation_entries() const { return revocations_.size(); }
 
+  /// Failure feedback from the resilience layer: a path that just failed a
+  /// fetch is *soft*-excluded for `ttl` — preferred candidates come from the
+  /// non-quarantined set, and quarantined paths are used only when nothing
+  /// else survives filtering (unlike a revocation, which is authoritative).
+  void quarantine(const scion::Path& path, Duration ttl);
+  [[nodiscard]] bool is_quarantined(const std::string& fingerprint);
+  [[nodiscard]] std::size_t active_quarantines() const;
+  /// Fingerprint -> expiry for the /skip/health dump (deterministic order).
+  [[nodiscard]] std::vector<std::pair<std::string, TimePoint>> quarantine_snapshot() const;
+
   /// Usage snapshot keyed by path fingerprint, built from the registry.
   [[nodiscard]] std::unordered_map<std::string, PathUsage> usage() const;
 
@@ -108,6 +118,7 @@ class PathSelector {
   [[nodiscard]] bool permits(const scion::Path& path) const;
   PathInstruments& instruments_for(const scion::Path& path);
   void prune_expired_revocations(TimePoint now);
+  void prune_expired_quarantines(TimePoint now);
 
   scion::Daemon& daemon_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
@@ -116,6 +127,7 @@ class PathSelector {
   std::optional<ppl::Geofence> geofence_;
   std::unordered_map<std::string, PathInstruments> paths_;
   std::vector<Revocation> revocations_;
+  std::unordered_map<std::string, TimePoint> quarantined_;  // fingerprint -> expiry
 };
 
 }  // namespace pan::proxy

@@ -1,5 +1,7 @@
 #include "proxy/skip_proxy.hpp"
 
+#include <algorithm>
+
 #include "http/strict_scion.hpp"
 #include "proxy/negotiation.hpp"
 #include "util/log.hpp"
@@ -74,6 +76,9 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
       metrics_(config.metrics != nullptr ? config.metrics : owned_metrics_.get()),
       detector_(sim, resolver),
       selector_(daemon, metrics_),
+      breaker_(sim, CircuitBreakerConfig{config_.breaker_threshold, config_.breaker_open_ttl},
+               metrics_),
+      retry_rng_(config_.retry_jitter_seed),
       legacy_pool_(sim, *metrics_, legacy_pool_config(config_)),
       scion_pool_(sim, *metrics_, scion_pool_config(config_)) {
   scmp_subscription_ = stack_.subscribe_scmp(
@@ -100,6 +105,12 @@ ProxyStats SkipProxy::stats() const {
   stats.bytes_ip = metrics_->counter_value("proxy.bytes_ip");
   stats.scmp_reports = metrics_->counter_value("proxy.scmp_reports");
   stats.scmp_reroutes = metrics_->counter_value("proxy.scmp_reroutes");
+  stats.scion_failures = metrics_->counter_value("proxy.scion_failures");
+  stats.gateway_errors = metrics_->counter_value("proxy.gateway_errors");
+  stats.retries = metrics_->counter_value("proxy.retries");
+  stats.attempt_timeouts = metrics_->counter_value("proxy.attempt_timeouts");
+  stats.breaker_short_circuits = metrics_->counter_value("proxy.breaker_short_circuits");
+  stats.strict_unavailable = metrics_->counter_value("proxy.strict_unavailable");
   return stats;
 }
 
@@ -174,15 +185,18 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
   auto req = std::make_shared<RequestState>();
   req->on_result = std::move(on_result);
   req->trace = options.trace != nullptr ? options.trace : make_trace();
+  req->strict = options.strict;
+  req->deadline = options.deadline.value_or(sim_.now() + config_.request_timeout);
   req->trace->begin("ipc");
 
-  // Per-request timeout.
-  sim_.schedule_after(config_.request_timeout, [this, req] {
+  // Per-request deadline: whatever state the pipeline is in, the request
+  // resolves by then.
+  sim_.schedule_at(req->deadline, [this, req] {
     if (req->done) return;
     metrics_->counter("proxy.timeouts").inc();
     ProxyResult result;
     result.transport = TransportUsed::kError;
-    result.response = synthetic_error(504, "proxy request timeout");
+    result.response = synthetic_error(504, "proxy request deadline exceeded");
     finish(req, std::move(result));
   });
 
@@ -197,6 +211,7 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
 void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
   if (req->done) return;
   req->done = true;
+  result.scion_attempts = req->attempts;
   switch (result.transport) {
     case TransportUsed::kScion: metrics_->counter("proxy.over_scion").inc(); break;
     case TransportUsed::kIp: metrics_->counter("proxy.over_ip").inc(); break;
@@ -241,6 +256,30 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
       if (!first) body += ",";
       first = false;
       body += "\"" + origin.key + "\":\"" + origin.path_fingerprint + "\"";
+    }
+    body += "}}";
+    result.response = http::make_response(200, from_string(body), "application/json");
+  } else if (request.target == "/skip/health") {
+    // Resilience-state dump: circuit breakers, quarantined paths, active
+    // revocations, and every fault.* counter the injector shares with us.
+    std::string body = "{\"breaker\":" + breaker_.snapshot_json() +
+                       ",\"breaker_open\":" + std::to_string(breaker_.open_count()) +
+                       ",\"quarantines\":{";
+    bool first = true;
+    for (const auto& [fingerprint, expires] : selector_.quarantine_snapshot()) {
+      if (!first) body += ",";
+      first = false;
+      body += "\"" + fingerprint +
+              "\":" + strings::format("%.3f", expires.millis());
+    }
+    body += "},\"revocations_active\":" + std::to_string(selector_.active_revocations());
+    body += ",\"faults\":{";
+    first = true;
+    for (const auto& [name, counter] : metrics_->counters()) {
+      if (!strings::starts_with(name, "fault.")) continue;
+      if (!first) body += ",";
+      first = false;
+      body += "\"" + name + "\":" + std::to_string(counter.value());
     }
     body += "}}";
     result.response = http::make_response(200, from_string(body), "application/json");
@@ -312,77 +351,181 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
       return;
     }
 
-    // Apply any negotiated server preference for this origin (user policies
-    // still rank first inside the selector).
-    std::vector<ppl::OrderKey> server_pref;
-    if (const auto pref = origin_preferences_.find(url.authority());
-        pref != origin_preferences_.end()) {
-      server_pref = pref->second;
-    }
-    std::optional<ppl::PolicySet> per_site_policies;
-    if (policy_router_.rule_count() > 0) {
-      per_site_policies = policy_router_.match(url.host);
-    }
-    req->trace->begin("select");
-    selector_.choose(host.scion->ia, std::move(server_pref),
-                     [this, url, request = std::move(request), options, host,
-                      req](PathChoice choice) mutable {
-      if (req->done) return;
-      req->trace->end("select");
-      const bool local_dst = stack_.local_as() == host.scion->ia;
-      if (local_dst) {
-        // Intra-AS destination: the empty path is trivially compliant.
-        fetch_over_scion(url, std::move(request), *host.scion,
-                         scion::Path::local(stack_.local_as()), /*compliant=*/true,
-                         host.ip, req);
+    auto ctx = std::make_shared<ScionContext>();
+    ctx->url = url;
+    ctx->request = std::move(request);
+    ctx->addr = *host.scion;
+    // Strict mode never falls back to legacy.
+    ctx->fallback_ip = options.strict ? std::nullopt : host.ip;
+
+    // Routing-layer circuit breaker: while this origin's breaker is open,
+    // skip the SCION attempt entirely.
+    if (!breaker_.allow(ctx->url.authority())) {
+      metrics_->counter("proxy.breaker_short_circuits").inc();
+      if (req->strict) {
+        fail_strict_unavailable(req, ctx->url.host, "circuit breaker open");
         return;
       }
-      if (options.strict) {
-        if (!choice.compliant.has_value()) {
-          ProxyResult result;
-          result.transport = TransportUsed::kBlocked;
-          result.response = synthetic_error(
-              502, "strict mode: no policy-compliant SCION path to " + url.host);
-          finish(req, std::move(result));
-          return;
-        }
-        fetch_over_scion(url, std::move(request), *host.scion, *choice.compliant,
-                         /*compliant=*/true, std::nullopt, req);
-        return;
-      }
-      // Opportunistic: compliant if possible, else any path (flagged), else IP.
-      if (choice.compliant.has_value()) {
-        fetch_over_scion(url, std::move(request), *host.scion, *choice.compliant,
-                         /*compliant=*/true, host.ip, req);
-      } else if (choice.any.has_value()) {
-        PAN_DEBUG(kLog) << url.host << ": no policy-compliant path, using non-compliant";
-        fetch_over_scion(url, std::move(request), *host.scion, *choice.any,
-                         /*compliant=*/false, host.ip, req);
-      } else if (host.ip.has_value()) {
+      if (ctx->fallback_ip.has_value()) {
         metrics_->counter("proxy.fallbacks").inc();
         req->trace->begin("fallback");
-        fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/true, req);
-      } else {
-        ProxyResult result;
-        result.response = synthetic_error(502, "no SCION path and no legacy address for " +
-                                                   url.host);
-        finish(req, std::move(result));
+        fetch_over_ip(ctx->url, std::move(ctx->request), *ctx->fallback_ip,
+                      /*fell_back=*/true, req);
+        return;
       }
-    },
-                     std::move(per_site_policies));
+      ProxyResult result;
+      result.response = synthetic_error(
+          503, "circuit breaker open for " + ctx->url.host + ", no legacy address");
+      finish(req, std::move(result));
+      return;
+    }
+
+    start_scion_attempt(ctx, req);
   });
 }
 
-void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request,
-                                 const scion::ScionAddr& addr, const scion::Path& path,
-                                 bool compliant, std::optional<net::IpAddr> fallback_ip,
-                                 RequestPtr req) {
+void SkipProxy::start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr& req) {
+  ++req->attempts;
+  ++req->epoch;
+  if (stack_.local_as() == ctx->addr.ia) {
+    // Intra-AS destination: the empty path is trivially compliant.
+    fetch_over_scion(ctx, scion::Path::local(stack_.local_as()), /*compliant=*/true, req);
+    return;
+  }
+  // Apply any negotiated server preference for this origin (user policies
+  // still rank first inside the selector). Recomputed per attempt — a
+  // response between attempts may have updated the negotiation state.
+  std::vector<ppl::OrderKey> server_pref;
+  if (const auto pref = origin_preferences_.find(ctx->url.authority());
+      pref != origin_preferences_.end()) {
+    server_pref = pref->second;
+  }
+  std::optional<ppl::PolicySet> per_site_policies;
+  if (policy_router_.rule_count() > 0) {
+    per_site_policies = policy_router_.match(ctx->url.host);
+  }
+  req->trace->begin("select");
+  selector_.choose(ctx->addr.ia, std::move(server_pref), [this, ctx,
+                                                          req](PathChoice choice) {
+    if (req->done) return;
+    req->trace->end("select");
+    if (req->strict) {
+      if (!choice.compliant.has_value()) {
+        // Transient until proven otherwise: revocations expire, quarantines
+        // lift, beacons refresh — retry within budget, then degrade.
+        if (schedule_scion_retry(ctx, req)) return;
+        fail_strict_unavailable(req, ctx->url.host,
+                                "no policy-compliant SCION path");
+        return;
+      }
+      fetch_over_scion(ctx, *choice.compliant, /*compliant=*/true, req);
+      return;
+    }
+    // Opportunistic: compliant if possible, else any path (flagged), else IP.
+    if (choice.compliant.has_value()) {
+      fetch_over_scion(ctx, *choice.compliant, /*compliant=*/true, req);
+    } else if (choice.any.has_value()) {
+      PAN_DEBUG(kLog) << ctx->url.host
+                      << ": no policy-compliant path, using non-compliant";
+      fetch_over_scion(ctx, *choice.any, /*compliant=*/false, req);
+    } else if (ctx->fallback_ip.has_value()) {
+      metrics_->counter("proxy.fallbacks").inc();
+      req->trace->begin("fallback");
+      fetch_over_ip(ctx->url, ctx->request, *ctx->fallback_ip, /*fell_back=*/true, req);
+    } else if (schedule_scion_retry(ctx, req)) {
+      // No path and no legacy address: a later attempt is the only hope.
+    } else {
+      ProxyResult result;
+      result.response = synthetic_error(
+          502, "no SCION path and no legacy address for " + ctx->url.host);
+      finish(req, std::move(result));
+    }
+  },
+                   std::move(per_site_policies));
+}
+
+Duration SkipProxy::deadline_margin(const ScionContext& ctx, const RequestState& req) const {
+  // Opportunistic requests with a legacy address keep enough budget to
+  // complete the fallback fetch; otherwise just enough slack that the
+  // terminal 502/503 beats the 504 deadline timer.
+  if (!req.strict && ctx.fallback_ip.has_value()) return config_.fallback_margin;
+  return milliseconds(1);
+}
+
+Duration SkipProxy::retry_backoff(std::uint32_t attempt) {
+  Duration backoff = config_.retry_backoff_base;
+  for (std::uint32_t i = 1; i < attempt; ++i) {
+    backoff = backoff.scaled(config_.retry_backoff_factor);
+  }
+  return retry_rng_.jittered(backoff, config_.retry_jitter_frac);
+}
+
+bool SkipProxy::schedule_scion_retry(const ScionContextPtr& ctx, const RequestPtr& req) {
+  if (req->attempts > config_.max_scion_retries) return false;
+  const Duration backoff = retry_backoff(req->attempts);
+  if (sim_.now() + backoff + deadline_margin(*ctx, *req) >= req->deadline) {
+    return false;  // not enough deadline budget for another attempt
+  }
+  metrics_->counter("proxy.retries").inc();
+  req->trace->begin("backoff");
+  const std::uint64_t epoch = req->epoch;
+  sim_.schedule_after(backoff, [this, ctx, req, epoch] {
+    if (req->done || req->epoch != epoch) return;
+    req->trace->end("backoff");
+    start_scion_attempt(ctx, req);
+  });
+  return true;
+}
+
+void SkipProxy::fail_strict_unavailable(const RequestPtr& req, const std::string& host,
+                                        const std::string& why) {
+  metrics_->counter("proxy.strict_unavailable").inc();
+  ProxyResult result;
+  result.transport = TransportUsed::kBlocked;
+  http::HttpResponse response = synthetic_error(
+      503, "strict mode: SCION temporarily unavailable for " + host + " (" + why + ")");
+  const auto retry_after_s = static_cast<std::int64_t>(config_.strict_retry_after.seconds());
+  response.headers.set("Retry-After", std::to_string(std::max<std::int64_t>(1, retry_after_s)));
+  result.response = std::move(response);
+  finish(req, std::move(result));
+}
+
+void SkipProxy::handle_scion_failure(const ScionContextPtr& ctx, const RequestPtr& req,
+                                     const scion::Path& path, const std::string& error) {
+  metrics_->counter("proxy.scion_failures").inc();
+  if (!path.fingerprint().empty()) {
+    selector_.quarantine(path, config_.quarantine_ttl);
+  }
+  breaker_.record_failure(ctx->url.authority());
+  PAN_DEBUG(kLog) << ctx->url.host << ": SCION attempt " << req->attempts
+                  << " failed (" << error << ")";
+  if (schedule_scion_retry(ctx, req)) return;
+  if (!req->strict && ctx->fallback_ip.has_value()) {
+    metrics_->counter("proxy.fallbacks").inc();
+    req->trace->begin("fallback");
+    fetch_over_ip(ctx->url, ctx->request, *ctx->fallback_ip, /*fell_back=*/true, req);
+    return;
+  }
+  if (req->strict) {
+    fail_strict_unavailable(req, ctx->url.host, error);
+    return;
+  }
+  ProxyResult out;
+  out.response = synthetic_error(502, "SCION fetch failed: " + error);
+  finish(req, std::move(out));
+}
+
+void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& path,
+                                 bool compliant, const RequestPtr& req) {
+  const std::uint64_t my_epoch = req->epoch;
+  const http::Url& url = ctx->url;
+  const scion::ScionAddr addr = ctx->addr;
   const std::string key = url.authority();
   // A live pooled connection follows the freshly selected path (the pool
   // no-ops when the fingerprint is unchanged).
   scion_pool_.migrate(key, path);
 
-  http::HttpRequest origin_request = to_origin_form(url, std::move(request));
+  http::HttpRequest origin_request = to_origin_form(url, ctx->request);
   req->trace->begin("fetch");
   auto factory = [this, key, url, addr, path, req]() {
     // 0-RTT resumption: origins we have spoken SCION to before accept early
@@ -405,26 +548,45 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
     }
     return pooled;
   };
-  auto on_response = [this, url, origin_request, addr, path, compliant, fallback_ip,
-                      req](Result<http::HttpResponse> result) {
-    if (req->done) return;
+  auto on_response = [this, ctx, url, addr, path, compliant, req,
+                      my_epoch](Result<http::HttpResponse> result) {
+    if (req->done || req->epoch != my_epoch) return;  // superseded by a retry
     req->trace->end("fetch");
     if (!result.ok()) {
-      if (fallback_ip.has_value()) {
-        metrics_->counter("proxy.fallbacks").inc();
-        PAN_DEBUG(kLog) << url.host << ": SCION fetch failed (" << result.error()
-                        << "), falling back to IP";
-        req->trace->end("handshake");  // may still be open if the dial failed
-        req->trace->begin("fallback");
-        fetch_over_ip(url, origin_request, *fallback_ip, /*fell_back=*/true, req);
-        return;
-      }
-      ProxyResult out;
-      out.response = synthetic_error(502, "SCION fetch failed: " + result.error());
-      finish(req, std::move(out));
+      // Discard any half-open handshake span — a failed attempt's dial time
+      // must not pollute the handshake histogram via flush.
+      req->trace->cancel("handshake");
+      handle_scion_failure(ctx, req, path, result.error());
       return;
     }
     http::HttpResponse response = std::move(result).take();
+    // Gateway errors are a sick upstream (e.g. the reverse proxy's backend
+    // died mid-response), not a sick path: retry the idempotent fetch — on
+    // another attempt or the legacy fallback — before surfacing them. The
+    // path is not quarantined (it delivered the response fine) but the
+    // origin does feed its circuit breaker.
+    if (response.status == 502 || response.status == 503 || response.status == 504) {
+      metrics_->counter("proxy.scion_failures").inc();
+      metrics_->counter("proxy.gateway_errors").inc();
+      breaker_.record_failure(url.authority());
+      if (schedule_scion_retry(ctx, req)) return;
+      if (!req->strict && ctx->fallback_ip.has_value()) {
+        metrics_->counter("proxy.fallbacks").inc();
+        req->trace->begin("fallback");
+        fetch_over_ip(ctx->url, ctx->request, *ctx->fallback_ip, /*fell_back=*/true, req);
+        return;
+      }
+      // Out of options: the upstream's own error is the most truthful
+      // answer — deliver it instead of synthesizing one.
+      ProxyResult out;
+      out.transport = TransportUsed::kScion;
+      out.policy_compliant = compliant;
+      out.path_fingerprint = path.fingerprint();
+      out.response = std::move(response);
+      finish(req, std::move(out));
+      return;
+    }
+    breaker_.record_success(url.authority());
     // Learn availability advertised via Strict-SCION.
     if (const auto directive = http::strict_scion_of(response)) {
       detector_.learn(url.host, addr, directive->max_age);
@@ -464,6 +626,34 @@ void SkipProxy::fetch_over_scion(const http::Url& url, http::HttpRequest request
     finish(req, std::move(out));
   };
   scion_pool_.submit(key, origin_request, std::move(on_response), std::move(factory));
+
+  // Per-attempt timer: abandon an attempt that is eating the deadline budget
+  // (e.g. a slow-loris origin) while there is still time to retry or fall
+  // back. Bumping the epoch makes the late on_response a no-op. When
+  // abandoning early could not buy anything — no fallback and no time for
+  // another attempt — the timer stays unarmed and the request-deadline 504
+  // remains the terminal answer.
+  const Duration remaining = req->deadline - sim_.now();
+  const bool can_fall_back = !req->strict && ctx->fallback_ip.has_value();
+  Duration limit = Duration::zero();
+  if (can_fall_back) {
+    limit = remaining - config_.fallback_margin;
+    if (config_.attempt_timeout > Duration::zero()) {
+      limit = std::min(limit, config_.attempt_timeout);
+    }
+  } else if (config_.attempt_timeout > Duration::zero() &&
+             config_.attempt_timeout < remaining) {
+    limit = config_.attempt_timeout;
+  }
+  if (limit <= Duration::zero()) return;
+  sim_.schedule_after(limit, [this, ctx, req, path, my_epoch] {
+    if (req->done || req->epoch != my_epoch) return;
+    metrics_->counter("proxy.attempt_timeouts").inc();
+    ++req->epoch;  // invalidate the in-flight on_response
+    req->trace->end("fetch");
+    req->trace->cancel("handshake");
+    handle_scion_failure(ctx, req, path, "attempt timed out");
+  });
 }
 
 void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,

@@ -22,7 +22,18 @@
 // proxy's obs::MetricsRegistry as per-phase latency histograms. Requests
 // whose origin-form target starts with "/skip/" address the proxy itself:
 // GET /skip/metrics returns the registry as JSON, GET /skip/pool the
-// per-origin connection-pool state.
+// per-origin connection-pool state, and GET /skip/health the resilience
+// state (circuit breakers, path quarantines, active revocations, fault.*
+// counters).
+//
+// Resilience layer: every request runs under a deadline budget (threaded
+// from the browser or defaulted from request_timeout). A failed SCION fetch
+// quarantines the path in the selector and retries over an alternate path
+// with exponential backoff + jitter — before any legacy fallback. Strict
+// mode degrades to 503 + Retry-After after bounded retries instead of an
+// instant 502, and a per-origin circuit breaker short-circuits repeated
+// SCION failures to legacy (opportunistic) or fast-fails (strict) until a
+// half-open probe succeeds.
 //
 // Connection management lives in http::OriginPool: one pool of legacy
 // (TCP-lite/IP) connections with browser-like per-origin fan-out, and one
@@ -38,9 +49,11 @@
 #include "http/origin_pool.hpp"
 #include "http/url.hpp"
 #include "obs/trace.hpp"
+#include "proxy/circuit_breaker.hpp"
 #include "proxy/detector.hpp"
 #include "proxy/path_selector.hpp"
 #include "proxy/policy_router.hpp"
+#include "util/rng.hpp"
 
 namespace pan::proxy {
 
@@ -63,6 +76,33 @@ struct ProxyConfig {
   Duration pool_backoff_cooldown = seconds(5);
   /// How long an SCMP-revoked interface stays excluded from selection.
   Duration revocation_ttl = seconds(30);
+
+  // --- resilience layer (retry / quarantine / circuit breaker) ---
+  /// Additional SCION attempts (re-select + fetch) after a failed one before
+  /// giving up on SCION. 0 restores the old single-shot behaviour.
+  std::size_t max_scion_retries = 2;
+  /// Exponential backoff between SCION attempts: base * factor^(attempt-1),
+  /// with deterministic +/- jitter so retries across requests decorrelate.
+  Duration retry_backoff_base = milliseconds(40);
+  double retry_backoff_factor = 2.0;
+  double retry_jitter_frac = 0.2;
+  std::uint64_t retry_jitter_seed = 0x5eed;
+  /// Per-attempt cap: a SCION attempt still unresolved after this long is
+  /// abandoned and treated as a failure (0 = bounded only by the deadline).
+  Duration attempt_timeout = seconds(4);
+  /// Deadline budget reserved for the legacy fallback: opportunistic
+  /// requests with a legacy address stop retrying SCION early enough to
+  /// still complete over IP within the deadline.
+  Duration fallback_margin = seconds(2);
+  /// Paths whose fetch failed are quarantined in the selector for this long
+  /// (soft exclusion; 0 disables).
+  Duration quarantine_ttl = seconds(10);
+  /// Retry-After advertised when strict mode exhausts its retries (503).
+  Duration strict_retry_after = seconds(1);
+  /// Per-origin circuit breaker: consecutive SCION failures that open it
+  /// (0 disables) and how long it rejects before a half-open probe.
+  std::size_t breaker_threshold = 4;
+  Duration breaker_open_ttl = seconds(5);
   /// Shared metrics registry. When null the proxy owns a private one; the
   /// figure benches inject a long-lived registry here so per-phase latency
   /// aggregates across per-trial proxies.
@@ -81,6 +121,10 @@ struct ProxyRequestOptions {
   /// Request-scoped trace carried in from the browser/extension; the proxy
   /// creates one when absent.
   obs::TracePtr trace;
+  /// Absolute deadline budget for the whole request (detect + select +
+  /// handshake + fetch + retries), threaded down from the browser. Absent:
+  /// now + ProxyConfig::request_timeout.
+  std::optional<TimePoint> deadline;
 };
 
 struct ProxyResult {
@@ -91,6 +135,9 @@ struct ProxyResult {
   std::string path_fingerprint;
   /// True when SCION was attempted and the request fell back to IP.
   bool fell_back = false;
+  /// SCION attempts (selection + fetch cycles) this request made; > 1 means
+  /// the resilience layer retried over alternate paths.
+  std::uint32_t scion_attempts = 0;
   /// Per-phase span breakdown of this request (ipc / detect / select /
   /// handshake / fetch / fallback), in completion order.
   std::vector<obs::SpanRecord> spans;
@@ -116,6 +163,17 @@ struct ProxyStats {
   /// SCMP reports received and live connections migrated to new paths.
   std::uint64_t scmp_reports = 0;
   std::uint64_t scmp_reroutes = 0;
+  /// Resilience layer: failed SCION attempts, retries scheduled, attempts
+  /// abandoned on the per-attempt timer, breaker short-circuits, and strict
+  /// requests degraded to 503 + Retry-After.
+  std::uint64_t scion_failures = 0;
+  /// 502/503/504 responses received over SCION and treated as retryable
+  /// attempt failures (sick upstream, healthy path).
+  std::uint64_t gateway_errors = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t attempt_timeouts = 0;
+  std::uint64_t breaker_short_circuits = 0;
+  std::uint64_t strict_unavailable = 0;
 };
 
 class SkipProxy {
@@ -152,6 +210,7 @@ class SkipProxy {
 
   [[nodiscard]] ScionDetector& detector() { return detector_; }
   [[nodiscard]] PathSelector& selector() { return selector_; }
+  [[nodiscard]] CircuitBreaker& breaker() { return breaker_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] ProxyStats stats() const;
@@ -181,17 +240,51 @@ class SkipProxy {
     FetchFn on_result;
     bool done = false;
     obs::TracePtr trace;
+    /// Absolute budget: the request finishes (one way or another) by then.
+    TimePoint deadline;
+    bool strict = false;
+    /// SCION attempts started (selection + fetch cycles).
+    std::uint32_t attempts = 0;
+    /// Bumped whenever a new attempt starts or an old one is abandoned, so
+    /// callbacks from stale attempts can detect they lost the race.
+    std::uint64_t epoch = 0;
   };
   using RequestPtr = std::shared_ptr<RequestState>;
+
+  /// Everything needed to re-run selection + fetch on retry.
+  struct ScionContext {
+    http::Url url;
+    http::HttpRequest request;  // pre-origin-form; copied per attempt
+    scion::ScionAddr addr;
+    std::optional<net::IpAddr> fallback_ip;
+  };
+  using ScionContextPtr = std::shared_ptr<ScionContext>;
 
   void process(http::HttpRequest request, ProxyRequestOptions options, RequestPtr req);
   /// Serves the proxy's own /skip/* control endpoints.
   void serve_internal(const http::HttpRequest& request, const RequestPtr& req);
   void finish(const RequestPtr& req, ProxyResult result);
-  void fetch_over_scion(const http::Url& url, http::HttpRequest request,
-                        const scion::ScionAddr& addr, const scion::Path& path,
-                        bool compliant, std::optional<net::IpAddr> fallback_ip,
-                        RequestPtr req);
+  /// One SCION attempt: path selection then fetch. Called for the first
+  /// attempt and again on every retry.
+  void start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr& req);
+  void fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& path,
+                        bool compliant, const RequestPtr& req);
+  /// A SCION attempt failed: quarantine the path, feed the breaker, then
+  /// retry / fall back / degrade per mode and remaining budget.
+  void handle_scion_failure(const ScionContextPtr& ctx, const RequestPtr& req,
+                            const scion::Path& path, const std::string& error);
+  /// Schedules the next attempt after backoff when attempt and deadline
+  /// budgets allow; false means the caller must terminate the request.
+  bool schedule_scion_retry(const ScionContextPtr& ctx, const RequestPtr& req);
+  /// Strict-mode graceful degradation: 503 + Retry-After (never a hang).
+  void fail_strict_unavailable(const RequestPtr& req, const std::string& host,
+                               const std::string& why);
+  /// Deadline slack an attempt must leave unspent: room for the legacy
+  /// fallback in opportunistic mode, or (strict) for the 503 to beat the
+  /// 504 deadline timer.
+  [[nodiscard]] Duration deadline_margin(const ScionContext& ctx,
+                                         const RequestState& req) const;
+  [[nodiscard]] Duration retry_backoff(std::uint32_t attempt);
   void fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
                      bool fell_back, RequestPtr req);
   [[nodiscard]] static http::OriginPoolConfig legacy_pool_config(const ProxyConfig& config);
@@ -211,7 +304,9 @@ class SkipProxy {
   obs::MetricsRegistry* metrics_ = nullptr;  // set before detector_/selector_
   ScionDetector detector_;
   PathSelector selector_;
+  CircuitBreaker breaker_;
   PolicyRouter policy_router_;
+  Rng retry_rng_;
   http::OriginPool legacy_pool_;
   http::OriginPool scion_pool_;
   std::unordered_map<std::string, std::vector<ppl::OrderKey>> origin_preferences_;

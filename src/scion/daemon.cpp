@@ -22,6 +22,19 @@ void Daemon::query(IsdAsn dst, std::function<void(std::vector<Path>)> callback) 
     callback(it->second.paths);
     return;
   }
+  if (frozen_) {
+    // Path-server staleness: whatever is cached keeps being served (TTL
+    // ignored), and anything else cannot be fetched.
+    if (it != cache_.end()) {
+      ++stale_serves_;
+      callback(it->second.paths);
+      return;
+    }
+    ++frozen_failures_;
+    sim_.schedule_after(config_.lookup_latency,
+                        [cb = std::move(callback)] { cb({}); });
+    return;
+  }
   ++cache_misses_;
   sim_.schedule_after(config_.lookup_latency, [this, dst, cb = std::move(callback)] {
     std::vector<Path> paths = combine(dst);

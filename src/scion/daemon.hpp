@@ -46,6 +46,17 @@ class Daemon {
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
 
+  /// Fault injection: a frozen daemon models path-server staleness — cached
+  /// entries are served even past their TTL (stale answers), and cache
+  /// misses come back empty after the lookup latency instead of consulting
+  /// the path-server infrastructure.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  /// Expired cache entries served while frozen.
+  [[nodiscard]] std::uint64_t stale_serves() const { return stale_serves_; }
+  /// Cache misses that failed (empty path set) while frozen.
+  [[nodiscard]] std::uint64_t frozen_failures() const { return frozen_failures_; }
+
   /// Drops all cached entries (e.g. topology change in tests).
   void flush_cache();
 
@@ -64,6 +75,9 @@ class Daemon {
   std::unordered_map<IsdAsn, CacheEntry> cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  bool frozen_ = false;
+  std::uint64_t stale_serves_ = 0;
+  std::uint64_t frozen_failures_ = 0;
 };
 
 }  // namespace pan::scion

@@ -44,9 +44,9 @@ class Simulator {
   /// Runs events until the queue drains. Returns the number of events run.
   std::size_t run();
 
-  /// Runs events with time <= deadline; the clock is left at the deadline
-  /// (or at the last event if the queue drained first... no: always advanced
-  /// to the deadline so repeated calls are monotonic). Returns events run.
+  /// Runs events with time <= deadline. The clock always ends at the
+  /// deadline, even when the queue drains early, so repeated calls advance
+  /// monotonically. Returns the number of events run.
   std::size_t run_until(TimePoint deadline);
 
   /// Runs for `span` of simulated time from now.

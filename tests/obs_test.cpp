@@ -144,6 +144,35 @@ TEST(RequestTraceTest, EndAllTruncatesOpenSpans) {
   EXPECT_EQ(trace.total("fetch"), milliseconds(5));
 }
 
+TEST(RequestTraceTest, CancelDiscardsOpenSpanWithoutRecording) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 1);
+  trace.begin("handshake");
+  fx.advance(milliseconds(7));
+  // A failed dial's handshake must not pollute the phase histogram: cancel
+  // drops it entirely rather than closing it.
+  trace.cancel("handshake");
+  EXPECT_FALSE(trace.open("handshake"));
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_EQ(trace.total("handshake"), Duration::zero());
+  // Idempotent like end(): cancelling again (or with nothing open) is a no-op.
+  trace.cancel("handshake");
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST(RequestTraceTest, CancelOnlyDropsTheMostRecentOpenSpan) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 1);
+  trace.begin("fetch");  // attempt 1 (completed below)
+  fx.advance(milliseconds(3));
+  trace.end("fetch");
+  trace.begin("fetch");  // attempt 2 (abandoned)
+  fx.advance(milliseconds(9));
+  trace.cancel("fetch");
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.total("fetch"), milliseconds(3));
+}
+
 TEST(RequestTraceTest, FlushRecordsPerPhaseHistograms) {
   TraceFixture fx;
   MetricsRegistry registry;

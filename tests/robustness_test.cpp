@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "core/scenarios.hpp"
+#include "fault/fault.hpp"
 #include "http/parser.hpp"
 #include "ppl/parser.hpp"
 #include "scion/header.hpp"
+#include "scion/scmp.hpp"
 #include "scion/topology.hpp"
 #include "transport/frames.hpp"
 
@@ -139,6 +141,77 @@ TEST_P(FuzzSeeds, AddressParsersNeverCrash) {
     (void)scion::ScionAddr::parse(input);
     (void)net::IpAddr::parse(input);
     (void)ppl::HopPredicate::parse(input);
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, FaultPlanParserNeverCrashes) {
+  Rng rng(GetParam() + 950);
+  // Token soup drawn from the fault-plan grammar plus junk, so the fuzzer
+  // exercises deep parse paths (options, units, kinds) and not just the
+  // first-token reject.
+  static constexpr std::string_view kTokens[] = {
+      "at=",       "dur=",          "loss=",     "latency-factor=",
+      "extra-latency=", "mode=",    "delay=",    "link-down",
+      "link-degrade",   "as-outage", "path-server-stale", "dns-brownout",
+      "origin-reset",   "origin-slow-loris", "origin-bad-strict-scion",
+      "timeout",   "servfail",      "150ms",     "2s",
+      "0",         "-3ms",          "1e99s",     "core-1",
+      "core-2b",   "#",             "0.5",       "\xff\xfe",
+      "999999999999999999999s",     "ms",        "=",
+  };
+  for (int i = 0; i < 300; ++i) {
+    std::string input;
+    const std::size_t tokens = rng.next_below(20);
+    for (std::size_t t = 0; t < tokens; ++t) {
+      input += kTokens[rng.next_below(std::size(kTokens))];
+      input += rng.chance(0.2) ? "\n" : " ";
+    }
+    const auto plan = fault::parse_fault_plan(input);
+    // A total parser: garbage yields a line-numbered error, never a crash.
+    if (!plan.ok()) {
+      EXPECT_NE(plan.error().find("line"), std::string::npos);
+    }
+  }
+  // Mutated valid plans (flip characters of a well-formed plan).
+  const std::string valid =
+      "at=150ms dur=2s link-down core-1 core-2b\n"
+      "at=1s dur=500ms dns-brownout example.org mode=servfail\n"
+      "at=2s dur=1s link-degrade core-1 core-2a loss=0.2 latency-factor=3\n";
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = valid;
+    const std::size_t flips = 1 + rng.next_below(5);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.next_below(mutated.size())] =
+          static_cast<char>(rng.next_below(256));
+    }
+    (void)fault::parse_fault_plan(mutated);
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, ScmpParserNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  // Pure garbage.
+  for (int i = 0; i < 500; ++i) {
+    const Bytes raw = random_bytes(rng, 80);
+    (void)scion::ScmpMessage::parse(raw);
+  }
+  // Mutated valid messages: parse must never crash, and anything that does
+  // parse must round-trip through serialize() unchanged.
+  scion::ScmpMessage msg;
+  msg.type = scion::ScmpType::kLinkDown;
+  msg.origin_as = scion::IsdAsn{1, 0x110};
+  msg.interface = 4;
+  msg.original_dst = scion::ScionAddr{scion::IsdAsn{2, 0x220}, net::IpAddr{9}};
+  msg.original_dst_port = 443;
+  const Bytes valid = msg.serialize();
+  for (int i = 0; i < 500; ++i) {
+    const Bytes mutated = mutate(rng, valid);
+    const auto parsed = scion::ScmpMessage::parse(mutated);
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed.value().serialize(), mutated);
+    }
   }
   SUCCEED();
 }
