@@ -5,6 +5,9 @@
 #   scripts/check.sh              # both builds
 #   scripts/check.sh --fast       # plain build only
 #   scripts/check.sh --sanitize   # sanitized build only (CI matrix leg)
+#   scripts/check.sh --soak       # plain build, then loop the chaos + surge
+#                                 # suites until SOAK_BUDGET_S (default 120 s)
+#                                 # of wall clock is spent
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +19,22 @@ run_suite() {
   cmake --build "$build_dir" -j
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 }
+
+if [[ "${1:-}" == "--soak" ]]; then
+  echo "==> soak: plain build, then chaos + surge loop"
+  run_suite build
+  budget="${SOAK_BUDGET_S:-120}"
+  deadline=$(( $(date +%s) + budget ))
+  iterations=0
+  while (( $(date +%s) < deadline )); do
+    ./build/tests/fault_test >/dev/null
+    ./build/tests/robustness_test >/dev/null
+    ./build/bench/bench_ablation_chaos >/dev/null
+    iterations=$(( iterations + 1 ))
+  done
+  echo "==> soak passed (${iterations} iterations in <= ${budget}s)"
+  exit 0
+fi
 
 if [[ "${1:-}" != "--sanitize" ]]; then
   echo "==> tier-1: plain build + ctest"

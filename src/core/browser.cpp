@@ -112,6 +112,10 @@ void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::si
   request.target = url.to_string();  // absolute form toward the proxy
   request.headers.set("Host", url.authority());
   request.headers.set("User-Agent", "pan-browser/1.0");
+  // Tag the priority class for the proxy's admission ladder and pool queue
+  // ordering: the main document outranks its sub-resources.
+  request.headers.set(std::string(proxy::kPriorityHeader),
+                      index == 0 ? "document" : "subresource");
   add_conditional_headers(url.to_string(), request);
 
   const TimePoint begun = sim_.now();
@@ -185,9 +189,16 @@ void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t in
     request.headers.set("User-Agent", "pan-browser/1.0");
     add_conditional_headers(url.to_string(), request);
 
+    // Proxy-less baseline still benefits from priority queue ordering and
+    // deadline shedding in its own connection pool.
+    http::SubmitOptions submit_options;
+    submit_options.priority = index == 0 ? 0 : 1;
+    if (config_.request_deadline > Duration::zero()) {
+      submit_options.deadline = begun + config_.request_deadline;
+    }
     const std::string origin_key = url.authority();
     direct_pool_.submit(
-        origin_key, std::move(request),
+        origin_key, std::move(request), submit_options,
         [this, page, index, url, begun](Result<http::HttpResponse> result) {
           if (page->settled) return;
           ResourceOutcome& res_outcome = page->result.resources[index];

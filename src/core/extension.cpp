@@ -44,6 +44,11 @@ void BrowserExtension::fetch(http::HttpRequest request, const std::string& host,
   options.strict = page_strict || strict_for(host);
   options.trace = std::move(trace);
   options.deadline = deadline;
+  // Pinned / strict hosts ride in the document priority band: the user asked
+  // for a guarantee, so admission and queue ordering honor it first.
+  if (options.strict) {
+    request.headers.set(std::string(proxy::kPriorityHeader), "document");
+  }
   proxy_.fetch(std::move(request), options, std::move(on_result));
 }
 

@@ -156,11 +156,11 @@ std::unique_ptr<World> make_remote_world(const WorldConfig& config) {
   topo.finalize();
 
   world->add_site(far_www, "www.far.example", SiteOptions{.legacy = true});
-  world->add_reverse_proxy(far_rp1, "www.far.example", far_www);
+  world->add_reverse_proxy(far_rp1, "www.far.example", far_www, config.reverse_proxy);
   world->add_site(far_static, "static.far.example", SiteOptions{.legacy = true});
-  world->add_reverse_proxy(far_rp2, "static.far.example", far_static);
+  world->add_reverse_proxy(far_rp2, "static.far.example", far_static, config.reverse_proxy);
   world->add_site(near_www, "www.near.example", SiteOptions{.legacy = true});
-  world->add_reverse_proxy(near_rp, "www.near.example", near_www);
+  world->add_reverse_proxy(near_rp, "www.near.example", near_www, config.reverse_proxy);
   return world;
 }
 
@@ -192,6 +192,68 @@ PageLoadResult ClientSession::load(const std::string& url) {
   world_.sim().run_until_condition([&] { return done; },
                                    world_.sim().now() + seconds(120));
   return result;
+}
+
+SurgeLoad::SurgeLoad(World& world, proxy::SkipProxy& proxy)
+    : world_(world), proxy_(proxy), alive_(std::make_shared<bool>(true)) {
+  world_.injector().set_surge_hook(
+      [this](const fault::FaultEvent& event, bool active) { on_event(event, active); });
+}
+
+SurgeLoad::~SurgeLoad() {
+  *alive_ = false;
+  world_.injector().set_surge_hook(nullptr);
+}
+
+void SurgeLoad::on_event(const fault::FaultEvent& event, bool active) {
+  if (!active) {
+    if (event.a == domain_) active_ = false;
+    return;
+  }
+  // One surge at a time: a newer event retargets the generator.
+  domain_ = event.a;
+  rate_ = event.surge_rate;
+  concurrency_ = event.surge_concurrency;
+  if (!active_) {
+    active_ = true;
+    tick();
+  }
+}
+
+void SurgeLoad::tick() {
+  if (!active_) return;
+  if (in_flight_ < concurrency_) {
+    ++stats_.launched;
+    ++in_flight_;
+    http::HttpRequest request;
+    request.method = "GET";
+    request.target = "http://" + domain_ + path_;
+    request.headers.set("Host", domain_);
+    request.headers.set("User-Agent", "pan-surge/1.0");
+    request.headers.set(std::string(proxy::kPriorityHeader), "probe");
+    request.headers.set(std::string(proxy::kClientHeader), "surge");
+    proxy::ProxyRequestOptions options;
+    options.deadline = world_.sim().now() + request_deadline_;
+    proxy_.fetch(std::move(request), options,
+                 [this, alive = alive_](proxy::ProxyResult result) {
+                   if (!*alive) return;
+                   --in_flight_;
+                   const int status = result.response.status;
+                   if (status >= 200 && status < 300) {
+                     ++stats_.completed;
+                   } else if (status == 429 || status == 503) {
+                     ++stats_.rejected;
+                   } else if (status == 504) {
+                     ++stats_.timed_out;
+                   } else {
+                     ++stats_.failed;
+                   }
+                 });
+  }
+  const auto interval = Duration{static_cast<std::int64_t>(1e9 / rate_)};
+  world_.sim().schedule_after(interval, [this, alive = alive_] {
+    if (*alive) tick();
+  });
 }
 
 DirectSession::DirectSession(World& world, BrowserConfig browser_config) : world_(world) {

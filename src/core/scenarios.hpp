@@ -40,6 +40,10 @@ struct WorldConfig {
   double child_bandwidth_bps = 10e9;
   /// Random loss rate on every inter-AS link (loss-recovery stress).
   double inter_as_loss = 0.0;
+  /// Configuration for every reverse proxy the world builders stand up
+  /// (overload/admission knobs included) — the surge benches toggle
+  /// shedding on the shared server-side infrastructure through this.
+  proxy::ReverseProxyConfig reverse_proxy;
 };
 
 struct SiteOptions {
@@ -144,6 +148,54 @@ class ClientSession {
   std::unique_ptr<proxy::SkipProxy> proxy_;
   std::unique_ptr<BrowserExtension> extension_;
   std::unique_ptr<Browser> browser_;
+};
+
+/// Deterministic load generator behind the `surge` fault verb: while a surge
+/// event is active it launches `GET http://<domain><path>` requests through
+/// `proxy` at the event's rate, capped at the event's concurrency, tagged as
+/// probe-class traffic from the "surge" client so admission control can
+/// recognize (and shed) it. One SurgeLoad drives one world's surges; it
+/// registers itself as the injector's surge hook.
+class SurgeLoad {
+ public:
+  SurgeLoad(World& world, proxy::SkipProxy& proxy);
+  ~SurgeLoad();
+
+  SurgeLoad(const SurgeLoad&) = delete;
+  SurgeLoad& operator=(const SurgeLoad&) = delete;
+
+  /// Path requested on the surged domain (default "/").
+  void set_target_path(std::string path) { path_ = std::move(path); }
+  /// Per-request deadline budget (default 2s).
+  void set_request_deadline(Duration deadline) { request_deadline_ = deadline; }
+
+  struct Stats {
+    std::uint64_t launched = 0;
+    std::uint64_t completed = 0;  // 2xx
+    std::uint64_t rejected = 0;   // 429 / 503 (admission or shed)
+    std::uint64_t timed_out = 0;  // 504 (hung to deadline — the bad outcome)
+    std::uint64_t failed = 0;     // everything else
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  void on_event(const fault::FaultEvent& event, bool active);
+  void tick();
+
+  World& world_;
+  proxy::SkipProxy& proxy_;
+  Stats stats_;
+  std::string domain_;
+  std::string path_ = "/";
+  Duration request_deadline_ = seconds(2);
+  double rate_ = 0.0;
+  std::size_t concurrency_ = 0;
+  std::size_t in_flight_ = 0;
+  bool active_ = false;
+  /// Flipped in the destructor so in-flight fetch callbacks and scheduled
+  /// ticks become no-ops.
+  std::shared_ptr<bool> alive_;
 };
 
 /// The extension-disabled baseline browser ("BGP/IP-Only").

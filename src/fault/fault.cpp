@@ -24,6 +24,7 @@ constexpr KindSpec kKinds[] = {
     {"origin-reset", FaultKind::kOriginReset, 1},
     {"origin-slow-loris", FaultKind::kOriginSlowLoris, 1},
     {"origin-bad-strict-scion", FaultKind::kOriginBadStrictScion, 1},
+    {"surge", FaultKind::kSurge, 1},
 };
 
 /// Strict decimal parse of the full string; rejects inf/nan/empty/garbage.
@@ -181,6 +182,19 @@ Result<FaultPlan> parse_fault_plan(std::string_view text) {
         const auto d = parse_duration(value);
         if (!d.ok()) return err(d.error());
         event.dns_delay = d.value();
+      } else if (key == "rate") {
+        const auto v = parse_double(value);
+        if (!v.ok() || v.value() <= 0.0 || v.value() > 1e6) {
+          return err("rate must be in (0, 1e6] requests/s");
+        }
+        event.surge_rate = v.value();
+      } else if (key == "conc") {
+        const auto v = parse_double(value);
+        if (!v.ok() || v.value() < 1.0 || v.value() > 1e6 ||
+            v.value() != std::floor(v.value())) {
+          return err("conc must be a whole number >= 1");
+        }
+        event.surge_concurrency = static_cast<std::size_t>(v.value());
       } else {
         return err("unknown option '" + std::string(key) + "'");
       }

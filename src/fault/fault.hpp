@@ -13,6 +13,7 @@
 //   at=0ms dur=2s origin-reset www.far.example
 //   at=0ms origin-slow-loris www.far.example
 //   at=0ms origin-bad-strict-scion www.far.example
+//   at=0ms dur=4s surge www.far.example rate=160 conc=64
 //
 // `at` is mandatory; `dur` is optional (absent or 0 means the fault holds
 // until the end of the run). Blank lines and `#` comments are ignored. The
@@ -37,6 +38,7 @@ enum class FaultKind : std::uint8_t {
   kOriginReset,          // origin truncates responses mid-wire and closes
   kOriginSlowLoris,      // origin accepts requests but responds glacially
   kOriginBadStrictScion, // origin emits a malformed Strict-SCION header
+  kSurge,                // synthetic request surge against a domain
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -60,6 +62,12 @@ struct FaultEvent {
   // --- kDnsBrownout knobs ---
   bool servfail = false;  // false = lookups time out instead
   Duration dns_delay = Duration::zero();
+
+  // --- kSurge knobs ---
+  /// Synthetic requests per second launched against domain `a` while the
+  /// surge holds, and the cap on how many may be in flight at once.
+  double surge_rate = 50.0;
+  std::size_t surge_concurrency = 32;
 
   /// One-line human-readable description (used as the active-fault key and
   /// in trace annotations).

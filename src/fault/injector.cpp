@@ -123,6 +123,9 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::kOriginBadStrictScion:
       origin_faults_[event.a] = http::OriginFaultMode::kBadStrictScion;
       break;
+    case FaultKind::kSurge:
+      if (surge_hook_) surge_hook_(event, /*active=*/true);
+      break;
   }
 
   active_.emplace(key, std::move(active));
@@ -173,6 +176,9 @@ void FaultInjector::revert(const FaultEvent& event) {
     case FaultKind::kOriginSlowLoris:
     case FaultKind::kOriginBadStrictScion:
       origin_faults_.erase(event.a);
+      break;
+    case FaultKind::kSurge:
+      if (surge_hook_) surge_hook_(event, /*active=*/false);
       break;
   }
 

@@ -16,6 +16,7 @@
 // fault class becomes visible through /skip/metrics.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -54,6 +55,13 @@ class FaultInjector {
   /// the name fault events address it by.
   void attach_origin(const std::string& domain, http::FileServer& server);
 
+  /// Called with active=true when a kSurge event applies and active=false
+  /// when it reverts. Load generation itself lives with the scenario world
+  /// (it needs a proxy/client to push requests through); the injector only
+  /// keeps surges on the same deterministic clock as every other fault.
+  using SurgeHook = std::function<void(const FaultEvent& event, bool active)>;
+  void set_surge_hook(SurgeHook hook) { surge_hook_ = std::move(hook); }
+
   /// Schedules apply (and revert, when duration > 0) for every event.
   void schedule(const FaultPlan& plan);
 
@@ -91,6 +99,7 @@ class FaultInjector {
   scion::Topology* topo_ = nullptr;
 
   std::map<std::string, ActiveFault> active_;
+  SurgeHook surge_hook_;
   std::unordered_map<std::string, dns::ResolverFault> dns_faults_;
   std::unordered_map<std::string, http::OriginFaultMode> origin_faults_;
   std::uint64_t injected_ = 0;

@@ -1,5 +1,7 @@
 #include "http/endpoints.hpp"
 
+#include <algorithm>
+
 namespace pan::http {
 
 transport::TransportConfig default_tcp_config() {
@@ -17,6 +19,16 @@ transport::TransportConfig default_quic_config() {
   // receive-only connections (see TransportConfig::keep_alive).
   config.keep_alive = milliseconds(250);
   return config;
+}
+
+HttpResponse make_retry_after_response(int status, Duration retry_after,
+                                       const std::string& message) {
+  HttpResponse response = make_text_response(status, message);
+  response.headers.set("X-Skip-Error", message);
+  const std::int64_t millis = static_cast<std::int64_t>(retry_after.millis());
+  const std::int64_t secs = std::max<std::int64_t>(1, (millis + 999) / 1000);
+  response.headers.set("Retry-After", std::to_string(secs));
+  return response;
 }
 
 LegacyHttpServer::LegacyHttpServer(net::Host& host, std::uint16_t port,

@@ -19,6 +19,14 @@ namespace pan::http {
 [[nodiscard]] transport::TransportConfig default_tcp_config();
 [[nodiscard]] transport::TransportConfig default_quic_config();
 
+/// Synthesizes a load-shed / unavailability response (429 or 503). Every
+/// rejection path — admission control, circuit breaker, strict-mode
+/// degradation, pool fast-fail, queue shed — goes through this one helper so
+/// none of them can omit the Retry-After header. `retry_after` is rounded up
+/// to whole seconds (minimum 1, per RFC 9110 delay-seconds).
+[[nodiscard]] HttpResponse make_retry_after_response(int status, Duration retry_after,
+                                                     const std::string& message);
+
 class LegacyHttpServer {
  public:
   LegacyHttpServer(net::Host& host, std::uint16_t port, HttpServer::Handler handler,

@@ -11,6 +11,9 @@ namespace {
 
 constexpr std::string_view kLog = "pool";
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+/// Deadline shedding stays off until the queue-wait histogram has this many
+/// samples — a p90 computed from a handful of waits is noise.
+constexpr std::uint64_t kShedMinSamples = 8;
 
 void append_json_string(std::string& out, std::string_view s) {
   out += '"';
@@ -42,6 +45,19 @@ bool OriginPool::is_fast_fail(const std::string& error) {
   return strings::starts_with(error, kFastFailError);
 }
 
+bool OriginPool::is_shed(const std::string& error) {
+  return strings::starts_with(error, kShedError);
+}
+
+bool OriginPool::is_expired(const std::string& error) {
+  return strings::starts_with(error, kExpiredError);
+}
+
+bool OriginPool::is_pool_synthesized(const std::string& error) {
+  return is_queue_timeout(error) || is_fast_fail(error) || is_shed(error) ||
+         is_expired(error);
+}
+
 OriginPool::OriginPool(sim::Simulator& sim, obs::MetricsRegistry& metrics,
                        OriginPoolConfig config)
     : sim_(sim),
@@ -54,6 +70,8 @@ OriginPool::OriginPool(sim::Simulator& sim, obs::MetricsRegistry& metrics,
       queue_timeouts_(metrics.counter("pool." + config_.name + ".queue_timeouts")),
       fastfails_(metrics.counter("pool." + config_.name + ".fastfails")),
       cooldowns_(metrics.counter("pool." + config_.name + ".cooldowns")),
+      sheds_(metrics.counter("pool." + config_.name + ".sheds")),
+      expired_dispatches_(metrics.counter("pool." + config_.name + ".expired_dispatches")),
       conns_gauge_(metrics.gauge("pool." + config_.name + ".conns")),
       queue_depth_(metrics.gauge("pool." + config_.name + ".queue_depth")),
       queue_wait_(metrics.histogram("pool.queue_wait")) {}
@@ -75,6 +93,12 @@ void OriginPool::fail_waiter(Waiter waiter, std::string_view error) {
 
 void OriginPool::submit(const std::string& key, HttpRequest request,
                         HttpClientStream::ResponseFn on_response, ConnFactory factory) {
+  submit(key, std::move(request), SubmitOptions{}, std::move(on_response),
+         std::move(factory));
+}
+
+void OriginPool::submit(const std::string& key, HttpRequest request, SubmitOptions options,
+                        HttpClientStream::ResponseFn on_response, ConnFactory factory) {
   Origin& origin = origins_[key];
   if (cooling_down(origin)) {
     fastfails_.inc();
@@ -83,6 +107,8 @@ void OriginPool::submit(const std::string& key, HttpRequest request,
   }
   Waiter waiter;
   waiter.id = next_waiter_id_++;
+  waiter.priority = options.priority;
+  waiter.deadline = options.deadline;
   waiter.request = std::move(request);
   waiter.on_response = std::move(on_response);
   waiter.factory = std::move(factory);
@@ -145,6 +171,30 @@ void OriginPool::prune_closed(Origin& origin) {
   }
 }
 
+std::size_t OriginPool::best_waiter(const Origin& origin) {
+  std::size_t best = kNone;
+  for (std::size_t i = 0; i < origin.waiting.size(); ++i) {
+    // Strictly-less keeps FIFO order inside a priority class.
+    if (best == kNone || origin.waiting[i].priority < origin.waiting[best].priority) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+OriginPool::Waiter OriginPool::take_waiter(Origin& origin, std::size_t index) {
+  Waiter waiter = std::move(origin.waiting[index]);
+  origin.waiting.erase(origin.waiting.begin() + static_cast<std::ptrdiff_t>(index));
+  --total_queued_;
+  queue_depth_.set(static_cast<double>(total_queued_));
+  return waiter;
+}
+
+std::size_t OriginPool::effective_limit(const std::string& key) const {
+  if (config_.limiter == nullptr) return kNone;  // SIZE_MAX: static caps only
+  return std::max<std::size_t>(1, config_.limiter->limit(key));
+}
+
 void OriginPool::dispatch(const std::string& key) {
   // Re-entrancy: fetch() can complete synchronously (dead stream), and the
   // completion path runs user callbacks that may submit() again — which can
@@ -162,45 +212,80 @@ void OriginPool::dispatch(const std::string& key) {
     if (cooling_down(origin)) {
       // The origin tripped its cool-down with requests still parked behind
       // it; fail them now rather than dialing a known-dead origin.
-      Waiter waiter = std::move(origin.waiting.front());
-      origin.waiting.pop_front();
-      --total_queued_;
-      queue_depth_.set(static_cast<double>(total_queued_));
+      Waiter waiter = take_waiter(origin, 0);
       fastfails_.inc();
       fail_waiter(std::move(waiter), std::string(kFastFailError) + ": " + key);
       continue;
     }
 
-    // Least-outstanding live connection.
-    std::size_t best = kNone;
-    for (std::size_t i = 0; i < origin.conns.size(); ++i) {
-      Entry& entry = origin.conns[i];
-      if (!entry.conn->usable()) continue;
-      if (best == kNone || entry.outstanding < origin.conns[best].outstanding) best = i;
-    }
-    std::size_t chosen = kNone;
-    if (best != kNone && origin.conns[best].outstanding == 0) {
-      chosen = best;  // idle connection: plain reuse
-      hits_.inc();
-    } else if (origin.conns.size() < config_.max_conns_per_origin) {
-      origin.conns.push_back(Entry{origin.waiting.front().factory(), 0, 0});
-      chosen = origin.conns.size() - 1;
-      ++total_conns_;
-      set_conn_gauge();
-      misses_.inc();
-    } else if (best != kNone && (config_.max_outstanding_per_conn == 0 ||
-                                 origin.conns[best].outstanding <
-                                     config_.max_outstanding_per_conn)) {
-      chosen = best;  // pool full: share the least-loaded live connection
-      hits_.inc();
-    } else {
-      return;  // at capacity; the waiter stays parked
+    // Dispatch-time expiry: a waiter whose deadline already passed gets an
+    // immediate failure instead of a connection slot — its caller has long
+    // answered 504, and dispatching it would burn origin capacity on a
+    // request nobody is waiting for.
+    {
+      const auto expired = std::find_if(
+          origin.waiting.begin(), origin.waiting.end(), [this](const Waiter& w) {
+            return w.deadline.has_value() && *w.deadline <= sim_.now();
+          });
+      if (expired != origin.waiting.end()) {
+        Waiter waiter = take_waiter(
+            origin, static_cast<std::size_t>(expired - origin.waiting.begin()));
+        expired_dispatches_.inc();
+        fail_waiter(std::move(waiter), std::string(kExpiredError) + ": " + key);
+        continue;
+      }
     }
 
-    Waiter waiter = std::move(origin.waiting.front());
-    origin.waiting.pop_front();
-    --total_queued_;
-    queue_depth_.set(static_cast<double>(total_queued_));
+    // Capacity: the static per-conn caps plus the adaptive window.
+    std::size_t outstanding_total = 0;
+    for (const Entry& entry : origin.conns) outstanding_total += entry.outstanding;
+    std::size_t chosen = kNone;
+    if (outstanding_total < effective_limit(key)) {
+      // Least-outstanding live connection.
+      std::size_t best = kNone;
+      for (std::size_t i = 0; i < origin.conns.size(); ++i) {
+        Entry& entry = origin.conns[i];
+        if (!entry.conn->usable()) continue;
+        if (best == kNone || entry.outstanding < origin.conns[best].outstanding) best = i;
+      }
+      if (best != kNone && origin.conns[best].outstanding == 0) {
+        chosen = best;  // idle connection: plain reuse
+        hits_.inc();
+      } else if (origin.conns.size() < config_.max_conns_per_origin) {
+        origin.conns.push_back(Entry{origin.waiting[best_waiter(origin)].factory(), 0, 0});
+        chosen = origin.conns.size() - 1;
+        ++total_conns_;
+        set_conn_gauge();
+        misses_.inc();
+      } else if (best != kNone && (config_.max_outstanding_per_conn == 0 ||
+                                   origin.conns[best].outstanding <
+                                       config_.max_outstanding_per_conn)) {
+        chosen = best;  // pool full: share the least-loaded live connection
+        hits_.inc();
+      }
+    }
+    if (chosen == kNone) {
+      // At capacity. CoDel-style deadline shedding: a parked waiter whose
+      // remaining budget cannot cover the observed p90 queue wait would
+      // almost surely ripen into a 504 — fail it fast instead, so the
+      // caller can retry elsewhere and the queue holds only viable work.
+      if (!config_.deadline_shed || queue_wait_.count() < kShedMinSamples) return;
+      const Duration p90 = queue_wait_.percentile(90.0);
+      const auto hopeless = std::find_if(
+          origin.waiting.begin(), origin.waiting.end(), [&](const Waiter& w) {
+            return w.deadline.has_value() && sim_.now() + p90 >= *w.deadline;
+          });
+      if (hopeless == origin.waiting.end()) return;
+      Waiter waiter = take_waiter(
+          origin, static_cast<std::size_t>(hopeless - origin.waiting.begin()));
+      sheds_.inc();
+      PAN_DEBUG(kLog) << config_.name << "/" << key
+                      << ": shedding waiter (queue-wait p90 exceeds budget)";
+      fail_waiter(std::move(waiter), std::string(kShedError) + ": " + key);
+      continue;  // the callback may have re-entered submit(); re-look-up
+    }
+
+    Waiter waiter = take_waiter(origin, best_waiter(origin));
     if (waiter.timeout_event != sim::kInvalidEventId) sim_.cancel(waiter.timeout_event);
     queue_wait_.record(sim_.now() - waiter.enqueued_at);
 
@@ -209,11 +294,14 @@ void OriginPool::dispatch(const std::string& key) {
     ++entry.idle_epoch;  // invalidates any pending idle-eviction check
     PooledConnection* conn = entry.conn.get();
     conn->fetch(waiter.request,
-                [this, alive = alive_, key, conn, cb = std::move(waiter.on_response)](
-                    Result<HttpResponse> result) mutable {
+                [this, alive = alive_, key, conn, started = sim_.now(),
+                 cb = std::move(waiter.on_response)](Result<HttpResponse> result) mutable {
                   if (!*alive) {
                     cb(std::move(result));
                     return;
+                  }
+                  if (config_.limiter != nullptr) {
+                    config_.limiter->record(key, sim_.now() - started, result.ok());
                   }
                   on_fetch_done(key, conn, result.ok());
                   cb(std::move(result));
@@ -314,6 +402,7 @@ std::vector<OriginPool::OriginSnapshot> OriginPool::snapshot() const {
       snap.per_conn_outstanding.push_back(entry.outstanding);
     }
     snap.queued = origin.waiting.size();
+    if (config_.limiter != nullptr) snap.effective_limit = config_.limiter->limit(key);
     snap.evictions = origin.evictions;
     snap.consecutive_failures = origin.consecutive_failures;
     snap.cooling_down = cooling_down(origin);
@@ -334,9 +423,9 @@ std::string OriginPool::snapshot_json() const {
     out += "{\"origin\":";
     append_json_string(out, snap.key);
     out += strings::format(
-        ",\"conns\":%zu,\"outstanding\":%zu,\"queued\":%zu,\"evictions\":%llu,"
-        "\"consecutive_failures\":%zu,\"cooling_down\":%s",
-        snap.conns, snap.outstanding, snap.queued,
+        ",\"conns\":%zu,\"outstanding\":%zu,\"queued\":%zu,\"limit\":%zu,"
+        "\"evictions\":%llu,\"consecutive_failures\":%zu,\"cooling_down\":%s",
+        snap.conns, snap.outstanding, snap.queued, snap.effective_limit,
         static_cast<unsigned long long>(snap.evictions), snap.consecutive_failures,
         snap.cooling_down ? "true" : "false");
     out += "}";

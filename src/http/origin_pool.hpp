@@ -26,9 +26,11 @@
 // parked before dispatch; surfaces in the fig3/fig5 bench phase tables).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +41,20 @@
 #include "sim/simulator.hpp"
 
 namespace pan::http {
+
+/// Adaptive per-origin concurrency governor (implemented by the proxy layer:
+/// proxy::AimdController). The pool consults `limit` before every dispatch —
+/// the origin's total outstanding requests never exceed it — and feeds back
+/// every attempt's dispatch-to-completion latency through `record`, which is
+/// what lets the controller narrow the window when latency inflates and
+/// reopen it on recovery.
+class ConcurrencyLimiter {
+ public:
+  virtual ~ConcurrencyLimiter() = default;
+  /// Current cap on total outstanding requests for `key` (>= 1).
+  [[nodiscard]] virtual std::size_t limit(const std::string& key) = 0;
+  virtual void record(const std::string& key, Duration latency, bool ok) = 0;
+};
 
 struct OriginPoolConfig {
   /// Metric namespace: instruments register as `pool.<name>.*`.
@@ -58,6 +74,27 @@ struct OriginPoolConfig {
   std::size_t backoff_threshold = 0;
   /// While cooling down, submissions fast-fail with `kFastFailError`.
   Duration backoff_cooldown = seconds(5);
+  /// Adaptive concurrency governor (non-owning; must outlive the pool).
+  /// When set, an origin's total outstanding requests are additionally
+  /// capped at `limiter->limit(key)` and every completion feeds back its
+  /// latency. Null keeps the static caps only.
+  ConcurrencyLimiter* limiter = nullptr;
+  /// CoDel-style deadline shedding: when the origin is at capacity, queued
+  /// waiters whose remaining deadline budget cannot cover the observed
+  /// `pool.queue_wait` p90 are failed fast with `kShedError` instead of
+  /// being left to ripen into a 504.
+  bool deadline_shed = true;
+};
+
+/// Per-request options for OriginPool::submit.
+struct SubmitOptions {
+  /// Queue ordering class: lower dispatches first (0 = document/pinned,
+  /// 1 = sub-resource, 2 = probe/background). Ties dispatch FIFO.
+  std::uint8_t priority = 1;
+  /// Absolute deadline for the request. Drives dispatch-time expiry (the
+  /// waiter fails with `kExpiredError` instead of wasting a slot) and
+  /// deadline shedding. Absent: the waiter never expires or sheds.
+  std::optional<TimePoint> deadline;
 };
 
 class OriginPool {
@@ -90,8 +127,15 @@ class OriginPool {
   /// protocol responses (the SKIP proxy answers 504 / 503).
   static constexpr std::string_view kQueueTimeoutError = "pool queue-wait timeout";
   static constexpr std::string_view kFastFailError = "pool origin cooling down";
+  static constexpr std::string_view kShedError = "pool shed on deadline pressure";
+  static constexpr std::string_view kExpiredError = "pool deadline expired in queue";
   [[nodiscard]] static bool is_queue_timeout(const std::string& error);
   [[nodiscard]] static bool is_fast_fail(const std::string& error);
+  [[nodiscard]] static bool is_shed(const std::string& error);
+  [[nodiscard]] static bool is_expired(const std::string& error);
+  /// Any error string the pool synthesizes itself (the request never reached
+  /// the origin): callers use this to skip path-blame on such failures.
+  [[nodiscard]] static bool is_pool_synthesized(const std::string& error);
 
   OriginPool(sim::Simulator& sim, obs::MetricsRegistry& metrics, OriginPoolConfig config);
   ~OriginPool();
@@ -101,8 +145,13 @@ class OriginPool {
 
   /// Queues `request` for `key` and dispatches as capacity allows. The
   /// response callback fires exactly once: with the origin's response, a
-  /// transport error, `kQueueTimeoutError`, or `kFastFailError`.
+  /// transport error, `kQueueTimeoutError`, `kFastFailError`, `kShedError`,
+  /// or `kExpiredError`.
   void submit(const std::string& key, HttpRequest request,
+              HttpClientStream::ResponseFn on_response, ConnFactory factory);
+  /// As above, with a queue priority and an absolute deadline (dispatch-time
+  /// expiry + deadline shedding).
+  void submit(const std::string& key, HttpRequest request, SubmitOptions options,
               HttpClientStream::ResponseFn on_response, ConnFactory factory);
 
   /// Moves every live SCION connection for `key` onto `path` (no-op for
@@ -127,6 +176,8 @@ class OriginPool {
     std::size_t conns = 0;
     std::size_t outstanding = 0;  // sum over connections
     std::size_t queued = 0;
+    /// Adaptive concurrency cap currently in force (0 = no limiter).
+    std::size_t effective_limit = 0;
     std::uint64_t evictions = 0;  // idle-TTL evictions on this origin
     std::size_t consecutive_failures = 0;
     bool cooling_down = false;
@@ -150,10 +201,12 @@ class OriginPool {
   };
   struct Waiter {
     std::uint64_t id = 0;
+    std::uint8_t priority = 1;
     HttpRequest request;
     HttpClientStream::ResponseFn on_response;
     ConnFactory factory;
     TimePoint enqueued_at;
+    std::optional<TimePoint> deadline;
     sim::EventId timeout_event = sim::kInvalidEventId;
   };
   struct Origin {
@@ -167,6 +220,13 @@ class OriginPool {
   void dispatch(const std::string& key);
   void fail_waiter(Waiter waiter, std::string_view error);
   [[nodiscard]] bool cooling_down(const Origin& origin) const;
+  /// Best queued waiter by (priority, arrival): lowest class first, FIFO
+  /// inside a class. Index into `waiting`, or kNone when empty.
+  [[nodiscard]] static std::size_t best_waiter(const Origin& origin);
+  /// Removes `waiting[index]` with queue bookkeeping (gauge + timer).
+  Waiter take_waiter(Origin& origin, std::size_t index);
+  /// Adaptive cap in force for this origin (SIZE_MAX without a limiter).
+  [[nodiscard]] std::size_t effective_limit(const std::string& key) const;
   void on_fetch_done(const std::string& key, PooledConnection* conn, bool ok);
   void arm_idle_eviction(const std::string& key, Entry& entry);
   void prune_closed(Origin& origin);
@@ -190,6 +250,8 @@ class OriginPool {
   obs::Counter& queue_timeouts_;
   obs::Counter& fastfails_;
   obs::Counter& cooldowns_;
+  obs::Counter& sheds_;
+  obs::Counter& expired_dispatches_;
   obs::Gauge& conns_gauge_;
   obs::Gauge& queue_depth_;
   obs::Histogram& queue_wait_;

@@ -1,5 +1,8 @@
 #include "proxy/reverse_proxy.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace pan::proxy {
 
 namespace {
@@ -7,7 +10,8 @@ namespace {
 constexpr const char* kBackendKey = "backend";
 }  // namespace
 
-http::OriginPoolConfig ReverseProxy::backend_pool_config(const ReverseProxyConfig& config) {
+http::OriginPoolConfig ReverseProxy::backend_pool_config(const ReverseProxyConfig& config,
+                                                         http::ConcurrencyLimiter* limiter) {
   http::OriginPoolConfig pool;
   pool.name = "revproxy.backend";
   pool.max_conns_per_origin = config.max_backend_conns;
@@ -16,7 +20,21 @@ http::OriginPoolConfig ReverseProxy::backend_pool_config(const ReverseProxyConfi
   // convoying behind the first one.
   pool.max_outstanding_per_conn = 0;
   pool.idle_ttl = config.pool_idle_ttl;
+  pool.limiter = limiter;
+  pool.deadline_shed = config.overload.enabled;
   return pool;
+}
+
+TimePoint ReverseProxy::relay_deadline(const http::HttpRequest& request) const {
+  Duration budget = config_.backend_budget;
+  if (const auto header = request.headers.get(kDeadlineHeader)) {
+    char* end = nullptr;
+    const long long ms = std::strtoll(header->c_str(), &end, 10);
+    if (end != header->c_str() && ms > 0) {
+      budget = std::min(budget, milliseconds(static_cast<std::int64_t>(ms)));
+    }
+  }
+  return stack_.host().simulator().now() + budget;
 }
 
 ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
@@ -27,7 +45,13 @@ ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
       owned_metrics_(config_.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
                                                 : nullptr),
       metrics_(config_.metrics != nullptr ? config_.metrics : owned_metrics_.get()),
-      backend_pool_(stack.host().simulator(), *metrics_, backend_pool_config(config_)) {
+      overload_(stack.host().simulator(), *metrics_, config_.overload, "revproxy.overload"),
+      backend_limiter_("revproxy.backend", config_.backend_aimd, *metrics_),
+      backend_pool_(stack.host().simulator(), *metrics_,
+                    backend_pool_config(config_, config_.overload.enabled &&
+                                                         config_.backend_aimd.max_limit > 0
+                                                     ? &backend_limiter_
+                                                     : nullptr)) {
   server_ = std::make_unique<http::ScionHttpServer>(
       stack_, listen_port,
       [this](const http::HttpRequest& request, http::HttpServer::Respond respond) {
@@ -38,14 +62,43 @@ ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
 
 void ReverseProxy::relay(const http::HttpRequest& request,
                          http::HttpServer::Respond respond) {
-  auto forward = [this, request, respond = std::move(respond)]() mutable {
+  // Admission before any work is queued: a rejected request costs one
+  // synthesized response, not a backend slot.
+  const OverloadController::Admission admission =
+      overload_.admit(client_of(request), priority_of(request));
+  if (admission.verdict != OverloadController::Verdict::kAdmit) {
+    ++rejected_;
+    const bool rate = admission.verdict == OverloadController::Verdict::kRejectRate;
+    respond(http::make_retry_after_response(
+        rate ? 429 : 503, admission.retry_after,
+        rate ? "reverse proxy: per-client rate limit exceeded"
+             : "reverse proxy: over capacity"));
+    return;
+  }
+
+  http::SubmitOptions options;
+  options.priority = static_cast<std::uint8_t>(priority_of(request));
+  options.deadline = relay_deadline(request);
+  auto forward = [this, request, options, respond = std::move(respond)]() mutable {
     backend_pool_.submit(
-        kBackendKey, request,
+        kBackendKey, request, options,
         [this, respond = std::move(respond)](Result<http::HttpResponse> result) {
+          overload_.release();
           ++relayed_;
           if (!result.ok()) {
             ++backend_errors_;
-            respond(http::make_text_response(502, "reverse proxy: " + result.error()));
+            if (http::OriginPool::is_shed(result.error())) {
+              metrics_->counter("revproxy.overload.shed_requests").inc();
+              respond(http::make_retry_after_response(
+                  503, config_.overload.retry_after,
+                  "reverse proxy shed under load: " + result.error()));
+            } else if (http::OriginPool::is_expired(result.error()) ||
+                       http::OriginPool::is_queue_timeout(result.error())) {
+              respond(http::make_text_response(
+                  504, "reverse proxy: deadline expired: " + result.error()));
+            } else {
+              respond(http::make_text_response(502, "reverse proxy: " + result.error()));
+            }
             return;
           }
           http::HttpResponse response = std::move(result).take();

@@ -40,7 +40,8 @@ Duration ProxyResult::phase_total(std::string_view phase) const {
   return sum;
 }
 
-http::OriginPoolConfig SkipProxy::legacy_pool_config(const ProxyConfig& config) {
+http::OriginPoolConfig SkipProxy::legacy_pool_config(const ProxyConfig& config,
+                                                     http::ConcurrencyLimiter* limiter) {
   http::OriginPoolConfig pool;
   pool.name = "legacy";
   pool.max_conns_per_origin = config.max_legacy_conns_per_origin;
@@ -49,10 +50,13 @@ http::OriginPoolConfig SkipProxy::legacy_pool_config(const ProxyConfig& config) 
   pool.queue_timeout = config.request_timeout;
   pool.backoff_threshold = config.pool_backoff_threshold;
   pool.backoff_cooldown = config.pool_backoff_cooldown;
+  pool.limiter = limiter;
+  pool.deadline_shed = config.overload.enabled;
   return pool;
 }
 
-http::OriginPoolConfig SkipProxy::scion_pool_config(const ProxyConfig& config) {
+http::OriginPoolConfig SkipProxy::scion_pool_config(const ProxyConfig& config,
+                                                    http::ConcurrencyLimiter* limiter) {
   http::OriginPoolConfig pool;
   pool.name = "scion";
   pool.max_conns_per_origin = 1;     // one QUIC connection per origin...
@@ -61,7 +65,21 @@ http::OriginPoolConfig SkipProxy::scion_pool_config(const ProxyConfig& config) {
   pool.queue_timeout = config.request_timeout;
   pool.backoff_threshold = config.pool_backoff_threshold;
   pool.backoff_cooldown = config.pool_backoff_cooldown;
+  pool.limiter = limiter;
+  pool.deadline_shed = config.overload.enabled;
   return pool;
+}
+
+http::SubmitOptions SkipProxy::submit_options(const RequestState& req) const {
+  http::SubmitOptions options;
+  // With the overload layer ablated, queue ordering degrades to plain FIFO
+  // (all one class); the deadline still rides along for the always-on
+  // expired-dispatch check.
+  if (config_.overload.enabled) {
+    options.priority = static_cast<std::uint8_t>(req.priority);
+  }
+  options.deadline = req.deadline;
+  return options;
 }
 
 SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& stack,
@@ -79,8 +97,19 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
       breaker_(sim, CircuitBreakerConfig{config_.breaker_threshold, config_.breaker_open_ttl},
                metrics_),
       retry_rng_(config_.retry_jitter_seed),
-      legacy_pool_(sim, *metrics_, legacy_pool_config(config_)),
-      scion_pool_(sim, *metrics_, scion_pool_config(config_)) {
+      overload_(sim, *metrics_, config_.overload),
+      legacy_limiter_("legacy", config_.legacy_aimd, *metrics_),
+      scion_limiter_("scion", config_.scion_aimd, *metrics_),
+      legacy_pool_(sim, *metrics_,
+                   legacy_pool_config(config_, config_.overload.enabled &&
+                                                       config_.legacy_aimd.max_limit > 0
+                                                   ? &legacy_limiter_
+                                                   : nullptr)),
+      scion_pool_(sim, *metrics_,
+                  scion_pool_config(config_, config_.overload.enabled &&
+                                                     config_.scion_aimd.max_limit > 0
+                                                 ? &scion_limiter_
+                                                 : nullptr)) {
   scmp_subscription_ = stack_.subscribe_scmp(
       [this](const scion::ScmpMessage& message) { on_scmp(message); });
 }
@@ -111,6 +140,11 @@ ProxyStats SkipProxy::stats() const {
   stats.attempt_timeouts = metrics_->counter_value("proxy.attempt_timeouts");
   stats.breaker_short_circuits = metrics_->counter_value("proxy.breaker_short_circuits");
   stats.strict_unavailable = metrics_->counter_value("proxy.strict_unavailable");
+  stats.admitted = metrics_->counter_value("overload.admitted");
+  stats.rejected_rate = metrics_->counter_value("overload.rejected_rate");
+  stats.rejected_capacity = metrics_->counter_value("overload.rejected_capacity");
+  stats.shed = metrics_->counter_value("overload.shed_requests");
+  stats.brownout_bypasses = metrics_->counter_value("overload.brownout_bypass");
   return stats;
 }
 
@@ -187,6 +221,33 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
   req->trace = options.trace != nullptr ? options.trace : make_trace();
   req->strict = options.strict;
   req->deadline = options.deadline.value_or(sim_.now() + config_.request_timeout);
+  // Strict-pinned requests outrank their header class: the user pinned the
+  // host, so its requests ride in the document band.
+  req->priority = options.strict ? RequestPriority::kDocument : priority_of(request);
+
+  // Admission control runs before any work (timer, IPC defer) is queued:
+  // rejected requests cost one synthesized response and nothing else. The
+  // proxy's own control endpoints are never load-shed — they are how
+  // operators observe the overload state.
+  if (!strings::starts_with(request.target, kInternalPrefix)) {
+    const OverloadController::Admission admission =
+        overload_.admit(client_of(request), req->priority);
+    if (admission.verdict != OverloadController::Verdict::kAdmit) {
+      const bool rate = admission.verdict == OverloadController::Verdict::kRejectRate;
+      ProxyResult result;
+      result.transport = TransportUsed::kError;
+      result.response = http::make_retry_after_response(
+          rate ? 429 : 503,
+          admission.retry_after,
+          rate ? "admission: per-client rate limit exceeded"
+               : std::string("admission: proxy over capacity (") +
+                     to_string(req->priority) + " band full)");
+      req->trace->begin("ipc");
+      finish(req, std::move(result));
+      return;
+    }
+    req->admitted = true;
+  }
   req->trace->begin("ipc");
 
   // Per-request deadline: whatever state the pipeline is in, the request
@@ -211,6 +272,10 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
 void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
   if (req->done) return;
   req->done = true;
+  if (req->admitted) {
+    overload_.release();
+    req->admitted = false;
+  }
   result.scion_attempts = req->attempts;
   switch (result.transport) {
     case TransportUsed::kScion: metrics_->counter("proxy.over_scion").inc(); break;
@@ -273,6 +338,9 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
               "\":" + strings::format("%.3f", expires.millis());
     }
     body += "},\"revocations_active\":" + std::to_string(selector_.active_revocations());
+    body += ",\"overload\":" + overload_.snapshot_json();
+    body += ",\"adaptive\":{\"legacy\":" + legacy_limiter_.snapshot_json() +
+            ",\"scion\":" + scion_limiter_.snapshot_json() + "}";
     body += ",\"faults\":{";
     first = true;
     for (const auto& [name, counter] : metrics_->counters()) {
@@ -351,6 +419,15 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
       return;
     }
 
+    // Brownout: under sustained pressure the opportunistic SCION upgrade is
+    // optional work — skip selection/handshake entirely and ride the legacy
+    // path until pressure clears. Strict requests keep their guarantee.
+    if (!options.strict && host.ip.has_value() && overload_.brownout()) {
+      metrics_->counter("overload.brownout_bypass").inc();
+      fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/false, req);
+      return;
+    }
+
     auto ctx = std::make_shared<ScionContext>();
     ctx->url = url;
     ctx->request = std::move(request);
@@ -374,8 +451,9 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
         return;
       }
       ProxyResult result;
-      result.response = synthetic_error(
-          503, "circuit breaker open for " + ctx->url.host + ", no legacy address");
+      result.response = http::make_retry_after_response(
+          503, config_.breaker_open_ttl,
+          "circuit breaker open for " + ctx->url.host + ", no legacy address");
       finish(req, std::move(result));
       return;
     }
@@ -482,18 +560,19 @@ void SkipProxy::fail_strict_unavailable(const RequestPtr& req, const std::string
   metrics_->counter("proxy.strict_unavailable").inc();
   ProxyResult result;
   result.transport = TransportUsed::kBlocked;
-  http::HttpResponse response = synthetic_error(
-      503, "strict mode: SCION temporarily unavailable for " + host + " (" + why + ")");
-  const auto retry_after_s = static_cast<std::int64_t>(config_.strict_retry_after.seconds());
-  response.headers.set("Retry-After", std::to_string(std::max<std::int64_t>(1, retry_after_s)));
-  result.response = std::move(response);
+  result.response = http::make_retry_after_response(
+      503, config_.strict_retry_after,
+      "strict mode: SCION temporarily unavailable for " + host + " (" + why + ")");
   finish(req, std::move(result));
 }
 
 void SkipProxy::handle_scion_failure(const ScionContextPtr& ctx, const RequestPtr& req,
                                      const scion::Path& path, const std::string& error) {
   metrics_->counter("proxy.scion_failures").inc();
-  if (!path.fingerprint().empty()) {
+  // Pool-synthesized failures (queue timeout, shed, cooldown fast-fail,
+  // expired-in-queue) describe our own load state, not path health — a
+  // perfectly good path must not be quarantined for them.
+  if (!path.fingerprint().empty() && !http::OriginPool::is_pool_synthesized(error)) {
     selector_.quarantine(path, config_.quarantine_ttl);
   }
   breaker_.record_failure(ctx->url.authority());
@@ -526,6 +605,14 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
   scion_pool_.migrate(key, path);
 
   http::HttpRequest origin_request = to_origin_form(url, ctx->request);
+  // Propagate the remaining deadline budget so a reverse proxy downstream
+  // sheds against the end-to-end deadline rather than its own local default.
+  const Duration remaining_budget = req->deadline - sim_.now();
+  if (remaining_budget > Duration::zero()) {
+    origin_request.headers.set(
+        std::string(kDeadlineHeader),
+        std::to_string(static_cast<std::int64_t>(remaining_budget.millis())));
+  }
   req->trace->begin("fetch");
   auto factory = [this, key, url, addr, path, req]() {
     // 0-RTT resumption: origins we have spoken SCION to before accept early
@@ -625,7 +712,8 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
     out.response = std::move(response);
     finish(req, std::move(out));
   };
-  scion_pool_.submit(key, origin_request, std::move(on_response), std::move(factory));
+  scion_pool_.submit(key, origin_request, submit_options(*req), std::move(on_response),
+                     std::move(factory));
 
   // Per-attempt timer: abandon an attempt that is eating the deadline budget
   // (e.g. a slow-loris origin) while there is still time to retry or fall
@@ -662,7 +750,7 @@ void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, n
   http::HttpRequest origin_request = to_origin_form(url, std::move(request));
   req->trace->begin("fetch");
   legacy_pool_.submit(
-      key, std::move(origin_request),
+      key, std::move(origin_request), submit_options(*req),
       [this, fell_back, req](Result<http::HttpResponse> result) {
         if (req->done) return;
         req->trace->end("fetch");
@@ -670,11 +758,21 @@ void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, n
         if (!result.ok()) {
           ProxyResult out;
           out.fell_back = fell_back;
-          if (http::OriginPool::is_queue_timeout(result.error())) {
+          if (http::OriginPool::is_shed(result.error())) {
+            // Deadline-aware shed: failed fast while retrying elsewhere (or
+            // backing off) could still help — a 503, never a hung 504.
+            metrics_->counter("overload.shed_requests").inc();
+            out.response = http::make_retry_after_response(
+                503, config_.overload.retry_after, "shed under load: " + result.error());
+          } else if (http::OriginPool::is_expired(result.error())) {
+            metrics_->counter("proxy.timeouts").inc();
+            out.response = synthetic_error(504, "deadline expired: " + result.error());
+          } else if (http::OriginPool::is_queue_timeout(result.error())) {
             metrics_->counter("proxy.timeouts").inc();
             out.response = synthetic_error(504, "legacy fetch timed out: " + result.error());
           } else if (http::OriginPool::is_fast_fail(result.error())) {
-            out.response = synthetic_error(503, "origin unavailable: " + result.error());
+            out.response = http::make_retry_after_response(
+                503, config_.pool_backoff_cooldown, "origin unavailable: " + result.error());
           } else {
             out.response = synthetic_error(502, "legacy fetch failed: " + result.error());
           }

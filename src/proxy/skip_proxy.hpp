@@ -51,6 +51,7 @@
 #include "obs/trace.hpp"
 #include "proxy/circuit_breaker.hpp"
 #include "proxy/detector.hpp"
+#include "proxy/overload.hpp"
 #include "proxy/path_selector.hpp"
 #include "proxy/policy_router.hpp"
 #include "util/rng.hpp"
@@ -103,6 +104,19 @@ struct ProxyConfig {
   /// (0 disables) and how long it rejects before a half-open probe.
   std::size_t breaker_threshold = 4;
   Duration breaker_open_ttl = seconds(5);
+
+  // --- overload resilience (admission / shedding / adaptive concurrency) ---
+  /// Ingress admission control + brownout. The default knobs (rate 0,
+  /// in-flight cap 0) admit everything; `enabled = false` additionally
+  /// turns off pool deadline shedding and the AIMD controllers, restoring
+  /// the static behaviour for ablation runs.
+  OverloadConfig overload;
+  /// Adaptive per-origin concurrency for the legacy pool (AIMD; max_limit 0
+  /// disables and keeps the static max_legacy_conns_per_origin cap).
+  AimdConfig legacy_aimd;
+  /// Same for the multiplexed SCION pool, whose outstanding requests were
+  /// previously unbounded.
+  AimdConfig scion_aimd = {.min_limit = 2, .max_limit = 64};
   /// Shared metrics registry. When null the proxy owns a private one; the
   /// figure benches inject a long-lived registry here so per-phase latency
   /// aggregates across per-trial proxies.
@@ -174,6 +188,13 @@ struct ProxyStats {
   std::uint64_t attempt_timeouts = 0;
   std::uint64_t breaker_short_circuits = 0;
   std::uint64_t strict_unavailable = 0;
+  /// Overload layer: admissions, 429/503 rejections at ingress, requests
+  /// answered from a pool shed (fast 503), and brownout legacy bypasses.
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_rate = 0;
+  std::uint64_t rejected_capacity = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t brownout_bypasses = 0;
 };
 
 class SkipProxy {
@@ -211,6 +232,7 @@ class SkipProxy {
   [[nodiscard]] ScionDetector& detector() { return detector_; }
   [[nodiscard]] PathSelector& selector() { return selector_; }
   [[nodiscard]] CircuitBreaker& breaker() { return breaker_; }
+  [[nodiscard]] OverloadController& overload() { return overload_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] ProxyStats stats() const;
@@ -243,6 +265,10 @@ class SkipProxy {
     /// Absolute budget: the request finishes (one way or another) by then.
     TimePoint deadline;
     bool strict = false;
+    /// Priority class (admission ladder + pool queue ordering).
+    RequestPriority priority = RequestPriority::kSubresource;
+    /// Counted in-flight by the overload controller until finish().
+    bool admitted = false;
     /// SCION attempts started (selection + fetch cycles).
     std::uint32_t attempts = 0;
     /// Bumped whenever a new attempt starts or an old one is abandoned, so
@@ -287,8 +313,13 @@ class SkipProxy {
   [[nodiscard]] Duration retry_backoff(std::uint32_t attempt);
   void fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
                      bool fell_back, RequestPtr req);
-  [[nodiscard]] static http::OriginPoolConfig legacy_pool_config(const ProxyConfig& config);
-  [[nodiscard]] static http::OriginPoolConfig scion_pool_config(const ProxyConfig& config);
+  /// Pool submit options carrying the request's priority and deadline
+  /// (priority flattens to FIFO when the overload layer is ablated).
+  [[nodiscard]] http::SubmitOptions submit_options(const RequestState& req) const;
+  [[nodiscard]] static http::OriginPoolConfig legacy_pool_config(
+      const ProxyConfig& config, http::ConcurrencyLimiter* limiter);
+  [[nodiscard]] static http::OriginPoolConfig scion_pool_config(
+      const ProxyConfig& config, http::ConcurrencyLimiter* limiter);
   [[nodiscard]] static http::HttpRequest to_origin_form(const http::Url& url,
                                                         http::HttpRequest request);
   /// SCMP handler: revokes the reported interface and migrates affected
@@ -307,6 +338,11 @@ class SkipProxy {
   CircuitBreaker breaker_;
   PolicyRouter policy_router_;
   Rng retry_rng_;
+  // Overload layer: constructed before the pools, which hold limiter
+  // pointers into the AIMD controllers.
+  OverloadController overload_;
+  AimdController legacy_limiter_;
+  AimdController scion_limiter_;
   http::OriginPool legacy_pool_;
   http::OriginPool scion_pool_;
   std::unordered_map<std::string, std::vector<ppl::OrderKey>> origin_preferences_;

@@ -59,6 +59,41 @@ at=0ms origin-bad-strict-scion www.far.example
   EXPECT_EQ(brownout.dns_delay, milliseconds(400));
 }
 
+TEST(FaultPlanParser, ParsesSurgeVerb) {
+  const auto plan = parse_fault_plan(
+      "at=0ms dur=4s surge www.far.example rate=160 conc=64\n"
+      "at=5s dur=1s surge static.far.example\n");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  ASSERT_EQ(plan.value().size(), 2u);
+
+  const FaultEvent& surge = plan.value().events[0];
+  EXPECT_EQ(surge.kind, FaultKind::kSurge);
+  EXPECT_EQ(surge.a, "www.far.example");
+  EXPECT_EQ(surge.duration, seconds(4));
+  EXPECT_DOUBLE_EQ(surge.surge_rate, 160.0);
+  EXPECT_EQ(surge.surge_concurrency, 64u);
+
+  // Options are optional and keep their defaults.
+  const FaultEvent& defaulted = plan.value().events[1];
+  EXPECT_DOUBLE_EQ(defaulted.surge_rate, 50.0);
+  EXPECT_EQ(defaulted.surge_concurrency, 32u);
+}
+
+TEST(FaultPlanParser, RejectsBadSurgeOptions) {
+  const auto zero_rate = parse_fault_plan("at=0ms dur=1s surge x rate=0");
+  ASSERT_FALSE(zero_rate.ok());
+  EXPECT_NE(zero_rate.error().find("line 1"), std::string::npos);
+
+  const auto huge_rate = parse_fault_plan("at=0ms dur=1s surge x rate=1e9");
+  EXPECT_FALSE(huge_rate.ok());
+
+  const auto fractional_conc = parse_fault_plan("at=0ms dur=1s surge x conc=1.5");
+  EXPECT_FALSE(fractional_conc.ok());
+
+  const auto zero_conc = parse_fault_plan("at=0ms dur=1s surge x conc=0");
+  EXPECT_FALSE(zero_conc.ok());
+}
+
 TEST(FaultPlanParser, ErrorsNameTheLine) {
   const auto missing_at = parse_fault_plan("link-down a b");
   ASSERT_FALSE(missing_at.ok());

@@ -471,5 +471,178 @@ TEST(OriginPoolTest, BrowserCacheIsLruBounded) {
   EXPECT_EQ(session.browser().metrics().counter("browser.cache.evictions").value(), 2u);
 }
 
+TEST(OriginPoolTest, PriorityClassesOutrankFifoInQueue) {
+  PoolFixture fx;
+  fx.add_slow_site(milliseconds(200));
+  http::OriginPoolConfig cfg;
+  cfg.name = "t";
+  cfg.max_conns_per_origin = 1;
+  cfg.max_outstanding_per_conn = 1;
+  http::OriginPool pool(fx.world->sim(), fx.metrics, cfg);
+
+  // One request occupies the single connection; three more park with mixed
+  // priorities. Dispatch must take the document first, then the earlier
+  // subresource (FIFO within a class), then the probe.
+  std::vector<std::string> completion_order;
+  const auto submit = [&](const std::string& tag, std::uint8_t priority) {
+    http::SubmitOptions options;
+    options.priority = priority;
+    pool.submit("slow.local", fx.request("/x", "slow.local"), options,
+                [&, tag](Result<http::HttpResponse> r) {
+                  ASSERT_TRUE(r.ok()) << r.error();
+                  completion_order.push_back(tag);
+                },
+                fx.legacy_factory(8088));
+  };
+  submit("warmup", 1);
+  submit("probe", 2);
+  submit("sub", 1);
+  submit("doc", 0);
+  fx.world->sim().run_until_condition([&] { return completion_order.size() == 4; },
+                                      fx.world->sim().now() + seconds(30));
+  ASSERT_EQ(completion_order.size(), 4u);
+  EXPECT_EQ(completion_order[0], "warmup");
+  EXPECT_EQ(completion_order[1], "doc");
+  EXPECT_EQ(completion_order[2], "sub");
+  EXPECT_EQ(completion_order[3], "probe");
+}
+
+TEST(OriginPoolTest, ExpiredWaiterFailsAtDispatchInsteadOfRunning) {
+  PoolFixture fx;
+  fx.add_slow_site(milliseconds(500));
+  http::OriginPoolConfig cfg;
+  cfg.name = "t";
+  cfg.max_conns_per_origin = 1;
+  cfg.max_outstanding_per_conn = 1;
+  http::OriginPool pool(fx.world->sim(), fx.metrics, cfg);
+
+  bool first_ok = false;
+  std::string expired_error;
+  pool.submit("slow.local", fx.request("/x", "slow.local"),
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_TRUE(r.ok()) << r.error();
+                first_ok = true;
+              },
+              fx.legacy_factory(8088));
+  // Parked behind a 500 ms occupant with a 300 ms deadline: by the time the
+  // connection frees up the deadline is gone. The old FIFO would have
+  // dispatched it anyway; now it fails immediately at dispatch time.
+  http::SubmitOptions options;
+  options.deadline = fx.world->sim().now() + milliseconds(300);
+  pool.submit("slow.local", fx.request("/x", "slow.local"), options,
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_FALSE(r.ok());
+                expired_error = r.error();
+              },
+              fx.legacy_factory(8088));
+  fx.world->sim().run_until_condition([&] { return first_ok && !expired_error.empty(); },
+                                      fx.world->sim().now() + seconds(30));
+  EXPECT_TRUE(http::OriginPool::is_expired(expired_error)) << expired_error;
+  EXPECT_TRUE(http::OriginPool::is_pool_synthesized(expired_error));
+  EXPECT_EQ(fx.metrics.counter("pool.t.expired_dispatches").value(), 1u);
+  EXPECT_EQ(fx.metrics.gauge("pool.t.queue_depth").value(), 0.0);
+}
+
+TEST(OriginPoolTest, CoDelShedsWaitersWhoseDeadlineCannotCoverQueueWait) {
+  PoolFixture fx;
+  fx.add_slow_site(milliseconds(400));
+  http::OriginPoolConfig cfg;
+  cfg.name = "t";
+  cfg.max_conns_per_origin = 1;
+  cfg.max_outstanding_per_conn = 1;
+  http::OriginPool pool(fx.world->sim(), fx.metrics, cfg);
+
+  // Build up >= 8 queue-wait samples with long observed waits so the p90
+  // estimate is several hundred milliseconds.
+  std::size_t completed = 0;
+  for (int i = 0; i < 9; ++i) {
+    pool.submit("slow.local", fx.request("/x", "slow.local"),
+                [&](Result<http::HttpResponse> r) {
+                  ASSERT_TRUE(r.ok()) << r.error();
+                  ++completed;
+                },
+                fx.legacy_factory(8088));
+  }
+  fx.world->sim().run_until_condition([&] { return completed == 9; },
+                                      fx.world->sim().now() + seconds(30));
+  ASSERT_GE(fx.metrics.histogram("pool.queue_wait").count(), 8u);
+
+  // Occupy the connection again, then park a waiter whose remaining budget
+  // is far below the observed queue-wait p90: it is shed immediately with a
+  // synthesized fast failure instead of hanging toward a timeout.
+  bool occupant_done = false;
+  pool.submit("slow.local", fx.request("/x", "slow.local"),
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_TRUE(r.ok()) << r.error();
+                occupant_done = true;
+              },
+              fx.legacy_factory(8088));
+  std::string shed_error;
+  http::SubmitOptions tight;
+  tight.deadline = fx.world->sim().now() + milliseconds(50);
+  pool.submit("slow.local", fx.request("/x", "slow.local"), tight,
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_FALSE(r.ok());
+                shed_error = r.error();
+              },
+              fx.legacy_factory(8088));
+  const TimePoint shed_by = fx.world->sim().now() + milliseconds(10);
+  fx.world->sim().run_until_condition([&] { return !shed_error.empty(); }, shed_by);
+  EXPECT_TRUE(http::OriginPool::is_shed(shed_error)) << shed_error;
+  EXPECT_TRUE(http::OriginPool::is_pool_synthesized(shed_error));
+  EXPECT_EQ(fx.metrics.counter("pool.t.sheds").value(), 1u);
+  // The shed must beat the deadline — that is the whole point.
+  EXPECT_LE(fx.world->sim().now(), shed_by);
+  fx.world->sim().run_until_condition([&] { return occupant_done; },
+                                      fx.world->sim().now() + seconds(30));
+}
+
+TEST(OriginPoolTest, AdaptiveLimiterNarrowsEffectiveCapUnderSlowness) {
+  PoolFixture fx;
+  fx.add_slow_site(milliseconds(100));
+  proxy::AimdConfig aimd;
+  aimd.min_limit = 1;
+  aimd.max_limit = 4;
+  aimd.latency_target = milliseconds(1);  // every completion is "too slow"
+  proxy::AimdController limiter("t", aimd, fx.metrics);
+  http::OriginPoolConfig cfg;
+  cfg.name = "t";
+  cfg.max_conns_per_origin = 4;
+  cfg.max_outstanding_per_conn = 1;
+  cfg.limiter = &limiter;
+  http::OriginPool pool(fx.world->sim(), fx.metrics, cfg);
+
+  std::size_t completed = 0;
+  const auto submit_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      pool.submit("slow.local", fx.request("/x", "slow.local"),
+                  [&](Result<http::HttpResponse> r) {
+                    ASSERT_TRUE(r.ok()) << r.error();
+                    ++completed;
+                  },
+                  fx.legacy_factory(8088));
+    }
+  };
+  // Four over-target completions: 4 -> 2.8 -> 1.96 -> 1.37 -> 1 (floored).
+  submit_n(4);
+  fx.world->sim().run_until_condition([&] { return completed == 4; },
+                                      fx.world->sim().now() + seconds(30));
+  EXPECT_EQ(limiter.limit("slow.local"), 1u);
+  EXPECT_GE(fx.metrics.counter("overload.t.narrowed").value(), 3u);
+
+  // The narrowed window now caps dispatch below the static max_conns.
+  submit_n(3);
+  fx.world->sim().run_until(fx.world->sim().now() + milliseconds(20));
+  {
+    const auto snaps = pool.snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    EXPECT_EQ(snaps[0].outstanding, 1u);
+    EXPECT_EQ(snaps[0].queued, 2u);
+    EXPECT_EQ(snaps[0].effective_limit, 1u);
+  }
+  fx.world->sim().run_until_condition([&] { return completed == 7; },
+                                      fx.world->sim().now() + seconds(30));
+}
+
 }  // namespace
 }  // namespace pan

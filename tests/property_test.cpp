@@ -6,7 +6,9 @@
 
 #include "ppl/geofence.hpp"
 #include "ppl/parser.hpp"
+#include "proxy/overload.hpp"
 #include "scion/topo_gen.hpp"
+#include "util/rng.hpp"
 
 namespace pan::scion {
 namespace {
@@ -281,6 +283,50 @@ TEST_P(RandomTopology, LegacyAndScionBothReachable) {
   }
   sim_.run();
   EXPECT_TRUE(legacy_ok);
+}
+
+// --- AIMD concurrency-controller invariants under randomized latency ------
+
+class AimdRandomTrace : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AimdRandomTrace, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST_P(AimdRandomTrace, LimitStaysWithinBoundsAndRecoversAfterPressure) {
+  obs::MetricsRegistry metrics;
+  proxy::AimdConfig config;
+  config.min_limit = 2;
+  config.max_limit = 24;
+  config.latency_target = milliseconds(500);
+  proxy::AimdController controller("p", config, metrics);
+  Rng rng(GetParam());
+
+  // Phase 1: a randomized mix of fast/slow/failed completions across two
+  // origins. Whatever the trace, the limit must stay inside [min, max].
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = rng.next_double() < 0.5 ? "a" : "b";
+    const double roll = rng.next_double();
+    const bool ok = roll > 0.1;
+    const Duration latency =
+        roll < 0.45
+            ? milliseconds(600 + static_cast<std::int64_t>(rng.next_double() * 4400.0))
+            : milliseconds(1 + static_cast<std::int64_t>(rng.next_double() * 449.0));
+    controller.record(key, latency, ok);
+    for (const char* origin : {"a", "b"}) {
+      const std::size_t limit = controller.limit(origin);
+      ASSERT_GE(limit, config.min_limit) << "seed " << GetParam() << " step " << i;
+      ASSERT_LE(limit, config.max_limit) << "seed " << GetParam() << " step " << i;
+    }
+  }
+
+  // Phase 2: latency normalizes. Additive increase at 0.1/completion must
+  // reopen the window all the way to max within (24-2)/0.1 = 220 samples.
+  for (int i = 0; i < 300; ++i) {
+    controller.record("a", milliseconds(20), /*ok=*/true);
+  }
+  EXPECT_EQ(controller.limit("a"), config.max_limit);
+  // Origin b saw no recovery traffic: its window is untouched by a's.
+  EXPECT_GE(controller.limit("b"), config.min_limit);
+  EXPECT_GT(metrics.counter("overload.p.widened").value(), 0u);
 }
 
 }  // namespace

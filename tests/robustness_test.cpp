@@ -5,6 +5,8 @@
 
 #include "core/scenarios.hpp"
 #include "fault/fault.hpp"
+#include "proxy/overload.hpp"
+#include "proxy/skip_proxy.hpp"
 #include "http/parser.hpp"
 #include "ppl/parser.hpp"
 #include "scion/header.hpp"
@@ -159,6 +161,7 @@ TEST_P(FuzzSeeds, FaultPlanParserNeverCrashes) {
       "0",         "-3ms",          "1e99s",     "core-1",
       "core-2b",   "#",             "0.5",       "\xff\xfe",
       "999999999999999999999s",     "ms",        "=",
+      "surge",     "rate=",         "conc=",     "160",
   };
   for (int i = 0; i < 300; ++i) {
     std::string input;
@@ -351,6 +354,229 @@ TEST_P(FuzzSeeds, MutatedSegmentsNeverVerify) {
     }
     EXPECT_FALSE(scion::verify_segment(seg, topo.trust_store())) << "mutation " << i;
   }
+}
+
+// ------------------------------------------------------ overload / surge --
+
+/// A client-side proxy under controlled offered load: a local world whose
+/// IP-only origin thinks for 400 ms per request, fronted by a SKIP proxy
+/// with two legacy connections — service capacity 5 req/s.
+struct OverloadHarness {
+  std::unique_ptr<browser::World> world;
+  std::unique_ptr<dns::Resolver> resolver;
+  std::unique_ptr<proxy::SkipProxy> skip;
+
+  struct Tally {
+    int ok = 0;                   // 2xx
+    int rejected = 0;             // 429 / 503 (admission or shed)
+    int timed_out = 0;            // 504 (hung to the deadline)
+    int other = 0;
+    int missing_retry_after = 0;  // rejections lacking a Retry-After header
+  };
+  Tally subs;
+  Tally docs;
+
+  explicit OverloadHarness(bool shedding, proxy::ProxyConfig config = {},
+                           bool remote = false) {
+    world = remote ? browser::make_remote_world() : browser::make_local_world();
+    if (!remote) {
+      world->site("tcpip-fs.local")->set_think_time(milliseconds(400));
+      world->site("tcpip-fs.local")->add_text("/r", "resource");
+    }
+    config.max_legacy_conns_per_origin = 2;
+    config.overload.enabled = shedding;
+    if (config.overload.max_in_flight == 0) config.overload.max_in_flight = 12;
+    auto& topo = world->topology();
+    resolver = std::make_unique<dns::Resolver>(world->sim(), world->zone(),
+                                               dns::ResolverConfig{});
+    skip = std::make_unique<proxy::SkipProxy>(
+        world->sim(), topo.host(world->client), topo.scion_stack(world->client),
+        topo.daemon_for(world->client), *resolver, config);
+  }
+
+  /// Fire-and-forget fetch classified into `tally` when it settles.
+  void issue(const char* priority, Duration deadline, Tally& tally,
+             const char* client = nullptr) {
+    http::HttpRequest request;
+    request.target = "http://tcpip-fs.local/r";
+    request.headers.set(std::string(proxy::kPriorityHeader), priority);
+    if (client != nullptr) {
+      request.headers.set(std::string(proxy::kClientHeader), client);
+    }
+    proxy::ProxyRequestOptions options;
+    options.deadline = world->sim().now() + deadline;
+    skip->fetch(std::move(request), options, [&tally](proxy::ProxyResult result) {
+      const int status = result.response.status;
+      if (status >= 200 && status < 300) {
+        ++tally.ok;
+      } else if (status == 429 || status == 503) {
+        ++tally.rejected;
+        if (!result.response.headers.get("Retry-After").has_value()) {
+          ++tally.missing_retry_after;
+        }
+      } else if (status == 504) {
+        ++tally.timed_out;
+      } else {
+        ++tally.other;
+      }
+    });
+  }
+
+  /// Blocking fetch (for control endpoints and single probes).
+  proxy::ProxyResult fetch(const std::string& target, const char* priority = nullptr) {
+    http::HttpRequest request;
+    request.target = target;
+    if (priority != nullptr) {
+      request.headers.set(std::string(proxy::kPriorityHeader), priority);
+    }
+    proxy::ProxyResult out;
+    bool done = false;
+    skip->fetch(std::move(request), {}, [&](proxy::ProxyResult r) {
+      out = std::move(r);
+      done = true;
+    });
+    world->sim().run_until_condition([&] { return done; },
+                                     world->sim().now() + seconds(60));
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  /// Sustained overload: sub-resource arrivals at ~12/s (2.4x capacity) for
+  /// 4 s, with a document arriving every 500 ms from t=1s. Every request
+  /// carries a 2.5 s deadline.
+  void run_surge() {
+    sim::Simulator& sim = world->sim();
+    for (int i = 0; i < 48; ++i) {
+      sim.schedule_after(milliseconds(83 * i),
+                         [this] { issue("subresource", milliseconds(2500), subs); });
+    }
+    for (int i = 0; i < 6; ++i) {
+      sim.schedule_after(seconds(1) + milliseconds(500 * i),
+                         [this] { issue("document", milliseconds(2500), docs); });
+    }
+    sim.run_until(sim.now() + seconds(30));
+  }
+};
+
+TEST(OverloadShedding, SurgeWithSheddingProtectsDocumentsAndNeverHangs) {
+  OverloadHarness on(/*shedding=*/true);
+  on.run_surge();
+
+  // Every document completes within its deadline; overload is absorbed by
+  // fast 429/503 rejections, never by hanging a request to 504.
+  EXPECT_EQ(on.docs.ok, 6) << "504s: " << on.docs.timed_out;
+  EXPECT_EQ(on.docs.timed_out, 0);
+  EXPECT_EQ(on.subs.timed_out, 0);
+  EXPECT_GT(on.subs.rejected, 0);
+  EXPECT_EQ(on.subs.missing_retry_after, 0);
+  EXPECT_EQ(on.docs.missing_retry_after, 0);
+  EXPECT_EQ(on.subs.ok + on.subs.rejected + on.subs.timed_out + on.subs.other, 48);
+
+  const proxy::ProxyStats stats = on.skip->stats();
+  EXPECT_GT(stats.admitted, 0u);
+  EXPECT_GT(stats.rejected_capacity, 0u);
+
+  // Ablation: the same surge with the overload layer disabled collapses —
+  // FIFO queues starve the documents to 504 and total goodput drops.
+  OverloadHarness off(/*shedding=*/false);
+  off.run_surge();
+  EXPECT_GT(off.docs.timed_out, 0);
+  EXPECT_GT(on.subs.ok + on.docs.ok, off.subs.ok + off.docs.ok);
+}
+
+TEST(OverloadAdmission, PerClientTokenBucketRateLimitsWithRetryAfter) {
+  proxy::ProxyConfig config;
+  config.overload.client_rate = 2.0;  // burst = max(1, rate) = 2
+  OverloadHarness h(/*shedding=*/true, config);
+
+  // Five simultaneous requests from one client: the burst of 2 is admitted,
+  // the rest bounce with 429 + Retry-After. A different client has its own
+  // bucket.
+  for (int i = 0; i < 5; ++i) h.issue("subresource", seconds(10), h.subs, "heavy");
+  h.issue("subresource", seconds(10), h.docs, "light");
+  h.world->sim().run_until(h.world->sim().now() + seconds(2));
+  EXPECT_EQ(h.subs.ok, 2);
+  EXPECT_EQ(h.subs.rejected, 3);
+  EXPECT_EQ(h.subs.missing_retry_after, 0);
+  EXPECT_EQ(h.docs.ok, 1);
+
+  // The bucket refills with time: the heavy client is admitted again.
+  h.issue("subresource", seconds(10), h.docs, "heavy");
+  h.world->sim().run_until(h.world->sim().now() + seconds(2));
+  EXPECT_EQ(h.docs.ok, 2);
+
+  const proxy::ProxyStats stats = h.skip->stats();
+  EXPECT_EQ(stats.rejected_rate, 3u);
+  EXPECT_EQ(stats.rejected_capacity, 0u);
+}
+
+TEST(OverloadBrownout, SustainedPressureDisablesScionUpgradeUntilRecovery) {
+  proxy::ProxyConfig config;
+  config.overload.max_in_flight = 3;
+  config.overload.brownout_hold = milliseconds(100);
+  OverloadHarness h(/*shedding=*/true, config, /*remote=*/true);
+  h.world->site("www.far.example")->add_text("/x", "far content");
+  sim::Simulator& sim = h.world->sim();
+  proxy::OverloadController& overload = h.skip->overload();
+
+  // Pin the proxy at its in-flight cap long enough for the pressure EWMA to
+  // cross the brownout threshold and hold there.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(overload.admit("pin", proxy::RequestPriority::kDocument).verdict,
+              proxy::OverloadController::Verdict::kAdmit);
+  }
+  sim.run_until(sim.now() + milliseconds(300));
+  (void)overload.brownout();  // pressure catches up; hold timer starts
+  sim.run_until(sim.now() + milliseconds(150));
+  EXPECT_TRUE(overload.brownout());
+
+  // Hysteresis: dropping to 2/3 utilization is above the exit threshold, so
+  // brownout stays in force...
+  overload.release();
+  sim.run_until(sim.now() + milliseconds(200));
+  EXPECT_TRUE(overload.brownout());
+  const http::HttpResponse health = h.fetch("/skip/health").response;
+  const std::string health_body(reinterpret_cast<const char*>(health.body.data()),
+                                health.body.size());
+  EXPECT_NE(health_body.find("\"brownout\":true"), std::string::npos);
+
+  // ...and an opportunistic fetch of a SCION-capable origin skips the
+  // upgrade entirely, riding legacy IP without a fallback attempt.
+  const proxy::ProxyResult result = h.fetch("http://www.far.example/x", "document");
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.transport, proxy::TransportUsed::kIp);
+  EXPECT_FALSE(result.fell_back);
+  EXPECT_EQ(result.scion_attempts, 0u);
+  EXPECT_EQ(h.skip->metrics().counter("overload.brownout_bypass").value(), 1u);
+
+  // Pressure drains: brownout exits and SCION upgrades resume.
+  overload.release();
+  overload.release();
+  sim.run_until(sim.now() + seconds(1));
+  EXPECT_FALSE(overload.brownout());
+  EXPECT_EQ(h.skip->metrics().counter("overload.brownout_entered").value(), 1u);
+  EXPECT_EQ(h.skip->metrics().counter("overload.brownout_exited").value(), 1u);
+  EXPECT_EQ(h.fetch("http://www.far.example/x").transport,
+            proxy::TransportUsed::kScion);
+}
+
+TEST(SurgeVerb, FaultPlanDrivesLoadGeneratorThroughProxy) {
+  OverloadHarness h(/*shedding=*/true, {}, /*remote=*/true);
+  h.world->site("www.near.example")->add_text("/", "near home");
+  browser::SurgeLoad surge(*h.world, *h.skip);
+  ASSERT_TRUE(
+      h.world->schedule_chaos("at=10ms dur=1s surge www.near.example rate=50 conc=8")
+          .ok());
+  h.world->sim().run_until(h.world->sim().now() + seconds(8));
+
+  const browser::SurgeLoad::Stats& stats = surge.stats();
+  EXPECT_GT(stats.launched, 20u);
+  EXPECT_LE(stats.launched, 60u);
+  // Every launched request settles one way or another once the surge ends.
+  EXPECT_EQ(stats.launched,
+            stats.completed + stats.rejected + stats.timed_out + stats.failed);
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_EQ(surge.in_flight(), 0u);
 }
 
 }  // namespace
