@@ -19,6 +19,7 @@
 #include "bench_util.hpp"
 #include "core/page.hpp"
 #include "core/scenarios.hpp"
+#include "obs/slo.hpp"
 
 using namespace pan;
 
@@ -30,18 +31,21 @@ constexpr Duration kFaultOnset = milliseconds(150);
 
 struct Scenario {
   const char* name;
+  const char* slug;  // file-name-safe, for PAN_TRACE_DUMP output
   const char* plan;
 };
 
 const Scenario kScenarios[] = {
-    {"no fault (baseline)", ""},
-    {"link-down core-1<->core-2b, 2 s", "at=150ms dur=2s link-down core-1 core-2b"},
-    {"link-degrade 30% loss, 2 s",
+    {"no fault (baseline)", "baseline", ""},
+    {"link-down core-1<->core-2b, 2 s", "link-down",
+     "at=150ms dur=2s link-down core-1 core-2b"},
+    {"link-degrade 30% loss, 2 s", "link-degrade",
      "at=150ms dur=2s link-degrade core-1 core-2b loss=0.3 latency-factor=2"},
-    {"dns-brownout (servfail), 2 s",
+    {"dns-brownout (servfail), 2 s", "dns-brownout",
      "at=150ms dur=2s dns-brownout www.far.example mode=servfail"},
-    {"origin-reset, 2 s", "at=150ms dur=2s origin-reset www.far.example"},
-    {"origin-slow-loris, 2 s", "at=150ms dur=2s origin-slow-loris www.far.example"},
+    {"origin-reset, 2 s", "origin-reset", "at=150ms dur=2s origin-reset www.far.example"},
+    {"origin-slow-loris, 2 s", "origin-slow-loris",
+     "at=150ms dur=2s origin-slow-loris www.far.example"},
 };
 
 struct Run {
@@ -50,11 +54,17 @@ struct Run {
   std::size_t over_ip = 0;
   std::size_t failed = 0;
   double recovery_ms = -1;
+  bool slo_fired = false;  // any objective fired at any evaluation point
 };
 
 Run run_once(const Scenario& scenario, bool resilient) {
   browser::WorldConfig world_config;
   world_config.seed = 33;
+  // One collector shared by the SKIP proxy and the reverse proxies, so a
+  // remote page load assembles a cross-hop trace (client + revproxy spans
+  // under one trace id) — dumped per scenario when PAN_TRACE_DUMP is set.
+  obs::TraceCollector collector;
+  world_config.reverse_proxy.collector = &collector;
   auto world = browser::make_remote_world(world_config);
 
   std::vector<std::string> resources;
@@ -67,6 +77,7 @@ Run run_once(const Scenario& scenario, bool resilient) {
   world->site("www.far.example")->add_text("/probe", "up");
 
   proxy::ProxyConfig config;
+  config.collector = &collector;
   if (!resilient) {
     config.max_scion_retries = 0;
     config.attempt_timeout = Duration::zero();
@@ -80,12 +91,16 @@ Run run_once(const Scenario& scenario, bool resilient) {
   }
 
   Run run;
+  obs::SloMonitor& slo = session.proxy().slo();
+  slo.evaluate(world->sim().now());  // baseline counter sample at t=0
   const TimePoint t0 = world->sim().now();
   const browser::PageLoadResult page = session.load("http://www.far.example/");
   run.plt_ms = (world->sim().now() - t0).millis();
   run.over_scion = page.over_scion;
   run.over_ip = page.over_ip;
   run.failed = page.failed;
+  slo.evaluate(world->sim().now());
+  run.slo_fired = slo.any_firing();
 
   // Time-to-recovery: probe until a fetch completes over SCION again.
   const TimePoint fault_at = t0 + kFaultOnset;
@@ -108,6 +123,10 @@ Run run_once(const Scenario& scenario, bool resilient) {
     }
     world->sim().run_until(world->sim().now() + milliseconds(100));
   }
+  slo.evaluate(world->sim().now());
+  run.slo_fired = run.slo_fired || slo.any_firing();
+  bench::dump_chrome_trace(collector,
+                           std::string("chaos-") + scenario.slug + (resilient ? "-on" : "-off"));
   return run;
 }
 
@@ -129,6 +148,8 @@ struct SurgeRun {
   int docs_rejected = 0;   // 429/503 (only possible with shedding on)
   std::vector<double> doc_latency_ms;
   browser::SurgeLoad::Stats surge;
+  bool slo_fired = false;        // any objective fired while the surge ran
+  bool slo_quiet_after = false;  // all objectives clear once traffic drains
 };
 
 SurgeRun run_surge_once(bool shedding) {
@@ -175,7 +196,18 @@ SurgeRun run_surge_once(bool shedding) {
                             });
     });
   }
-  sim.run_until(sim.now() + seconds(30));
+  // The simulator has no background ticks, so SLO evaluation is explicit:
+  // sample every 500 ms (the /skip/health cadence a prober would drive) and
+  // remember whether any burn-rate alert fired while the surge was hot.
+  obs::SloMonitor& slo = session.proxy().slo();
+  slo.evaluate(sim.now());  // baseline counter sample
+  const TimePoint end = sim.now() + seconds(30);
+  while (sim.now() < end) {
+    sim.run_until(sim.now() + milliseconds(500));
+    slo.evaluate(sim.now());
+    run.slo_fired = run.slo_fired || slo.any_firing();
+  }
+  run.slo_quiet_after = !slo.any_firing();
   run.surge = surge.stats();
   return run;
 }
@@ -213,9 +245,12 @@ int main() {
   std::printf("  %-14s %10s %6s %4s %6s %12s\n", "resilience", "plt ms", "scion",
               "ip", "failed", "recovery ms");
 
+  bool baseline_slo_quiet = true;
   for (const Scenario& scenario : kScenarios) {
     std::printf("%s\n", scenario.name);
-    print_run("on", run_once(scenario, /*resilient=*/true));
+    const Run on = run_once(scenario, /*resilient=*/true);
+    if (&scenario == &kScenarios[0]) baseline_slo_quiet = !on.slo_fired;
+    print_run("on", on);
     print_run("off", run_once(scenario, /*resilient=*/false));
   }
 
@@ -229,8 +264,10 @@ int main() {
   std::printf("  %-9s %7s %8s %8s %9s %9s %9s %9s %9s\n", "shedding", "docs ok",
               "doc 504", "doc rej", "doc p50", "doc max", "surge ok", "surge rej",
               "surge 504");
-  print_surge_run("on", run_surge_once(/*shedding=*/true));
-  print_surge_run("off", run_surge_once(/*shedding=*/false));
+  const SurgeRun surge_on = run_surge_once(/*shedding=*/true);
+  const SurgeRun surge_off = run_surge_once(/*shedding=*/false);
+  print_surge_run("on", surge_on);
+  print_surge_run("off", surge_off);
 
   std::printf(
       "\nWith shedding on, surge traffic beyond the probe-class admission\n"
@@ -251,5 +288,20 @@ int main() {
       "leaking onto legacy IP), and hard origin resets trip the per-origin\n"
       "circuit breaker, trading a slower half-open re-probe for fast-failing\n"
       "requests while the origin is sick.\n");
-  return 0;
+
+  // SLO burn-rate verdicts, asserted so CI fails loudly if the monitor ever
+  // goes quiet under overload or noisy at rest (bench exits nonzero).
+  std::printf("\nSLO burn-rate checks (multi-window, evaluated every 500 ms):\n");
+  int failed_checks = 0;
+  const auto check = [&failed_checks](const char* what, bool ok) {
+    std::printf("  [%s] %s\n", ok ? " ok " : "FAIL", what);
+    if (!ok) ++failed_checks;
+  };
+  check("baseline page load: every objective stays quiet", baseline_slo_quiet);
+  check("surge, shedding off: a burn-rate alert fires", surge_off.slo_fired);
+  check("surge, shedding off: alerts clear once the surge drains",
+        surge_off.slo_quiet_after);
+  check("surge, shedding on: alerts clear once the surge drains",
+        surge_on.slo_quiet_after);
+  return failed_checks == 0 ? 0 : 1;
 }

@@ -77,6 +77,10 @@ int main() {
   obs::MetricsRegistry registry;
   proxy::ProxyConfig proxy_config;
   proxy_config.metrics = &registry;
+  // Single-hop traces (no reverse proxy in the local world): dumped when
+  // PAN_TRACE_DUMP is set, for about:tracing / trace-lint inspection.
+  obs::TraceCollector collector;
+  proxy_config.collector = &collector;
 
   std::vector<bench::Series> series;
   series.push_back({"SCION-only", bench::run_trials(kTrials, [&] {
@@ -110,5 +114,6 @@ int main() {
 
   std::printf("\nPaper's qualitative result: SCION-only and mixed pay a proxying overhead over\n"
               "BGP/IP-only; strict-SCION is fastest because blocked resources are never fetched.\n");
+  bench::dump_chrome_trace(collector, "fig3-local-plt");
   return 0;
 }

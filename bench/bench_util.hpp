@@ -3,14 +3,37 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/collector.hpp"
 #include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace pan::bench {
+
+/// Env-gated Chrome trace dump: when PAN_TRACE_DUMP names a directory, the
+/// collector's retained traces are written there as <name>.json (Chrome
+/// trace_event format — loadable in about:tracing / Perfetto, lintable by
+/// scripts/trace_lint.py). No-op when the variable is unset; benches stay
+/// silent-by-default so CI output is stable.
+inline void dump_chrome_trace(const obs::TraceCollector& collector, const std::string& name) {
+  const char* dir = std::getenv("PAN_TRACE_DUMP");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "trace dump: cannot open %s\n", path.c_str());
+    return;
+  }
+  const std::string json = collector.chrome_trace_json();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::fprintf(stderr, "trace dump: wrote %s (%zu traces)\n", path.c_str(),
+               collector.traces().size());
+}
 
 struct Series {
   std::string label;

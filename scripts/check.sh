@@ -8,6 +8,10 @@
 #   scripts/check.sh --soak       # plain build, then loop the chaos + surge
 #                                 # suites until SOAK_BUDGET_S (default 120 s)
 #                                 # of wall clock is spent
+#   scripts/check.sh --trace-lint # plain build, run the chaos bench with
+#                                 # PAN_TRACE_DUMP set, lint the Chrome trace
+#                                 # JSON it exports (structure, parent links,
+#                                 # cross-hop coverage, path annotations)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +37,22 @@ if [[ "${1:-}" == "--soak" ]]; then
     iterations=$(( iterations + 1 ))
   done
   echo "==> soak passed (${iterations} iterations in <= ${budget}s)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--trace-lint" ]]; then
+  echo "==> trace-lint: chaos bench with PAN_TRACE_DUMP, then lint the exports"
+  run_suite build
+  dump_dir="$(mktemp -d)"
+  trap 'rm -rf "$dump_dir"' EXIT
+  PAN_TRACE_DUMP="$dump_dir" ./build/bench/bench_ablation_chaos
+  # Every dump must be structurally sound; the baseline remote-world dump
+  # must additionally show a cross-hop trace (client + reverse proxy under
+  # one trace id) annotated with the SCION path fingerprint and ISD sequence.
+  python3 scripts/trace_lint.py "$dump_dir"/*.json
+  python3 scripts/trace_lint.py "$dump_dir"/chaos-baseline-on.json \
+    --min-hops 2 --require-attr path --require-attr isd_seq
+  echo "==> trace-lint passed"
   exit 0
 fi
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Lint Chrome trace_event JSON dumped by the benches / /skip/trace/<id>.
+
+Validates the structural invariants the telemetry layer promises
+(DESIGN.md section 5g):
+
+  - the file is a JSON object with a "traceEvents" array;
+  - every "X" (complete) event carries name, cat, ts >= 0, dur >= 0, pid,
+    tid, and args.trace/span/parent ids;
+  - events are sorted by ts (the exporter emits them chronologically);
+  - within each trace id, span ids are unique, exactly one root
+    (parent == 0) exists, and every non-root parent resolves to a span of
+    the same trace — no orphans;
+  - with --min-hops N, at least one trace spans >= N hops (the hop lives
+    in the top byte of the span id: 1 = client process, 2 = reverse proxy);
+  - with --require-attr KEY, at least one span carries the attribute.
+
+Exit code 0 when every file passes, 1 otherwise.
+
+Usage:
+  scripts/trace_lint.py dump.json [more.json ...] [--min-hops 2]
+                        [--require-attr path]
+"""
+
+import argparse
+import json
+import sys
+
+
+def lint_file(path, min_hops, require_attrs):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents array"]
+
+    # Per-trace span tables: trace id -> {span id -> parent id}.
+    traces = {}
+    attrs_seen = set()
+    last_ts = None
+    for i, event in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            continue  # metadata carries no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"{where}: ts {ts} goes backwards (prev {last_ts})")
+        last_ts = ts
+        if phase != "X":
+            continue
+        for key in ("name", "cat", "pid", "tid", "dur", "args"):
+            if key not in event:
+                errors.append(f"{where}: X event missing {key}")
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"{where}: bad dur {dur!r}")
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        try:
+            trace = int(args["trace"], 16)
+            span = int(args["span"], 16)
+            parent = int(args["parent"], 16)
+        except (KeyError, TypeError, ValueError):
+            errors.append(f"{where}: args missing trace/span/parent hex ids")
+            continue
+        spans = traces.setdefault(trace, {})
+        if span in spans:
+            errors.append(f"{where}: duplicate span {span:#x} in trace {trace:#x}")
+        spans[span] = parent
+        attrs_seen.update(k for k, v in args.items() if v)
+
+    hops_best = 0
+    for trace, spans in traces.items():
+        roots = [s for s, parent in spans.items() if parent == 0]
+        if len(roots) != 1:
+            errors.append(f"{path}: trace {trace:#x} has {len(roots)} roots (want 1)")
+        for span, parent in spans.items():
+            if parent != 0 and parent not in spans:
+                errors.append(
+                    f"{path}: trace {trace:#x} span {span:#x} orphaned "
+                    f"under missing parent {parent:#x}"
+                )
+        hops_best = max(hops_best, len({span >> 56 for span in spans}))
+
+    if not traces:
+        errors.append(f"{path}: no spans at all")
+    if min_hops and hops_best < min_hops:
+        errors.append(f"{path}: best trace spans {hops_best} hop(s), want >= {min_hops}")
+    for attr in require_attrs:
+        if attr not in attrs_seen:
+            errors.append(f"{path}: no span carries attribute {attr!r}")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="Chrome trace JSON files")
+    parser.add_argument("--min-hops", type=int, default=0,
+                        help="require a trace spanning >= N hops")
+    parser.add_argument("--require-attr", action="append", default=[],
+                        metavar="KEY", help="require some span to carry KEY")
+    opts = parser.parse_args()
+
+    failed = 0
+    for path in opts.files:
+        errors = lint_file(path, opts.min_hops, opts.require_attr)
+        if errors:
+            failed += 1
+            for error in errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

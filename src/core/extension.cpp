@@ -49,6 +49,14 @@ void BrowserExtension::fetch(http::HttpRequest request, const std::string& host,
   if (options.strict) {
     request.headers.set(std::string(proxy::kPriorityHeader), "document");
   }
+  // Wire-protocol trace propagation: stamp the browser-side trace context on
+  // the request so a proxy reached over the network (rather than in-process)
+  // still parents its spans under this page load. In-process fetches carry
+  // options.trace as well, which takes precedence at the proxy.
+  if (options.trace != nullptr) {
+    request.headers.set(std::string(obs::kTraceHeader),
+                        options.trace->context(0).to_header());
+  }
   proxy_.fetch(std::move(request), options, std::move(on_result));
 }
 

@@ -133,6 +133,7 @@ void FaultInjector::apply(const FaultEvent& event) {
   count("fault.injected");
   count(kind_metric(event.kind));
   update_active_gauge();
+  if (metrics_ != nullptr) metrics_->events().record(sim_.now(), "fault", "apply", key);
   PAN_TRACE(kLog) << "apply: " << key;
 }
 
@@ -186,6 +187,9 @@ void FaultInjector::revert(const FaultEvent& event) {
   ++reverted_;
   count("fault.reverted");
   update_active_gauge();
+  if (metrics_ != nullptr) {
+    metrics_->events().record(sim_.now(), "fault", "revert", event.describe());
+  }
   PAN_TRACE(kLog) << "revert: " << event.describe();
 }
 
@@ -195,7 +199,7 @@ std::string FaultInjector::active_json() const {
   for (const auto& [key, active] : active_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + key + "\":{\"applied_ms\":" +
+    out += strings::json_quote(key) + ":{\"applied_ms\":" +
            strings::format("%.3f", active.applied_at.millis());
     if (active.event.duration > Duration::zero()) {
       out += ",\"until_ms\":" +

@@ -15,26 +15,6 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 /// samples — a p90 computed from a handful of waits is noise.
 constexpr std::uint64_t kShedMinSamples = 8;
 
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += strings::format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
 }  // namespace
 
 bool OriginPool::is_queue_timeout(const std::string& error) {
@@ -231,6 +211,8 @@ void OriginPool::dispatch(const std::string& key) {
         Waiter waiter = take_waiter(
             origin, static_cast<std::size_t>(expired - origin.waiting.begin()));
         expired_dispatches_.inc();
+        metrics_.events().record(sim_.now(), "pool", "expired-dispatch",
+                                 config_.name + "/" + key);
         fail_waiter(std::move(waiter), std::string(kExpiredError) + ": " + key);
         continue;
       }
@@ -279,6 +261,8 @@ void OriginPool::dispatch(const std::string& key) {
       Waiter waiter = take_waiter(
           origin, static_cast<std::size_t>(hopeless - origin.waiting.begin()));
       sheds_.inc();
+      metrics_.events().record(sim_.now(), "pool", "shed",
+                               config_.name + "/" + key + " queue-wait p90 exceeds budget");
       PAN_DEBUG(kLog) << config_.name << "/" << key
                       << ": shedding waiter (queue-wait p90 exceeds budget)";
       fail_waiter(std::move(waiter), std::string(kShedError) + ": " + key);
@@ -330,6 +314,10 @@ void OriginPool::on_fetch_done(const std::string& key, PooledConnection* conn, b
       !cooling_down(origin)) {
     origin.cooldown_until = sim_.now() + config_.backoff_cooldown;
     cooldowns_.inc();
+    metrics_.events().record(
+        sim_.now(), "pool", "cooldown",
+        config_.name + "/" + key + " after " +
+            std::to_string(origin.consecutive_failures) + " consecutive failures");
     PAN_DEBUG(kLog) << config_.name << "/" << key << ": " << origin.consecutive_failures
                     << " consecutive failures, cooling down";
   }
@@ -420,8 +408,7 @@ std::string OriginPool::snapshot_json() const {
   for (const OriginSnapshot& snap : snapshot()) {
     if (!first) out += ",";
     first = false;
-    out += "{\"origin\":";
-    append_json_string(out, snap.key);
+    out += "{\"origin\":" + strings::json_quote(snap.key);
     out += strings::format(
         ",\"conns\":%zu,\"outstanding\":%zu,\"queued\":%zu,\"limit\":%zu,"
         "\"evictions\":%llu,\"consecutive_failures\":%zu,\"cooling_down\":%s",

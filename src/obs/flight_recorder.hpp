@@ -1,0 +1,66 @@
+// Observability: the flight recorder.
+//
+// A fixed-size ring buffer of structured control-plane events — breaker
+// trips, brownout transitions, AIMD floor hits, path quarantines, pool
+// sheds, fault apply/revert. Metrics count *how often* these happen; the
+// flight recorder keeps *the last N in order*, so a failed chaos scenario
+// comes with the event sequence that led up to it. The ring is snapshotted
+// by GET /skip/debug and attached to any trace that finalizes with a 5xx.
+//
+// Events also go through util/log at debug level, so a PAN_LOG_LEVEL=debug
+// run interleaves them with the rest of the log on the simulator clock.
+// Single-threaded like the simulator; "lock-free-ish" here means the ring
+// never allocates after construction and recording is O(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pan::obs {
+
+/// One recorded control-plane event.
+struct FlightEvent {
+  std::uint64_t seq = 0;  ///< Monotonic; survives ring wrap (gap = dropped).
+  TimePoint at;
+  std::string component;  ///< "breaker", "overload", "selector", "pool", "fault", "slo", "proxy".
+  std::string kind;       ///< e.g. "trip", "brownout-enter", "quarantine".
+  std::string detail;     ///< Free-form: origin, path fingerprint, verb args.
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void record(TimePoint at, std::string_view component, std::string_view kind,
+              std::string_view detail);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return next_seq_; }
+
+  /// Events in recording order, oldest first. O(size) copy.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+  /// The most recent `n` events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> last(std::size_t n) const;
+
+  /// `[{"seq":..,"at_ms":..,"component":..,"kind":..,"detail":..},...]`,
+  /// oldest first, all strings escaped.
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;  ///< Circular once full; head_ = oldest.
+  std::size_t head_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pan::obs

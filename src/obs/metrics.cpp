@@ -10,23 +10,7 @@ namespace pan::obs {
 namespace {
 
 void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += strings::format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
+  out += strings::json_quote(s);
 }
 
 void append_ms(std::string& out, Duration d) { out += strings::format("%.6f", d.millis()); }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "util/types.hpp"
 
 namespace pan::obs {
@@ -119,10 +120,17 @@ class MetricsRegistry {
   /// the string "+Inf". Deterministic (name-ordered) output.
   [[nodiscard]] std::string to_json() const;
 
+  /// The flight recorder rides on the registry so every component that
+  /// already holds a registry pointer can record control-plane events
+  /// without new plumbing. See obs/flight_recorder.hpp.
+  [[nodiscard]] FlightRecorder& events() { return events_; }
+  [[nodiscard]] const FlightRecorder& events() const { return events_; }
+
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  FlightRecorder events_;
 };
 
 }  // namespace pan::obs

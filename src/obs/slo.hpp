@@ -1,0 +1,102 @@
+// Observability: SLO burn-rate monitoring.
+//
+// Declarative service-level objectives evaluated over sliding windows on a
+// MetricsRegistry, with multi-window burn-rate alerting (the SRE-workbook
+// shape): an objective targets a good-event fraction (e.g. 99% of requests
+// neither error nor time out); the burn rate is how fast the error budget is
+// being consumed (burn 1 = exactly at target, burn 10 = budget gone 10x
+// early). An alert fires only when BOTH a short window (fast reaction, noisy
+// alone) and a long window (evidence, slow alone) exceed the threshold, and
+// clears as soon as the short window recovers — so a transient blip neither
+// fires nor wedges the alert on.
+//
+// The simulator is event-driven with no background ticks (a periodic timer
+// would keep Simulator::run() alive forever), so evaluation is explicit:
+// callers — the /skip/health endpoint, the chaos bench, tests — call
+// evaluate(now) whenever they want fresh verdicts. Samples are cumulative
+// counter readings, so sparse evaluation still sees everything in between.
+//
+// Objectives are either counter-ratio (bad counters / total counters) or
+// latency (samples of a histogram above a threshold are bad — e.g. PLT p95:
+// target 95% of requests under 2 s).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/types.hpp"
+
+namespace pan::obs {
+
+struct SloObjective {
+  std::string name;
+  /// Counter-ratio mode: sum(bad_counters) / sum(total_counters).
+  std::vector<std::string> bad_counters;
+  std::vector<std::string> total_counters;
+  /// Latency mode (when `latency_histogram` is set): bad = samples of the
+  /// histogram above `latency_threshold`, total = all samples. The threshold
+  /// should sit on a bucket bound; it is resolved against the cumulative
+  /// bucket counts.
+  std::string latency_histogram;
+  Duration latency_threshold = Duration::zero();
+
+  double target = 0.99;  ///< Good fraction objective in (0, 1).
+  Duration short_window = seconds(5);
+  Duration long_window = seconds(30);
+  double burn_threshold = 2.0;     ///< Fire when both windows burn >= this.
+  std::uint64_t min_events = 10;   ///< Ignore windows with fewer total events.
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(MetricsRegistry& registry) : registry_(registry) {}
+
+  void add(SloObjective objective);
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  /// Samples every objective's counters at `now` and updates alert states.
+  /// Fire/clear transitions bump slo.<name>.fired/.cleared counters and
+  /// land in the flight recorder.
+  void evaluate(TimePoint now);
+
+  [[nodiscard]] bool firing(std::string_view name) const;
+  [[nodiscard]] bool any_firing() const;
+
+  /// [{"name":..,"firing":..,"burn_short":..,"burn_long":..,
+  ///   "target":..,"fired":N,"cleared":N}, ...]
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// The stock SKIP-proxy objectives: availability (errors + timeouts +
+  /// strict-unavailable), shed rate (admission rejects + deadline sheds),
+  /// and request latency (proxy.request_total above 2 s).
+  [[nodiscard]] static std::vector<SloObjective> default_proxy_objectives();
+
+ private:
+  struct Sample {
+    TimePoint at;
+    double bad = 0;
+    double total = 0;
+  };
+  struct State {
+    SloObjective objective;
+    std::deque<Sample> samples;
+    bool firing = false;
+    std::uint64_t fired = 0;
+    std::uint64_t cleared = 0;
+    double burn_short = 0;
+    double burn_long = 0;
+  };
+
+  [[nodiscard]] Sample read(const SloObjective& objective, TimePoint now) const;
+  /// Burn rate over [now - window, now]; 0 when too few events.
+  [[nodiscard]] static double burn_over(const State& state, TimePoint now, Duration window);
+
+  MetricsRegistry& registry_;
+  std::vector<State> states_;
+};
+
+}  // namespace pan::obs

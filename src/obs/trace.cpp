@@ -1,17 +1,44 @@
 #include "obs/trace.hpp"
 
+#include "obs/collector.hpp"
 #include "util/strings.hpp"
 
 namespace pan::obs {
 
+std::string TraceContext::to_header() const {
+  return strings::format("%016llx-%016llx-%02x",
+                         static_cast<unsigned long long>(trace_id),
+                         static_cast<unsigned long long>(parent_span_id),
+                         sampled ? 1u : 0u);
+}
+
+std::optional<TraceContext> parse_trace_context(std::string_view value) {
+  const std::vector<std::string_view> fields = strings::split(strings::trim(value), '-');
+  if (fields.size() != 3) return std::nullopt;
+  if (fields[0].size() != 16 || fields[1].size() != 16 || fields[2].size() != 2) {
+    return std::nullopt;
+  }
+  const auto trace_id = strings::parse_hex_u64(fields[0]);
+  const auto parent = strings::parse_hex_u64(fields[1]);
+  const auto flags = strings::parse_hex_u64(fields[2]);
+  if (!trace_id.ok() || !parent.ok() || !flags.ok()) return std::nullopt;
+  if (trace_id.value() == 0) return std::nullopt;
+  TraceContext ctx;
+  ctx.trace_id = trace_id.value();
+  ctx.parent_span_id = parent.value();
+  ctx.sampled = (flags.value() & 1) != 0;
+  return ctx;
+}
+
 void RequestTrace::begin(std::string_view phase) {
-  open_.push_back(OpenSpan{std::string(phase), sim_.now()});
+  open_.push_back(OpenSpan{std::string(phase), sim_.now(), kHopClient | next_span_seq_++});
 }
 
 void RequestTrace::end(std::string_view phase) {
   for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
     if (it->name != phase) continue;
-    finished_.push_back(SpanRecord{std::move(it->name), it->start, sim_.now() - it->start});
+    finished_.push_back(
+        SpanRecord{std::move(it->name), it->start, sim_.now() - it->start, it->span_id});
     open_.erase(std::next(it).base());
     return;
   }
@@ -30,13 +57,15 @@ void RequestTrace::end_all() {
   // Close inner (most recent) spans first so records keep start order.
   while (!open_.empty()) {
     OpenSpan& span = open_.back();
-    finished_.push_back(SpanRecord{std::move(span.name), span.start, now - span.start});
+    finished_.push_back(SpanRecord{std::move(span.name), span.start, now - span.start,
+                                   span.span_id});
     open_.pop_back();
   }
 }
 
 void RequestTrace::add(std::string_view phase, TimePoint start, Duration duration) {
-  finished_.push_back(SpanRecord{std::string(phase), start, duration});
+  finished_.push_back(
+      SpanRecord{std::string(phase), start, duration, kHopClient | next_span_seq_++});
 }
 
 Duration RequestTrace::total(std::string_view phase) const {
@@ -48,15 +77,81 @@ Duration RequestTrace::total(std::string_view phase) const {
 }
 
 bool RequestTrace::open(std::string_view phase) const {
-  for (const OpenSpan& span : open_) {
-    if (span.name == phase) return true;
+  return open_span_id(phase) != 0;
+}
+
+std::uint64_t RequestTrace::open_span_id(std::string_view phase) const {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->name == phase) return it->span_id;
   }
-  return false;
+  return 0;
+}
+
+void RequestTrace::adopt(const TraceContext& ctx) {
+  id_ = ctx.trace_id;
+  parent_span_id_ = ctx.parent_span_id;
+  sampled_ = ctx.sampled;
+}
+
+TraceContext RequestTrace::context(std::uint64_t parent_span) const {
+  TraceContext ctx;
+  ctx.trace_id = id_;
+  ctx.parent_span_id = parent_span == 0 ? root_span_id() : parent_span;
+  ctx.sampled = sampled_;
+  return ctx;
+}
+
+void RequestTrace::set_attribute(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(key), std::string(value));
+}
+
+std::string_view RequestTrace::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+void RequestTrace::set_outcome(std::string_view outcome) {
+  if (outcome_.empty()) outcome_ = std::string(outcome);
 }
 
 void RequestTrace::flush_to(MetricsRegistry& registry, std::string_view prefix) const {
   for (const SpanRecord& span : finished_) {
     registry.histogram(std::string(prefix) + span.name).record(span.duration);
+  }
+}
+
+void RequestTrace::report_to(TraceCollector& collector, std::string_view component,
+                             TimePoint end) const {
+  CollectedSpan root;
+  root.trace_id = id_;
+  root.span_id = root_span_id();
+  root.parent_id = parent_span_id_;
+  root.name = "request";
+  root.component = std::string(component);
+  root.start = created_at_;
+  root.duration = end - created_at_;
+  root.attrs = attrs_;
+  if (!outcome_.empty()) root.attrs.emplace_back("outcome", outcome_);
+  collector.record_span(std::move(root));
+
+  for (const SpanRecord& span : finished_) {
+    CollectedSpan out;
+    out.trace_id = id_;
+    out.span_id = span.span_id;
+    out.parent_id = root_span_id();
+    out.name = span.name;
+    out.component = std::string(component);
+    out.start = span.start;
+    out.duration = span.duration;
+    collector.record_span(std::move(out));
   }
 }
 

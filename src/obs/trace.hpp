@@ -8,15 +8,25 @@
 // no-op, and end_all() truncates whatever is still open when a request is
 // finalized early (timeout, error).
 //
+// Traces cross process hops: the extension injects an X-Skip-Trace header
+// (trace id, parent span id, sampled bit — a W3C-traceparent shape) that the
+// SKIP proxy forwards and the reverse proxy honours, so the reverse-proxy
+// and backend spans parent correctly under the originating request. Span ids
+// are hop-prefixed (top byte = hop number) so two hops never collide without
+// coordination.
+//
 // Finished spans are flushed into a MetricsRegistry as per-phase latency
-// histograms and attached to the ProxyResult so callers (the browser, the
-// figure benches) can attribute where a request's time went.
+// histograms, attached to the ProxyResult, and reported to a TraceCollector
+// (obs/collector.hpp) which assembles the cross-hop span tree and exports
+// Chrome trace_event JSON.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -24,22 +34,50 @@
 
 namespace pan::obs {
 
+class TraceCollector;
+
+/// The cross-hop propagation context carried by the X-Skip-Trace header:
+/// `<16-hex trace id>-<16-hex parent span id>-<2-hex flags>` (flags bit 0 =
+/// sampled), e.g. "000000000000002a-0100000000000003-01".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = true;
+
+  [[nodiscard]] std::string to_header() const;
+};
+
+inline constexpr std::string_view kTraceHeader = "X-Skip-Trace";
+
+/// Parses an X-Skip-Trace header value; nullopt on any malformation (wrong
+/// field count, bad hex, zero trace id) — a broken header starts a fresh
+/// single-hop trace rather than poisoning the tree.
+[[nodiscard]] std::optional<TraceContext> parse_trace_context(std::string_view value);
+
 /// One completed span of a request trace.
 struct SpanRecord {
   std::string name;
   TimePoint start;
   Duration duration = Duration::zero();
+  std::uint64_t span_id = 0;
 
   [[nodiscard]] TimePoint end() const { return start + duration; }
 };
 
 class RequestTrace {
  public:
+  /// Span ids minted by a RequestTrace live in hop 1 (the client process:
+  /// browser + extension + SKIP proxy). The reverse proxy mints ids in hop 2.
+  static constexpr std::uint64_t kHopClient = 1ULL << 56;
+
   RequestTrace(sim::Simulator& sim, std::uint64_t id)
       : sim_(sim), id_(id), created_at_(sim.now()) {}
 
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] TimePoint created_at() const { return created_at_; }
+
+  /// The id of the implicit root ("request") span that phase spans parent to.
+  [[nodiscard]] std::uint64_t root_span_id() const { return kHopClient | 1; }
 
   /// Opens a span. Phases may repeat (e.g. the two IPC crossings of one
   /// request each contribute an "ipc" span) and may overlap.
@@ -60,10 +98,47 @@ class RequestTrace {
   /// Sum of finished spans named `phase`.
   [[nodiscard]] Duration total(std::string_view phase) const;
   [[nodiscard]] bool open(std::string_view phase) const;
+  /// Span id of the most recently opened span with this name; 0 if not open.
+  [[nodiscard]] std::uint64_t open_span_id(std::string_view phase) const;
+
+  // -- cross-hop context ----------------------------------------------------
+
+  /// Adopts an upstream context: the trace id and sampled bit come from the
+  /// caller's hop and the root span parents under `ctx.parent_span_id`.
+  void adopt(const TraceContext& ctx);
+  /// The context to propagate downstream, parenting the next hop under
+  /// `parent_span` (typically the open "fetch" span).
+  [[nodiscard]] TraceContext context(std::uint64_t parent_span) const;
+
+  void set_sampled(bool sampled) { sampled_ = sampled; }
+  [[nodiscard]] bool sampled() const { return sampled_; }
+  [[nodiscard]] std::uint64_t parent_span() const { return parent_span_id_; }
+
+  // -- annotations ----------------------------------------------------------
+
+  /// Sets a trace-level attribute (path fingerprint, fallback reason,
+  /// breaker state, ...) surfaced on the root span in exports. Last write to
+  /// a key wins.
+  void set_attribute(std::string_view key, std::string_view value);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attrs_;
+  }
+  [[nodiscard]] std::string_view attribute(std::string_view key) const;
+
+  /// Terminal outcome (ok / timeout / shed / breaker-open / fault / blocked).
+  /// First writer wins: the code that *decided* the fate of the request sets
+  /// it; later generic finalization can't overwrite it.
+  void set_outcome(std::string_view outcome);
+  [[nodiscard]] std::string_view outcome() const { return outcome_; }
 
   /// Records every finished span into `registry` as a sample of the
   /// histogram named `<prefix><phase>`.
   void flush_to(MetricsRegistry& registry, std::string_view prefix) const;
+
+  /// Emits the root span plus all finished phase spans to the collector,
+  /// tagged with `component`. The root span runs created_at() .. `end` and
+  /// carries the attributes and outcome. Call after end_all().
+  void report_to(TraceCollector& collector, std::string_view component, TimePoint end) const;
 
   /// "detect=1.20ms select=0.35ms fetch=12.41ms" (finished spans, in order).
   [[nodiscard]] std::string to_string() const;
@@ -72,6 +147,7 @@ class RequestTrace {
   struct OpenSpan {
     std::string name;
     TimePoint start;
+    std::uint64_t span_id;
   };
 
   sim::Simulator& sim_;
@@ -79,6 +155,11 @@ class RequestTrace {
   TimePoint created_at_;
   std::vector<OpenSpan> open_;
   std::vector<SpanRecord> finished_;
+  std::uint64_t parent_span_id_ = 0;  ///< Adopted upstream parent; 0 = root.
+  bool sampled_ = true;
+  std::uint64_t next_span_seq_ = 2;  ///< 1 is the root span.
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::string outcome_;
 };
 
 using TracePtr = std::shared_ptr<RequestTrace>;

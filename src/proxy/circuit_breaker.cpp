@@ -25,6 +25,7 @@ bool CircuitBreaker::allow(const std::string& key) {
       if (entry.probe_in_flight) return false;
       entry.probe_in_flight = true;
       count("breaker.probes");
+      event("probe", key);
       return true;
   }
   return true;
@@ -34,7 +35,10 @@ void CircuitBreaker::record_success(const std::string& key) {
   if (config_.failure_threshold == 0) return;
   const auto it = entries_.find(key);
   if (it == entries_.end()) return;
-  if (it->second.state != State::kClosed) count("breaker.closes");
+  if (it->second.state != State::kClosed) {
+    count("breaker.closes");
+    event("close", key);
+  }
   entries_.erase(it);
 }
 
@@ -51,6 +55,7 @@ void CircuitBreaker::record_failure(const std::string& key) {
     entry.opened_at = sim_.now();
     entry.probe_in_flight = false;
     count("breaker.trips");
+    event("trip", key + " after " + std::to_string(entry.consecutive_failures) + " failures");
   }
 }
 
@@ -82,7 +87,7 @@ std::string CircuitBreaker::snapshot_json() const {
   for (const auto& [key, entry] : entries_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + key + "\":{\"state\":\"" + std::string(state_name(entry.state)) +
+    out += strings::json_quote(key) + ":{\"state\":\"" + std::string(state_name(entry.state)) +
            "\",\"consecutive_failures\":" + std::to_string(entry.consecutive_failures);
     if (entry.state != State::kClosed) {
       out += ",\"opened_at_ms\":" + strings::format("%.3f", entry.opened_at.millis());
@@ -95,6 +100,12 @@ std::string CircuitBreaker::snapshot_json() const {
 
 void CircuitBreaker::count(const std::string& name) {
   if (metrics_ != nullptr) metrics_->counter(name).inc();
+}
+
+void CircuitBreaker::event(std::string_view kind, std::string detail) {
+  if (metrics_ != nullptr) {
+    metrics_->events().record(sim_.now(), "breaker", kind, std::move(detail));
+  }
 }
 
 }  // namespace pan::proxy

@@ -57,6 +57,8 @@ class CircuitBreaker {
   };
 
   void count(const std::string& name);
+  /// Flight-recorder event (no-op without a registry).
+  void event(std::string_view kind, std::string detail);
   [[nodiscard]] static std::string_view state_name(State state);
 
   sim::Simulator& sim_;

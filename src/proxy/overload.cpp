@@ -40,7 +40,9 @@ std::string client_of(const http::HttpRequest& request) {
 
 AimdController::AimdController(std::string name, AimdConfig config,
                                obs::MetricsRegistry& metrics)
-    : config_(config),
+    : name_(name),
+      config_(config),
+      metrics_(metrics),
       narrowed_(metrics.counter("overload." + name + ".narrowed")),
       widened_(metrics.counter("overload." + name + ".widened")),
       limit_min_(metrics.gauge("overload." + name + ".limit_min")) {}
@@ -72,9 +74,16 @@ void AimdController::record(const std::string& key, Duration latency, bool ok) {
     // window so queued work waits at the pool instead of piling onto it.
     const double next = std::max(min_limit, w.limit * config_.decrease_factor);
     if (next < w.limit) {
+      const bool hit_floor = next <= min_limit && w.limit > min_limit;
       w.limit = next;
       ++w.narrowed;
       narrowed_.inc();
+      // Only the floor-hit transition is a flight event: recording every
+      // narrow would wash the ring with routine AIMD adjustments.
+      if (hit_floor && sim_ != nullptr) {
+        metrics_.events().record(sim_->now(), "aimd", "floor",
+                                 name_ + " " + key + " window at min");
+      }
       PAN_DEBUG(kLog) << key << ": window narrowed to " << w.limit;
     }
   } else {
@@ -93,7 +102,7 @@ std::string AimdController::snapshot_json() const {
   for (const auto& [key, w] : windows_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + key + "\":" +
+    out += strings::json_quote(key) + ":" +
            strings::format("{\"limit\":%zu,\"narrowed\":%llu}",
                            static_cast<std::size_t>(std::floor(w.limit)),
                            static_cast<unsigned long long>(w.narrowed));
@@ -108,6 +117,8 @@ OverloadController::OverloadController(sim::Simulator& sim, obs::MetricsRegistry
                                        OverloadConfig config, std::string prefix)
     : sim_(sim),
       config_(config),
+      metrics_(metrics),
+      prefix_(prefix),
       pressure_updated_(sim.now()),
       admitted_(metrics.counter(prefix + ".admitted")),
       rejected_rate_(metrics.counter(prefix + ".rejected_rate")),
@@ -167,6 +178,8 @@ void OverloadController::update_pressure() {
       brownout_ = true;
       brownout_entered_.inc();
       brownout_gauge_.set(1.0);
+      metrics_.events().record(sim_.now(), "overload", "brownout-enter",
+                               strings::format("%s pressure=%.2f", prefix_.c_str(), pressure_));
       PAN_DEBUG(kLog) << "brownout entered (pressure " << pressure_ << ")";
     }
   } else {
@@ -175,6 +188,8 @@ void OverloadController::update_pressure() {
       brownout_ = false;
       brownout_exited_.inc();
       brownout_gauge_.set(0.0);
+      metrics_.events().record(sim_.now(), "overload", "brownout-exit",
+                               strings::format("%s pressure=%.2f", prefix_.c_str(), pressure_));
       PAN_DEBUG(kLog) << "brownout exited (pressure " << pressure_ << ")";
     }
   }

@@ -85,6 +85,10 @@ class AimdController final : public http::ConcurrencyLimiter {
   [[nodiscard]] std::size_t limit(const std::string& key) override;
   void record(const std::string& key, Duration latency, bool ok) override;
 
+  /// Clock for flight-recorder timestamps (the ConcurrencyLimiter interface
+  /// has no time parameter). Unset: floor-hit events are not recorded.
+  void set_simulator(sim::Simulator* sim) { sim_ = sim; }
+
   /// {"<origin>":{"limit":N,"narrowed":N},...} in key order.
   [[nodiscard]] std::string snapshot_json() const;
   [[nodiscard]] const AimdConfig& config() const { return config_; }
@@ -97,7 +101,10 @@ class AimdController final : public http::ConcurrencyLimiter {
   Window& window(const std::string& key);
   void set_min_gauge();
 
+  std::string name_;
   AimdConfig config_;
+  obs::MetricsRegistry& metrics_;
+  sim::Simulator* sim_ = nullptr;
   std::map<std::string, Window> windows_;  // ordered: deterministic JSON
   obs::Counter& narrowed_;
   obs::Counter& widened_;
@@ -179,6 +186,8 @@ class OverloadController {
 
   sim::Simulator& sim_;
   OverloadConfig config_;
+  obs::MetricsRegistry& metrics_;
+  std::string prefix_;
   std::size_t in_flight_ = 0;
   std::map<std::string, Bucket> buckets_;
   double pressure_ = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/strings.hpp"
+
 namespace pan::proxy {
 
 namespace {
@@ -73,6 +75,9 @@ void PathSelector::quarantine(const scion::Path& path, Duration ttl) {
   const TimePoint now = daemon_.simulator().now();
   prune_expired_quarantines(now);
   metrics_->counter("selector.quarantines").inc();
+  metrics_->events().record(now, "selector", "quarantine",
+                            strings::format("%s ttl=%.0fms", path.fingerprint().c_str(),
+                                            ttl.millis()));
   TimePoint& expires = quarantined_[path.fingerprint()];
   expires = std::max(expires, now + ttl);
   metrics_->gauge("selector.quarantines_active")

@@ -45,6 +45,7 @@ ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
       owned_metrics_(config_.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
                                                 : nullptr),
       metrics_(config_.metrics != nullptr ? config_.metrics : owned_metrics_.get()),
+      collector_(config_.collector),
       overload_(stack.host().simulator(), *metrics_, config_.overload, "revproxy.overload"),
       backend_limiter_("revproxy.backend", config_.backend_aimd, *metrics_),
       backend_pool_(stack.host().simulator(), *metrics_,
@@ -52,6 +53,7 @@ ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
                                                          config_.backend_aimd.max_limit > 0
                                                      ? &backend_limiter_
                                                      : nullptr)) {
+  backend_limiter_.set_simulator(&stack_.host().simulator());
   server_ = std::make_unique<http::ScionHttpServer>(
       stack_, listen_port,
       [this](const http::HttpRequest& request, http::HttpServer::Respond respond) {
@@ -60,8 +62,52 @@ ReverseProxy::ReverseProxy(scion::ScionStack& stack, std::uint16_t listen_port,
       config_.quic);
 }
 
+void ReverseProxy::record_hop(const HopTrace& hop, int status, std::string_view outcome,
+                              bool backend_ran) {
+  const TimePoint now = stack_.host().simulator().now();
+  if (backend_ran) {
+    obs::CollectedSpan backend;
+    backend.trace_id = hop.ctx.trace_id;
+    backend.span_id = hop.backend_span;
+    backend.parent_id = hop.relay_span;
+    backend.name = "backend";
+    backend.component = "revproxy";
+    backend.start = hop.backend_start;
+    backend.duration = now - hop.backend_start;
+    backend.attrs.emplace_back("status", std::to_string(status));
+    collector_->record_span(std::move(backend));
+  }
+  obs::CollectedSpan relay;
+  relay.trace_id = hop.ctx.trace_id;
+  relay.span_id = hop.relay_span;
+  relay.parent_id = hop.ctx.parent_span_id;
+  relay.name = "relay";
+  relay.component = "revproxy";
+  relay.start = hop.ingress;
+  relay.duration = now - hop.ingress;
+  relay.attrs.emplace_back("status", std::to_string(status));
+  relay.attrs.emplace_back("outcome", std::string(outcome));
+  collector_->record_span(std::move(relay));
+}
+
 void ReverseProxy::relay(const http::HttpRequest& request,
                          http::HttpServer::Respond respond) {
+  // Honor the client hop's trace context: this hop's spans parent under the
+  // SKIP proxy's fetch span. Span ids live in this process's hop prefix, so
+  // they can't collide with ids minted on the client side.
+  std::shared_ptr<HopTrace> hop;
+  if (collector_ != nullptr) {
+    if (const auto header = request.headers.get(std::string(obs::kTraceHeader))) {
+      if (const auto ctx = obs::parse_trace_context(*header)) {
+        hop = std::make_shared<HopTrace>();
+        hop->ctx = *ctx;
+        hop->ingress = stack_.host().simulator().now();
+        hop->relay_span = kHopReverseProxy | next_span_seq_++;
+        hop->backend_span = kHopReverseProxy | next_span_seq_++;
+      }
+    }
+  }
+
   // Admission before any work is queued: a rejected request costs one
   // synthesized response, not a backend slot.
   const OverloadController::Admission admission =
@@ -69,6 +115,7 @@ void ReverseProxy::relay(const http::HttpRequest& request,
   if (admission.verdict != OverloadController::Verdict::kAdmit) {
     ++rejected_;
     const bool rate = admission.verdict == OverloadController::Verdict::kRejectRate;
+    if (hop != nullptr) record_hop(*hop, rate ? 429 : 503, "shed", /*backend_ran=*/false);
     respond(http::make_retry_after_response(
         rate ? 429 : 503, admission.retry_after,
         rate ? "reverse proxy: per-client rate limit exceeded"
@@ -79,24 +126,28 @@ void ReverseProxy::relay(const http::HttpRequest& request,
   http::SubmitOptions options;
   options.priority = static_cast<std::uint8_t>(priority_of(request));
   options.deadline = relay_deadline(request);
-  auto forward = [this, request, options, respond = std::move(respond)]() mutable {
+  auto forward = [this, request, options, hop, respond = std::move(respond)]() mutable {
+    if (hop != nullptr) hop->backend_start = stack_.host().simulator().now();
     backend_pool_.submit(
         kBackendKey, request, options,
-        [this, respond = std::move(respond)](Result<http::HttpResponse> result) {
+        [this, hop, respond = std::move(respond)](Result<http::HttpResponse> result) {
           overload_.release();
           ++relayed_;
           if (!result.ok()) {
             ++backend_errors_;
             if (http::OriginPool::is_shed(result.error())) {
               metrics_->counter("revproxy.overload.shed_requests").inc();
+              if (hop != nullptr) record_hop(*hop, 503, "shed", /*backend_ran=*/true);
               respond(http::make_retry_after_response(
                   503, config_.overload.retry_after,
                   "reverse proxy shed under load: " + result.error()));
             } else if (http::OriginPool::is_expired(result.error()) ||
                        http::OriginPool::is_queue_timeout(result.error())) {
+              if (hop != nullptr) record_hop(*hop, 504, "timeout", /*backend_ran=*/true);
               respond(http::make_text_response(
                   504, "reverse proxy: deadline expired: " + result.error()));
             } else {
+              if (hop != nullptr) record_hop(*hop, 502, "fault", /*backend_ran=*/true);
               respond(http::make_text_response(502, "reverse proxy: " + result.error()));
             }
             return;
@@ -109,6 +160,10 @@ void ReverseProxy::relay(const http::HttpRequest& request,
             response.headers.set("Path-Preference", *config_.inject_path_preference);
           }
           response.headers.set("Via", "pan-reverse-proxy");
+          if (hop != nullptr) {
+            record_hop(*hop, response.status, response.status >= 400 ? "error" : "ok",
+                       /*backend_ran=*/true);
+          }
           respond(std::move(response));
         },
         [this]() {

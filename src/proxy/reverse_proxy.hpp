@@ -12,6 +12,8 @@
 #include "http/endpoints.hpp"
 #include "http/origin_pool.hpp"
 #include "http/strict_scion.hpp"
+#include "obs/collector.hpp"
+#include "obs/trace.hpp"
 #include "proxy/overload.hpp"
 
 namespace pan::proxy {
@@ -43,6 +45,12 @@ struct ReverseProxyConfig {
   /// Shared metrics registry (`pool.revproxy.backend.*` instruments). When
   /// null the proxy owns a private one.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Trace collector for this hop's spans. When a relayed request carries an
+  /// X-Skip-Trace header, the reverse proxy records a "relay" span (parented
+  /// under the client hop's fetch span) and a "backend" span beneath it.
+  /// Null disables recording. Sharing the client proxy's collector is what
+  /// assembles the two hops into one tree.
+  obs::TraceCollector* collector = nullptr;
 };
 
 class ReverseProxy {
@@ -64,7 +72,24 @@ class ReverseProxy {
   [[nodiscard]] http::OriginPool& backend_pool() { return backend_pool_; }
 
  private:
+  /// Span-id hop prefix for this process (the client process mints under
+  /// obs::RequestTrace::kHopClient = 1<<56).
+  static constexpr std::uint64_t kHopReverseProxy = 2ULL << 56;
+
+  /// Per-relay tracing state (present when the request carried a parseable
+  /// X-Skip-Trace header and a collector is configured).
+  struct HopTrace {
+    obs::TraceContext ctx;
+    TimePoint ingress;
+    TimePoint backend_start;
+    std::uint64_t relay_span = 0;
+    std::uint64_t backend_span = 0;
+  };
+
   void relay(const http::HttpRequest& request, http::HttpServer::Respond respond);
+  /// Records the relay (and optionally backend) spans for a finished relay.
+  void record_hop(const HopTrace& hop, int status, std::string_view outcome,
+                  bool backend_ran);
   [[nodiscard]] static http::OriginPoolConfig backend_pool_config(
       const ReverseProxyConfig& config, http::ConcurrencyLimiter* limiter);
   /// Queue-shedding deadline for one relayed request (backend_budget capped
@@ -76,10 +101,12 @@ class ReverseProxy {
   ReverseProxyConfig config_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;  // set before the overload layer
+  obs::TraceCollector* collector_ = nullptr;
   OverloadController overload_;
   AimdController backend_limiter_;
   http::OriginPool backend_pool_;
   std::unique_ptr<http::ScionHttpServer> server_;
+  std::uint64_t next_span_seq_ = 1;
   std::uint64_t relayed_ = 0;
   std::uint64_t backend_errors_ = 0;
   std::uint64_t rejected_ = 0;

@@ -92,6 +92,11 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
       owned_metrics_(config.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
                                                : nullptr),
       metrics_(config.metrics != nullptr ? config.metrics : owned_metrics_.get()),
+      owned_collector_(config.collector == nullptr
+                           ? std::make_unique<obs::TraceCollector>(config.collector_config)
+                           : nullptr),
+      collector_(config.collector != nullptr ? config.collector : owned_collector_.get()),
+      slo_(*metrics_),
       detector_(sim, resolver),
       selector_(daemon, metrics_),
       breaker_(sim, CircuitBreakerConfig{config_.breaker_threshold, config_.breaker_open_ttl},
@@ -110,14 +115,25 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
                                                      config_.scion_aimd.max_limit > 0
                                                  ? &scion_limiter_
                                                  : nullptr)) {
+  legacy_limiter_.set_simulator(&sim_);
+  scion_limiter_.set_simulator(&sim_);
   scmp_subscription_ = stack_.subscribe_scmp(
       [this](const scion::ScmpMessage& message) { on_scmp(message); });
+  std::vector<obs::SloObjective> objectives =
+      config_.slos.empty() ? obs::SloMonitor::default_proxy_objectives() : config_.slos;
+  for (obs::SloObjective& objective : objectives) slo_.add(std::move(objective));
 }
 
 SkipProxy::~SkipProxy() { stack_.unsubscribe_scmp(scmp_subscription_); }
 
 obs::TracePtr SkipProxy::make_trace() {
-  return std::make_shared<obs::RequestTrace>(sim_, next_trace_id_++);
+  // Trace ids must stay unique when several proxy instances share one
+  // TraceCollector (the figure benches build a fresh session per trial):
+  // salt the per-proxy sequence with a process-wide instance number. The
+  // sim is single-threaded, so this stays deterministic run to run.
+  static std::uint64_t instance_seq = 0;
+  if (trace_id_base_ == 0) trace_id_base_ = ++instance_seq << 32;
+  return std::make_shared<obs::RequestTrace>(sim_, trace_id_base_ | next_trace_id_++);
 }
 
 ProxyStats SkipProxy::stats() const {
@@ -225,6 +241,24 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
   // host, so its requests ride in the document band.
   req->priority = options.strict ? RequestPriority::kDocument : priority_of(request);
 
+  // Cross-hop trace context: a request arriving with an X-Skip-Trace header
+  // but no in-process trace object joins the caller's trace (id, parent
+  // span, sampled bit). Fresh traces get a head-sampling verdict by
+  // priority class; errors/sheds/fallbacks force retention at finalize
+  // regardless.
+  bool adopted = false;
+  if (options.trace == nullptr) {
+    if (const auto header = request.headers.get(std::string(obs::kTraceHeader))) {
+      if (const auto ctx = obs::parse_trace_context(*header)) {
+        req->trace->adopt(*ctx);
+        adopted = true;
+      }
+    }
+  }
+  if (!adopted) {
+    req->trace->set_sampled(collector_->head_sample(static_cast<unsigned>(req->priority)));
+  }
+
   // Admission control runs before any work (timer, IPC defer) is queued:
   // rejected requests cost one synthesized response and nothing else. The
   // proxy's own control endpoints are never load-shed — they are how
@@ -242,6 +276,7 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
           rate ? "admission: per-client rate limit exceeded"
                : std::string("admission: proxy over capacity (") +
                      to_string(req->priority) + " band full)");
+      req->trace->set_outcome("shed");
       req->trace->begin("ipc");
       finish(req, std::move(result));
       return;
@@ -255,6 +290,7 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
   sim_.schedule_at(req->deadline, [this, req] {
     if (req->done) return;
     metrics_->counter("proxy.timeouts").inc();
+    req->trace->set_outcome("timeout");
     ProxyResult result;
     result.transport = TransportUsed::kError;
     result.response = synthetic_error(504, "proxy request deadline exceeded");
@@ -294,8 +330,45 @@ void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
     req->trace->end("ipc");
     req->trace->flush_to(*metrics_, "proxy.phase.");
     metrics_->histogram("proxy.request_total").record(sim_.now() - req->trace->created_at());
+    // Terminal outcome: the site that decided the request's fate set it
+    // (timeout / shed / breaker-open / ...); derive from the response for
+    // the paths that end without one.
+    if (req->trace->outcome().empty()) {
+      const int status = result.response.status;
+      if (result.transport == TransportUsed::kBlocked) {
+        req->trace->set_outcome("blocked");
+      } else if (status == 504) {
+        req->trace->set_outcome("timeout");
+      } else if (status >= 500) {
+        req->trace->set_outcome("fault");
+      } else if (status >= 400) {
+        req->trace->set_outcome("error");
+      } else {
+        req->trace->set_outcome("ok");
+      }
+    }
+    result.outcome = std::string(req->trace->outcome());
     result.trace_id = req->trace->id();
     result.spans = req->trace->spans();
+    // Export the span tree. The proxy's own control endpoints are not
+    // traced — /skip/trace reading the collector must not grow it.
+    if (result.transport != TransportUsed::kInternal) {
+      if (result.fell_back) req->trace->set_attribute("fell_back", "true");
+      req->trace->report_to(*collector_, "skip-proxy", sim_.now());
+      const int status = result.response.status;
+      const bool keep = req->trace->sampled() || status >= 400 || result.fell_back;
+      collector_->finalize(req->trace->id(), req->trace->outcome(), keep);
+      if (status >= 500) {
+        // 5xx auto-dump: the flight recorder's recent history rides with the
+        // trace, so a failed chaos scenario carries its own context.
+        metrics_->events().record(
+            sim_.now(), "proxy", "5xx",
+            strings::format("status=%d trace=%llu outcome=%s", status,
+                            static_cast<unsigned long long>(req->trace->id()),
+                            result.outcome.c_str()));
+        collector_->attach_events(req->trace->id(), metrics_->events().last(32));
+      }
+    }
     req->on_result(std::move(result));
   });
 }
@@ -320,7 +393,8 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
     for (const PooledScionOrigin& origin : scion_pool_snapshot()) {
       if (!first) body += ",";
       first = false;
-      body += "\"" + origin.key + "\":\"" + origin.path_fingerprint + "\"";
+      body += strings::json_quote(origin.key) + ":" +
+              strings::json_quote(origin.path_fingerprint);
     }
     body += "}}";
     result.response = http::make_response(200, from_string(body), "application/json");
@@ -334,22 +408,46 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
     for (const auto& [fingerprint, expires] : selector_.quarantine_snapshot()) {
       if (!first) body += ",";
       first = false;
-      body += "\"" + fingerprint +
-              "\":" + strings::format("%.3f", expires.millis());
+      body += strings::json_quote(fingerprint) + ":" +
+              strings::format("%.3f", expires.millis());
     }
     body += "},\"revocations_active\":" + std::to_string(selector_.active_revocations());
     body += ",\"overload\":" + overload_.snapshot_json();
     body += ",\"adaptive\":{\"legacy\":" + legacy_limiter_.snapshot_json() +
             ",\"scion\":" + scion_limiter_.snapshot_json() + "}";
+    slo_.evaluate(sim_.now());
+    body += ",\"slo\":" + slo_.snapshot_json();
     body += ",\"faults\":{";
     first = true;
     for (const auto& [name, counter] : metrics_->counters()) {
       if (!strings::starts_with(name, "fault.")) continue;
       if (!first) body += ",";
       first = false;
-      body += "\"" + name + "\":" + std::to_string(counter.value());
+      body += strings::json_quote(name) + ":" + std::to_string(counter.value());
     }
     body += "}}";
+    result.response = http::make_response(200, from_string(body), "application/json");
+  } else if (request.target == "/skip/traces") {
+    result.response = http::make_response(200, from_string(collector_->spans_jsonl()),
+                                          "application/x-ndjson");
+  } else if (strings::starts_with(request.target, "/skip/trace/")) {
+    const auto id = strings::parse_u64(
+        std::string_view(request.target).substr(std::string_view("/skip/trace/").size()));
+    const obs::TraceRecord* record = id.ok() ? collector_->find(id.value()) : nullptr;
+    if (record == nullptr) {
+      result.response = synthetic_error(404, "no such trace: " + request.target);
+    } else {
+      result.response = http::make_response(
+          200, from_string(obs::TraceCollector::chrome_trace_json(*record)),
+          "application/json");
+    }
+  } else if (request.target == "/skip/debug") {
+    // The flight-recorder snapshot plus collector and SLO state — the first
+    // stop when a scenario goes sideways.
+    slo_.evaluate(sim_.now());
+    std::string body = "{\"events\":" + metrics_->events().snapshot_json();
+    body += ",\"collector\":" + collector_->stats_json();
+    body += ",\"slo\":" + slo_.snapshot_json() + "}";
     result.response = http::make_response(200, from_string(body), "application/json");
   } else {
     result.response = synthetic_error(404, "unknown proxy endpoint: " + request.target);
@@ -424,6 +522,7 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
     // path until pressure clears. Strict requests keep their guarantee.
     if (!options.strict && host.ip.has_value() && overload_.brownout()) {
       metrics_->counter("overload.brownout_bypass").inc();
+      req->trace->set_attribute("brownout", "bypass");
       fetch_over_ip(url, std::move(request), *host.ip, /*fell_back=*/false, req);
       return;
     }
@@ -439,17 +538,21 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
     // skip the SCION attempt entirely.
     if (!breaker_.allow(ctx->url.authority())) {
       metrics_->counter("proxy.breaker_short_circuits").inc();
+      req->trace->set_attribute("breaker", "open");
       if (req->strict) {
+        req->trace->set_outcome("breaker-open");
         fail_strict_unavailable(req, ctx->url.host, "circuit breaker open");
         return;
       }
       if (ctx->fallback_ip.has_value()) {
         metrics_->counter("proxy.fallbacks").inc();
+        req->trace->set_attribute("fallback_reason", "breaker-open");
         req->trace->begin("fallback");
         fetch_over_ip(ctx->url, std::move(ctx->request), *ctx->fallback_ip,
                       /*fell_back=*/true, req);
         return;
       }
+      req->trace->set_outcome("breaker-open");
       ProxyResult result;
       result.response = http::make_retry_after_response(
           503, config_.breaker_open_ttl,
@@ -558,6 +661,8 @@ bool SkipProxy::schedule_scion_retry(const ScionContextPtr& ctx, const RequestPt
 void SkipProxy::fail_strict_unavailable(const RequestPtr& req, const std::string& host,
                                         const std::string& why) {
   metrics_->counter("proxy.strict_unavailable").inc();
+  req->trace->set_attribute("strict_unavailable", why);
+  req->trace->set_outcome("fault");
   ProxyResult result;
   result.transport = TransportUsed::kBlocked;
   result.response = http::make_retry_after_response(
@@ -581,6 +686,7 @@ void SkipProxy::handle_scion_failure(const ScionContextPtr& ctx, const RequestPt
   if (schedule_scion_retry(ctx, req)) return;
   if (!req->strict && ctx->fallback_ip.has_value()) {
     metrics_->counter("proxy.fallbacks").inc();
+    req->trace->set_attribute("fallback_reason", error);
     req->trace->begin("fallback");
     fetch_over_ip(ctx->url, ctx->request, *ctx->fallback_ip, /*fell_back=*/true, req);
     return;
@@ -589,6 +695,7 @@ void SkipProxy::handle_scion_failure(const ScionContextPtr& ctx, const RequestPt
     fail_strict_unavailable(req, ctx->url.host, error);
     return;
   }
+  req->trace->set_outcome("fault");
   ProxyResult out;
   out.response = synthetic_error(502, "SCION fetch failed: " + error);
   finish(req, std::move(out));
@@ -614,6 +721,19 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
         std::to_string(static_cast<std::int64_t>(remaining_budget.millis())));
   }
   req->trace->begin("fetch");
+  // Propagate the trace context so the reverse proxy's spans parent under
+  // this hop's fetch span; annotate the trace with the path actually chosen.
+  origin_request.headers.set(
+      std::string(obs::kTraceHeader),
+      req->trace->context(req->trace->open_span_id("fetch")).to_header());
+  req->trace->set_attribute("path", path.fingerprint());
+  std::string isd_seq;
+  for (const scion::PathHop& hop : path.hops()) {
+    if (!isd_seq.empty()) isd_seq += '>';
+    isd_seq += std::to_string(hop.isd_as.isd());
+  }
+  req->trace->set_attribute("isd_seq", isd_seq);
+  req->trace->set_attribute("compliant", compliant ? "yes" : "no");
   auto factory = [this, key, url, addr, path, req]() {
     // 0-RTT resumption: origins we have spoken SCION to before accept early
     // data, saving a handshake round trip on reconnects.
@@ -659,6 +779,8 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
       if (schedule_scion_retry(ctx, req)) return;
       if (!req->strict && ctx->fallback_ip.has_value()) {
         metrics_->counter("proxy.fallbacks").inc();
+        req->trace->set_attribute("fallback_reason",
+                                  strings::format("gateway-%d", response.status));
         req->trace->begin("fallback");
         fetch_over_ip(ctx->url, ctx->request, *ctx->fallback_ip, /*fell_back=*/true, req);
         return;
@@ -700,6 +822,9 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
     selector_.record_use(*final_path, response.body.size(), sim_.now());
     resumption_tickets_.insert(url.authority());
     metrics_->counter("proxy.bytes_scion").inc(response.body.size());
+    // An SCMP-driven migration may have moved the connection off the path
+    // chosen at selection time; the trace reports the one actually used.
+    req->trace->set_attribute("path", final_path->fingerprint());
 
     response.headers.set("X-Skip-Transport", "scion");
     response.headers.set("X-Skip-Path", final_path->fingerprint());
@@ -762,18 +887,23 @@ void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, n
             // Deadline-aware shed: failed fast while retrying elsewhere (or
             // backing off) could still help — a 503, never a hung 504.
             metrics_->counter("overload.shed_requests").inc();
+            req->trace->set_outcome("shed");
             out.response = http::make_retry_after_response(
                 503, config_.overload.retry_after, "shed under load: " + result.error());
           } else if (http::OriginPool::is_expired(result.error())) {
             metrics_->counter("proxy.timeouts").inc();
+            req->trace->set_outcome("timeout");
             out.response = synthetic_error(504, "deadline expired: " + result.error());
           } else if (http::OriginPool::is_queue_timeout(result.error())) {
             metrics_->counter("proxy.timeouts").inc();
+            req->trace->set_outcome("timeout");
             out.response = synthetic_error(504, "legacy fetch timed out: " + result.error());
           } else if (http::OriginPool::is_fast_fail(result.error())) {
+            req->trace->set_outcome("fault");
             out.response = http::make_retry_after_response(
                 503, config_.pool_backoff_cooldown, "origin unavailable: " + result.error());
           } else {
+            req->trace->set_outcome("fault");
             out.response = synthetic_error(502, "legacy fetch failed: " + result.error());
           }
           finish(req, std::move(out));

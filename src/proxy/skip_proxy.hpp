@@ -48,6 +48,8 @@
 #include "http/file_server.hpp"
 #include "http/origin_pool.hpp"
 #include "http/url.hpp"
+#include "obs/collector.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "proxy/circuit_breaker.hpp"
 #include "proxy/detector.hpp"
@@ -121,6 +123,16 @@ struct ProxyConfig {
   /// figure benches inject a long-lived registry here so per-phase latency
   /// aggregates across per-trial proxies.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Shared trace collector. When null the proxy owns a private one; the
+  /// benches and the two-hop scenarios share a collector between the SKIP
+  /// proxy and the reverse proxy so a trace's spans assemble in one place.
+  obs::TraceCollector* collector = nullptr;
+  /// Head-sampling knobs for the owned collector (ignored when `collector`
+  /// is injected — the injected collector keeps its own config).
+  obs::CollectorConfig collector_config;
+  /// SLO objectives evaluated on the registry; empty installs
+  /// obs::SloMonitor::default_proxy_objectives().
+  std::vector<obs::SloObjective> slos;
   transport::TransportConfig tcp = http::default_tcp_config();
   transport::TransportConfig quic = http::default_quic_config();
 };
@@ -156,6 +168,9 @@ struct ProxyResult {
   /// handshake / fetch / fallback), in completion order.
   std::vector<obs::SpanRecord> spans;
   std::uint64_t trace_id = 0;
+  /// Terminal outcome (ok / timeout / shed / breaker-open / fault / blocked),
+  /// as recorded on the trace.
+  std::string outcome;
 
   /// Sum of the finished spans named `phase` (zero when absent).
   [[nodiscard]] Duration phase_total(std::string_view phase) const;
@@ -233,6 +248,8 @@ class SkipProxy {
   [[nodiscard]] PathSelector& selector() { return selector_; }
   [[nodiscard]] CircuitBreaker& breaker() { return breaker_; }
   [[nodiscard]] OverloadController& overload() { return overload_; }
+  [[nodiscard]] obs::TraceCollector& collector() { return *collector_; }
+  [[nodiscard]] obs::SloMonitor& slo() { return slo_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] ProxyStats stats() const;
@@ -333,6 +350,9 @@ class SkipProxy {
   ProxyConfig config_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;  // set before detector_/selector_
+  std::unique_ptr<obs::TraceCollector> owned_collector_;
+  obs::TraceCollector* collector_ = nullptr;
+  obs::SloMonitor slo_;
   ScionDetector detector_;
   PathSelector selector_;
   CircuitBreaker breaker_;
@@ -349,6 +369,7 @@ class SkipProxy {
   /// Origins we have completed a SCION exchange with (0-RTT tickets).
   std::unordered_set<std::string> resumption_tickets_;
   std::uint64_t scmp_subscription_ = 0;
+  std::uint64_t trace_id_base_ = 0;  ///< Process-unique salt, set lazily.
   std::uint64_t next_trace_id_ = 1;
 };
 

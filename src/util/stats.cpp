@@ -9,6 +9,9 @@ namespace {
 double interp_sorted(const std::vector<double>& sorted, double pct) {
   if (sorted.empty()) return 0;
   if (sorted.size() == 1) return sorted[0];
+  // Out-of-range pct would index past the ends (pct < 0 underflows the rank
+  // cast; pct > 100 walks off the back): clamp to the observed extremes.
+  pct = std::clamp(pct, 0.0, 100.0);
   const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));

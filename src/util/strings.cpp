@@ -92,6 +92,29 @@ Result<std::uint64_t> parse_hex_u64(std::string_view s) {
   return value;
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view s) { return '"' + json_escape(s) + '"'; }
+
 std::string format(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

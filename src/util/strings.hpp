@@ -32,4 +32,12 @@ namespace pan::strings {
 /// printf-style formatting into a std::string.
 [[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// JSON string-escapes `s` (quotes, backslashes, control characters) without
+/// surrounding quotes. Every module that emits JSON by hand must route string
+/// values through this — origin keys, fault verb args and path fingerprints
+/// are not guaranteed quote-free.
+[[nodiscard]] std::string json_escape(std::string_view s);
+/// json_escape with surrounding double quotes: `"…"`.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
 }  // namespace pan::strings

@@ -1,9 +1,17 @@
 // Tests for the observability subsystem: metrics registry instruments,
-// histogram percentile estimation, JSON dumps, and request traces.
+// histogram percentile estimation, JSON dumps, request traces, the trace
+// collector + exporters, the flight recorder, and SLO burn-rate monitoring.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "obs/collector.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
 
 namespace pan::obs {
 namespace {
@@ -185,6 +193,413 @@ TEST(RequestTraceTest, FlushRecordsPerPhaseHistograms) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->count(), 1u);
   EXPECT_EQ(hist->snapshot().max, milliseconds(20));
+}
+
+// ------------------------------------------------- percentile edge cases --
+
+TEST(HistogramTest, PercentileWithZeroOneTwoSamples) {
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(0), Duration::zero());
+  EXPECT_EQ(empty.percentile(50), Duration::zero());
+  EXPECT_EQ(empty.percentile(100), Duration::zero());
+
+  Histogram one;
+  one.record(milliseconds(42));
+  // A single sample is every percentile.
+  EXPECT_EQ(one.percentile(0), milliseconds(42));
+  EXPECT_EQ(one.percentile(50), milliseconds(42));
+  EXPECT_EQ(one.percentile(100), milliseconds(42));
+
+  Histogram two;
+  two.record(milliseconds(10));
+  two.record(milliseconds(30));
+  // With two samples every percentile stays inside the observed range and
+  // the extremes are exact.
+  EXPECT_EQ(two.percentile(0), milliseconds(10));
+  EXPECT_EQ(two.percentile(100), milliseconds(30));
+  EXPECT_GE(two.percentile(50), milliseconds(10));
+  EXPECT_LE(two.percentile(50), milliseconds(30));
+  // Out-of-range pct is clamped, not UB.
+  EXPECT_EQ(two.percentile(-5), two.percentile(0));
+  EXPECT_EQ(two.percentile(250), two.percentile(100));
+}
+
+TEST(StatsPercentileTest, ZeroOneTwoSamplesAndOutOfRangePct) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, 100), 3.0);
+  // Out-of-range pct clamps to the extremes instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, 400), 3.0);
+}
+
+// ------------------------------------------------------------ json escape --
+
+TEST(JsonEscapeTest, HostileStringsAreEscaped) {
+  EXPECT_EQ(strings::json_escape("plain"), "plain");
+  EXPECT_EQ(strings::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(strings::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(strings::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(strings::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(strings::json_quote("x\"y"), "\"x\\\"y\"");
+}
+
+TEST(JsonEscapeTest, RegistryDumpSurvivesHostileMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("evil\"name\\with\ncontrol").inc();
+  registry.gauge("g\"2").set(1);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\ncontrol"), std::string::npos);
+  // No raw quote from the name may terminate a JSON string early.
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+}
+
+// ----------------------------------------------------------- trace context --
+
+TEST(TraceContextTest, HeaderRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id = 0x2a;
+  ctx.parent_span_id = RequestTrace::kHopClient | 3;
+  ctx.sampled = true;
+  const std::string header = ctx.to_header();
+  EXPECT_EQ(header, "000000000000002a-0100000000000003-01");
+  const auto parsed = parse_trace_context(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed->parent_span_id, ctx.parent_span_id);
+  EXPECT_TRUE(parsed->sampled);
+
+  ctx.sampled = false;
+  const auto unsampled = parse_trace_context(ctx.to_header());
+  ASSERT_TRUE(unsampled.has_value());
+  EXPECT_FALSE(unsampled->sampled);
+}
+
+TEST(TraceContextTest, MalformedHeadersAreRejected) {
+  EXPECT_FALSE(parse_trace_context("").has_value());
+  EXPECT_FALSE(parse_trace_context("not-a-trace").has_value());
+  EXPECT_FALSE(parse_trace_context("000000000000002a-0100000000000003").has_value());
+  EXPECT_FALSE(parse_trace_context("000000000000002a-01000000000000zz-01").has_value());
+  EXPECT_FALSE(parse_trace_context("2a-3-1").has_value());  // wrong field widths
+  // Zero trace id is not a trace.
+  EXPECT_FALSE(
+      parse_trace_context("0000000000000000-0100000000000003-01").has_value());
+}
+
+TEST(RequestTraceTest, OutcomeFirstWriteWins) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 1);
+  EXPECT_EQ(trace.outcome(), "");
+  trace.set_outcome("shed");
+  trace.set_outcome("ok");  // later generic finalization must not overwrite
+  EXPECT_EQ(trace.outcome(), "shed");
+}
+
+TEST(RequestTraceTest, AttributesLastWriteWins) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 1);
+  trace.set_attribute("path", "fp-1");
+  trace.set_attribute("path", "fp-2");
+  EXPECT_EQ(trace.attribute("path"), "fp-2");
+  EXPECT_EQ(trace.attributes().size(), 1u);
+  EXPECT_EQ(trace.attribute("missing"), "");
+}
+
+TEST(RequestTraceTest, AdoptAndPropagateContext) {
+  TraceFixture fx;
+  RequestTrace trace(fx.sim, 7);
+  TraceContext upstream;
+  upstream.trace_id = 99;
+  upstream.parent_span_id = 0x1234;
+  upstream.sampled = false;
+  trace.adopt(upstream);
+  EXPECT_EQ(trace.id(), 99u);
+  EXPECT_EQ(trace.parent_span(), 0x1234u);
+  EXPECT_FALSE(trace.sampled());
+
+  trace.begin("fetch");
+  const std::uint64_t fetch_span = trace.open_span_id("fetch");
+  EXPECT_NE(fetch_span, 0u);
+  const TraceContext down = trace.context(fetch_span);
+  EXPECT_EQ(down.trace_id, 99u);
+  EXPECT_EQ(down.parent_span_id, fetch_span);
+  EXPECT_FALSE(down.sampled);
+  // context(0) parents under the implicit root span.
+  EXPECT_EQ(trace.context(0).parent_span_id, trace.root_span_id());
+}
+
+TEST(RequestTraceTest, ReportToEmitsRootAndPhaseSpans) {
+  TraceFixture fx;
+  TraceCollector collector;
+  RequestTrace trace(fx.sim, 5);
+  trace.set_attribute("path", "fp-a");
+  trace.begin("detect");
+  fx.advance(milliseconds(2));
+  trace.end("detect");
+  trace.begin("fetch");
+  fx.advance(milliseconds(10));
+  trace.end("fetch");
+  trace.set_outcome("ok");
+  trace.report_to(collector, "skip-proxy", fx.sim.now());
+  collector.finalize(5, trace.outcome(), /*keep=*/true);
+
+  const TraceRecord* record = collector.find(5);
+  ASSERT_NE(record, nullptr);
+  ASSERT_EQ(record->spans.size(), 3u);  // root + detect + fetch
+  const CollectedSpan& root = record->spans.front();
+  EXPECT_EQ(root.name, "request");
+  EXPECT_EQ(root.span_id, trace.root_span_id());
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(root.duration, milliseconds(12));
+  // Every phase span parents under the root; ids are hop-1 prefixed.
+  for (std::size_t i = 1; i < record->spans.size(); ++i) {
+    EXPECT_EQ(record->spans[i].parent_id, root.span_id);
+    EXPECT_EQ(record->spans[i].span_id >> 56, 1u);
+  }
+  EXPECT_EQ(record->outcome, "ok");
+}
+
+// --------------------------------------------------------- flight recorder --
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewest) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(TimePoint{} + milliseconds(i), "test", "evt",
+                    "n=" + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest, and only the newest four survive.
+  EXPECT_EQ(events.front().detail, "n=6");
+  EXPECT_EQ(events.back().detail, "n=9");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST(FlightRecorderTest, LastNAndJsonSnapshot) {
+  FlightRecorder recorder(8);
+  recorder.record(TimePoint{} + milliseconds(1), "breaker", "trip", "origin \"x\"");
+  recorder.record(TimePoint{} + milliseconds(2), "selector", "quarantine", "fp");
+  const std::vector<FlightEvent> last = recorder.last(1);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].kind, "quarantine");
+  const std::string json = recorder.snapshot_json();
+  EXPECT_NE(json.find("\"breaker\""), std::string::npos);
+  // Hostile detail content is escaped.
+  EXPECT_NE(json.find("origin \\\"x\\\""), std::string::npos);
+}
+
+// -------------------------------------------------------------- collector --
+
+TEST(TraceCollectorTest, HeadSamplingIsDeterministicPerClass) {
+  CollectorConfig config;
+  config.sample_document = 1;
+  config.sample_subresource = 2;
+  config.sample_probe = 0;
+  TraceCollector collector(config);
+  EXPECT_TRUE(collector.head_sample(0));
+  EXPECT_TRUE(collector.head_sample(0));
+  // 1-in-2: alternating keep/drop.
+  EXPECT_TRUE(collector.head_sample(1));
+  EXPECT_FALSE(collector.head_sample(1));
+  EXPECT_TRUE(collector.head_sample(1));
+  // Rate 0 keeps none.
+  EXPECT_FALSE(collector.head_sample(2));
+  EXPECT_FALSE(collector.head_sample(2));
+}
+
+TEST(TraceCollectorTest, FinalizeKeepAndDiscard) {
+  TraceCollector collector;
+  CollectedSpan span;
+  span.trace_id = 1;
+  span.span_id = RequestTrace::kHopClient | 1;
+  span.name = "request";
+  span.component = "skip-proxy";
+  collector.record_span(span);
+  collector.finalize(1, "ok", /*keep=*/true);
+
+  span.trace_id = 2;
+  collector.record_span(span);
+  collector.finalize(2, "ok", /*keep=*/false);
+
+  EXPECT_NE(collector.find(1), nullptr);
+  EXPECT_EQ(collector.find(2), nullptr);
+  EXPECT_EQ(collector.traces().size(), 1u);
+}
+
+TEST(TraceCollectorTest, RetentionRingEvictsOldest) {
+  CollectorConfig config;
+  config.max_traces = 2;
+  TraceCollector collector(config);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    CollectedSpan span;
+    span.trace_id = id;
+    span.span_id = RequestTrace::kHopClient | 1;
+    span.name = "request";
+    span.component = "skip-proxy";
+    collector.record_span(span);
+    collector.finalize(id, "ok", /*keep=*/true);
+  }
+  EXPECT_EQ(collector.traces().size(), 2u);
+  EXPECT_EQ(collector.find(1), nullptr);  // oldest evicted
+  EXPECT_NE(collector.find(3), nullptr);
+}
+
+TEST(TraceCollectorTest, ChromeExportShapesAndJsonl) {
+  TraceCollector collector;
+  CollectedSpan root;
+  root.trace_id = 9;
+  root.span_id = RequestTrace::kHopClient | 1;
+  root.name = "request";
+  root.component = "skip-proxy";
+  root.start = TimePoint{} + milliseconds(1);
+  root.duration = milliseconds(20);
+  root.attrs.emplace_back("path", "fp \"quoted\"");
+  collector.record_span(root);
+
+  CollectedSpan relay;
+  relay.trace_id = 9;
+  relay.span_id = (2ULL << 56) | 1;
+  relay.parent_id = root.span_id;
+  relay.name = "relay";
+  relay.component = "revproxy";
+  relay.start = TimePoint{} + milliseconds(5);
+  relay.duration = milliseconds(10);
+  collector.record_span(relay);
+  collector.finalize(9, "ok", /*keep=*/true);
+
+  const std::string chrome = collector.chrome_trace_json();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"M\""), std::string::npos);  // thread names
+  EXPECT_NE(chrome.find("fp \\\"quoted\\\""), std::string::npos);
+  // Two components map to two distinct tids.
+  EXPECT_NE(chrome.find("\"skip-proxy\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"revproxy\""), std::string::npos);
+
+  const std::string jsonl = collector.spans_jsonl();
+  // One line per span.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+  EXPECT_NE(jsonl.find("\"relay\""), std::string::npos);
+}
+
+// -------------------------------------------------------------------- slo --
+
+struct SloFixture {
+  MetricsRegistry registry;
+  SloMonitor monitor{registry};
+
+  SloFixture() {
+    SloObjective objective;
+    objective.name = "availability";
+    objective.bad_counters = {"proxy.errors"};
+    objective.total_counters = {"proxy.requests"};
+    objective.target = 0.9;  // 10% error budget
+    objective.short_window = seconds(5);
+    objective.long_window = seconds(30);
+    objective.burn_threshold = 2.0;  // fires at >= 20% bad
+    objective.min_events = 10;
+    monitor.add(std::move(objective));
+  }
+};
+
+TEST(SloMonitorTest, QuietAtBaselineFiresUnderBurnClearsAfterRecovery) {
+  SloFixture fx;
+  Counter& requests = fx.registry.counter("proxy.requests");
+  Counter& errors = fx.registry.counter("proxy.errors");
+  TimePoint now;
+
+  // Baseline: healthy traffic, no alert.
+  for (int tick = 0; tick < 10; ++tick) {
+    now = now + seconds(1);
+    requests.inc(20);
+    fx.monitor.evaluate(now);
+  }
+  EXPECT_FALSE(fx.monitor.firing("availability"));
+  EXPECT_FALSE(fx.monitor.any_firing());
+
+  // Burn: half of all requests fail — well past the 2x threshold on both
+  // windows once the long window fills with bad minutes.
+  for (int tick = 0; tick < 40; ++tick) {
+    now = now + seconds(1);
+    requests.inc(20);
+    errors.inc(10);
+    fx.monitor.evaluate(now);
+  }
+  EXPECT_TRUE(fx.monitor.firing("availability"));
+  EXPECT_EQ(fx.registry.counter_value("slo.availability.fired"), 1u);
+
+  // Recovery: errors stop; the short window drains first and clears the
+  // alert even while the long window still remembers the burn.
+  for (int tick = 0; tick < 10; ++tick) {
+    now = now + seconds(1);
+    requests.inc(20);
+    fx.monitor.evaluate(now);
+  }
+  EXPECT_FALSE(fx.monitor.firing("availability"));
+  EXPECT_EQ(fx.registry.counter_value("slo.availability.cleared"), 1u);
+  // Fire + clear leave flight-recorder breadcrumbs.
+  bool saw_fire = false;
+  bool saw_clear = false;
+  for (const FlightEvent& event : fx.registry.events().snapshot()) {
+    saw_fire = saw_fire || event.kind == "fire";
+    saw_clear = saw_clear || event.kind == "clear";
+  }
+  EXPECT_TRUE(saw_fire);
+  EXPECT_TRUE(saw_clear);
+}
+
+TEST(SloMonitorTest, MinEventsGuardSuppressesThinTraffic) {
+  SloFixture fx;
+  Counter& requests = fx.registry.counter("proxy.requests");
+  Counter& errors = fx.registry.counter("proxy.errors");
+  TimePoint now;
+  // 100% errors, but fewer than min_events requests in the window: an alert
+  // on 3 requests would be noise.
+  for (int tick = 0; tick < 8; ++tick) {
+    now = now + seconds(1);
+    if (tick < 3) {
+      requests.inc();
+      errors.inc();
+    }
+    fx.monitor.evaluate(now);
+  }
+  EXPECT_FALSE(fx.monitor.firing("availability"));
+}
+
+TEST(SloMonitorTest, LatencyObjectiveCountsOverThresholdSamples) {
+  MetricsRegistry registry;
+  SloMonitor monitor(registry);
+  SloObjective objective;
+  objective.name = "plt-p95";
+  objective.latency_histogram = "proxy.request_total";
+  objective.latency_threshold = seconds(2);
+  objective.target = 0.95;  // 5% budget
+  objective.short_window = seconds(5);
+  objective.long_window = seconds(30);
+  objective.burn_threshold = 2.0;  // fires when > 10% of loads run over 2 s
+  objective.min_events = 10;
+  monitor.add(std::move(objective));
+
+  Histogram& hist = registry.histogram("proxy.request_total");
+  TimePoint now;
+  for (int tick = 0; tick < 40; ++tick) {
+    now = now + seconds(1);
+    for (int i = 0; i < 4; ++i) hist.record(milliseconds(100));
+    hist.record(seconds(5));  // 20% of loads blow the threshold
+    monitor.evaluate(now);
+  }
+  EXPECT_TRUE(monitor.firing("plt-p95"));
+  const std::string json = monitor.snapshot_json();
+  EXPECT_NE(json.find("\"plt-p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"firing\":true"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+// End-to-end telemetry tests: cross-hop trace propagation (SKIP proxy ->
+// reverse proxy) assembling one connected span tree in a shared collector,
+// single-hop traces for legacy/ablated requests, the /skip/debug flight
+// recorder after a link cut, SLO burn-rate alerting through /skip/health,
+// and JSON robustness of the internal endpoints under hostile names.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/page.hpp"
+#include "core/scenarios.hpp"
+#include "obs/collector.hpp"
+
+namespace pan::browser {
+namespace {
+
+std::string body_of(const proxy::ProxyResult& result) {
+  return std::string(reinterpret_cast<const char*>(result.response.body.data()),
+                     result.response.body.size());
+}
+
+struct TelemetryFixture {
+  obs::TraceCollector collector;  // shared across both proxy hops
+  std::unique_ptr<World> world;
+  std::unique_ptr<ClientSession> session;
+
+  explicit TelemetryFixture(bool remote, proxy::ProxyConfig proxy_config = {}) {
+    WorldConfig world_config;
+    world_config.reverse_proxy.collector = &collector;
+    world = remote ? make_remote_world(world_config) : make_local_world(world_config);
+    proxy_config.collector = &collector;
+    session = std::make_unique<ClientSession>(*world, proxy_config);
+  }
+
+  proxy::ProxyResult fetch(const std::string& url, bool strict = false) {
+    http::HttpRequest request;
+    request.target = url;
+    proxy::ProxyRequestOptions options;
+    options.strict = strict;
+    proxy::ProxyResult out;
+    bool done = false;
+    session->proxy().fetch(request, options, [&](proxy::ProxyResult r) {
+      out = std::move(r);
+      done = true;
+    });
+    world->sim().run_until_condition([&] { return done; },
+                                     world->sim().now() + seconds(60));
+    EXPECT_TRUE(done) << url;
+    return out;
+  }
+};
+
+/// Structural lint of one trace: exactly one root, every parent resolvable,
+/// span ids unique, no negative durations.
+void expect_connected_tree(const obs::TraceRecord& record) {
+  std::set<std::uint64_t> ids;
+  std::size_t roots = 0;
+  for (const obs::CollectedSpan& span : record.spans) {
+    EXPECT_TRUE(ids.insert(span.span_id).second)
+        << "duplicate span id " << span.span_id;
+    EXPECT_GE(span.duration, Duration::zero()) << span.name;
+    if (span.parent_id == 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  for (const obs::CollectedSpan& span : record.spans) {
+    if (span.parent_id == 0) continue;
+    EXPECT_TRUE(ids.contains(span.parent_id))
+        << span.name << " orphaned under missing parent " << span.parent_id;
+  }
+}
+
+TEST(CrossHopTracing, StrictRemoteLoadYieldsOneConnectedTwoHopTree) {
+  TelemetryFixture fx(/*remote=*/true);
+  fx.world->site("www.far.example")->add_text("/x", "traced");
+
+  const proxy::ProxyResult result = fx.fetch("http://www.far.example/x", /*strict=*/true);
+  ASSERT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.transport, proxy::TransportUsed::kScion);
+  EXPECT_EQ(result.outcome, "ok");
+
+  const obs::TraceRecord* record = fx.collector.find(result.trace_id);
+  ASSERT_NE(record, nullptr);
+  expect_connected_tree(*record);
+
+  // Both hops contributed: hop-1 (client process) and hop-2 (reverse proxy)
+  // span ids under one trace id.
+  std::set<std::uint64_t> hops;
+  bool saw_revproxy = false;
+  for (const obs::CollectedSpan& span : record->spans) {
+    hops.insert(span.span_id >> 56);
+    saw_revproxy = saw_revproxy || span.component == "revproxy";
+  }
+  EXPECT_TRUE(hops.contains(1u));
+  EXPECT_TRUE(hops.contains(2u));
+  EXPECT_TRUE(saw_revproxy);
+
+  // The reverse proxy's relay span parents under the client hop's fetch span.
+  const obs::CollectedSpan* relay = nullptr;
+  for (const obs::CollectedSpan& span : record->spans) {
+    if (span.name == "relay") relay = &span;
+  }
+  ASSERT_NE(relay, nullptr);
+  EXPECT_EQ(relay->parent_id >> 56, 1u);
+
+  // The root span carries the path annotations the scenario promises.
+  const obs::CollectedSpan& root = record->spans.front();
+  EXPECT_EQ(root.name, "request");
+  bool saw_path = false;
+  bool saw_isd_seq = false;
+  for (const auto& [key, value] : root.attrs) {
+    if (key == "path") saw_path = !value.empty();
+    if (key == "isd_seq") saw_isd_seq = !value.empty();
+  }
+  EXPECT_TRUE(saw_path);
+  EXPECT_TRUE(saw_isd_seq);
+
+  // The Chrome export of this trace is non-trivial and names both threads.
+  const std::string chrome = obs::TraceCollector::chrome_trace_json(*record);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("revproxy"), std::string::npos);
+}
+
+TEST(CrossHopTracing, LegacyRequestYieldsWellFormedSingleHopTrace) {
+  TelemetryFixture fx(/*remote=*/false);
+  fx.world->site("tcpip-fs.local")->add_text("/y", "legacy");
+
+  const proxy::ProxyResult result = fx.fetch("http://tcpip-fs.local/y");
+  ASSERT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.transport, proxy::TransportUsed::kIp);
+
+  const obs::TraceRecord* record = fx.collector.find(result.trace_id);
+  ASSERT_NE(record, nullptr);
+  expect_connected_tree(*record);
+  for (const obs::CollectedSpan& span : record->spans) {
+    EXPECT_EQ(span.span_id >> 56, 1u) << span.name;  // single hop only
+    EXPECT_NE(span.component, "revproxy");
+  }
+  EXPECT_EQ(record->outcome, "ok");
+}
+
+TEST(FlightRecorderEndpoint, DebugShowsQuarantineAndBreakerAfterLinkCut) {
+  // Both inter-ISD links die: the first strict SCION attempt to the far site
+  // times out (later ones fail fast once SCMP marks the paths dead), so the
+  // failure machinery (path quarantine, then the per-origin breaker tripping)
+  // leaves breadcrumbs in the flight recorder, and /skip/debug replays the
+  // sequence.
+  proxy::ProxyConfig config;
+  config.breaker_threshold = 1;
+  config.attempt_timeout = milliseconds(300);
+  TelemetryFixture fx(/*remote=*/true, config);
+  fx.world->site("www.far.example")->add_text("/x", "unreachable");
+  ASSERT_TRUE(fx.world
+                  ->schedule_chaos(
+                      "at=0ms link-down core-1 core-2a\n"
+                      "at=0ms link-down core-1 core-2b")
+                  .ok());
+
+  for (int i = 0; i < 3; ++i) {
+    const proxy::ProxyResult result =
+        fx.fetch("http://www.far.example/x", /*strict=*/true);
+    EXPECT_GE(result.response.status, 500);
+  }
+
+  const proxy::ProxyResult debug = fx.fetch("/skip/debug");
+  ASSERT_EQ(debug.response.status, 200);
+  const std::string body = body_of(debug);
+  EXPECT_NE(body.find("\"events\":["), std::string::npos);
+  // Fault application, path quarantine, and the breaker trip all show up,
+  // and the quarantine precedes the trip (the ring preserves order).
+  EXPECT_NE(body.find("\"apply\""), std::string::npos);
+  EXPECT_NE(body.find("\"quarantine\""), std::string::npos);
+  EXPECT_NE(body.find("\"trip\""), std::string::npos);
+  EXPECT_LT(body.find("\"quarantine\""), body.find("\"trip\""));
+  EXPECT_NE(body.find("\"collector\":"), std::string::npos);
+  EXPECT_NE(body.find("\"slo\":"), std::string::npos);
+}
+
+TEST(SloEndpoint, AvailabilityAlertFiresUnderErrorBurnAndClears) {
+  TelemetryFixture fx(/*remote=*/false);
+  fx.world->site("scion-fs.local")->add_text("/ok", "fine");
+
+  // Baseline: healthy traffic only — no objective may fire.
+  for (int i = 0; i < 12; ++i) fx.fetch("http://scion-fs.local/ok");
+  const proxy::ProxyResult baseline = fx.fetch("/skip/health");
+  ASSERT_EQ(baseline.response.status, 200);
+  EXPECT_NE(body_of(baseline).find("\"name\":\"availability\",\"firing\":false"),
+            std::string::npos);
+
+  // Burn: a stream of failing requests dominates the window.
+  for (int i = 0; i < 30; ++i) fx.fetch("http://dead.local/x");
+  const proxy::ProxyResult burning = fx.fetch("/skip/health");
+  EXPECT_NE(body_of(burning).find("\"name\":\"availability\",\"firing\":true"),
+            std::string::npos);
+  EXPECT_GE(fx.session->proxy().metrics().counter_value("slo.availability.fired"), 1u);
+
+  // Recovery: healthy traffic while sim time walks past the short window;
+  // the alert must clear.
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 12; ++i) fx.fetch("http://scion-fs.local/ok");
+    fx.world->sim().run_until(fx.world->sim().now() + seconds(1));
+    fx.fetch("/skip/health");
+  }
+  const proxy::ProxyResult recovered = fx.fetch("/skip/health");
+  EXPECT_NE(body_of(recovered).find("\"name\":\"availability\",\"firing\":false"),
+            std::string::npos);
+  EXPECT_GE(fx.session->proxy().metrics().counter_value("slo.availability.cleared"), 1u);
+}
+
+TEST(InternalEndpoints, HostileMetricNamesCannotBreakTheJson) {
+  TelemetryFixture fx(/*remote=*/false);
+  fx.world->site("scion-fs.local")->add_text("/z", "ok");
+  fx.fetch("http://scion-fs.local/z");
+  // A counter whose name embeds quote/backslash/newline must come back
+  // escaped from every JSON endpoint that renders names.
+  fx.session->proxy().metrics().counter("evil\"name\\x\n").inc();
+
+  const proxy::ProxyResult metrics = fx.fetch("/skip/metrics");
+  ASSERT_EQ(metrics.response.status, 200);
+  const std::string metrics_body = body_of(metrics);
+  EXPECT_NE(metrics_body.find("evil\\\"name\\\\x\\n"), std::string::npos);
+  EXPECT_EQ(metrics_body.find("evil\"name"), std::string::npos);
+
+  // /skip/health and /skip/pool render origin keys and fingerprints through
+  // the same escaping helper; at minimum they must stay well-shaped.
+  const proxy::ProxyResult health = fx.fetch("/skip/health");
+  ASSERT_EQ(health.response.status, 200);
+  const std::string health_body = body_of(health);
+  ASSERT_FALSE(health_body.empty());
+  EXPECT_EQ(health_body.front(), '{');
+  EXPECT_EQ(health_body.back(), '}');
+  const proxy::ProxyResult pool = fx.fetch("/skip/pool");
+  ASSERT_EQ(pool.response.status, 200);
+}
+
+TEST(InternalEndpoints, TraceEndpointsServeRetainedTraces) {
+  TelemetryFixture fx(/*remote=*/false);
+  fx.world->site("scion-fs.local")->add_text("/t", "traced");
+  const proxy::ProxyResult result = fx.fetch("http://scion-fs.local/t");
+  ASSERT_EQ(result.response.status, 200);
+
+  const proxy::ProxyResult jsonl = fx.fetch("/skip/traces");
+  ASSERT_EQ(jsonl.response.status, 200);
+  EXPECT_NE(body_of(jsonl).find("\"trace\":"), std::string::npos);
+
+  const proxy::ProxyResult chrome =
+      fx.fetch("/skip/trace/" + std::to_string(result.trace_id));
+  ASSERT_EQ(chrome.response.status, 200);
+  EXPECT_NE(body_of(chrome).find("\"traceEvents\""), std::string::npos);
+
+  const proxy::ProxyResult missing = fx.fetch("/skip/trace/999999");
+  EXPECT_EQ(missing.response.status, 404);
+}
+
+}  // namespace
+}  // namespace pan::browser
