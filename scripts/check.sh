@@ -12,6 +12,9 @@
 #                                 # PAN_TRACE_DUMP set, lint the Chrome trace
 #                                 # JSON it exports (structure, parent links,
 #                                 # cross-hop coverage, path annotations)
+#   scripts/check.sh --identity   # PAN_SANITIZE=ON build, then loop the
+#                                 # identity-isolation suite (broker
+#                                 # disjointness under rotation + link cuts)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,6 +56,17 @@ if [[ "${1:-}" == "--trace-lint" ]]; then
   python3 scripts/trace_lint.py "$dump_dir"/chaos-baseline-on.json \
     --min-hops 2 --require-attr path --require-attr isd_seq
   echo "==> trace-lint passed"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--identity" ]]; then
+  echo "==> identity: PAN_SANITIZE=ON build, identity-isolation suite"
+  # The isolation invariant is memory-sensitive (pool retire/migrate on live
+  # connections), so this leg always runs instrumented.
+  cmake -B build-asan -S . -DPAN_SANITIZE=ON
+  cmake --build build-asan -j
+  ./build-asan/tests/identity_test
+  echo "==> identity passed"
   exit 0
 fi
 

@@ -13,6 +13,11 @@ Validates the structural invariants the telemetry layer promises
     the same trace — no orphans;
   - with --min-hops N, at least one trace spans >= N hops (the hop lives
     in the top byte of the span id: 1 = client process, 2 = reverse proxy);
+  - spans may carry an "identity" attribute (the request's network
+    identity, X-Skip-Identity); when present it must be a sanitized id
+    ([A-Za-z0-9._-], <= 64 chars — never the '|' scope separator), and all
+    spans of one trace must agree on it (a request runs under exactly one
+    identity);
   - with --require-attr KEY, at least one span carries the attribute.
 
 Exit code 0 when every file passes, 1 otherwise.
@@ -24,7 +29,12 @@ Usage:
 
 import argparse
 import json
+import re
 import sys
+
+# Sanitized network-identity grammar (proxy::sanitize_identity): anything
+# else — in particular the '|' pool-key scope separator — is a bug upstream.
+IDENTITY_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 def lint_file(path, min_hops, require_attrs):
@@ -41,6 +51,7 @@ def lint_file(path, min_hops, require_attrs):
 
     # Per-trace span tables: trace id -> {span id -> parent id}.
     traces = {}
+    trace_identities = {}  # trace id -> identity attribute value
     attrs_seen = set()
     last_ts = None
     for i, event in enumerate(events):
@@ -81,6 +92,17 @@ def lint_file(path, min_hops, require_attrs):
             errors.append(f"{where}: duplicate span {span:#x} in trace {trace:#x}")
         spans[span] = parent
         attrs_seen.update(k for k, v in args.items() if v)
+        identity = args.get("identity")
+        if identity is not None:
+            if not (isinstance(identity, str) and IDENTITY_RE.fullmatch(identity)):
+                errors.append(f"{where}: unsanitized identity {identity!r}")
+            else:
+                prev = trace_identities.setdefault(trace, identity)
+                if prev != identity:
+                    errors.append(
+                        f"{where}: trace {trace:#x} mixes identities "
+                        f"{prev!r} and {identity!r}"
+                    )
 
     hops_best = 0
     for trace, spans in traces.items():

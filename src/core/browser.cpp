@@ -163,7 +163,7 @@ void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::si
         }
         resource_done(page, index);
       },
-      deadline);
+      deadline, config_.identity);
 }
 
 void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t index,
@@ -196,7 +196,9 @@ void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t in
     if (config_.request_deadline > Duration::zero()) {
       submit_options.deadline = begun + config_.request_deadline;
     }
-    const std::string origin_key = url.authority();
+    // Identity-partitioned pooling: two identities never reuse each other's
+    // direct TCP connections, mirroring the proxy-side isolation.
+    const std::string origin_key = proxy::identity_key(config_.identity, url.authority());
     direct_pool_.submit(
         origin_key, std::move(request), submit_options,
         [this, page, index, url, begun](Result<http::HttpResponse> result) {
@@ -242,10 +244,14 @@ void Browser::fetch_direct(const std::shared_ptr<PageLoad>& page, std::size_t in
   });
 }
 
+std::string Browser::cache_key(const std::string& url_text) const {
+  return proxy::identity_key(config_.identity, url_text);
+}
+
 void Browser::add_conditional_headers(const std::string& url_text,
                                       http::HttpRequest& request) const {
   if (!config_.enable_cache) return;
-  const auto it = cache_.find(url_text);
+  const auto it = cache_.find(cache_key(url_text));
   if (it != cache_.end()) {
     request.headers.set("If-None-Match", "\"" + it->second.etag + "\"");
   }
@@ -279,8 +285,9 @@ const Bytes* Browser::apply_cache(const std::string& url_text, int status,
                                   const http::HttpResponse& response, bool* from_cache) {
   *from_cache = false;
   if (!config_.enable_cache) return &response.body;
+  const std::string key = cache_key(url_text);
   if (status == 304) {
-    const auto it = cache_.find(url_text);
+    const auto it = cache_.find(key);
     if (it != cache_.end()) {
       *from_cache = true;
       cache_touch(it->second);
@@ -294,7 +301,7 @@ const Bytes* Browser::apply_cache(const std::string& url_text, int status,
       if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
         value = value.substr(1, value.size() - 2);
       }
-      cache_store(url_text, std::move(value), response.body);
+      cache_store(key, std::move(value), response.body);
     }
   }
   return &response.body;

@@ -49,6 +49,12 @@ struct BrowserConfig {
   /// retries and fallbacks on that request. Zero keeps the proxy's own
   /// default request timeout.
   Duration request_deadline = Duration::zero();
+  /// Network identity (tab/profile container) this browser fetches under.
+  /// Non-empty: requests carry X-Skip-Identity toward the proxy, and the
+  /// browser's own HTTP cache and direct-mode connection pool are
+  /// partitioned under the identity so nothing is shared with browsers of
+  /// other identities. Empty = the shared default identity.
+  std::string identity;
 };
 
 struct ResourceOutcome {
@@ -102,6 +108,10 @@ class Browser {
 
   [[nodiscard]] bool extension_enabled() const { return extension_ != nullptr; }
 
+  /// The network identity this browser fetches under ("" = default).
+  [[nodiscard]] const std::string& identity() const { return config_.identity; }
+  void set_identity(std::string identity) { config_.identity = std::move(identity); }
+
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
   /// Direct-mode connection pool (introspection for tests).
   [[nodiscard]] http::OriginPool& direct_pool() { return direct_pool_; }
@@ -137,6 +147,10 @@ class Browser {
   [[nodiscard]] const Bytes* apply_cache(const std::string& url_text, int status,
                                          const http::HttpResponse& response,
                                          bool* from_cache);
+  /// Identity-partitioned cache key: bare URL for the default identity,
+  /// "<identity>|<url>" otherwise — one identity's cached bodies (and ETag
+  /// revalidations) are invisible to every other identity.
+  [[nodiscard]] std::string cache_key(const std::string& url_text) const;
   void add_conditional_headers(const std::string& url_text, http::HttpRequest& request) const;
   void cache_store(const std::string& url_text, std::string etag, Bytes body);
   void cache_touch(CacheEntry& entry);

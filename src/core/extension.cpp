@@ -39,11 +39,17 @@ void BrowserExtension::set_policies(ppl::PolicySet policies) {
 void BrowserExtension::fetch(http::HttpRequest request, const std::string& host,
                              bool page_strict, obs::TracePtr trace,
                              proxy::SkipProxy::FetchFn on_result,
-                             std::optional<TimePoint> deadline) {
+                             std::optional<TimePoint> deadline,
+                             const std::string& identity) {
   proxy::ProxyRequestOptions options;
   options.strict = page_strict || strict_for(host);
   options.trace = std::move(trace);
   options.deadline = deadline;
+  // The extension is the identity boundary: the tab/profile identity rides
+  // to the proxy as a header, like any out-of-process HTTP proxy would see.
+  if (!identity.empty()) {
+    request.headers.set(std::string(proxy::kIdentityHeader), identity);
+  }
   // Pinned / strict hosts ride in the document priority band: the user asked
   // for a guarantee, so admission and queue ordering honor it first.
   if (options.strict) {

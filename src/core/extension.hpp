@@ -46,10 +46,13 @@ class BrowserExtension {
   /// the request-scoped span context started by the browser; pass null to
   /// have the proxy open one. `deadline`, when set, caps the proxy's whole
   /// retry/fallback budget for this request (otherwise the proxy default
-  /// request timeout applies).
+  /// request timeout applies). A non-empty `identity` tags the proxied
+  /// request with the X-Skip-Identity header so the proxy isolates its
+  /// connections, paths, and learned state from other identities.
   void fetch(http::HttpRequest request, const std::string& host, bool page_strict,
              obs::TracePtr trace, proxy::SkipProxy::FetchFn on_result,
-             std::optional<TimePoint> deadline = std::nullopt);
+             std::optional<TimePoint> deadline = std::nullopt,
+             const std::string& identity = {});
   /// Opens a request trace in the proxy's id space.
   [[nodiscard]] obs::TracePtr make_trace() { return proxy_.make_trace(); }
 

@@ -52,6 +52,7 @@ OriginPool::OriginPool(sim::Simulator& sim, obs::MetricsRegistry& metrics,
       cooldowns_(metrics.counter("pool." + config_.name + ".cooldowns")),
       sheds_(metrics.counter("pool." + config_.name + ".sheds")),
       expired_dispatches_(metrics.counter("pool." + config_.name + ".expired_dispatches")),
+      migrations_(metrics.counter("pool." + config_.name + ".migrations")),
       conns_gauge_(metrics.gauge("pool." + config_.name + ".conns")),
       queue_depth_(metrics.gauge("pool." + config_.name + ".queue_depth")),
       queue_wait_(metrics.histogram("pool.queue_wait")) {}
@@ -218,9 +219,17 @@ void OriginPool::dispatch(const std::string& key) {
       }
     }
 
-    // Capacity: the static per-conn caps plus the adaptive window.
+    // Capacity: the static per-conn caps plus the adaptive window. Only
+    // usable connections count against max_conns_per_origin — a wedged
+    // connection with requests still outstanding holds a pool slot until its
+    // fetches drain, and counting it would let an all-wedged origin block
+    // every new dial until queue timeout.
     std::size_t outstanding_total = 0;
-    for (const Entry& entry : origin.conns) outstanding_total += entry.outstanding;
+    std::size_t usable_conns = 0;
+    for (Entry& entry : origin.conns) {
+      outstanding_total += entry.outstanding;
+      if (entry.conn->usable()) ++usable_conns;
+    }
     std::size_t chosen = kNone;
     if (outstanding_total < effective_limit(key)) {
       // Least-outstanding live connection.
@@ -233,7 +242,7 @@ void OriginPool::dispatch(const std::string& key) {
       if (best != kNone && origin.conns[best].outstanding == 0) {
         chosen = best;  // idle connection: plain reuse
         hits_.inc();
-      } else if (origin.conns.size() < config_.max_conns_per_origin) {
+      } else if (usable_conns < config_.max_conns_per_origin) {
         origin.conns.push_back(Entry{origin.waiting[best_waiter(origin)].factory(), 0, 0});
         chosen = origin.conns.size() - 1;
         ++total_conns_;
@@ -352,12 +361,36 @@ std::size_t OriginPool::migrate(const std::string& key, const scion::Path& path)
   for (Entry& entry : it->second.conns) {
     auto* scion_conn = dynamic_cast<ScionPooledConnection*>(entry.conn.get());
     if (scion_conn == nullptr) continue;
-    if (scion_conn->transport().state() == transport::Connection::State::kClosed) continue;
+    // A wedged-open connection (dead stream, transport still up) is waiting
+    // to be pruned; moving it onto a fresh path would burn the path's first
+    // impression on a connection that can never carry a request again.
+    if (!entry.conn->usable()) continue;
     if (scion_conn->path().fingerprint() == path.fingerprint()) continue;
     scion_conn->set_path(path);
     ++migrated;
   }
+  if (migrated > 0) migrations_.inc(migrated);
   return migrated;
+}
+
+std::size_t OriginPool::retire(const std::string& key) {
+  const auto it = origins_.find(key);
+  if (it == origins_.end()) return 0;
+  std::size_t closed = 0;
+  for (Entry& entry : it->second.conns) {
+    if (entry.conn->transport().state() == transport::Connection::State::kClosed) continue;
+    entry.conn->shutdown();
+    ++closed;
+  }
+  if (closed > 0) {
+    metrics_.events().record(sim_.now(), "pool", "retire",
+                             config_.name + "/" + key + " closed " +
+                                 std::to_string(closed) + " conns");
+  }
+  // Idle entries leave now; busy ones drain through their failing fetches.
+  // Re-dispatch so parked waiters dial fresh connections immediately.
+  dispatch(key);
+  return closed;
 }
 
 OriginPool::PooledConnection* OriginPool::primary(const std::string& key) {

@@ -154,11 +154,19 @@ class OriginPool {
   void submit(const std::string& key, HttpRequest request, SubmitOptions options,
               HttpClientStream::ResponseFn on_response, ConnFactory factory);
 
-  /// Moves every live SCION connection for `key` onto `path` (no-op for
-  /// fingerprint-identical paths and non-SCION entries). Returns the number
-  /// of connections actually migrated. In-flight data redelivers over the
-  /// new path via normal loss recovery.
+  /// Moves every usable SCION connection for `key` onto `path` (no-op for
+  /// fingerprint-identical paths, non-SCION entries, and wedged or closed
+  /// connections). Returns the number of connections actually migrated
+  /// (counted in `pool.<name>.migrations`). In-flight data redelivers over
+  /// the new path via normal loss recovery.
   std::size_t migrate(const std::string& key, const scion::Path& path);
+
+  /// Force-closes every connection pooled for `key` (identity rotation: the
+  /// old path assignments must not survive into the next brokering). Idle
+  /// connections are pruned immediately; in-flight fetches fail through
+  /// normal transport-error handling and parked waiters re-dispatch onto
+  /// fresh dials. Returns the number of connections shut down.
+  std::size_t retire(const std::string& key);
 
   /// First live connection pooled for `key` (nullptr when none). The caller
   /// knows what it pooled; downcast via `primary_as<T>`.
@@ -252,6 +260,7 @@ class OriginPool {
   obs::Counter& cooldowns_;
   obs::Counter& sheds_;
   obs::Counter& expired_dispatches_;
+  obs::Counter& migrations_;
   obs::Gauge& conns_gauge_;
   obs::Gauge& queue_depth_;
   obs::Histogram& queue_wait_;
@@ -285,7 +294,7 @@ class LegacyPooledConnection final : public OriginPool::PooledConnection {
 /// connection currently uses and the host/port as parsed at insert time (the
 /// SCMP reroute path and the policy router consume these instead of
 /// re-splitting the pool key, which breaks for hosts containing a colon).
-class ScionPooledConnection final : public OriginPool::PooledConnection {
+class ScionPooledConnection : public OriginPool::PooledConnection {
  public:
   ScionPooledConnection(scion::ScionStack& stack, scion::ScionEndpoint server,
                         scion::Path path, std::string host, std::uint16_t port,

@@ -1,5 +1,7 @@
 #include "proxy/detector.hpp"
 
+#include "proxy/identity.hpp"
+
 namespace pan::proxy {
 
 const char* to_string(ScionSource s) {
@@ -20,23 +22,26 @@ void ScionDetector::add_curated(const std::string& domain, const scion::ScionAdd
 }
 
 void ScionDetector::learn(const std::string& domain, const scion::ScionAddr& addr,
-                          Duration max_age) {
+                          Duration max_age, const std::string& identity) {
+  const std::string key = identity_key(identity, domain);
   // HSTS semantics: max-age=0 (or a bogus negative value) is an explicit
   // withdrawal of the advertisement, not a dead map entry that lingers.
   if (max_age <= Duration::zero()) {
-    learned_.erase(domain);
+    learned_.erase(key);
     return;
   }
-  learned_[domain] = LearnedEntry{addr, sim_.now() + max_age};
+  learned_[key] = LearnedEntry{addr, sim_.now() + max_age};
 }
 
-void ScionDetector::resolve(const std::string& domain,
-                            std::function<void(ResolvedHost)> callback) {
+ResolvedHost ScionDetector::lookup(const std::string& domain, const std::string& identity) {
   ResolvedHost base;
   if (const auto curated = curated_.find(domain); curated != curated_.end()) {
     base.scion = curated->second;
     base.scion_source = ScionSource::kCurated;
-  } else if (const auto learned = learned_.find(domain); learned != learned_.end()) {
+    return base;
+  }
+  const std::string key = identity_key(identity, domain);
+  if (const auto learned = learned_.find(key); learned != learned_.end()) {
     if (learned->second.expires > sim_.now()) {
       base.scion = learned->second.addr;
       base.scion_source = ScionSource::kLearned;
@@ -44,9 +49,23 @@ void ScionDetector::resolve(const std::string& domain,
       learned_.erase(learned);
     }
   }
+  return base;
+}
 
-  resolver_.resolve(domain, [base, cb = std::move(callback)](Result<dns::RecordSet> records) {
-    ResolvedHost host = base;
+void ScionDetector::resolve(const std::string& domain,
+                            std::function<void(ResolvedHost)> callback) {
+  resolve(domain, {}, std::move(callback));
+}
+
+void ScionDetector::resolve(const std::string& domain, const std::string& identity,
+                            std::function<void(ResolvedHost)> callback) {
+  // The curated/learned lookup happens inside the resolver callback, not
+  // here: a max-age=0 withdrawal (or an expiry) landing while the DNS query
+  // is in flight must win, or the proxy hands back a SCION address the
+  // origin just revoked.
+  resolver_.resolve(domain, [this, domain, identity,
+                             cb = std::move(callback)](Result<dns::RecordSet> records) {
+    ResolvedHost host = lookup(domain, identity);
     if (records.ok()) {
       if (!records.value().a.empty()) host.ip = records.value().a.front();
       if (!host.scion.has_value()) {

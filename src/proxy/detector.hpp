@@ -6,6 +6,11 @@
 //   3. DNS TXT records ("scion=<isd>-<as>,<ip>") resolved on demand.
 // Resolution always also returns the legacy A record so the caller can fall
 // back to IPv4/6.
+//
+// The learned cache is scoped per network identity: what one browser tab
+// learns from a Strict-SCION header must not leak into another tab's
+// resolution (a cross-identity cache probe would link the two). The curated
+// list and DNS TXT records are public data and stay global.
 #pragma once
 
 #include <functional>
@@ -36,11 +41,16 @@ class ScionDetector {
 
   /// Records availability learned from a Strict-SCION header (address from
   /// the connection we fetched over). A max_age <= 0 removes any learned
-  /// entry for the domain (HSTS-style explicit withdrawal).
-  void learn(const std::string& domain, const scion::ScionAddr& addr, Duration max_age);
+  /// entry for the domain (HSTS-style explicit withdrawal). `identity`
+  /// scopes the entry; empty or "default" is the shared default scope.
+  void learn(const std::string& domain, const scion::ScionAddr& addr, Duration max_age,
+             const std::string& identity = {});
 
-  /// Full resolution: legacy + SCION addressing for `domain`.
+  /// Full resolution: legacy + SCION addressing for `domain`, consulting the
+  /// learned entries of `identity` (empty / "default" = default scope).
   void resolve(const std::string& domain, std::function<void(ResolvedHost)> callback);
+  void resolve(const std::string& domain, const std::string& identity,
+               std::function<void(ResolvedHost)> callback);
 
   [[nodiscard]] std::size_t curated_size() const { return curated_.size(); }
   [[nodiscard]] std::size_t learned_size() const { return learned_.size(); }
@@ -51,10 +61,14 @@ class ScionDetector {
     TimePoint expires;
   };
 
+  /// Curated/learned lookup at callback time (NOT resolve-call time): a
+  /// withdrawal racing the DNS round trip must win.
+  [[nodiscard]] ResolvedHost lookup(const std::string& domain, const std::string& identity);
+
   sim::Simulator& sim_;
   dns::Resolver& resolver_;
   std::unordered_map<std::string, scion::ScionAddr> curated_;
-  std::unordered_map<std::string, LearnedEntry> learned_;
+  std::unordered_map<std::string, LearnedEntry> learned_;  // identity-scoped key
 };
 
 }  // namespace pan::proxy

@@ -7,10 +7,15 @@
 namespace pan::proxy {
 
 namespace {
-// Instrument names. Per-path counters are labeled with the fingerprint so
-// the /skip/metrics dump carries the per-path breakdown.
-std::string path_counter_name(std::string_view fingerprint, std::string_view what) {
-  return "selector.path." + std::string(what) + "{path=" + std::string(fingerprint) + "}";
+// Instrument names. Per-path counters are labeled with the fingerprint (and
+// the identity, for identity-scoped accounting) so the /skip/metrics dump
+// carries the per-path breakdown.
+std::string path_counter_name(std::string_view fingerprint, std::string_view what,
+                              std::string_view identity) {
+  std::string name = "selector.path." + std::string(what) + "{";
+  if (!identity.empty()) name += "identity=" + std::string(identity) + ",";
+  name += "path=" + std::string(fingerprint) + "}";
+  return name;
 }
 }  // namespace
 
@@ -118,15 +123,17 @@ std::size_t PathSelector::active_revocations() const {
 }
 
 void PathSelector::choose(scion::IsdAsn dst, std::function<void(PathChoice)> callback) {
-  choose(dst, {}, std::move(callback), std::nullopt);
+  choose(dst, {}, std::move(callback), std::nullopt, nullptr);
 }
 
 void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_preference,
                           std::function<void(PathChoice)> callback,
-                          std::optional<ppl::PolicySet> override_policies) {
+                          std::optional<ppl::PolicySet> override_policies,
+                          ExcludeFn exclude) {
   metrics_->counter("selector.choices").inc();
   daemon_.query(dst, [this, pref = std::move(server_preference),
                       override = std::move(override_policies),
+                      exclude = std::move(exclude),
                       cb = std::move(callback)](std::vector<scion::Path> paths) {
     const ppl::PolicySet& policies = override.has_value() ? *override : policies_;
     PathChoice choice;
@@ -137,19 +144,33 @@ void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_p
     // Quarantined paths (recent fetch failures reported by the resilience
     // layer) are demoted to last resort: selection runs over the fresh set
     // and only falls back to quarantined candidates when it comes up empty.
+    // The caller's exclusion set (identity disjointness) demotes further
+    // still: an excluded path is used only when every admissible candidate —
+    // fresh or quarantined — is gone, and the choice flags the fallback.
     std::vector<scion::Path> fresh;
     std::vector<scion::Path> suspect;
+    std::vector<scion::Path> excluded_fresh;
+    std::vector<scion::Path> excluded_suspect;
     fresh.reserve(paths.size());
     for (scion::Path& p : paths) {
-      (is_quarantined(p.fingerprint()) ? suspect : fresh).push_back(std::move(p));
+      const bool is_excluded = exclude != nullptr && exclude(p);
+      const bool is_suspect = is_quarantined(p.fingerprint());
+      auto& pool = is_excluded ? (is_suspect ? excluded_suspect : excluded_fresh)
+                               : (is_suspect ? suspect : fresh);
+      pool.push_back(std::move(p));
     }
     if (!suspect.empty() && !fresh.empty()) {
       metrics_->counter("selector.quarantine_avoided").inc();
     }
-    const auto pick = [&](std::vector<scion::Path> pool, PathChoice& out) {
+    const bool had_excluded = !excluded_fresh.empty() || !excluded_suspect.empty();
+    const auto pick = [&](std::vector<scion::Path> pool, PathChoice& out,
+                          bool from_excluded) {
       if (pool.empty()) return;
       // `any` falls back to the daemon's latency-first order.
-      if (!out.any.has_value()) out.any = pool.front();
+      if (!out.any.has_value()) {
+        out.any = pool.front();
+        out.any_excluded = from_excluded;
+      }
       std::vector<scion::Path> filtered;
       filtered.reserve(pool.size());
       for (scion::Path& p : pool) {
@@ -164,11 +185,24 @@ void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_p
       ppl::order_paths(filtered, ordering);
       if (!out.compliant.has_value() && !filtered.empty()) {
         out.compliant = filtered.front();
+        out.compliant_excluded = from_excluded;
       }
     };
-    pick(std::move(fresh), choice);
+    pick(std::move(fresh), choice, false);
     if (!choice.any.has_value() || !choice.compliant.has_value()) {
-      pick(std::move(suspect), choice);
+      pick(std::move(suspect), choice, false);
+    }
+    if (!choice.any.has_value() || !choice.compliant.has_value()) {
+      pick(std::move(excluded_fresh), choice, true);
+    }
+    if (!choice.any.has_value() || !choice.compliant.has_value()) {
+      pick(std::move(excluded_suspect), choice, true);
+    }
+    if (had_excluded && !choice.any_excluded && !choice.compliant_excluded) {
+      metrics_->counter("selector.exclusion_avoided").inc();
+    }
+    if (choice.any_excluded || choice.compliant_excluded) {
+      metrics_->counter("selector.exclusion_fallbacks").inc();
     }
     if (!choice.reachable()) metrics_->counter("selector.no_path").inc();
     if (!choice.compliant.has_value()) metrics_->counter("selector.no_compliant_path").inc();
@@ -176,13 +210,16 @@ void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_p
   });
 }
 
-PathSelector::PathInstruments& PathSelector::instruments_for(const scion::Path& path) {
+PathSelector::PathInstruments& PathSelector::instruments_for(const scion::Path& path,
+                                                             std::string_view identity) {
   const std::string fingerprint = path.fingerprint();
-  PathInstruments& inst = paths_[fingerprint];
+  const std::string key =
+      identity.empty() ? fingerprint : std::string(identity) + "|" + fingerprint;
+  PathInstruments& inst = paths_[key];
   if (inst.requests == nullptr) {
     inst.description = path.to_string();
-    inst.requests = &metrics_->counter(path_counter_name(fingerprint, "requests"));
-    inst.bytes = &metrics_->counter(path_counter_name(fingerprint, "bytes"));
+    inst.requests = &metrics_->counter(path_counter_name(fingerprint, "requests", identity));
+    inst.bytes = &metrics_->counter(path_counter_name(fingerprint, "bytes", identity));
   }
   return inst;
 }
@@ -198,8 +235,9 @@ void PathSelector::record_rtt(const scion::Path& path, Duration rtt) {
   metrics_->histogram("selector.observed_rtt").record(rtt);
 }
 
-void PathSelector::record_use(const scion::Path& path, std::uint64_t bytes, TimePoint now) {
-  PathInstruments& inst = instruments_for(path);
+void PathSelector::record_use(const scion::Path& path, std::uint64_t bytes, TimePoint now,
+                              std::string_view identity) {
+  PathInstruments& inst = instruments_for(path, identity);
   inst.requests->inc();
   inst.bytes->inc(bytes);
   inst.total_latency_estimate += path.meta().latency;

@@ -28,6 +28,11 @@ struct PathChoice {
   std::optional<scion::Path> compliant;  // best policy-compliant path
   std::optional<scion::Path> any;        // best path ignoring the policy
   std::size_t candidates = 0;            // daemon candidates considered
+  /// The corresponding pick came from the caller's exclusion set (identity
+  /// broker fallback: every non-excluded candidate was filtered away, so the
+  /// selection knowingly reuses a path live for another identity).
+  bool compliant_excluded = false;
+  bool any_excluded = false;
 
   [[nodiscard]] bool reachable() const { return any.has_value(); }
 };
@@ -58,18 +63,29 @@ class PathSelector {
   void set_geofence(std::optional<ppl::Geofence> geofence);
   [[nodiscard]] const std::optional<ppl::Geofence>& geofence() const { return geofence_; }
 
+  /// Soft exclusion predicate evaluated at filter time (the identity
+  /// broker's disjointness constraint). Excluded candidates are demoted
+  /// below quarantined ones: they are only used when nothing else survives,
+  /// and the PathChoice flags the fallback so the caller can count it.
+  using ExcludeFn = std::function<bool(const scion::Path&)>;
+
   void choose(scion::IsdAsn dst, std::function<void(PathChoice)> callback);
   /// As choose(), with a negotiated server preference applied as a
-  /// tie-breaking ordering after the user's policies, and an optional
+  /// tie-breaking ordering after the user's policies, an optional
   /// per-destination policy set overriding the selector's default (the
-  /// proxy's PolicyRouter resolves it per request).
+  /// proxy's PolicyRouter resolves it per request), and an optional
+  /// exclusion predicate (identity disjointness).
   void choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_preference,
               std::function<void(PathChoice)> callback,
-              std::optional<ppl::PolicySet> override_policies = std::nullopt);
+              std::optional<ppl::PolicySet> override_policies = std::nullopt,
+              ExcludeFn exclude = nullptr);
 
-  /// Records a request carried over `path`.
+  /// Records a request carried over `path`. A non-empty `identity` scopes
+  /// the per-path counters to that identity
+  /// (`selector.path.requests{identity=...,path=...}`), so usage accounting
+  /// breaks down by (identity, path) instead of path alone.
   void record_use(const scion::Path& path, std::uint64_t bytes,
-                  TimePoint now = TimePoint::origin());
+                  TimePoint now = TimePoint::origin(), std::string_view identity = {});
   /// Folds a transport RTT measurement into the path's feedback stats.
   void record_rtt(const scion::Path& path, Duration rtt);
 
@@ -93,7 +109,9 @@ class PathSelector {
   /// Fingerprint -> expiry for the /skip/health dump (deterministic order).
   [[nodiscard]] std::vector<std::pair<std::string, TimePoint>> quarantine_snapshot() const;
 
-  /// Usage snapshot keyed by path fingerprint, built from the registry.
+  /// Usage snapshot built from the registry, keyed by path fingerprint for
+  /// default-identity use and by "<identity>|<fingerprint>" for
+  /// identity-scoped use.
   [[nodiscard]] std::unordered_map<std::string, PathUsage> usage() const;
 
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
@@ -116,7 +134,7 @@ class PathSelector {
   };
 
   [[nodiscard]] bool permits(const scion::Path& path) const;
-  PathInstruments& instruments_for(const scion::Path& path);
+  PathInstruments& instruments_for(const scion::Path& path, std::string_view identity = {});
   void prune_expired_revocations(TimePoint now);
   void prune_expired_quarantines(TimePoint now);
 

@@ -101,6 +101,7 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
       selector_(daemon, metrics_),
       breaker_(sim, CircuitBreakerConfig{config_.breaker_threshold, config_.breaker_open_ttl},
                metrics_),
+      identities_(sim, *metrics_, config_.identity_audit_cap),
       retry_rng_(config_.retry_jitter_seed),
       overload_(sim, *metrics_, config_.overload),
       legacy_limiter_("legacy", config_.legacy_aimd, *metrics_),
@@ -187,6 +188,8 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
     std::string key;
     scion::IsdAsn ia;
     std::string host;
+    std::string authority;
+    std::string identity;
   };
   std::vector<Affected> affected;
   scion_pool_.for_each_connection(
@@ -198,29 +201,65 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
         }
         if (!scion_conn->path().uses_interface(message.origin_as, message.interface)) return;
         // The host was parsed once at pool-insert time; splitting the key at
-        // its first ':' would mis-handle any host containing a colon.
-        affected.push_back(Affected{key, scion_conn->addr().ia, scion_conn->host()});
+        // its first ':' would mis-handle any host containing a colon. The
+        // identity, in contrast, is unambiguous: sanitized ids cannot
+        // contain the '|' scope separator.
+        std::string authority = scion_conn->host();
+        if (scion_conn->port() != 80) {
+          authority += ":" + std::to_string(scion_conn->port());
+        }
+        affected.push_back(Affected{key, scion_conn->addr().ia, scion_conn->host(),
+                                    std::move(authority), identity_of_key(key)});
       });
   for (const Affected& origin : affected) {
     std::optional<ppl::PolicySet> per_site_policies;
     if (policy_router_.rule_count() > 0) {
       per_site_policies = policy_router_.match(origin.host);
     }
-    selector_.choose(origin.ia, {}, [this, key = origin.key](PathChoice choice) {
+    if (!per_site_policies.has_value()) {
+      per_site_policies = identities_.policies_for(origin.identity);
+    }
+    // Re-selection honors the identity broker: the replacement path must
+    // stay disjoint from other identities' paths to this origin, and the
+    // migration re-commits the assignment (collision-counted on fallback).
+    selector_.choose(origin.ia, {},
+                     [this, key = origin.key, identity = origin.identity,
+                      authority = origin.authority](PathChoice choice) {
       const scion::Path* replacement = nullptr;
+      bool excluded = false;
       if (choice.compliant.has_value()) {
         replacement = &*choice.compliant;
+        excluded = choice.compliant_excluded;
       } else if (choice.any.has_value()) {
         replacement = &*choice.any;
+        excluded = choice.any_excluded;
       }
       if (replacement == nullptr) return;  // nothing better available
       const std::size_t migrated = scion_pool_.migrate(key, *replacement);
       if (migrated == 0) return;  // already on (or equal to) this path
+      identities_.commit(identity, authority, replacement->fingerprint(), excluded);
       metrics_->counter("proxy.scmp_reroutes").inc(migrated);
       PAN_DEBUG(kLog) << key << ": migrating to " << replacement->to_string();
     },
-                     std::move(per_site_policies));
+                     std::move(per_site_policies),
+                     identities_.exclusion(origin.identity, origin.authority));
   }
+}
+
+void SkipProxy::rotate_identity(const std::string& id) {
+  const std::string identity = sanitize_identity(id);
+  const auto released = identities_.rotate(identity, config_.identity_quarantine_ttl);
+  for (const auto& [origin, fingerprint] : released) {
+    // No connection carrying a pre-rotation path may survive: retire the
+    // identity's pooled SCION connections (in-flight fetches fail over to
+    // fresh dials) and forget its 0-RTT tickets, which would otherwise link
+    // the rotated identity to its earlier sessions.
+    const std::string key = identity_key(identity, origin);
+    scion_pool_.retire(key);
+    resumption_tickets_.erase(key);
+  }
+  PAN_DEBUG(kLog) << "rotated identity " << identity << " (" << released.size()
+                  << " assignments released)";
 }
 
 http::HttpRequest SkipProxy::to_origin_form(const http::Url& url, http::HttpRequest request) {
@@ -240,6 +279,7 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
   // Strict-pinned requests outrank their header class: the user pinned the
   // host, so its requests ride in the document band.
   req->priority = options.strict ? RequestPriority::kDocument : priority_of(request);
+  req->identity = identity_of(request);
 
   // Cross-hop trace context: a request arriving with an X-Skip-Trace header
   // but no in-process trace object joins the caller's trace (id, parent
@@ -257,6 +297,9 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
   }
   if (!adopted) {
     req->trace->set_sampled(collector_->head_sample(static_cast<unsigned>(req->priority)));
+  }
+  if (req->identity != kDefaultIdentity) {
+    req->trace->set_attribute("identity", req->identity);
   }
 
   // Admission control runs before any work (timer, IPC defer) is queued:
@@ -313,6 +356,12 @@ void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
     req->admitted = false;
   }
   result.scion_attempts = req->attempts;
+  result.identity = req->identity;
+  // Per-identity stats count requests actually carried to an origin.
+  if (result.transport == TransportUsed::kScion || result.transport == TransportUsed::kIp) {
+    identities_.record_result(req->identity, result.transport == TransportUsed::kScion,
+                              result.response.body.size());
+  }
   switch (result.transport) {
     case TransportUsed::kScion: metrics_->counter("proxy.over_scion").inc(); break;
     case TransportUsed::kIp: metrics_->counter("proxy.over_ip").inc(); break;
@@ -441,6 +490,19 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
           200, from_string(obs::TraceCollector::chrome_trace_json(*record)),
           "application/json");
     }
+  } else if (request.target == "/skip/identity") {
+    // Per-identity isolation state: stats, live path assignments, audit.
+    result.response = http::make_response(200, from_string(identities_.snapshot_json()),
+                                          "application/json");
+  } else if (strings::starts_with(request.target, "/skip/identity/rotate/")) {
+    const std::string id = sanitize_identity(std::string_view(request.target)
+                                                 .substr(std::string_view(
+                                                             "/skip/identity/rotate/")
+                                                             .size()));
+    rotate_identity(id);
+    result.response = http::make_response(
+        200, from_string("{\"rotated\":" + strings::json_quote(id) + "}"),
+        "application/json");
   } else if (request.target == "/skip/debug") {
     // The flight-recorder snapshot plus collector and SLO state — the first
     // stop when a scenario goes sideways.
@@ -492,9 +554,9 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
   }
 
   req->trace->begin("detect");
-  detector_.resolve(url.value().host, [this, url = url.value(),
-                                       request = std::move(request), options,
-                                       req](ResolvedHost host) mutable {
+  detector_.resolve(url.value().host, req->identity, [this, url = url.value(),
+                                                     request = std::move(request), options,
+                                                     req](ResolvedHost host) mutable {
     if (req->done) return;
     req->trace->end("detect");
     const bool scion_possible = host.scion.has_value() && config_.prefer_scion;
@@ -570,7 +632,8 @@ void SkipProxy::start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr
   ++req->epoch;
   if (stack_.local_as() == ctx->addr.ia) {
     // Intra-AS destination: the empty path is trivially compliant.
-    fetch_over_scion(ctx, scion::Path::local(stack_.local_as()), /*compliant=*/true, req);
+    fetch_over_scion(ctx, scion::Path::local(stack_.local_as()), /*compliant=*/true,
+                     /*excluded=*/false, req);
     return;
   }
   // Apply any negotiated server preference for this origin (user policies
@@ -584,6 +647,11 @@ void SkipProxy::start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr
   std::optional<ppl::PolicySet> per_site_policies;
   if (policy_router_.rule_count() > 0) {
     per_site_policies = policy_router_.match(ctx->url.host);
+  }
+  // Per-identity policies apply when no per-site rule claimed the host: a
+  // site-specific rule is more specific than the identity's blanket policy.
+  if (!per_site_policies.has_value()) {
+    per_site_policies = identities_.policies_for(req->identity);
   }
   req->trace->begin("select");
   selector_.choose(ctx->addr.ia, std::move(server_pref), [this, ctx,
@@ -599,16 +667,18 @@ void SkipProxy::start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr
                                 "no policy-compliant SCION path");
         return;
       }
-      fetch_over_scion(ctx, *choice.compliant, /*compliant=*/true, req);
+      fetch_over_scion(ctx, *choice.compliant, /*compliant=*/true,
+                       choice.compliant_excluded, req);
       return;
     }
     // Opportunistic: compliant if possible, else any path (flagged), else IP.
     if (choice.compliant.has_value()) {
-      fetch_over_scion(ctx, *choice.compliant, /*compliant=*/true, req);
+      fetch_over_scion(ctx, *choice.compliant, /*compliant=*/true,
+                       choice.compliant_excluded, req);
     } else if (choice.any.has_value()) {
       PAN_DEBUG(kLog) << ctx->url.host
                       << ": no policy-compliant path, using non-compliant";
-      fetch_over_scion(ctx, *choice.any, /*compliant=*/false, req);
+      fetch_over_scion(ctx, *choice.any, /*compliant=*/false, choice.any_excluded, req);
     } else if (ctx->fallback_ip.has_value()) {
       metrics_->counter("proxy.fallbacks").inc();
       req->trace->begin("fallback");
@@ -622,7 +692,8 @@ void SkipProxy::start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr
       finish(req, std::move(result));
     }
   },
-                   std::move(per_site_policies));
+                   std::move(per_site_policies),
+                   identities_.exclusion(req->identity, ctx->url.authority()));
 }
 
 Duration SkipProxy::deadline_margin(const ScionContext& ctx, const RequestState& req) const {
@@ -702,14 +773,20 @@ void SkipProxy::handle_scion_failure(const ScionContextPtr& ctx, const RequestPt
 }
 
 void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& path,
-                                 bool compliant, const RequestPtr& req) {
+                                 bool compliant, bool excluded, const RequestPtr& req) {
   const std::uint64_t my_epoch = req->epoch;
   const http::Url& url = ctx->url;
   const scion::ScionAddr addr = ctx->addr;
-  const std::string key = url.authority();
+  // Pool submissions are keyed by (identity, origin): two identities fetching
+  // the same origin never share a pooled connection.
+  const std::string key = identity_key(req->identity, url.authority());
   // A live pooled connection follows the freshly selected path (the pool
   // no-ops when the fingerprint is unchanged).
   scion_pool_.migrate(key, path);
+  // Claim the path in the identity ledger. `excluded` means the selector had
+  // to fall back into another identity's live set (path space exhausted) —
+  // recorded as a collision, never silently.
+  identities_.commit(req->identity, url.authority(), path.fingerprint(), excluded);
 
   http::HttpRequest origin_request = to_origin_form(url, ctx->request);
   // Propagate the remaining deadline budget so a reverse proxy downstream
@@ -796,9 +873,11 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
       return;
     }
     breaker_.record_success(url.authority());
-    // Learn availability advertised via Strict-SCION.
+    // Learn availability advertised via Strict-SCION, scoped to the identity
+    // that observed it (a per-identity cache, like the browser's HSTS
+    // partitioning, keeps one identity's browsing from priming another's).
     if (const auto directive = http::strict_scion_of(response)) {
-      detector_.learn(url.host, addr, directive->max_age);
+      detector_.learn(url.host, addr, directive->max_age, req->identity);
     }
     // Path negotiation: remember the server's advertised preference.
     if (const auto pref_header = response.headers.get(std::string(kPathPreferenceHeader))) {
@@ -812,15 +891,18 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
     // Report the path the connection *ended up on* — an SCMP-driven
     // migration may have moved it off the path chosen at selection time.
     const scion::Path* final_path = &path;
-    if (auto* pooled =
-            scion_pool_.primary_as<http::ScionPooledConnection>(url.authority())) {
+    const std::string key = identity_key(req->identity, url.authority());
+    if (auto* pooled = scion_pool_.primary_as<http::ScionPooledConnection>(key)) {
       if (!pooled->path().fingerprint().empty()) {
         final_path = &pooled->path();
       }
       selector_.record_rtt(*final_path, pooled->transport().smoothed_rtt());
     }
-    selector_.record_use(*final_path, response.body.size(), sim_.now());
-    resumption_tickets_.insert(url.authority());
+    selector_.record_use(*final_path, response.body.size(), sim_.now(),
+                         req->identity == kDefaultIdentity
+                             ? std::string_view{}
+                             : std::string_view(req->identity));
+    resumption_tickets_.insert(key);
     metrics_->counter("proxy.bytes_scion").inc(response.body.size());
     // An SCMP-driven migration may have moved the connection off the path
     // chosen at selection time; the trace reports the one actually used.
@@ -871,7 +953,9 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
 
 void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
                               bool fell_back, RequestPtr req) {
-  const std::string key = url.authority();
+  // Legacy fetches are identity-partitioned too: the fallback path must not
+  // leak a shared TCP connection across identities.
+  const std::string key = identity_key(req->identity, url.authority());
   http::HttpRequest origin_request = to_origin_form(url, std::move(request));
   req->trace->begin("fetch");
   legacy_pool_.submit(

@@ -22,9 +22,15 @@
 // proxy's obs::MetricsRegistry as per-phase latency histograms. Requests
 // whose origin-form target starts with "/skip/" address the proxy itself:
 // GET /skip/metrics returns the registry as JSON, GET /skip/pool the
-// per-origin connection-pool state, and GET /skip/health the resilience
+// per-origin connection-pool state, GET /skip/health the resilience
 // state (circuit breakers, path quarantines, active revocations, fault.*
-// counters).
+// counters), and GET /skip/identity the per-identity isolation state
+// (assignments, stats, audit trail; /skip/identity/rotate/<id> rotates).
+//
+// Per-identity isolation: requests carry an X-Skip-Identity header (absent =
+// "default"); the proxy keys its connection pools, 0-RTT tickets, learned
+// detector cache, and path-usage accounting by (identity, origin), and an
+// IdentityPathBroker keeps concurrent identities on disjoint SCION paths.
 //
 // Resilience layer: every request runs under a deadline budget (threaded
 // from the browser or defaulted from request_timeout). A failed SCION fetch
@@ -53,6 +59,7 @@
 #include "obs/trace.hpp"
 #include "proxy/circuit_breaker.hpp"
 #include "proxy/detector.hpp"
+#include "proxy/identity.hpp"
 #include "proxy/overload.hpp"
 #include "proxy/path_selector.hpp"
 #include "proxy/policy_router.hpp"
@@ -106,6 +113,14 @@ struct ProxyConfig {
   /// (0 disables) and how long it rejects before a half-open probe.
   std::size_t breaker_threshold = 4;
   Duration breaker_open_ttl = seconds(5);
+
+  // --- per-identity isolation (X-Skip-Identity) ---
+  /// After rotate_identity(), the released fingerprints stay off-limits to
+  /// the rotating identity for this long so re-brokering lands on fresh
+  /// paths instead of trivially re-claiming the old ones.
+  Duration identity_quarantine_ttl = seconds(30);
+  /// Bounded per-identity audit-trail length (0 = unbounded).
+  std::size_t identity_audit_cap = 64;
 
   // --- overload resilience (admission / shedding / adaptive concurrency) ---
   /// Ingress admission control + brownout. The default knobs (rate 0,
@@ -171,6 +186,9 @@ struct ProxyResult {
   /// Terminal outcome (ok / timeout / shed / breaker-open / fault / blocked),
   /// as recorded on the trace.
   std::string outcome;
+  /// Network identity the request ran under (X-Skip-Identity; "default"
+  /// when the header was absent).
+  std::string identity;
 
   /// Sum of the finished spans named `phase` (zero when absent).
   [[nodiscard]] Duration phase_total(std::string_view phase) const;
@@ -244,6 +262,20 @@ class SkipProxy {
   /// take precedence over the default set for matching hosts.
   [[nodiscard]] PolicyRouter& policy_router() { return policy_router_; }
 
+  /// Per-identity isolation state (the circuit-style path broker).
+  [[nodiscard]] IdentityPathBroker& identities() { return identities_; }
+  /// rotate_paths() for one identity: quarantines its current path
+  /// assignments, retires its pooled SCION connections and 0-RTT tickets,
+  /// and lets the next request re-broker onto fresh, still-disjoint paths.
+  /// Other identities' assignments are untouched. Also reachable as
+  /// `GET /skip/identity/rotate/<id>`.
+  void rotate_identity(const std::string& id);
+  /// Per-identity PPL policy set, consulted when no per-site router rule
+  /// matches (rules > identity policies > the selector default).
+  void set_identity_policies(const std::string& id, ppl::PolicySet policies) {
+    identities_.identity(sanitize_identity(id)).set_policies(std::move(policies));
+  }
+
   [[nodiscard]] ScionDetector& detector() { return detector_; }
   [[nodiscard]] PathSelector& selector() { return selector_; }
   [[nodiscard]] CircuitBreaker& breaker() { return breaker_; }
@@ -284,6 +316,9 @@ class SkipProxy {
     bool strict = false;
     /// Priority class (admission ladder + pool queue ordering).
     RequestPriority priority = RequestPriority::kSubresource;
+    /// Network identity (X-Skip-Identity, sanitized) keying the pools, the
+    /// learned detector cache, and the path broker for this request.
+    std::string identity = std::string(kDefaultIdentity);
     /// Counted in-flight by the overload controller until finish().
     bool admitted = false;
     /// SCION attempts started (selection + fetch cycles).
@@ -310,8 +345,10 @@ class SkipProxy {
   /// One SCION attempt: path selection then fetch. Called for the first
   /// attempt and again on every retry.
   void start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr& req);
+  /// `excluded` flags a selection that fell back to a path the identity
+  /// broker excluded (path set too small): the commit records a collision.
   void fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& path,
-                        bool compliant, const RequestPtr& req);
+                        bool compliant, bool excluded, const RequestPtr& req);
   /// A SCION attempt failed: quarantine the path, feed the breaker, then
   /// retry / fall back / degrade per mode and remaining budget.
   void handle_scion_failure(const ScionContextPtr& ctx, const RequestPtr& req,
@@ -357,6 +394,7 @@ class SkipProxy {
   PathSelector selector_;
   CircuitBreaker breaker_;
   PolicyRouter policy_router_;
+  IdentityPathBroker identities_;
   Rng retry_rng_;
   // Overload layer: constructed before the pools, which hold limiter
   // pointers into the AIMD controllers.

@@ -644,5 +644,203 @@ TEST(OriginPoolTest, AdaptiveLimiterNarrowsEffectiveCapUnderSlowness) {
                                       fx.world->sim().now() + seconds(30));
 }
 
+/// A pooled connection that wedges: the transport stays open, usable() is
+/// false, and any dispatched fetch is swallowed (its response never fires),
+/// so the entry sits in the pool busy-but-dead.
+class WedgedLegacyConnection final : public http::OriginPool::PooledConnection {
+ public:
+  WedgedLegacyConnection(net::Host& host, net::Endpoint server) : inner_(host, server) {}
+
+  void fetch(const http::HttpRequest&, http::HttpClientStream::ResponseFn) override {
+    ++swallowed_;
+  }
+  [[nodiscard]] transport::Connection& transport() override { return inner_.transport(); }
+  [[nodiscard]] bool usable() override { return false; }
+  void shutdown() override { inner_.shutdown(); }
+  [[nodiscard]] int swallowed() const { return swallowed_; }
+
+ private:
+  http::LegacyPooledConnection inner_;
+  int swallowed_ = 0;
+};
+
+// Regression: dispatch() used to count every pooled entry — including
+// wedged-but-busy connections that can never serve again — against
+// max_conns_per_origin, so an origin whose only connection wedged mid-flight
+// blocked every new dial until queue timeout. Only usable connections may
+// occupy a capacity slot.
+TEST(OriginPoolTest, WedgedBusyConnectionDoesNotBlockFreshDials) {
+  PoolFixture fx;
+  fx.world->site("tcpip-fs.local")->add_text("/a", "A");
+  http::OriginPoolConfig cfg;
+  cfg.name = "t";
+  cfg.max_conns_per_origin = 1;  // the wedged conn holds the only slot
+  cfg.max_outstanding_per_conn = 0;
+  http::OriginPool pool(fx.world->sim(), fx.metrics, cfg);
+  const net::Endpoint server{fx.topo().ip(fx.topo().host_by_name("tcpip-fs")), 80};
+
+  // First request lands on a connection that wedges with the request still
+  // outstanding: transport open, usable() false, response never delivered.
+  bool first_answered = false;
+  pool.submit("tcpip-fs.local", fx.request("/a"),
+              [&](Result<http::HttpResponse>) { first_answered = true; },
+              [&]() { return std::make_unique<WedgedLegacyConnection>(fx.client_host(), server); });
+  fx.world->sim().run_until(fx.world->sim().now() + milliseconds(50));
+  ASSERT_FALSE(first_answered);
+  {
+    const auto snaps = pool.snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    EXPECT_EQ(snaps[0].conns, 1u);
+    EXPECT_EQ(snaps[0].outstanding, 1u);
+  }
+
+  // The second request must dial fresh instead of parking behind the wedged
+  // slot forever (pre-fix: conns.size() == cap, no dial, waiter starves).
+  std::string second;
+  pool.submit("tcpip-fs.local", fx.request("/a"),
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_TRUE(r.ok()) << r.error();
+                second = to_string_view_copy(r.value().body);
+              },
+              fx.legacy_factory());
+  fx.world->sim().run_until_condition([&] { return !second.empty(); },
+                                      fx.world->sim().now() + seconds(10));
+  EXPECT_EQ(second, "A");
+  EXPECT_EQ(fx.metrics.counter("pool.t.misses").value(), 2u);  // both dialed
+  const auto snaps = pool.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].queued, 0u);
+}
+
+/// A SCION pool connection that wedges (usable() false, fetches swallowed)
+/// while its transport stays open — what migrate() must skip.
+class WedgedScionConnection final : public http::ScionPooledConnection {
+ public:
+  using http::ScionPooledConnection::ScionPooledConnection;
+
+  void fetch(const http::HttpRequest&, http::HttpClientStream::ResponseFn) override {}
+  [[nodiscard]] bool usable() override { return false; }
+};
+
+// Regression: migrate() used to skip only transport-closed connections, so a
+// wedged-open connection (dead stream, transport up, waiting to be pruned)
+// was migrated onto the fresh path — burning the replacement path's first
+// impression on a connection that can never carry a request. It must be
+// skipped, and real migrations must count in pool.<name>.migrations.
+TEST(OriginPoolTest, MigrateSkipsWedgedConnectionAndCountsMigrations) {
+  auto world = make_remote_world();
+  auto& topo = world->topology();
+  world->site("www.far.example")->add_text("/x", "hi");
+  const auto rp = topo.host_by_name("far-rp1");
+  const auto paths = topo.daemon_for(world->client).query_now(topo.as_of(rp));
+  ASSERT_GE(paths.size(), 2u);
+
+  obs::MetricsRegistry metrics;
+  http::OriginPoolConfig cfg;
+  cfg.name = "scion";
+  cfg.max_conns_per_origin = 2;
+  cfg.max_outstanding_per_conn = 0;
+  http::OriginPool pool(world->sim(), metrics, cfg);
+  const std::string key = "www.far.example";
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/x";
+  req.headers.set("Host", "www.far.example");
+
+  const auto factory_on = [&](const scion::Path& p,
+                              bool wedged) -> http::OriginPool::ConnFactory {
+    return [&, p, wedged]() -> std::unique_ptr<http::OriginPool::PooledConnection> {
+      const auto endpoint = scion::ScionEndpoint{topo.scion_addr(rp), 80};
+      auto& stack = topo.scion_stack(world->client);
+      if (wedged) {
+        return std::make_unique<WedgedScionConnection>(stack, endpoint, p,
+                                                       "www.far.example", 80);
+      }
+      return std::make_unique<http::ScionPooledConnection>(stack, endpoint, p,
+                                                           "www.far.example", 80);
+    };
+  };
+
+  // First submission wedges in flight: outstanding stays 1, so the entry is
+  // pool-resident (not prunable) when migrate() runs.
+  pool.submit(key, req, [&](Result<http::HttpResponse>) { FAIL() << "wedged"; },
+              factory_on(paths[0], /*wedged=*/true));
+  // Second submission dials a healthy connection next to it.
+  bool done = false;
+  pool.submit(key, req,
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_TRUE(r.ok()) << r.error();
+                done = true;
+              },
+              factory_on(paths[0], /*wedged=*/false));
+  world->sim().run_until_condition([&] { return done; }, world->sim().now() + seconds(60));
+  ASSERT_TRUE(done);
+  {
+    const auto snaps = pool.snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    ASSERT_EQ(snaps[0].conns, 2u);
+    EXPECT_EQ(snaps[0].outstanding, 1u);  // the wedged fetch, forever in flight
+  }
+
+  const scion::Path* other = nullptr;
+  for (const scion::Path& p : paths) {
+    if (p.fingerprint() != paths[0].fingerprint()) {
+      other = &p;
+      break;
+    }
+  }
+  ASSERT_NE(other, nullptr);
+
+  // Only the healthy connection migrates; the wedged one keeps its old path.
+  EXPECT_EQ(pool.migrate(key, *other), 1u);
+  EXPECT_EQ(metrics.counter("pool.scion.migrations").value(), 1u);
+  std::size_t on_old = 0;
+  std::size_t on_new = 0;
+  pool.for_each_connection([&](const std::string&, http::OriginPool::PooledConnection& c) {
+    auto& scion_conn = dynamic_cast<http::ScionPooledConnection&>(c);
+    if (scion_conn.path().fingerprint() == paths[0].fingerprint()) ++on_old;
+    if (scion_conn.path().fingerprint() == other->fingerprint()) ++on_new;
+  });
+  EXPECT_EQ(on_old, 1u);  // the wedged conn, untouched
+  EXPECT_EQ(on_new, 1u);
+  // Fingerprint-identical re-migration is a no-op and does not count.
+  EXPECT_EQ(pool.migrate(key, *other), 0u);
+  EXPECT_EQ(metrics.counter("pool.scion.migrations").value(), 1u);
+}
+
+// retire() force-closes everything pooled for a key (identity rotation):
+// idle entries prune immediately and the next submission dials fresh.
+TEST(OriginPoolTest, RetireClosesPooledConnectionsAndRedials) {
+  PoolFixture fx;
+  fx.world->site("tcpip-fs.local")->add_text("/a", "A");
+  http::OriginPoolConfig cfg;
+  cfg.name = "t";
+  http::OriginPool pool(fx.world->sim(), fx.metrics, cfg);
+
+  std::string first;
+  pool.submit("tcpip-fs.local", fx.request("/a"),
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_TRUE(r.ok()) << r.error();
+                first = to_string_view_copy(r.value().body);
+              },
+              fx.legacy_factory());
+  fx.world->sim().run_until_condition([&] { return !first.empty(); },
+                                      fx.world->sim().now() + seconds(10));
+  EXPECT_EQ(pool.retire("tcpip-fs.local"), 1u);
+  EXPECT_EQ(pool.retire("tcpip-fs.local"), 0u);  // idempotent: already closed
+
+  std::string second;
+  pool.submit("tcpip-fs.local", fx.request("/a"),
+              [&](Result<http::HttpResponse> r) {
+                ASSERT_TRUE(r.ok()) << r.error();
+                second = to_string_view_copy(r.value().body);
+              },
+              fx.legacy_factory());
+  fx.world->sim().run_until_condition([&] { return !second.empty(); },
+                                      fx.world->sim().now() + seconds(10));
+  EXPECT_EQ(second, "A");
+  EXPECT_EQ(fx.metrics.counter("pool.t.misses").value(), 2u);  // fresh dial
+}
+
 }  // namespace
 }  // namespace pan

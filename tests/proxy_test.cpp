@@ -22,10 +22,10 @@ struct DetectorFixture {
   ScionDetector detector{sim, resolver};
   scion::ScionAddr addr{scion::IsdAsn{1, 0x110}, net::IpAddr{0x0a000001}};
 
-  ResolvedHost resolve(const std::string& domain) {
+  ResolvedHost resolve(const std::string& domain, const std::string& identity = {}) {
     ResolvedHost out;
     bool done = false;
-    detector.resolve(domain, [&](ResolvedHost host) {
+    detector.resolve(domain, identity, [&](ResolvedHost host) {
       out = host;
       done = true;
     });
@@ -77,6 +77,52 @@ TEST(DetectorTest, MaxAgeZeroWithdrawsLearnedEntry) {
   fx.detector.learn("site.example", fx.addr, Duration::zero());
   EXPECT_EQ(fx.detector.learned_size(), 0u);
   EXPECT_EQ(fx.resolve("site.example").scion_source, ScionSource::kNone);
+}
+
+// Regression: resolve() used to snapshot the learned entry *before* starting
+// the async DNS lookup, so a "Strict-SCION: max-age=0" withdrawal landing
+// while the lookup was in flight was ignored — the callback resurrected the
+// withdrawn SCION address. The learned/curated lookup must run in the
+// resolver callback, after any mid-resolution state change.
+TEST(DetectorTest, WithdrawalDuringResolutionIsNotResurrected) {
+  DetectorFixture fx;
+  fx.zone.add_a("site.example", net::IpAddr{9});
+  fx.detector.learn("site.example", fx.addr, seconds(600));
+
+  ResolvedHost out;
+  bool done = false;
+  fx.detector.resolve("site.example", [&](ResolvedHost host) {
+    out = host;
+    done = true;
+  });
+  // The DNS lookup is still in flight (nonzero resolver latency) when the
+  // origin withdraws its advertisement.
+  fx.detector.learn("site.example", fx.addr, Duration::zero());
+  fx.sim.run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(out.ip.has_value());
+  EXPECT_FALSE(out.scion.has_value());
+  EXPECT_EQ(out.scion_source, ScionSource::kNone);
+}
+
+// Learned Strict-SCION state is partitioned per identity: one identity's
+// browsing must not prime (or withdraw) another identity's detector cache.
+TEST(DetectorTest, LearnedEntriesAreIdentityScoped) {
+  DetectorFixture fx;
+  fx.zone.add_a("site.example", net::IpAddr{9});
+  fx.detector.learn("site.example", fx.addr, seconds(600), "work");
+  EXPECT_EQ(fx.resolve("site.example", "work").scion_source, ScionSource::kLearned);
+  // Neither the default identity nor a sibling sees the entry.
+  EXPECT_EQ(fx.resolve("site.example").scion_source, ScionSource::kNone);
+  EXPECT_EQ(fx.resolve("site.example", "personal").scion_source, ScionSource::kNone);
+  // A withdrawal under another identity leaves "work" intact.
+  fx.detector.learn("site.example", fx.addr, Duration::zero(), "personal");
+  EXPECT_EQ(fx.resolve("site.example", "work").scion_source, ScionSource::kLearned);
+  // Curated entries stay global (operator configuration, not browsing state).
+  fx.detector.add_curated("curated.example", fx.addr);
+  fx.zone.add_a("curated.example", net::IpAddr{10});
+  EXPECT_EQ(fx.resolve("curated.example", "work").scion_source, ScionSource::kCurated);
+  EXPECT_EQ(fx.resolve("curated.example").scion_source, ScionSource::kCurated);
 }
 
 TEST(DetectorTest, NoRecordsAtAll) {
