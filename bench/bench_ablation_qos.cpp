@@ -47,15 +47,15 @@ FlowResult run_flow(double flood_mbps, bool reserved) {
   double delay_sum_ms = 0;
   const double base_delay_ms = best.meta().latency.millis();
   auto probe_sink = topo.scion_stack(server).bind(
-      9001, [&](const ScionEndpoint&, const DataplanePath&, Bytes payload) {
+      9001, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView payload) {
         // The payload carries the send time.
-        ByteReader r(payload);
+        ByteReader r(payload.span());
         const TimePoint sent{static_cast<std::int64_t>(r.u64())};
         delay_sum_ms += (sim.now() - sent).millis() - base_delay_ms;
         ++received;
       });
   auto flood_sink = topo.scion_stack(server).bind(
-      9003, [](const ScionEndpoint&, const DataplanePath&, Bytes) {});
+      9003, [](const ScionEndpoint&, const DataplanePath&, net::PacketView) {});
   auto client = topo.scion_stack(world->client).bind(0, nullptr);
 
   // 1000-byte CBR probe every 2 ms (~5 Mbps on the wire) for one second,

@@ -7,8 +7,10 @@
 #include "crypto/signature.hpp"
 #include "net/graph.hpp"
 #include "ppl/parser.hpp"
+#include "scion/border_router.hpp"
 #include "scion/header.hpp"
 #include "scion/segment.hpp"
+#include "support/alloc_probe.hpp"
 #include "util/stats.hpp"
 
 using namespace pan;
@@ -37,6 +39,21 @@ void BM_HopFieldMac(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HopFieldMac);
+
+void BM_HopFieldMacPrecomputed(benchmark::State& state) {
+  const scion::ForwardingKey key(16, 0x42);
+  const crypto::HmacKey mac_key(key);
+  scion::HopField hf;
+  hf.isd_as = scion::IsdAsn{1, 0x110};
+  hf.in_if = 3;
+  hf.out_if = 7;
+  hf.expiry_s = 3600;
+  for (auto _ : state) {
+    scion::seal_hop_field(hf, 1000, mac_key);
+    benchmark::DoNotOptimize(hf.mac);
+  }
+}
+BENCHMARK(BM_HopFieldMacPrecomputed);
 
 void BM_LamportSign(benchmark::State& state) {
   Rng rng(1);
@@ -91,6 +108,108 @@ void BM_ScionHeaderParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScionHeaderParse)->Arg(3)->Arg(8);
+
+void BM_ScionHeaderViewParse(benchmark::State& state) {
+  scion::ScionHeader header;
+  header.path = make_path(static_cast<std::size_t>(state.range(0)));
+  const Bytes wire = scion::serialize_scion_packet(header, Bytes(1200, 0x11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scion::ScionHeaderView::parse(wire));
+  }
+}
+BENCHMARK(BM_ScionHeaderViewParse)->Arg(3)->Arg(8);
+
+/// A MAC-sealed transit packet: `hops`-hop single segment, cursor on the
+/// middle AS, 1200-byte payload — the steady-state border-router workload.
+struct ForwardFixture {
+  scion::ForwardingKey key = scion::ForwardingKey(16, 0x42);
+  scion::IsdAsn local;
+  Bytes wire;
+
+  explicit ForwardFixture(std::size_t hops) {
+    constexpr std::uint32_t kTs = 1'000'000;
+    scion::ScionHeader header;
+    scion::DataplaneSegment seg;
+    seg.origin_ts = kTs;
+    for (std::size_t i = 0; i < hops; ++i) {
+      scion::HopField hf;
+      hf.isd_as = scion::IsdAsn{1, static_cast<scion::Asn>(0x100 + i)};
+      hf.in_if = i == 0 ? scion::kNoIface : static_cast<scion::IfaceId>(i);
+      hf.out_if = i + 1 == hops ? scion::kNoIface : static_cast<scion::IfaceId>(i + 1);
+      hf.expiry_s = 24 * 3600;
+      scion::seal_hop_field(hf, kTs, key);
+      seg.hops.push_back(hf);
+    }
+    header.src = scion::ScionAddr{seg.hops.front().isd_as, net::IpAddr{1}};
+    header.dst = scion::ScionAddr{seg.hops.back().isd_as, net::IpAddr{2}};
+    header.path.segments.push_back(std::move(seg));
+    header.cur_seg = 0;
+    header.cur_hop = static_cast<std::uint8_t>(hops / 2);
+    local = header.path.segments[0].hops[hops / 2].isd_as;
+    wire = scion::serialize_scion_packet(header, Bytes(1200, 0x11));
+  }
+};
+
+/// Per-hop forwarding work of the legacy pipeline: full eager reparse of
+/// every segment and hop field, then hop check and in-place cursor patch.
+void BM_ForwardHopLegacy(benchmark::State& state) {
+  ForwardFixture fx(static_cast<std::size_t>(state.range(0)));
+  scion::BorderRouterConfig config;
+  Bytes packet = fx.wire;
+  const std::uint64_t allocs_before = testsupport::allocation_count();
+  for (auto _ : state) {
+    const auto parsed = scion::parse_scion_packet(packet);
+    const scion::ScionHeader& header = parsed.value().header;
+    const scion::DataplaneSegment& seg = header.path.segments[header.cur_seg];
+    const scion::HopField& hf = seg.hop_at(header.cur_hop);
+    bool ok = hf.isd_as == fx.local && scion::verify_hop_field(hf, seg.origin_ts, fx.key);
+    benchmark::DoNotOptimize(ok);
+    scion::patch_cursor(packet, header.cur_seg, header.cur_hop);  // cursor stays put
+  }
+  const std::uint64_t allocs = testsupport::allocation_count() - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_forward"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ForwardHopLegacy)->Arg(3)->Arg(8);
+
+/// Per-hop forwarding work of the zero-copy pipeline: decide_hop over the
+/// lazy view (decodes exactly one hop field) and in-place cursor patch.
+void BM_ForwardHopZeroCopy(benchmark::State& state) {
+  ForwardFixture fx(static_cast<std::size_t>(state.range(0)));
+  scion::BorderRouterConfig config;
+  const crypto::HmacKey mac_key(fx.key);  // router steady state: precomputed once
+  net::PacketView packet{Bytes(fx.wire)};
+  (void)packet.mutable_span();  // unique storage: patch_cursor patches in place
+  const std::uint8_t cur_seg = 0;
+  const std::uint8_t cur_hop = static_cast<std::uint8_t>(state.range(0) / 2);
+  const std::uint64_t allocs_before = testsupport::allocation_count();
+  for (auto _ : state) {
+    const scion::HopDecision d = scion::decide_hop(packet.span(), fx.local, mac_key, config);
+    benchmark::DoNotOptimize(d);
+    scion::patch_cursor(packet, cur_seg, cur_hop);  // cursor stays put
+  }
+  const std::uint64_t allocs = testsupport::allocation_count() - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_forward"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ForwardHopZeroCopy)->Arg(3)->Arg(8);
+
+void BM_LamportVerifyMemoized(benchmark::State& state) {
+  Rng rng(1);
+  const auto kp = crypto::generate_keypair(rng);
+  const auto sig = crypto::sign(kp.private_key, "beacon entry");
+  crypto::PreimageCache cache;
+  const std::string_view msg = "beacon entry";
+  const auto span = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  (void)crypto::verify(kp.public_key, span, sig, &cache);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(kp.public_key, span, sig, &cache));
+  }
+}
+BENCHMARK(BM_LamportVerifyMemoized);
 
 void BM_PplParse(benchmark::State& state) {
   static constexpr std::string_view kPolicy = R"(

@@ -15,6 +15,10 @@
 #   scripts/check.sh --identity   # PAN_SANITIZE=ON build, then loop the
 #                                 # identity-isolation suite (broker
 #                                 # disjointness under rotation + link cuts)
+#   scripts/check.sh --bench-smoke # plain build, then a short bench_micro run
+#                                 # of the forwarding benches; fails if the
+#                                 # zero-copy hop path allocates or is not
+#                                 # faster than the legacy reparse pipeline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -67,6 +71,31 @@ if [[ "${1:-}" == "--identity" ]]; then
   cmake --build build-asan -j
   ./build-asan/tests/identity_test
   echo "==> identity passed"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  echo "==> bench-smoke: forwarding micro-benchmarks (zero-copy data plane)"
+  run_suite build
+  out="$(./build/bench/bench_micro \
+    --benchmark_filter='ForwardHop|ScionHeaderViewParse' \
+    --benchmark_min_time=0.1 \
+    --benchmark_format=json)"
+  echo "$out"
+  # Contract checks, not absolute timings (CI machines vary): the zero-copy
+  # pipeline must not allocate on the hop path and must beat legacy pkt/s.
+  python3 - "$out" <<'EOF'
+import json, sys
+runs = {b["name"]: b for b in json.loads(sys.argv[1])["benchmarks"]}
+for hops in (3, 8):
+    legacy = runs[f"BM_ForwardHopLegacy/{hops}"]
+    zc = runs[f"BM_ForwardHopZeroCopy/{hops}"]
+    assert zc["allocs_per_forward"] == 0, f"zero-copy hop path allocates at {hops} hops"
+    ratio = zc["items_per_second"] / legacy["items_per_second"]
+    print(f"{hops} hops: zero-copy {ratio:.2f}x legacy pkt/s")
+    assert ratio > 1.0, f"zero-copy slower than legacy at {hops} hops ({ratio:.2f}x)"
+EOF
+  echo "==> bench-smoke passed"
   exit 0
 fi
 

@@ -7,9 +7,12 @@ namespace {
 
 constexpr std::size_t kBlockSize = 64;
 
-}  // namespace
+struct Pads {
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+};
 
-Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+Pads derive_pads(std::span<const std::uint8_t> key) {
   std::array<std::uint8_t, kBlockSize> block_key{};
   if (key.size() > kBlockSize) {
     const Digest hashed = sha256(key);
@@ -18,22 +21,53 @@ Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8
     std::copy(key.begin(), key.end(), block_key.begin());
   }
 
-  std::array<std::uint8_t, kBlockSize> ipad{};
-  std::array<std::uint8_t, kBlockSize> opad{};
+  Pads pads;
   for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = block_key[i] ^ 0x36;
-    opad[i] = block_key[i] ^ 0x5c;
+    pads.ipad[i] = block_key[i] ^ 0x36;
+    pads.opad[i] = block_key[i] ^ 0x5c;
   }
+  return pads;
+}
+
+}  // namespace
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+  const Pads pads = derive_pads(key);
 
   Sha256 inner;
-  inner.update(std::span<const std::uint8_t>(ipad));
+  inner.update(std::span<const std::uint8_t>(pads.ipad));
   inner.update(message);
   const Digest inner_digest = inner.finalize();
 
   Sha256 outer;
-  outer.update(std::span<const std::uint8_t>(opad));
+  outer.update(std::span<const std::uint8_t>(pads.opad));
   outer.update(std::span<const std::uint8_t>(inner_digest));
   return outer.finalize();
+}
+
+HmacKey::HmacKey(std::span<const std::uint8_t> key) {
+  // ipad/opad are exactly one block, so both updates compress immediately and
+  // leave nothing buffered: inner_/outer_ hold pure midstates.
+  const Pads pads = derive_pads(key);
+  inner_.update(std::span<const std::uint8_t>(pads.ipad));
+  outer_.update(std::span<const std::uint8_t>(pads.opad));
+}
+
+Digest HmacKey::mac(std::span<const std::uint8_t> message) const {
+  Sha256 inner = inner_;
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer = outer_;
+  outer.update(std::span<const std::uint8_t>(inner_digest));
+  return outer.finalize();
+}
+
+ShortMac HmacKey::short_mac(std::span<const std::uint8_t> message) const {
+  const Digest full = mac(message);
+  ShortMac truncated{};
+  std::copy_n(full.begin(), kShortMacSize, truncated.begin());
+  return truncated;
 }
 
 Digest hmac_sha256(std::span<const std::uint8_t> key, std::string_view message) {

@@ -62,19 +62,16 @@ void Sha256::update(std::string_view s) {
 
 Digest Sha256::finalize() {
   const std::uint64_t bit_length = total_bytes_ * 8;
-  // Padding: 0x80, zeros, 8-byte big-endian bit length.
-  const std::uint8_t pad_byte = 0x80;
-  update(std::span<const std::uint8_t>(&pad_byte, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffered_ != 56) {
-    update(std::span<const std::uint8_t>(&zero, 1));
+  // Padding: 0x80, zeros to 56 mod 64, 8-byte big-endian bit length — built
+  // in one stack buffer and fed in a single update (the hop-MAC path
+  // finalizes twice per packet, so per-byte padding calls would show up).
+  std::array<std::uint8_t, 72> pad{};
+  pad[0] = 0x80;
+  const std::size_t zeros_end = buffered_ < 56 ? 56 - buffered_ : 120 - buffered_;
+  for (std::size_t i = 0; i < 8; ++i) {
+    pad[zeros_end + i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
   }
-  std::array<std::uint8_t, 8> len_bytes{};
-  for (int i = 0; i < 8; ++i) {
-    len_bytes[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
-  }
-  update(std::span<const std::uint8_t>(len_bytes));
+  update(std::span<const std::uint8_t>(pad.data(), zeros_end + 8));
 
   Digest out{};
   for (std::size_t i = 0; i < 8; ++i) {

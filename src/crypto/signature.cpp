@@ -80,12 +80,39 @@ Signature sign(const PrivateKey& key, std::string_view message) {
                        reinterpret_cast<const std::uint8_t*>(message.data()), message.size()));
 }
 
+const Digest& PreimageCache::hash_of(const Digest& preimage) {
+  const auto it = cache_.find(preimage);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return cache_.emplace(preimage, sha256(std::span<const std::uint8_t>(preimage))).first->second;
+}
+
 bool verify(const PublicKey& key, std::span<const std::uint8_t> message, const Signature& sig) {
+  return verify(key, message, sig, nullptr);
+}
+
+bool verify(const PublicKey& key, std::span<const std::uint8_t> message, const Signature& sig,
+            PreimageCache* cache) {
   const Digest msg_digest = sha256(message);
   for (std::size_t i = 0; i < kSignatureBits; ++i) {
-    const Digest hashed = sha256(std::span<const std::uint8_t>(sig.revealed[i]));
+    const Digest hashed =
+        cache != nullptr ? cache->hash_of(sig.revealed[i])
+                         : sha256(std::span<const std::uint8_t>(sig.revealed[i]));
     const auto expected = key.hashes[i][digest_bit(msg_digest, i) ? 1 : 0];
     if (hashed != expected) return false;
+  }
+  return true;
+}
+
+bool verify_batch(std::span<const VerifyJob> jobs, PreimageCache* cache) {
+  for (const VerifyJob& job : jobs) {
+    if (job.key == nullptr || job.sig == nullptr) return false;
+    if (!verify(*job.key, std::span<const std::uint8_t>(job.message), *job.sig, cache)) {
+      return false;
+    }
   }
   return true;
 }

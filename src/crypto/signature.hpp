@@ -15,6 +15,8 @@
 #include <memory>
 #include <span>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "crypto/sha256.hpp"
 #include "util/result.hpp"
@@ -59,8 +61,59 @@ struct KeyPair {
 [[nodiscard]] Signature sign(const PrivateKey& key, std::span<const std::uint8_t> message);
 [[nodiscard]] Signature sign(const PrivateKey& key, std::string_view message);
 
+/// Hasher for Digest keys in unordered containers (digests are uniformly
+/// distributed, so the first machine word is already a good hash).
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const {
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(h); ++i) h |= static_cast<std::size_t>(d[i]) << (8 * i);
+    return h;
+  }
+};
+
+/// Memoizes sha256(preimage) for revealed signature preimages.
+///
+/// The simulator reuses Lamport keypairs across beacons (see the caveat
+/// above), so each key position only ever reveals one of two preimages.
+/// Once a preimage's hash is cached, every later verification that reveals
+/// the same preimage costs a 32-byte map lookup + memcmp instead of a
+/// SHA-256 compression — which is where nearly all of verify()'s time goes
+/// (256 compressions per signature).
+class PreimageCache {
+ public:
+  /// Returns sha256(preimage), computing and memoizing on first sight.
+  const Digest& hash_of(const Digest& preimage);
+
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<Digest, Digest, DigestHasher> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 [[nodiscard]] bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
                           const Signature& sig);
 [[nodiscard]] bool verify(const PublicKey& key, std::string_view message, const Signature& sig);
+/// Cache-assisted verification; `cache` may be nullptr (falls back to the
+/// plain path).
+[[nodiscard]] bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
+                          const Signature& sig, PreimageCache* cache);
+
+/// One unit of work for verify_batch. `key` and `sig` are borrowed; the
+/// message bytes are owned so callers can batch inputs built on the fly
+/// (e.g. PathSegment::signing_input).
+struct VerifyJob {
+  const PublicKey* key = nullptr;
+  Bytes message;
+  const Signature* sig = nullptr;
+};
+
+/// Verifies a batch of signatures sharing one preimage cache, short-
+/// circuiting on the first failure. Returns true iff every job verifies.
+/// With a warm cache (reused keys), throughput approaches memcmp speed.
+[[nodiscard]] bool verify_batch(std::span<const VerifyJob> jobs, PreimageCache* cache = nullptr);
 
 }  // namespace pan::crypto

@@ -77,7 +77,7 @@ UdpSocket::UdpSocket(Host& host, std::uint16_t port, Host::ReceiveFn on_receive)
 
 UdpSocket::~UdpSocket() { host_.unbind(port_); }
 
-void UdpSocket::send_to(const Endpoint& dst, Bytes payload) {
+void UdpSocket::send_to(const Endpoint& dst, PacketView payload) {
   Packet packet;
   packet.proto = Protocol::kUdp;
   packet.src = host_.address();
@@ -88,7 +88,7 @@ void UdpSocket::send_to(const Endpoint& dst, Bytes payload) {
   host_.send_packet(std::move(packet));
 }
 
-void UdpSocket::deliver(const Endpoint& from, Bytes payload) {
+void UdpSocket::deliver(const Endpoint& from, PacketView payload) {
   if (on_receive_) on_receive_(from, std::move(payload));
 }
 

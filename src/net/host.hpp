@@ -28,8 +28,10 @@ class Host {
   [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
 
   /// Binds a UDP socket. port == 0 picks an ephemeral port. Returns null if
-  /// the port is taken. The socket unbinds itself on destruction.
-  using ReceiveFn = std::function<void(const Endpoint& from, Bytes payload)>;
+  /// the port is taken. The socket unbinds itself on destruction. The
+  /// payload view shares the packet's buffer — copy (to_bytes) to retain it
+  /// past the callback only if the receiver mutates shared state.
+  using ReceiveFn = std::function<void(const Endpoint& from, PacketView payload)>;
   [[nodiscard]] std::unique_ptr<UdpSocket> udp_bind(std::uint16_t port, ReceiveFn on_receive);
 
   /// Raw send of a prepared packet out of the access interface.
@@ -66,11 +68,11 @@ class UdpSocket {
   [[nodiscard]] Endpoint local_endpoint() const { return Endpoint{host_.address(), port_}; }
   [[nodiscard]] Host& host() { return host_; }
 
-  void send_to(const Endpoint& dst, Bytes payload);
+  void send_to(const Endpoint& dst, PacketView payload);
 
  private:
   friend class Host;
-  void deliver(const Endpoint& from, Bytes payload);
+  void deliver(const Endpoint& from, PacketView payload);
 
   Host& host_;
   std::uint16_t port_;

@@ -96,6 +96,7 @@ void Network::trace(TraceEvent::Kind kind, TimePoint time, NodeId from, NodeId t
   event.proto = packet.proto;
   event.wire_bytes = packet.wire_size();
   event.packet_id = packet.id;
+  event.packet = &packet;
   tracer_(event);
 }
 

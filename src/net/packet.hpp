@@ -3,17 +3,109 @@
 // A Packet carries either a legacy UDP datagram (proto kUdp: src/dst address
 // and ports are authoritative, payload is the transport frame) or a SCION
 // packet (proto kScion: the payload is the fully serialized SCION header +
-// payload and border routers parse it hop by hop; the legacy fields are
+// payload and border routers advance it hop by hop; the legacy fields are
 // ignored in transit and only used for intra-AS delivery bookkeeping).
+//
+// Payload bytes live in a PacketView: a window into shared, refcounted
+// storage (util::Buffer). A packet is serialized once at the transport edge
+// — into a buffer with headroom reserved for the SCION header — and the same
+// bytes then travel through sockets, border routers, and link queues by
+// moving the view, never by copying. Sub-views (payload delivery, peeks)
+// share the storage with a refcount bump.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <string>
 
 #include "net/addr.hpp"
+#include "util/buffer.hpp"
 #include "util/bytes.hpp"
 
 namespace pan::net {
+
+/// A [offset, offset+length) window into a refcounted util::Buffer. The
+/// bytes before `offset` are headroom: space reserved at allocation time so
+/// lower layers can prepend their headers in place (skbuff-style) instead of
+/// reserializing the packet.
+class PacketView {
+ public:
+  PacketView() = default;
+  /// Adopts a byte vector (no copy, no headroom). Implicit on purpose: the
+  /// edge layers that still build Bytes hand them straight to the view.
+  PacketView(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : len_(bytes.size()), buf_(util::Buffer::adopt(std::move(bytes))) {}
+
+  /// Allocates storage with `headroom` bytes reserved in front of a
+  /// writable `length`-byte data region.
+  [[nodiscard]] static PacketView with_headroom(std::size_t headroom, std::size_t length) {
+    PacketView v;
+    v.buf_ = util::Buffer(headroom + length);
+    v.off_ = headroom;
+    v.len_ = length;
+    return v;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const {
+    return {buf_.data() + off_, len_};
+  }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  [[nodiscard]] std::size_t headroom() const { return off_; }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const { return buf_.data()[off_ + i]; }
+
+  /// Writable window over the data region; copies the storage first when it
+  /// is shared (copy-on-write), so concurrent viewers are never mutated.
+  [[nodiscard]] std::span<std::uint8_t> mutable_span() {
+    return {buf_.mutable_data() + off_, len_};
+  }
+
+  /// Shrinks the view to its first `new_len` bytes (after serializing into
+  /// an over-allocated region).
+  void truncate(std::size_t new_len) {
+    if (new_len < len_) len_ = new_len;
+  }
+
+  /// Grows the view `n` bytes into the headroom and returns a writable span
+  /// over the newly exposed front (the prepended header region).
+  [[nodiscard]] std::span<std::uint8_t> prepend(std::size_t n) {
+    assert(off_ >= n);
+    off_ -= n;
+    len_ += n;
+    return {buf_.mutable_data() + off_, n};
+  }
+
+  /// A sub-window sharing the same storage (refcount bump, no copy).
+  [[nodiscard]] PacketView subview(std::size_t offset, std::size_t length) const {
+    assert(offset + length <= len_);
+    PacketView v;
+    v.buf_ = buf_;
+    v.off_ = off_ + offset;
+    v.len_ = length;
+    return v;
+  }
+  [[nodiscard]] PacketView subview(std::size_t offset) const {
+    return subview(offset, len_ - offset);
+  }
+
+  /// Materializes an owning copy (edge consumers that outlive the packet).
+  [[nodiscard]] Bytes to_bytes() const {
+    const auto s = span();
+    return Bytes(s.begin(), s.end());
+  }
+
+  [[nodiscard]] bool operator==(const PacketView& other) const {
+    const auto a = span();
+    const auto b = other.span();
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+  util::Buffer buf_;
+};
 
 enum class Protocol : std::uint8_t { kUdp, kScion };
 
@@ -25,7 +117,7 @@ struct Packet {
   IpAddr dst;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
-  Bytes payload;
+  PacketView payload;
   /// Unique id for tracing; assigned by the sender.
   std::uint64_t id = 0;
   /// Priority (reserved-bandwidth) traffic: exempt from best-effort queue

@@ -17,7 +17,11 @@ const char* to_string(TraceEvent::Kind k) {
 }
 
 TraceFn TraceRecorder::callback() {
-  return [this](const TraceEvent& event) { events_.push_back(event); };
+  return [this](const TraceEvent& event) {
+    events_.push_back(event);
+    // The packet pointer is only valid during the callback; never retain it.
+    events_.back().packet = nullptr;
+  };
 }
 
 std::size_t TraceRecorder::count(TraceEvent::Kind kind) const {

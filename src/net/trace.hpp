@@ -34,6 +34,10 @@ struct TraceEvent {
   Protocol proto = Protocol::kUdp;
   std::size_t wire_bytes = 0;
   std::uint64_t packet_id = 0;
+  /// The packet being traced. Valid only for the duration of the tracer
+  /// callback — snapshot (`packet->payload.to_bytes()`) to retain. Used by
+  /// the forwarding-equivalence tests to compare wire bytes hop by hop.
+  const Packet* packet = nullptr;
 };
 
 [[nodiscard]] const char* to_string(TraceEvent::Kind k);

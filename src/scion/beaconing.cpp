@@ -104,9 +104,22 @@ void Topology::propagate_beacons(std::size_t origin_index, bool core_beaconing) 
 
 void Topology::register_beacon(const std::vector<BeaconHop>& hops, SegmentType type) {
   PathSegment segment = build_segment(hops, type);
-  if (config_.sign_beacons && config_.verify_beacons && !verify_segment(segment, trust_)) {
-    PAN_ERROR(kLog) << "freshly built segment failed verification: " << segment.id();
-    return;
+  if (config_.sign_beacons && config_.verify_beacons) {
+    // Memoize on the full content digest: a rebeacon over an unchanged
+    // topology (same timestamp) rebuilds byte-identical segments, so their
+    // signatures need no re-verification. Any change — new timestamp, new
+    // metadata, tampering — alters the digest and forces a fresh verify.
+    const crypto::Digest digest = segment.content_digest();
+    if (verified_segments_.contains(digest)) {
+      ++beacon_memo_hits_;
+    } else {
+      ++beacon_verifications_;
+      if (!verify_segment(segment, trust_, &beacon_preimages_)) {
+        PAN_ERROR(kLog) << "freshly built segment failed verification: " << segment.id();
+        return;
+      }
+      verified_segments_.insert(digest);
+    }
   }
   infra_.register_segment(std::move(segment));
 }

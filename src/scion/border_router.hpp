@@ -1,10 +1,18 @@
 // SCION border router: the data plane.
 //
 // Installed as the SCION handler of an AS's legacy router node. For every
-// packet it parses the SCION header, checks the current hop field belongs to
-// this AS, verifies the hop-field MAC against the AS forwarding key (path
+// packet it inspects the SCION header, checks the current hop field belongs
+// to this AS, verifies the hop-field MAC against the AS forwarding key (path
 // authorization), handles segment crossovers, and either forwards out the
 // authorized egress interface or delivers to the destination host.
+//
+// The steady-state hop path is zero-copy and allocation-free: a lazy
+// ScionHeaderView validates bounds once, decodes only the cursor and the
+// current hop field, and the cursor advance patches two bytes in place
+// (decide_hop below is that exact path, exposed for benches and tests). The
+// eager full-reparse pipeline is kept behind BorderRouterConfig::
+// legacy_reparse as the reference implementation for the forwarding
+// equivalence tests and as the bench baseline.
 //
 // SCION interface ids are the router's link interface ids offset by one
 // (SCION reserves 0 for "no interface").
@@ -29,6 +37,9 @@ struct BorderRouterConfig {
   /// Colibri reservation validation/policing (null = reservation ids are
   /// ignored and packets stay best-effort).
   ReservationManager* reservations = nullptr;
+  /// Use the eager full-reparse pipeline (pre-zero-copy behaviour). Kept for
+  /// the forwarding equivalence tests and as the bench baseline.
+  bool legacy_reparse = false;
 };
 
 struct BorderRouterStats {
@@ -51,6 +62,38 @@ struct BorderRouterStats {
            drop_expired + drop_link_down + drop_reservation;
   }
 };
+
+/// The pure per-hop forwarding decision over raw packet bytes: everything
+/// between "SCION bytes arrived" and "hand the packet back to the network",
+/// minus router-state concerns (link liveness, reservation policing, SCMP
+/// origination). Allocation-free; exercised directly by bench_micro and the
+/// zero-allocation tests so they measure exactly what the router runs.
+struct HopDecision {
+  enum class Action : std::uint8_t {
+    kForward,        // send out `egress`, cursor advanced to (next_seg, next_hop)
+    kDeliver,        // destination AS reached; hand to `dst`
+    kDropParse,
+    kDropWrongAs,
+    kDropMac,
+    kDropExpired,    // hop authorization expired; originate SCMP expired-hop
+    kDropMalformed,
+  };
+  Action action = Action::kDropParse;
+  IfaceId egress = kNoIface;
+  std::uint8_t next_seg = 0;
+  std::uint8_t next_hop = 0;
+  /// Destination address (kDeliver).
+  ScionAddr dst;
+  std::uint32_t reservation_id = 0;
+};
+
+[[nodiscard]] HopDecision decide_hop(std::span<const std::uint8_t> packet_bytes, IsdAsn local,
+                                     const crypto::HmacKey& key, const BorderRouterConfig& config);
+
+/// Convenience overload for tests: precomputes the HmacKey per call. The
+/// router's steady state holds one HmacKey for the router's lifetime.
+[[nodiscard]] HopDecision decide_hop(std::span<const std::uint8_t> packet_bytes, IsdAsn local,
+                                     const ForwardingKey& key, const BorderRouterConfig& config);
 
 class BorderRouter {
  public:
@@ -80,9 +123,14 @@ class BorderRouter {
 
   void handle(net::Packet&& packet, net::IfId in_if);
   void process(net::Packet&& packet);
-  void deliver_local(const ScionHeader& header, net::Packet&& packet);
-  void send_out(const ScionHeader& header, IfaceId egress, std::uint8_t cur_seg,
-                std::uint8_t cur_hop, net::Packet&& packet);
+  /// Zero-copy pipeline: decide_hop over the packet bytes, then act.
+  void process_view(net::Packet&& packet);
+  /// Eager full-reparse pipeline (config_.legacy_reparse).
+  void process_legacy(net::Packet&& packet);
+  [[nodiscard]] bool police_reservation(std::uint32_t reservation_id, net::Packet& packet);
+  void deliver_local(const ScionAddr& dst, net::Packet&& packet);
+  void send_out(IfaceId egress, std::uint8_t cur_seg, std::uint8_t cur_hop,
+                net::Packet&& packet);
   [[nodiscard]] HopCheck check_hop(const DataplaneSegment& seg, std::size_t hop_index,
                                    bool is_scmp);
   /// Sends an SCMP failure report back toward the source over the reversed
@@ -90,10 +138,15 @@ class BorderRouter {
   /// themselves (no error loops) and for unspecified sources.
   void send_scmp(const ScionHeader& original, std::size_t cur_seg, std::size_t cur_hop,
                  ScmpType type, IfaceId interface);
+  /// Cold-path variant: materializes the header from the packet bytes.
+  void send_scmp_from_bytes(std::span<const std::uint8_t> packet_bytes, ScmpType type,
+                            IfaceId interface);
 
   net::Router& router_;
   IsdAsn local_;
   ForwardingKey key_;
+  /// Precomputed HMAC midstates for key_: halves the per-packet MAC cost.
+  crypto::HmacKey mac_key_;
   BorderRouterConfig config_;
   BorderRouterStats stats_;
 };

@@ -1,29 +1,12 @@
 #include "scion/header.hpp"
 
+#include <cassert>
+
 namespace pan::scion {
 
 Bytes serialize_scion_packet(const ScionHeader& header, std::span<const std::uint8_t> payload) {
   ByteWriter w;
-  w.u8(kScionMagic);
-  w.u8(header.cur_seg);
-  w.u8(header.cur_hop);
-  w.u8(header.next_proto);
-  w.u64(header.src.ia.packed());
-  w.u32(header.src.host.value());
-  w.u64(header.dst.ia.packed());
-  w.u32(header.dst.host.value());
-  w.u16(header.src_port);
-  w.u16(header.dst_port);
-  w.u32(header.reservation_id);
-  w.u8(static_cast<std::uint8_t>(header.path.segments.size()));
-  for (const DataplaneSegment& seg : header.path.segments) {
-    w.u8(seg.reversed ? 1 : 0);
-    w.u32(seg.origin_ts);
-    w.u8(static_cast<std::uint8_t>(seg.hops.size()));
-    for (const HopField& hf : seg.hops) {
-      serialize_hop_field(w, hf);
-    }
-  }
+  write_scion_header(w, header);
   w.raw(payload);
   return std::move(w).take();
 }
@@ -57,8 +40,58 @@ Result<ParsedScionPacket> parse_scion_packet(std::span<const std::uint8_t> data)
     h.path.segments.push_back(std::move(seg));
   }
   if (r.failed()) return Err("truncated SCION header");
-  out.payload = r.raw(r.remaining());
+  out.payload_offset = r.position();
+  out.payload = data.subspan(r.position());
   return out;
+}
+
+Result<ScionHeaderView> ScionHeaderView::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kScionFixedHeaderSize) return Err("truncated SCION header");
+  if (data[0] != kScionMagic) return Err("bad SCION magic");
+  const std::uint8_t seg_count = data[kScionFixedHeaderSize - 1];
+  std::size_t off = kScionFixedHeaderSize;
+  for (std::uint8_t s = 0; s < seg_count; ++s) {
+    if (data.size() - off < kSegmentMetaSize) return Err("truncated SCION header");
+    const std::uint8_t hop_count = data[off + 5];
+    off += kSegmentMetaSize;
+    const std::size_t hops_size = std::size_t{hop_count} * kHopFieldWireSize;
+    if (data.size() - off < hops_size) return Err("truncated SCION header");
+    off += hops_size;
+  }
+  ScionHeaderView v;
+  v.data_ = data;
+  v.header_size_ = off;
+  v.seg_count_ = seg_count;
+  return v;
+}
+
+ScionHeaderView::SegmentInfo ScionHeaderView::segment(std::uint8_t index) const {
+  assert(index < seg_count_);
+  std::size_t off = kScionFixedHeaderSize;
+  for (std::uint8_t s = 0; s < index; ++s) {
+    const std::uint8_t hop_count = data_[off + 5];
+    off += kSegmentMetaSize + std::size_t{hop_count} * kHopFieldWireSize;
+  }
+  SegmentInfo info;
+  info.reversed = (data_[off] & 1) != 0;
+  info.origin_ts = read_be32(data_.data() + off + 1);
+  info.hop_count = data_[off + 5];
+  info.hops_offset = off + kSegmentMetaSize;
+  return info;
+}
+
+HopField ScionHeaderView::hop(const SegmentInfo& seg, std::uint8_t traversal_index) const {
+  assert(traversal_index < seg.hop_count);
+  const std::size_t wire_index =
+      seg.reversed ? std::size_t{seg.hop_count} - 1 - traversal_index : traversal_index;
+  return decode_hop_field(data_.data() + seg.hops_offset + wire_index * kHopFieldWireSize);
+}
+
+ScionHeader ScionHeaderView::materialize() const {
+  // The view validated bounds, so the eager parse cannot fail.
+  Result<ParsedScionPacket> parsed = parse_scion_packet(data_);
+  assert(parsed.ok());
+  return std::move(parsed.value().header);
 }
 
 void patch_cursor(Bytes& packet, std::uint8_t cur_seg, std::uint8_t cur_hop) {
@@ -67,12 +100,17 @@ void patch_cursor(Bytes& packet, std::uint8_t cur_seg, std::uint8_t cur_hop) {
   packet[ParsedScionPacket::kCurHopOffset] = cur_hop;
 }
 
+void patch_cursor(net::PacketView& packet, std::uint8_t cur_seg, std::uint8_t cur_hop) {
+  if (packet.size() <= ParsedScionPacket::kCurHopOffset) return;
+  std::span<std::uint8_t> bytes = packet.mutable_span();
+  bytes[ParsedScionPacket::kCurSegOffset] = cur_seg;
+  bytes[ParsedScionPacket::kCurHopOffset] = cur_hop;
+}
+
 std::size_t scion_header_size(const DataplanePath& path) {
-  // Fixed part: 4 + 12 + 12 + 4 + 4 (reservation) + 1 bytes.
-  std::size_t size = 37;
+  std::size_t size = kScionFixedHeaderSize;
   for (const DataplaneSegment& seg : path.segments) {
-    size += 6;  // flags + ts + hop count
-    size += seg.hops.size() * (8 + 2 + 2 + 4 + crypto::kShortMacSize);
+    size += kSegmentMetaSize + seg.hops.size() * kHopFieldWireSize;
   }
   return size;
 }

@@ -12,14 +12,27 @@
 //   u64 src ISD-AS   u32 src host
 //   u64 dst ISD-AS   u32 dst host
 //   u16 src port     u16 dst port
+//   u32 reservation id
 //   u8  segment count
 //   per segment: u8 flags (bit0 = reversed), u32 origin_ts, u8 hop count,
 //                hop fields (see hopfield.cpp)
 //   payload (rest of packet)
+//
+// Two parsers exist over this format:
+//  - parse_scion_packet: materializes the full ScionHeader (every segment,
+//    every hop field) into owning structures. Cold paths only — endpoints,
+//    SCMP origination, and the legacy per-hop reparse kept for equivalence
+//    testing.
+//  - ScionHeaderView: the hot-path lazy view. One O(#segments) arithmetic
+//    walk validates structural bounds, then accessors decode exactly the
+//    fields a border router touches (the cursor and one hop field) straight
+//    from the wire bytes. No heap allocation anywhere.
 #pragma once
 
+#include "net/packet.hpp"
 #include "scion/addr.hpp"
 #include "scion/path.hpp"
+#include "util/buffer.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 
@@ -27,6 +40,11 @@ namespace pan::scion {
 
 inline constexpr std::uint8_t kScionMagic = 0x5C;
 inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// Size of the fixed (path-independent) header prefix.
+inline constexpr std::size_t kScionFixedHeaderSize = 37;
+/// Per-segment metadata: u8 flags + u32 origin_ts + u8 hop count.
+inline constexpr std::size_t kSegmentMetaSize = 6;
 
 struct ScionHeader {
   ScionAddr src;
@@ -43,13 +61,45 @@ struct ScionHeader {
   std::uint8_t cur_hop = 0;
 };
 
+/// Writes the header (no payload). Templated over the writer so the growing
+/// (ByteWriter) and headroom-prepend (util::SpanWriter) paths emit
+/// byte-identical output from one definition.
+template <typename Writer>
+void write_scion_header(Writer& w, const ScionHeader& header) {
+  w.u8(kScionMagic);
+  w.u8(header.cur_seg);
+  w.u8(header.cur_hop);
+  w.u8(header.next_proto);
+  w.u64(header.src.ia.packed());
+  w.u32(header.src.host.value());
+  w.u64(header.dst.ia.packed());
+  w.u32(header.dst.host.value());
+  w.u16(header.src_port);
+  w.u16(header.dst_port);
+  w.u32(header.reservation_id);
+  w.u8(static_cast<std::uint8_t>(header.path.segments.size()));
+  for (const DataplaneSegment& seg : header.path.segments) {
+    w.u8(seg.reversed ? 1 : 0);
+    w.u32(seg.origin_ts);
+    w.u8(static_cast<std::uint8_t>(seg.hops.size()));
+    for (const HopField& hf : seg.hops) {
+      serialize_hop_field(w, hf);
+    }
+  }
+}
+
 /// Serializes header + payload into one buffer.
 [[nodiscard]] Bytes serialize_scion_packet(const ScionHeader& header,
                                            std::span<const std::uint8_t> payload);
 
 struct ParsedScionPacket {
   ScionHeader header;
-  Bytes payload;
+  /// Offset of the payload within the parsed bytes (== wire header size).
+  std::size_t payload_offset = 0;
+  /// View of the payload tail inside the input buffer — no copy. Valid only
+  /// as long as the parsed bytes are; call payload_bytes() to own a copy.
+  std::span<const std::uint8_t> payload;
+  [[nodiscard]] Bytes payload_bytes() const { return Bytes(payload.begin(), payload.end()); }
   /// Byte offsets of the cursor fields, so routers can advance the cursor
   /// in place without reserializing the whole packet.
   static constexpr std::size_t kCurSegOffset = 1;
@@ -58,10 +108,83 @@ struct ParsedScionPacket {
 
 [[nodiscard]] Result<ParsedScionPacket> parse_scion_packet(std::span<const std::uint8_t> data);
 
+/// Lazy, allocation-free view of a serialized SCION packet. parse() performs
+/// one bounds-validation walk (arithmetic over segment metadata only — hop
+/// fields are skipped, not decoded); accessors then read individual fields
+/// at fixed offsets. The view borrows the packet bytes and must not outlive
+/// them.
+class ScionHeaderView {
+ public:
+  struct SegmentInfo {
+    bool reversed = false;
+    std::uint32_t origin_ts = 0;
+    std::uint8_t hop_count = 0;
+    /// Absolute offset of the segment's first wire hop field.
+    std::size_t hops_offset = 0;
+  };
+
+  /// Validates magic, the fixed prefix, and that every segment's declared
+  /// hop fields fit in the buffer. Does not decode hop fields or validate
+  /// the cursor (routers check cursor range themselves, as with the eager
+  /// parser).
+  [[nodiscard]] static Result<ScionHeaderView> parse(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint8_t cur_seg() const { return data_[ParsedScionPacket::kCurSegOffset]; }
+  [[nodiscard]] std::uint8_t cur_hop() const { return data_[ParsedScionPacket::kCurHopOffset]; }
+  [[nodiscard]] std::uint8_t next_proto() const { return data_[3]; }
+  [[nodiscard]] ScionAddr src() const {
+    return ScionAddr{IsdAsn::from_packed(read_be64(data_.data() + 4)),
+                     net::IpAddr{read_be32(data_.data() + 12)}};
+  }
+  [[nodiscard]] ScionAddr dst() const {
+    return ScionAddr{IsdAsn::from_packed(read_be64(data_.data() + 16)),
+                     net::IpAddr{read_be32(data_.data() + 24)}};
+  }
+  [[nodiscard]] std::uint16_t src_port() const { return read_be16(data_.data() + 28); }
+  [[nodiscard]] std::uint16_t dst_port() const { return read_be16(data_.data() + 30); }
+  [[nodiscard]] std::uint32_t reservation_id() const { return read_be32(data_.data() + 32); }
+  [[nodiscard]] std::uint8_t segment_count() const { return seg_count_; }
+
+  /// Metadata of segment `index` (skip-scan over preceding segments;
+  /// `index < segment_count()`).
+  [[nodiscard]] SegmentInfo segment(std::uint8_t index) const;
+
+  /// Decodes exactly one hop field, addressed in traversal order (mirrors
+  /// DataplaneSegment::hop_at: a reversed segment walks its wire hops
+  /// back-to-front). `traversal_index < seg.hop_count`.
+  [[nodiscard]] HopField hop(const SegmentInfo& seg, std::uint8_t traversal_index) const;
+
+  /// Traversal-order ingress/egress of a decoded hop (mirrors
+  /// DataplaneSegment::traversal_ingress/egress).
+  [[nodiscard]] static IfaceId traversal_ingress(const SegmentInfo& seg, const HopField& hf) {
+    return seg.reversed ? hf.out_if : hf.in_if;
+  }
+  [[nodiscard]] static IfaceId traversal_egress(const SegmentInfo& seg, const HopField& hf) {
+    return seg.reversed ? hf.in_if : hf.out_if;
+  }
+
+  [[nodiscard]] std::size_t header_size() const { return header_size_; }
+  [[nodiscard]] std::size_t payload_offset() const { return header_size_; }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return data_.subspan(header_size_);
+  }
+
+  /// Full eager decode, for cold paths (SCMP origination needs the whole
+  /// path to compute the reversed prefix).
+  [[nodiscard]] ScionHeader materialize() const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t header_size_ = 0;
+  std::uint8_t seg_count_ = 0;
+};
+
 /// Patches the cursor bytes of a serialized SCION packet in place.
 void patch_cursor(Bytes& packet, std::uint8_t cur_seg, std::uint8_t cur_hop);
+/// View flavor: copy-on-write — storage is cloned first iff it is shared.
+void patch_cursor(net::PacketView& packet, std::uint8_t cur_seg, std::uint8_t cur_hop);
 
-/// Serialized header size for a path (for MTU math in tests).
+/// Serialized header size for a path (for MTU math and headroom sizing).
 [[nodiscard]] std::size_t scion_header_size(const DataplanePath& path);
 
 }  // namespace pan::scion

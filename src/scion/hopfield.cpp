@@ -1,34 +1,53 @@
 #include "scion/hopfield.hpp"
 
 #include <algorithm>
+#include <array>
+
+#include "util/buffer.hpp"
 
 namespace pan::scion {
 
-Bytes hop_mac_input(const HopField& hf, std::uint32_t origin_ts) {
-  ByteWriter w;
+namespace {
+
+// u32 ts + u64 isd_as + u16 min + u16 max + u32 expiry.
+using MacInput = std::array<std::uint8_t, 20>;
+
+// Stack-allocated MAC input: the hop path verifies one MAC per forwarded
+// packet, so this must not touch the heap.
+MacInput mac_input(const HopField& hf, std::uint32_t origin_ts) {
+  MacInput buf{};
+  util::SpanWriter w(buf);
   w.u32(origin_ts);
   w.u64(hf.isd_as.packed());
   w.u16(std::min(hf.in_if, hf.out_if));
   w.u16(std::max(hf.in_if, hf.out_if));
   w.u32(hf.expiry_s);
-  return std::move(w).take();
+  return buf;
+}
+
+}  // namespace
+
+Bytes hop_mac_input(const HopField& hf, std::uint32_t origin_ts) {
+  const MacInput buf = mac_input(hf, origin_ts);
+  return Bytes(buf.begin(), buf.end());
 }
 
 void seal_hop_field(HopField& hf, std::uint32_t origin_ts, const ForwardingKey& key) {
-  hf.mac = crypto::short_mac(key, hop_mac_input(hf, origin_ts));
+  hf.mac = crypto::short_mac(key, mac_input(hf, origin_ts));
 }
 
 bool verify_hop_field(const HopField& hf, std::uint32_t origin_ts, const ForwardingKey& key) {
-  const crypto::ShortMac expected = crypto::short_mac(key, hop_mac_input(hf, origin_ts));
+  const crypto::ShortMac expected = crypto::short_mac(key, mac_input(hf, origin_ts));
   return crypto::mac_equal(expected, hf.mac);
 }
 
-void serialize_hop_field(ByteWriter& w, const HopField& hf) {
-  w.u64(hf.isd_as.packed());
-  w.u16(hf.in_if);
-  w.u16(hf.out_if);
-  w.u32(hf.expiry_s);
-  w.raw(std::span<const std::uint8_t>(hf.mac));
+void seal_hop_field(HopField& hf, std::uint32_t origin_ts, const crypto::HmacKey& key) {
+  hf.mac = key.short_mac(mac_input(hf, origin_ts));
+}
+
+bool verify_hop_field(const HopField& hf, std::uint32_t origin_ts, const crypto::HmacKey& key) {
+  const crypto::ShortMac expected = key.short_mac(mac_input(hf, origin_ts));
+  return crypto::mac_equal(expected, hf.mac);
 }
 
 HopField parse_hop_field(ByteReader& r) {
@@ -41,6 +60,16 @@ HopField parse_hop_field(ByteReader& r) {
   if (mac.size() == crypto::kShortMacSize) {
     std::copy(mac.begin(), mac.end(), hf.mac.begin());
   }
+  return hf;
+}
+
+HopField decode_hop_field(const std::uint8_t* wire) {
+  HopField hf;
+  hf.isd_as = IsdAsn::from_packed(read_be64(wire));
+  hf.in_if = read_be16(wire + 8);
+  hf.out_if = read_be16(wire + 10);
+  hf.expiry_s = read_be32(wire + 12);
+  std::copy(wire + 16, wire + 16 + crypto::kShortMacSize, hf.mac.begin());
   return hf;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "crypto/hmac.hpp"
 #include "scion/types.hpp"
@@ -22,6 +23,10 @@ namespace pan::scion {
 
 /// Secret forwarding key held by each AS's border routers.
 using ForwardingKey = crypto::Key;
+
+/// Wire size of one serialized hop field (isd_as + in_if + out_if + expiry +
+/// short MAC).
+inline constexpr std::size_t kHopFieldWireSize = 8 + 2 + 2 + 4 + crypto::kShortMacSize;
 
 struct HopField {
   IsdAsn isd_as;
@@ -46,7 +51,32 @@ void seal_hop_field(HopField& hf, std::uint32_t origin_ts, const ForwardingKey& 
 [[nodiscard]] bool verify_hop_field(const HopField& hf, std::uint32_t origin_ts,
                                     const ForwardingKey& key);
 
-void serialize_hop_field(ByteWriter& w, const HopField& hf);
+/// Hot-path variants over a precomputed crypto::HmacKey: two SHA-256
+/// compressions per MAC instead of four. Border routers hold one HmacKey for
+/// their (fixed) forwarding key and verify every data packet through it.
+void seal_hop_field(HopField& hf, std::uint32_t origin_ts, const crypto::HmacKey& key);
+
+[[nodiscard]] bool verify_hop_field(const HopField& hf, std::uint32_t origin_ts,
+                                    const crypto::HmacKey& key);
+
+/// Serializes one hop field. Templated over the writer (ByteWriter grows a
+/// Bytes, util::SpanWriter targets reserved headroom) so both paths emit
+/// byte-identical output from one definition.
+template <typename Writer>
+void serialize_hop_field(Writer& w, const HopField& hf) {
+  w.u64(hf.isd_as.packed());
+  w.u16(hf.in_if);
+  w.u16(hf.out_if);
+  w.u32(hf.expiry_s);
+  w.raw(std::span<const std::uint8_t>(hf.mac));
+}
+
 [[nodiscard]] HopField parse_hop_field(ByteReader& r);
+
+/// Decodes one hop field from exactly kHopFieldWireSize bytes. Allocation
+/// free (unlike parse_hop_field, whose ByteReader::raw heap-allocates the
+/// MAC) — this is the hot-path decode used by ScionHeaderView. The caller
+/// guarantees `wire.size() >= kHopFieldWireSize`.
+[[nodiscard]] HopField decode_hop_field(const std::uint8_t* wire);
 
 }  // namespace pan::scion

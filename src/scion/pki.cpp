@@ -11,9 +11,13 @@ Bytes AsCertificate::signed_body() const {
   return std::move(w).take();
 }
 
-void TrustStore::add_trc(Trc trc) { trcs_[trc.isd] = std::move(trc); }
+void TrustStore::add_trc(Trc trc) {
+  verified_cache_.clear();
+  trcs_[trc.isd] = std::move(trc);
+}
 
 void TrustStore::add_certificate(AsCertificate cert) {
+  verified_cache_.clear();
   certs_[cert.subject] = std::move(cert);
 }
 
@@ -33,14 +37,19 @@ bool TrustStore::validate_certificate(const AsCertificate& cert) const {
   const auto issuer_it = t->core_keys.find(cert.issuer);
   if (issuer_it == t->core_keys.end()) return false;
   const Bytes body = cert.signed_body();
+  ++chain_validations_;
   return crypto::verify(issuer_it->second, std::span<const std::uint8_t>(body),
-                        cert.issuer_signature);
+                        cert.issuer_signature, &preimages_);
 }
 
 const crypto::PublicKey* TrustStore::verified_key(IsdAsn ia) const {
+  const auto cached = verified_cache_.find(ia);
+  if (cached != verified_cache_.end()) return cached->second;
   const AsCertificate* cert = certificate(ia);
-  if (cert == nullptr || !validate_certificate(*cert)) return nullptr;
-  return &cert->subject_key;
+  const crypto::PublicKey* key =
+      (cert != nullptr && validate_certificate(*cert)) ? &cert->subject_key : nullptr;
+  verified_cache_.emplace(ia, key);
+  return key;
 }
 
 AsCertificate issue_certificate(IsdAsn subject, const crypto::PublicKey& subject_key,

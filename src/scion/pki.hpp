@@ -39,6 +39,11 @@ struct AsCertificate {
 };
 
 /// Holds TRCs and certificates and answers chain-validation queries.
+///
+/// Chain validations are memoized: verified_key() performs the full Lamport
+/// verification of a certificate at most once per (TRC, certificate) state —
+/// repeat lookups are a hash-map probe. Any add_trc/add_certificate flushes
+/// the memo, so stale trust material can never satisfy a query.
 class TrustStore {
  public:
   void add_trc(Trc trc);
@@ -52,12 +57,24 @@ class TrustStore {
   [[nodiscard]] bool validate_certificate(const AsCertificate& cert) const;
 
   /// Returns the verified public key for `ia` (nullptr if the cert is
-  /// missing or fails chain validation).
+  /// missing or fails chain validation). Memoized; see class comment.
   [[nodiscard]] const crypto::PublicKey* verified_key(IsdAsn ia) const;
+
+  /// Full chain validations performed so far (cache misses). A second
+  /// verified_key() for the same AS must not bump this.
+  [[nodiscard]] std::uint64_t chain_validations() const { return chain_validations_; }
 
  private:
   std::unordered_map<Isd, Trc> trcs_;
   std::unordered_map<IsdAsn, AsCertificate> certs_;
+  // Memo of verified_key results (nullptr = known-bad/missing), flushed on
+  // every trust-material mutation. Values point into certs_, whose mapped
+  // references are stable across rehash (node-based container).
+  mutable std::unordered_map<IsdAsn, const crypto::PublicKey*> verified_cache_;
+  // Issuer keys are reused across every certificate they sign, so preimage
+  // hashes repeat heavily across chain validations.
+  mutable crypto::PreimageCache preimages_;
+  mutable std::uint64_t chain_validations_ = 0;
 };
 
 /// Issues a certificate for `subject_key` signed by the core AS private key.

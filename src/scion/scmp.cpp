@@ -14,12 +14,7 @@ const char* to_string(ScmpType t) {
 
 Bytes ScmpMessage::serialize() const {
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u64(origin_as.packed());
-  w.u16(interface);
-  w.u64(original_dst.ia.packed());
-  w.u32(original_dst.host.value());
-  w.u16(original_dst_port);
+  serialize_into(w);
   return std::move(w).take();
 }
 

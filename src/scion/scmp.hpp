@@ -34,6 +34,18 @@ struct ScmpMessage {
   ScionAddr original_dst;
   std::uint16_t original_dst_port = 0;
 
+  /// Appends the wire encoding to an existing writer, so callers building a
+  /// full packet (SCION header + SCMP payload) serialize into one buffer in
+  /// one pass instead of concatenating intermediate byte strings.
+  template <typename Writer>
+  void serialize_into(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u64(origin_as.packed());
+    w.u16(interface);
+    w.u64(original_dst.ia.packed());
+    w.u32(original_dst.host.value());
+    w.u16(original_dst_port);
+  }
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static Result<ScmpMessage> parse(std::span<const std::uint8_t> data);
   [[nodiscard]] std::string to_string() const;

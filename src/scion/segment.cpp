@@ -66,6 +66,17 @@ std::string PathSegment::id() const {
   return crypto::hex_digest(h.finalize()).substr(0, 16);
 }
 
+crypto::Digest PathSegment::content_digest() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(origin.packed());
+  w.u32(origin_ts);
+  for (const AsEntry& entry : entries) {
+    write_entry(w, entry, /*include_signature=*/true);
+  }
+  return crypto::sha256(std::span<const std::uint8_t>(w.bytes()));
+}
+
 Bytes PathSegment::signing_input(std::size_t index) const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(type));
@@ -80,19 +91,19 @@ Bytes PathSegment::signing_input(std::size_t index) const {
   return std::move(w).take();
 }
 
-bool verify_segment(const PathSegment& segment, const TrustStore& trust) {
+bool verify_segment(const PathSegment& segment, const TrustStore& trust,
+                    crypto::PreimageCache* cache) {
   if (segment.entries.empty()) return false;
   if (segment.origin != segment.entries.front().hop.isd_as) return false;
+  std::vector<crypto::VerifyJob> jobs;
+  jobs.reserve(segment.entries.size());
   for (std::size_t i = 0; i < segment.entries.size(); ++i) {
     const AsEntry& entry = segment.entries[i];
     const crypto::PublicKey* key = trust.verified_key(entry.hop.isd_as);
     if (key == nullptr) return false;
-    const Bytes input = segment.signing_input(i);
-    if (!crypto::verify(*key, std::span<const std::uint8_t>(input), entry.signature)) {
-      return false;
-    }
+    jobs.push_back(crypto::VerifyJob{key, segment.signing_input(i), &entry.signature});
   }
-  return true;
+  return crypto::verify_batch(jobs, cache);
 }
 
 }  // namespace pan::scion

@@ -64,6 +64,13 @@ struct PathSegment {
   /// Stable identifier: hash over the AS/interface sequence.
   [[nodiscard]] std::string id() const;
 
+  /// Full-content digest covering every field *including signatures* —
+  /// unlike id(), two segments share a content_digest() only if they are
+  /// byte-identical on the wire. This is the key for verified-segment
+  /// memos: a re-signed or tampered variant of the same AS path digests
+  /// differently and therefore cannot hit a stale memo entry.
+  [[nodiscard]] crypto::Digest content_digest() const;
+
   /// Bytes signed by entry `index`: segment info, all previous entries
   /// (including their signatures, forming the chain), and entry `index`
   /// itself without its signature.
@@ -72,7 +79,10 @@ struct PathSegment {
 
 /// Verifies every entry's signature against chain-validated AS certificates
 /// from `trust`. Returns false if any key is missing/invalid or any
-/// signature fails.
-[[nodiscard]] bool verify_segment(const PathSegment& segment, const TrustStore& trust);
+/// signature fails. Verification runs as one crypto::verify_batch; pass a
+/// PreimageCache to amortize preimage hashing across segments signed by the
+/// same (reused) keys.
+[[nodiscard]] bool verify_segment(const PathSegment& segment, const TrustStore& trust,
+                                  crypto::PreimageCache* cache = nullptr);
 
 }  // namespace pan::scion

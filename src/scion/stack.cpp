@@ -1,5 +1,7 @@
 #include "scion/stack.hpp"
 
+#include <cassert>
+
 #include "util/log.hpp"
 
 namespace pan::scion {
@@ -39,7 +41,8 @@ std::uint16_t ScionStack::allocate_ephemeral_port() {
 }
 
 void ScionStack::send(std::uint16_t src_port, const ScionEndpoint& dst,
-                      const DataplanePath& path, Bytes payload, ReservationId reservation) {
+                      const DataplanePath& path, net::PacketView payload,
+                      ReservationId reservation) {
   ScionHeader header;
   header.src = local_addr();
   header.dst = dst.addr;
@@ -56,13 +59,25 @@ void ScionStack::send(std::uint16_t src_port, const ScionEndpoint& dst,
   packet.dst = dst.addr.host;
   packet.src_port = src_port;
   packet.dst_port = dst.port;
-  packet.payload = serialize_scion_packet(header, payload);
+
+  const std::size_t header_size = scion_header_size(header.path);
+  if (payload.headroom() >= header_size) {
+    // Zero-copy fast path: the transport serialized its frame into a buffer
+    // with SCION headroom reserved, so the header is written in place right
+    // in front of the datagram.
+    util::SpanWriter w(payload.prepend(header_size));
+    write_scion_header(w, header);
+    assert(!w.failed() && w.remaining() == 0);
+    packet.payload = std::move(payload);
+  } else {
+    packet.payload = serialize_scion_packet(header, payload.span());
+  }
   ++sent_;
   host_.send_packet(std::move(packet));
 }
 
 void ScionStack::handle(net::Packet&& packet, net::IfId /*in_if*/) {
-  auto parsed = parse_scion_packet(packet.payload);
+  auto parsed = parse_scion_packet(packet.payload.span());
   if (!parsed.ok()) {
     ++parse_errors_;
     PAN_DEBUG(kLog) << "parse error: " << parsed.error();
@@ -96,7 +111,10 @@ void ScionStack::handle(net::Packet&& packet, net::IfId /*in_if*/) {
   ++received_;
   const ScionEndpoint from{header.src, header.src_port};
   const DataplanePath reply_path = header.path.reversed();
-  it->second->deliver(from, reply_path, std::move(parsed.value().payload));
+  // Zero-copy delivery: hand the receiver a sub-view of the packet buffer
+  // starting at the payload (the header bytes stay in the shared storage).
+  it->second->deliver(from, reply_path,
+                      packet.payload.subview(parsed.value().payload_offset));
 }
 
 void ScionStack::unbind(std::uint16_t port) { sockets_.erase(port); }
@@ -114,13 +132,13 @@ ScionSocket::ScionSocket(ScionStack& stack, std::uint16_t port, ScionStack::Recv
 
 ScionSocket::~ScionSocket() { stack_.unbind(port_); }
 
-void ScionSocket::send_to(const ScionEndpoint& dst, const DataplanePath& path, Bytes payload,
-                          ReservationId reservation) {
+void ScionSocket::send_to(const ScionEndpoint& dst, const DataplanePath& path,
+                          net::PacketView payload, ReservationId reservation) {
   stack_.send(port_, dst, path, std::move(payload), reservation);
 }
 
 void ScionSocket::deliver(const ScionEndpoint& from, const DataplanePath& reply_path,
-                          Bytes payload) {
+                          net::PacketView payload) {
   if (on_receive_) on_receive_(from, reply_path, std::move(payload));
 }
 

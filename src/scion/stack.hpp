@@ -32,9 +32,10 @@ class ScionStack {
   [[nodiscard]] net::Host& host() { return host_; }
 
   /// from + reply_path identify the peer; reply_path is already reversed
-  /// (empty for intra-AS traffic).
+  /// (empty for intra-AS traffic). The payload view shares the received
+  /// packet's buffer (zero-copy); call to_bytes() to own a copy.
   using RecvFn = std::function<void(const ScionEndpoint& from, const DataplanePath& reply_path,
-                                    Bytes payload)>;
+                                    net::PacketView payload)>;
 
   /// Binds a SCION/UDP socket; port 0 picks an ephemeral port. Returns null
   /// if the port is in use.
@@ -55,7 +56,7 @@ class ScionStack {
   friend class ScionSocket;
   void handle(net::Packet&& packet, net::IfId in_if);
   void send(std::uint16_t src_port, const ScionEndpoint& dst, const DataplanePath& path,
-            Bytes payload, ReservationId reservation);
+            net::PacketView payload, ReservationId reservation);
   void unbind(std::uint16_t port);
   [[nodiscard]] std::uint16_t allocate_ephemeral_port();
 
@@ -88,12 +89,16 @@ class ScionSocket {
   /// Sends a datagram along `path` (which must lead from the local AS to
   /// dst's AS; empty for intra-AS destinations). A nonzero reservation id
   /// claims Colibri priority bandwidth — routers validate and police it.
-  void send_to(const ScionEndpoint& dst, const DataplanePath& path, Bytes payload,
+  /// If `payload` carries at least scion_header_size(path) bytes of headroom
+  /// (see PacketView::with_headroom), the SCION header is prepended in place
+  /// and the datagram is never copied; otherwise it is reserialized once.
+  void send_to(const ScionEndpoint& dst, const DataplanePath& path, net::PacketView payload,
                ReservationId reservation = 0);
 
  private:
   friend class ScionStack;
-  void deliver(const ScionEndpoint& from, const DataplanePath& reply_path, Bytes payload);
+  void deliver(const ScionEndpoint& from, const DataplanePath& reply_path,
+               net::PacketView payload);
 
   ScionStack& stack_;
   std::uint16_t port_;

@@ -14,6 +14,7 @@ GeneratedTopology generate_topology(sim::Simulator& sim, const TopoGenParams& pa
   config.sign_beacons = params.sign_beacons;
   config.verify_beacons = params.sign_beacons;
   config.beacons_per_origin = params.beacons_per_origin;
+  config.border_router = params.border_router;
   out.topo = std::make_unique<Topology>(sim, config);
   Topology& topo = *out.topo;
 

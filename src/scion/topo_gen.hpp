@@ -27,6 +27,9 @@ struct TopoGenParams {
   std::size_t peering_links = 2;
   bool sign_beacons = false;  // signing is expensive; tests opt in
   std::size_t beacons_per_origin = 6;
+  /// Border-router knobs (e.g. legacy_reparse for the zero-copy/legacy
+  /// forwarding-equivalence tests).
+  BorderRouterConfig border_router;
 };
 
 struct GeneratedTopology {

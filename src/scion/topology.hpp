@@ -21,8 +21,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "crypto/signature.hpp"
 #include "net/graph.hpp"
 #include "net/host.hpp"
 #include "net/router.hpp"
@@ -126,6 +128,13 @@ class Topology {
   [[nodiscard]] const BorderRouterStats& border_router_stats(IsdAsn ia) const;
   [[nodiscard]] const ForwardingKey& forwarding_key(IsdAsn ia) const;
 
+  /// Beacon-verification accounting. Each accepted beacon either costs one
+  /// full verify_segment (beacon_verifications) or hits the verified-segment
+  /// memo (beacon_memo_hits). rebeacon() with an unchanged timestamp
+  /// rebuilds byte-identical segments, so it performs zero re-verifications.
+  [[nodiscard]] std::uint64_t beacon_verifications() const { return beacon_verifications_; }
+  [[nodiscard]] std::uint64_t beacon_memo_hits() const { return beacon_memo_hits_; }
+
   [[nodiscard]] net::Host& host(HostId id);
   [[nodiscard]] ScionStack& scion_stack(HostId id);
   [[nodiscard]] Daemon& daemon_for(HostId id);
@@ -193,6 +202,14 @@ class Topology {
   PathServerInfra infra_;
   TrustStore trust_;
   ReservationManager reservations_;
+  // Verified-segment memo keyed by content digest (covers signatures), plus
+  // a preimage cache shared across all beacon verifications. Entries are
+  // never invalidated: trust material is fixed after build_pki(), and a
+  // content digest pins the exact signed bytes that were verified.
+  std::unordered_set<crypto::Digest, crypto::DigestHasher> verified_segments_;
+  crypto::PreimageCache beacon_preimages_;
+  std::uint64_t beacon_verifications_ = 0;
+  std::uint64_t beacon_memo_hits_ = 0;
   std::vector<AsState> ases_;
   std::vector<HostState> hosts_;
   std::vector<AsLinkSpec> link_specs_;

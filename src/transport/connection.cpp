@@ -195,7 +195,7 @@ void Connection::close(const std::string& reason) {
     packet.packet_number = next_pn_++;
     packet.frames.emplace_back(CloseFrame{reason});
     ++stats_.packets_sent;
-    conduit_.send(serialize_packet(packet));
+    conduit_.send(serialize_packet_view(packet, conduit_.headroom));
   }
   state_ = State::kClosed;
   ack_timer_.cancel();
@@ -539,14 +539,14 @@ void Connection::maybe_send_pure_ack() {
   ack_eliciting_since_ack_ = 0;
   ack_timer_.cancel();
   ++stats_.packets_sent;
-  const Bytes wire = serialize_packet(packet);
+  net::PacketView wire = serialize_packet_view(packet, conduit_.headroom);
   stats_.bytes_sent += wire.size();
-  if (conduit_.send) conduit_.send(wire);
+  if (conduit_.send) conduit_.send(std::move(wire));
 }
 
 void Connection::send_packet(TransportPacket packet, SentPacket record) {
   packet.packet_number = next_pn_++;
-  const Bytes wire = serialize_packet(packet);
+  net::PacketView wire = serialize_packet_view(packet, conduit_.headroom);
   record.sent_at = sim_.now();
   record.size = wire.size();
   ++stats_.packets_sent;
@@ -556,7 +556,7 @@ void Connection::send_packet(TransportPacket packet, SentPacket record) {
     in_flight_[packet.packet_number] = std::move(record);
     arm_pto();
   }
-  if (conduit_.send) conduit_.send(wire);
+  if (conduit_.send) conduit_.send(std::move(wire));
 }
 
 void Connection::pump() {

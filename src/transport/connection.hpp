@@ -34,10 +34,14 @@
 namespace pan::transport {
 
 /// Where datagrams go. `send` must deliver (or drop) asynchronously via the
-/// simulator; `max_payload` bounds serialized packet size.
+/// simulator; `max_payload` bounds serialized packet size. `headroom` bytes
+/// are reserved in front of every serialized datagram so the layer below
+/// (the SCION stack) can prepend its header in place — the datagram is then
+/// serialized exactly once on its whole way to the wire.
 struct Conduit {
-  std::function<void(Bytes)> send;
+  std::function<void(net::PacketView)> send;
   std::size_t max_payload = 1200;
+  std::size_t headroom = 0;
 };
 
 struct TransportConfig {
@@ -177,6 +181,11 @@ class Connection {
   /// Swaps the conduit (SCION path migration); in-flight data redelivers via
   /// normal loss recovery, jump-started by on_path_migrated().
   void set_conduit(Conduit conduit);
+
+  /// Adjusts only the reserved header headroom (server-side reply-path
+  /// migration: the route changed under the same conduit, so future
+  /// datagrams need a different SCION header size in front).
+  void set_conduit_headroom(std::size_t headroom) { conduit_.headroom = headroom; }
 
   /// Signals that the underlying path changed (client conduit swap, or a
   /// server observing a new reply path): resets the PTO backoff — which may

@@ -1,5 +1,9 @@
 #include "transport/frames.hpp"
 
+#include <cassert>
+
+#include "util/buffer.hpp"
+
 namespace pan::transport {
 namespace {
 
@@ -11,7 +15,10 @@ enum class FrameType : std::uint8_t {
   kPing = 6,
 };
 
-void write_frame(ByteWriter& w, const Frame& frame) {
+// Templated over the writer so the growing (ByteWriter) and pre-sized
+// headroom (util::SpanWriter) paths share one definition.
+template <typename Writer>
+void write_frame(Writer& w, const Frame& frame) {
   if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
     w.u8(static_cast<std::uint8_t>(FrameType::kHello));
     w.u8(hello->reply ? 1 : 0);
@@ -35,6 +42,33 @@ void write_frame(ByteWriter& w, const Frame& frame) {
     w.lp_str(close->reason);
   } else if (std::get_if<PingFrame>(&frame) != nullptr) {
     w.u8(static_cast<std::uint8_t>(FrameType::kPing));
+  }
+}
+
+std::size_t frame_wire_size(const Frame& frame) {
+  if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
+    return 1 + 1 + 1 + 2 + hello->alpn.size();
+  }
+  if (const auto* stream = std::get_if<StreamFrame>(&frame)) {
+    return stream_frame_overhead() + stream->data.size();
+  }
+  if (const auto* ack = std::get_if<AckFrame>(&frame)) {
+    return 1 + 1 + ack->ranges.size() * 16;
+  }
+  if (const auto* close = std::get_if<CloseFrame>(&frame)) {
+    return 1 + 2 + close->reason.size();
+  }
+  return 1;  // PING
+}
+
+template <typename Writer>
+void write_packet(Writer& w, const TransportPacket& packet) {
+  w.u8(static_cast<std::uint8_t>(packet.kind));
+  w.u8(static_cast<std::uint8_t>(packet.type));
+  w.u64(packet.conn_id);
+  w.u64(packet.packet_number);
+  for (const Frame& frame : packet.frames) {
+    write_frame(w, frame);
   }
 }
 
@@ -99,14 +133,25 @@ bool AckFrame::contains(std::uint64_t pn) const {
 
 Bytes serialize_packet(const TransportPacket& packet) {
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(packet.kind));
-  w.u8(static_cast<std::uint8_t>(packet.type));
-  w.u64(packet.conn_id);
-  w.u64(packet.packet_number);
-  for (const Frame& frame : packet.frames) {
-    write_frame(w, frame);
-  }
+  write_packet(w, packet);
   return std::move(w).take();
+}
+
+std::size_t serialized_packet_size(const TransportPacket& packet) {
+  std::size_t size = packet_header_size();
+  for (const Frame& frame : packet.frames) {
+    size += frame_wire_size(frame);
+  }
+  return size;
+}
+
+net::PacketView serialize_packet_view(const TransportPacket& packet, std::size_t headroom) {
+  net::PacketView view =
+      net::PacketView::with_headroom(headroom, serialized_packet_size(packet));
+  util::SpanWriter w(view.mutable_span());
+  write_packet(w, packet);
+  assert(!w.failed() && w.remaining() == 0);
+  return view;
 }
 
 Result<TransportPacket> parse_packet(std::span<const std::uint8_t> data) {

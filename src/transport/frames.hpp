@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "net/packet.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 
@@ -72,6 +73,15 @@ struct TransportPacket {
 
 [[nodiscard]] Bytes serialize_packet(const TransportPacket& packet);
 [[nodiscard]] Result<TransportPacket> parse_packet(std::span<const std::uint8_t> data);
+
+/// Exact wire size serialize_packet would produce (for pre-sizing buffers).
+[[nodiscard]] std::size_t serialized_packet_size(const TransportPacket& packet);
+
+/// Serializes into a fresh buffer with `headroom` bytes reserved in front,
+/// so the layer below (the SCION stack) can prepend its header in place
+/// instead of copying the datagram. Byte-identical to serialize_packet.
+[[nodiscard]] net::PacketView serialize_packet_view(const TransportPacket& packet,
+                                                    std::size_t headroom);
 
 /// Size in bytes a STREAM frame with `data_len` payload will occupy.
 [[nodiscard]] std::size_t stream_frame_overhead();

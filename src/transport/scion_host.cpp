@@ -22,8 +22,9 @@ ScionTransportClient::ScionTransportClient(scion::ScionStack& stack,
                                            scion::DataplanePath path, TransportConfig config)
     : server_(server), path_(std::move(path)) {
   socket_ = stack.bind(0, [this](const scion::ScionEndpoint& /*from*/,
-                                 const scion::DataplanePath& /*reply*/, Bytes payload) {
-    conn_->on_datagram(payload);
+                                 const scion::DataplanePath& /*reply*/,
+                                 net::PacketView payload) {
+    conn_->on_datagram(payload.span());
   });
   conn_ = std::make_unique<Connection>(stack.host().simulator(), make_conduit(),
                                        Connection::Role::kClient, next_conn_id(), config);
@@ -32,7 +33,10 @@ ScionTransportClient::ScionTransportClient(scion::ScionStack& stack,
 Conduit ScionTransportClient::make_conduit() {
   Conduit conduit;
   conduit.max_payload = scion_max_payload(path_, 1500);
-  conduit.send = [this](Bytes datagram) {
+  // Reserve exactly the SCION header for this path in front of every
+  // datagram: the stack prepends in place and nothing is ever re-copied.
+  conduit.headroom = scion::scion_header_size(path_);
+  conduit.send = [this](net::PacketView datagram) {
     socket_->send_to(server_, path_, std::move(datagram));
   };
   return conduit;
@@ -47,14 +51,16 @@ ScionTransportServer::ScionTransportServer(scion::ScionStack& stack, std::uint16
                                            TransportConfig config, AcceptFn on_accept)
     : stack_(stack), config_(std::move(config)), on_accept_(std::move(on_accept)) {
   socket_ = stack.bind(port, [this](const scion::ScionEndpoint& from,
-                                    const scion::DataplanePath& reply_path, Bytes payload) {
+                                    const scion::DataplanePath& reply_path,
+                                    net::PacketView payload) {
     on_datagram(from, reply_path, std::move(payload));
   });
 }
 
 void ScionTransportServer::on_datagram(const scion::ScionEndpoint& from,
-                                       const scion::DataplanePath& reply_path, Bytes payload) {
-  auto parsed = parse_packet(payload);
+                                       const scion::DataplanePath& reply_path,
+                                       net::PacketView payload) {
+  auto parsed = parse_packet(payload.span());
   if (!parsed.ok()) {
     PAN_DEBUG(kLog) << "undecodable SCION datagram from " << from.to_string();
     return;
@@ -69,7 +75,8 @@ void ScionTransportServer::on_datagram(const scion::ScionEndpoint& from,
     state.reply_path = reply_path;
     Conduit conduit;
     conduit.max_payload = scion_max_payload(reply_path, 1500);
-    conduit.send = [this, conn_id](Bytes datagram) {
+    conduit.headroom = scion::scion_header_size(reply_path);
+    conduit.send = [this, conn_id](net::PacketView datagram) {
       const auto peer = conns_.find(conn_id);
       if (peer == conns_.end()) return;
       socket_->send_to(peer->second.from, peer->second.reply_path, std::move(datagram));
@@ -85,9 +92,14 @@ void ScionTransportServer::on_datagram(const scion::ScionEndpoint& from,
     const bool migrated = !(it->second.reply_path == reply_path);
     it->second.from = from;
     it->second.reply_path = reply_path;
-    if (migrated) it->second.conn->on_path_migrated();
+    if (migrated) {
+      // The new reply path needs a (possibly) different SCION header size in
+      // front of future datagrams — keep the zero-copy prepend exact.
+      it->second.conn->set_conduit_headroom(scion::scion_header_size(reply_path));
+      it->second.conn->on_path_migrated();
+    }
   }
-  it->second.conn->on_datagram(payload);
+  it->second.conn->on_datagram(payload.span());
 }
 
 void ScionTransportServer::reap_closed() {

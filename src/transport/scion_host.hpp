@@ -53,7 +53,7 @@ class ScionTransportServer {
   };
 
   void on_datagram(const scion::ScionEndpoint& from, const scion::DataplanePath& reply_path,
-                   Bytes payload);
+                   net::PacketView payload);
 
   scion::ScionStack& stack_;
   TransportConfig config_;

@@ -15,12 +15,12 @@ std::uint64_t next_conn_id() {
 
 UdpTransportClient::UdpTransportClient(net::Host& host, net::Endpoint server,
                                        TransportConfig config) {
-  socket_ = host.udp_bind(0, [this](const net::Endpoint& /*from*/, Bytes payload) {
-    conn_->on_datagram(payload);
+  socket_ = host.udp_bind(0, [this](const net::Endpoint& /*from*/, net::PacketView payload) {
+    conn_->on_datagram(payload.span());
   });
   Conduit conduit;
   conduit.max_payload = 1200;
-  conduit.send = [socket = socket_.get(), server](Bytes datagram) {
+  conduit.send = [socket = socket_.get(), server](net::PacketView datagram) {
     socket->send_to(server, std::move(datagram));
   };
   conn_ = std::make_unique<Connection>(host.simulator(), std::move(conduit),
@@ -30,13 +30,13 @@ UdpTransportClient::UdpTransportClient(net::Host& host, net::Endpoint server,
 UdpTransportServer::UdpTransportServer(net::Host& host, std::uint16_t port,
                                        TransportConfig config, AcceptFn on_accept)
     : host_(host), config_(std::move(config)), on_accept_(std::move(on_accept)) {
-  socket_ = host.udp_bind(port, [this](const net::Endpoint& from, Bytes payload) {
+  socket_ = host.udp_bind(port, [this](const net::Endpoint& from, net::PacketView payload) {
     on_datagram(from, std::move(payload));
   });
 }
 
-void UdpTransportServer::on_datagram(const net::Endpoint& from, Bytes payload) {
-  auto parsed = parse_packet(payload);
+void UdpTransportServer::on_datagram(const net::Endpoint& from, net::PacketView payload) {
+  auto parsed = parse_packet(payload.span());
   if (!parsed.ok()) {
     PAN_DEBUG(kLog) << "undecodable datagram from " << from.to_string();
     return;
@@ -51,7 +51,7 @@ void UdpTransportServer::on_datagram(const net::Endpoint& from, Bytes payload) {
     reap_closed();
     Conduit conduit;
     conduit.max_payload = 1200;
-    conduit.send = [socket = socket_.get(), from](Bytes datagram) {
+    conduit.send = [socket = socket_.get(), from](net::PacketView datagram) {
       socket->send_to(from, std::move(datagram));
     };
     auto conn = std::make_unique<Connection>(host_.simulator(), std::move(conduit),
@@ -59,7 +59,7 @@ void UdpTransportServer::on_datagram(const net::Endpoint& from, Bytes payload) {
     it = conns_.emplace(conn_id, std::move(conn)).first;
     if (on_accept_) on_accept_(*it->second);
   }
-  it->second->on_datagram(payload);
+  it->second->on_datagram(payload.span());
 }
 
 void UdpTransportServer::reap_closed() {

@@ -39,7 +39,7 @@ class UdpTransportServer {
   void reap_closed();
 
  private:
-  void on_datagram(const net::Endpoint& from, Bytes payload);
+  void on_datagram(const net::Endpoint& from, net::PacketView payload);
 
   net::Host& host_;
   TransportConfig config_;

@@ -103,4 +103,8 @@ std::string to_string_view_copy(const Bytes& b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
+std::string to_string_view_copy(std::span<const std::uint8_t> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
 }  // namespace pan

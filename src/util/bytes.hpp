@@ -88,9 +88,24 @@ class ByteReader {
   bool failed_ = false;
 };
 
+/// Direct big-endian loads for lazy wire-format views that decode individual
+/// fields at known offsets without a ByteReader pass. The caller guarantees
+/// bounds (views validate the whole structure once at parse time).
+[[nodiscard]] inline std::uint16_t read_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+[[nodiscard]] inline std::uint32_t read_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) | (std::uint32_t{p[2]} << 8) |
+         p[3];
+}
+[[nodiscard]] inline std::uint64_t read_be64(const std::uint8_t* p) {
+  return (std::uint64_t{read_be32(p)} << 32) | read_be32(p + 4);
+}
+
 /// Hex encoding for digests and debugging output.
 [[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
 [[nodiscard]] Bytes from_string(std::string_view s);
 [[nodiscard]] std::string to_string_view_copy(const Bytes& b);
+[[nodiscard]] std::string to_string_view_copy(std::span<const std::uint8_t> data);
 
 }  // namespace pan

@@ -107,7 +107,7 @@ TEST(ColibriTest, ForgedReservationIdDroppedByRouters) {
   const auto server = topo.host_by_name("far-www");
   int received = 0;
   auto srv = topo.scion_stack(server).bind(
-      9000, [&](const ScionEndpoint&, const DataplanePath&, Bytes) { ++received; });
+      9000, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView) { ++received; });
   auto client = topo.scion_stack(fx.world->client).bind(0, nullptr);
   client->send_to(ScionEndpoint{topo.scion_addr(server), 9000}, fx.best.dataplane(),
                   from_string("forged"), /*reservation=*/0xDEAD);
@@ -138,11 +138,11 @@ TEST(ColibriTest, ReservedFlowSurvivesBestEffortFlood) {
   int reserved_received = 0;
   int be_received = 0;
   auto srv_reserved = topo.scion_stack(server).bind(
-      9001, [&](const ScionEndpoint&, const DataplanePath&, Bytes) { ++reserved_received; });
+      9001, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView) { ++reserved_received; });
   auto srv_be = topo.scion_stack(server).bind(
-      9002, [&](const ScionEndpoint&, const DataplanePath&, Bytes) { ++be_received; });
+      9002, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView) { ++be_received; });
   auto srv_flood = topo.scion_stack(server).bind(
-      9003, [&](const ScionEndpoint&, const DataplanePath&, Bytes) {});
+      9003, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView) {});
 
   auto client = topo.scion_stack(fx.world->client).bind(0, nullptr);
   // The flood comes from a different host but shares the core links via the

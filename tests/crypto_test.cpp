@@ -2,6 +2,8 @@
 // against RFC 4231 vectors, truncated MACs, and Lamport signatures.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/signature.hpp"
@@ -103,6 +105,32 @@ TEST(HmacTest, DifferentKeysDiffer) {
   const Bytes k1(16, 0x01);
   const Bytes k2(16, 0x02);
   EXPECT_NE(hmac_sha256(k1, "msg"), hmac_sha256(k2, "msg"));
+}
+
+TEST(HmacKeyTest, MatchesOneShotHmacAcrossKeyLengths) {
+  // Short key (zero-padded), exactly block-sized key, and over-block key
+  // (hashed first): the precomputed-midstate path must agree with the
+  // one-shot reference on all three, across message sizes including empty
+  // and multi-block.
+  const std::vector<Bytes> keys = {Bytes(16, 0x42), Bytes(64, 0xA5), Bytes(131, 0xAA)};
+  const std::vector<Bytes> messages = {Bytes{}, from_string("Hi There"), Bytes(20, 0xDD),
+                                       Bytes(200, 0x33)};
+  for (const Bytes& key : keys) {
+    const HmacKey precomputed(key);
+    for (const Bytes& message : messages) {
+      EXPECT_EQ(precomputed.mac(message), hmac_sha256(key, message))
+          << "key size " << key.size() << ", message size " << message.size();
+      EXPECT_EQ(precomputed.short_mac(message), short_mac(key, message));
+    }
+  }
+}
+
+TEST(HmacKeyTest, ReusableAcrossCalls) {
+  const Bytes key(16, 0x42);
+  const HmacKey precomputed(key);
+  const Digest first = precomputed.mac(from_string("one"));
+  EXPECT_EQ(precomputed.mac(from_string("two")), hmac_sha256(key, from_string("two")));
+  EXPECT_EQ(precomputed.mac(from_string("one")), first);  // midstates untouched
 }
 
 TEST(ShortMacTest, TruncatesHmac) {

@@ -344,8 +344,8 @@ TEST(RebeaconTest, ExpiredHopFieldsDropped) {
 
   std::string got;
   auto socket = topo.scion_stack(server).bind(
-      9000, [&](const scion::ScionEndpoint&, const scion::DataplanePath&, Bytes payload) {
-        got = to_string_view_copy(payload);
+      9000, [&](const scion::ScionEndpoint&, const scion::DataplanePath&, net::PacketView payload) {
+        got = to_string_view_copy(payload.span());
       });
   auto client = topo.scion_stack(world->client).bind(0, nullptr);
 

@@ -301,8 +301,8 @@ struct HostPair {
 TEST(UdpTest, RoundTrip) {
   HostPair world;
   std::string received;
-  auto server = world.h2->udp_bind(7000, [&](const Endpoint& from, Bytes payload) {
-    received = to_string_view_copy(payload);
+  auto server = world.h2->udp_bind(7000, [&](const Endpoint& from, net::PacketView payload) {
+    received = to_string_view_copy(payload.span());
     EXPECT_EQ(from.addr, world.h1->address());
   });
   ASSERT_NE(server, nullptr);
@@ -316,13 +316,13 @@ TEST(UdpTest, RoundTrip) {
 TEST(UdpTest, ReplyReachesEphemeralPort) {
   HostPair world;
   std::string reply;
-  auto server = world.h2->udp_bind(7000, [&](const Endpoint& from, Bytes) {
+  auto server = world.h2->udp_bind(7000, [&](const Endpoint& from, net::PacketView) {
     auto responder = world.h2->udp_bind(0, nullptr);
     responder->send_to(from, from_string("pong"));
     // responder unbinds at scope exit; the datagram is already in flight.
   });
-  auto client = world.h1->udp_bind(0, [&](const Endpoint&, Bytes payload) {
-    reply = to_string_view_copy(payload);
+  auto client = world.h1->udp_bind(0, [&](const Endpoint&, net::PacketView payload) {
+    reply = to_string_view_copy(payload.span());
   });
   client->send_to(Endpoint{world.h2->address(), 7000}, from_string("ping"));
   world.sim.run();

@@ -134,13 +134,13 @@ TEST(PeeringTest, PeeringPathForwardsEndToEnd) {
   std::string got;
   DataplanePath reply;
   auto server = fx.topo->scion_stack(fx.host_d).bind(
-      7000, [&](const ScionEndpoint&, const DataplanePath& reply_path, Bytes payload) {
-        got = to_string_view_copy(payload);
+      7000, [&](const ScionEndpoint&, const DataplanePath& reply_path, net::PacketView payload) {
+        got = to_string_view_copy(payload.span());
         reply = reply_path;
       });
   auto client = fx.topo->scion_stack(fx.host_a).bind(
-      0, [&](const ScionEndpoint&, const DataplanePath&, Bytes payload) {
-        got += "|" + to_string_view_copy(payload);
+      0, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView payload) {
+        got += "|" + to_string_view_copy(payload.span());
       });
   client->send_to(ScionEndpoint{fx.topo->scion_addr(fx.host_d), 7000}, best.dataplane(),
                   from_string("over-peering"));
@@ -161,7 +161,7 @@ TEST(PeeringTest, EveryOfferedPathForwards) {
   const auto paths = fx.topo->daemon(fx.ia("a")).query_now(fx.ia("d"));
   int received = 0;
   auto server = fx.topo->scion_stack(fx.host_d).bind(
-      7000, [&](const ScionEndpoint&, const DataplanePath&, Bytes) { ++received; });
+      7000, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView) { ++received; });
   auto client = fx.topo->scion_stack(fx.host_a).bind(0, nullptr);
   for (const Path& path : paths) {
     client->send_to(ScionEndpoint{fx.topo->scion_addr(fx.host_d), 7000}, path.dataplane(),
@@ -184,7 +184,7 @@ TEST(PeeringTest, ForgedPeerHopRejected) {
   forged.segments[0].hops.back().in_if ^= 0x5;
   int received = 0;
   auto server = fx.topo->scion_stack(fx.host_d).bind(
-      7000, [&](const ScionEndpoint&, const DataplanePath&, Bytes) { ++received; });
+      7000, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView) { ++received; });
   auto client = fx.topo->scion_stack(fx.host_a).bind(0, nullptr);
   client->send_to(ScionEndpoint{fx.topo->scion_addr(fx.host_d), 7000}, forged,
                   from_string("evil"));

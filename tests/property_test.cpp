@@ -84,8 +84,8 @@ TEST_P(RandomTopology, BestPathForwardsEndToEnd) {
   std::string got;
   DataplanePath reply_path;
   auto server = topo.scion_stack(dst_host).bind(
-      7777, [&](const ScionEndpoint&, const DataplanePath& reply, Bytes payload) {
-        got = to_string_view_copy(payload);
+      7777, [&](const ScionEndpoint&, const DataplanePath& reply, net::PacketView payload) {
+        got = to_string_view_copy(payload.span());
         reply_path = reply;
       });
   auto client = topo.scion_stack(src_host).bind(0, nullptr);
@@ -118,7 +118,7 @@ TEST_P(RandomTopology, EveryPathOfOnePairForwards) {
   int received = 0;
   auto server = topo.scion_stack(dst_host).bind(
       7777,
-      [&](const ScionEndpoint&, const DataplanePath&, Bytes) { ++received; });
+      [&](const ScionEndpoint&, const DataplanePath&, net::PacketView) { ++received; });
   auto client = topo.scion_stack(src_host).bind(0, nullptr);
   int sent_lossless = 0;
   bool any_lossy = false;
@@ -251,8 +251,8 @@ TEST_P(RandomTopology, ReservedProbeTraversesRandomWorld) {
   ASSERT_TRUE(id.ok()) << id.error();
   std::string got;
   auto server = topo.scion_stack(dst_host).bind(
-      8800, [&](const ScionEndpoint&, const DataplanePath&, Bytes payload) {
-        got = to_string_view_copy(payload);
+      8800, [&](const ScionEndpoint&, const DataplanePath&, net::PacketView payload) {
+        got = to_string_view_copy(payload.span());
       });
   auto client = topo.scion_stack(src_host).bind(0, nullptr);
   client->send_to(ScionEndpoint{topo.scion_addr(dst_host), 8800}, lossless->dataplane(),
@@ -268,7 +268,7 @@ TEST_P(RandomTopology, LegacyAndScionBothReachable) {
   const HostId b = world_.hosts.back();
   // Legacy UDP ping.
   bool legacy_ok = false;
-  auto server = topo.host(b).udp_bind(5000, [&](const net::Endpoint&, Bytes) {
+  auto server = topo.host(b).udp_bind(5000, [&](const net::Endpoint&, net::PacketView) {
     legacy_ok = true;
   });
   auto client = topo.host(a).udp_bind(0, nullptr);

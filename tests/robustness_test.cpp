@@ -9,6 +9,7 @@
 #include "proxy/skip_proxy.hpp"
 #include "http/parser.hpp"
 #include "ppl/parser.hpp"
+#include "scion/border_router.hpp"
 #include "scion/header.hpp"
 #include "scion/scmp.hpp"
 #include "scion/topology.hpp"
@@ -64,6 +65,106 @@ TEST_P(FuzzSeeds, ScionHeaderParserNeverCrashes) {
   const Bytes valid = scion::serialize_scion_packet(header, from_string("payload"));
   for (int i = 0; i < 500; ++i) {
     (void)scion::parse_scion_packet(mutate(rng, valid));
+  }
+  SUCCEED();
+}
+
+/// Runs the lazy view over arbitrary bytes: parse must never read out of
+/// bounds (ASan-checked), and when it accepts, every accessor must stay in
+/// bounds and agree with the eager parser.
+void exercise_header_view(std::span<const std::uint8_t> data) {
+  const auto view = scion::ScionHeaderView::parse(data);
+  const auto eager = scion::parse_scion_packet(data);
+  // The two parsers validate the same structure: lazy-ok iff eager-ok.
+  ASSERT_EQ(view.ok(), eager.ok());
+  if (!view.ok()) return;
+  const scion::ScionHeaderView& v = view.value();
+  EXPECT_EQ(v.src().ia, eager.value().header.src.ia);
+  EXPECT_EQ(v.dst().host, eager.value().header.dst.host);
+  EXPECT_EQ(v.cur_seg(), eager.value().header.cur_seg);
+  EXPECT_EQ(v.cur_hop(), eager.value().header.cur_hop);
+  EXPECT_EQ(v.reservation_id(), eager.value().header.reservation_id);
+  EXPECT_EQ(v.payload_offset(), eager.value().payload_offset);
+  EXPECT_EQ(v.segment_count(), eager.value().header.path.segments.size());
+  // Decode every hop lazily and compare with the eager decode.
+  for (std::uint8_t s = 0; s < v.segment_count(); ++s) {
+    const auto seg = v.segment(s);
+    const scion::DataplaneSegment& eager_seg = eager.value().header.path.segments[s];
+    ASSERT_EQ(seg.hop_count, eager_seg.hops.size());
+    EXPECT_EQ(seg.origin_ts, eager_seg.origin_ts);
+    for (std::uint8_t h = 0; h < seg.hop_count; ++h) {
+      const scion::HopField hf = v.hop(seg, h);
+      const scion::HopField& expected = eager_seg.hop_at(h);
+      EXPECT_EQ(hf.isd_as, expected.isd_as);
+      EXPECT_EQ(hf.in_if, expected.in_if);
+      EXPECT_EQ(hf.out_if, expected.out_if);
+      EXPECT_EQ(hf.mac, expected.mac);
+      (void)scion::ScionHeaderView::traversal_ingress(seg, hf);
+      (void)scion::ScionHeaderView::traversal_egress(seg, hf);
+    }
+  }
+  // The forwarding decision must stay in bounds for any cursor value.
+  const scion::ForwardingKey key = from_string("fuzz-key");
+  (void)scion::decide_hop(data, scion::IsdAsn{1, 2}, key, scion::BorderRouterConfig{});
+}
+
+TEST_P(FuzzSeeds, ScionHeaderViewNeverReadsOutOfBounds) {
+  Rng rng(GetParam() + 1100);
+  // Pure garbage.
+  for (int i = 0; i < 500; ++i) {
+    exercise_header_view(random_bytes(rng, 300));
+  }
+  // Mutations of a valid multi-segment packet: bit flips corrupt cursor
+  // bytes, segment counts, and declared hop counts; truncations/extensions
+  // break the length invariants the parse walk must catch.
+  scion::ScionHeader header;
+  header.src = scion::ScionAddr{scion::IsdAsn{1, 2}, net::IpAddr{3}};
+  header.dst = scion::ScionAddr{scion::IsdAsn{4, 5}, net::IpAddr{6}};
+  for (int s = 0; s < 3; ++s) {
+    scion::DataplaneSegment seg;
+    seg.origin_ts = 90 + s;
+    seg.reversed = s % 2 == 1;
+    for (int h = 0; h < 3 + s; ++h) {
+      scion::HopField hf;
+      hf.isd_as = scion::IsdAsn{1, static_cast<scion::Asn>(16 * s + h)};
+      hf.in_if = static_cast<scion::IfaceId>(h);
+      hf.out_if = static_cast<scion::IfaceId>(h + 1);
+      seg.hops.push_back(hf);
+    }
+    header.path.segments.push_back(seg);
+  }
+  const Bytes valid = scion::serialize_scion_packet(header, from_string("payload"));
+  for (int i = 0; i < 500; ++i) {
+    exercise_header_view(mutate(rng, valid));
+  }
+  // Targeted cursor corruption on otherwise-valid packets: every (cur_seg,
+  // cur_hop) combination, including far out of range, must be handled.
+  for (int i = 0; i < 300; ++i) {
+    Bytes packet = valid;
+    packet[scion::ParsedScionPacket::kCurSegOffset] =
+        static_cast<std::uint8_t>(rng.next_below(256));
+    packet[scion::ParsedScionPacket::kCurHopOffset] =
+        static_cast<std::uint8_t>(rng.next_below(256));
+    exercise_header_view(packet);
+  }
+  // Inconsistent hop counts: rewrite a segment's declared hop count without
+  // touching the buffer length — the parse walk must reconcile the new
+  // structure against the real length, never reading past the end.
+  std::vector<std::size_t> hop_count_offsets;
+  std::size_t off = scion::kScionFixedHeaderSize;
+  for (const scion::DataplaneSegment& seg : header.path.segments) {
+    hop_count_offsets.push_back(off + scion::kSegmentMetaSize - 1);
+    off += scion::kSegmentMetaSize + seg.hops.size() * scion::kHopFieldWireSize;
+  }
+  for (int i = 0; i < 300; ++i) {
+    Bytes packet = valid;
+    const std::size_t target = hop_count_offsets[rng.next_below(hop_count_offsets.size())];
+    packet[target] = static_cast<std::uint8_t>(rng.next_below(256));
+    exercise_header_view(packet);
+  }
+  // Truncations at every length, from full packet down to empty.
+  for (std::size_t len = valid.size(); len-- > 0;) {
+    exercise_header_view(std::span<const std::uint8_t>(valid.data(), len));
   }
   SUCCEED();
 }
@@ -231,7 +332,7 @@ struct DataplaneWorld {
     auto& topo = world->topology();
     server = topo.host_by_name("far-www");
     server_socket = topo.scion_stack(server).bind(
-        9000, [this](const scion::ScionEndpoint&, const scion::DataplanePath&, Bytes) {
+        9000, [this](const scion::ScionEndpoint&, const scion::DataplanePath&, net::PacketView) {
           ++delivered;
         });
   }

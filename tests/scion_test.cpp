@@ -395,7 +395,7 @@ TEST(HeaderTest, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed.value().header.src_port, 1234);
   EXPECT_EQ(parsed.value().header.dst_port, 80);
   EXPECT_EQ(parsed.value().header.path.segments.size(), header.path.segments.size());
-  EXPECT_EQ(parsed.value().payload, payload);
+  EXPECT_EQ(parsed.value().payload_bytes(), payload);
 }
 
 TEST(HeaderTest, CursorPatch) {
@@ -429,14 +429,14 @@ struct PingPong {
   PingPong() {
     ScionStack& server_stack = fx.topo->scion_stack(fx.host_d);
     server = server_stack.bind(
-        9000, [this](const ScionEndpoint& from, const DataplanePath& reply, Bytes payload) {
-          server_got = to_string_view_copy(payload);
+        9000, [this](const ScionEndpoint& from, const DataplanePath& reply, net::PacketView payload) {
+          server_got = to_string_view_copy(payload.span());
           server->send_to(from, reply, from_string("pong"));
         });
     ScionStack& client_stack = fx.topo->scion_stack(fx.host_a);
     client = client_stack.bind(
-        0, [this](const ScionEndpoint&, const DataplanePath&, Bytes payload) {
-          client_got = to_string_view_copy(payload);
+        0, [this](const ScionEndpoint&, const DataplanePath&, net::PacketView payload) {
+          client_got = to_string_view_copy(payload.span());
         });
   }
 };
@@ -480,8 +480,8 @@ TEST(DataplaneTest, IntraAsDelivery) {
   ScionStack& stack_a2 = fx.topo->scion_stack(fx.host_a2);
   std::string got;
   auto server = stack_a2.bind(9001, [&](const ScionEndpoint&, const DataplanePath& reply,
-                                        Bytes payload) {
-    got = to_string_view_copy(payload);
+                                        net::PacketView payload) {
+    got = to_string_view_copy(payload.span());
     EXPECT_TRUE(reply.empty());
   });
   auto client = stack_a.bind(0, nullptr);
@@ -539,7 +539,7 @@ TEST(DataplaneTest, UnsignedTopologyStillForwards) {
   ScionStack& stack_d = fx.topo->scion_stack(fx.host_d);
   std::string got;
   auto server = stack_d.bind(9000, [&](const ScionEndpoint&, const DataplanePath&,
-                                       Bytes payload) { got = to_string_view_copy(payload); });
+                                       net::PacketView payload) { got = to_string_view_copy(payload.span()); });
   auto client = stack_a.bind(0, nullptr);
   const auto paths = fx.topo->daemon(fx.ia("a")).query_now(fx.ia("d"));
   ASSERT_FALSE(paths.empty());
@@ -589,7 +589,7 @@ TEST(TopologyTest, LegacyRoutingFollowsFewestAsHops) {
   net::Host& src = fx.topo->host(fx.host_a);
   net::Host& dst = fx.topo->host(fx.host_d);
   TimePoint received_at;
-  auto server = dst.udp_bind(7000, [&](const net::Endpoint&, Bytes) {
+  auto server = dst.udp_bind(7000, [&](const net::Endpoint&, net::PacketView) {
     received_at = fx.sim.now();
   });
   auto client = src.udp_bind(0, nullptr);

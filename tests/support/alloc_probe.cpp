@@ -1,0 +1,78 @@
+#include "support/alloc_probe.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PAN_ALLOC_PROBE_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PAN_ALLOC_PROBE_DISABLED 1
+#endif
+#endif
+
+namespace {
+std::uint64_t g_allocations = 0;
+}  // namespace
+
+namespace pan::testsupport {
+
+std::uint64_t allocation_count() { return g_allocations; }
+
+bool alloc_probe_active() {
+#ifdef PAN_ALLOC_PROBE_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace pan::testsupport
+
+#ifndef PAN_ALLOC_PROBE_DISABLED
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size == 0 ? 1 : size) != 0) {
+    std::abort();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) { return counted_alloc(size, align); }
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // PAN_ALLOC_PROBE_DISABLED

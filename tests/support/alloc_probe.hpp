@@ -1,0 +1,22 @@
+// Counting allocator probe: a replacement global operator new/delete that
+// counts every heap allocation in the process. Link tests/support/
+// alloc_probe.cpp into a target (via the pan_alloc_probe library) to
+// activate; zero-allocation assertions then read allocation_count() deltas.
+//
+// Under AddressSanitizer the replacement operators are compiled out (ASan
+// owns the allocator and its new/delete interceptors must stay in place), so
+// callers must gate assertions on alloc_probe_active().
+#pragma once
+
+#include <cstdint>
+
+namespace pan::testsupport {
+
+/// Total global operator-new calls since process start (0 when inactive).
+[[nodiscard]] std::uint64_t allocation_count();
+
+/// True when the counting operators are actually installed (false under
+/// sanitizers).
+[[nodiscard]] bool alloc_probe_active();
+
+}  // namespace pan::testsupport
