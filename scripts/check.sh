@@ -19,6 +19,10 @@
 #                                 # of the forwarding benches; fails if the
 #                                 # zero-copy hop path allocates or is not
 #                                 # faster than the legacy reparse pipeline
+#   scripts/check.sh --fleet      # PAN_SANITIZE=ON build, then the proxy
+#                                 # fleet suite + bench_fleet_scale --smoke;
+#                                 # fails on any strict downgrade, deadline
+#                                 # miss, or warm handoff < 5x cold recovery
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -71,6 +75,20 @@ if [[ "${1:-}" == "--identity" ]]; then
   cmake --build build-asan -j
   ./build-asan/tests/identity_test
   echo "==> identity passed"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fleet" ]]; then
+  echo "==> fleet: PAN_SANITIZE=ON build, fleet suite + scale bench smoke"
+  # Failover re-dispatch and warm-state import shuffle live proxy/resolver
+  # objects, so this leg always runs instrumented. The bench exits nonzero
+  # on any strict-guarantee loss (downgrade, deadline miss, shed at N>=4) or
+  # a warm-vs-cold recovery ratio under 5x.
+  cmake -B build-asan -S . -DPAN_SANITIZE=ON
+  cmake --build build-asan -j
+  ./build-asan/tests/fleet_test
+  ./build-asan/bench/bench_fleet_scale --smoke
+  echo "==> fleet passed"
   exit 0
 fi
 

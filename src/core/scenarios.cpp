@@ -35,7 +35,11 @@ http::FileServer& World::add_site(scion::HostId host, const std::string& domain,
   if (options.native_scion) {
     scion_servers_.push_back(std::make_unique<http::ScionHttpServer>(
         topo_->scion_stack(host), options.port, ref.handler()));
-    zone_.add_scion_txt(domain, topo_->scion_addr(host));
+    // Without the TXT advertisement the origin is SCION-reachable but only
+    // discoverable through the learned Strict-SCION cache.
+    if (options.advertise_scion_txt) {
+      zone_.add_scion_txt(domain, topo_->scion_addr(host));
+    }
   }
   return ref;
 }
@@ -194,8 +198,80 @@ PageLoadResult ClientSession::load(const std::string& url) {
   return result;
 }
 
+FleetSession::FleetSession(World& world, proxy::ClusterConfig config) : world_(world) {
+  scion::Topology& topo = world.topology();
+  if (config.resolver.lookup_latency == dns::ResolverConfig{}.lookup_latency) {
+    config.resolver.lookup_latency = world.config().dns_latency;
+  }
+  // Every per-replica resolver — including the fresh one a revived replica
+  // gets — pulls from the injector's DNS brownout table.
+  config.on_resolver_created = [&world](dns::Resolver& resolver) {
+    world.injector().attach_resolver(resolver);
+  };
+  cluster_ = std::make_unique<proxy::ProxyCluster>(
+      world.sim(), topo.host(world.client), topo.scion_stack(world.client),
+      topo.daemon_for(world.client), world.zone(), std::move(config));
+  world.injector().set_metrics(&cluster_->metrics());
+  world.injector().set_replica_hook(
+      [this](const fault::FaultEvent& event, bool active) {
+        switch (event.kind) {
+          case fault::FaultKind::kReplicaCrash:
+            if (active) {
+              cluster_->crash_replica(event.a);
+            } else {
+              cluster_->revive_replica(event.a);
+            }
+            break;
+          case fault::FaultKind::kReplicaHang:
+            cluster_->set_replica_hung(event.a, active);
+            break;
+          case fault::FaultKind::kReplicaRestart:
+            // A one-shot bounce; the revert (if dur= was given) is a no-op.
+            if (active) cluster_->restart_replica(event.a);
+            break;
+          default:
+            break;
+        }
+      });
+}
+
+FleetSession::~FleetSession() { world_.injector().set_replica_hook(nullptr); }
+
+proxy::ProxyResult FleetSession::fetch(const std::string& url, bool strict) {
+  proxy::ProxyResult result;
+  bool done = false;
+  http::HttpRequest request;
+  request.method = "GET";
+  request.target = url;
+  proxy::ProxyRequestOptions options;
+  options.strict = strict;
+  cluster_->fetch(std::move(request), options, [&](proxy::ProxyResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  world_.sim().run_until_condition([&] { return done; },
+                                   world_.sim().now() + seconds(120));
+  return result;
+}
+
 SurgeLoad::SurgeLoad(World& world, proxy::SkipProxy& proxy)
-    : world_(world), proxy_(proxy), alive_(std::make_shared<bool>(true)) {
+    : world_(world),
+      fetch_([&proxy](http::HttpRequest request, proxy::ProxyRequestOptions options,
+                      proxy::SkipProxy::FetchFn on_result) {
+        proxy.fetch(std::move(request), std::move(options), std::move(on_result));
+      }),
+      alive_(std::make_shared<bool>(true)) {
+  world_.injector().set_surge_hook(
+      [this](const fault::FaultEvent& event, bool active) { on_event(event, active); });
+}
+
+SurgeLoad::SurgeLoad(World& world, proxy::ProxyCluster& cluster)
+    : world_(world),
+      fetch_([&cluster](http::HttpRequest request, proxy::ProxyRequestOptions options,
+                        proxy::SkipProxy::FetchFn on_result) {
+        cluster.fetch(std::move(request), std::move(options), std::move(on_result));
+      }),
+      alive_(std::make_shared<bool>(true)) {
   world_.injector().set_surge_hook(
       [this](const fault::FaultEvent& event, bool active) { on_event(event, active); });
 }
@@ -234,8 +310,8 @@ void SurgeLoad::tick() {
     request.headers.set(std::string(proxy::kClientHeader), "surge");
     proxy::ProxyRequestOptions options;
     options.deadline = world_.sim().now() + request_deadline_;
-    proxy_.fetch(std::move(request), options,
-                 [this, alive = alive_](proxy::ProxyResult result) {
+    fetch_(std::move(request), options,
+           [this, alive = alive_](proxy::ProxyResult result) {
                    if (!*alive) return;
                    --in_flight_;
                    const int status = result.response.status;

@@ -22,6 +22,7 @@
 #include "core/browser.hpp"
 #include "fault/injector.hpp"
 #include "http/file_server.hpp"
+#include "proxy/cluster.hpp"
 #include "proxy/reverse_proxy.hpp"
 #include "scion/topology.hpp"
 
@@ -49,6 +50,11 @@ struct WorldConfig {
 struct SiteOptions {
   bool legacy = true;             // serve over TCP-lite/IP (A record)
   bool native_scion = false;      // serve over QUIC-lite/SCION directly
+  /// Publish the "scion=..." DNS TXT record for a native_scion site. false
+  /// models an origin reachable over SCION but *detectable only via the
+  /// learned Strict-SCION cache* (curated lists aside) — the fleet bench
+  /// uses this to make cold-restart recovery genuinely expensive.
+  bool advertise_scion_txt = true;
   bool strict_scion_header = false;
   Duration strict_scion_max_age = seconds(3600);
   Duration think_time = Duration::zero();
@@ -150,15 +156,43 @@ class ClientSession {
   std::unique_ptr<Browser> browser_;
 };
 
+/// A proxy *fleet* on the world's client host: a proxy::ProxyCluster wired
+/// into the world's chaos plumbing. The session translates the
+/// replica-crash / replica-hang / replica-restart fault verbs into cluster
+/// calls (it registers as the injector's replica hook) and attaches the
+/// injector's DNS brownout table to every per-replica resolver the cluster
+/// creates — including the fresh resolver a revived replica gets.
+class FleetSession {
+ public:
+  explicit FleetSession(World& world, proxy::ClusterConfig config = {});
+  ~FleetSession();
+
+  FleetSession(const FleetSession&) = delete;
+  FleetSession& operator=(const FleetSession&) = delete;
+
+  [[nodiscard]] proxy::ProxyCluster& cluster() { return *cluster_; }
+
+  /// Fetches `url` through the cluster and runs the sim until it settles.
+  proxy::ProxyResult fetch(const std::string& url, bool strict = false);
+
+ private:
+  World& world_;
+  std::unique_ptr<proxy::ProxyCluster> cluster_;
+};
+
 /// Deterministic load generator behind the `surge` fault verb: while a surge
 /// event is active it launches `GET http://<domain><path>` requests through
-/// `proxy` at the event's rate, capped at the event's concurrency, tagged as
-/// probe-class traffic from the "surge" client so admission control can
-/// recognize (and shed) it. One SurgeLoad drives one world's surges; it
-/// registers itself as the injector's surge hook.
+/// a SKIP proxy (or a whole ProxyCluster) at the event's rate, capped at the
+/// event's concurrency, tagged as probe-class traffic from the "surge"
+/// client so admission control can recognize (and shed) it. One SurgeLoad
+/// drives one world's surges; it registers itself as the injector's surge
+/// hook.
 class SurgeLoad {
  public:
   SurgeLoad(World& world, proxy::SkipProxy& proxy);
+  /// Fleet variant: requests route through the cluster front (consistent
+  /// hashing + failover) instead of a single proxy.
+  SurgeLoad(World& world, proxy::ProxyCluster& cluster);
   ~SurgeLoad();
 
   SurgeLoad(const SurgeLoad&) = delete;
@@ -184,7 +218,9 @@ class SurgeLoad {
   void tick();
 
   World& world_;
-  proxy::SkipProxy& proxy_;
+  /// Erased fetch target: SkipProxy::fetch or ProxyCluster::fetch.
+  std::function<void(http::HttpRequest, proxy::ProxyRequestOptions, proxy::SkipProxy::FetchFn)>
+      fetch_;
   Stats stats_;
   std::string domain_;
   std::string path_ = "/";

@@ -25,6 +25,9 @@ constexpr KindSpec kKinds[] = {
     {"origin-slow-loris", FaultKind::kOriginSlowLoris, 1},
     {"origin-bad-strict-scion", FaultKind::kOriginBadStrictScion, 1},
     {"surge", FaultKind::kSurge, 1},
+    {"replica-crash", FaultKind::kReplicaCrash, 1},
+    {"replica-hang", FaultKind::kReplicaHang, 1},
+    {"replica-restart", FaultKind::kReplicaRestart, 1},
 };
 
 /// Strict decimal parse of the full string; rejects inf/nan/empty/garbage.

@@ -14,6 +14,9 @@
 //   at=0ms origin-slow-loris www.far.example
 //   at=0ms origin-bad-strict-scion www.far.example
 //   at=0ms dur=4s surge www.far.example rate=160 conc=64
+//   at=2s dur=1s replica-crash rep-0
+//   at=2s dur=500ms replica-hang rep-1
+//   at=4s replica-restart rep-0
 //
 // `at` is mandatory; `dur` is optional (absent or 0 means the fault holds
 // until the end of the run). Blank lines and `#` comments are ignored. The
@@ -39,6 +42,9 @@ enum class FaultKind : std::uint8_t {
   kOriginSlowLoris,      // origin accepts requests but responds glacially
   kOriginBadStrictScion, // origin emits a malformed Strict-SCION header
   kSurge,                // synthetic request surge against a domain
+  kReplicaCrash,         // proxy-fleet replica process dies (state lost)
+  kReplicaHang,          // replica wedges: accepts work, never answers
+  kReplicaRestart,       // replica bounces: down, then revived (warm/cold)
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -50,7 +56,7 @@ struct FaultEvent {
   Duration duration = Duration::zero();
 
   /// Link faults: the two AS names; AS outage: `a` only; DNS and origin
-  /// faults: `a` is the domain.
+  /// faults: `a` is the domain; replica faults: `a` is the replica name.
   std::string a;
   std::string b;
 

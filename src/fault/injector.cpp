@@ -126,6 +126,11 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::kSurge:
       if (surge_hook_) surge_hook_(event, /*active=*/true);
       break;
+    case FaultKind::kReplicaCrash:
+    case FaultKind::kReplicaHang:
+    case FaultKind::kReplicaRestart:
+      if (replica_hook_) replica_hook_(event, /*active=*/true);
+      break;
   }
 
   active_.emplace(key, std::move(active));
@@ -180,6 +185,11 @@ void FaultInjector::revert(const FaultEvent& event) {
       break;
     case FaultKind::kSurge:
       if (surge_hook_) surge_hook_(event, /*active=*/false);
+      break;
+    case FaultKind::kReplicaCrash:
+    case FaultKind::kReplicaHang:
+    case FaultKind::kReplicaRestart:
+      if (replica_hook_) replica_hook_(event, /*active=*/false);
       break;
   }
 

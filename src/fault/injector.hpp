@@ -62,6 +62,14 @@ class FaultInjector {
   using SurgeHook = std::function<void(const FaultEvent& event, bool active)>;
   void set_surge_hook(SurgeHook hook) { surge_hook_ = std::move(hook); }
 
+  /// Called with active=true when a replica fault (kReplicaCrash /
+  /// kReplicaHang / kReplicaRestart) applies and active=false when it
+  /// reverts. The proxy fleet (proxy::ProxyCluster) registers itself here;
+  /// like the surge hook, the injector only keeps replica chaos on the
+  /// deterministic clock — crash/revive mechanics live with the cluster.
+  using ReplicaHook = std::function<void(const FaultEvent& event, bool active)>;
+  void set_replica_hook(ReplicaHook hook) { replica_hook_ = std::move(hook); }
+
   /// Schedules apply (and revert, when duration > 0) for every event.
   void schedule(const FaultPlan& plan);
 
@@ -100,6 +108,7 @@ class FaultInjector {
 
   std::map<std::string, ActiveFault> active_;
   SurgeHook surge_hook_;
+  ReplicaHook replica_hook_;
   std::unordered_map<std::string, dns::ResolverFault> dns_faults_;
   std::unordered_map<std::string, http::OriginFaultMode> origin_faults_;
   std::uint64_t injected_ = 0;

@@ -98,6 +98,28 @@ std::string CircuitBreaker::snapshot_json() const {
   return out;
 }
 
+std::vector<CircuitBreaker::ExportedEntry> CircuitBreaker::export_entries() const {
+  std::vector<ExportedEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(ExportedEntry{key, static_cast<std::uint8_t>(entry.state),
+                                entry.consecutive_failures, entry.opened_at});
+  }
+  return out;
+}
+
+void CircuitBreaker::import_entries(const std::vector<ExportedEntry>& entries) {
+  for (const auto& imported : entries) {
+    if (imported.state > static_cast<std::uint8_t>(State::kHalfOpen)) continue;
+    Entry& entry = entries_[imported.key];
+    entry.state = static_cast<State>(imported.state);
+    entry.consecutive_failures = imported.consecutive_failures;
+    entry.opened_at = imported.opened_at;
+    // The exporting instance's probe (if any) died with it.
+    entry.probe_in_flight = false;
+  }
+}
+
 void CircuitBreaker::count(const std::string& name) {
   if (metrics_ != nullptr) metrics_->counter(name).inc();
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -45,6 +46,21 @@ class CircuitBreaker {
   [[nodiscard]] std::size_t open_count() const;
   /// {"host:443": {"state": "open", "consecutive_failures": 5, ...}, ...}
   [[nodiscard]] std::string snapshot_json() const;
+
+  /// Warm-handoff snapshot: per-origin state, portable across breaker
+  /// instances that share a sim clock. `state` is the wire form of State
+  /// (0 closed, 1 open, 2 half-open).
+  struct ExportedEntry {
+    std::string key;
+    std::uint8_t state = 0;
+    std::size_t consecutive_failures = 0;
+    TimePoint opened_at;
+  };
+  [[nodiscard]] std::vector<ExportedEntry> export_entries() const;
+  /// Restores a snapshot (replacing any existing entry per key). Imported
+  /// half-open entries drop the probe-in-flight claim: the old instance's
+  /// probe died with it, so the next allow() becomes the probe here.
+  void import_entries(const std::vector<ExportedEntry>& entries);
 
  private:
   enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };

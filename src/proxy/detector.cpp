@@ -23,6 +23,12 @@ void ScionDetector::add_curated(const std::string& domain, const scion::ScionAdd
 
 void ScionDetector::learn(const std::string& domain, const scion::ScionAddr& addr,
                           Duration max_age, const std::string& identity) {
+  apply_learned(domain, addr, max_age, identity);
+  if (learn_hook_) learn_hook_(domain, addr, max_age, identity);
+}
+
+void ScionDetector::apply_learned(const std::string& domain, const scion::ScionAddr& addr,
+                                  Duration max_age, const std::string& identity) {
   const std::string key = identity_key(identity, domain);
   // HSTS semantics: max-age=0 (or a bogus negative value) is an explicit
   // withdrawal of the advertisement, not a dead map entry that lingers.
@@ -31,6 +37,25 @@ void ScionDetector::learn(const std::string& domain, const scion::ScionAddr& add
     return;
   }
   learned_[key] = LearnedEntry{addr, sim_.now() + max_age};
+}
+
+std::vector<ScionDetector::ExportedEntry> ScionDetector::export_learned() const {
+  std::vector<ExportedEntry> out;
+  out.reserve(learned_.size());
+  for (const auto& [key, entry] : learned_) {
+    if (entry.expires <= sim_.now()) continue;
+    out.push_back(ExportedEntry{key, entry.addr, entry.expires});
+  }
+  return out;
+}
+
+void ScionDetector::import_learned(const std::vector<ExportedEntry>& entries) {
+  for (const auto& entry : entries) {
+    if (entry.expires <= sim_.now()) continue;
+    const auto it = learned_.find(entry.key);
+    if (it != learned_.end() && it->second.expires >= entry.expires) continue;
+    learned_[entry.key] = LearnedEntry{entry.addr, entry.expires};
+  }
 }
 
 ResolvedHost ScionDetector::lookup(const std::string& domain, const std::string& identity) {

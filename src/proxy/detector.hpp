@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "dns/dns.hpp"
 
@@ -46,6 +47,31 @@ class ScionDetector {
   void learn(const std::string& domain, const scion::ScionAddr& addr, Duration max_age,
              const std::string& identity = {});
 
+  /// Observer fired on every learn(), withdrawals included (max_age <= 0).
+  /// A proxy fleet uses this to broadcast learned availability to peer
+  /// replicas; apply_learned() below bypasses the hook so a broadcast can
+  /// never echo back through the replica it lands on.
+  using LearnHook = std::function<void(const std::string& domain, const scion::ScionAddr& addr,
+                                       Duration max_age, const std::string& identity)>;
+  void set_learn_hook(LearnHook hook) { learn_hook_ = std::move(hook); }
+
+  /// Hook-free learn: same cache mutation as learn() without notifying the
+  /// observer (the import side of a fleet broadcast).
+  void apply_learned(const std::string& domain, const scion::ScionAddr& addr, Duration max_age,
+                     const std::string& identity = {});
+
+  /// Warm-handoff snapshot of the learned cache (expired entries skipped).
+  struct ExportedEntry {
+    std::string key;  ///< identity-scoped key, as stored
+    scion::ScionAddr addr;
+    TimePoint expires;
+  };
+  [[nodiscard]] std::vector<ExportedEntry> export_learned() const;
+  /// Restores a snapshot without firing the learn hook. An imported entry
+  /// never downgrades a fresher local one; already-expired entries are
+  /// dropped rather than stored.
+  void import_learned(const std::vector<ExportedEntry>& entries);
+
   /// Full resolution: legacy + SCION addressing for `domain`, consulting the
   /// learned entries of `identity` (empty / "default" = default scope).
   void resolve(const std::string& domain, std::function<void(ResolvedHost)> callback);
@@ -67,6 +93,7 @@ class ScionDetector {
 
   sim::Simulator& sim_;
   dns::Resolver& resolver_;
+  LearnHook learn_hook_;
   std::unordered_map<std::string, scion::ScionAddr> curated_;
   std::unordered_map<std::string, LearnedEntry> learned_;  // identity-scoped key
 };

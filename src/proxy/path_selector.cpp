@@ -113,6 +113,15 @@ std::vector<std::pair<std::string, TimePoint>> PathSelector::quarantine_snapshot
   return out;
 }
 
+void PathSelector::restore_quarantine(const std::string& fingerprint, TimePoint expires) {
+  const TimePoint now = daemon_.simulator().now();
+  if (expires <= now) return;
+  TimePoint& slot = quarantined_[fingerprint];
+  if (slot < expires) slot = expires;
+  metrics_->gauge("selector.quarantines_active")
+      .set(static_cast<double>(quarantined_.size()));
+}
+
 std::size_t PathSelector::active_revocations() const {
   const TimePoint now = daemon_.simulator().now();
   std::size_t count = 0;

@@ -108,6 +108,10 @@ class PathSelector {
   [[nodiscard]] std::size_t active_quarantines() const;
   /// Fingerprint -> expiry for the /skip/health dump (deterministic order).
   [[nodiscard]] std::vector<std::pair<std::string, TimePoint>> quarantine_snapshot() const;
+  /// Warm-handoff restore of a quarantine_snapshot() entry: re-installs the
+  /// exclusion at its original absolute expiry (already-expired entries are
+  /// ignored, and a longer-lived local entry is never shortened).
+  void restore_quarantine(const std::string& fingerprint, TimePoint expires);
 
   /// Usage snapshot built from the registry, keyed by path fingerprint for
   /// default-identity use and by "<identity>|<fingerprint>" for

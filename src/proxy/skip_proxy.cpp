@@ -19,6 +19,34 @@ http::HttpResponse synthetic_error(int status, const std::string& message) {
   return response;
 }
 
+/// A fleet of replicas shares the configured retry_jitter_seed default, and
+/// identically-seeded Rngs would make every replica compute the *same*
+/// backoff jitter — after a shared fault the whole fleet retries in
+/// synchronized waves, defeating the jitter. Salt the seed with a
+/// process-wide instance number (same device as make_trace()'s trace-id
+/// salt; the sim is single-threaded, so this stays deterministic).
+std::uint64_t salted_jitter_seed(std::uint64_t seed) {
+  static std::uint64_t instance_seq = 0;
+  return seed ^ (0x9e3779b97f4a7c15ULL * ++instance_seq);
+}
+
+/// The /skip/ control space is GET-only: exact endpoints plus the two
+/// parameterized prefixes. Used to answer 405 (not 404) on known paths.
+bool is_known_internal_endpoint(std::string_view target) {
+  static constexpr std::string_view kExact[] = {
+      "/skip/metrics", "/skip/pool",     "/skip/health", "/skip/traces",
+      "/skip/identity", "/skip/debug",   "/skip/ping",
+  };
+  static constexpr std::string_view kPrefixes[] = {"/skip/trace/", "/skip/identity/rotate/"};
+  for (const std::string_view endpoint : kExact) {
+    if (target == endpoint) return true;
+  }
+  for (const std::string_view prefix : kPrefixes) {
+    if (strings::starts_with(target, prefix)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* to_string(TransportUsed t) {
@@ -102,7 +130,7 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
       breaker_(sim, CircuitBreakerConfig{config_.breaker_threshold, config_.breaker_open_ttl},
                metrics_),
       identities_(sim, *metrics_, config_.identity_audit_cap),
-      retry_rng_(config_.retry_jitter_seed),
+      retry_rng_(salted_jitter_seed(config_.retry_jitter_seed)),
       overload_(sim, *metrics_, config_.overload),
       legacy_limiter_("legacy", config_.legacy_aimd, *metrics_),
       scion_limiter_("scion", config_.scion_aimd, *metrics_),
@@ -425,7 +453,21 @@ void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
 void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPtr& req) {
   ProxyResult result;
   result.transport = TransportUsed::kInternal;
-  if (request.target == "/skip/metrics") {
+  // Method gate first: a non-GET on a *known* endpoint is 405 + Allow, not
+  // 404 — fleet front-ends and load balancers probe with HEAD/POST and must
+  // be able to tell "wrong verb" from "no such endpoint".
+  if (request.method != "GET" && is_known_internal_endpoint(request.target)) {
+    result.response = synthetic_error(405, "method not allowed: " + request.method);
+    result.response.headers.set("Allow", "GET");
+    finish(req, std::move(result));
+    return;
+  }
+  if (request.target == "/skip/ping") {
+    // Liveness probe (the fleet's health prober hits this): cheap, constant,
+    // and served even when every origin-facing subsystem is on fire.
+    result.response =
+        http::make_response(200, from_string("{\"ok\":true}"), "application/json");
+  } else if (request.target == "/skip/metrics") {
     metrics_->gauge("proxy.scion_pool_size")
         .set(static_cast<double>(scion_pool_.origin_count()));
     metrics_->gauge("proxy.legacy_pool_size")

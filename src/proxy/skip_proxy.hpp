@@ -279,6 +279,10 @@ class SkipProxy {
   [[nodiscard]] ScionDetector& detector() { return detector_; }
   [[nodiscard]] PathSelector& selector() { return selector_; }
   [[nodiscard]] CircuitBreaker& breaker() { return breaker_; }
+  /// The retry-jitter stream. Effectively seeded by retry_jitter_seed XOR a
+  /// per-instance salt so fleet replicas sharing a config (and the default
+  /// seed) do not retry in lockstep; exposed for the divergence regression.
+  [[nodiscard]] Rng& retry_rng() { return retry_rng_; }
   [[nodiscard]] OverloadController& overload() { return overload_; }
   [[nodiscard]] obs::TraceCollector& collector() { return *collector_; }
   [[nodiscard]] obs::SloMonitor& slo() { return slo_; }

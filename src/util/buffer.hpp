@@ -80,7 +80,7 @@ class SpanWriter {
     u32(static_cast<std::uint32_t>(v));
   }
   void raw(std::span<const std::uint8_t> data) {
-    if (!need(data.size())) return;
+    if (data.empty() || !need(data.size())) return;
     std::memcpy(out_.data() + pos_, data.data(), data.size());
     pos_ += data.size();
   }

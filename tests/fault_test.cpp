@@ -656,5 +656,80 @@ TEST(ResilientProxy, ReverseProxiedOriginRecoversAfterReset) {
   EXPECT_FALSE(fx.session->proxy().breaker().is_open("www.far.example"));
 }
 
+// ---------------------------------------------------------- replica verbs --
+
+TEST(FaultPlanParser, ParsesReplicaVerbs) {
+  const auto plan = parse_fault_plan(
+      "at=2s dur=1s replica-crash rep-0\n"
+      "at=2500ms dur=500ms replica-hang rep-1\n"
+      "at=4s replica-restart rep-2\n");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  ASSERT_EQ(plan.value().size(), 3u);
+
+  const FaultEvent& crash = plan.value().events[0];
+  EXPECT_EQ(crash.kind, FaultKind::kReplicaCrash);
+  EXPECT_EQ(crash.a, "rep-0");
+  EXPECT_EQ(crash.at, TimePoint{} + seconds(2));
+  EXPECT_EQ(crash.duration, seconds(1));
+
+  const FaultEvent& hang = plan.value().events[1];
+  EXPECT_EQ(hang.kind, FaultKind::kReplicaHang);
+  EXPECT_EQ(hang.a, "rep-1");
+  EXPECT_EQ(hang.duration, milliseconds(500));
+
+  const FaultEvent& restart = plan.value().events[2];
+  EXPECT_EQ(restart.kind, FaultKind::kReplicaRestart);
+  EXPECT_EQ(restart.a, "rep-2");
+  EXPECT_EQ(restart.duration, Duration::zero());  // one-shot
+
+  // The replica name is mandatory.
+  const auto missing = parse_fault_plan("at=0ms replica-crash");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().find("line 1"), std::string::npos);
+}
+
+TEST(FaultInjector, ReplicaVerbsDriveTheFleet) {
+  auto world = make_local_world();
+  world->site("scion-fs.local")->add_text("/", "scion page");
+  browser::FleetSession session(*world);
+  proxy::ProxyCluster& cluster = session.cluster();
+
+  ASSERT_TRUE(world
+                  ->schedule_chaos(
+                      "at=10ms dur=100ms replica-crash rep-0\n"
+                      "at=10ms dur=100ms replica-hang rep-1\n"
+                      "at=200ms replica-restart rep-2\n")
+                  .ok());
+
+  // t=50ms: the crash is active — rep-0 is a dead process.
+  world->sim().run_until(world->sim().now() + milliseconds(50));
+  EXPECT_EQ(cluster.replica_health("rep-0"), proxy::ReplicaHealth::kDown);
+  EXPECT_EQ(cluster.replica("rep-0"), nullptr);
+  EXPECT_EQ(world->injector().active_count(), 2u);
+
+  // t=150ms: crash and hang reverted — rep-0 revived, rep-1 unwedged.
+  world->sim().run_until(world->sim().now() + milliseconds(100));
+  EXPECT_EQ(cluster.replica_health("rep-0"), proxy::ReplicaHealth::kHealthy);
+  EXPECT_NE(cluster.replica("rep-0"), nullptr);
+  EXPECT_EQ(world->injector().reverted(), 2u);
+
+  // t=250ms: the one-shot restart bounced rep-2.
+  world->sim().run_until(world->sim().now() + milliseconds(100));
+  const proxy::FleetStats stats = cluster.stats();
+  EXPECT_EQ(stats.crashes, 2u);        // replica-crash + replica-restart's crash
+  EXPECT_EQ(stats.restarts_warm, 2u);  // the revive + the restart
+
+  // FleetSession pointed the injector at the cluster registry, so the
+  // per-kind fault counters land next to the fleet.* ones.
+  obs::MetricsRegistry& metrics = cluster.metrics();
+  EXPECT_EQ(metrics.counter_value("fault.replica_crash"), 1u);
+  EXPECT_EQ(metrics.counter_value("fault.replica_hang"), 1u);
+  EXPECT_EQ(metrics.counter_value("fault.replica_restart"), 1u);
+  EXPECT_EQ(world->injector().injected(), 3u);
+
+  // The fleet still serves after the chaos.
+  EXPECT_EQ(session.fetch("http://scion-fs.local/", /*strict=*/true).response.status, 200);
+}
+
 }  // namespace
 }  // namespace pan::fault

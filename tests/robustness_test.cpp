@@ -263,6 +263,7 @@ TEST_P(FuzzSeeds, FaultPlanParserNeverCrashes) {
       "core-2b",   "#",             "0.5",       "\xff\xfe",
       "999999999999999999999s",     "ms",        "=",
       "surge",     "rate=",         "conc=",     "160",
+      "replica-crash", "replica-hang", "replica-restart", "rep-0",
   };
   for (int i = 0; i < 300; ++i) {
     std::string input;
