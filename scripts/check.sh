@@ -23,6 +23,11 @@
 #                                 # fleet suite + bench_fleet_scale --smoke;
 #                                 # fails on any strict downgrade, deadline
 #                                 # miss, or warm handoff < 5x cold recovery
+#   scripts/check.sh --multiaccess # PAN_SANITIZE=ON build, then the
+#                                 # multi-access suite + the multipath
+#                                 # ablation bench; fails if intent-aware
+#                                 # scheduling loses to intent-blind or a
+#                                 # mid-load access cut misses a deadline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -114,6 +119,21 @@ for hops in (3, 8):
     assert ratio > 1.0, f"zero-copy slower than legacy at {hops} hops ({ratio:.2f}x)"
 EOF
   echo "==> bench-smoke passed"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--multiaccess" ]]; then
+  echo "==> multiaccess: PAN_SANITIZE=ON build, multi-access suite + ablation bench"
+  # Mid-flight access failover re-dispatches live requests across SCION
+  # stacks and the flap property suite hammers that path, so this leg always
+  # runs instrumented. The bench exits nonzero when intent-aware scheduling
+  # fails to beat the intent-blind ablation or a strict document misses its
+  # deadline across the mid-load primary-access cut.
+  cmake -B build-asan -S . -DPAN_SANITIZE=ON
+  cmake --build build-asan -j
+  ./build-asan/tests/multiaccess_test
+  ./build-asan/bench/bench_ablation_multipath
+  echo "==> multiaccess passed"
   exit 0
 fi
 

@@ -1,5 +1,6 @@
 #include "core/browser.hpp"
 
+#include "net/multi_access.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -116,6 +117,10 @@ void Browser::fetch_via_extension(const std::shared_ptr<PageLoad>& page, std::si
   // ordering: the main document outranks its sub-resources.
   request.headers.set(std::string(proxy::kPriorityHeader),
                       index == 0 ? "document" : "subresource");
+  // Socket-Intents-style access hint for a multi-access proxy: the document
+  // is latency-critical, sub-resources are bulk transfers.
+  request.headers.set(std::string(net::kIntentHeader),
+                      index == 0 ? "latency-critical" : "bulk");
   add_conditional_headers(url.to_string(), request);
 
   const TimePoint begun = sim_.now();

@@ -151,6 +151,16 @@ std::unique_ptr<World> make_remote_world(const WorldConfig& config) {
   access.bandwidth_bps = 1e9;
   access.jitter_frac = config.link_jitter;
   world->client = topo.add_host("client-as", "browser", access);
+  if (config.multi_access) {
+    // Second upstream link into a different first-hop AS: an LTE-class
+    // access homed in near-as (client-as reaches core-1 at 2 ms, near-as at
+    // 3 ms — the accesses are asymmetric end to end as well).
+    net::LinkParams lte;
+    lte.latency = config.lte_latency;
+    lte.bandwidth_bps = config.lte_bandwidth_bps;
+    lte.jitter_frac = config.link_jitter;
+    world->client_lte = topo.add_host("near-as", "browser-lte", lte);
+  }
   const scion::HostId far_www = topo.add_host("server-as", "far-www", access);
   const scion::HostId far_static = topo.add_host("server-as", "far-static", access);
   const scion::HostId far_rp1 = topo.add_host("server-as", "far-rp1", access);
@@ -182,6 +192,11 @@ ClientSession::ClientSession(World& world, proxy::ProxyConfig proxy_config,
   // Fault counters land next to proxy stats so /skip/metrics and
   // /skip/health expose them.
   world.injector().set_metrics(&proxy_->metrics());
+  if (world.client_lte.has_value()) {
+    proxy_->add_access("lte", topo.host(*world.client_lte),
+                       topo.scion_stack(*world.client_lte),
+                       topo.daemon_for(*world.client_lte));
+  }
   extension_ = std::make_unique<BrowserExtension>(world.sim(), *proxy_);
   browser_ = std::make_unique<Browser>(world.sim(), *extension_, browser_config);
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,15 @@ struct WorldConfig {
   /// (overload/admission knobs included) — the surge benches toggle
   /// shedding on the shared server-side infrastructure through this.
   proxy::ReverseProxyConfig reverse_proxy;
+  /// Multi-access client (remote world only): adds a second browser host
+  /// ("browser-lte") in near-as so the client has two upstream links into
+  /// different first-hop ASes. ClientSession then registers it as the "lte"
+  /// access on its SkipProxy. The lte knobs make the second access
+  /// asymmetric — slower and narrower than the wired primary — so
+  /// intent-aware scheduling has something to choose between.
+  bool multi_access = false;
+  Duration lte_latency = milliseconds(15);
+  double lte_bandwidth_bps = 50e6;
 };
 
 struct SiteOptions {
@@ -79,6 +89,9 @@ class World {
 
   /// The designated client (browser) host; set by the builders below.
   scion::HostId client;
+  /// Second access host ("browser-lte" in near-as) when
+  /// WorldConfig::multi_access is set; empty otherwise.
+  std::optional<scion::HostId> client_lte;
 
   /// Hosts a site on `host` under `domain` per the options. Returns the file
   /// server so callers can add pages/blobs.

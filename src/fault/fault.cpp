@@ -28,6 +28,8 @@ constexpr KindSpec kKinds[] = {
     {"replica-crash", FaultKind::kReplicaCrash, 1},
     {"replica-hang", FaultKind::kReplicaHang, 1},
     {"replica-restart", FaultKind::kReplicaRestart, 1},
+    {"access-down", FaultKind::kAccessDown, 1},
+    {"access-degrade", FaultKind::kAccessDegrade, 1},
 };
 
 /// Strict decimal parse of the full string; rejects inf/nan/empty/garbage.

@@ -17,6 +17,8 @@
 //   at=2s dur=1s replica-crash rep-0
 //   at=2s dur=500ms replica-hang rep-1
 //   at=4s replica-restart rep-0
+//   at=1s dur=2s access-down browser
+//   at=1s dur=2s access-degrade browser-lte latency-factor=8 loss=0.2
 //
 // `at` is mandatory; `dur` is optional (absent or 0 means the fault holds
 // until the end of the run). Blank lines and `#` comments are ignored. The
@@ -45,6 +47,8 @@ enum class FaultKind : std::uint8_t {
   kReplicaCrash,         // proxy-fleet replica process dies (state lost)
   kReplicaHang,          // replica wedges: accepts work, never answers
   kReplicaRestart,       // replica bounces: down, then revived (warm/cold)
+  kAccessDown,           // a host's access link (first hop) goes dark
+  kAccessDegrade,        // access-link brownout: loss / latency burst
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -56,7 +60,8 @@ struct FaultEvent {
   Duration duration = Duration::zero();
 
   /// Link faults: the two AS names; AS outage: `a` only; DNS and origin
-  /// faults: `a` is the domain; replica faults: `a` is the replica name.
+  /// faults: `a` is the domain; replica faults: `a` is the replica name;
+  /// access faults: `a` is the host name whose access link is hit.
   std::string a;
   std::string b;
 

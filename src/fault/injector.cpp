@@ -131,6 +131,28 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::kReplicaRestart:
       if (replica_hook_) replica_hook_(event, /*active=*/true);
       break;
+    case FaultKind::kAccessDown: {
+      // `a` is a host name; the access link is always interface 0.
+      if (topo_ != nullptr) {
+        net::Network& net = topo_->network();
+        const net::NodeId node = net.find_node(event.a);
+        if (node != net::kInvalidNodeId) net.set_link_up(node, 0, false);
+      }
+      break;
+    }
+    case FaultKind::kAccessDegrade: {
+      if (topo_ != nullptr) {
+        net::Network& net = topo_->network();
+        const net::NodeId node = net.find_node(event.a);
+        if (node != net::kInvalidNodeId) {
+          net::LinkParams& params = net.mutable_link_params(node, 0);
+          active.backups.push_back({node, 0, params});
+          if (event.loss > 0.0) params.loss_rate = std::max(params.loss_rate, event.loss);
+          params.latency = params.latency.scaled(event.latency_factor) + event.extra_latency;
+        }
+      }
+      break;
+    }
   }
 
   active_.emplace(key, std::move(active));
@@ -191,6 +213,20 @@ void FaultInjector::revert(const FaultEvent& event) {
     case FaultKind::kReplicaRestart:
       if (replica_hook_) replica_hook_(event, /*active=*/false);
       break;
+    case FaultKind::kAccessDown: {
+      if (topo_ != nullptr) {
+        net::Network& net = topo_->network();
+        const net::NodeId node = net.find_node(event.a);
+        if (node != net::kInvalidNodeId) net.set_link_up(node, 0, true);
+      }
+      break;
+    }
+    case FaultKind::kAccessDegrade: {
+      for (const LinkBackup& backup : active.backups) {
+        topo_->network().mutable_link_params(backup.node, backup.ifid) = backup.original;
+      }
+      break;
+    }
   }
 
   active_.erase(it);

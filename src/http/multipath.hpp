@@ -11,6 +11,7 @@
 #pragma once
 
 #include "http/endpoints.hpp"
+#include "net/multi_access.hpp"
 #include "scion/path.hpp"
 
 namespace pan::http {
@@ -24,6 +25,13 @@ struct MultipathConfig {
   Schedule schedule = Schedule::kLeastOutstanding;
   /// Failover attempts on other channels when a fetch errors.
   std::size_t max_retries = 2;
+  /// Bounded re-dial: a channel whose transport dies is re-dialed on its
+  /// path (exponential backoff: redial_backoff * 2^n) up to max_redials
+  /// consecutive times, so a long transfer recovers full striping width
+  /// after a transient instead of limping on a shrunken path set. A fetch
+  /// completing over the channel resets its redial budget. 0 disables.
+  std::size_t max_redials = 3;
+  Duration redial_backoff = milliseconds(50);
   transport::TransportConfig quic = default_quic_config();
 };
 
@@ -35,18 +43,33 @@ class MultipathScionConnection {
   MultipathScionConnection(scion::ScionStack& stack, scion::ScionEndpoint server,
                            std::vector<scion::Path> paths, MultipathConfig config = {});
 
+  ~MultipathScionConnection();
+
   MultipathScionConnection(const MultipathScionConnection&) = delete;
   MultipathScionConnection& operator=(const MultipathScionConnection&) = delete;
 
+  /// Adds a channel dialed through `stack` (a multi-access client passes a
+  /// different stack per access); `access` labels the channel in stats and
+  /// intent picks. The path must lead to the server's AS from that stack.
+  void add_channel(scion::ScionStack& stack, scion::Path path, std::string access = {});
+
   void fetch(const HttpRequest& request, HttpClientStream::ResponseFn on_response);
+  /// Intent-aware scheduling: latency-critical rides the lowest-latency
+  /// usable channel, background the highest, bulk the configured schedule.
+  void fetch(const HttpRequest& request, net::FetchIntent intent,
+             HttpClientStream::ResponseFn on_response);
 
   [[nodiscard]] std::size_t path_count() const { return channels_.size(); }
+  /// Channels whose transport is currently open (re-dials restore them).
+  [[nodiscard]] std::size_t usable_count() const;
 
   struct ChannelStats {
     std::string fingerprint;
+    std::string access;
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t redials = 0;
   };
   [[nodiscard]] std::vector<ChannelStats> channel_stats() const;
 
@@ -61,22 +84,31 @@ class MultipathScionConnection {
  private:
   struct Channel {
     std::unique_ptr<ScionHttpConnection> conn;
+    scion::ScionStack* stack = nullptr;  // stack this channel dials through
     scion::Path path;
     std::size_t outstanding = 0;
+    std::size_t redials = 0;  // consecutive re-dials since the last success
+    bool redial_pending = false;
     ChannelStats stats;
   };
 
   /// Index of the channel to use, or channels_.size() if none is usable.
   [[nodiscard]] std::size_t pick_channel();
-  void attempt(const HttpRequest& request, HttpClientStream::ResponseFn on_response,
-               std::size_t retries_left);
+  [[nodiscard]] std::size_t pick_for_intent(net::FetchIntent intent);
+  void attempt(const HttpRequest& request, std::optional<net::FetchIntent> intent,
+               HttpClientStream::ResponseFn on_response, std::size_t retries_left);
   [[nodiscard]] bool channel_usable(const Channel& channel) const;
+  /// Schedules a backoff re-dial of a dead channel when budget remains.
+  void maybe_redial(std::size_t index);
 
   scion::ScionStack& stack_;
   scion::ScionEndpoint server_;
   MultipathConfig config_;
   std::vector<Channel> channels_;
   std::size_t rr_cursor_ = 0;
+  bool closed_ = false;
+  /// Flipped in the destructor so pending re-dial timers become no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace pan::http

@@ -77,13 +77,14 @@ UdpSocket::UdpSocket(Host& host, std::uint16_t port, Host::ReceiveFn on_receive)
 
 UdpSocket::~UdpSocket() { host_.unbind(port_); }
 
-void UdpSocket::send_to(const Endpoint& dst, PacketView payload) {
+void UdpSocket::send_to(const Endpoint& dst, PacketView payload, bool priority) {
   Packet packet;
   packet.proto = Protocol::kUdp;
   packet.src = host_.address();
   packet.src_port = port_;
   packet.dst = dst.addr;
   packet.dst_port = dst.port;
+  packet.priority = priority;
   packet.payload = std::move(payload);
   host_.send_packet(std::move(packet));
 }

@@ -68,7 +68,11 @@ class UdpSocket {
   [[nodiscard]] Endpoint local_endpoint() const { return Endpoint{host_.address(), port_}; }
   [[nodiscard]] Host& host() { return host_; }
 
-  void send_to(const Endpoint& dst, PacketView payload);
+  /// `priority` marks the datagram for priority queue admission (never
+  /// tail-dropped): tiny control traffic — health probes — that must survive
+  /// a saturated access link. It still waits out the transmit backlog, so
+  /// congestion shows up as delay rather than silence.
+  void send_to(const Endpoint& dst, PacketView payload, bool priority = false);
 
  private:
   friend class Host;

@@ -131,16 +131,27 @@ std::size_t PathSelector::active_revocations() const {
   return count;
 }
 
+void PathSelector::add_access_daemon(const std::string& access, scion::Daemon& daemon) {
+  access_daemons_[access] = &daemon;
+}
+
 void PathSelector::choose(scion::IsdAsn dst, std::function<void(PathChoice)> callback) {
-  choose(dst, {}, std::move(callback), std::nullopt, nullptr);
+  choose(dst, {}, std::move(callback), std::nullopt, nullptr, {});
 }
 
 void PathSelector::choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_preference,
                           std::function<void(PathChoice)> callback,
                           std::optional<ppl::PolicySet> override_policies,
-                          ExcludeFn exclude) {
+                          ExcludeFn exclude, const std::string& access) {
   metrics_->counter("selector.choices").inc();
-  daemon_.query(dst, [this, pref = std::move(server_preference),
+  scion::Daemon* daemon = &daemon_;
+  if (!access.empty()) {
+    if (const auto it = access_daemons_.find(access); it != access_daemons_.end()) {
+      daemon = it->second;
+      metrics_->counter("selector.access_choices").inc();
+    }
+  }
+  daemon->query(dst, [this, pref = std::move(server_preference),
                       override = std::move(override_policies),
                       exclude = std::move(exclude),
                       cb = std::move(callback)](std::vector<scion::Path> paths) {

@@ -69,16 +69,22 @@ class PathSelector {
   /// and the PathChoice flags the fallback so the caller can count it.
   using ExcludeFn = std::function<bool(const scion::Path&)>;
 
+  /// Registers the daemon serving an additional access attachment (multi-
+  /// access host). choose() with that access name queries this daemon —
+  /// paths are rooted at the access's own first-hop AS.
+  void add_access_daemon(const std::string& access, scion::Daemon& daemon);
+
   void choose(scion::IsdAsn dst, std::function<void(PathChoice)> callback);
   /// As choose(), with a negotiated server preference applied as a
   /// tie-breaking ordering after the user's policies, an optional
   /// per-destination policy set overriding the selector's default (the
-  /// proxy's PolicyRouter resolves it per request), and an optional
-  /// exclusion predicate (identity disjointness).
+  /// proxy's PolicyRouter resolves it per request), an optional
+  /// exclusion predicate (identity disjointness), and an optional access
+  /// name routing the query to that access's daemon ("" = primary).
   void choose(scion::IsdAsn dst, std::vector<ppl::OrderKey> server_preference,
               std::function<void(PathChoice)> callback,
               std::optional<ppl::PolicySet> override_policies = std::nullopt,
-              ExcludeFn exclude = nullptr);
+              ExcludeFn exclude = nullptr, const std::string& access = {});
 
   /// Records a request carried over `path`. A non-empty `identity` scopes
   /// the per-path counters to that identity
@@ -143,6 +149,7 @@ class PathSelector {
   void prune_expired_quarantines(TimePoint now);
 
   scion::Daemon& daemon_;
+  std::unordered_map<std::string, scion::Daemon*> access_daemons_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
   ppl::PolicySet policies_;

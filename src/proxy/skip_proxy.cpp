@@ -12,6 +12,9 @@ namespace pan::proxy {
 namespace {
 constexpr std::string_view kLog = "skip";
 constexpr std::string_view kInternalPrefix = "/skip/";
+/// Name the ctor's host/stack take in the access bundle once add_access()
+/// turns multi-access on.
+constexpr std::string_view kPrimaryAccess = "primary";
 
 http::HttpResponse synthetic_error(int status, const std::string& message) {
   http::HttpResponse response = http::make_text_response(status, message);
@@ -35,7 +38,7 @@ std::uint64_t salted_jitter_seed(std::uint64_t seed) {
 bool is_known_internal_endpoint(std::string_view target) {
   static constexpr std::string_view kExact[] = {
       "/skip/metrics", "/skip/pool",     "/skip/health", "/skip/traces",
-      "/skip/identity", "/skip/debug",   "/skip/ping",
+      "/skip/identity", "/skip/debug",   "/skip/ping",   "/skip/access",
   };
   static constexpr std::string_view kPrefixes[] = {"/skip/trace/", "/skip/identity/rotate/"};
   for (const std::string_view endpoint : kExact) {
@@ -153,7 +156,130 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
   for (obs::SloObjective& objective : objectives) slo_.add(std::move(objective));
 }
 
-SkipProxy::~SkipProxy() { stack_.unsubscribe_scmp(scmp_subscription_); }
+SkipProxy::~SkipProxy() {
+  stack_.unsubscribe_scmp(scmp_subscription_);
+  for (const auto& [stack, subscription] : access_scmp_subscriptions_) {
+    stack->unsubscribe_scmp(subscription);
+  }
+}
+
+void SkipProxy::add_access(const std::string& name, net::Host& host,
+                           scion::ScionStack& stack, scion::Daemon& daemon) {
+  if (multi_access_ == nullptr) {
+    multi_access_ = std::make_unique<net::MultiAccessHost>(sim_, config_.access);
+    // The constructor attachment is the primary access; it keeps winning
+    // deterministic ties until the probes measure otherwise.
+    multi_access_->add_access(std::string(kPrimaryAccess), host_);
+    access_stacks_[std::string(kPrimaryAccess)] = &stack_;
+    access_health_subscription_ = multi_access_->subscribe(
+        [this](const std::string& access, net::AccessHealth previous,
+               net::AccessHealth current) { on_access_health(access, previous, current); });
+  }
+  if (multi_access_->has_access(name)) return;
+  multi_access_->add_access(name, host);
+  access_stacks_[name] = &stack;
+  selector_.add_access_daemon(name, daemon);
+  // SCMP arriving over the new access feeds the same revocation/migration
+  // handler as the primary stack's.
+  access_scmp_subscriptions_.emplace_back(
+      &stack,
+      stack.subscribe_scmp([this](const scion::ScmpMessage& message) { on_scmp(message); }));
+  multi_access_->start_probes();
+}
+
+std::string SkipProxy::pick_access(const RequestState& req) {
+  const net::FetchIntent effective =
+      config_.intent_aware ? req.intent : net::FetchIntent::kBulk;
+  if (const auto pin = config_.pin_intent_access.find(to_string(effective));
+      pin != config_.pin_intent_access.end()) {
+    if (multi_access_->has_access(pin->second) &&
+        multi_access_->health(pin->second) != net::AccessHealth::kDown) {
+      return pin->second;
+    }
+  }
+  // Soft-avoid the access the previous attempt rode: a retry should try the
+  // other first-hop AS when one is usable.
+  return multi_access_->pick(effective, req.access);
+}
+
+scion::ScionStack& SkipProxy::stack_for(const std::string& access) {
+  if (const auto it = access_stacks_.find(access); it != access_stacks_.end()) {
+    return *it->second;
+  }
+  return stack_;
+}
+
+net::Host& SkipProxy::host_for(const std::string& access) {
+  if (multi_access_ != nullptr) {
+    if (net::Host* host = multi_access_->host(access); host != nullptr) return *host;
+  }
+  return host_;
+}
+
+std::string SkipProxy::access_authority(const std::string& authority,
+                                        const std::string& access) {
+  return access.empty() ? authority : authority + "#" + access;
+}
+
+void SkipProxy::fail_no_access(const RequestPtr& req, const std::string& host) {
+  metrics_->counter("proxy.no_access").inc();
+  if (req->strict) {
+    fail_strict_unavailable(req, host, "all access links down");
+    return;
+  }
+  req->trace->set_outcome("fault");
+  ProxyResult result;
+  result.response = http::make_retry_after_response(
+      503, config_.strict_retry_after, "all access links down for " + host);
+  finish(req, std::move(result));
+}
+
+void SkipProxy::on_access_health(const std::string& name, net::AccessHealth /*previous*/,
+                                 net::AccessHealth current) {
+  metrics_->gauge("access." + name + ".health")
+      .set(current == net::AccessHealth::kHealthy    ? 2.0
+           : current == net::AccessHealth::kDegraded ? 1.0
+                                                     : 0.0);
+  metrics_->events().record(sim_.now(), "access", std::string(to_string(current)), name);
+  if (current != net::AccessHealth::kDown) return;
+  metrics_->counter("proxy.access_down_events").inc();
+  // Retire pooled connections riding the dead access: their conduits are
+  // gone, and parked waiters must re-dispatch onto fresh dials elsewhere.
+  const std::string suffix = "#" + name;
+  std::vector<std::string> dead_keys;
+  scion_pool_.for_each_connection(
+      [&](const std::string& key, http::OriginPool::PooledConnection&) {
+        if (strings::ends_with(key, suffix)) dead_keys.push_back(key);
+      });
+  for (const std::string& key : dead_keys) {
+    scion_pool_.retire(key);
+    resumption_tickets_.erase(key);
+  }
+  dead_keys.clear();
+  legacy_pool_.for_each_connection(
+      [&](const std::string& key, http::OriginPool::PooledConnection&) {
+        if (strings::ends_with(key, suffix)) dead_keys.push_back(key);
+      });
+  for (const std::string& key : dead_keys) legacy_pool_.retire(key);
+  // Mid-flight failover: every in-flight SCION attempt on the dead access is
+  // abandoned (epoch bump invalidates its callbacks and attempt timer) and
+  // re-run immediately — the fresh attempt picks a surviving access and must
+  // still land inside the request's original deadline budget.
+  std::vector<std::pair<ScionContextPtr, RequestPtr>> to_failover;
+  for (const auto& [ptr, entry] : inflight_scion_) {
+    if (!entry.second->done && entry.second->access == name) to_failover.push_back(entry);
+  }
+  for (auto& [ctx, req] : to_failover) {
+    ++req->epoch;
+    req->trace->end("fetch");
+    req->trace->cancel("handshake");
+    req->trace->set_attribute("access_failover", name);
+    metrics_->counter("proxy.access_failovers").inc();
+    PAN_DEBUG(kLog) << ctx->url.host << ": access " << name
+                    << " down, failing over mid-flight";
+    start_scion_attempt(ctx, req);
+  }
+}
 
 obs::TracePtr SkipProxy::make_trace() {
   // Trace ids must stay unique when several proxy instances share one
@@ -190,6 +316,8 @@ ProxyStats SkipProxy::stats() const {
   stats.rejected_capacity = metrics_->counter_value("overload.rejected_capacity");
   stats.shed = metrics_->counter_value("overload.shed_requests");
   stats.brownout_bypasses = metrics_->counter_value("overload.brownout_bypass");
+  stats.access_down_events = metrics_->counter_value("proxy.access_down_events");
+  stats.access_failovers = metrics_->counter_value("proxy.access_failovers");
   return stats;
 }
 
@@ -218,6 +346,7 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
     std::string host;
     std::string authority;
     std::string identity;
+    std::string access;
   };
   std::vector<Affected> affected;
   scion_pool_.for_each_connection(
@@ -236,8 +365,16 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
         if (scion_conn->port() != 80) {
           authority += ":" + std::to_string(scion_conn->port());
         }
+        // Multi-access keys suffix the authority with "#<access>"; a URL
+        // authority cannot contain '#', so the split is unambiguous. The
+        // replacement path must come from that access's daemon.
+        std::string access;
+        if (const auto hash = key.rfind('#'); hash != std::string::npos) {
+          access = key.substr(hash + 1);
+        }
         affected.push_back(Affected{key, scion_conn->addr().ia, scion_conn->host(),
-                                    std::move(authority), identity_of_key(key)});
+                                    std::move(authority), identity_of_key(key),
+                                    std::move(access)});
       });
   for (const Affected& origin : affected) {
     std::optional<ppl::PolicySet> per_site_policies;
@@ -270,7 +407,8 @@ void SkipProxy::on_scmp(const scion::ScmpMessage& message) {
       PAN_DEBUG(kLog) << key << ": migrating to " << replacement->to_string();
     },
                      std::move(per_site_policies),
-                     identities_.exclusion(origin.identity, origin.authority));
+                     identities_.exclusion(origin.identity, origin.authority),
+                     origin.access);
   }
 }
 
@@ -285,6 +423,14 @@ void SkipProxy::rotate_identity(const std::string& id) {
     const std::string key = identity_key(identity, origin);
     scion_pool_.retire(key);
     resumption_tickets_.erase(key);
+    // Multi-access pools scope the authority per access; retire those too.
+    if (multi_access_ != nullptr) {
+      for (const std::string& access : multi_access_->access_names()) {
+        const std::string access_key = identity_key(identity, origin + "#" + access);
+        scion_pool_.retire(access_key);
+        resumption_tickets_.erase(access_key);
+      }
+    }
   }
   PAN_DEBUG(kLog) << "rotated identity " << identity << " (" << released.size()
                   << " assignments released)";
@@ -308,6 +454,17 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
   // host, so its requests ride in the document band.
   req->priority = options.strict ? RequestPriority::kDocument : priority_of(request);
   req->identity = identity_of(request);
+  // Socket intent: derived from the priority class the page model already
+  // tags, overridable via X-Skip-Intent; strict pins ride the fast access.
+  switch (req->priority) {
+    case RequestPriority::kDocument: req->intent = net::FetchIntent::kLatencyCritical; break;
+    case RequestPriority::kSubresource: req->intent = net::FetchIntent::kBulk; break;
+    case RequestPriority::kProbe: req->intent = net::FetchIntent::kBackground; break;
+  }
+  if (const auto intent_header = request.headers.get(std::string(net::kIntentHeader))) {
+    if (const auto parsed = net::parse_fetch_intent(*intent_header)) req->intent = *parsed;
+  }
+  if (options.strict) req->intent = net::FetchIntent::kLatencyCritical;
 
   // Cross-hop trace context: a request arriving with an X-Skip-Trace header
   // but no in-process trace object joins the caller's trace (id, parent
@@ -379,12 +536,18 @@ void SkipProxy::fetch(http::HttpRequest request, ProxyRequestOptions options,
 void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
   if (req->done) return;
   req->done = true;
+  inflight_scion_.erase(req.get());
   if (req->admitted) {
     overload_.release();
     req->admitted = false;
   }
   result.scion_attempts = req->attempts;
   result.identity = req->identity;
+  result.access = req->access;
+  if (!req->access.empty() &&
+      (result.transport == TransportUsed::kScion || result.transport == TransportUsed::kIp)) {
+    result.response.headers.set("X-Skip-Access", req->access);
+  }
   // Per-identity stats count requests actually carried to an origin.
   if (result.transport == TransportUsed::kScion || result.transport == TransportUsed::kIp) {
     identities_.record_result(req->identity, result.transport == TransportUsed::kScion,
@@ -532,6 +695,13 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
           200, from_string(obs::TraceCollector::chrome_trace_json(*record)),
           "application/json");
     }
+  } else if (request.target == "/skip/access") {
+    // Multi-access state: per-access health, probe EWMA, striping weights.
+    result.response = http::make_response(
+        200,
+        from_string(multi_access_ != nullptr ? multi_access_->snapshot_json()
+                                             : std::string("{\"accesses\":[]}")),
+        "application/json");
   } else if (request.target == "/skip/identity") {
     // Per-identity isolation state: stats, live path assignments, audit.
     result.response = http::make_response(200, from_string(identities_.snapshot_json()),
@@ -672,9 +842,22 @@ void SkipProxy::process(http::HttpRequest request, ProxyRequestOptions options,
 void SkipProxy::start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr& req) {
   ++req->attempts;
   ++req->epoch;
-  if (stack_.local_as() == ctx->addr.ia) {
+  if (multi_access_ != nullptr) {
+    const std::string access = pick_access(*req);
+    if (access.empty()) {
+      fail_no_access(req, ctx->url.host);
+      return;
+    }
+    if (!req->access.empty() && req->access != access) {
+      req->trace->set_attribute("access_switched", access);
+    }
+    req->access = access;
+    req->trace->set_attribute("access", access);
+  }
+  scion::ScionStack& stack = stack_for(req->access);
+  if (stack.local_as() == ctx->addr.ia) {
     // Intra-AS destination: the empty path is trivially compliant.
-    fetch_over_scion(ctx, scion::Path::local(stack_.local_as()), /*compliant=*/true,
+    fetch_over_scion(ctx, scion::Path::local(stack.local_as()), /*compliant=*/true,
                      /*excluded=*/false, req);
     return;
   }
@@ -735,7 +918,7 @@ void SkipProxy::start_scion_attempt(const ScionContextPtr& ctx, const RequestPtr
     }
   },
                    std::move(per_site_policies),
-                   identities_.exclusion(req->identity, ctx->url.authority()));
+                   identities_.exclusion(req->identity, ctx->url.authority()), req->access);
 }
 
 Duration SkipProxy::deadline_margin(const ScionContext& ctx, const RequestState& req) const {
@@ -787,6 +970,12 @@ void SkipProxy::fail_strict_unavailable(const RequestPtr& req, const std::string
 void SkipProxy::handle_scion_failure(const ScionContextPtr& ctx, const RequestPtr& req,
                                      const scion::Path& path, const std::string& error) {
   metrics_->counter("proxy.scion_failures").inc();
+  // Passive access feedback: transport-level failures push the access that
+  // carried the attempt toward degraded (our own load state does not).
+  if (multi_access_ != nullptr && !req->access.empty() &&
+      !http::OriginPool::is_pool_synthesized(error)) {
+    multi_access_->record_result(req->access, /*ok=*/false, Duration::zero());
+  }
   // Pool-synthesized failures (queue timeout, shed, cooldown fast-fail,
   // expired-in-queue) describe our own load state, not path health — a
   // perfectly good path must not be quarantined for them.
@@ -819,9 +1008,13 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
   const std::uint64_t my_epoch = req->epoch;
   const http::Url& url = ctx->url;
   const scion::ScionAddr addr = ctx->addr;
+  const TimePoint attempt_started = sim_.now();
   // Pool submissions are keyed by (identity, origin): two identities fetching
-  // the same origin never share a pooled connection.
-  const std::string key = identity_key(req->identity, url.authority());
+  // the same origin never share a pooled connection. On a multi-access host
+  // the origin is additionally scoped by access — the conduit is physically
+  // bound to one access link, so accesses never share one either.
+  const std::string key =
+      identity_key(req->identity, access_authority(url.authority(), req->access));
   // A live pooled connection follows the freshly selected path (the pool
   // no-ops when the fingerprint is unchanged).
   scion_pool_.migrate(key, path);
@@ -860,7 +1053,8 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
     quic.zero_rtt = resumption_tickets_.contains(key);
     req->trace->begin("handshake");
     auto pooled = std::make_unique<http::ScionPooledConnection>(
-        stack_, scion::ScionEndpoint{addr, url.port}, path, url.host, url.port, quic);
+        stack_for(req->access), scion::ScionEndpoint{addr, url.port}, path, url.host,
+        url.port, quic);
     transport::Connection& conn = pooled->transport();
     if (conn.state() == transport::Connection::State::kEstablished) {
       // 0-RTT: established synchronously inside start().
@@ -874,8 +1068,8 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
     }
     return pooled;
   };
-  auto on_response = [this, ctx, url, addr, path, compliant, req,
-                      my_epoch](Result<http::HttpResponse> result) {
+  auto on_response = [this, ctx, url, addr, path, compliant, req, my_epoch,
+                      attempt_started](Result<http::HttpResponse> result) {
     if (req->done || req->epoch != my_epoch) return;  // superseded by a retry
     req->trace->end("fetch");
     if (!result.ok()) {
@@ -915,6 +1109,10 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
       return;
     }
     breaker_.record_success(url.authority());
+    // Passive access feedback: the fetch latency the access just delivered.
+    if (multi_access_ != nullptr && !req->access.empty()) {
+      multi_access_->record_result(req->access, /*ok=*/true, sim_.now() - attempt_started);
+    }
     // Learn availability advertised via Strict-SCION, scoped to the identity
     // that observed it (a per-identity cache, like the browser's HSTS
     // partitioning, keeps one identity's browsing from priming another's).
@@ -933,7 +1131,8 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
     // Report the path the connection *ended up on* — an SCMP-driven
     // migration may have moved it off the path chosen at selection time.
     const scion::Path* final_path = &path;
-    const std::string key = identity_key(req->identity, url.authority());
+    const std::string key =
+        identity_key(req->identity, access_authority(url.authority(), req->access));
     if (auto* pooled = scion_pool_.primary_as<http::ScionPooledConnection>(key)) {
       if (!pooled->path().fingerprint().empty()) {
         final_path = &pooled->path();
@@ -961,6 +1160,10 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
     out.response = std::move(response);
     finish(req, std::move(out));
   };
+  // Register before submit: a synchronous pool failure finishes the request
+  // and must find (and erase) its registry entry. While registered, an
+  // access-down transition can abandon this attempt and re-run it elsewhere.
+  if (multi_access_ != nullptr) inflight_scion_[req.get()] = {ctx, req};
   scion_pool_.submit(key, origin_request, submit_options(*req), std::move(on_response),
                      std::move(factory));
 
@@ -995,9 +1198,21 @@ void SkipProxy::fetch_over_scion(const ScionContextPtr& ctx, const scion::Path& 
 
 void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, net::IpAddr ip,
                               bool fell_back, RequestPtr req) {
+  // Legacy fetches ride an access link too: pick one when the request has
+  // none yet (direct-to-IP and brownout paths), fail closed when every
+  // access is down.
+  if (multi_access_ != nullptr && req->access.empty()) {
+    req->access = pick_access(*req);
+    if (req->access.empty()) {
+      fail_no_access(req, url.host);
+      return;
+    }
+    req->trace->set_attribute("access", req->access);
+  }
   // Legacy fetches are identity-partitioned too: the fallback path must not
   // leak a shared TCP connection across identities.
-  const std::string key = identity_key(req->identity, url.authority());
+  const std::string key =
+      identity_key(req->identity, access_authority(url.authority(), req->access));
   http::HttpRequest origin_request = to_origin_form(url, std::move(request));
   req->trace->begin("fetch");
   legacy_pool_.submit(
@@ -1044,9 +1259,9 @@ void SkipProxy::fetch_over_ip(const http::Url& url, http::HttpRequest request, n
         out.response = std::move(response);
         finish(req, std::move(out));
       },
-      [this, ip, port = url.port]() {
-        return std::make_unique<http::LegacyPooledConnection>(host_, net::Endpoint{ip, port},
-                                                              config_.tcp);
+      [this, ip, port = url.port, req]() {
+        return std::make_unique<http::LegacyPooledConnection>(
+            host_for(req->access), net::Endpoint{ip, port}, config_.tcp);
       });
 }
 

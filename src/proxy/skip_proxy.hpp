@@ -47,6 +47,7 @@
 // origin) whose live path the SCMP handler migrates via the pool.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_set>
 
@@ -54,6 +55,7 @@
 #include "http/file_server.hpp"
 #include "http/origin_pool.hpp"
 #include "http/url.hpp"
+#include "net/multi_access.hpp"
 #include "obs/collector.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
@@ -122,6 +124,19 @@ struct ProxyConfig {
   /// Bounded per-identity audit-trail length (0 = unbounded).
   std::size_t identity_audit_cap = 64;
 
+  // --- multi-access (Socket-Intents-style access scheduling) ---
+  /// Intent-aware access picks: latency-critical pinned to the fastest
+  /// healthy access, bulk striped, background on the spare. false = the
+  /// intent-blind ablation: every request stripes like bulk.
+  bool intent_aware = true;
+  /// Probe/health knobs for the access bundle (used once add_access() turns
+  /// multi-access on; single-access proxies never create the bundle).
+  net::MultiAccessConfig access;
+  /// Per-intent access pins overriding the scheduler, keyed by intent name
+  /// ("latency-critical" / "bulk" / "background"). A pinned access that is
+  /// down falls back to the scheduler's pick.
+  std::map<std::string, std::string> pin_intent_access;
+
   // --- overload resilience (admission / shedding / adaptive concurrency) ---
   /// Ingress admission control + brownout. The default knobs (rate 0,
   /// in-flight cap 0) admit everything; `enabled = false` additionally
@@ -189,6 +204,9 @@ struct ProxyResult {
   /// Network identity the request ran under (X-Skip-Identity; "default"
   /// when the header was absent).
   std::string identity;
+  /// Access attachment that carried the final attempt (empty on a
+  /// single-access proxy).
+  std::string access;
 
   /// Sum of the finished spans named `phase` (zero when absent).
   [[nodiscard]] Duration phase_total(std::string_view phase) const;
@@ -228,6 +246,10 @@ struct ProxyStats {
   std::uint64_t rejected_capacity = 0;
   std::uint64_t shed = 0;
   std::uint64_t brownout_bypasses = 0;
+  /// Multi-access layer: access-down transitions observed and in-flight
+  /// fetches migrated to a surviving access mid-attempt.
+  std::uint64_t access_down_events = 0;
+  std::uint64_t access_failovers = 0;
 };
 
 class SkipProxy {
@@ -276,6 +298,16 @@ class SkipProxy {
     identities_.identity(sanitize_identity(id)).set_policies(std::move(policies));
   }
 
+  /// Registers an additional access attachment (e.g. "lte"): another host
+  /// with its own access link, SCION stack, and daemon rooted in a different
+  /// first-hop AS. The first call turns on multi-access scheduling — the
+  /// constructor attachment becomes access "primary" — and starts the
+  /// health-probe loops. All three references must outlive the proxy.
+  void add_access(const std::string& name, net::Host& host, scion::ScionStack& stack,
+                  scion::Daemon& daemon);
+  /// The access bundle, or null while the proxy is single-access.
+  [[nodiscard]] net::MultiAccessHost* multi_access() { return multi_access_.get(); }
+
   [[nodiscard]] ScionDetector& detector() { return detector_; }
   [[nodiscard]] PathSelector& selector() { return selector_; }
   [[nodiscard]] CircuitBreaker& breaker() { return breaker_; }
@@ -323,6 +355,11 @@ class SkipProxy {
     /// Network identity (X-Skip-Identity, sanitized) keying the pools, the
     /// learned detector cache, and the path broker for this request.
     std::string identity = std::string(kDefaultIdentity);
+    /// Socket intent (priority-derived, X-Skip-Intent override) driving the
+    /// access pick, and the access carrying the current attempt ("" on a
+    /// single-access proxy).
+    net::FetchIntent intent = net::FetchIntent::kBulk;
+    std::string access;
     /// Counted in-flight by the overload controller until finish().
     bool admitted = false;
     /// SCION attempts started (selection + fetch cycles).
@@ -384,6 +421,26 @@ class SkipProxy {
   /// pooled connections onto fresh paths.
   void on_scmp(const scion::ScmpMessage& message);
 
+  // --- multi-access plumbing (no-ops while multi_access_ is null) ---
+  /// Access pick for the request's (effective) intent: pins first, then the
+  /// scheduler, soft-avoiding the access the previous attempt rode.
+  [[nodiscard]] std::string pick_access(const RequestState& req);
+  /// Stack / host serving an access ("" or "primary" = the ctor's).
+  [[nodiscard]] scion::ScionStack& stack_for(const std::string& access);
+  [[nodiscard]] net::Host& host_for(const std::string& access);
+  /// Pool-key authority scoped by access ("host:port#access") so two
+  /// accesses to one origin never share a pooled connection. The suffix
+  /// rides the authority, not the identity, keeping identity_of_key() exact.
+  [[nodiscard]] static std::string access_authority(const std::string& authority,
+                                                    const std::string& access);
+  /// Health-transition hook: on kDown, retires the access's pooled
+  /// connections and re-runs in-flight SCION attempts on a survivor.
+  void on_access_health(const std::string& name, net::AccessHealth previous,
+                        net::AccessHealth current);
+  /// Terminal answer when every access is down (strict and opportunistic
+  /// alike fail closed: there is no link left to carry any fallback).
+  void fail_no_access(const RequestPtr& req, const std::string& host);
+
   sim::Simulator& sim_;
   net::Host& host_;
   scion::ScionStack& stack_;
@@ -410,6 +467,14 @@ class SkipProxy {
   std::unordered_map<std::string, std::vector<ppl::OrderKey>> origin_preferences_;
   /// Origins we have completed a SCION exchange with (0-RTT tickets).
   std::unordered_set<std::string> resumption_tickets_;
+  /// Multi-access state: the bundle (null = single-access), per-access SCION
+  /// stacks, extra SCMP subscriptions, and the registry of in-flight SCION
+  /// attempts that an access-down transition must fail over.
+  std::unique_ptr<net::MultiAccessHost> multi_access_;
+  std::unordered_map<std::string, scion::ScionStack*> access_stacks_;
+  std::vector<std::pair<scion::ScionStack*, std::uint64_t>> access_scmp_subscriptions_;
+  std::uint64_t access_health_subscription_ = 0;
+  std::unordered_map<RequestState*, std::pair<ScionContextPtr, RequestPtr>> inflight_scion_;
   std::uint64_t scmp_subscription_ = 0;
   std::uint64_t trace_id_base_ = 0;  ///< Process-unique salt, set lazily.
   std::uint64_t next_trace_id_ = 1;

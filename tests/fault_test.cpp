@@ -59,6 +59,35 @@ at=0ms origin-bad-strict-scion www.far.example
   EXPECT_EQ(brownout.dns_delay, milliseconds(400));
 }
 
+TEST(FaultPlanParser, ParsesAccessVerbs) {
+  const auto plan = parse_fault_plan(
+      "at=1s dur=2s access-down browser\n"
+      "at=3s dur=1s access-degrade browser-lte latency-factor=8 loss=0.2\n");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  ASSERT_EQ(plan.value().size(), 2u);
+
+  const FaultEvent& down = plan.value().events[0];
+  EXPECT_EQ(down.kind, FaultKind::kAccessDown);
+  EXPECT_EQ(down.a, "browser");  // a host name, not an AS name
+  EXPECT_EQ(down.duration, seconds(2));
+
+  const FaultEvent& degrade = plan.value().events[1];
+  EXPECT_EQ(degrade.kind, FaultKind::kAccessDegrade);
+  EXPECT_EQ(degrade.a, "browser-lte");
+  EXPECT_DOUBLE_EQ(degrade.latency_factor, 8.0);
+  EXPECT_DOUBLE_EQ(degrade.loss, 0.2);
+}
+
+TEST(FaultPlanParser, RejectsBadAccessArity) {
+  const auto missing = parse_fault_plan("at=0ms access-down");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().find("line 1"), std::string::npos);
+
+  const auto extra = parse_fault_plan("at=0ms access-degrade browser browser-lte");
+  ASSERT_FALSE(extra.ok());
+  EXPECT_NE(extra.error().find("line 1"), std::string::npos);
+}
+
 TEST(FaultPlanParser, ParsesSurgeVerb) {
   const auto plan = parse_fault_plan(
       "at=0ms dur=4s surge www.far.example rate=160 conc=64\n"

@@ -264,6 +264,7 @@ TEST_P(FuzzSeeds, FaultPlanParserNeverCrashes) {
       "999999999999999999999s",     "ms",        "=",
       "surge",     "rate=",         "conc=",     "160",
       "replica-crash", "replica-hang", "replica-restart", "rep-0",
+      "access-down",   "access-degrade", "browser-lte",   "latency-factor=8",
   };
   for (int i = 0; i < 300; ++i) {
     std::string input;
