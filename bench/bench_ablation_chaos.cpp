@@ -63,7 +63,12 @@ Run run_once(const Scenario& scenario, bool resilient) {
   // One collector shared by the SKIP proxy and the reverse proxies, so a
   // remote page load assembles a cross-hop trace (client + revproxy spans
   // under one trace id) — dumped per scenario when PAN_TRACE_DUMP is set.
-  obs::TraceCollector collector;
+  obs::CollectorConfig collector_config;
+  // The recovery loop below can keep hundreds of probe traces; retain enough
+  // that the page-load traces referenced by metric exemplars survive the
+  // ring, so scripts/trace_lint.py --metrics can resolve every exemplar id.
+  collector_config.max_traces = 2048;
+  obs::TraceCollector collector(collector_config);
   world_config.reverse_proxy.collector = &collector;
   auto world = browser::make_remote_world(world_config);
 
@@ -125,8 +130,10 @@ Run run_once(const Scenario& scenario, bool resilient) {
   }
   slo.evaluate(world->sim().now());
   run.slo_fired = run.slo_fired || slo.any_firing();
-  bench::dump_chrome_trace(collector,
-                           std::string("chaos-") + scenario.slug + (resilient ? "-on" : "-off"));
+  const std::string dump_name =
+      std::string("chaos-") + scenario.slug + (resilient ? "-on" : "-off");
+  bench::dump_chrome_trace(collector, dump_name);
+  bench::dump_metrics(session.proxy().metrics(), dump_name);
   return run;
 }
 

@@ -30,7 +30,10 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/scenarios.hpp"
+#include "obs/metrics.hpp"
 #include "proxy/cluster.hpp"
 #include "util/stats.hpp"
 
@@ -232,6 +235,111 @@ browser::SurgeLoad::Stats run_surge_once(double rate) {
   return surge.stats();
 }
 
+/// Part 4 — fleet-merge fidelity: every replica records proxy.request_total
+/// into its own registry; /skip/fleet/metrics merges those histograms
+/// bucket-wise. Because dispatch through the cluster front costs zero sim
+/// time on the happy path, the client-observed latency of each request *is*
+/// the sample the owning replica recorded — so the pooled client latencies
+/// are exact ground truth for the merged histogram, and the merged
+/// percentile must land within one bucket width of the pooled-sample
+/// percentile (the log-linear layout's resolution; DESIGN.md section 5l).
+struct MergeFidelity {
+  std::size_t samples = 0;
+  std::uint64_t merged_count = 0;
+  std::size_t replicas_reporting = 0;
+  double worst_error_ms = 0;
+  double worst_bound_ms = 0;
+  bool pass = false;
+};
+
+MergeFidelity run_merge_fidelity_once(std::size_t requests) {
+  auto world = browser::make_local_world();
+  // Several origins on the same host so consistent hashing spreads the load
+  // over multiple replicas — a merge over one replica would test nothing.
+  std::vector<std::string> origins;
+  for (int i = 0; i < 8; ++i) {
+    const std::string domain = "origin-" + std::to_string(i) + ".local";
+    const std::uint16_t port = static_cast<std::uint16_t>(8080 + i);
+    // Distinct ports: the sites share the scion-fs host and a host's SCION
+    // stack has one listener per port.
+    browser::SiteOptions options;
+    options.legacy = false;
+    options.native_scion = true;
+    options.port = port;
+    world->add_site(world->topology().host_by_name("scion-fs"), domain, options);
+    world->site(domain)->add_text("/", "document");
+    origins.push_back("http://" + domain + ":" + std::to_string(port) + "/");
+  }
+
+  proxy::ClusterConfig config;
+  config.replicas = 4;
+  // No health probes: /skip/ping rides through each replica's request path
+  // and would land in proxy.request_total too, spoiling the exact
+  // count-vs-pooled-samples comparison. The scrape-time pull in
+  // refresh_fleet_metrics() feeds the aggregator instead.
+  config.probe_interval = Duration::zero();
+  browser::FleetSession session(*world, config);
+  proxy::ProxyCluster& cluster = session.cluster();
+  sim::Simulator& sim = world->sim();
+
+  MergeFidelity out;
+  std::vector<Duration> pooled;
+  for (std::size_t i = 0; i < requests; ++i) {
+    sim.schedule_after(milliseconds(3) * static_cast<std::int64_t>(i),
+                       [&cluster, &sim, &pooled, &origins, i] {
+      http::HttpRequest request;
+      request.method = "GET";
+      request.target = origins[i % origins.size()];
+      const TimePoint start = sim.now();
+      cluster.fetch(std::move(request), {}, [&sim, &pooled, start](proxy::ProxyResult result) {
+        if (result.response.status == 200) pooled.push_back(sim.now() - start);
+      });
+    });
+  }
+  sim.run_until(sim.now() + milliseconds(3) * static_cast<std::int64_t>(requests) + seconds(3));
+  out.samples = pooled.size();
+  if (pooled.empty()) return out;
+
+  cluster.refresh_fleet_metrics();
+  obs::MetricsRegistry merged;
+  cluster.fleet_metrics().build_merged(merged);
+  const obs::Histogram* hist = merged.find_histogram("proxy.request_total");
+  if (hist == nullptr) return out;
+  out.merged_count = hist->count();
+  for (const std::string& name : cluster.replica_names()) {
+    obs::MetricsRegistry replica;
+    if (cluster.fleet_metrics().build_replica(name, replica)) {
+      const obs::Histogram* h = replica.find_histogram("proxy.request_total");
+      if (h != nullptr && h->count() > 0) ++out.replicas_reporting;
+    }
+  }
+
+  std::sort(pooled.begin(), pooled.end());
+  out.pass = out.merged_count == pooled.size() && out.replicas_reporting >= 2;
+  for (const double pct : {50.0, 90.0, 99.0, 99.9}) {
+    // Nearest-rank ground truth over the pooled samples.
+    const std::size_t rank = std::min(
+        pooled.size() - 1,
+        static_cast<std::size_t>(pct / 100.0 * static_cast<double>(pooled.size())));
+    const Duration truth = pooled[rank];
+    // Width of the layout bucket containing the true value = the promised
+    // resolution at that point of the distribution.
+    const auto& bounds = hist->bounds();
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), truth);
+    const Duration upper = it == bounds.end() ? truth : *it;
+    const Duration lower = it == bounds.begin() ? Duration::zero() : *(it - 1);
+    const double bound_ms = (upper - lower).millis();
+    const double error_ms =
+        std::abs((hist->percentile(pct) - truth).millis());
+    if (error_ms > out.worst_error_ms) {
+      out.worst_error_ms = error_ms;
+      out.worst_bound_ms = bound_ms;
+    }
+    if (error_ms > bound_ms) out.pass = false;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -326,6 +434,20 @@ int main(int argc, char** argv) {
   if (ttr.brownout_downgrades != 0) {
     std::fprintf(stderr, "FAIL: %zu strict downgrade(s) during brownout recovery\n",
                  ttr.brownout_downgrades);
+    pass = false;
+  }
+
+  const MergeFidelity fidelity = run_merge_fidelity_once(smoke ? 400 : 2000);
+  std::printf("\nfleet-merge fidelity (N=4, %zu pooled samples, %zu replicas reporting):\n",
+              fidelity.samples, fidelity.replicas_reporting);
+  std::printf("  merged count %llu, worst percentile error %.3f ms "
+              "(bucket-width bound %.3f ms)\n",
+              static_cast<unsigned long long>(fidelity.merged_count),
+              fidelity.worst_error_ms, fidelity.worst_bound_ms);
+  if (!fidelity.pass) {
+    std::fprintf(stderr,
+                 "FAIL: fleet-merged percentiles drift past one bucket width "
+                 "of the pooled ground truth (or a replica went missing)\n");
     pass = false;
   }
 

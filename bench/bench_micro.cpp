@@ -6,6 +6,8 @@
 #include "core/layer_model.hpp"
 #include "crypto/signature.hpp"
 #include "net/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "ppl/parser.hpp"
 #include "scion/border_router.hpp"
 #include "scion/header.hpp"
@@ -195,6 +197,118 @@ void BM_ForwardHopZeroCopy(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_ForwardHopZeroCopy)->Arg(3)->Arg(8);
+
+// ------------------------------------------------------------- telemetry --
+
+/// Histogram record on the steady-state path: instrument already registered,
+/// reference cached. The log-linear bucket search plus extremes update.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("bench.latency");
+  Duration value = milliseconds(3);
+  const std::uint64_t allocs_before = testsupport::allocation_count();
+  for (auto _ : state) {
+    hist.record(value);
+    value = Duration{(value.nanos() * 16'807) % 1'000'000'000};  // vary buckets
+    benchmark::DoNotOptimize(value);
+  }
+  const std::uint64_t allocs = testsupport::allocation_count() - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_record"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+/// Tagged record: the bucket work plus the exemplar-slot offer (bounded
+/// array scan, no allocation).
+void BM_HistogramRecordExemplar(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("bench.latency");
+  Duration value = milliseconds(3);
+  std::uint64_t trace_id = 1;
+  const std::uint64_t allocs_before = testsupport::allocation_count();
+  for (auto _ : state) {
+    hist.record(value, trace_id++, TimePoint{} + value);
+    value = Duration{(value.nanos() * 16'807) % 1'000'000'000};
+    benchmark::DoNotOptimize(value);
+  }
+  const std::uint64_t allocs = testsupport::allocation_count() - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_record"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecordExemplar);
+
+/// Fleet-merge cost: one count-wise bucket sum of two fully populated
+/// default-layout histograms (what a /skip/fleet/metrics scrape does once
+/// per replica per histogram name).
+void BM_HistogramMerge(benchmark::State& state) {
+  Rng rng(7);
+  obs::Histogram source;
+  for (int i = 0; i < 10'000; ++i) {
+    source.record(microseconds(rng.next_in(10, 10'000'000)),
+                  static_cast<std::uint64_t>(i + 1), TimePoint{});
+  }
+  obs::Histogram target;
+  for (auto _ : state) {
+    const bool ok = target.merge(source);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramMerge);
+
+/// The instrumented border-router hop: decide_hop plus the per-router
+/// forward-latency record. The telemetry must keep the hop path at zero
+/// allocations — this is the counter --bench-smoke asserts on.
+void BM_ForwardHopZeroCopyInstrumented(benchmark::State& state) {
+  ForwardFixture fx(static_cast<std::size_t>(state.range(0)));
+  obs::MetricsRegistry registry;
+  scion::BorderRouterConfig config;
+  config.forward_latency = &registry.histogram("router.bench.forward_latency");
+  const crypto::HmacKey mac_key(fx.key);
+  net::PacketView packet{Bytes(fx.wire)};
+  (void)packet.mutable_span();
+  const std::uint8_t cur_seg = 0;
+  const std::uint8_t cur_hop = static_cast<std::uint8_t>(state.range(0) / 2);
+  Duration hop_latency = microseconds(180);
+  const std::uint64_t allocs_before = testsupport::allocation_count();
+  for (auto _ : state) {
+    const scion::HopDecision d = scion::decide_hop(packet.span(), fx.local, mac_key, config);
+    benchmark::DoNotOptimize(d);
+    scion::patch_cursor(packet, cur_seg, cur_hop);
+    config.forward_latency->record(hop_latency);
+    hop_latency = Duration{(hop_latency.nanos() * 16'807) % 50'000'000};
+  }
+  const std::uint64_t allocs = testsupport::allocation_count() - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_forward"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ForwardHopZeroCopyInstrumented)->Arg(3)->Arg(8);
+
+/// Time-series capture: one interval tick over a registry with range(0)
+/// counters (the per-tick cost the lazy observe() pays per crossed boundary).
+void BM_TimeSeriesTick(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<obs::Counter*> counters;
+  counters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    counters.push_back(&registry.counter("bench.c" + std::to_string(i)));
+  }
+  obs::TimeSeriesConfig config;
+  config.interval = milliseconds(100);
+  obs::TimeSeriesStore store(registry, config, TimePoint{});
+  TimePoint now;
+  for (auto _ : state) {
+    for (obs::Counter* c : counters) c->inc();
+    now = now + milliseconds(100);
+    store.observe(now);  // exactly one tick per iteration
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimeSeriesTick)->Arg(16)->Arg(128);
 
 void BM_LamportVerifyMemoized(benchmark::State& state) {
   Rng rng(1);

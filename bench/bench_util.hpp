@@ -35,6 +35,30 @@ inline void dump_chrome_trace(const obs::TraceCollector& collector, const std::s
                collector.traces().size());
 }
 
+/// Companion to dump_chrome_trace for the metrics plane: when PAN_TRACE_DUMP
+/// names a directory, writes the registry as <name>.metrics.json (the
+/// /skip/metrics JSON shape, exemplar trace ids included) and <name>.prom
+/// (Prometheus text exposition). scripts/trace_lint.py --metrics checks that
+/// every exemplar trace id in the JSON resolves in the Chrome trace dumps
+/// next to it; --prom lints the exposition grammar. No-op when unset.
+inline void dump_metrics(const obs::MetricsRegistry& registry, const std::string& name) {
+  const char* dir = std::getenv("PAN_TRACE_DUMP");
+  if (dir == nullptr || *dir == '\0') return;
+  const auto write_file = [&](const std::string& path, const std::string& body) {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "metrics dump: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "metrics dump: wrote %s\n", path.c_str());
+  };
+  write_file(std::string(dir) + "/" + name + ".metrics.json", registry.to_json());
+  write_file(std::string(dir) + "/" + name + ".prom",
+             registry.to_prom({}, {{"instance", name}}));
+}
+
 struct Series {
   std::string label;
   std::vector<double> samples_ms;

@@ -28,6 +28,11 @@
 #                                 # ablation bench; fails if intent-aware
 #                                 # scheduling loses to intent-blind or a
 #                                 # mid-load access cut misses a deadline
+#   scripts/check.sh --obs        # PAN_SANITIZE=ON build, then the
+#                                 # observability suites (metrics / exemplars
+#                                 # / time-series / fleet plane) plus the
+#                                 # chaos bench's metrics dump linted for
+#                                 # prom grammar + exemplar resolution
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -65,7 +70,13 @@ if [[ "${1:-}" == "--trace-lint" ]]; then
   # Every dump must be structurally sound; the baseline remote-world dump
   # must additionally show a cross-hop trace (client + reverse proxy under
   # one trace id) annotated with the SCION path fingerprint and ISD sequence.
-  python3 scripts/trace_lint.py "$dump_dir"/*.json
+  # (The bench also writes *.metrics.json / *.prom — the --obs leg lints
+  # those; here keep the Chrome trace files only.)
+  traces=()
+  for f in "$dump_dir"/*.json; do
+    [[ "$f" == *.metrics.json ]] || traces+=("$f")
+  done
+  python3 scripts/trace_lint.py "${traces[@]}"
   python3 scripts/trace_lint.py "$dump_dir"/chaos-baseline-on.json \
     --min-hops 2 --require-attr path --require-attr isd_seq
   echo "==> trace-lint passed"
@@ -101,22 +112,30 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   echo "==> bench-smoke: forwarding micro-benchmarks (zero-copy data plane)"
   run_suite build
   out="$(./build/bench/bench_micro \
-    --benchmark_filter='ForwardHop|ScionHeaderViewParse' \
+    --benchmark_filter='ForwardHop|ScionHeaderViewParse|Histogram|TimeSeries' \
     --benchmark_min_time=0.1 \
     --benchmark_format=json)"
   echo "$out"
   # Contract checks, not absolute timings (CI machines vary): the zero-copy
-  # pipeline must not allocate on the hop path and must beat legacy pkt/s.
+  # pipeline must not allocate on the hop path — with or without the
+  # forward-latency histogram — and must beat legacy pkt/s; histogram
+  # recording (tagged or not) must be allocation-free too.
   python3 - "$out" <<'EOF'
 import json, sys
 runs = {b["name"]: b for b in json.loads(sys.argv[1])["benchmarks"]}
 for hops in (3, 8):
     legacy = runs[f"BM_ForwardHopLegacy/{hops}"]
     zc = runs[f"BM_ForwardHopZeroCopy/{hops}"]
+    inst = runs[f"BM_ForwardHopZeroCopyInstrumented/{hops}"]
     assert zc["allocs_per_forward"] == 0, f"zero-copy hop path allocates at {hops} hops"
+    assert inst["allocs_per_forward"] == 0, \
+        f"forward-latency telemetry allocates on the hop path at {hops} hops"
     ratio = zc["items_per_second"] / legacy["items_per_second"]
     print(f"{hops} hops: zero-copy {ratio:.2f}x legacy pkt/s")
     assert ratio > 1.0, f"zero-copy slower than legacy at {hops} hops ({ratio:.2f}x)"
+for name in ("BM_HistogramRecord", "BM_HistogramRecordExemplar"):
+    assert runs[name]["allocs_per_record"] == 0, f"{name} allocates per record"
+    print(f"{name}: {runs[name]['items_per_second']:.3g} records/s, 0 allocs")
 EOF
   echo "==> bench-smoke passed"
   exit 0
@@ -134,6 +153,32 @@ if [[ "${1:-}" == "--multiaccess" ]]; then
   ./build-asan/tests/multiaccess_test
   ./build-asan/bench/bench_ablation_multipath
   echo "==> multiaccess passed"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--obs" ]]; then
+  echo "==> obs: PAN_SANITIZE=ON build, observability suites + metrics lint"
+  # Exemplar slots, time-series rings, and fleet merges all shuffle
+  # histogram state across replica restarts, so this leg always runs
+  # instrumented. The chaos bench then exports per-scenario Chrome traces
+  # plus /skip/metrics JSON and .prom expositions, and the linter checks
+  # prom grammar end-to-end and that every exemplar trace id resolves to a
+  # collected trace (the one-hop-to-/skip/trace/<id> promise).
+  cmake -B build-asan -S . -DPAN_SANITIZE=ON
+  cmake --build build-asan -j
+  ./build-asan/tests/obs_test
+  ./build-asan/tests/timeseries_test
+  ./build-asan/tests/fleet_test
+  ./build-asan/tests/proxy_test
+  dump_dir="$(mktemp -d)"
+  trap 'rm -rf "$dump_dir"' EXIT
+  PAN_TRACE_DUMP="$dump_dir" ./build-asan/bench/bench_ablation_chaos >/dev/null
+  for prom in "$dump_dir"/*.prom; do
+    base="${prom%.prom}"
+    python3 scripts/trace_lint.py "$base.json" \
+      --metrics "$base.metrics.json" --prom "$prom"
+  done
+  echo "==> obs passed"
   exit 0
 fi
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Lint Chrome trace_event JSON dumped by the benches / /skip/trace/<id>.
+"""Lint telemetry exports: Chrome trace JSON, metrics dumps, .prom text.
 
-Validates the structural invariants the telemetry layer promises
+Chrome trace_event JSON (dumped by the benches / /skip/trace/<id>) is
+validated against the structural invariants the telemetry layer promises
 (DESIGN.md section 5g):
 
   - the file is a JSON object with a "traceEvents" array;
@@ -20,11 +21,28 @@ Validates the structural invariants the telemetry layer promises
     identity);
   - with --require-attr KEY, at least one span carries the attribute.
 
+Metrics dumps (--metrics FILE, the /skip/metrics JSON shape) are checked
+for exemplar soundness (DESIGN.md section 5l): every histogram exemplar
+must carry a nonzero decimal trace id, and — when trace files are linted
+alongside — each id must resolve to a trace collected in those files, so
+the "/skip/trace/<id> is one hop from any outlier" promise holds. A dump
+with zero exemplars fails: the resolution check must not pass vacuously.
+
+Prometheus expositions (--prom FILE, the /skip/metrics.prom shape) are
+linted for text-format grammar: metric names [a-zA-Z_:][a-zA-Z0-9_:]*,
+label names [a-zA-Z_][a-zA-Z0-9_]*, a # TYPE comment (counter / gauge /
+histogram) preceding every sample family, strictly increasing le bounds
+per histogram series ending at +Inf with non-decreasing cumulative bucket
+counts, _sum/_count agreement with the +Inf bucket, and OpenMetrics
+exemplar annotations whose value fits the bucket line carrying them (their
+trace ids resolve like --metrics exemplars).
+
 Exit code 0 when every file passes, 1 otherwise.
 
 Usage:
   scripts/trace_lint.py dump.json [more.json ...] [--min-hops 2]
-                        [--require-attr path]
+                        [--require-attr path] [--metrics dump.metrics.json]
+                        [--prom dump.prom]
 """
 
 import argparse
@@ -37,7 +55,7 @@ import sys
 IDENTITY_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
-def lint_file(path, min_hops, require_attrs):
+def lint_file(path, min_hops, require_attrs, trace_ids_out=None):
     errors = []
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -104,6 +122,9 @@ def lint_file(path, min_hops, require_attrs):
                         f"{prev!r} and {identity!r}"
                     )
 
+    if trace_ids_out is not None:
+        trace_ids_out.update(traces)
+
     hops_best = 0
     for trace, spans in traces.items():
         roots = [s for s, parent in spans.items() if parent == 0]
@@ -127,24 +148,239 @@ def lint_file(path, min_hops, require_attrs):
     return errors
 
 
+def check_exemplar_id(where, raw, trace_ids, errors):
+    """Shared exemplar-id check: nonzero decimal string, resolvable when a
+    trace-id universe was collected. Returns the parsed id or None."""
+    if not (isinstance(raw, str) and raw.isdigit()):
+        errors.append(f"{where}: exemplar trace_id {raw!r} is not a decimal string")
+        return None
+    trace_id = int(raw)
+    if trace_id == 0:
+        errors.append(f"{where}: exemplar carries the null trace id")
+        return None
+    if trace_ids is not None and trace_id not in trace_ids:
+        errors.append(
+            f"{where}: exemplar trace id {trace_id} ({trace_id:#x}) resolves "
+            f"to no collected trace"
+        )
+    return trace_id
+
+
+def lint_metrics_file(path, trace_ids):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict):
+        return [f"{path}: no histograms object (not a /skip/metrics dump?)"]
+    exemplars_seen = 0
+    for name, histogram in histograms.items():
+        where = f"{path}: {name}"
+        if not isinstance(histogram, dict):
+            errors.append(f"{where}: histogram entry is not an object")
+            continue
+        exemplars = histogram.get("exemplars", [])
+        if not isinstance(exemplars, list):
+            errors.append(f"{where}: exemplars is not an array")
+            continue
+        for exemplar in exemplars:
+            if not isinstance(exemplar, dict):
+                errors.append(f"{where}: exemplar is not an object")
+                continue
+            exemplars_seen += 1
+            check_exemplar_id(where, exemplar.get("trace_id"), trace_ids, errors)
+    if exemplars_seen == 0:
+        errors.append(
+            f"{path}: no exemplars in any histogram — the resolution check "
+            f"would pass vacuously"
+        )
+    return errors
+
+
+# Prometheus text-format grammar (abridged to what to_prom() emits): a TYPE
+# comment per family, then `name{labels} value`, histogram bucket lines
+# optionally trailed by an OpenMetrics exemplar annotation.
+PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_TYPE_RE = re.compile(r"^# TYPE ([^ ]+) ([^ ]+)$")
+PROM_SAMPLE_RE = re.compile(
+    r'^(?P<name>[^ {]+)'
+    # Label block: quoted strings may contain anything (escapes included), so
+    # the block ends at the first '}' outside quotes — not at the exemplar's.
+    r'(?:\{(?P<labels>(?:"(?:[^"\\]|\\.)*"|[^"}])*)\})?'
+    r' (?P<value>[^ ]+)'
+    r'(?: # \{trace_id="(?P<exemplar_id>[^"]*)"\} (?P<exemplar_value>[^ ]+))?$'
+)
+PROM_LABEL_RE = re.compile(r'([^=,]+)="((?:[^"\\]|\\.)*)"')
+
+
+def lint_prom_file(path, trace_ids):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+
+    declared = {}  # family name -> type
+    sampled = set()  # family names that produced at least one sample
+    # Histogram bucket series: (name, labels-minus-le) -> [(le, count)].
+    buckets = {}
+    scalars = {}  # (name, labels) -> value, for _sum/_count cross-checks
+    for i, line in enumerate(lines):
+        where = f"{path}:{i + 1}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = PROM_TYPE_RE.fullmatch(line)
+            if match is None:
+                errors.append(f"{where}: comment is not a TYPE declaration: {line!r}")
+                continue
+            name, kind = match.groups()
+            if not PROM_NAME_RE.fullmatch(name):
+                errors.append(f"{where}: metric name {name!r} breaks prom grammar")
+            if kind not in ("counter", "gauge", "histogram"):
+                errors.append(f"{where}: unknown metric type {kind!r}")
+            if name in declared:
+                errors.append(f"{where}: family {name!r} declared twice")
+            declared[name] = kind
+            continue
+        match = PROM_SAMPLE_RE.fullmatch(line)
+        if match is None:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        if not PROM_NAME_RE.fullmatch(name):
+            errors.append(f"{where}: sample name {name!r} breaks prom grammar")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+                break
+        if family not in declared:
+            errors.append(f"{where}: sample {name!r} has no preceding TYPE")
+        sampled.add(family)
+
+        labels = []
+        raw_labels = match.group("labels")
+        if raw_labels is not None:
+            consumed = 0
+            for pair in PROM_LABEL_RE.finditer(raw_labels):
+                key = pair.group(1).lstrip(",")
+                if not re.fullmatch(r"[a-zA-Z_][a-zA-Z0-9_]*", key):
+                    errors.append(f"{where}: label name {key!r} breaks prom grammar")
+                labels.append((key, pair.group(2)))
+                consumed = pair.end()
+            if raw_labels[consumed:].strip(","):
+                errors.append(
+                    f"{where}: unparseable label residue {raw_labels[consumed:]!r}"
+                )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"{where}: non-numeric value {match.group('value')!r}")
+            continue
+
+        exemplar_id = match.group("exemplar_id")
+        if exemplar_id is not None:
+            if not name.endswith("_bucket"):
+                errors.append(f"{where}: exemplar on a non-bucket line")
+            check_exemplar_id(where, exemplar_id, trace_ids, errors)
+            try:
+                exemplar_value = float(match.group("exemplar_value"))
+            except ValueError:
+                exemplar_value = None
+                errors.append(
+                    f"{where}: non-numeric exemplar value "
+                    f"{match.group('exemplar_value')!r}"
+                )
+        if name.endswith("_bucket") and family != name:
+            le_values = [v for k, v in labels if k == "le"]
+            if len(le_values) != 1:
+                errors.append(f"{where}: bucket line needs exactly one le label")
+                continue
+            le = float("inf") if le_values[0] == "+Inf" else float(le_values[0])
+            if exemplar_id is not None and exemplar_value is not None:
+                # to_prom attaches each exemplar to the first bucket containing
+                # its value, so it must sit at or below this bucket's bound.
+                if exemplar_value > le + 1e-12:
+                    errors.append(
+                        f"{where}: exemplar value {exemplar_value} above its "
+                        f"bucket bound {le_values[0]}"
+                    )
+            rest = tuple(sorted((k, v) for k, v in labels if k != "le"))
+            buckets.setdefault((family, rest), []).append((le, value, where))
+        else:
+            scalars[(name, tuple(sorted(labels)))] = (value, where)
+
+    for (family, rest), series in buckets.items():
+        les = [le for le, _, _ in series]
+        if les != sorted(les) or len(set(les)) != len(les):
+            errors.append(f"{path}: {family}: le bounds not strictly increasing")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"{path}: {family}: bucket series does not end at +Inf")
+        counts = [count for _, count, _ in series]
+        if counts != sorted(counts):
+            errors.append(f"{path}: {family}: cumulative bucket counts decrease")
+        total = scalars.get((family + "_count", rest))
+        if total is None:
+            errors.append(f"{path}: {family}: histogram has no _count sample")
+        elif counts and total[0] != counts[-1]:
+            errors.append(
+                f"{path}: {family}: _count {total[0]} != +Inf bucket {counts[-1]}"
+            )
+        if scalars.get((family + "_sum", rest)) is None:
+            errors.append(f"{path}: {family}: histogram has no _sum sample")
+
+    for family, kind in declared.items():
+        if family not in sampled:
+            errors.append(f"{path}: family {family!r} ({kind}) has no samples")
+    if not declared:
+        errors.append(f"{path}: no metric families at all")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("files", nargs="+", help="Chrome trace JSON files")
+    parser.add_argument("files", nargs="*", help="Chrome trace JSON files")
     parser.add_argument("--min-hops", type=int, default=0,
                         help="require a trace spanning >= N hops")
     parser.add_argument("--require-attr", action="append", default=[],
                         metavar="KEY", help="require some span to carry KEY")
+    parser.add_argument("--metrics", action="append", default=[], metavar="FILE",
+                        help="lint a /skip/metrics JSON dump (exemplar ids "
+                             "must resolve in the trace files, when given)")
+    parser.add_argument("--prom", action="append", default=[], metavar="FILE",
+                        help="lint a Prometheus text exposition")
     opts = parser.parse_args()
+    if not (opts.files or opts.metrics or opts.prom):
+        parser.error("nothing to lint")
+
+    # Exemplar ids resolve against the union of all trace files on the
+    # command line; without any, resolution is skipped (grammar still lints).
+    trace_ids = set() if opts.files else None
 
     failed = 0
-    for path in opts.files:
-        errors = lint_file(path, opts.min_hops, opts.require_attr)
+
+    def report(path, errors):
+        nonlocal failed
         if errors:
             failed += 1
             for error in errors:
                 print(error, file=sys.stderr)
         else:
             print(f"{path}: ok")
+
+    for path in opts.files:
+        report(path, lint_file(path, opts.min_hops, opts.require_attr, trace_ids))
+    for path in opts.metrics:
+        report(path, lint_metrics_file(path, trace_ids))
+    for path in opts.prom:
+        report(path, lint_prom_file(path, trace_ids))
     return 1 if failed else 0
 
 

@@ -7,6 +7,7 @@ World::World(WorldConfig config) : config_(config) {
   scion::TopologyConfig topo_config;
   topo_config.seed = config_.seed;
   topo_config.daemon.lookup_latency = config_.daemon_latency;
+  topo_config.metrics = config_.router_metrics;
   topo_ = std::make_unique<scion::Topology>(sim_, topo_config);
   injector_->attach_topology(*topo_);
   resolver_ = std::make_unique<dns::Resolver>(

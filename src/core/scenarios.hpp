@@ -55,6 +55,10 @@ struct WorldConfig {
   bool multi_access = false;
   Duration lte_latency = milliseconds(15);
   double lte_bandwidth_bps = 50e6;
+  /// When set, every border router records its per-hop forward latency into
+  /// a pre-registered `router.<ia>.forward_latency` histogram here. Must
+  /// outlive the World.
+  obs::MetricsRegistry* router_metrics = nullptr;
 };
 
 struct SiteOptions {

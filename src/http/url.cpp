@@ -46,4 +46,22 @@ Result<Url> parse_url(std::string_view input) {
   return url;
 }
 
+SplitTarget split_target(std::string_view target) {
+  const auto q = target.find('?');
+  if (q == std::string_view::npos) return {target, {}};
+  return {target.substr(0, q), target.substr(q + 1)};
+}
+
+std::string_view query_param(std::string_view query, std::string_view key) {
+  for (const std::string_view pair : strings::split(query, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (pair == key) return std::string_view{"", 0};
+      continue;
+    }
+    if (pair.substr(0, eq) == key) return pair.substr(eq + 1);
+  }
+  return {};
+}
+
 }  // namespace pan::http

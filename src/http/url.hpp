@@ -23,4 +23,17 @@ struct Url {
 
 [[nodiscard]] Result<Url> parse_url(std::string_view input);
 
+/// Splits an origin-form target at the first '?':
+/// "/skip/metrics?prefix=slo." -> {"/skip/metrics", "prefix=slo."}. The query
+/// is empty when there is no '?'.
+struct SplitTarget {
+  std::string_view path;
+  std::string_view query;
+};
+[[nodiscard]] SplitTarget split_target(std::string_view target);
+
+/// First value of `key` in an "a=1&b=2" query string, or empty when absent.
+/// No percent-decoding — the simulator's control endpoints use plain values.
+[[nodiscard]] std::string_view query_param(std::string_view query, std::string_view key);
+
 }  // namespace pan::http

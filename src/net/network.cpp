@@ -108,6 +108,7 @@ void Network::send(NodeId from, IfId out_if, Packet packet) {
   const IfId in_if = forward ? link.if_b : link.if_a;
 
   if (packet.id == 0) packet.id = next_packet_id_++;
+  packet.sent_at = sim_.now();
   const std::size_t wire = packet.wire_size();
 
   if (link.down) {

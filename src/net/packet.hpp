@@ -22,6 +22,7 @@
 #include "net/addr.hpp"
 #include "util/buffer.hpp"
 #include "util/bytes.hpp"
+#include "util/types.hpp"
 
 namespace pan::net {
 
@@ -120,6 +121,10 @@ struct Packet {
   PacketView payload;
   /// Unique id for tracing; assigned by the sender.
   std::uint64_t id = 0;
+  /// Stamped by Network::send on each hop; a border router's forward-latency
+  /// histogram reads it to measure queueing + propagation + processing of
+  /// the hop it just completed.
+  TimePoint sent_at;
   /// Priority (reserved-bandwidth) traffic: exempt from best-effort queue
   /// admission (never tail-dropped), set by border routers for packets
   /// covered by an admitted reservation. Aggregate priority load is bounded

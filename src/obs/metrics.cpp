@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 
 #include "util/strings.hpp"
 
@@ -15,6 +16,42 @@ void append_json_string(std::string& out, std::string_view s) {
 
 void append_ms(std::string& out, Duration d) { out += strings::format("%.6f", d.millis()); }
 
+/// Prom label values escape backslash, double quote, and newline.
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{a="1",b="2"}` (or "" when empty).
+std::string prom_label_block(const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += prom_escape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string prom_seconds(Duration d) {
+  return strings::format("%.9g", d.nanos() / 1e9);
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<Duration> bounds) : bounds_(std::move(bounds)) {
@@ -25,15 +62,15 @@ Histogram::Histogram(std::vector<Duration> bounds) : bounds_(std::move(bounds)) 
 
 std::vector<Duration> Histogram::default_latency_buckets() {
   std::vector<Duration> bounds;
-  // 1-2-5 decades from 10 us up to 60 s.
+  // Nine linear sub-buckets per decade, 10 us .. 9 s. Every default
+  // histogram shares this layout, which is what makes merge() a plain
+  // count-wise sum.
   for (const std::int64_t decade :
-       {10'000LL, 100'000LL, 1'000'000LL, 10'000'000LL, 100'000'000LL, 1'000'000'000LL,
-        10'000'000'000LL}) {
-    bounds.push_back(Duration{decade});
-    bounds.push_back(Duration{decade * 2});
-    bounds.push_back(Duration{decade * 5});
+       {10'000LL, 100'000LL, 1'000'000LL, 10'000'000LL, 100'000'000LL, 1'000'000'000LL}) {
+    for (std::int64_t k = 1; k <= 9; ++k) bounds.push_back(Duration{decade * k});
   }
-  bounds.push_back(Duration{60'000'000'000LL});
+  // The top decade is cut at the 60 s request-timeout ceiling.
+  for (std::int64_t k = 1; k <= 6; ++k) bounds.push_back(Duration{10'000'000'000LL * k});
   return bounds;
 }
 
@@ -45,6 +82,52 @@ void Histogram::record(Duration value) {
   if (count_ == 0 || value > max_) max_ = value;
   sum_ += value;
   ++count_;
+}
+
+void Histogram::record(Duration value, std::uint64_t trace_id, TimePoint at) {
+  record(value);
+  if (trace_id != 0) offer_exemplar(value < Duration::zero() ? Duration::zero() : value,
+                                    trace_id, at);
+}
+
+void Histogram::offer_exemplar(Duration value, std::uint64_t trace_id, TimePoint at) {
+  if (exemplar_count_ < kExemplarSlots) {
+    exemplars_[exemplar_count_++] = Exemplar{value, trace_id, at};
+    return;
+  }
+  // Full: displace the smallest held value when the new one beats it, so the
+  // slots converge on the largest (tail) samples.
+  std::size_t smallest = 0;
+  for (std::size_t i = 1; i < kExemplarSlots; ++i) {
+    if (exemplars_[i].value < exemplars_[smallest].value) smallest = i;
+  }
+  if (exemplars_[smallest].value < value) {
+    exemplars_[smallest] = Exemplar{value, trace_id, at};
+  }
+}
+
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> out(exemplars_.begin(), exemplars_.begin() + exemplar_count_);
+  std::sort(out.begin(), out.end(), [](const Exemplar& a, const Exemplar& b) {
+    if (a.value != b.value) return b.value < a.value;
+    return a.trace_id < b.trace_id;  // deterministic tie-break
+  });
+  return out;
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  if (other.count_ == 0) return true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  for (std::uint8_t i = 0; i < other.exemplar_count_; ++i) {
+    offer_exemplar(other.exemplars_[i].value, other.exemplars_[i].trace_id,
+                   other.exemplars_[i].at);
+  }
+  return true;
 }
 
 Duration Histogram::percentile(double pct) const {
@@ -81,6 +164,7 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.p50 = percentile(50);
   snap.p95 = percentile(95);
   snap.p99 = percentile(99);
+  snap.p999 = percentile(99.9);
   return snap;
 }
 
@@ -104,10 +188,14 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   return counter == nullptr ? 0 : counter->value();
 }
 
-std::string MetricsRegistry::to_json() const {
+std::string MetricsRegistry::to_json(std::string_view prefix) const {
+  const auto matches = [prefix](const std::string& name) {
+    return prefix.empty() || strings::starts_with(name, prefix);
+  };
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
+    if (!matches(name)) continue;
     if (!first) out += ',';
     first = false;
     append_json_string(out, name);
@@ -117,6 +205,7 @@ std::string MetricsRegistry::to_json() const {
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
+    if (!matches(name)) continue;
     if (!first) out += ',';
     first = false;
     append_json_string(out, name);
@@ -126,6 +215,7 @@ std::string MetricsRegistry::to_json() const {
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, histogram] : histograms_) {
+    if (!matches(name)) continue;
     if (!first) out += ',';
     first = false;
     append_json_string(out, name);
@@ -143,6 +233,8 @@ std::string MetricsRegistry::to_json() const {
     append_ms(out, snap.p95);
     out += ",\"p99_ms\":";
     append_ms(out, snap.p99);
+    out += ",\"p999_ms\":";
+    append_ms(out, snap.p999);
     out += ",\"buckets\":[";
     const auto& bounds = histogram.bounds();
     const auto& counts = histogram.bucket_counts();
@@ -156,9 +248,130 @@ std::string MetricsRegistry::to_json() const {
       }
       out += ",\"count\":" + std::to_string(counts[i]) + "}";
     }
+    out += "],\"exemplars\":[";
+    bool first_ex = true;
+    for (const Exemplar& ex : histogram.exemplars()) {
+      if (!first_ex) out += ',';
+      first_ex = false;
+      out += "{\"value_ms\":";
+      append_ms(out, ex.value);
+      out += ",\"trace_id\":\"" + std::to_string(ex.trace_id) + "\"";
+      out += ",\"at_ms\":";
+      out += strings::format("%.6f", ex.at.millis());
+      out += "}";
+    }
     out += "]}";
   }
   out += "}}";
+  return out;
+}
+
+std::string prom_name(std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace != std::string_view::npos) name = name.substr(0, brace);
+  std::string out = "pan_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> prom_labels_of(std::string_view name) {
+  std::vector<std::pair<std::string, std::string>> labels;
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos) return labels;
+  std::string_view inner = name.substr(brace + 1);
+  if (!inner.empty() && inner.back() == '}') inner.remove_suffix(1);
+  for (const std::string_view part : strings::split_trimmed(inner, ',')) {
+    const auto eq = part.find('=');
+    std::string key;
+    std::string value;
+    if (eq == std::string_view::npos) {
+      key = "tag";
+      value = std::string(part);
+    } else {
+      value = std::string(part.substr(eq + 1));
+      // Keys must fit the prom label grammar; values are escaped at render.
+      for (const char c : part.substr(0, eq)) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        key += ok ? c : '_';
+      }
+      if (key.empty() || (key[0] >= '0' && key[0] <= '9')) key = "_" + key;
+    }
+    labels.emplace_back(std::move(key), std::move(value));
+  }
+  return labels;
+}
+
+std::string MetricsRegistry::to_prom(
+    std::string_view prefix,
+    const std::vector<std::pair<std::string, std::string>>& base_labels) const {
+  const auto matches = [prefix](const std::string& name) {
+    return prefix.empty() || strings::starts_with(name, prefix);
+  };
+  const auto labels_for = [&base_labels](const std::string& name) {
+    std::vector<std::pair<std::string, std::string>> labels = base_labels;
+    for (auto& extra : prom_labels_of(name)) labels.push_back(std::move(extra));
+    return labels;
+  };
+  std::string out;
+  // Instruments whose names differ only in the embedded "{key=value}" label
+  // suffix (per-path counters, per-replica series) collapse into one prom
+  // family; the text format allows exactly one TYPE line per family, so
+  // remember what has been declared. Name-ordered iteration keeps a family's
+  // samples adjacent.
+  std::set<std::string> declared;
+  for (const auto& [name, counter] : counters_) {
+    if (!matches(name)) continue;
+    const std::string pname = prom_name(name);
+    if (declared.insert(pname).second) out += "# TYPE " + pname + " counter\n";
+    out += pname + prom_label_block(labels_for(name)) + " " +
+           std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (!matches(name)) continue;
+    const std::string pname = prom_name(name);
+    if (declared.insert(pname).second) out += "# TYPE " + pname + " gauge\n";
+    out += pname + prom_label_block(labels_for(name)) + " " +
+           strings::format("%.6f", gauge.value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    if (!matches(name)) continue;
+    const std::string pname = prom_name(name);
+    const auto labels = labels_for(name);
+    if (declared.insert(pname).second) out += "# TYPE " + pname + " histogram\n";
+    const auto& bounds = histogram.bounds();
+    const auto& counts = histogram.bucket_counts();
+    // OpenMetrics allows one exemplar per bucket line; attach each held
+    // exemplar to the first bucket that contains its value.
+    const std::vector<Exemplar> exemplars = histogram.exemplars();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      std::vector<std::pair<std::string, std::string>> bucket_labels = labels;
+      bucket_labels.emplace_back(
+          "le", i == bounds.size() ? std::string("+Inf") : prom_seconds(bounds[i]));
+      out += pname + "_bucket" + prom_label_block(bucket_labels) + " " +
+             std::to_string(cumulative);
+      const Duration lower = i == 0 ? Duration{-1} : bounds[i - 1];
+      for (const Exemplar& ex : exemplars) {
+        const bool in_bucket =
+            ex.value > lower && (i == bounds.size() || ex.value <= bounds[i]);
+        if (!in_bucket) continue;
+        out += " # {trace_id=\"" + std::to_string(ex.trace_id) + "\"} " +
+               prom_seconds(ex.value);
+        break;  // one exemplar per line
+      }
+      out += "\n";
+    }
+    out += pname + "_sum" + prom_label_block(labels) + " " + prom_seconds(histogram.sum()) +
+           "\n";
+    out += pname + "_count" + prom_label_block(labels) + " " +
+           std::to_string(histogram.count()) + "\n";
+  }
   return out;
 }
 

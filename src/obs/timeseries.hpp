@@ -1,0 +1,101 @@
+// Observability: time-series deltas over a MetricsRegistry.
+//
+// A TimeSeriesStore turns the registry's lifetime-cumulative counters (and
+// histogram counts) into bounded rings of periodic delta snapshots, so "shed
+// rate over the last second" or "access failovers in the last 5 s" are
+// queryable instead of requiring two manual dumps and a subtraction.
+//
+// Ticking is *lazy*: there is no self-rescheduling sim event (which would
+// keep Simulator::run() from ever draining). Callers invoke observe(now) at
+// natural touch points — request completion, endpoint reads, the fleet's
+// probe heartbeat — and the store catches up on every interval boundary
+// crossed since the last observation. A catch-up attributes the whole
+// accumulated delta to the first missed slot and records empty deltas for
+// the rest, which keeps slot timestamps honest.
+//
+// Counter resets (a replica restart re-creating its registry) are detected
+// per series: a cumulative value below the previous one restarts the series
+// base at zero, so the recorded delta is the new value — never negative.
+//
+// Retention is per-series: ring capacity is picked at series creation from
+// the longest matching prefix override (e.g. keep more history for "slo."
+// than for "proxy.phase."), defaulting to TimeSeriesConfig::retention_slots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/types.hpp"
+
+namespace pan::obs {
+
+struct TimeSeriesConfig {
+  /// Delta snapshot period (<= 0 disables the store entirely).
+  Duration interval = milliseconds(100);
+  /// Ring slots kept per series (default retention = interval * slots).
+  std::size_t retention_slots = 64;
+  /// Longest-prefix retention overrides: ("slo.", 256) keeps 256 slots for
+  /// every series whose name starts with "slo.".
+  std::vector<std::pair<std::string, std::size_t>> retention_overrides;
+};
+
+/// Result of a windowed query. `covered` is the stretch of history that
+/// actually backed the answer: a window larger than the ring's retention is
+/// clamped, and callers can tell from covered < window.
+struct SeriesWindow {
+  bool known = false;          ///< Series exists (was ever captured).
+  std::uint64_t delta = 0;     ///< Sum of deltas over the covered slots.
+  double rate_per_s = 0;       ///< delta / covered seconds (0 when empty).
+  Duration covered = Duration::zero();
+  std::uint64_t resets = 0;    ///< Counter restarts seen over the series' life.
+};
+
+class TimeSeriesStore {
+ public:
+  TimeSeriesStore(const MetricsRegistry& registry, TimeSeriesConfig config,
+                  TimePoint start);
+
+  /// Catches up on every interval boundary in (last, now]. O(1) when no
+  /// boundary was crossed; cheap enough to call per request.
+  void observe(TimePoint now);
+
+  /// Delta/rate over the trailing `window` ending at the last captured tick.
+  /// Counter series are named as in the registry; a histogram named H
+  /// contributes the series "H.count".
+  [[nodiscard]] SeriesWindow query(const std::string& name, Duration window) const;
+
+  /// {"interval_ms":..,"window_ms":..,"series":{name:{"delta":..,
+  /// "rate_per_s":..,"covered_ms":..,"resets":..}}} for every series matching
+  /// `prefix` (deterministic name order).
+  [[nodiscard]] std::string query_json(std::string_view prefix, Duration window) const;
+
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] const TimeSeriesConfig& config() const { return config_; }
+  /// Ring capacity a series with this name gets (prefix overrides applied).
+  [[nodiscard]] std::size_t retention_slots_for(std::string_view name) const;
+
+ private:
+  struct Series {
+    std::uint64_t previous = 0;       ///< Cumulative value at the last capture.
+    std::uint64_t resets = 0;
+    std::vector<std::uint64_t> ring;  ///< Fixed capacity, filled circularly.
+    std::size_t head = 0;             ///< Next write position.
+    std::size_t filled = 0;           ///< Slots holding real data (<= capacity).
+  };
+
+  void capture();
+  void capture_value(const std::string& name, std::uint64_t cumulative);
+
+  const MetricsRegistry& registry_;
+  TimeSeriesConfig config_;
+  TimePoint last_tick_;
+  std::uint64_t ticks_ = 0;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace pan::obs

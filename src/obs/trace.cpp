@@ -122,9 +122,11 @@ void RequestTrace::set_outcome(std::string_view outcome) {
   if (outcome_.empty()) outcome_ = std::string(outcome);
 }
 
-void RequestTrace::flush_to(MetricsRegistry& registry, std::string_view prefix) const {
+void RequestTrace::flush_to(MetricsRegistry& registry, std::string_view prefix,
+                            std::uint64_t exemplar_trace_id) const {
   for (const SpanRecord& span : finished_) {
-    registry.histogram(std::string(prefix) + span.name).record(span.duration);
+    registry.histogram(std::string(prefix) + span.name)
+        .record(span.duration, exemplar_trace_id, span.start);
   }
 }
 

@@ -132,8 +132,12 @@ class RequestTrace {
   [[nodiscard]] std::string_view outcome() const { return outcome_; }
 
   /// Records every finished span into `registry` as a sample of the
-  /// histogram named `<prefix><phase>`.
-  void flush_to(MetricsRegistry& registry, std::string_view prefix) const;
+  /// histogram named `<prefix><phase>`. When `exemplar_trace_id` is nonzero
+  /// each sample is also offered as an exemplar under that trace id — pass
+  /// the trace's id only when the trace is being *kept* by the collector, so
+  /// a surviving exemplar always resolves at /skip/trace/<id>.
+  void flush_to(MetricsRegistry& registry, std::string_view prefix,
+                std::uint64_t exemplar_trace_id = 0) const;
 
   /// Emits the root span plus all finished phase spans to the collector,
   /// tagged with `component`. The root span runs created_at() .. `end` and

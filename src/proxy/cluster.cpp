@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "http/url.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -55,6 +56,7 @@ ProxyCluster::ProxyCluster(sim::Simulator& sim, net::Host& host, scion::ScionSta
       owned_metrics_(config_.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
                                                 : nullptr),
       metrics_(config_.metrics != nullptr ? config_.metrics : owned_metrics_.get()),
+      fleet_series_(*metrics_, config_.timeseries, sim.now()),
       alive_(std::make_shared<bool>(true)) {
   config_.replicas = std::max<std::size_t>(1, config_.replicas);
   config_.vnodes_per_replica = std::max<std::size_t>(1, config_.vnodes_per_replica);
@@ -82,8 +84,12 @@ void ProxyCluster::build_replica(std::size_t index) {
   Replica& rep = replicas_[index];
   rep.resolver = std::make_unique<dns::Resolver>(sim_, zone_, config_.resolver);
   if (config_.on_resolver_created) config_.on_resolver_created(*rep.resolver);
+  ProxyConfig proxy_config = config_.proxy;
+  // Each replica's .prom exposition carries its own instance label so a
+  // fleet scrape can tell the series apart.
+  proxy_config.prom_instance = rep.name;
   rep.proxy =
-      std::make_unique<SkipProxy>(sim_, host_, stack_, daemon_, *rep.resolver, config_.proxy);
+      std::make_unique<SkipProxy>(sim_, host_, stack_, daemon_, *rep.resolver, proxy_config);
   rep.crashed = false;
   rep.hung = false;
   rep.probe_misses = 0;
@@ -165,7 +171,7 @@ std::string ProxyCluster::owner_of(const std::string& origin_key) {
 void ProxyCluster::fetch(http::HttpRequest request, ProxyRequestOptions options,
                          SkipProxy::FetchFn on_result) {
   if (strings::starts_with(request.target, "/skip/")) {
-    if (request.target == "/skip/fleet") {
+    if (strings::starts_with(request.target, "/skip/fleet")) {
       serve_fleet(request, std::move(options), on_result);
       return;
     }
@@ -312,18 +318,58 @@ void ProxyCluster::deliver(const PendingPtr& pending, ProxyResult result) {
 
 // --- /skip/* control space -------------------------------------------------
 
+void ProxyCluster::refresh_fleet_metrics() {
+  // Scrape-time pull: live replicas contribute their current registry
+  // directly; crashed ones keep whatever the probe channel last shipped.
+  for (Replica& rep : replicas_) {
+    if (rep.crashed || rep.proxy == nullptr) continue;
+    aggregator_.ingest(rep.name, rep.generation, rep.proxy->metrics(), sim_.now());
+  }
+  fleet_series_.observe(sim_.now());
+}
+
 void ProxyCluster::serve_fleet(const http::HttpRequest& request, ProxyRequestOptions options,
                                const SkipProxy::FetchFn& on_result) {
   (void)options;
   count("fleet.internal");
+  fleet_series_.observe(sim_.now());
   ProxyResult result;
   result.transport = TransportUsed::kInternal;
+  const auto [path_view, query] = http::split_target(request.target);
+  const std::string path(path_view);
   if (request.method != "GET") {
     result.response = fleet_error(405, "method not allowed: " + request.method);
     result.response.headers.set("Allow", "GET");
-  } else {
+  } else if (path == "/skip/fleet") {
     result.response =
         http::make_response(200, from_string(fleet_json()), "application/json");
+  } else if (path == "/skip/fleet/metrics") {
+    const std::string_view prefix = http::query_param(query, "prefix");
+    const std::string_view window = http::query_param(query, "window");
+    refresh_fleet_metrics();
+    if (!window.empty()) {
+      const auto window_ms = strings::parse_u64(window);
+      if (!window_ms.ok()) {
+        result.response = fleet_error(400, "bad window (want milliseconds): " +
+                                               std::string(window));
+      } else {
+        result.response = http::make_response(
+            200,
+            from_string(fleet_series_.query_json(
+                prefix, milliseconds(static_cast<std::int64_t>(window_ms.value())))),
+            "application/json");
+      }
+    } else {
+      result.response = http::make_response(200, from_string(aggregator_.fleet_json(prefix)),
+                                            "application/json");
+    }
+  } else if (path == "/skip/fleet/metrics.prom") {
+    refresh_fleet_metrics();
+    const std::string_view prefix = http::query_param(query, "prefix");
+    result.response = http::make_response(200, from_string(aggregator_.fleet_prom(prefix)),
+                                          "text/plain; version=0.0.4");
+  } else {
+    result.response = fleet_error(404, "unknown fleet endpoint: " + path);
   }
   if (on_result) on_result(std::move(result));
 }
@@ -495,6 +541,7 @@ void ProxyCluster::restore_warm(Replica& rep) {
 
 void ProxyCluster::probe_all() {
   for (std::size_t i = 0; i < replicas_.size(); ++i) probe(i);
+  fleet_series_.observe(sim_.now());
   sim_.schedule_after(config_.probe_interval, [this, alive = alive_] {
     if (*alive) probe_all();
   });
@@ -534,6 +581,10 @@ void ProxyCluster::probe(std::size_t index) {
       rep.snapshot.quarantines = rep.proxy->selector().quarantine_snapshot();
       rep.snapshot.taken = true;
       rep.snapshot.taken_at = sim_.now();
+      // Ship the replica's metrics registry on the same probe channel, so
+      // the fleet view keeps the last-known state of replicas that later
+      // crash without answering a scrape.
+      aggregator_.ingest(rep.name, rep.generation, rep.proxy->metrics(), sim_.now());
       // A successful probe is a success sample: without this, a replica
       // whose EWMA was driven up by a since-cleared wedge would never earn
       // its way back (nobody routes to it, so no answers decay the EWMA).

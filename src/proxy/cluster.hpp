@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "dns/dns.hpp"
+#include "proxy/fleet_metrics.hpp"
 #include "proxy/skip_proxy.hpp"
 
 namespace pan::proxy {
@@ -116,6 +117,9 @@ struct ClusterConfig {
   /// Fleet-level registry for fleet.* counters, health gauges, and the
   /// FlightRecorder ring (null = the cluster owns a private one).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Time-series deltas over the fleet registry (fleet.* counters), ticked
+  /// by the probe heartbeat and queried via /skip/fleet/metrics?window=.
+  obs::TimeSeriesConfig timeseries;
 };
 
 /// Fleet counters, read back from the registry for ergonomic assertions.
@@ -182,6 +186,13 @@ class ProxyCluster {
   [[nodiscard]] FleetStats stats() const;
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  /// The merged fleet metrics plane. Snapshots ship on the probe channel;
+  /// refresh_fleet_metrics() additionally pulls every live replica now
+  /// (what a GET /skip/fleet/metrics scrape does before answering).
+  [[nodiscard]] FleetMetricsAggregator& fleet_metrics() { return aggregator_; }
+  void refresh_fleet_metrics();
+  /// Time-series store over the fleet registry's counters.
+  [[nodiscard]] obs::TimeSeriesStore& timeseries() { return fleet_series_; }
 
  private:
   struct WarmState {
@@ -274,6 +285,8 @@ class ProxyCluster {
   ClusterConfig config_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  FleetMetricsAggregator aggregator_;
+  obs::TimeSeriesStore fleet_series_;  // over *metrics_; must follow it
 
   std::vector<Replica> replicas_;
   /// Crashed replicas' proxies and resolvers are parked here, never

@@ -1,0 +1,88 @@
+// Fleet-wide metrics aggregation (the cluster metrics plane).
+//
+// A FleetMetricsAggregator collects per-replica registry snapshots — shipped
+// on the cluster's existing probe channel, plus an on-demand pull when the
+// /skip/fleet/metrics endpoint is scraped — and merges them into one
+// fleet-scope view: counters summed, gauges summed, histograms bucket-merged
+// (obs::Histogram::merge), exemplars pooled. Because every default histogram
+// shares the universal log-linear layout, the merged histogram is identical
+// to one fed the pooled samples, so fleet percentiles carry the same
+// one-bucket-width error bound as any single replica's.
+//
+// Restarts: each snapshot arrives tagged with the replica's process
+// generation. A generation change folds the previous snapshot into the
+// replica's monotonic *base* before the fresh (reset-to-zero) cumulative
+// state is adopted, so fleet-merged counters never step backward across a
+// replica-restart and windowed rates computed over them never go negative.
+//
+// Crashed replicas keep contributing their last shipped state (base +
+// latest) until they re-ingest under a new generation — exactly what the
+// probe-channel shipping buys: the fleet view survives the process.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/types.hpp"
+
+namespace pan::proxy {
+
+class FleetMetricsAggregator {
+ public:
+  /// Ingests replica `name`'s cumulative registry state under `generation`.
+  void ingest(const std::string& name, std::uint64_t generation,
+              const obs::MetricsRegistry& registry, TimePoint now);
+
+  /// Forgets a replica entirely (not used by restart — only by tests).
+  void forget(const std::string& name) { slots_.erase(name); }
+
+  [[nodiscard]] std::size_t replica_count() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t ingest_count() const { return ingests_; }
+  /// Generation folds observed (replica restarts absorbed into bases).
+  [[nodiscard]] std::uint64_t generation_folds() const { return folds_; }
+  /// Merges dropped because two layouts of one histogram name disagreed.
+  [[nodiscard]] std::uint64_t layout_conflicts() const { return layout_conflicts_; }
+
+  /// Rebuilds the merged fleet-wide registry into `out` (expected empty).
+  void build_merged(obs::MetricsRegistry& out) const;
+  /// Rebuilds one replica's view (base folded with latest) into `out`.
+  /// Returns false for an unknown replica.
+  bool build_replica(const std::string& name, obs::MetricsRegistry& out) const;
+
+  /// {"replicas":{name:{"generation":..,"folds":..,"last_ingest_ms":..,
+  /// "metrics":{...}}},"fleet":{...}} — merged percentiles plus per-replica
+  /// drill-down, both filtered by `prefix` like MetricsRegistry::to_json.
+  [[nodiscard]] std::string fleet_json(std::string_view prefix) const;
+  /// Prometheus exposition of the merged view, every series labeled
+  /// scope="fleet".
+  [[nodiscard]] std::string fleet_prom(std::string_view prefix) const;
+
+ private:
+  struct Slot {
+    std::uint64_t generation = 0;
+    bool seen = false;
+    std::uint64_t folds = 0;
+    TimePoint last_ingest;
+    /// Monotonic carry-over from previous process generations.
+    std::map<std::string, std::uint64_t> counter_base;
+    std::map<std::string, obs::Histogram> hist_base;
+    /// Latest cumulative snapshot of the current generation.
+    std::map<std::string, std::uint64_t> counter_latest;
+    std::map<std::string, double> gauge_latest;
+    std::map<std::string, obs::Histogram> hist_latest;
+  };
+
+  void merge_slot_into(const Slot& slot, obs::MetricsRegistry& out) const;
+  void merge_histogram(const std::string& name, const obs::Histogram& h,
+                       obs::MetricsRegistry& out) const;
+
+  std::map<std::string, Slot> slots_;
+  std::uint64_t ingests_ = 0;
+  std::uint64_t folds_ = 0;
+  mutable std::uint64_t layout_conflicts_ = 0;
+};
+
+}  // namespace pan::proxy

@@ -39,6 +39,7 @@ bool is_known_internal_endpoint(std::string_view target) {
   static constexpr std::string_view kExact[] = {
       "/skip/metrics", "/skip/pool",     "/skip/health", "/skip/traces",
       "/skip/identity", "/skip/debug",   "/skip/ping",   "/skip/access",
+      "/skip/metrics.prom",
   };
   static constexpr std::string_view kPrefixes[] = {"/skip/trace/", "/skip/identity/rotate/"};
   for (const std::string_view endpoint : kExact) {
@@ -128,6 +129,7 @@ SkipProxy::SkipProxy(sim::Simulator& sim, net::Host& host, scion::ScionStack& st
                            : nullptr),
       collector_(config.collector != nullptr ? config.collector : owned_collector_.get()),
       slo_(*metrics_),
+      timeseries_(*metrics_, config.timeseries, sim.now()),
       detector_(sim, resolver),
       selector_(daemon, metrics_),
       breaker_(sim, CircuitBreakerConfig{config_.breaker_threshold, config_.breaker_open_ttl},
@@ -568,8 +570,6 @@ void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
   sim_.schedule_after(config_.ipc_overhead, [this, req,
                                              result = std::move(result)]() mutable {
     req->trace->end("ipc");
-    req->trace->flush_to(*metrics_, "proxy.phase.");
-    metrics_->histogram("proxy.request_total").record(sim_.now() - req->trace->created_at());
     // Terminal outcome: the site that decided the request's fate set it
     // (timeout / shed / breaker-open / ...); derive from the response for
     // the paths that end without one.
@@ -587,16 +587,27 @@ void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
         req->trace->set_outcome("ok");
       }
     }
+    // Decide *before* flushing whether the collector keeps this trace: only
+    // kept trace ids ride into histogram exemplars, so every exemplar that
+    // surfaces in /skip/metrics resolves at /skip/trace/<id>.
+    const bool internal = result.transport == TransportUsed::kInternal;
+    const bool keep = !internal && (req->trace->sampled() ||
+                                    result.response.status >= 400 || result.fell_back);
+    const std::uint64_t exemplar_id = keep ? req->trace->id() : 0;
+    req->trace->flush_to(*metrics_, "proxy.phase.", exemplar_id);
+    metrics_->histogram("proxy.request_total")
+        .record(sim_.now() - req->trace->created_at(), exemplar_id,
+                req->trace->created_at());
+    timeseries_.observe(sim_.now());
     result.outcome = std::string(req->trace->outcome());
     result.trace_id = req->trace->id();
     result.spans = req->trace->spans();
     // Export the span tree. The proxy's own control endpoints are not
     // traced — /skip/trace reading the collector must not grow it.
-    if (result.transport != TransportUsed::kInternal) {
+    if (!internal) {
       if (result.fell_back) req->trace->set_attribute("fell_back", "true");
       req->trace->report_to(*collector_, "skip-proxy", sim_.now());
       const int status = result.response.status;
-      const bool keep = req->trace->sampled() || status >= 400 || result.fell_back;
       collector_->finalize(req->trace->id(), req->trace->outcome(), keep);
       if (status >= 500) {
         // 5xx auto-dump: the flight recorder's recent history rides with the
@@ -614,31 +625,59 @@ void SkipProxy::finish(const RequestPtr& req, ProxyResult result) {
 }
 
 void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPtr& req) {
+  // Endpoints take query parameters (?prefix=, ?window=); dispatch on the
+  // path component only so "/skip/metrics?prefix=slo." still routes.
+  const auto [path_view, query] = http::split_target(request.target);
+  const std::string path(path_view);
+  timeseries_.observe(sim_.now());
   ProxyResult result;
   result.transport = TransportUsed::kInternal;
   // Method gate first: a non-GET on a *known* endpoint is 405 + Allow, not
   // 404 — fleet front-ends and load balancers probe with HEAD/POST and must
   // be able to tell "wrong verb" from "no such endpoint".
-  if (request.method != "GET" && is_known_internal_endpoint(request.target)) {
+  if (request.method != "GET" && is_known_internal_endpoint(path)) {
     result.response = synthetic_error(405, "method not allowed: " + request.method);
     result.response.headers.set("Allow", "GET");
     finish(req, std::move(result));
     return;
   }
-  if (request.target == "/skip/ping") {
+  if (path == "/skip/ping") {
     // Liveness probe (the fleet's health prober hits this): cheap, constant,
     // and served even when every origin-facing subsystem is on fire.
     result.response =
         http::make_response(200, from_string("{\"ok\":true}"), "application/json");
-  } else if (request.target == "/skip/metrics") {
+  } else if (path == "/skip/metrics") {
     metrics_->gauge("proxy.scion_pool_size")
         .set(static_cast<double>(scion_pool_.origin_count()));
     metrics_->gauge("proxy.legacy_pool_size")
         .set(static_cast<double>(legacy_pool_.origin_count()));
-    http::HttpResponse response =
-        http::make_response(200, from_string(metrics_->to_json()), "application/json");
-    result.response = std::move(response);
-  } else if (request.target == "/skip/pool") {
+    const std::string prefix(http::query_param(query, "prefix"));
+    const std::string_view window_text = http::query_param(query, "window");
+    if (!window_text.empty()) {
+      // ?window=<ms>: rate/delta over the trailing window from the
+      // time-series store instead of the lifetime-cumulative dump.
+      const auto window_ms = strings::parse_u64(window_text);
+      if (!window_ms.ok()) {
+        result.response = synthetic_error(400, "bad window (want milliseconds): " +
+                                                   std::string(window_text));
+      } else {
+        result.response = http::make_response(
+            200,
+            from_string(timeseries_.query_json(
+                prefix, milliseconds(static_cast<std::int64_t>(window_ms.value())))),
+            "application/json");
+      }
+    } else {
+      result.response = http::make_response(200, from_string(metrics_->to_json(prefix)),
+                                            "application/json");
+    }
+  } else if (path == "/skip/metrics.prom") {
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (!config_.prom_instance.empty()) labels.emplace_back("instance", config_.prom_instance);
+    const std::string prefix(http::query_param(query, "prefix"));
+    result.response = http::make_response(200, from_string(metrics_->to_prom(prefix, labels)),
+                                          "text/plain; version=0.0.4");
+  } else if (path == "/skip/pool") {
     // Per-origin pool state; the scion side additionally reports the path
     // each pooled connection currently rides.
     std::string body = "{\"legacy\":" + legacy_pool_.snapshot_json() + ",\"scion\":" +
@@ -652,7 +691,7 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
     }
     body += "}}";
     result.response = http::make_response(200, from_string(body), "application/json");
-  } else if (request.target == "/skip/health") {
+  } else if (path == "/skip/health") {
     // Resilience-state dump: circuit breakers, quarantined paths, active
     // revocations, and every fault.* counter the injector shares with us.
     std::string body = "{\"breaker\":" + breaker_.snapshot_json() +
@@ -681,12 +720,12 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
     }
     body += "}}";
     result.response = http::make_response(200, from_string(body), "application/json");
-  } else if (request.target == "/skip/traces") {
+  } else if (path == "/skip/traces") {
     result.response = http::make_response(200, from_string(collector_->spans_jsonl()),
                                           "application/x-ndjson");
-  } else if (strings::starts_with(request.target, "/skip/trace/")) {
+  } else if (strings::starts_with(path, "/skip/trace/")) {
     const auto id = strings::parse_u64(
-        std::string_view(request.target).substr(std::string_view("/skip/trace/").size()));
+        std::string_view(path).substr(std::string_view("/skip/trace/").size()));
     const obs::TraceRecord* record = id.ok() ? collector_->find(id.value()) : nullptr;
     if (record == nullptr) {
       result.response = synthetic_error(404, "no such trace: " + request.target);
@@ -695,19 +734,19 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
           200, from_string(obs::TraceCollector::chrome_trace_json(*record)),
           "application/json");
     }
-  } else if (request.target == "/skip/access") {
+  } else if (path == "/skip/access") {
     // Multi-access state: per-access health, probe EWMA, striping weights.
     result.response = http::make_response(
         200,
         from_string(multi_access_ != nullptr ? multi_access_->snapshot_json()
                                              : std::string("{\"accesses\":[]}")),
         "application/json");
-  } else if (request.target == "/skip/identity") {
+  } else if (path == "/skip/identity") {
     // Per-identity isolation state: stats, live path assignments, audit.
     result.response = http::make_response(200, from_string(identities_.snapshot_json()),
                                           "application/json");
-  } else if (strings::starts_with(request.target, "/skip/identity/rotate/")) {
-    const std::string id = sanitize_identity(std::string_view(request.target)
+  } else if (strings::starts_with(path, "/skip/identity/rotate/")) {
+    const std::string id = sanitize_identity(std::string_view(path)
                                                  .substr(std::string_view(
                                                              "/skip/identity/rotate/")
                                                              .size()));
@@ -715,7 +754,7 @@ void SkipProxy::serve_internal(const http::HttpRequest& request, const RequestPt
     result.response = http::make_response(
         200, from_string("{\"rotated\":" + strings::json_quote(id) + "}"),
         "application/json");
-  } else if (request.target == "/skip/debug") {
+  } else if (path == "/skip/debug") {
     // The flight-recorder snapshot plus collector and SLO state — the first
     // stop when a scenario goes sideways.
     slo_.evaluate(sim_.now());

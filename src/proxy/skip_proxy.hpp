@@ -58,6 +58,7 @@
 #include "net/multi_access.hpp"
 #include "obs/collector.hpp"
 #include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "proxy/circuit_breaker.hpp"
 #include "proxy/detector.hpp"
@@ -163,6 +164,13 @@ struct ProxyConfig {
   /// SLO objectives evaluated on the registry; empty installs
   /// obs::SloMonitor::default_proxy_objectives().
   std::vector<obs::SloObjective> slos;
+  /// Time-series delta snapshots over the registry (lazy sim-clock ticking;
+  /// see obs/timeseries.hpp). Queried via GET /skip/metrics?window=...;
+  /// interval <= 0 disables the store.
+  obs::TimeSeriesConfig timeseries;
+  /// Value of the `instance` label stamped on /skip/metrics.prom series
+  /// (empty = no label). The cluster sets each replica's name here.
+  std::string prom_instance;
   transport::TransportConfig tcp = http::default_tcp_config();
   transport::TransportConfig quic = http::default_quic_config();
 };
@@ -318,6 +326,7 @@ class SkipProxy {
   [[nodiscard]] OverloadController& overload() { return overload_; }
   [[nodiscard]] obs::TraceCollector& collector() { return *collector_; }
   [[nodiscard]] obs::SloMonitor& slo() { return slo_; }
+  [[nodiscard]] obs::TimeSeriesStore& timeseries() { return timeseries_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] ProxyStats stats() const;
@@ -451,6 +460,7 @@ class SkipProxy {
   std::unique_ptr<obs::TraceCollector> owned_collector_;
   obs::TraceCollector* collector_ = nullptr;
   obs::SloMonitor slo_;
+  obs::TimeSeriesStore timeseries_;  // over *metrics_; must follow it
   ScionDetector detector_;
   PathSelector selector_;
   CircuitBreaker breaker_;

@@ -393,6 +393,9 @@ void BorderRouter::send_out(IfaceId egress, std::uint8_t cur_seg, std::uint8_t c
   }
   patch_cursor(packet.payload, cur_seg, cur_hop);
   ++stats_.forwarded;
+  if (config_.forward_latency != nullptr) {
+    config_.forward_latency->record(router_.network().simulator().now() - packet.sent_at);
+  }
   router_.network().send(router_.node(), out_if, std::move(packet));
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
 #include "scion/colibri.hpp"
 #include "scion/header.hpp"
 #include "scion/hopfield.hpp"
@@ -40,6 +41,12 @@ struct BorderRouterConfig {
   /// Use the eager full-reparse pipeline (pre-zero-copy behaviour). Kept for
   /// the forwarding equivalence tests and as the bench baseline.
   bool legacy_reparse = false;
+  /// Per-router forward-latency histogram (null = not recorded). Records
+  /// now - packet.sent_at on every forward: the queueing + propagation +
+  /// processing of the hop the packet just completed. The histogram is
+  /// pre-registered by Topology::finalize, so recording stays allocation-free
+  /// on the zero-copy hop path.
+  obs::Histogram* forward_latency = nullptr;
 };
 
 struct BorderRouterStats {

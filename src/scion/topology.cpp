@@ -216,8 +216,15 @@ void Topology::finalize() {
   BorderRouterConfig br_config = config_.border_router;
   br_config.reservations = &reservations_;
   for (AsState& as : ases_) {
+    // Per-AS config copy: each router gets its own pre-registered
+    // forward-latency histogram (distinct pointer per AS).
+    BorderRouterConfig as_config = br_config;
+    if (config_.metrics != nullptr) {
+      as_config.forward_latency =
+          &config_.metrics->histogram("router." + as.spec.ia.to_string() + ".forward_latency");
+    }
     as.border_router = std::make_unique<BorderRouter>(*as.router, as.spec.ia,
-                                                      as.forwarding_key, br_config);
+                                                      as.forwarding_key, as_config);
     as.daemon = std::make_unique<Daemon>(sim_, infra_, as.spec.ia, config_.daemon);
   }
   finalized_ = true;

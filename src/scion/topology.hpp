@@ -69,6 +69,10 @@ struct TopologyConfig {
   };
   DaemonConfig daemon;
   BorderRouterConfig border_router;
+  /// When set, finalize() pre-registers a `router.<ia>.forward_latency`
+  /// histogram per AS and wires it into that AS's border router, so hop-path
+  /// recording never allocates (the registry lookup happens once, here).
+  obs::MetricsRegistry* metrics = nullptr;
   /// Legacy route weight: AS hop count (BGP-like). When true, adds the link
   /// latency in ms as a secondary component (used by ablation benches to
   /// model a latency-aware IGP instead).

@@ -377,6 +377,120 @@ TEST(Fleet, MethodGatesOnControlEndpoints) {
   EXPECT_NE(body_of(ping).find("\"ok\":true"), std::string::npos);
 }
 
+TEST(Fleet, FleetMetricsMergesReplicaRegistries) {
+  FleetFixture fix;
+  // Drive traffic so replicas accumulate real counters and histograms.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(fix.fetch("http://scion-fs.local/").response.status, 200);
+  }
+
+  const proxy::ProxyResult result = fix.fetch("/skip/fleet/metrics");
+  ASSERT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.headers.get("Content-Type").value_or(""), "application/json");
+  const std::string body = body_of(result);
+  EXPECT_NE(body.find("\"replicas\""), std::string::npos);
+  EXPECT_NE(body.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(body.find("\"generation\""), std::string::npos);
+  EXPECT_NE(body.find("proxy.request_total"), std::string::npos);
+
+  // The merged registry really is the sum of the per-replica ones.
+  proxy::ProxyCluster& cluster = fix.cluster();
+  cluster.refresh_fleet_metrics();
+  obs::MetricsRegistry merged;
+  cluster.fleet_metrics().build_merged(merged);
+  std::uint64_t per_replica_sum = 0;
+  for (const std::string name : {"rep-0", "rep-1", "rep-2", "rep-3"}) {
+    per_replica_sum += cluster.replica(name)->metrics().counter_value("proxy.requests");
+  }
+  EXPECT_GT(per_replica_sum, 0u);
+  EXPECT_EQ(merged.counter_value("proxy.requests"), per_replica_sum);
+
+  // The merged request histogram pools every replica's samples.
+  const obs::Histogram* hist = merged.find_histogram("proxy.request_total");
+  ASSERT_NE(hist, nullptr);
+  std::uint64_t hist_count = 0;
+  for (const std::string name : {"rep-0", "rep-1", "rep-2", "rep-3"}) {
+    const obs::Histogram* h =
+        cluster.replica(name)->metrics().find_histogram("proxy.request_total");
+    if (h != nullptr) hist_count += h->count();
+  }
+  EXPECT_EQ(hist->count(), hist_count);
+
+  // ?prefix= filters both the fleet view and the per-replica drill-downs.
+  const proxy::ProxyResult filtered = fix.fetch("/skip/fleet/metrics?prefix=proxy.phase.");
+  ASSERT_EQ(filtered.response.status, 200);
+  const std::string filtered_body = body_of(filtered);
+  EXPECT_NE(filtered_body.find("proxy.phase."), std::string::npos);
+  EXPECT_EQ(filtered_body.find("\"proxy.requests\""), std::string::npos);
+}
+
+TEST(Fleet, FleetMetricsSurviveRestartWithoutSteppingBackward) {
+  FleetFixture fix;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(fix.fetch("http://scion-fs.local/").response.status, 200);
+  }
+  proxy::ProxyCluster& cluster = fix.cluster();
+  cluster.refresh_fleet_metrics();
+  obs::MetricsRegistry before;
+  cluster.fleet_metrics().build_merged(before);
+  const std::uint64_t requests_before = before.counter_value("proxy.requests");
+  ASSERT_GT(requests_before, 0u);
+
+  // Bounce every replica: each fresh process restarts its registry at zero.
+  for (const std::string name : {"rep-0", "rep-1", "rep-2", "rep-3"}) {
+    cluster.restart_replica(name);
+  }
+  cluster.refresh_fleet_metrics();
+  EXPECT_GE(cluster.fleet_metrics().generation_folds(), 4u);
+
+  obs::MetricsRegistry after;
+  cluster.fleet_metrics().build_merged(after);
+  // The folded bases keep the dead generations' counts: monotonic, so any
+  // windowed rate computed over the fleet view never goes negative.
+  EXPECT_GE(after.counter_value("proxy.requests"), requests_before);
+
+  // And new traffic keeps accumulating on top.
+  ASSERT_EQ(fix.fetch("http://scion-fs.local/").response.status, 200);
+  cluster.refresh_fleet_metrics();
+  obs::MetricsRegistry later;
+  cluster.fleet_metrics().build_merged(later);
+  EXPECT_GT(later.counter_value("proxy.requests"), requests_before);
+}
+
+TEST(Fleet, FleetPromExpositionCarriesFleetScope) {
+  FleetFixture fix;
+  ASSERT_EQ(fix.fetch("http://scion-fs.local/").response.status, 200);
+  const proxy::ProxyResult result = fix.fetch("/skip/fleet/metrics.prom");
+  ASSERT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.headers.get("Content-Type").value_or(""),
+            "text/plain; version=0.0.4");
+  const std::string body = body_of(result);
+  EXPECT_NE(body.find("# TYPE pan_proxy_requests counter"), std::string::npos);
+  EXPECT_NE(body.find("scope=\"fleet\""), std::string::npos);
+  EXPECT_NE(body.find("pan_proxy_request_total_bucket"), std::string::npos);
+}
+
+TEST(Fleet, FleetMetricsWindowQueryAndErrors) {
+  FleetFixture fix;
+  ASSERT_EQ(fix.fetch("http://scion-fs.local/").response.status, 200);
+  // Let the probe heartbeat tick the cluster's time-series store.
+  fix.sim().run_until(fix.sim().now() + seconds(2));
+
+  const proxy::ProxyResult windowed = fix.fetch("/skip/fleet/metrics?window=1000");
+  ASSERT_EQ(windowed.response.status, 200);
+  const std::string body = body_of(windowed);
+  EXPECT_NE(body.find("\"interval_ms\""), std::string::npos);
+  EXPECT_NE(body.find("\"rate_per_s\""), std::string::npos);
+
+  EXPECT_EQ(fix.fetch("/skip/fleet/metrics?window=banana").response.status, 400);
+  EXPECT_EQ(fix.fetch("/skip/fleet/unknown").response.status, 404);
+
+  const TimePoint deadline = fix.sim().now() + seconds(5);
+  const proxy::ProxyResult post =
+      fix.fetch_with("/skip/fleet/metrics", false, deadline, "POST");
+  EXPECT_EQ(post.response.status, 405);
+}
+
 TEST(Fleet, RetryJitterStreamsDivergeAcrossReplicas) {
   proxy::ClusterConfig config;
   config.replicas = 2;

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -99,6 +100,266 @@ TEST(HistogramTest, OverflowBucketCatchesLargeValues) {
   EXPECT_EQ(h.bucket_counts().back(), 1u);
   // The overflow percentile reports the observed max, not infinity.
   EXPECT_EQ(h.percentile(99), seconds(100));
+}
+
+// ---------------------------------------------------------- mergeability --
+
+// Randomized latency-ish samples spanning the full bucket range: a mix of
+// sub-millisecond, middle-decade, and tail values, plus overflow outliers.
+std::vector<Duration> random_samples(Rng& rng, std::size_t n) {
+  std::vector<Duration> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.next_below(4)) {
+      case 0: out.push_back(microseconds(rng.next_in(1, 999))); break;
+      case 1: out.push_back(milliseconds(rng.next_in(1, 999))); break;
+      case 2: out.push_back(milliseconds(rng.next_in(1000, 60'000))); break;
+      default: out.push_back(seconds(rng.next_in(61, 300))); break;  // overflow
+    }
+  }
+  return out;
+}
+
+void expect_same_state(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.bucket_counts(), b.bucket_counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.snapshot().min, b.snapshot().min);
+  EXPECT_EQ(a.snapshot().max, b.snapshot().max);
+}
+
+TEST(HistogramMergeTest, MergeEqualsPooledSamplesExactly) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<Duration> xs = random_samples(rng, 1 + rng.next_below(200));
+    const std::vector<Duration> ys = random_samples(rng, 1 + rng.next_below(200));
+    Histogram a;
+    Histogram b;
+    Histogram pooled;
+    for (const Duration d : xs) {
+      a.record(d);
+      pooled.record(d);
+    }
+    for (const Duration d : ys) {
+      b.record(d);
+      pooled.record(d);
+    }
+    ASSERT_TRUE(a.merge(b));
+    expect_same_state(a, pooled);
+    // Exact bucket equality implies identical percentile estimates.
+    EXPECT_EQ(a.percentile(50), pooled.percentile(50));
+    EXPECT_EQ(a.percentile(99), pooled.percentile(99));
+    EXPECT_EQ(a.percentile(99.9), pooled.percentile(99.9));
+  }
+}
+
+TEST(HistogramMergeTest, MergeIsCommutative) {
+  Rng rng(0xbeef);
+  for (int trial = 0; trial < 10; ++trial) {
+    Histogram a;
+    Histogram b;
+    for (const Duration d : random_samples(rng, 100)) a.record(d);
+    for (const Duration d : random_samples(rng, 100)) b.record(d);
+    Histogram ab = a;
+    Histogram ba = b;
+    ASSERT_TRUE(ab.merge(b));
+    ASSERT_TRUE(ba.merge(a));
+    expect_same_state(ab, ba);
+  }
+}
+
+TEST(HistogramMergeTest, MergeIsAssociative) {
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 10; ++trial) {
+    Histogram a;
+    Histogram b;
+    Histogram c;
+    for (const Duration d : random_samples(rng, 80)) a.record(d);
+    for (const Duration d : random_samples(rng, 80)) b.record(d);
+    for (const Duration d : random_samples(rng, 80)) c.record(d);
+    // (a + b) + c
+    Histogram left = a;
+    ASSERT_TRUE(left.merge(b));
+    ASSERT_TRUE(left.merge(c));
+    // a + (b + c)
+    Histogram bc = b;
+    ASSERT_TRUE(bc.merge(c));
+    Histogram right = a;
+    ASSERT_TRUE(right.merge(bc));
+    expect_same_state(left, right);
+  }
+}
+
+TEST(HistogramMergeTest, MergedPercentileWithinOneBucketOfGroundTruth) {
+  // The cross-check the fleet plane relies on: percentiles of the merged
+  // histogram vs exact order-statistic percentiles of the pooled samples
+  // differ by at most the width of the containing bucket.
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Duration> pooled_samples;
+    Histogram merged;
+    for (int shard = 0; shard < 4; ++shard) {
+      Histogram h;
+      for (const Duration d : random_samples(rng, 250)) {
+        h.record(d);
+        pooled_samples.push_back(d);
+      }
+      ASSERT_TRUE(merged.merge(h));
+    }
+    std::sort(pooled_samples.begin(), pooled_samples.end());
+    for (const double pct : {50.0, 95.0, 99.0, 99.9}) {
+      const std::size_t rank = std::min(
+          pooled_samples.size() - 1,
+          static_cast<std::size_t>(pct / 100.0 * static_cast<double>(pooled_samples.size())));
+      const Duration truth = pooled_samples[rank];
+      const Duration estimate = merged.percentile(pct);
+      // Containing-bucket width: the gap between the truth's surrounding
+      // bounds (overflow values are clamped to the observed max — exact).
+      const auto& bounds = merged.bounds();
+      Duration lo = Duration::zero();
+      Duration width = Duration::max();
+      for (const Duration bound : bounds) {
+        if (truth <= bound) {
+          width = bound - lo;
+          break;
+        }
+        lo = bound;
+      }
+      if (width == Duration::max()) {
+        // Overflow bucket: percentile clamps to the observed max.
+        EXPECT_LE(estimate, merged.snapshot().max);
+        continue;
+      }
+      const Duration err = estimate > truth ? estimate - truth : truth - estimate;
+      EXPECT_LE(err, width) << "pct=" << pct << " truth=" << truth.millis()
+                            << "ms est=" << estimate.millis() << "ms";
+    }
+  }
+}
+
+TEST(HistogramMergeTest, LayoutMismatchIsRejectedUntouched) {
+  Histogram a;  // default layout
+  Histogram b({milliseconds(1), milliseconds(10)});
+  a.record(milliseconds(5));
+  b.record(milliseconds(5));
+  const auto before = a.bucket_counts();
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_EQ(a.bucket_counts(), before);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+// --------------------------------------------------------------- exemplars --
+
+TEST(HistogramExemplarTest, LargestTaggedValuesWinBoundedSlots) {
+  Histogram h;
+  // More tagged records than slots; only the largest four must survive.
+  for (int i = 1; i <= 10; ++i) {
+    h.record(milliseconds(i * 10), static_cast<std::uint64_t>(i), TimePoint{} + seconds(i));
+  }
+  const std::vector<Exemplar> ex = h.exemplars();
+  ASSERT_EQ(ex.size(), Histogram::kExemplarSlots);
+  EXPECT_EQ(ex.front().value, milliseconds(100));
+  EXPECT_EQ(ex.front().trace_id, 10u);
+  // Largest-first ordering, and the smallest six were displaced.
+  for (std::size_t i = 1; i < ex.size(); ++i) EXPECT_LE(ex[i].value, ex[i - 1].value);
+  EXPECT_EQ(ex.back().value, milliseconds(70));
+}
+
+TEST(HistogramExemplarTest, UntaggedRecordsClaimNoSlot) {
+  Histogram h;
+  h.record(seconds(9));                                // plain record
+  h.record(seconds(8), /*trace_id=*/0, TimePoint{});   // zero id = untagged
+  EXPECT_TRUE(h.exemplars().empty());
+  h.record(milliseconds(1), 42, TimePoint{});
+  ASSERT_EQ(h.exemplars().size(), 1u);
+  EXPECT_EQ(h.exemplars()[0].trace_id, 42u);
+}
+
+TEST(HistogramExemplarTest, MergePoolsExemplarsKeepingLargest) {
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 4; ++i) a.record(milliseconds(i), static_cast<std::uint64_t>(i), TimePoint{});
+  for (int i = 5; i <= 8; ++i) b.record(milliseconds(i), static_cast<std::uint64_t>(i), TimePoint{});
+  ASSERT_TRUE(a.merge(b));
+  const std::vector<Exemplar> ex = a.exemplars();
+  ASSERT_EQ(ex.size(), Histogram::kExemplarSlots);
+  // b's values (5..8 ms) displace all of a's (1..4 ms).
+  EXPECT_EQ(ex.front().trace_id, 8u);
+  EXPECT_EQ(ex.back().trace_id, 5u);
+}
+
+TEST(HistogramExemplarTest, ExemplarsAppearInJsonDump) {
+  MetricsRegistry registry;
+  registry.histogram("h").record(milliseconds(250), 0xabc, TimePoint{} + seconds(1));
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"2748\""), std::string::npos);  // 0xabc decimal
+}
+
+// ------------------------------------------------------------ prom / prefix --
+
+TEST(PromExpositionTest, NamesAreSanitizedIntoPromGrammar) {
+  EXPECT_EQ(prom_name("proxy.request_total"), "pan_proxy_request_total");
+  EXPECT_EQ(prom_name("router.1-ff00:0:110.forward_latency"),
+            "pan_router_1_ff00:0:110_forward_latency");
+  EXPECT_EQ(prom_name("fleet.probes"), "pan_fleet_probes");
+  // Embedded label suffix is split off the name.
+  EXPECT_EQ(prom_name("req{origin=far}"), "pan_req");
+  const auto labels = prom_labels_of("req{origin=far,tier=1}");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].first, "origin");
+  EXPECT_EQ(labels[0].second, "far");
+  EXPECT_EQ(labels[1].second, "1");
+}
+
+TEST(PromExpositionTest, ExposesCountersGaugesAndCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.counter("proxy.requests").inc(3);
+  registry.gauge("pool.size").set(2.5);
+  Histogram& h = registry.histogram("proxy.request_total");
+  h.record(milliseconds(15));
+  h.record(milliseconds(25));
+  const std::string prom = registry.to_prom();
+  EXPECT_NE(prom.find("# TYPE pan_proxy_requests counter"), std::string::npos);
+  EXPECT_NE(prom.find("pan_proxy_requests 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pan_pool_size gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pan_proxy_request_total histogram"), std::string::npos);
+  EXPECT_NE(prom.find("pan_proxy_request_total_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("pan_proxy_request_total_count 2"), std::string::npos);
+  // Buckets are cumulative: the +Inf bucket equals the total count, and
+  // every le value parses as seconds.
+  EXPECT_NE(prom.find("le=\"0.02\""), std::string::npos);  // 20 ms bound in s
+}
+
+TEST(PromExpositionTest, BaseLabelsAndExemplarAnnotations) {
+  MetricsRegistry registry;
+  registry.counter("c").inc();
+  registry.histogram("h").record(milliseconds(42), 0x77, TimePoint{} + seconds(2));
+  const std::string prom = registry.to_prom({}, {{"instance", "rep-0"}});
+  EXPECT_NE(prom.find("pan_c{instance=\"rep-0\"} 1"), std::string::npos);
+  // OpenMetrics exemplar on the bucket containing 42 ms.
+  EXPECT_NE(prom.find("# {trace_id=\"119\"} 0.042"), std::string::npos);
+}
+
+TEST(PromExpositionTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("c").inc();
+  const std::string prom = registry.to_prom({}, {{"instance", "a\"b\\c\nd"}});
+  EXPECT_NE(prom.find("instance=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrefixFilterSelectsSubtrees) {
+  MetricsRegistry registry;
+  registry.counter("proxy.requests").inc();
+  registry.counter("fleet.probes").inc();
+  registry.histogram("proxy.phase.fetch").record(milliseconds(1));
+  const std::string json = registry.to_json("proxy.");
+  EXPECT_NE(json.find("proxy.requests"), std::string::npos);
+  EXPECT_NE(json.find("proxy.phase.fetch"), std::string::npos);
+  EXPECT_EQ(json.find("fleet.probes"), std::string::npos);
+  const std::string prom = registry.to_prom("fleet.");
+  EXPECT_NE(prom.find("pan_fleet_probes"), std::string::npos);
+  EXPECT_EQ(prom.find("pan_proxy_requests"), std::string::npos);
 }
 
 // ------------------------------------------------------------------- trace --

@@ -484,6 +484,104 @@ TEST(SkipProxyTest, MetricsEndpointReturnsRegistryJson) {
   EXPECT_EQ(unknown.response.status, 404);
 }
 
+TEST(SkipProxyTest, MetricsPrefixFilterAndWindowQuery) {
+  ProxyFixture fx;
+  fx.world->site("scion-fs.local")->add_text("/x", "content");
+  fx.fetch("http://scion-fs.local/x");
+
+  const ProxyResult filtered = fx.fetch("/skip/metrics?prefix=proxy.phase.");
+  EXPECT_EQ(filtered.response.status, 200);
+  const std::string filtered_body = to_string_view_copy(filtered.response.body);
+  EXPECT_NE(filtered_body.find("\"proxy.phase.fetch\""), std::string::npos);
+  EXPECT_EQ(filtered_body.find("\"proxy.requests\""), std::string::npos);
+  EXPECT_EQ(filtered_body.find("\"transport.handshake\""), std::string::npos);
+
+  // ?window= flips the endpoint into time-series mode: deltas and rates
+  // from the proxy's lazy-ticked store. Advance past a few tick intervals
+  // first — the lazy store catches up on the next endpoint touch.
+  fx.world->sim().run_until(fx.world->sim().now() + seconds(1));
+  const ProxyResult windowed = fx.fetch("/skip/metrics?window=1000");
+  EXPECT_EQ(windowed.response.status, 200);
+  const std::string windowed_body = to_string_view_copy(windowed.response.body);
+  EXPECT_NE(windowed_body.find("\"interval_ms\""), std::string::npos);
+  EXPECT_NE(windowed_body.find("\"rate_per_s\""), std::string::npos);
+  EXPECT_NE(windowed_body.find("\"proxy.requests\""), std::string::npos);
+
+  EXPECT_EQ(fx.fetch("/skip/metrics?window=xyz").response.status, 400);
+}
+
+TEST(SkipProxyTest, PromEndpointExposesRegistry) {
+  ProxyConfig config;
+  config.prom_instance = "test-proxy";
+  ProxyFixture fx(false, config);
+  fx.world->site("scion-fs.local")->add_text("/x", "content");
+  fx.fetch("http://scion-fs.local/x");
+
+  const ProxyResult result = fx.fetch("/skip/metrics.prom");
+  EXPECT_EQ(result.transport, TransportUsed::kInternal);
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.headers.get("Content-Type"), "text/plain; version=0.0.4");
+  const std::string body = to_string_view_copy(result.response.body);
+  EXPECT_NE(body.find("# TYPE pan_proxy_requests counter"), std::string::npos);
+  EXPECT_NE(body.find("instance=\"test-proxy\""), std::string::npos);
+  EXPECT_NE(body.find("pan_proxy_request_total_bucket"), std::string::npos);
+  EXPECT_NE(body.find("le=\"+Inf\""), std::string::npos);
+
+  // ?prefix= filters the exposition too.
+  const ProxyResult filtered = fx.fetch("/skip/metrics.prom?prefix=proxy.phase.");
+  const std::string filtered_body = to_string_view_copy(filtered.response.body);
+  EXPECT_NE(filtered_body.find("pan_proxy_phase_fetch"), std::string::npos);
+  EXPECT_EQ(filtered_body.find("pan_proxy_requests"), std::string::npos);
+}
+
+TEST(SkipProxyTest, ExemplarTraceIdsResolveAtTraceEndpoint) {
+  ProxyFixture fx;
+  fx.world->site("scion-fs.local")->add_text("/x", "content");
+  const ProxyResult page = fx.fetch("http://scion-fs.local/x");
+  ASSERT_EQ(page.response.status, 200);
+  ASSERT_NE(page.trace_id, 0u);
+
+  // The request-total histogram holds the request as an exemplar tagged
+  // with its (kept) trace id — the one-hop bridge from a tail bucket to
+  // the offending trace.
+  const obs::Histogram* hist = fx.proxy->metrics().find_histogram("proxy.request_total");
+  ASSERT_NE(hist, nullptr);
+  const std::vector<obs::Exemplar> exemplars = hist->exemplars();
+  ASSERT_FALSE(exemplars.empty());
+  EXPECT_EQ(exemplars[0].trace_id, page.trace_id);
+
+  // The advertised hop works: GET /skip/trace/<exemplar id> finds the trace.
+  const ProxyResult trace =
+      fx.fetch("/skip/trace/" + std::to_string(exemplars[0].trace_id));
+  EXPECT_EQ(trace.response.status, 200);
+  const std::string body = to_string_view_copy(trace.response.body);
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+
+  // And the exemplar surfaces in both dump formats.
+  const std::string json = to_string_view_copy(fx.fetch("/skip/metrics").response.body);
+  EXPECT_NE(json.find("\"trace_id\":\"" + std::to_string(page.trace_id) + "\""),
+            std::string::npos);
+  const std::string prom = to_string_view_copy(fx.fetch("/skip/metrics.prom").response.body);
+  EXPECT_NE(prom.find("# {trace_id=\"" + std::to_string(page.trace_id) + "\"}"),
+            std::string::npos);
+}
+
+TEST(SkipProxyTest, UnsampledTracesLeaveNoExemplar) {
+  ProxyConfig config;
+  // Keep nothing by head sampling (plain fetches are subresource-class).
+  config.collector_config.sample_document = 0;
+  config.collector_config.sample_subresource = 0;
+  ProxyFixture fx(false, config);
+  fx.world->site("scion-fs.local")->add_text("/x", "content");
+  const ProxyResult page = fx.fetch("http://scion-fs.local/x");
+  ASSERT_EQ(page.response.status, 200);
+  const obs::Histogram* hist = fx.proxy->metrics().find_histogram("proxy.request_total");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1u);  // still recorded in the histogram
+  // But no exemplar: its trace id would 404 at /skip/trace/<id>.
+  EXPECT_TRUE(hist->exemplars().empty());
+}
+
 TEST(SkipProxyTest, ConnectionReuseAcrossRequests) {
   ProxyFixture fx;
   fx.world->site("scion-fs.local")->add_text("/a", "1");
